@@ -1,0 +1,14 @@
+//! Connected Components (CC), Section 5.2 of the paper.
+//!
+//! * [`sequential`] — DFS/union-find connected components over a whole graph,
+//!   used by the baselines and as the correctness oracle.
+//! * [`pie`] — the PIE program: PEval computes local components per fragment
+//!   and links every vertex to a component root; IncEval merges components
+//!   across fragments by monotonically propagating the smallest component id,
+//!   touching only the affected roots (the paper's bounded incremental step).
+
+pub mod pie;
+pub mod sequential;
+
+pub use pie::{Cc, CcQuery, CcResult};
+pub use sequential::connected_components;

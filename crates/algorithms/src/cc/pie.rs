@@ -1,0 +1,292 @@
+//! The CC PIE program (Section 5.2).
+//!
+//! * Message preamble: an integer variable `v.cid` per vertex, initialised to
+//!   the vertex id; candidate set `C_i = F_i.O`; `aggregateMsg = min`.
+//! * PEval: one DFS/union-find pass computes the *local* connected components
+//!   of the fragment, creates a root per component and links every local
+//!   vertex to its root.
+//! * IncEval: a received smaller `cid` for a border vertex is applied to that
+//!   vertex's **root**, which immediately relabels all members via the root
+//!   link — `O(|M_i| + |AFF|)`, independent of `|F_i|` (the paper's bounded
+//!   incremental step).
+//! * Assemble: vertices with equal `cid` form one component.
+
+use std::collections::HashMap;
+
+use grape_core::pie::{Messages, PieProgram};
+use grape_graph::types::VertexId;
+use grape_partition::fragment::Fragment;
+use grape_partition::fragmentation_graph::BorderScope;
+
+use crate::cc::sequential::UnionFind;
+
+/// CC takes no parameters; the query type exists for API uniformity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CcQuery;
+
+/// The assembled CC answer: a component id (the smallest vertex id of the
+/// component) for every vertex.
+#[derive(Debug, Clone, Default)]
+pub struct CcResult {
+    labels: HashMap<VertexId, VertexId>,
+}
+
+impl CcResult {
+    /// Component id of `v`.
+    pub fn component(&self, v: VertexId) -> Option<VertexId> {
+        self.labels.get(&v).copied()
+    }
+
+    /// Whether two vertices are in the same component.
+    pub fn same_component(&self, a: VertexId, b: VertexId) -> bool {
+        match (self.component(a), self.component(b)) {
+            (Some(x), Some(y)) => x == y,
+            _ => false,
+        }
+    }
+
+    /// Number of connected components.
+    pub fn num_components(&self) -> usize {
+        let mut ids: Vec<VertexId> = self.labels.values().copied().collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.len()
+    }
+
+    /// All vertex → component-id labels.
+    pub fn labels(&self) -> &HashMap<VertexId, VertexId> {
+        &self.labels
+    }
+}
+
+/// Per-fragment partial result: the local component structure.
+#[derive(Debug, Clone)]
+pub struct CcPartial {
+    /// Local component index of each local vertex ("link to the root").
+    component_of: Vec<usize>,
+    /// Current `cid` of each local component (the root's variable).  Updating
+    /// this single cell relabels every member at once, which is what makes
+    /// IncEval's cost `O(|M_i| + |AFF|)` rather than `O(|F_i|)`.
+    component_cid: Vec<VertexId>,
+    /// Out-border members of each local component (the only vertices whose
+    /// new cid must be shipped when the component is relabelled).
+    border_members: Vec<Vec<u32>>,
+    /// Global id of each local vertex.
+    globals: Vec<VertexId>,
+}
+
+/// The CC PIE program.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Cc;
+
+impl PieProgram for Cc {
+    type Query = CcQuery;
+    type Partial = CcPartial;
+    type Key = VertexId;
+    type Value = VertexId;
+    type Output = CcResult;
+
+    fn name(&self) -> &str {
+        "cc"
+    }
+
+    fn scope(&self) -> BorderScope {
+        BorderScope::Out
+    }
+
+    fn peval(
+        &self,
+        _query: &CcQuery,
+        frag: &Fragment,
+        ctx: &mut Messages<VertexId, VertexId>,
+    ) -> CcPartial {
+        let k = frag.num_local();
+        // Local components over *all* local vertices (outer copies included —
+        // the cross edge that brought them in connects them locally).
+        let mut uf = UnionFind::new(k);
+        for l in frag.all_locals() {
+            for n in frag.out_edges(l) {
+                uf.union(l as usize, n.target as usize);
+            }
+        }
+        // Root numbering and minimum global id per component.
+        let mut root_index: HashMap<usize, usize> = HashMap::new();
+        let mut component_of = vec![0usize; k];
+        let mut component_cid: Vec<VertexId> = Vec::new();
+        let mut border_members: Vec<Vec<u32>> = Vec::new();
+        for l in 0..k {
+            let root = uf.find(l);
+            let idx = *root_index.entry(root).or_insert_with(|| {
+                component_cid.push(VertexId::MAX);
+                border_members.push(Vec::new());
+                component_cid.len() - 1
+            });
+            component_of[l] = idx;
+            let g = frag.global_of(l as u32);
+            component_cid[idx] = component_cid[idx].min(g);
+        }
+        // The inner border is included alongside F_i.O so that vertex-cut
+        // partitions (shared vertices) also propagate component ids; under
+        // edge-cut these extra values have no destination and cost nothing.
+        for &l in frag.out_border_locals().iter().chain(frag.in_border_locals()) {
+            border_members[component_of[l as usize]].push(l);
+        }
+        // Message segment: cid of every border vertex.
+        for &l in frag.out_border_locals().iter().chain(frag.in_border_locals()) {
+            ctx.send(frag.global_of(l), component_cid[component_of[l as usize]]);
+        }
+        CcPartial {
+            component_of,
+            component_cid,
+            border_members,
+            globals: frag.all_locals().map(|l| frag.global_of(l)).collect(),
+        }
+    }
+
+    fn inc_eval(
+        &self,
+        _query: &CcQuery,
+        frag: &Fragment,
+        partial: &mut CcPartial,
+        messages: &[(VertexId, VertexId)],
+        ctx: &mut Messages<VertexId, VertexId>,
+    ) {
+        // Apply the smaller cids to the roots of the affected components.
+        let mut changed_components: Vec<usize> = Vec::new();
+        for &(v, cid) in messages {
+            if let Some(l) = frag.local_of(v) {
+                let c = partial.component_of[l as usize];
+                if cid < partial.component_cid[c] {
+                    partial.component_cid[c] = cid;
+                    changed_components.push(c);
+                }
+            }
+        }
+        if changed_components.is_empty() {
+            return;
+        }
+        changed_components.sort_unstable();
+        changed_components.dedup();
+        // Relabel: the root's cid already covers every member; only the
+        // out-border members of the changed components must notify other
+        // fragments.
+        for &c in &changed_components {
+            let cid = partial.component_cid[c];
+            for &l in &partial.border_members[c] {
+                ctx.send(frag.global_of(l), cid);
+            }
+        }
+    }
+
+    fn assemble(&self, _query: &CcQuery, partials: Vec<CcPartial>) -> CcResult {
+        let mut labels: HashMap<VertexId, VertexId> = HashMap::new();
+        for partial in partials {
+            for (l, &v) in partial.globals.iter().enumerate() {
+                let cid = partial.component_cid[partial.component_of[l]];
+                labels
+                    .entry(v)
+                    .and_modify(|existing| *existing = (*existing).min(cid))
+                    .or_insert(cid);
+            }
+        }
+        CcResult { labels }
+    }
+
+    fn aggregate(&self, _key: &VertexId, a: VertexId, b: VertexId) -> VertexId {
+        a.min(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grape_core::config::EngineConfig;
+    use grape_core::engine::GrapeEngine;
+    use grape_graph::builder::GraphBuilder;
+    use grape_graph::generators::{erdos_renyi, power_law, road_grid};
+    use grape_graph::graph::Directedness;
+    use grape_partition::edge_cut::{HashEdgeCut, RangeEdgeCut};
+    use grape_partition::strategy::PartitionStrategy;
+
+    use crate::cc::sequential::connected_components;
+
+    fn run_cc(g: &grape_graph::graph::Graph, fragments: usize, workers: usize) -> CcResult {
+        let frag = HashEdgeCut::new(fragments).partition(g).unwrap();
+        GrapeEngine::new(EngineConfig::with_workers(workers))
+            .run(&frag, &Cc, &CcQuery)
+            .unwrap()
+            .output
+    }
+
+    fn assert_matches_sequential(g: &grape_graph::graph::Graph, result: &CcResult) {
+        let expected = connected_components(g);
+        for v in g.vertices() {
+            assert_eq!(
+                result.component(v),
+                Some(expected[v as usize]),
+                "vertex {v} labels diverge"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_sequential_on_undirected_random_graph() {
+        let g = erdos_renyi(300, 350, 0, Directedness::Undirected, 1);
+        let result = run_cc(&g, 4, 2);
+        assert_matches_sequential(&g, &result);
+    }
+
+    #[test]
+    fn matches_sequential_on_power_law() {
+        let g = power_law(400, 900, 0, 2).to_undirected();
+        let result = run_cc(&g, 6, 3);
+        assert_matches_sequential(&g, &result);
+    }
+
+    #[test]
+    fn grid_is_one_component() {
+        let g = road_grid(8, 8, 3);
+        let result = run_cc(&g, 4, 2);
+        assert_eq!(result.num_components(), 1);
+        assert!(result.same_component(0, 63));
+    }
+
+    #[test]
+    fn disconnected_pieces_stay_separate() {
+        let g = GraphBuilder::undirected()
+            .add_edge(0, 1)
+            .add_edge(1, 2)
+            .add_edge(10, 11)
+            .ensure_vertices(13)
+            .build();
+        let frag = RangeEdgeCut::new(3).partition(&g).unwrap();
+        let result = GrapeEngine::new(EngineConfig::with_workers(2))
+            .run(&frag, &Cc, &CcQuery)
+            .unwrap()
+            .output;
+        assert!(result.same_component(0, 2));
+        assert!(result.same_component(10, 11));
+        assert!(!result.same_component(0, 10));
+        assert_eq!(result.component(12), Some(12));
+        assert_matches_sequential(&g, &result);
+    }
+
+    #[test]
+    fn component_ids_are_minimum_member_ids() {
+        let g = GraphBuilder::undirected().add_edge(5, 9).add_edge(9, 3).build();
+        let result = run_cc(&g, 2, 1);
+        assert_eq!(result.component(5), Some(3));
+        assert_eq!(result.component(9), Some(3));
+    }
+
+    #[test]
+    fn fragment_count_does_not_change_components() {
+        let g = erdos_renyi(200, 250, 0, Directedness::Undirected, 9);
+        let a = run_cc(&g, 1, 1);
+        let b = run_cc(&g, 8, 4);
+        assert_eq!(a.num_components(), b.num_components());
+        for v in g.vertices() {
+            assert_eq!(a.component(v), b.component(v));
+        }
+    }
+}

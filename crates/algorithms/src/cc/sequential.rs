@@ -1,0 +1,141 @@
+//! Sequential connected components over an entire graph (union-find), the
+//! `O(|G|)` algorithm the paper plugs in as PEval.
+
+use grape_graph::graph::Graph;
+use grape_graph::types::VertexId;
+
+/// A small union-find (disjoint set) structure with path compression and
+/// union by size.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind { parent: (0..n).collect(), size: vec![1; n] }
+    }
+
+    /// Finds the representative of `x` with path compression.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Unions the sets of `a` and `b`; returns `true` if they were disjoint.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra] >= self.size[rb] { (ra, rb) } else { (rb, ra) };
+        self.parent[small] = big;
+        self.size[big] += self.size[small];
+        true
+    }
+}
+
+/// Computes connected components treating edges as undirected.  Returns, for
+/// every vertex, the smallest vertex id in its component — the same component
+/// naming convention the PIE program converges to, which makes the two
+/// directly comparable in tests.
+pub fn connected_components(graph: &Graph) -> Vec<VertexId> {
+    let n = graph.num_vertices();
+    let mut uf = UnionFind::new(n);
+    for e in graph.edges() {
+        uf.union(e.src as usize, e.dst as usize);
+    }
+    // Smallest member id per component root.
+    let mut min_of_root = vec![VertexId::MAX; n];
+    for v in 0..n {
+        let r = uf.find(v);
+        min_of_root[r] = min_of_root[r].min(v as VertexId);
+    }
+    (0..n).map(|v| min_of_root[uf.find(v)]).collect()
+}
+
+/// Number of connected components of a graph.
+pub fn num_components(graph: &Graph) -> usize {
+    let labels = connected_components(graph);
+    let mut distinct: Vec<VertexId> = labels.clone();
+    distinct.sort_unstable();
+    distinct.dedup();
+    if graph.num_vertices() == 0 {
+        0
+    } else {
+        distinct.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grape_graph::builder::GraphBuilder;
+    use grape_graph::generators::{erdos_renyi, road_grid};
+    use grape_graph::graph::Directedness;
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new(4);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(1, 0));
+        assert!(uf.union(2, 3));
+        assert_eq!(uf.find(0), uf.find(1));
+        assert_ne!(uf.find(0), uf.find(2));
+        assert!(uf.union(0, 3));
+        assert_eq!(uf.find(1), uf.find(2));
+    }
+
+    #[test]
+    fn two_components_get_their_minimum_ids() {
+        let g = GraphBuilder::undirected()
+            .add_edge(0, 1)
+            .add_edge(1, 2)
+            .add_edge(3, 4)
+            .build();
+        let labels = connected_components(&g);
+        assert_eq!(labels, vec![0, 0, 0, 3, 3]);
+        assert_eq!(num_components(&g), 2);
+    }
+
+    #[test]
+    fn isolated_vertices_are_their_own_component() {
+        let g = GraphBuilder::undirected().add_edge(0, 1).ensure_vertices(4).build();
+        assert_eq!(num_components(&g), 3);
+    }
+
+    #[test]
+    fn grid_is_a_single_component() {
+        let g = road_grid(8, 8, 1);
+        assert_eq!(num_components(&g), 1);
+    }
+
+    #[test]
+    fn directed_edges_are_treated_as_undirected() {
+        let g = GraphBuilder::directed().add_edge(0, 1).add_edge(2, 1).build();
+        assert_eq!(num_components(&g), 1);
+    }
+
+    #[test]
+    fn sparse_random_graph_has_many_components() {
+        let g = erdos_renyi(500, 100, 0, Directedness::Undirected, 1);
+        assert!(num_components(&g) > 300);
+    }
+
+    #[test]
+    fn empty_graph_has_zero_components() {
+        let g = GraphBuilder::undirected().build();
+        assert_eq!(num_components(&g), 0);
+    }
+}

@@ -1,0 +1,16 @@
+//! Collaborative Filtering (CF) via matrix factorization, Section 5.3.
+//!
+//! * [`sequential`] — stochastic gradient descent (SGD) over a bipartite
+//!   rating graph, the algorithm of Koren et al. the paper plugs in as PEval,
+//!   plus the incremental ISGD step used by IncEval.
+//! * [`pie`] — the PIE program: each fragment trains on its local ratings,
+//!   factor vectors of shared (border) vertices are exchanged with a
+//!   timestamp-based "latest wins" `aggregateMsg`, and training stops after a
+//!   fixed number of epochs (the paper's convergence criterion is likewise a
+//!   bounded number of supersteps or an error threshold).
+
+pub mod pie;
+pub mod sequential;
+
+pub use pie::{Cf, CfQuery, CfResult};
+pub use sequential::{sgd_train, CfConfig, CfModel};

@@ -1,0 +1,278 @@
+//! The CF PIE program (Section 5.3).
+//!
+//! Message preamble: a status variable `v.x = (v.f, t)` per vertex — the
+//! factor vector plus the timestamp of its last update; candidate set
+//! `C_i = F_i.O` (and, symmetrically, updated master copies are pushed back
+//! to the replicas, hence [`BorderScope::Both`]); `aggregateMsg = max` on the
+//! timestamp (latest update wins).
+//!
+//! * PEval — the sequential SGD of Koren et al. over the fragment's local
+//!   ratings (a "mini-batch" in the paper's wording).
+//! * IncEval — ISGD: apply the received factor vectors, then run another
+//!   local epoch touching only the affected vectors, until the configured
+//!   number of epochs is exhausted.
+//! * Assemble — union of the factor vectors (master copies win).
+
+use std::collections::HashMap;
+
+use grape_core::pie::{Messages, PieProgram};
+use grape_graph::types::VertexId;
+use grape_partition::fragment::Fragment;
+use grape_partition::fragmentation_graph::BorderScope;
+
+use crate::cf::sequential::{initial_factors, sgd_step, CfModel};
+
+/// A collaborative-filtering query: the training hyper-parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CfQuery {
+    /// Latent factor dimensionality.
+    pub num_factors: usize,
+    /// SGD learning rate.
+    pub learning_rate: f64,
+    /// L2 regularization.
+    pub regularization: f64,
+    /// Number of local epochs (supersteps) each fragment performs — the
+    /// convergence criterion, as in the paper, is a predetermined number of
+    /// rounds.
+    pub epochs: usize,
+}
+
+impl Default for CfQuery {
+    fn default() -> Self {
+        CfQuery { num_factors: 8, learning_rate: 0.05, regularization: 0.05, epochs: 8 }
+    }
+}
+
+/// The assembled answer: a trained [`CfModel`].
+pub type CfResult = CfModel;
+
+/// The value of the `v.x = (v.f, t)` status variable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FactorUpdate {
+    /// The factor vector `v.f`.
+    pub factors: Vec<f64>,
+    /// The epoch (timestamp) at which it was last updated.
+    pub timestamp: u64,
+}
+
+/// Per-fragment partial result: the local factor vectors and the epoch count.
+#[derive(Debug, Clone)]
+pub struct CfPartial {
+    factors: Vec<Vec<f64>>,
+    timestamps: Vec<u64>,
+    epoch: u64,
+    globals: Vec<VertexId>,
+    num_inner: usize,
+}
+
+/// The CF PIE program.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Cf;
+
+impl Cf {
+    /// One local SGD epoch over the fragment's edges.
+    fn local_epoch(frag: &Fragment, query: &CfQuery, partial: &mut CfPartial) {
+        for l in frag.inner_locals() {
+            for n in frag.out_edges(l) {
+                let t = n.target as usize;
+                let rating = n.weight;
+                // Split borrow: clone the smaller (user) vector, mutate in place.
+                let mut user = partial.factors[l as usize].clone();
+                let item = &mut partial.factors[t];
+                sgd_step(&mut user, item, rating, query.learning_rate, query.regularization);
+                partial.factors[l as usize] = user;
+                partial.timestamps[l as usize] = partial.epoch;
+                partial.timestamps[t] = partial.epoch;
+            }
+        }
+    }
+
+    /// Emits the factor vectors of all border vertices.
+    fn send_border(frag: &Fragment, partial: &CfPartial, ctx: &mut Messages<VertexId, FactorUpdate>) {
+        let mut border: Vec<u32> = frag.out_border_locals().to_vec();
+        border.extend_from_slice(frag.in_border_locals());
+        border.sort_unstable();
+        border.dedup();
+        for l in border {
+            ctx.send(
+                frag.global_of(l),
+                FactorUpdate {
+                    factors: partial.factors[l as usize].clone(),
+                    timestamp: partial.timestamps[l as usize],
+                },
+            );
+        }
+    }
+}
+
+impl PieProgram for Cf {
+    type Query = CfQuery;
+    type Partial = CfPartial;
+    type Key = VertexId;
+    type Value = FactorUpdate;
+    type Output = CfResult;
+
+    fn name(&self) -> &str {
+        "cf"
+    }
+
+    fn scope(&self) -> BorderScope {
+        BorderScope::Both
+    }
+
+    fn peval(
+        &self,
+        query: &CfQuery,
+        frag: &Fragment,
+        ctx: &mut Messages<VertexId, FactorUpdate>,
+    ) -> CfPartial {
+        let k = frag.num_local();
+        let mut partial = CfPartial {
+            factors: (0..k)
+                .map(|l| initial_factors(frag.global_of(l as u32), query.num_factors))
+                .collect(),
+            timestamps: vec![0; k],
+            epoch: 1,
+            globals: frag.all_locals().map(|l| frag.global_of(l)).collect(),
+            num_inner: frag.num_inner(),
+        };
+        Self::local_epoch(frag, query, &mut partial);
+        if query.epochs > 1 {
+            Self::send_border(frag, &partial, ctx);
+        }
+        partial
+    }
+
+    fn inc_eval(
+        &self,
+        query: &CfQuery,
+        frag: &Fragment,
+        partial: &mut CfPartial,
+        messages: &[(VertexId, FactorUpdate)],
+        ctx: &mut Messages<VertexId, FactorUpdate>,
+    ) {
+        // ISGD: adopt the freshest factor vectors for shared vertices.
+        for (v, update) in messages {
+            if let Some(l) = frag.local_of(*v) {
+                if update.timestamp >= partial.timestamps[l as usize] {
+                    partial.factors[l as usize] = update.factors.clone();
+                    partial.timestamps[l as usize] = update.timestamp;
+                }
+            }
+        }
+        if partial.epoch as usize >= query.epochs {
+            return; // converged (epoch budget exhausted): no further messages
+        }
+        partial.epoch += 1;
+        Self::local_epoch(frag, query, partial);
+        Self::send_border(frag, partial, ctx);
+    }
+
+    fn assemble(&self, _query: &CfQuery, partials: Vec<CfPartial>) -> CfResult {
+        let mut factors: HashMap<VertexId, Vec<f64>> = HashMap::new();
+        let mut stamps: HashMap<VertexId, u64> = HashMap::new();
+        for partial in partials {
+            for (idx, &v) in partial.globals.iter().enumerate() {
+                let is_master = idx < partial.num_inner;
+                let stamp = partial.timestamps[idx] * 2 + u64::from(is_master);
+                if stamps.get(&v).is_none_or(|&s| stamp > s) {
+                    stamps.insert(v, stamp);
+                    factors.insert(v, partial.factors[idx].clone());
+                }
+            }
+        }
+        CfModel::new(factors)
+    }
+
+    fn aggregate(&self, _key: &VertexId, a: FactorUpdate, b: FactorUpdate) -> FactorUpdate {
+        // Latest timestamp wins; equal timestamps are averaged (deterministic
+        // and commutative, which keeps the run reproducible).
+        match a.timestamp.cmp(&b.timestamp) {
+            std::cmp::Ordering::Greater => a,
+            std::cmp::Ordering::Less => b,
+            std::cmp::Ordering::Equal => FactorUpdate {
+                factors: a
+                    .factors
+                    .iter()
+                    .zip(&b.factors)
+                    .map(|(x, y)| (x + y) / 2.0)
+                    .collect(),
+                timestamp: a.timestamp,
+            },
+        }
+    }
+
+    fn value_size(&self, value: &FactorUpdate) -> usize {
+        value.factors.len() * std::mem::size_of::<f64>() + std::mem::size_of::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grape_core::config::EngineConfig;
+    use grape_core::engine::GrapeEngine;
+    use grape_graph::generators::bipartite_ratings;
+    use grape_partition::edge_cut::HashEdgeCut;
+    use grape_partition::strategy::PartitionStrategy;
+
+    use crate::cf::sequential::{sgd_train, CfConfig};
+
+    fn train_distributed(fragments: usize, epochs: usize, seed: u64) -> (CfModel, grape_core::metrics::EngineMetrics, grape_graph::graph::Graph) {
+        let data = bipartite_ratings(60, 30, 800, 4, seed);
+        let frag = HashEdgeCut::new(fragments).partition(&data.graph).unwrap();
+        let query = CfQuery { epochs, num_factors: 4, ..Default::default() };
+        let result = GrapeEngine::new(EngineConfig::with_workers(4))
+            .run(&frag, &Cf, &query)
+            .unwrap();
+        (result.output, result.metrics, data.graph)
+    }
+
+    #[test]
+    fn distributed_training_reduces_rmse_close_to_sequential() {
+        let (model, _, graph) = train_distributed(4, 10, 1);
+        let sequential = sgd_train(
+            &graph,
+            &CfConfig { epochs: 10, num_factors: 4, ..Default::default() },
+        );
+        let dist_rmse = model.rmse(&graph);
+        let seq_rmse = sequential.rmse(&graph);
+        assert!(dist_rmse < 1.0, "distributed rmse too high: {dist_rmse}");
+        assert!(
+            dist_rmse < seq_rmse * 2.0 + 0.2,
+            "distributed rmse {dist_rmse} far from sequential {seq_rmse}"
+        );
+    }
+
+    #[test]
+    fn every_rated_vertex_gets_factors() {
+        let (model, _, graph) = train_distributed(3, 4, 2);
+        for e in graph.edges() {
+            assert!(model.factors_of(e.src).is_some());
+            assert!(model.factors_of(e.dst).is_some());
+        }
+    }
+
+    #[test]
+    fn supersteps_match_epoch_budget() {
+        let (_, metrics, _) = train_distributed(4, 5, 3);
+        // PEval + (epochs - 1) IncEval rounds + the final quiescent exchange.
+        assert!(metrics.supersteps >= 5 && metrics.supersteps <= 7, "{}", metrics.supersteps);
+    }
+
+    #[test]
+    fn single_epoch_terminates_after_peval() {
+        let (_, metrics, _) = train_distributed(4, 1, 4);
+        assert_eq!(metrics.supersteps, 1);
+        assert_eq!(metrics.total_messages, 0);
+    }
+
+    #[test]
+    fn more_epochs_do_not_increase_rmse() {
+        let (short_model, _, graph) = train_distributed(4, 2, 5);
+        let (long_model, _, graph2) = train_distributed(4, 12, 5);
+        // Same seed → same graph; guard against generator drift.
+        assert_eq!(graph.num_edges(), graph2.num_edges());
+        assert!(long_model.rmse(&graph) <= short_model.rmse(&graph) + 0.05);
+    }
+}

@@ -1,0 +1,34 @@
+//! # grape-algorithms
+//!
+//! The PIE programs of Section 5 of the GRAPE paper, together with the
+//! sequential (batch and incremental) algorithms they plug in:
+//!
+//! | query class | sequential algorithm (PEval) | incremental algorithm (IncEval) |
+//! |---|---|---|
+//! | [`sssp`] — single-source shortest paths | Dijkstra | Ramalingam–Reps bounded incremental |
+//! | [`cc`] — connected components | DFS / union-find | root-linked component relabeling |
+//! | [`sim`] — graph simulation | Henzinger–Henzinger–Kopke | incremental response to cross-edge deletions |
+//! | [`subiso`] — subgraph isomorphism | VF2 | none needed (`d_Q`-neighborhood locality) |
+//! | [`cf`] — collaborative filtering | SGD (Koren et al.) | ISGD |
+//!
+//! Each module exposes the sequential algorithms as free functions (reused by
+//! the vertex-centric and block-centric baselines and by the tests as
+//! correctness oracles) and the PIE program as a type implementing
+//! [`grape_core::pie::PieProgram`].
+//!
+//! The extras used in the paper's evaluation are here too: the
+//! index-optimized simulation ([`sim::Sim::with_index`], Exp-3) and the
+//! non-incremental variant ([`sim::SimNi`], Exp-2).
+
+pub mod cc;
+pub mod cf;
+pub mod sim;
+pub mod sssp;
+pub mod subiso;
+pub mod util;
+
+pub use cc::{Cc, CcQuery, CcResult};
+pub use cf::{Cf, CfQuery, CfResult};
+pub use sim::{Sim, SimNi, SimQuery, SimResult};
+pub use sssp::{Sssp, SsspQuery, SsspResult};
+pub use subiso::{SubIso, SubIsoQuery, SubIsoResult};

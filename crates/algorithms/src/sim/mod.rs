@@ -1,0 +1,19 @@
+//! Graph pattern matching via graph simulation (Sim), Section 5.1.
+//!
+//! * [`sequential`] — the Henzinger–Henzinger–Kopke style cubic algorithm
+//!   over a whole graph, plus an index-optimized variant that prunes
+//!   candidates by neighbourhood labels (the optimization of Exp-3).
+//! * [`pie`] — the PIE program: PEval computes the local simulation relation
+//!   treating outer copies optimistically, IncEval reacts to `x_(u,v) = false`
+//!   messages exactly like the incremental algorithm of [21] reacts to
+//!   cross-edge deletions, Assemble unions the per-fragment matches.
+//! * [`ni`] — the non-incremental variant `GRAPE_NI` used by Exp-2, which
+//!   recomputes the local relation from scratch in every superstep.
+
+pub mod ni;
+pub mod pie;
+pub mod sequential;
+
+pub use ni::SimNi;
+pub use pie::{Sim, SimQuery, SimResult};
+pub use sequential::{graph_simulation, graph_simulation_optimized};

@@ -1,0 +1,417 @@
+//! The graph-simulation PIE program (Section 5.1).
+//!
+//! Message preamble: a Boolean status variable `x_(u, v)` for every query
+//! node `u` and border vertex `v`, initially `true`; candidate set
+//! `C_i = F_i.I`; `aggregateMsg = min` with the order `false ≺ true` (so a
+//! variable flips to `false` at most once — the monotonic condition).
+//!
+//! * PEval — the sequential simulation algorithm run on the fragment, with
+//!   outer copies treated optimistically (they simulate any query node whose
+//!   label they carry, since their outgoing edges live elsewhere).
+//! * IncEval — the incremental algorithm in response to "cross-edge
+//!   deletions": a received `x_(u, v) = false` for an outer copy `v` triggers
+//!   the counter-based removal propagation, touching only the affected area.
+//! * Assemble — union of the per-fragment matches of inner vertices; if some
+//!   query node ends up with no match anywhere, `Q(G) = ∅`.
+
+use std::collections::{HashMap, HashSet};
+
+use grape_core::pie::{Messages, PieProgram};
+use grape_graph::pattern::Pattern;
+use grape_graph::types::VertexId;
+use grape_partition::fragment::Fragment;
+use grape_partition::fragmentation_graph::BorderScope;
+
+/// A graph-simulation query: the pattern to match.
+#[derive(Debug, Clone)]
+pub struct SimQuery {
+    /// The pattern `Q = (V_Q, E_Q, L_Q)`.
+    pub pattern: Pattern,
+}
+
+impl SimQuery {
+    /// Creates a query for `pattern`.
+    pub fn new(pattern: Pattern) -> Self {
+        SimQuery { pattern }
+    }
+}
+
+/// The assembled simulation relation.
+#[derive(Debug, Clone, Default)]
+pub struct SimResult {
+    matches: Vec<Vec<VertexId>>,
+}
+
+impl SimResult {
+    /// Matches of query node `u`, sorted by vertex id.
+    pub fn matches(&self, u: u32) -> &[VertexId] {
+        &self.matches[u as usize]
+    }
+
+    /// Whether the graph matches the pattern (every query node has a match).
+    pub fn is_match(&self) -> bool {
+        !self.matches.is_empty() && self.matches.iter().all(|m| !m.is_empty())
+    }
+
+    /// Total number of `(query node, vertex)` pairs in the relation.
+    pub fn total_pairs(&self) -> usize {
+        self.matches.iter().map(Vec::len).sum()
+    }
+
+    /// The whole relation.
+    pub fn relation(&self) -> &[Vec<VertexId>] {
+        &self.matches
+    }
+}
+
+/// Per-fragment partial result: the local simulation state.
+#[derive(Debug, Clone)]
+pub struct SimPartial {
+    /// `sim[u][l]`: does local vertex `l` currently simulate query node `u`?
+    pub(crate) sim: Vec<Vec<bool>>,
+    /// `cnt[u][l]`: number of local out-neighbours of `l` simulating `u`.
+    pub(crate) cnt: Vec<Vec<u32>>,
+    /// Global id of each local vertex.
+    pub(crate) globals: Vec<VertexId>,
+    /// Number of inner vertices.
+    pub(crate) num_inner: usize,
+}
+
+/// The graph-simulation PIE program.  [`Sim::new`] plugs in the plain
+/// sequential algorithm; [`Sim::with_index`] plugs in the index-optimized one
+/// (Exp-3 measures that the optimization's speedup survives parallelization).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Sim {
+    use_index: bool,
+}
+
+impl Sim {
+    /// Plain simulation (candidates filtered by label only).
+    pub fn new() -> Self {
+        Sim { use_index: false }
+    }
+
+    /// Index-optimized simulation (candidates additionally filtered by the
+    /// labels of their out-neighbours).
+    pub fn with_index() -> Self {
+        Sim { use_index: true }
+    }
+}
+
+/// Initializes the candidate sets over all local vertices.  Public because
+/// the block-centric baseline reuses the same local refinement machinery.
+pub fn init_sim(frag: &Fragment, pattern: &Pattern, use_index: bool) -> Vec<Vec<bool>> {
+    let k = frag.num_local();
+    let q = pattern.num_nodes();
+    // Optional one-hop label index for inner vertices.
+    let out_labels: Option<Vec<Vec<u32>>> = if use_index {
+        Some(
+            (0..k as u32)
+                .map(|l| {
+                    let mut labels: Vec<u32> =
+                        frag.out_edges(l).iter().map(|n| frag.label(n.target as u32)).collect();
+                    labels.sort_unstable();
+                    labels.dedup();
+                    labels
+                })
+                .collect(),
+        )
+    } else {
+        None
+    };
+    (0..q)
+        .map(|u| {
+            (0..k as u32)
+                .map(|l| {
+                    if frag.label(l) != pattern.label(u as u32) {
+                        return false;
+                    }
+                    if frag.is_inner(l) {
+                        if let Some(index) = &out_labels {
+                            return pattern
+                                .children(u as u32)
+                                .iter()
+                                .all(|&c| index[l as usize].binary_search(&pattern.label(c)).is_ok());
+                        }
+                    }
+                    true
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Computes the witness counters from a candidate matrix.
+pub fn compute_cnt(frag: &Fragment, pattern: &Pattern, sim: &[Vec<bool>]) -> Vec<Vec<u32>> {
+    let k = frag.num_local();
+    (0..pattern.num_nodes())
+        .map(|u| {
+            (0..k as u32)
+                .map(|l| {
+                    frag.out_edges(l).iter().filter(|n| sim[u][n.target as usize]).count() as u32
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Seeds the worklist with the inner vertices violating some query edge.
+pub fn initial_violations(
+    frag: &Fragment,
+    pattern: &Pattern,
+    sim: &mut [Vec<bool>],
+    cnt: &[Vec<u32>],
+) -> Vec<(u32, u32)> {
+    let mut worklist = Vec::new();
+    for u in 0..pattern.num_nodes() as u32 {
+        for l in frag.inner_locals() {
+            if sim[u as usize][l as usize]
+                && pattern.children(u).iter().any(|&c| cnt[c as usize][l as usize] == 0)
+            {
+                sim[u as usize][l as usize] = false;
+                worklist.push((u, l));
+            }
+        }
+    }
+    worklist
+}
+
+/// Propagates removals until the local fixpoint.  Returns the removed pairs
+/// whose vertex lies on the inner border `F_i.I` (these are the update
+/// parameters that must be shipped).
+pub fn propagate(
+    frag: &Fragment,
+    pattern: &Pattern,
+    sim: &mut [Vec<bool>],
+    cnt: &mut [Vec<u32>],
+    mut worklist: Vec<(u32, u32)>,
+    in_border: &HashSet<u32>,
+) -> Vec<(u32, u32)> {
+    let mut removed_on_border: Vec<(u32, u32)> = worklist
+        .iter()
+        .filter(|(_, l)| in_border.contains(l))
+        .copied()
+        .collect();
+    while let Some((u, l)) = worklist.pop() {
+        for p in frag.in_edges(l) {
+            let pl = p.target as u32;
+            if cnt[u as usize][pl as usize] > 0 {
+                cnt[u as usize][pl as usize] -= 1;
+                if cnt[u as usize][pl as usize] == 0 && frag.is_inner(pl) {
+                    for &w in pattern.parents(u) {
+                        if sim[w as usize][pl as usize] {
+                            sim[w as usize][pl as usize] = false;
+                            if in_border.contains(&pl) {
+                                removed_on_border.push((w, pl));
+                            }
+                            worklist.push((w, pl));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    removed_on_border
+}
+
+impl PieProgram for Sim {
+    type Query = SimQuery;
+    type Partial = SimPartial;
+    type Key = (u32, VertexId);
+    type Value = bool;
+    type Output = SimResult;
+
+    fn name(&self) -> &str {
+        if self.use_index {
+            "sim-optimized"
+        } else {
+            "sim"
+        }
+    }
+
+    fn scope(&self) -> BorderScope {
+        BorderScope::In
+    }
+
+    fn peval(
+        &self,
+        query: &SimQuery,
+        frag: &Fragment,
+        ctx: &mut Messages<(u32, VertexId), bool>,
+    ) -> SimPartial {
+        let pattern = &query.pattern;
+        let mut sim = init_sim(frag, pattern, self.use_index);
+        let mut cnt = compute_cnt(frag, pattern, &sim);
+        let in_border: HashSet<u32> = frag.in_border_locals().iter().copied().collect();
+        let worklist = initial_violations(frag, pattern, &mut sim, &cnt);
+        propagate(frag, pattern, &mut sim, &mut cnt, worklist, &in_border);
+
+        // Message segment: x_(u, v) for v ∈ F_i.I that are false even though
+        // the label matches (the receiver's optimistic assumption is wrong).
+        for &l in frag.in_border_locals() {
+            for u in 0..pattern.num_nodes() as u32 {
+                if frag.label(l) == pattern.label(u) && !sim[u as usize][l as usize] {
+                    ctx.send((u, frag.global_of(l)), false);
+                }
+            }
+        }
+        SimPartial {
+            sim,
+            cnt,
+            globals: frag.all_locals().map(|l| frag.global_of(l)).collect(),
+            num_inner: frag.num_inner(),
+        }
+    }
+
+    fn inc_eval(
+        &self,
+        query: &SimQuery,
+        frag: &Fragment,
+        partial: &mut SimPartial,
+        messages: &[((u32, VertexId), bool)],
+        ctx: &mut Messages<(u32, VertexId), bool>,
+    ) {
+        let pattern = &query.pattern;
+        let in_border: HashSet<u32> = frag.in_border_locals().iter().copied().collect();
+        // Apply the received falsifications to our outer copies (equivalent to
+        // deleting the cross edges that relied on them).
+        let mut worklist = Vec::new();
+        for ((u, v), value) in messages {
+            if *value {
+                continue; // only false updates carry information
+            }
+            if let Some(l) = frag.local_of(*v) {
+                if partial.sim[*u as usize][l as usize] {
+                    partial.sim[*u as usize][l as usize] = false;
+                    worklist.push((*u, l));
+                }
+            }
+        }
+        if worklist.is_empty() {
+            return;
+        }
+        let newly_false = propagate(
+            frag,
+            pattern,
+            &mut partial.sim,
+            &mut partial.cnt,
+            worklist,
+            &in_border,
+        );
+        for (u, l) in newly_false {
+            ctx.send((u, frag.global_of(l)), false);
+        }
+    }
+
+    fn assemble(&self, query: &SimQuery, partials: Vec<SimPartial>) -> SimResult {
+        let q = query.pattern.num_nodes();
+        let mut matches: Vec<Vec<VertexId>> = vec![Vec::new(); q];
+        let mut seen: Vec<HashMap<VertexId, bool>> = vec![HashMap::new(); q];
+        for partial in partials {
+            for u in 0..q {
+                for l in 0..partial.num_inner {
+                    if partial.sim[u][l] {
+                        seen[u].entry(partial.globals[l]).or_insert(true);
+                    }
+                }
+            }
+        }
+        for (u, map) in seen.into_iter().enumerate() {
+            let mut vs: Vec<VertexId> = map.into_keys().collect();
+            vs.sort_unstable();
+            matches[u] = vs;
+        }
+        if matches.iter().any(|m| m.is_empty()) {
+            matches = vec![Vec::new(); q];
+        }
+        SimResult { matches }
+    }
+
+    fn aggregate(&self, _key: &(u32, VertexId), a: bool, b: bool) -> bool {
+        // false ≺ true: once any worker falsifies a variable, it stays false.
+        a && b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grape_core::config::EngineConfig;
+    use grape_core::engine::GrapeEngine;
+    use grape_graph::generators::labeled_kg;
+    use grape_graph::graph::Graph;
+    use grape_partition::edge_cut::HashEdgeCut;
+    use grape_partition::metis_like::MetisLike;
+    use grape_partition::strategy::PartitionStrategy;
+
+    use crate::sim::sequential::graph_simulation;
+
+    fn run_sim(g: &Graph, pattern: &Pattern, fragments: usize, program: Sim) -> SimResult {
+        let frag = HashEdgeCut::new(fragments).partition(g).unwrap();
+        GrapeEngine::new(EngineConfig::with_workers(4))
+            .run(&frag, &program, &SimQuery::new(pattern.clone()))
+            .unwrap()
+            .output
+    }
+
+    fn assert_matches_sequential(g: &Graph, pattern: &Pattern, result: &SimResult) {
+        let expected = graph_simulation(g, pattern);
+        for u in 0..pattern.num_nodes() {
+            assert_eq!(result.matches(u as u32), expected[u].as_slice(), "query node {u}");
+        }
+    }
+
+    #[test]
+    fn matches_sequential_on_labeled_graphs() {
+        for seed in 0..3u64 {
+            let g = labeled_kg(250, 1000, 5, 3, seed);
+            let alphabet: Vec<u32> = (1..=5).collect();
+            let pattern = Pattern::random(4, 6, &alphabet, seed + 10);
+            let result = run_sim(&g, &pattern, 4, Sim::new());
+            assert_matches_sequential(&g, &pattern, &result);
+        }
+    }
+
+    #[test]
+    fn optimized_variant_gives_identical_relation() {
+        let g = labeled_kg(300, 1200, 6, 3, 7);
+        let alphabet: Vec<u32> = (1..=6).collect();
+        let pattern = Pattern::random(5, 8, &alphabet, 99);
+        let basic = run_sim(&g, &pattern, 4, Sim::new());
+        let optimized = run_sim(&g, &pattern, 4, Sim::with_index());
+        assert_eq!(basic.relation(), optimized.relation());
+    }
+
+    #[test]
+    fn fragment_count_does_not_change_the_relation() {
+        let g = labeled_kg(200, 800, 4, 2, 3);
+        let alphabet: Vec<u32> = (1..=4).collect();
+        let pattern = Pattern::random(3, 4, &alphabet, 55);
+        let one = run_sim(&g, &pattern, 1, Sim::new());
+        let many = run_sim(&g, &pattern, 8, Sim::new());
+        assert_eq!(one.relation(), many.relation());
+    }
+
+    #[test]
+    fn metis_partition_also_matches_sequential() {
+        let g = labeled_kg(200, 900, 5, 3, 11);
+        let alphabet: Vec<u32> = (1..=5).collect();
+        let pattern = Pattern::random(4, 6, &alphabet, 4);
+        let frag = MetisLike::new(4).partition(&g).unwrap();
+        let result = GrapeEngine::new(EngineConfig::with_workers(2))
+            .run(&frag, &Sim::new(), &SimQuery::new(pattern.clone()))
+            .unwrap()
+            .output;
+        assert_matches_sequential(&g, &pattern, &result);
+    }
+
+    #[test]
+    fn unmatched_pattern_yields_empty_relation_everywhere() {
+        let g = labeled_kg(100, 400, 3, 2, 5);
+        // Label 50 does not exist in the graph.
+        let pattern = Pattern::new(vec![50, 1], vec![(0, 1)]);
+        let result = run_sim(&g, &pattern, 4, Sim::new());
+        assert!(!result.is_match());
+        assert_eq!(result.total_pairs(), 0);
+    }
+}

@@ -1,0 +1,213 @@
+//! Sequential graph simulation over a whole graph.
+//!
+//! The algorithm is the counter-based refinement of Henzinger, Henzinger &
+//! Kopke: start from the label-compatible candidate sets and repeatedly
+//! remove `(u, v)` pairs for which some query edge `(u, u')` has no witness
+//! `(v, v')`, maintaining for every `(u', v)` the number of out-neighbours of
+//! `v` still simulating `u'` so each removal is processed in time
+//! proportional to the in-degree of the removed vertex.
+
+use grape_graph::graph::Graph;
+use grape_graph::pattern::Pattern;
+use grape_graph::types::VertexId;
+
+/// The simulation relation: for every query node `u`, the set of graph
+/// vertices that simulate it.  If the graph does not match the pattern
+/// (some query node has no match), every set is empty — the paper's
+/// `Q(G) = ∅` convention.
+pub type SimRelation = Vec<Vec<VertexId>>;
+
+/// Computes graph simulation of `pattern` in `graph`.
+pub fn graph_simulation(graph: &Graph, pattern: &Pattern) -> SimRelation {
+    simulation_impl(graph, pattern, false)
+}
+
+/// Index-optimized graph simulation: candidate sets are additionally pruned
+/// by requiring that a vertex's out-neighbour labels cover the labels of the
+/// query node's children (a neighbourhood index in the spirit of [19]).
+/// Produces the same relation as [`graph_simulation`], usually faster.
+pub fn graph_simulation_optimized(graph: &Graph, pattern: &Pattern) -> SimRelation {
+    simulation_impl(graph, pattern, true)
+}
+
+fn simulation_impl(graph: &Graph, pattern: &Pattern, use_index: bool) -> SimRelation {
+    let n = graph.num_vertices();
+    let q = pattern.num_nodes();
+    if q == 0 {
+        return Vec::new();
+    }
+
+    // Optional neighbourhood index: the set of labels reachable over one hop.
+    let out_label_index: Option<Vec<Vec<u32>>> = if use_index {
+        Some(
+            (0..n as VertexId)
+                .map(|v| {
+                    let mut labels: Vec<u32> =
+                        graph.out_neighbors(v).iter().map(|x| graph.vertex_label(x.target)).collect();
+                    labels.sort_unstable();
+                    labels.dedup();
+                    labels
+                })
+                .collect(),
+        )
+    } else {
+        None
+    };
+
+    // sim[u][v]: does v currently simulate u?
+    let mut sim: Vec<Vec<bool>> = (0..q)
+        .map(|u| {
+            (0..n as VertexId)
+                .map(|v| {
+                    if graph.vertex_label(v) != pattern.label(u as u32) {
+                        return false;
+                    }
+                    match &out_label_index {
+                        Some(index) => pattern
+                            .children(u as u32)
+                            .iter()
+                            .all(|&c| index[v as usize].binary_search(&pattern.label(c)).is_ok()),
+                        None => true,
+                    }
+                })
+                .collect()
+        })
+        .collect();
+
+    // cnt[u][v]: number of out-neighbours of v simulating u.
+    let mut cnt: Vec<Vec<u32>> = (0..q)
+        .map(|u| {
+            (0..n as VertexId)
+                .map(|v| {
+                    graph.out_neighbors(v).iter().filter(|x| sim[u][x.target as usize]).count() as u32
+                })
+                .collect()
+        })
+        .collect();
+
+    // Initial violations.
+    let mut worklist: Vec<(u32, VertexId)> = Vec::new();
+    for u in 0..q as u32 {
+        for v in 0..n as VertexId {
+            if sim[u as usize][v as usize]
+                && pattern.children(u).iter().any(|&c| cnt[c as usize][v as usize] == 0)
+            {
+                sim[u as usize][v as usize] = false;
+                worklist.push((u, v));
+            }
+        }
+    }
+
+    // Propagate removals.
+    while let Some((u, v)) = worklist.pop() {
+        for p in graph.in_neighbors(v) {
+            let pv = p.target;
+            if cnt[u as usize][pv as usize] > 0 {
+                cnt[u as usize][pv as usize] -= 1;
+                if cnt[u as usize][pv as usize] == 0 {
+                    for &w in pattern.parents(u) {
+                        if sim[w as usize][pv as usize] {
+                            sim[w as usize][pv as usize] = false;
+                            worklist.push((w, pv));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let relation: SimRelation = (0..q)
+        .map(|u| (0..n as VertexId).filter(|&v| sim[u][v as usize]).collect())
+        .collect();
+    if relation.iter().any(|matches| matches.is_empty()) {
+        return vec![Vec::new(); q];
+    }
+    relation
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grape_graph::builder::GraphBuilder;
+    use grape_graph::generators::labeled_kg;
+
+    /// Graph: 1 -> 2 -> 3 with labels a=1, b=2, c=3, plus a stray 4 (label 2)
+    /// with no outgoing edge to a label-3 vertex.
+    fn chain_graph() -> Graph {
+        GraphBuilder::directed()
+            .add_edge(0, 1)
+            .add_edge(1, 2)
+            .add_edge(3, 2)
+            .ensure_vertices(5)
+            .set_vertex_label(0, 1)
+            .set_vertex_label(1, 2)
+            .set_vertex_label(2, 3)
+            .set_vertex_label(3, 1)
+            .set_vertex_label(4, 2)
+            .build()
+    }
+
+    /// Pattern a -> b -> c.
+    fn chain_pattern() -> Pattern {
+        Pattern::new(vec![1, 2, 3], vec![(0, 1), (1, 2)])
+    }
+
+    #[test]
+    fn chain_pattern_matches_chain_graph() {
+        let rel = graph_simulation(&chain_graph(), &chain_pattern());
+        assert_eq!(rel[0], vec![0]); // only vertex 0 (label a) has a b-child with a c-child
+        assert_eq!(rel[1], vec![1]); // vertex 4 has label b but no c-child
+        assert_eq!(rel[2], vec![2]);
+    }
+
+    #[test]
+    fn no_match_returns_empty_relation() {
+        let pattern = Pattern::new(vec![1, 9], vec![(0, 1)]); // label 9 absent
+        let rel = graph_simulation(&chain_graph(), &pattern);
+        assert!(rel.iter().all(|m| m.is_empty()));
+    }
+
+    #[test]
+    fn simulation_allows_cycles_unlike_isomorphism() {
+        // Graph is a 2-cycle a <-> b; pattern is an infinite-unfolding chain
+        // a -> b -> a, which simulation accepts.
+        let g = GraphBuilder::directed()
+            .add_edge(0, 1)
+            .add_edge(1, 0)
+            .set_vertex_label(0, 1)
+            .set_vertex_label(1, 2)
+            .build();
+        let p = Pattern::new(vec![1, 2, 1], vec![(0, 1), (1, 2)]);
+        let rel = graph_simulation(&g, &p);
+        assert_eq!(rel[0], vec![0]);
+        assert_eq!(rel[1], vec![1]);
+        assert_eq!(rel[2], vec![0]);
+    }
+
+    #[test]
+    fn optimized_equals_basic_on_random_labeled_graphs() {
+        for seed in 0..3 {
+            let g = labeled_kg(300, 1200, 6, 3, seed);
+            let alphabet: Vec<u32> = (1..=6).collect();
+            let p = Pattern::random(4, 6, &alphabet, seed + 100);
+            let basic = graph_simulation(&g, &p);
+            let optimized = graph_simulation_optimized(&g, &p);
+            assert_eq!(basic, optimized, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn single_node_pattern_matches_all_vertices_with_label() {
+        let g = chain_graph();
+        let p = Pattern::single(2);
+        let rel = graph_simulation(&g, &p);
+        assert_eq!(rel[0], vec![1, 4]);
+    }
+
+    #[test]
+    fn empty_pattern_yields_empty_relation() {
+        let g = chain_graph();
+        let p = Pattern::new(vec![], vec![]);
+        assert!(graph_simulation(&g, &p).is_empty());
+    }
+}

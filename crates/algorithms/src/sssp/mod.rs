@@ -1,0 +1,15 @@
+//! Single-Source Shortest Paths (SSSP) — the paper's running example
+//! (Sections 1–3, Figures 3 and 4).
+//!
+//! * [`sequential`] — textbook Dijkstra over the whole graph (the algorithm
+//!   that gets "plugged in" as PEval) and the Ramalingam–Reps style bounded
+//!   incremental update used by IncEval.
+//! * [`pie`] — the PIE program: PEval = Dijkstra on the fragment, IncEval =
+//!   incremental Dijkstra seeded with the changed border distances, Assemble
+//!   = union with `min` aggregation.
+
+pub mod pie;
+pub mod sequential;
+
+pub use pie::{Sssp, SsspQuery, SsspResult};
+pub use sequential::{dijkstra, incremental_dijkstra};

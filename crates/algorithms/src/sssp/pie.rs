@@ -1,0 +1,311 @@
+//! The SSSP PIE program (Figures 3 and 4 of the paper).
+//!
+//! * Message preamble: a variable `dist(s, v)` per vertex, candidate set
+//!   `C_i = F_i.O`, `aggregateMsg = min`.
+//! * PEval: Dijkstra over the local fragment.
+//! * IncEval: bounded incremental Dijkstra seeded with the decreased border
+//!   distances received in `M_i`.
+//! * Assemble: union of the per-fragment distances, taking the minimum for
+//!   border vertices.
+
+use std::collections::BinaryHeap;
+use std::collections::HashMap;
+
+use grape_core::pie::{Messages, PieProgram};
+use grape_graph::types::VertexId;
+use grape_partition::fragment::Fragment;
+use grape_partition::fragmentation_graph::BorderScope;
+
+use crate::util::{MinDist, INF};
+
+/// An SSSP query: the source vertex `s`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SsspQuery {
+    /// Source vertex (global id).
+    pub source: VertexId,
+}
+
+impl SsspQuery {
+    /// Creates a query for source `s`.
+    pub fn new(source: VertexId) -> Self {
+        SsspQuery { source }
+    }
+}
+
+/// The assembled SSSP answer: the shortest distance from the source to every
+/// reachable vertex.
+#[derive(Debug, Clone, Default)]
+pub struct SsspResult {
+    distances: HashMap<VertexId, f64>,
+}
+
+impl SsspResult {
+    /// Shortest distance to `v`, or `None` when unreachable.
+    pub fn distance(&self, v: VertexId) -> Option<f64> {
+        self.distances.get(&v).copied().filter(|d| d.is_finite())
+    }
+
+    /// All finite distances, keyed by global vertex id.
+    pub fn distances(&self) -> &HashMap<VertexId, f64> {
+        &self.distances
+    }
+
+    /// Number of reachable vertices (including the source).
+    pub fn num_reached(&self) -> usize {
+        self.distances.values().filter(|d| d.is_finite()).count()
+    }
+}
+
+/// Per-fragment partial result `Q(F_i)`: `dist(s, v)` for every local vertex,
+/// together with the local→global id mapping so Assemble can merge fragments.
+#[derive(Debug, Clone)]
+pub struct SsspPartial {
+    /// Distance per local vertex id.
+    dist: Vec<f64>,
+    /// Global id of each local vertex.  Outer-copy distances are valid upper
+    /// bounds, so Assemble can merge everything with `min`.
+    globals: Vec<VertexId>,
+}
+
+/// The SSSP PIE program.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Sssp;
+
+impl Sssp {
+    /// Local Dijkstra continuation: relaxes edges starting from the given
+    /// seed heap until exhaustion (the tail of PEval and the whole of
+    /// IncEval).
+    fn relax(frag: &Fragment, dist: &mut [f64], mut heap: BinaryHeap<MinDist<u32>>) {
+        while let Some(MinDist { dist: d, vertex: u }) = heap.pop() {
+            if d > dist[u as usize] {
+                continue;
+            }
+            for n in frag.out_edges(u) {
+                let t = n.target as u32;
+                let alt = d + n.weight;
+                if alt < dist[t as usize] {
+                    dist[t as usize] = alt;
+                    heap.push(MinDist { dist: alt, vertex: t });
+                }
+            }
+        }
+    }
+
+    /// Sends the (finite) distances of the border vertices that improved —
+    /// the message segment `M_i = {dist(s, v) | v ∈ F_i.O, dist decreased}`.
+    /// The inner border is included as well so that vertex-cut partitions
+    /// (where a shared vertex's edges are spread over several fragments) stay
+    /// consistent; under edge-cut those values have no destination and are
+    /// dropped for free by the router.
+    fn send_border(
+        frag: &Fragment,
+        dist: &[f64],
+        previous: Option<&[f64]>,
+        ctx: &mut Messages<VertexId, f64>,
+    ) {
+        for &l in frag.out_border_locals().iter().chain(frag.in_border_locals()) {
+            let d = dist[l as usize];
+            if !d.is_finite() {
+                continue;
+            }
+            let improved = match previous {
+                Some(prev) => d < prev[l as usize],
+                None => true,
+            };
+            if improved {
+                ctx.send(frag.global_of(l), d);
+            }
+        }
+    }
+}
+
+impl PieProgram for Sssp {
+    type Query = SsspQuery;
+    type Partial = SsspPartial;
+    type Key = VertexId;
+    type Value = f64;
+    type Output = SsspResult;
+
+    fn name(&self) -> &str {
+        "sssp"
+    }
+
+    fn scope(&self) -> BorderScope {
+        BorderScope::Out
+    }
+
+    fn peval(
+        &self,
+        query: &SsspQuery,
+        frag: &Fragment,
+        ctx: &mut Messages<VertexId, f64>,
+    ) -> SsspPartial {
+        let mut dist = vec![INF; frag.num_local()];
+        let mut heap = BinaryHeap::new();
+        if let Some(source_local) = frag.local_of(query.source) {
+            dist[source_local as usize] = 0.0;
+            heap.push(MinDist { dist: 0.0, vertex: source_local });
+        }
+        Self::relax(frag, &mut dist, heap);
+        Self::send_border(frag, &dist, None, ctx);
+        SsspPartial {
+            dist,
+            globals: frag.all_locals().map(|l| frag.global_of(l)).collect(),
+        }
+    }
+
+    fn inc_eval(
+        &self,
+        _query: &SsspQuery,
+        frag: &Fragment,
+        partial: &mut SsspPartial,
+        messages: &[(VertexId, f64)],
+        ctx: &mut Messages<VertexId, f64>,
+    ) {
+        let previous = partial.dist.clone();
+        let mut heap = BinaryHeap::new();
+        for &(v, d) in messages {
+            if let Some(l) = frag.local_of(v) {
+                if d < partial.dist[l as usize] {
+                    partial.dist[l as usize] = d;
+                    heap.push(MinDist { dist: d, vertex: l });
+                }
+            }
+        }
+        if heap.is_empty() {
+            return;
+        }
+        Self::relax(frag, &mut partial.dist, heap);
+        Self::send_border(frag, &partial.dist, Some(&previous), ctx);
+    }
+
+    fn assemble(&self, _query: &SsspQuery, partials: Vec<SsspPartial>) -> SsspResult {
+        let mut distances: HashMap<VertexId, f64> = HashMap::new();
+        for partial in partials {
+            // Every locally computed distance is an upper bound on the true
+            // shortest distance, and the owning fragment holds the exact
+            // value at the fixpoint, so merging with `min` is correct.
+            for (idx, &v) in partial.globals.iter().enumerate() {
+                let d = partial.dist[idx];
+                if !d.is_finite() {
+                    continue;
+                }
+                distances
+                    .entry(v)
+                    .and_modify(|existing| *existing = existing.min(d))
+                    .or_insert(d);
+            }
+        }
+        SsspResult { distances }
+    }
+
+    fn aggregate(&self, _key: &VertexId, a: f64, b: f64) -> f64 {
+        a.min(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grape_core::config::EngineConfig;
+    use grape_core::engine::GrapeEngine;
+    use grape_graph::generators::{power_law, road_grid};
+    use grape_partition::edge_cut::HashEdgeCut;
+    use grape_partition::metis_like::MetisLike;
+    use grape_partition::strategy::PartitionStrategy;
+
+    use crate::sssp::sequential::dijkstra;
+
+    fn check_against_sequential(
+        g: &grape_graph::graph::Graph,
+        strategy: &dyn PartitionStrategy,
+        workers: usize,
+        source: VertexId,
+    ) {
+        let frag = strategy.partition(g).unwrap();
+        let engine = GrapeEngine::new(EngineConfig::with_workers(workers));
+        let result = engine.run(&frag, &Sssp, &SsspQuery::new(source)).unwrap();
+        let expected = dijkstra(g, source);
+        for (v, d) in expected.iter().enumerate() {
+            match result.output.distance(v as VertexId) {
+                Some(got) => assert!((got - d).abs() < 1e-9, "vertex {v}: {got} vs {d}"),
+                None => assert!(!d.is_finite(), "vertex {v} should be reachable with {d}"),
+            }
+        }
+    }
+
+    #[test]
+    fn matches_sequential_on_road_grid() {
+        let g = road_grid(10, 10, 1);
+        check_against_sequential(&g, &MetisLike::new(4), 4, 0);
+    }
+
+    #[test]
+    fn matches_sequential_on_power_law() {
+        let g = power_law(300, 1500, 0, 2);
+        check_against_sequential(&g, &HashEdgeCut::new(4), 2, 5);
+    }
+
+    #[test]
+    fn unreachable_vertices_are_reported_as_none() {
+        let g = grape_graph::builder::GraphBuilder::directed()
+            .add_weighted_edge(0, 1, 1.0)
+            .ensure_vertices(4)
+            .build();
+        let frag = HashEdgeCut::new(2).partition(&g).unwrap();
+        let engine = GrapeEngine::new(EngineConfig::with_workers(2));
+        let result = engine.run(&frag, &Sssp, &SsspQuery::new(0)).unwrap();
+        assert_eq!(result.output.distance(3), None);
+        assert_eq!(result.output.distance(1), Some(1.0));
+        assert_eq!(result.output.num_reached(), 2);
+    }
+
+    #[test]
+    fn source_outside_graph_reaches_nothing() {
+        let g = road_grid(4, 4, 1);
+        let frag = HashEdgeCut::new(2).partition(&g).unwrap();
+        let engine = GrapeEngine::new(EngineConfig::with_workers(1));
+        let result = engine.run(&frag, &Sssp, &SsspQuery::new(999)).unwrap();
+        assert_eq!(result.output.num_reached(), 0);
+    }
+
+    #[test]
+    fn fragment_count_does_not_change_distances() {
+        let g = power_law(200, 800, 0, 3);
+        let base = {
+            let frag = HashEdgeCut::new(1).partition(&g).unwrap();
+            GrapeEngine::new(EngineConfig::with_workers(1))
+                .run(&frag, &Sssp, &SsspQuery::new(0))
+                .unwrap()
+                .output
+        };
+        for m in [2, 4, 8] {
+            let frag = HashEdgeCut::new(m).partition(&g).unwrap();
+            let out = GrapeEngine::new(EngineConfig::with_workers(4))
+                .run(&frag, &Sssp, &SsspQuery::new(0))
+                .unwrap()
+                .output;
+            assert_eq!(out.num_reached(), base.num_reached(), "m = {m}");
+            for (v, d) in base.distances() {
+                assert!((out.distance(*v).unwrap() - d).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_supersteps_ship_only_improvements() {
+        // On a long path partitioned into ranges, distances propagate one
+        // fragment per superstep and every border value is shipped at most a
+        // handful of times.
+        let g = road_grid(30, 1, 5);
+        let frag = grape_partition::edge_cut::RangeEdgeCut::new(5).partition(&g).unwrap();
+        let engine = GrapeEngine::new(EngineConfig::with_workers(2));
+        let result = engine.run(&frag, &Sssp, &SsspQuery::new(0)).unwrap();
+        assert!(result.metrics.supersteps >= 5, "propagation crosses 5 fragments");
+        assert!(
+            result.metrics.total_messages <= 4 * frag.num_border_vertices() + 8,
+            "messages {} too high",
+            result.metrics.total_messages
+        );
+    }
+}

@@ -1,0 +1,227 @@
+//! The SubIso PIE program (Section 5.1).
+//!
+//! Message preamble: the candidate set `C_i` is the `d_Q`-neighborhood of the
+//! border, where `d_Q` is the pattern diameter; the status variables are the
+//! (immutable) ids of the shipped nodes and edges, so no partial order is
+//! needed and no further messages flow after the neighborhood exchange.
+//!
+//! * The engine performs the neighborhood exchange (fragment expansion) and
+//!   charges it to the communication account.
+//! * PEval then runs VF2 on the expanded fragment, keeping only matches whose
+//!   anchor (the vertex matched to query node 0) is an *inner* vertex — every
+//!   match is therefore reported by exactly one fragment (locality of
+//!   subgraph isomorphism).
+//! * IncEval is never triggered (no messages), so the whole computation takes
+//!   a constant number of supersteps.
+//! * Assemble concatenates the per-fragment match lists.
+
+use grape_core::pie::{Messages, PieProgram};
+use grape_graph::pattern::Pattern;
+use grape_graph::types::VertexId;
+use grape_partition::fragment::Fragment;
+use grape_partition::fragmentation_graph::BorderScope;
+
+use crate::subiso::vf2::{subgraph_isomorphism_filtered, Match};
+
+/// A subgraph-isomorphism query.
+#[derive(Debug, Clone)]
+pub struct SubIsoQuery {
+    /// The pattern to match.
+    pub pattern: Pattern,
+    /// Cap on the number of matches reported per fragment (SubIso is
+    /// NP-complete; the paper's workloads use small patterns, ours
+    /// additionally bound the enumeration).
+    pub max_matches_per_fragment: usize,
+}
+
+impl SubIsoQuery {
+    /// Creates a query with the default per-fragment cap of 10 000 matches.
+    pub fn new(pattern: Pattern) -> Self {
+        SubIsoQuery { pattern, max_matches_per_fragment: 10_000 }
+    }
+
+    /// Overrides the per-fragment match cap.
+    pub fn with_max_matches(mut self, cap: usize) -> Self {
+        self.max_matches_per_fragment = cap;
+        self
+    }
+}
+
+/// The assembled answer: all matches, each a mapping query node → vertex.
+#[derive(Debug, Clone, Default)]
+pub struct SubIsoResult {
+    matches: Vec<Match>,
+}
+
+impl SubIsoResult {
+    /// All matches.
+    pub fn matches(&self) -> &[Match] {
+        &self.matches
+    }
+
+    /// Number of matches found.
+    pub fn num_matches(&self) -> usize {
+        self.matches.len()
+    }
+}
+
+/// Per-fragment partial result: the locally found matches (already in global
+/// vertex ids).
+#[derive(Debug, Clone, Default)]
+pub struct SubIsoPartial {
+    matches: Vec<Match>,
+}
+
+/// The SubIso PIE program.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SubIso;
+
+impl PieProgram for SubIso {
+    type Query = SubIsoQuery;
+    type Partial = SubIsoPartial;
+    type Key = VertexId;
+    type Value = bool;
+    type Output = SubIsoResult;
+
+    fn name(&self) -> &str {
+        "subiso"
+    }
+
+    fn scope(&self) -> BorderScope {
+        BorderScope::Out
+    }
+
+    fn expansion_hops(&self, query: &SubIsoQuery) -> usize {
+        query.pattern.diameter()
+    }
+
+    fn peval(
+        &self,
+        query: &SubIsoQuery,
+        frag: &Fragment,
+        _ctx: &mut Messages<VertexId, bool>,
+    ) -> SubIsoPartial {
+        // The fragment's local graph uses local ids; VF2 runs on it directly
+        // and the matches are translated back to global ids.  Anchors are
+        // restricted to inner vertices so every match is counted exactly once
+        // across fragments.
+        let local_matches = subgraph_isomorphism_filtered(
+            frag.local_graph(),
+            &query.pattern,
+            query.max_matches_per_fragment,
+            &|v| frag.is_inner(v as u32),
+        );
+        let matches = local_matches
+            .into_iter()
+            .map(|m| m.into_iter().map(|l| frag.global_of(l as u32)).collect())
+            .collect();
+        SubIsoPartial { matches }
+    }
+
+    fn inc_eval(
+        &self,
+        _query: &SubIsoQuery,
+        _frag: &Fragment,
+        _partial: &mut SubIsoPartial,
+        _messages: &[(VertexId, bool)],
+        _ctx: &mut Messages<VertexId, bool>,
+    ) {
+        // The update parameters (shipped node/edge ids) never change, so no
+        // incremental work is ever required (Section 5.1: "IncEval sends no
+        // messages since the values of variables in C_i.x̄ remain unchanged").
+    }
+
+    fn assemble(&self, _query: &SubIsoQuery, partials: Vec<SubIsoPartial>) -> SubIsoResult {
+        let mut matches: Vec<Match> = partials.into_iter().flat_map(|p| p.matches).collect();
+        matches.sort_unstable();
+        matches.dedup();
+        SubIsoResult { matches }
+    }
+
+    fn aggregate(&self, _key: &VertexId, a: bool, _b: bool) -> bool {
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grape_core::config::EngineConfig;
+    use grape_core::engine::GrapeEngine;
+    use grape_graph::generators::labeled_kg;
+    use grape_graph::graph::Graph;
+    use grape_partition::edge_cut::HashEdgeCut;
+    use grape_partition::metis_like::MetisLike;
+    use grape_partition::strategy::PartitionStrategy;
+
+    use crate::subiso::vf2::subgraph_isomorphism;
+
+    fn run_subiso(g: &Graph, pattern: &Pattern, fragments: usize) -> (SubIsoResult, usize) {
+        let frag = HashEdgeCut::new(fragments).partition(g).unwrap();
+        let result = GrapeEngine::new(EngineConfig::with_workers(4))
+            .run(&frag, &SubIso, &SubIsoQuery::new(pattern.clone()))
+            .unwrap();
+        (result.output, result.metrics.supersteps)
+    }
+
+    fn sorted(mut m: Vec<Match>) -> Vec<Match> {
+        m.sort_unstable();
+        m
+    }
+
+    #[test]
+    fn matches_sequential_on_labeled_graphs() {
+        for seed in 0..3u64 {
+            let g = labeled_kg(150, 450, 4, 2, seed);
+            let alphabet: Vec<u32> = (1..=4).collect();
+            let pattern = Pattern::random(3, 3, &alphabet, seed + 40);
+            let expected = sorted(subgraph_isomorphism(&g, &pattern, usize::MAX));
+            let (result, _) = run_subiso(&g, &pattern, 4);
+            assert_eq!(sorted(result.matches().to_vec()), expected, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn terminates_in_constant_supersteps() {
+        let g = labeled_kg(200, 600, 4, 2, 9);
+        let alphabet: Vec<u32> = (1..=4).collect();
+        let pattern = Pattern::random(3, 4, &alphabet, 3);
+        let (_, supersteps) = run_subiso(&g, &pattern, 6);
+        assert!(supersteps <= 2, "SubIso should not iterate, took {supersteps}");
+    }
+
+    #[test]
+    fn expansion_is_charged_to_communication() {
+        let g = labeled_kg(300, 900, 4, 2, 5);
+        let alphabet: Vec<u32> = (1..=4).collect();
+        let pattern = Pattern::random(3, 4, &alphabet, 8);
+        let frag = MetisLike::new(4).partition(&g).unwrap();
+        let result = GrapeEngine::new(EngineConfig::with_workers(2))
+            .run(&frag, &SubIso, &SubIsoQuery::new(pattern))
+            .unwrap();
+        assert!(result.metrics.expansion_bytes > 0);
+        assert_eq!(result.metrics.total_messages, 0);
+    }
+
+    #[test]
+    fn no_duplicate_matches_across_fragments() {
+        let g = labeled_kg(120, 500, 3, 2, 2);
+        let alphabet: Vec<u32> = (1..=3).collect();
+        let pattern = Pattern::random(2, 2, &alphabet, 17);
+        let (result, _) = run_subiso(&g, &pattern, 5);
+        let mut seen = std::collections::HashSet::new();
+        for m in result.matches() {
+            assert!(seen.insert(m.clone()), "duplicate match {m:?}");
+        }
+    }
+
+    #[test]
+    fn fragment_count_does_not_change_match_set() {
+        let g = labeled_kg(100, 350, 3, 2, 4);
+        let alphabet: Vec<u32> = (1..=3).collect();
+        let pattern = Pattern::random(3, 3, &alphabet, 21);
+        let (one, _) = run_subiso(&g, &pattern, 1);
+        let (eight, _) = run_subiso(&g, &pattern, 8);
+        assert_eq!(sorted(one.matches().to_vec()), sorted(eight.matches().to_vec()));
+    }
+}

@@ -1,0 +1,59 @@
+//! Small shared utilities for the algorithm implementations.
+
+use std::cmp::Ordering;
+
+/// A `(distance, vertex)` entry for min-heaps over `f64` distances.
+///
+/// `f64` is not `Ord`; distances produced by shortest-path algorithms are
+/// never NaN, so comparing through `partial_cmp` with an `Equal` fallback is
+/// safe and keeps the heap total-ordered.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MinDist<V> {
+    /// Distance (priority; smaller pops first).
+    pub dist: f64,
+    /// Payload vertex.
+    pub vertex: V,
+}
+
+impl<V: PartialEq> Eq for MinDist<V> {}
+
+impl<V: PartialEq> PartialOrd for MinDist<V> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<V: PartialEq> Ord for MinDist<V> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want the smallest distance on top.
+        other.dist.partial_cmp(&self.dist).unwrap_or(Ordering::Equal)
+    }
+}
+
+/// Positive infinity used as the "unreached" distance (paper: `dist(s, v) = ∞`).
+pub const INF: f64 = f64::INFINITY;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BinaryHeap;
+
+    #[test]
+    fn heap_pops_smallest_distance_first() {
+        let mut heap = BinaryHeap::new();
+        heap.push(MinDist { dist: 3.0, vertex: 3u32 });
+        heap.push(MinDist { dist: 1.0, vertex: 1u32 });
+        heap.push(MinDist { dist: 2.0, vertex: 2u32 });
+        assert_eq!(heap.pop().unwrap().vertex, 1);
+        assert_eq!(heap.pop().unwrap().vertex, 2);
+        assert_eq!(heap.pop().unwrap().vertex, 3);
+    }
+
+    #[test]
+    fn infinity_sorts_last() {
+        let mut heap = BinaryHeap::new();
+        heap.push(MinDist { dist: INF, vertex: 0u32 });
+        heap.push(MinDist { dist: 5.0, vertex: 1u32 });
+        assert_eq!(heap.pop().unwrap().vertex, 1);
+    }
+}

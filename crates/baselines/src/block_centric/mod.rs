@@ -1,0 +1,9 @@
+//! Block-centric (Blogel-style) baseline: a B-compute engine over the same
+//! fragments GRAPE uses, plus block programs for SSSP, CC, Sim and CF and the
+//! standalone SubIso runner.
+
+pub mod engine;
+pub mod programs;
+
+pub use engine::{BlockCentricEngine, BlockContext, BlockProgram, BlockRouting};
+pub use programs::{run_block_sssp, run_block_subiso, BlockCc, BlockCf, BlockSim, BlockSssp};

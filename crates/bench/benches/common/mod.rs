@@ -1,0 +1,13 @@
+//! Shared Criterion configuration for all figure/table benches: small sample
+//! counts and short measurement windows so the whole suite (`cargo bench`)
+//! finishes in minutes while still producing stable medians.
+
+use std::time::Duration;
+
+/// Applies the project-wide bench settings to a Criterion group.
+pub fn configure(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+}

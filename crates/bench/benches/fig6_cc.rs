@@ -1,0 +1,31 @@
+//! Figure 6(d)–(f): connected components, varying the number of workers.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use grape_bench::runner::{run_cc, System};
+use grape_bench::workloads::{self, Scale};
+
+fn fig6_cc(c: &mut Criterion) {
+    let datasets = [
+        ("traffic", workloads::traffic(Scale::Small)),
+        ("livejournal", workloads::livejournal(Scale::Small).to_undirected()),
+        ("dbpedia", workloads::dbpedia(Scale::Small).to_undirected()),
+    ];
+    for (name, graph) in &datasets {
+        let mut group = c.benchmark_group(format!("fig6_cc_{name}"));
+        common::configure(&mut group);
+        for workers in [2usize, 4] {
+            for system in System::all() {
+                group.bench_function(format!("{}_n{}", system.name(), workers), |b| {
+                    b.iter(|| run_cc(system, graph, workers, name))
+                });
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, fig6_cc);
+criterion_main!(benches);

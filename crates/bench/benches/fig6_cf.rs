@@ -1,0 +1,28 @@
+//! Figure 6(k)–(l): collaborative filtering with 90% and 50% training sets,
+//! varying the number of workers.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use grape_bench::runner::{run_cf, System};
+use grape_bench::workloads::{self, Scale};
+
+fn fig6_cf(c: &mut Criterion) {
+    for (name, fraction) in [("movielens90", 0.9), ("movielens50", 0.5)] {
+        let data = workloads::movielens(Scale::Small, fraction);
+        let mut group = c.benchmark_group(format!("fig6_cf_{name}"));
+        common::configure(&mut group);
+        for workers in [2usize, 4] {
+            for system in System::all() {
+                group.bench_function(format!("{}_n{}", system.name(), workers), |b| {
+                    b.iter(|| run_cf(system, &data, 6, workers, name))
+                });
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, fig6_cf);
+criterion_main!(benches);

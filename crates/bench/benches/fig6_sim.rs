@@ -1,0 +1,32 @@
+//! Figure 6(g)–(h): graph simulation with patterns of shape `|Q| = (8, 15)`
+//! (scaled), varying the number of workers.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use grape_bench::runner::{run_sim, System};
+use grape_bench::workloads::{self, Scale};
+
+fn fig6_sim(c: &mut Criterion) {
+    let datasets = [
+        ("livejournal", workloads::livejournal(Scale::Small)),
+        ("dbpedia", workloads::dbpedia(Scale::Small)),
+    ];
+    for (name, graph) in &datasets {
+        let pattern = workloads::sim_pattern(graph, Scale::Small, 0x51);
+        let mut group = c.benchmark_group(format!("fig6_sim_{name}"));
+        common::configure(&mut group);
+        for workers in [2usize, 4] {
+            for system in System::all() {
+                group.bench_function(format!("{}_n{}", system.name(), workers), |b| {
+                    b.iter(|| run_sim(system, graph, &pattern, workers, name))
+                });
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, fig6_sim);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Figure 6(a)–(c): SSSP response time, varying the number of workers, on
+//! the traffic / liveJournal / DBpedia stand-ins.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use grape_bench::runner::{run_sssp, System};
+use grape_bench::workloads::{self, Scale};
+
+fn fig6_sssp(c: &mut Criterion) {
+    let datasets = [
+        ("traffic", workloads::traffic(Scale::Small)),
+        ("livejournal", workloads::livejournal(Scale::Small)),
+        ("dbpedia", workloads::dbpedia(Scale::Small)),
+    ];
+    for (name, graph) in &datasets {
+        let mut group = c.benchmark_group(format!("fig6_sssp_{name}"));
+        common::configure(&mut group);
+        for workers in [2usize, 4] {
+            for system in System::all() {
+                group.bench_function(format!("{}_n{}", system.name(), workers), |b| {
+                    b.iter(|| run_sssp(system, graph, 0, workers, name))
+                });
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, fig6_sssp);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Figure 6(i)–(j): subgraph isomorphism with patterns of shape
+//! `|Q| = (6, 10)` (scaled), varying the number of workers.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use grape_bench::runner::{run_subiso, System};
+use grape_bench::workloads::{self, Scale};
+
+fn fig6_subiso(c: &mut Criterion) {
+    let datasets = [
+        ("livejournal", workloads::livejournal(Scale::Small)),
+        ("dbpedia", workloads::dbpedia(Scale::Small)),
+    ];
+    for (name, graph) in &datasets {
+        let pattern = workloads::subiso_pattern(graph, Scale::Small, 0x52);
+        let mut group = c.benchmark_group(format!("fig6_subiso_{name}"));
+        common::configure(&mut group);
+        for workers in [2usize, 4] {
+            for system in System::all() {
+                group.bench_function(format!("{}_n{}", system.name(), workers), |b| {
+                    b.iter(|| run_subiso(system, graph, &pattern, workers, name))
+                });
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, fig6_subiso);
+criterion_main!(benches);

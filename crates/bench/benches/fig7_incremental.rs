@@ -1,0 +1,28 @@
+//! Figure 7(a), Exp-2: the impact of incremental IncEval — GRAPE vs the
+//! non-incremental GRAPE_NI variant for graph simulation.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use grape_bench::runner::{run_sim, run_sim_ni, System};
+use grape_bench::workloads::{self, Scale};
+
+fn fig7_incremental(c: &mut Criterion) {
+    let graph = workloads::livejournal(Scale::Small);
+    let pattern = workloads::sim_pattern(&graph, Scale::Small, 0x71);
+    let mut group = c.benchmark_group("fig7a_incremental_sim");
+    common::configure(&mut group);
+    for workers in [2usize, 4] {
+        group.bench_function(format!("GRAPE_n{workers}"), |b| {
+            b.iter(|| run_sim(System::Grape, &graph, &pattern, workers, "livejournal"))
+        });
+        group.bench_function(format!("GRAPE_NI_n{workers}"), |b| {
+            b.iter(|| run_sim_ni(&graph, &pattern, workers, "livejournal"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig7_incremental);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Figure 7(b), Exp-3: optimization compatibility — the speedup of the
+//! index-optimized sequential Sim is preserved under GRAPE parallelization.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use grape_bench::runner::{run_sim, run_sim_optimized, System};
+use grape_bench::workloads::{self, Scale};
+
+use grape_algorithms::sim::{graph_simulation, graph_simulation_optimized};
+
+fn fig7_optimization(c: &mut Criterion) {
+    let graph = workloads::livejournal(Scale::Small);
+    let pattern = workloads::sim_pattern(&graph, Scale::Small, 0x72);
+
+    // Sequential speedup (the T(A)/T(A*) numerator of Exp-3).
+    let mut sequential = c.benchmark_group("fig7b_sequential_sim");
+    common::configure(&mut sequential);
+    sequential.bench_function("basic", |b| b.iter(|| graph_simulation(&graph, &pattern)));
+    sequential.bench_function("optimized", |b| b.iter(|| graph_simulation_optimized(&graph, &pattern)));
+    sequential.finish();
+
+    // Parallelized speedup (the Tp(A)/Tp(A*) denominator).
+    let mut parallel = c.benchmark_group("fig7b_grape_sim");
+    common::configure(&mut parallel);
+    for workers in [2usize, 4] {
+        parallel.bench_function(format!("basic_n{workers}"), |b| {
+            b.iter(|| run_sim(System::Grape, &graph, &pattern, workers, "livejournal"))
+        });
+        parallel.bench_function(format!("optimized_n{workers}"), |b| {
+            b.iter(|| run_sim_optimized(&graph, &pattern, workers, "livejournal"))
+        });
+    }
+    parallel.finish();
+}
+
+criterion_group!(benches, fig7_optimization);
+criterion_main!(benches);

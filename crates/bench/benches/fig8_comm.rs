@@ -1,0 +1,41 @@
+//! Figure 8(a)–(l): communication cost of every query class on every system.
+//!
+//! Communication is a *counter*, not a wall-clock quantity, so this bench
+//! measures the full runs (whose metrics carry the byte counts printed by the
+//! `experiments` binary) for the representative SSSP and Sim workloads; the
+//! complete per-dataset communication tables come from
+//! `experiments fig8`.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use grape_bench::runner::{run_sim, run_sssp, System};
+use grape_bench::workloads::{self, Scale};
+
+fn fig8_comm(c: &mut Criterion) {
+    let traffic = workloads::traffic(Scale::Small);
+    let livejournal = workloads::livejournal(Scale::Small);
+    let pattern = workloads::sim_pattern(&livejournal, Scale::Small, 0x81);
+
+    let mut group = c.benchmark_group("fig8_comm_counters");
+    common::configure(&mut group);
+    for system in System::all() {
+        group.bench_function(format!("sssp_traffic_{}", system.name()), |b| {
+            b.iter(|| {
+                let row = run_sssp(system, &traffic, 0, 4, "traffic");
+                row.comm_mb
+            })
+        });
+        group.bench_function(format!("sim_livejournal_{}", system.name()), |b| {
+            b.iter(|| {
+                let row = run_sim(system, &livejournal, &pattern, 4, "livejournal");
+                row.comm_mb
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig8_comm);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Figure 9: scalability on synthetic graphs — fixed worker count, growing
+//! `(|V|, |E|)`.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use grape_bench::runner::{run_cc, run_sim, run_sssp, System};
+use grape_bench::workloads::{self, Scale};
+
+fn fig9_scalability(c: &mut Criterion) {
+    for step in [0usize, 2, 4] {
+        let graph = workloads::synthetic(step, Scale::Small);
+        let pattern = workloads::sim_pattern(&graph, Scale::Small, 0x90 + step as u64);
+        let mut group = c.benchmark_group(format!("fig9_synthetic_{}", step + 1));
+        common::configure(&mut group);
+        for system in System::all() {
+            group.bench_function(format!("sssp_{}", system.name()), |b| {
+                b.iter(|| run_sssp(system, &graph, 0, 4, "synthetic"))
+            });
+            group.bench_function(format!("cc_{}", system.name()), |b| {
+                let undirected = graph.to_undirected();
+                b.iter(|| run_cc(system, &undirected, 4, "synthetic"))
+            });
+            group.bench_function(format!("sim_{}", system.name()), |b| {
+                b.iter(|| run_sim(system, &graph, &pattern, 4, "synthetic"))
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, fig9_scalability);
+criterion_main!(benches);

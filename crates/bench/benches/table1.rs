@@ -1,0 +1,24 @@
+//! Table 1: graph traversal (SSSP) on the traffic stand-in — response time
+//! and communication for Giraph-style, Blogel-style and GRAPE engines.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use grape_bench::runner::{run_sssp, System};
+use grape_bench::workloads::{self, Scale};
+
+fn table1(c: &mut Criterion) {
+    let graph = workloads::traffic(Scale::Small);
+    let mut group = c.benchmark_group("table1_sssp_traffic");
+    common::configure(&mut group);
+    for system in System::all() {
+        group.bench_function(system.name(), |b| {
+            b.iter(|| run_sssp(system, &graph, 0, 4, "traffic"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table1);
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! Regenerates every table and figure of the GRAPE (SIGMOD 2017) evaluation
+//! as text tables.
+//!
+//! ```text
+//! experiments [--scale small|medium] [table1|fig6|fig7|fig8|fig9|loc|all]
+//! ```
+//!
+//! Absolute numbers are not expected to match the paper (24-node cluster vs
+//! threads on one machine, scaled-down synthetic datasets); the *shapes* —
+//! which system wins, by roughly what factor, and how the curves move with
+//! `n` and `|G|` — are what EXPERIMENTS.md records.
+
+use grape_bench::experiments;
+use grape_bench::runner::format_table;
+use grape_bench::workloads::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Small;
+    let mut targets: Vec<String> = Vec::new();
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let value = iter.next().map(String::as_str).unwrap_or("small");
+                scale = Scale::parse(value).unwrap_or_else(|| {
+                    eprintln!("unknown scale {value:?}, using small");
+                    Scale::Small
+                });
+            }
+            other => targets.push(other.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        targets.push("all".to_string());
+    }
+
+    for target in &targets {
+        match target.as_str() {
+            "table1" => print!("{}", format_table("Table 1: SSSP on traffic", &experiments::table1(scale))),
+            "fig6" => print_fig6(scale),
+            "fig7" => print_fig7(scale),
+            "fig8" => print!(
+                "{}",
+                format_table("Fig 8(a-l): communication cost (see comm column)", &experiments::fig8_comm(scale))
+            ),
+            "fig9" => print!(
+                "{}",
+                format_table("Fig 9: scalability on synthetic graphs", &experiments::fig9_scalability(scale))
+            ),
+            "loc" => print_loc(),
+            "all" => {
+                print!("{}", format_table("Table 1: SSSP on traffic", &experiments::table1(scale)));
+                print_fig6(scale);
+                print_fig7(scale);
+                print!(
+                    "{}",
+                    format_table("Fig 9: scalability on synthetic graphs", &experiments::fig9_scalability(scale))
+                );
+                print_loc();
+            }
+            other => eprintln!("unknown experiment {other:?} (use table1|fig6|fig7|fig8|fig9|loc|all)"),
+        }
+    }
+}
+
+fn print_fig6(scale: Scale) {
+    print!("{}", format_table("Fig 6(a-c) / 8(a-c): SSSP, time & comm vs n", &experiments::fig6_sssp(scale)));
+    print!("{}", format_table("Fig 6(d-f) / 8(d-f): CC, time & comm vs n", &experiments::fig6_cc(scale)));
+    print!("{}", format_table("Fig 6(g-h) / 8(g-h): Sim, time & comm vs n", &experiments::fig6_sim(scale)));
+    print!("{}", format_table("Fig 6(i-j) / 8(i-j): SubIso, time & comm vs n", &experiments::fig6_subiso(scale)));
+    print!("{}", format_table("Fig 6(k-l) / 8(k-l): CF, time & comm vs n", &experiments::fig6_cf(scale)));
+}
+
+fn print_fig7(scale: Scale) {
+    print!(
+        "{}",
+        format_table("Fig 7(a): incremental vs non-incremental Sim", &experiments::fig7_incremental(scale))
+    );
+    print!(
+        "{}",
+        format_table("Fig 7(b): optimized sequential Sim under GRAPE", &experiments::fig7_optimization(scale))
+    );
+}
+
+/// Exp-6 (ease of programming): lines of code of the PIE programs vs the
+/// vertex/block programs, the analogue of Figures 10–11.
+fn print_loc() {
+    let entries = [
+        ("PIE SSSP (crates/algorithms/src/sssp/pie.rs)", include_str!("../../../algorithms/src/sssp/pie.rs")),
+        ("PIE CC (crates/algorithms/src/cc/pie.rs)", include_str!("../../../algorithms/src/cc/pie.rs")),
+        ("PIE Sim (crates/algorithms/src/sim/pie.rs)", include_str!("../../../algorithms/src/sim/pie.rs")),
+        (
+            "vertex programs, all five (crates/baselines/src/vertex_centric/programs.rs)",
+            include_str!("../../../baselines/src/vertex_centric/programs.rs"),
+        ),
+        (
+            "block programs, all five (crates/baselines/src/block_centric/programs.rs)",
+            include_str!("../../../baselines/src/block_centric/programs.rs"),
+        ),
+    ];
+    println!("\n== Exp-6: ease of programming (non-test, non-comment lines) ==");
+    for (name, source) in entries {
+        let loc = source
+            .lines()
+            .take_while(|l| !l.contains("#[cfg(test)]"))
+            .filter(|l| {
+                let t = l.trim();
+                !t.is_empty() && !t.starts_with("//")
+            })
+            .count();
+        println!("{loc:>6}  {name}");
+    }
+}

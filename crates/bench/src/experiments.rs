@@ -1,0 +1,193 @@
+//! Per-table / per-figure experiment drivers (the experiment index of
+//! DESIGN.md §4).  Each function returns the rows of the corresponding paper
+//! artifact; the `experiments` binary prints them, the Criterion benches time
+//! the underlying runners.
+
+use crate::runner::{
+    run_cc, run_cf, run_sim, run_sim_ni, run_sim_optimized, run_sssp, run_subiso, RunRow, System,
+};
+use crate::workloads::{self, Scale};
+
+/// The worker counts swept in Figures 6 and 8 (the paper uses 4..24 physical
+/// machines; we sweep threads).
+pub fn worker_counts(scale: Scale) -> Vec<usize> {
+    match scale {
+        Scale::Small => vec![2, 4],
+        Scale::Medium => vec![1, 2, 4, 8],
+    }
+}
+
+/// Table 1: SSSP over traffic on all systems at the largest worker count.
+pub fn table1(scale: Scale) -> Vec<RunRow> {
+    let g = workloads::traffic(scale);
+    let n = *worker_counts(scale).last().unwrap();
+    System::all().iter().map(|&s| run_sssp(s, &g, 0, n, "traffic")).collect()
+}
+
+/// Figures 6(a)–(c) and 8(a)–(c): SSSP time / communication vs `n` on the
+/// three graph datasets.
+pub fn fig6_sssp(scale: Scale) -> Vec<RunRow> {
+    let datasets = [
+        ("traffic", workloads::traffic(scale)),
+        ("livejournal", workloads::livejournal(scale)),
+        ("dbpedia", workloads::dbpedia(scale)),
+    ];
+    let mut rows = Vec::new();
+    for (name, g) in &datasets {
+        for &n in &worker_counts(scale) {
+            for system in System::all() {
+                rows.push(run_sssp(system, g, 0, n, name));
+            }
+        }
+    }
+    rows
+}
+
+/// Figures 6(d)–(f) and 8(d)–(f): CC vs `n` on the three graph datasets.
+pub fn fig6_cc(scale: Scale) -> Vec<RunRow> {
+    let datasets = [
+        ("traffic", workloads::traffic(scale)),
+        ("livejournal", workloads::livejournal(scale).to_undirected()),
+        ("dbpedia", workloads::dbpedia(scale).to_undirected()),
+    ];
+    let mut rows = Vec::new();
+    for (name, g) in &datasets {
+        for &n in &worker_counts(scale) {
+            for system in System::all() {
+                rows.push(run_cc(system, g, n, name));
+            }
+        }
+    }
+    rows
+}
+
+/// Figures 6(g)–(h) and 8(g)–(h): Sim vs `n` on liveJournal and DBpedia.
+pub fn fig6_sim(scale: Scale) -> Vec<RunRow> {
+    let datasets =
+        [("livejournal", workloads::livejournal(scale)), ("dbpedia", workloads::dbpedia(scale))];
+    let mut rows = Vec::new();
+    for (name, g) in &datasets {
+        let pattern = workloads::sim_pattern(g, scale, 0x51);
+        for &n in &worker_counts(scale) {
+            for system in System::all() {
+                rows.push(run_sim(system, g, &pattern, n, name));
+            }
+        }
+    }
+    rows
+}
+
+/// Figures 6(i)–(j) and 8(i)–(j): SubIso vs `n` on liveJournal and DBpedia.
+pub fn fig6_subiso(scale: Scale) -> Vec<RunRow> {
+    let datasets =
+        [("livejournal", workloads::livejournal(scale)), ("dbpedia", workloads::dbpedia(scale))];
+    let mut rows = Vec::new();
+    for (name, g) in &datasets {
+        let pattern = workloads::subiso_pattern(g, scale, 0x52);
+        for &n in &worker_counts(scale) {
+            for system in System::all() {
+                rows.push(run_subiso(system, g, &pattern, n, name));
+            }
+        }
+    }
+    rows
+}
+
+/// Figures 6(k)–(l) and 8(k)–(l): CF vs `n` with 90% and 50% training sets.
+pub fn fig6_cf(scale: Scale) -> Vec<RunRow> {
+    let mut rows = Vec::new();
+    for (name, fraction) in [("movielens-90", 0.9), ("movielens-50", 0.5)] {
+        let data = workloads::movielens(scale, fraction);
+        for &n in &worker_counts(scale) {
+            for system in System::all() {
+                rows.push(run_cf(system, &data, 6, n, name));
+            }
+        }
+    }
+    rows
+}
+
+/// Figure 7(a), Exp-2: incremental GRAPE vs the non-incremental GRAPE_NI for
+/// Sim over liveJournal.
+pub fn fig7_incremental(scale: Scale) -> Vec<RunRow> {
+    let g = workloads::livejournal(scale);
+    let pattern = workloads::sim_pattern(&g, scale, 0x71);
+    let mut rows = Vec::new();
+    for &n in &worker_counts(scale) {
+        rows.push(run_sim(System::Grape, &g, &pattern, n, "livejournal"));
+        rows.push(run_sim_ni(&g, &pattern, n, "livejournal"));
+    }
+    rows
+}
+
+/// Figure 7(b), Exp-3: the speedup of the index-optimized sequential Sim is
+/// preserved by GRAPE parallelization.
+pub fn fig7_optimization(scale: Scale) -> Vec<RunRow> {
+    let g = workloads::livejournal(scale);
+    let pattern = workloads::sim_pattern(&g, scale, 0x72);
+    let mut rows = Vec::new();
+    for &n in &worker_counts(scale) {
+        rows.push(run_sim(System::Grape, &g, &pattern, n, "livejournal"));
+        rows.push(run_sim_optimized(&g, &pattern, n, "livejournal"));
+    }
+    rows
+}
+
+/// Figure 8 is the communication view of the Figure 6 runs; the same rows are
+/// reused (every row already carries `comm_mb`).
+pub fn fig8_comm(scale: Scale) -> Vec<RunRow> {
+    let mut rows = Vec::new();
+    rows.extend(fig6_sssp(scale));
+    rows.extend(fig6_cc(scale));
+    rows.extend(fig6_sim(scale));
+    rows.extend(fig6_subiso(scale));
+    rows.extend(fig6_cf(scale));
+    rows
+}
+
+/// Figure 9: scalability over the synthetic size sweep at the largest worker
+/// count (SSSP, CC, Sim, SubIso).
+pub fn fig9_scalability(scale: Scale) -> Vec<RunRow> {
+    let n = *worker_counts(scale).last().unwrap();
+    let mut rows = Vec::new();
+    for step in 0..5 {
+        let g = workloads::synthetic(step, scale);
+        let name = format!("synthetic-{}", step + 1);
+        for system in System::all() {
+            rows.push(run_sssp(system, &g, 0, n, &name));
+            rows.push(run_cc(system, &g.to_undirected(), n, &name));
+        }
+        let sim_pattern = workloads::sim_pattern(&g, scale, 0x90 + step as u64);
+        let subiso_pattern = workloads::subiso_pattern(&g, scale, 0xA0 + step as u64);
+        for system in System::all() {
+            rows.push(run_sim(system, &g, &sim_pattern, n, &name));
+            rows.push(run_subiso(system, &g, &subiso_pattern, n, &name));
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_one_row_per_system() {
+        let rows = table1(Scale::Small);
+        assert_eq!(rows.len(), 3);
+        assert!(rows.iter().any(|r| r.system == "GRAPE"));
+    }
+
+    #[test]
+    fn fig7_incremental_compares_two_variants() {
+        let rows = fig7_incremental(Scale::Small);
+        assert!(rows.iter().any(|r| r.system == "GRAPE_NI"));
+        assert!(rows.iter().any(|r| r.system == "GRAPE"));
+    }
+
+    #[test]
+    fn worker_counts_are_increasing() {
+        let counts = worker_counts(Scale::Medium);
+        assert!(counts.windows(2).all(|w| w[0] < w[1]));
+    }
+}

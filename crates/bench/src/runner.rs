@@ -1,0 +1,290 @@
+//! Runners that execute one query class on one workload under each of the
+//! three systems (GRAPE, vertex-centric, block-centric) and report the
+//! metrics the paper plots: response time, communication volume, supersteps.
+
+use grape_core::config::EngineConfig;
+use grape_core::engine::GrapeEngine;
+use grape_core::metrics::EngineMetrics;
+use grape_graph::generators::RatingData;
+use grape_graph::graph::Graph;
+use grape_graph::pattern::Pattern;
+use grape_graph::types::VertexId;
+use grape_partition::fragment::Fragmentation;
+use grape_partition::metis_like::MetisLike;
+use grape_partition::strategy::PartitionStrategy;
+
+use grape_algorithms::cc::{Cc, CcQuery};
+use grape_algorithms::cf::CfQuery;
+use grape_algorithms::sim::{Sim, SimNi, SimQuery};
+use grape_algorithms::sssp::{Sssp, SsspQuery};
+use grape_algorithms::subiso::{SubIso, SubIsoQuery};
+
+use grape_baselines::block_centric::{
+    run_block_subiso, BlockCc, BlockCentricEngine, BlockCf, BlockSim,
+};
+use grape_baselines::vertex_centric::{
+    VertexCc, VertexCentricEngine, VertexCf, VertexSim, VertexSssp, VertexSubIso,
+    VertexSubIsoQuery,
+};
+
+/// The systems compared in the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum System {
+    /// The GRAPE engine running PIE programs.
+    Grape,
+    /// The vertex-centric baseline (Giraph / synchronous GraphLab model).
+    VertexCentric,
+    /// The block-centric baseline (Blogel model).
+    BlockCentric,
+}
+
+impl System {
+    /// All systems, in the order the paper's tables list them.
+    pub fn all() -> [System; 3] {
+        [System::VertexCentric, System::BlockCentric, System::Grape]
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            System::Grape => "GRAPE",
+            System::VertexCentric => "vertex-centric",
+            System::BlockCentric => "block-centric",
+        }
+    }
+}
+
+/// One measured configuration — a row of a paper table / one point of a
+/// figure.
+#[derive(Debug, Clone)]
+pub struct RunRow {
+    /// Query class (sssp, cc, sim, subiso, cf).
+    pub query: String,
+    /// Workload name.
+    pub workload: String,
+    /// System measured.
+    pub system: String,
+    /// Number of workers `n`.
+    pub workers: usize,
+    /// Response time in seconds.
+    pub seconds: f64,
+    /// Communication volume in megabytes.
+    pub comm_mb: f64,
+    /// Supersteps executed.
+    pub supersteps: usize,
+}
+
+impl RunRow {
+    fn from_metrics(query: &str, workload: &str, system: System, workers: usize, m: &EngineMetrics) -> Self {
+        RunRow {
+            query: query.to_string(),
+            workload: workload.to_string(),
+            system: system.name().to_string(),
+            workers,
+            seconds: m.seconds(),
+            comm_mb: m.comm_megabytes(),
+            supersteps: m.supersteps,
+        }
+    }
+}
+
+/// Partitions `graph` into `workers` fragments with the default strategy
+/// (METIS-like, as in the paper).
+pub fn partition(graph: &Graph, workers: usize) -> Fragmentation {
+    MetisLike::new(workers.max(1)).partition(graph).expect("partition")
+}
+
+fn grape_engine(workers: usize) -> GrapeEngine {
+    GrapeEngine::new(EngineConfig::with_workers(workers))
+}
+
+/// Runs SSSP on one system.
+pub fn run_sssp(system: System, graph: &Graph, source: VertexId, workers: usize, workload: &str) -> RunRow {
+    let query = SsspQuery::new(source);
+    let metrics = match system {
+        System::Grape => {
+            let frag = partition(graph, workers);
+            grape_engine(workers).run(&frag, &Sssp, &query).expect("grape sssp").metrics
+        }
+        System::VertexCentric => VertexCentricEngine::new(workers).run(graph, &VertexSssp, &query).1,
+        System::BlockCentric => {
+            let frag = partition(graph, workers);
+            grape_baselines::block_centric::run_block_sssp(&frag, &query, workers).1
+        }
+    };
+    RunRow::from_metrics("sssp", workload, system, workers, &metrics)
+}
+
+/// Runs CC on one system.
+pub fn run_cc(system: System, graph: &Graph, workers: usize, workload: &str) -> RunRow {
+    let metrics = match system {
+        System::Grape => {
+            let frag = partition(graph, workers);
+            grape_engine(workers).run(&frag, &Cc, &CcQuery).expect("grape cc").metrics
+        }
+        System::VertexCentric => VertexCentricEngine::new(workers).run(graph, &VertexCc, &()).1,
+        System::BlockCentric => {
+            let frag = partition(graph, workers);
+            BlockCentricEngine::new(workers).run(&frag, &BlockCc, &()).1
+        }
+    };
+    RunRow::from_metrics("cc", workload, system, workers, &metrics)
+}
+
+/// Runs graph simulation on one system.
+pub fn run_sim(system: System, graph: &Graph, pattern: &Pattern, workers: usize, workload: &str) -> RunRow {
+    let metrics = match system {
+        System::Grape => {
+            let frag = partition(graph, workers);
+            grape_engine(workers)
+                .run(&frag, &Sim::new(), &SimQuery::new(pattern.clone()))
+                .expect("grape sim")
+                .metrics
+        }
+        System::VertexCentric => VertexCentricEngine::new(workers).run(graph, &VertexSim, pattern).1,
+        System::BlockCentric => {
+            let frag = partition(graph, workers);
+            BlockCentricEngine::new(workers)
+                .run(&frag, &BlockSim, &SimQuery::new(pattern.clone()))
+                .1
+        }
+    };
+    RunRow::from_metrics("sim", workload, system, workers, &metrics)
+}
+
+/// Runs the GRAPE_NI (non-incremental) simulation variant — Exp-2.
+pub fn run_sim_ni(graph: &Graph, pattern: &Pattern, workers: usize, workload: &str) -> RunRow {
+    let frag = partition(graph, workers);
+    let metrics = grape_engine(workers)
+        .run(&frag, &SimNi, &SimQuery::new(pattern.clone()))
+        .expect("grape sim-ni")
+        .metrics;
+    RunRow {
+        system: "GRAPE_NI".to_string(),
+        ..RunRow::from_metrics("sim", workload, System::Grape, workers, &metrics)
+    }
+}
+
+/// Runs the index-optimized simulation variant — Exp-3.
+pub fn run_sim_optimized(graph: &Graph, pattern: &Pattern, workers: usize, workload: &str) -> RunRow {
+    let frag = partition(graph, workers);
+    let metrics = grape_engine(workers)
+        .run(&frag, &Sim::with_index(), &SimQuery::new(pattern.clone()))
+        .expect("grape sim-opt")
+        .metrics;
+    RunRow {
+        system: "GRAPE (optimized)".to_string(),
+        ..RunRow::from_metrics("sim", workload, System::Grape, workers, &metrics)
+    }
+}
+
+/// Runs subgraph isomorphism on one system.
+pub fn run_subiso(
+    system: System,
+    graph: &Graph,
+    pattern: &Pattern,
+    workers: usize,
+    workload: &str,
+) -> RunRow {
+    const MAX_MATCHES: usize = 20_000;
+    let metrics = match system {
+        System::Grape => {
+            let frag = partition(graph, workers);
+            grape_engine(workers)
+                .run(
+                    &frag,
+                    &SubIso,
+                    &SubIsoQuery::new(pattern.clone()).with_max_matches(MAX_MATCHES),
+                )
+                .expect("grape subiso")
+                .metrics
+        }
+        System::VertexCentric => {
+            let query = VertexSubIsoQuery {
+                pattern: pattern.clone(),
+                max_matches_per_vertex: MAX_MATCHES,
+            };
+            VertexCentricEngine::new(workers).run(graph, &VertexSubIso, &query).1
+        }
+        System::BlockCentric => {
+            let frag = partition(graph, workers);
+            run_block_subiso(&frag, pattern, MAX_MATCHES, workers).1
+        }
+    };
+    RunRow::from_metrics("subiso", workload, system, workers, &metrics)
+}
+
+/// Runs collaborative filtering on one system.
+pub fn run_cf(system: System, data: &RatingData, epochs: usize, workers: usize, workload: &str) -> RunRow {
+    let query = CfQuery { epochs, num_factors: 8, ..Default::default() };
+    let metrics = match system {
+        System::Grape => {
+            let frag = partition(&data.graph, workers);
+            grape_engine(workers)
+                .run(&frag, &grape_algorithms::cf::Cf, &query)
+                .expect("grape cf")
+                .metrics
+        }
+        System::VertexCentric => {
+            VertexCentricEngine::new(workers).run(&data.graph, &VertexCf, &query).1
+        }
+        System::BlockCentric => {
+            let frag = partition(&data.graph, workers);
+            BlockCentricEngine::new(workers).run(&frag, &BlockCf, &query).1
+        }
+    };
+    RunRow::from_metrics("cf", workload, system, workers, &metrics)
+}
+
+/// Formats a slice of rows as an aligned text table (what the `experiments`
+/// binary prints for every table/figure).
+pub fn format_table(title: &str, rows: &[RunRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("\n== {title} ==\n"));
+    out.push_str(&format!(
+        "{:<10} {:<14} {:<20} {:>3} {:>12} {:>12} {:>10}\n",
+        "query", "workload", "system", "n", "time (s)", "comm (MB)", "supersteps"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<10} {:<14} {:<20} {:>3} {:>12.4} {:>12.4} {:>10}\n",
+            r.query, r.workload, r.system, r.workers, r.seconds, r.comm_mb, r.supersteps
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::{self, Scale};
+
+    #[test]
+    fn all_systems_produce_rows_for_sssp() {
+        let g = workloads::traffic(Scale::Small);
+        for system in System::all() {
+            let row = run_sssp(system, &g, 0, 2, "traffic");
+            assert_eq!(row.query, "sssp");
+            assert!(row.seconds >= 0.0);
+            assert!(row.supersteps >= 1);
+        }
+    }
+
+    #[test]
+    fn grape_ships_less_than_vertex_centric_on_traffic_sssp() {
+        let g = workloads::traffic(Scale::Small);
+        let grape = run_sssp(System::Grape, &g, 0, 4, "traffic");
+        let vertex = run_sssp(System::VertexCentric, &g, 0, 4, "traffic");
+        assert!(grape.comm_mb < vertex.comm_mb, "{} vs {}", grape.comm_mb, vertex.comm_mb);
+        assert!(grape.supersteps < vertex.supersteps);
+    }
+
+    #[test]
+    fn table_formatting_contains_all_rows() {
+        let g = workloads::livejournal(Scale::Small);
+        let rows = vec![run_cc(System::Grape, &g, 2, "livejournal")];
+        let table = format_table("test", &rows);
+        assert!(table.contains("GRAPE"));
+        assert!(table.contains("livejournal"));
+    }
+}

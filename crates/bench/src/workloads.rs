@@ -1,0 +1,142 @@
+//! Benchmark workloads: scaled-down synthetic stand-ins for the paper's
+//! datasets (see DESIGN.md §3 for the substitution rationale).
+
+use grape_graph::generators::{
+    bipartite_ratings, labeled_kg, power_law, road_grid, RatingData,
+};
+use grape_graph::graph::Graph;
+use grape_graph::pattern::Pattern;
+
+/// Workload scale: `Small` keeps Criterion benches fast; `Medium` is what the
+/// `experiments` binary uses to regenerate the paper's tables and figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// A few thousand vertices — seconds for the whole suite.
+    Small,
+    /// Tens of thousands of vertices — minutes for the whole suite.
+    Medium,
+}
+
+impl Scale {
+    /// Parses the `--scale` CLI flag value.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "small" => Some(Scale::Small),
+            "medium" | "full" => Some(Scale::Medium),
+            _ => None,
+        }
+    }
+}
+
+/// Stand-in for the `traffic` US road network: a grid with huge diameter.
+pub fn traffic(scale: Scale) -> Graph {
+    match scale {
+        Scale::Small => road_grid(48, 48, 0xF00D),
+        Scale::Medium => road_grid(120, 120, 0xF00D),
+    }
+}
+
+/// Stand-in for `liveJournal`: a power-law social graph with 100 labels.
+pub fn livejournal(scale: Scale) -> Graph {
+    match scale {
+        Scale::Small => power_law(3_000, 15_000, 100, 0xBEEF),
+        Scale::Medium => power_law(20_000, 120_000, 100, 0xBEEF),
+    }
+}
+
+/// Stand-in for `DBpedia`: a knowledge graph with 200 node / 160 edge types.
+pub fn dbpedia(scale: Scale) -> Graph {
+    match scale {
+        Scale::Small => labeled_kg(3_000, 12_000, 200, 160, 0xCAFE),
+        Scale::Medium => labeled_kg(20_000, 80_000, 200, 160, 0xCAFE),
+    }
+}
+
+/// Stand-in for `movieLens`: a bipartite rating graph.  `training_fraction`
+/// scales the number of observed ratings (the paper uses 90% and 50%).
+pub fn movielens(scale: Scale, training_fraction: f64) -> RatingData {
+    let (users, items, base_ratings) = match scale {
+        Scale::Small => (400, 120, 6_000),
+        Scale::Medium => (2_000, 600, 40_000),
+    };
+    let ratings = ((base_ratings as f64) * training_fraction).round() as usize;
+    bipartite_ratings(users, items, ratings, 8, 0xD00D)
+}
+
+/// Synthetic graphs for the Fig. 9 scalability sweep; `step` indexes the
+/// paper's sizes (10M,40M) … (50M,200M), scaled down by three orders of
+/// magnitude.
+pub fn synthetic(step: usize, scale: Scale) -> Graph {
+    let factor = match scale {
+        Scale::Small => 1_000,
+        Scale::Medium => 5_000,
+    };
+    let vertices = (step + 1) * 10 * factor / 10;
+    let edges = vertices * 4;
+    power_law(vertices, edges, 50, 0xACE + step as u64)
+}
+
+/// A pattern of the paper's Sim workload shape `|Q| = (8, 15)` (scaled to
+/// (4, 7) at small scale so that the quadratic sequential oracle in the tests
+/// stays fast), drawn from the labels of `graph`.
+pub fn sim_pattern(graph: &Graph, scale: Scale, seed: u64) -> Pattern {
+    let alphabet = graph.distinct_vertex_labels();
+    let alphabet = if alphabet.len() > 1 { alphabet } else { vec![1] };
+    match scale {
+        Scale::Small => Pattern::random(4, 7, &alphabet, seed),
+        Scale::Medium => Pattern::random(8, 15, &alphabet, seed),
+    }
+}
+
+/// A pattern of the paper's SubIso workload shape `|Q| = (6, 10)` (scaled to
+/// (3, 4) at small scale).
+pub fn subiso_pattern(graph: &Graph, scale: Scale, seed: u64) -> Pattern {
+    let alphabet = graph.distinct_vertex_labels();
+    let alphabet = if alphabet.len() > 1 { alphabet } else { vec![1] };
+    match scale {
+        Scale::Small => Pattern::random(3, 4, &alphabet, seed),
+        Scale::Medium => Pattern::random(6, 10, &alphabet, seed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_parse() {
+        assert_eq!(Scale::parse("small"), Some(Scale::Small));
+        assert_eq!(Scale::parse("medium"), Some(Scale::Medium));
+        assert_eq!(Scale::parse("huge"), None);
+    }
+
+    #[test]
+    fn workloads_have_expected_shapes() {
+        let t = traffic(Scale::Small);
+        assert_eq!(t.num_vertices(), 48 * 48);
+        let lj = livejournal(Scale::Small);
+        assert_eq!(lj.num_vertices(), 3_000);
+        assert!(lj.distinct_vertex_labels().len() > 10);
+        let db = dbpedia(Scale::Small);
+        assert!(db.num_edges() > 10_000);
+        let ml = movielens(Scale::Small, 0.5);
+        assert!(ml.graph.num_edges() <= 3_000);
+    }
+
+    #[test]
+    fn synthetic_sizes_grow_with_step() {
+        let a = synthetic(0, Scale::Small);
+        let b = synthetic(4, Scale::Small);
+        assert!(b.num_vertices() > a.num_vertices());
+        assert!(b.num_edges() > a.num_edges());
+    }
+
+    #[test]
+    fn patterns_fit_the_workload_shape() {
+        let g = dbpedia(Scale::Small);
+        let p = sim_pattern(&g, Scale::Small, 1);
+        assert_eq!(p.num_nodes(), 4);
+        let p2 = subiso_pattern(&g, Scale::Small, 2);
+        assert_eq!(p2.num_nodes(), 3);
+    }
+}

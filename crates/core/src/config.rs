@@ -1,0 +1,125 @@
+//! Engine configuration: the paper's "configuration panel" (Fig. 1), where
+//! the user picks the number of workers, plus knobs for the execution mode,
+//! fault tolerance and termination safety net.
+
+use serde::{Deserialize, Serialize};
+
+/// Synchronisation mode of the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EngineMode {
+    /// BSP-style synchronous supersteps (the model analysed in the paper).
+    Synchronous,
+    /// Asynchronous extension (mentioned as future work in the paper's
+    /// conclusion): within one sweep, messages produced by a fragment are
+    /// immediately visible to fragments processed later in the same sweep.
+    /// Results are identical under the monotonic condition, usually with
+    /// fewer sweeps.
+    Asynchronous,
+}
+
+/// An injected worker failure, used to exercise the fault-tolerance path
+/// (Section 6, "Fault tolerance"): at the start of superstep `superstep`, the
+/// fragment `fragment` loses its state and must be recovered from the last
+/// checkpoint by the arbitrator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InjectedFailure {
+    /// Superstep (1-based IncEval rounds; PEval is superstep 0).
+    pub superstep: usize,
+    /// Fragment whose state is lost.
+    pub fragment: usize,
+}
+
+/// Configuration of a [`crate::engine::GrapeEngine`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// Number of physical workers (threads).  Fragments (virtual workers) are
+    /// mapped onto physical workers by the load balancer.
+    pub num_workers: usize,
+    /// Execution mode.
+    pub mode: EngineMode,
+    /// Safety net: abort with an error after this many supersteps (the
+    /// Assurance Theorem guarantees termination for monotonic programs, but a
+    /// buggy user program might not be monotonic).
+    pub max_supersteps: usize,
+    /// Take a checkpoint of all partial results every `n` supersteps
+    /// (`None` disables checkpointing).
+    pub checkpoint_every: Option<usize>,
+    /// Failures to inject (testing / evaluation of the recovery path).
+    pub injected_failures: Vec<InjectedFailure>,
+}
+
+impl EngineConfig {
+    /// A synchronous configuration with `num_workers` physical workers and
+    /// default safety limits.
+    pub fn with_workers(num_workers: usize) -> Self {
+        EngineConfig {
+            num_workers: num_workers.max(1),
+            mode: EngineMode::Synchronous,
+            max_supersteps: 100_000,
+            checkpoint_every: None,
+            injected_failures: Vec::new(),
+        }
+    }
+
+    /// Switches to the asynchronous extension.
+    pub fn asynchronous(mut self) -> Self {
+        self.mode = EngineMode::Asynchronous;
+        self
+    }
+
+    /// Sets the superstep safety limit.
+    pub fn with_max_supersteps(mut self, max: usize) -> Self {
+        self.max_supersteps = max.max(1);
+        self
+    }
+
+    /// Enables checkpointing every `n` supersteps.
+    pub fn with_checkpoint_every(mut self, n: usize) -> Self {
+        self.checkpoint_every = Some(n.max(1));
+        self
+    }
+
+    /// Adds an injected failure.
+    pub fn with_injected_failure(mut self, superstep: usize, fragment: usize) -> Self {
+        self.injected_failures.push(InjectedFailure { superstep, fragment });
+        self
+    }
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig::with_workers(std::thread::available_parallelism().map_or(4, |n| n.get()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_workers_clamps_to_one() {
+        assert_eq!(EngineConfig::with_workers(0).num_workers, 1);
+        assert_eq!(EngineConfig::with_workers(8).num_workers, 8);
+    }
+
+    #[test]
+    fn builder_methods_set_fields() {
+        let cfg = EngineConfig::with_workers(2)
+            .asynchronous()
+            .with_max_supersteps(50)
+            .with_checkpoint_every(5)
+            .with_injected_failure(3, 1);
+        assert_eq!(cfg.mode, EngineMode::Asynchronous);
+        assert_eq!(cfg.max_supersteps, 50);
+        assert_eq!(cfg.checkpoint_every, Some(5));
+        assert_eq!(cfg.injected_failures, vec![InjectedFailure { superstep: 3, fragment: 1 }]);
+    }
+
+    #[test]
+    fn default_config_is_synchronous_with_at_least_one_worker() {
+        let cfg = EngineConfig::default();
+        assert!(cfg.num_workers >= 1);
+        assert_eq!(cfg.mode, EngineMode::Synchronous);
+        assert!(cfg.checkpoint_every.is_none());
+    }
+}

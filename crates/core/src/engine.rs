@@ -1,0 +1,589 @@
+//! The GRAPE engine: coordinator, workers and the simultaneous fixpoint
+//! computation of Section 3.1.
+//!
+//! Given a fragmentation `F = (F_1, …, F_m)`, a PIE program and a query `Q`,
+//! the engine
+//!
+//! 1. runs `PEval` on every fragment in parallel (superstep 0),
+//! 2. collects the changed update parameters, resolves conflicts with
+//!    `aggregateMsg`, deduces destinations via the fragmentation graph `G_P`
+//!    and ships only *changed* values (the coordinator's message grouping of
+//!    Section 3.2(3)),
+//! 3. iterates `IncEval` on fragments with pending messages until no more
+//!    updates can be made (the fixpoint), and
+//! 4. calls `Assemble` on the partial results.
+//!
+//! Physical workers are OS threads; fragments are virtual workers mapped onto
+//! physical workers by the [`crate::load_balance::LoadBalancer`].  Metrics
+//! (supersteps, messages, bytes, wall time) are recorded in
+//! [`crate::metrics::EngineMetrics`], which is what the benchmark harness
+//! reports for every table and figure of the paper.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use grape_partition::fragment::{Fragment, Fragmentation};
+
+use crate::config::{EngineConfig, EngineMode};
+use crate::load_balance::LoadBalancer;
+use crate::metrics::{EngineMetrics, SuperstepMetrics};
+use crate::pie::{KeyVertex, Messages, PieProgram};
+
+/// Errors produced by an engine run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The fragmentation contains no fragments.
+    NoFragments,
+    /// The fixpoint was not reached within `max_supersteps` — the program
+    /// most likely violates the monotonic condition of the Assurance Theorem.
+    DidNotConverge {
+        /// The configured superstep limit that was hit.
+        max_supersteps: usize,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::NoFragments => write!(f, "fragmentation has no fragments"),
+            EngineError::DidNotConverge { max_supersteps } => write!(
+                f,
+                "no fixpoint after {max_supersteps} supersteps; \
+                 the PIE program is probably not monotonic"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// The result of an engine run: the assembled output plus run metrics.
+#[derive(Debug, Clone)]
+pub struct RunResult<O> {
+    /// The assembled answer `Q(G)`.
+    pub output: O,
+    /// Metrics of the run.
+    pub metrics: EngineMetrics,
+}
+
+/// Checkpoint of the whole computation state, used for failure recovery.
+struct Checkpoint<P: PieProgram> {
+    superstep: usize,
+    partials: Vec<Option<P::Partial>>,
+    inboxes: Vec<Vec<(P::Key, P::Value)>>,
+    delivered: Vec<HashMap<P::Key, P::Value>>,
+}
+
+/// The GRAPE parallel engine.
+#[derive(Debug, Clone, Default)]
+pub struct GrapeEngine {
+    config: EngineConfig,
+    balancer: LoadBalancer,
+}
+
+impl GrapeEngine {
+    /// Creates an engine with the given configuration and the default load
+    /// balancer.
+    pub fn new(config: EngineConfig) -> Self {
+        GrapeEngine { config, balancer: LoadBalancer::default() }
+    }
+
+    /// Overrides the load balancer.
+    pub fn with_balancer(mut self, balancer: LoadBalancer) -> Self {
+        self.balancer = balancer;
+        self
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Runs a PIE program over a fragmented graph and returns the assembled
+    /// output together with the run metrics.
+    pub fn run<P: PieProgram>(
+        &self,
+        fragmentation: &Fragmentation,
+        program: &P,
+        query: &P::Query,
+    ) -> Result<RunResult<P::Output>, EngineError> {
+        let m = fragmentation.num_fragments();
+        if m == 0 {
+            return Err(EngineError::NoFragments);
+        }
+        let total_start = Instant::now();
+        let mut metrics = EngineMetrics {
+            program: program.name().to_string(),
+            workers: self.config.num_workers,
+            fragments: m,
+            ..Default::default()
+        };
+
+        // (0) Optional d-hop fragment expansion (SubIso).  The shipped
+        // vertices/edges are counted as communication, mirroring the paper's
+        // "message M_i … including all nodes and edges in C_i.x̄ from other
+        // fragments".
+        let hops = program.expansion_hops(query);
+        let fragments: Vec<Fragment> = if hops > 0 {
+            let mut expanded = Vec::with_capacity(m);
+            for i in 0..m {
+                let (f, shipped_vertices, shipped_edges) = fragmentation.expand_fragment(i, hops);
+                metrics.add_expansion(shipped_vertices * 24 + shipped_edges * 24);
+                expanded.push(f);
+            }
+            expanded
+        } else {
+            fragmentation.fragments().to_vec()
+        };
+
+        // (1) Map virtual workers (fragments) to physical workers.
+        let assignment = self.balancer.assign(fragmentation, self.config.num_workers);
+
+        // Shared per-fragment state.
+        let partials: Vec<Mutex<Option<P::Partial>>> = (0..m).map(|_| Mutex::new(None)).collect();
+        let inboxes: Vec<Mutex<Vec<(P::Key, P::Value)>>> =
+            (0..m).map(|_| Mutex::new(Vec::new())).collect();
+        let mut delivered: Vec<HashMap<P::Key, P::Value>> = vec![HashMap::new(); m];
+        let mut checkpoint: Option<Checkpoint<P>> = None;
+        let mut handled_failures = vec![false; self.config.injected_failures.len()];
+
+        let gp = fragmentation.gp();
+        let scope = program.scope();
+        let mut superstep = 0usize;
+
+        loop {
+            if superstep >= self.config.max_supersteps {
+                return Err(EngineError::DidNotConverge {
+                    max_supersteps: self.config.max_supersteps,
+                });
+            }
+
+            // (1a) Failure injection + arbitrator recovery.
+            let mut failed = false;
+            for (idx, failure) in self.config.injected_failures.iter().enumerate() {
+                if !handled_failures[idx] && failure.superstep == superstep && failure.fragment < m {
+                    handled_failures[idx] = true;
+                    failed = true;
+                    metrics.recovered_failures += 1;
+                }
+            }
+            if failed {
+                match &checkpoint {
+                    Some(ckpt) => {
+                        superstep = ckpt.superstep;
+                        for (i, p) in ckpt.partials.iter().enumerate() {
+                            *partials[i].lock() = p.clone();
+                        }
+                        for (i, inbox) in ckpt.inboxes.iter().enumerate() {
+                            *inboxes[i].lock() = inbox.clone();
+                        }
+                        delivered = ckpt.delivered.clone();
+                    }
+                    None => {
+                        // No checkpoint yet: restart the whole computation.
+                        superstep = 0;
+                        for p in &partials {
+                            *p.lock() = None;
+                        }
+                        for inbox in &inboxes {
+                            inbox.lock().clear();
+                        }
+                        delivered.iter_mut().for_each(HashMap::clear);
+                    }
+                }
+            }
+
+            let step_start = Instant::now();
+            let is_peval = superstep == 0;
+
+            // (2) Decide which fragments are active this superstep.
+            let active: Vec<bool> = (0..m)
+                .map(|i| is_peval || !inboxes[i].lock().is_empty())
+                .collect();
+            let active_count = active.iter().filter(|&&a| a).count();
+            if active_count == 0 {
+                break;
+            }
+
+            // (3) Local evaluation (PEval in superstep 0, IncEval afterwards).
+            let outputs: Vec<Mutex<Vec<(P::Key, P::Value)>>> =
+                (0..m).map(|_| Mutex::new(Vec::new())).collect();
+
+            match self.config.mode {
+                EngineMode::Synchronous => {
+                    let fragments_ref = &fragments;
+                    let partials_ref = &partials;
+                    let inboxes_ref = &inboxes;
+                    let outputs_ref = &outputs;
+                    let active_ref = &active;
+                    std::thread::scope(|s| {
+                        for worker_fragments in &assignment {
+                            let worker_fragments = worker_fragments.clone();
+                            s.spawn(move || {
+                                for fi in worker_fragments {
+                                    if !active_ref[fi] {
+                                        continue;
+                                    }
+                                    let mut ctx = Messages::new();
+                                    if is_peval {
+                                        let partial =
+                                            program.peval(query, &fragments_ref[fi], &mut ctx);
+                                        *partials_ref[fi].lock() = Some(partial);
+                                    } else {
+                                        let msgs = std::mem::take(&mut *inboxes_ref[fi].lock());
+                                        let mut guard = partials_ref[fi].lock();
+                                        let partial = guard
+                                            .as_mut()
+                                            .expect("IncEval before PEval: missing partial result");
+                                        program.inc_eval(
+                                            query,
+                                            &fragments_ref[fi],
+                                            partial,
+                                            &msgs,
+                                            &mut ctx,
+                                        );
+                                    }
+                                    *outputs_ref[fi].lock() = ctx.take();
+                                }
+                            });
+                        }
+                    });
+                }
+                EngineMode::Asynchronous => {
+                    // Sequential sweep; messages produced by a fragment become
+                    // visible to later fragments in the same sweep.
+                    for fi in 0..m {
+                        if !active[fi] {
+                            continue;
+                        }
+                        let mut ctx = Messages::new();
+                        if is_peval {
+                            let partial = program.peval(query, &fragments[fi], &mut ctx);
+                            *partials[fi].lock() = Some(partial);
+                        } else {
+                            let msgs = std::mem::take(&mut *inboxes[fi].lock());
+                            let mut guard = partials[fi].lock();
+                            let partial = guard.as_mut().expect("missing partial result");
+                            program.inc_eval(query, &fragments[fi], partial, &msgs, &mut ctx);
+                        }
+                        *outputs[fi].lock() = ctx.take();
+                    }
+                }
+            }
+
+            // (4) Coordinator: aggregate conflicts, drop unchanged values,
+            // route via G_P, account communication.
+            let mut per_destination: Vec<HashMap<P::Key, P::Value>> =
+                (0..m).map(|_| HashMap::new()).collect();
+            for fi in 0..m {
+                if !active[fi] {
+                    continue;
+                }
+                for (key, value) in outputs[fi].lock().drain(..) {
+                    for dest in gp.route(key.vertex(), fi, scope) {
+                        match per_destination[dest].entry(key.clone()) {
+                            std::collections::hash_map::Entry::Occupied(mut slot) => {
+                                let merged =
+                                    program.aggregate(&key, slot.get().clone(), value.clone());
+                                slot.insert(merged);
+                            }
+                            std::collections::hash_map::Entry::Vacant(slot) => {
+                                slot.insert(value.clone());
+                            }
+                        }
+                    }
+                }
+            }
+            let mut routed_messages = 0usize;
+            let mut routed_bytes = 0usize;
+            for (dest, updates) in per_destination.into_iter().enumerate() {
+                let mut inbox = inboxes[dest].lock();
+                for (key, value) in updates {
+                    if delivered[dest].get(&key) == Some(&value) {
+                        continue; // unchanged since the last delivery
+                    }
+                    routed_messages += 1;
+                    routed_bytes += program.key_size(&key) + program.value_size(&value);
+                    delivered[dest].insert(key.clone(), value.clone());
+                    inbox.push((key, value));
+                }
+            }
+
+            metrics.push_superstep(SuperstepMetrics {
+                superstep,
+                active_fragments: active_count,
+                messages: routed_messages,
+                bytes: routed_bytes,
+                duration: step_start.elapsed(),
+            });
+            metrics.eval_time += step_start.elapsed();
+
+            // (5) Checkpoint.
+            if let Some(every) = self.config.checkpoint_every {
+                if (superstep + 1) % every == 0 {
+                    checkpoint = Some(Checkpoint {
+                        superstep: superstep + 1,
+                        partials: partials.iter().map(|p| p.lock().clone()).collect(),
+                        inboxes: inboxes.iter().map(|i| i.lock().clone()).collect(),
+                        delivered: delivered.clone(),
+                    });
+                    metrics.checkpoints += 1;
+                }
+            }
+
+            superstep += 1;
+            if routed_messages == 0 {
+                break; // fixpoint: no pending messages anywhere
+            }
+        }
+
+        // (6) Assemble.
+        let collected: Vec<P::Partial> = partials
+            .into_iter()
+            .map(|p| p.into_inner().expect("every fragment ran PEval"))
+            .collect();
+        let output = program.assemble(query, collected);
+        metrics.total_time = total_start.elapsed();
+        Ok(RunResult { output, metrics })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineConfig;
+    use grape_graph::builder::GraphBuilder;
+    use grape_graph::types::VertexId;
+    use grape_partition::edge_cut::{HashEdgeCut, RangeEdgeCut};
+    use grape_partition::fragmentation_graph::BorderScope;
+    use grape_partition::strategy::PartitionStrategy;
+    use std::collections::HashMap;
+
+    /// A miniature PIE program used to exercise the engine without the
+    /// algorithms crate: every vertex computes the minimum global vertex id
+    /// reachable *backwards* along edges (i.e. min id over ancestors within
+    /// its weakly-followed component by forward propagation).  Propagating
+    /// minima is monotonic, so the Assurance Theorem applies.
+    struct MinPropagation;
+
+    type MinPartial = HashMap<VertexId, u64>;
+
+    impl MinPropagation {
+        /// Local fixpoint: propagate minima along local out-edges.
+        fn local_propagate(frag: &Fragment, values: &mut MinPartial) {
+            let mut changed = true;
+            while changed {
+                changed = false;
+                for l in frag.all_locals() {
+                    let v = frag.global_of(l);
+                    let mine = values[&v];
+                    for n in frag.out_edges(l) {
+                        let t = frag.global_of(n.target as u32);
+                        if mine < values[&t] {
+                            values.insert(t, mine);
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    impl PieProgram for MinPropagation {
+        type Query = ();
+        type Partial = MinPartial;
+        type Key = VertexId;
+        type Value = u64;
+        type Output = HashMap<VertexId, u64>;
+
+        fn name(&self) -> &str {
+            "min-propagation"
+        }
+
+        fn scope(&self) -> BorderScope {
+            BorderScope::Out
+        }
+
+        fn peval(
+            &self,
+            _q: &(),
+            frag: &Fragment,
+            ctx: &mut Messages<VertexId, u64>,
+        ) -> MinPartial {
+            let mut values: MinPartial =
+                frag.all_locals().map(|l| (frag.global_of(l), frag.global_of(l))).collect();
+            Self::local_propagate(frag, &mut values);
+            for &l in frag.out_border_locals() {
+                let v = frag.global_of(l);
+                ctx.send(v, values[&v]);
+            }
+            values
+        }
+
+        fn inc_eval(
+            &self,
+            _q: &(),
+            frag: &Fragment,
+            partial: &mut MinPartial,
+            messages: &[(VertexId, u64)],
+            ctx: &mut Messages<VertexId, u64>,
+        ) {
+            let mut touched = false;
+            for (v, value) in messages {
+                if *value < partial[v] {
+                    partial.insert(*v, *value);
+                    touched = true;
+                }
+            }
+            if touched {
+                let before: MinPartial = partial.clone();
+                Self::local_propagate(frag, partial);
+                for &l in frag.out_border_locals() {
+                    let v = frag.global_of(l);
+                    if partial[&v] < before[&v] {
+                        ctx.send(v, partial[&v]);
+                    }
+                }
+            }
+        }
+
+        fn assemble(&self, _q: &(), partials: Vec<MinPartial>) -> HashMap<VertexId, u64> {
+            let mut out = HashMap::new();
+            for p in partials {
+                for (v, value) in p {
+                    out.entry(v).and_modify(|x: &mut u64| *x = (*x).min(value)).or_insert(value);
+                }
+            }
+            out
+        }
+
+        fn aggregate(&self, _key: &VertexId, a: u64, b: u64) -> u64 {
+            a.min(b)
+        }
+    }
+
+    fn ring_graph(n: u64) -> grape_graph::graph::Graph {
+        let mut b = GraphBuilder::directed();
+        for v in 0..n {
+            b.push_edge(grape_graph::types::Edge::unweighted(v, (v + 1) % n));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn min_propagation_reaches_global_fixpoint() {
+        let g = ring_graph(12);
+        let frag = RangeEdgeCut::new(3).partition(&g).unwrap();
+        let engine = GrapeEngine::new(EngineConfig::with_workers(3));
+        let result = engine.run(&frag, &MinPropagation, &()).unwrap();
+        // Every vertex of the ring should converge to the global minimum 0.
+        assert!(result.output.values().all(|&v| v == 0));
+        assert!(result.metrics.supersteps >= 2, "ring needs multiple supersteps");
+        assert!(result.metrics.total_messages > 0);
+    }
+
+    #[test]
+    fn single_fragment_terminates_after_peval() {
+        let g = ring_graph(8);
+        let frag = HashEdgeCut::new(1).partition(&g).unwrap();
+        let engine = GrapeEngine::new(EngineConfig::with_workers(2));
+        let result = engine.run(&frag, &MinPropagation, &()).unwrap();
+        assert_eq!(result.metrics.supersteps, 1);
+        assert_eq!(result.metrics.total_messages, 0);
+        assert!(result.output.values().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn asynchronous_mode_matches_synchronous_output() {
+        let g = ring_graph(16);
+        let frag = RangeEdgeCut::new(4).partition(&g).unwrap();
+        let sync = GrapeEngine::new(EngineConfig::with_workers(4))
+            .run(&frag, &MinPropagation, &())
+            .unwrap();
+        let async_ = GrapeEngine::new(EngineConfig::with_workers(4).asynchronous())
+            .run(&frag, &MinPropagation, &())
+            .unwrap();
+        assert_eq!(sync.output, async_.output);
+        assert!(async_.metrics.supersteps <= sync.metrics.supersteps);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_answer() {
+        let g = ring_graph(20);
+        let frag = HashEdgeCut::new(5).partition(&g).unwrap();
+        let one = GrapeEngine::new(EngineConfig::with_workers(1))
+            .run(&frag, &MinPropagation, &())
+            .unwrap();
+        let four = GrapeEngine::new(EngineConfig::with_workers(4))
+            .run(&frag, &MinPropagation, &())
+            .unwrap();
+        assert_eq!(one.output, four.output);
+    }
+
+    #[test]
+    fn failure_recovery_with_checkpoint_still_converges() {
+        let g = ring_graph(12);
+        let frag = RangeEdgeCut::new(3).partition(&g).unwrap();
+        let config = EngineConfig::with_workers(3)
+            .with_checkpoint_every(1)
+            .with_injected_failure(2, 1);
+        let result = GrapeEngine::new(config).run(&frag, &MinPropagation, &()).unwrap();
+        assert_eq!(result.metrics.recovered_failures, 1);
+        assert!(result.metrics.checkpoints >= 1);
+        assert!(result.output.values().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn failure_without_checkpoint_restarts_and_converges() {
+        let g = ring_graph(9);
+        let frag = RangeEdgeCut::new(3).partition(&g).unwrap();
+        let config = EngineConfig::with_workers(2).with_injected_failure(1, 0);
+        let result = GrapeEngine::new(config).run(&frag, &MinPropagation, &()).unwrap();
+        assert_eq!(result.metrics.recovered_failures, 1);
+        assert!(result.output.values().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn superstep_limit_returns_error() {
+        let g = ring_graph(32);
+        let frag = RangeEdgeCut::new(8).partition(&g).unwrap();
+        let config = EngineConfig::with_workers(2).with_max_supersteps(2);
+        let err = GrapeEngine::new(config).run(&frag, &MinPropagation, &()).unwrap_err();
+        assert_eq!(err, EngineError::DidNotConverge { max_supersteps: 2 });
+    }
+
+    #[test]
+    fn metrics_record_per_superstep_entries() {
+        let g = ring_graph(12);
+        let frag = RangeEdgeCut::new(4).partition(&g).unwrap();
+        let result = GrapeEngine::new(EngineConfig::with_workers(2))
+            .run(&frag, &MinPropagation, &())
+            .unwrap();
+        assert_eq!(result.metrics.per_superstep.len(), result.metrics.supersteps);
+        assert_eq!(result.metrics.fragments, 4);
+        assert!(result.metrics.seconds() >= 0.0);
+        assert!(result.metrics.summary().contains("min-propagation"));
+    }
+
+    #[test]
+    fn unchanged_values_are_not_reshipped() {
+        // The delivered-cache must drop repeated identical values.  With the
+        // ring, once a vertex's minimum stabilises no more messages flow.
+        let g = ring_graph(10);
+        let frag = RangeEdgeCut::new(2).partition(&g).unwrap();
+        let result = GrapeEngine::new(EngineConfig::with_workers(2))
+            .run(&frag, &MinPropagation, &())
+            .unwrap();
+        // Each border vertex can change at most a handful of times; far fewer
+        // messages than vertices × supersteps.
+        assert!(
+            result.metrics.total_messages
+                <= frag.num_border_vertices() * result.metrics.supersteps,
+            "messages {} vs bound {}",
+            result.metrics.total_messages,
+            frag.num_border_vertices() * result.metrics.supersteps
+        );
+    }
+}

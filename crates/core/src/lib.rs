@@ -1,0 +1,44 @@
+//! # grape-core
+//!
+//! The GRAPE engine — the primary contribution of
+//! *Parallelizing Sequential Graph Computations* (SIGMOD 2017).
+//!
+//! GRAPE parallelizes **sequential** graph algorithms as a whole: the user
+//! supplies a *PIE program* (a batch algorithm `PEval`, an incremental
+//! algorithm `IncEval`, and a combiner `Assemble`, plus the declaration of
+//! the status variables attached to border vertices), and the engine runs it
+//! over a fragmented graph as a simultaneous fixpoint:
+//!
+//! ```text
+//! R_i^0     = PEval(Q, F_i)
+//! R_i^{r+1} = IncEval(Q, R_i^r, F_i, M_i)      (messages M_i = changed update parameters)
+//! Q(G)      = Assemble(R_1^{r0}, …, R_m^{r0})  (when no more updates exist)
+//! ```
+//!
+//! Under the monotonic condition of the Assurance Theorem (update parameters
+//! drawn from a finite domain and updated along a partial order — enforced in
+//! practice by the `aggregateMsg` function), this terminates with the answer
+//! the sequential algorithms would produce.
+//!
+//! Modules:
+//!
+//! * [`pie`] — the [`pie::PieProgram`] trait (the programming model),
+//! * [`engine`] — the coordinator/worker runtime ([`engine::GrapeEngine`]),
+//! * [`config`] — engine configuration (workers, sync/async mode, fault
+//!   tolerance, superstep limits),
+//! * [`metrics`] — response-time / superstep / communication accounting,
+//! * [`load_balance`] — mapping of fragments (virtual workers) onto physical
+//!   workers,
+//! * [`simulate`] — MapReduce and BSP simulation layers (Theorem 2).
+
+pub mod config;
+pub mod engine;
+pub mod load_balance;
+pub mod metrics;
+pub mod pie;
+pub mod simulate;
+
+pub use config::{EngineConfig, EngineMode};
+pub use engine::{EngineError, GrapeEngine, RunResult};
+pub use metrics::EngineMetrics;
+pub use pie::{KeyVertex, Messages, PieProgram};

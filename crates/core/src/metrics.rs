@@ -1,0 +1,157 @@
+//! Runtime metrics of a GRAPE run: response time, supersteps and
+//! communication volume — the three quantities the paper's evaluation
+//! (Table 1, Figures 6, 8, 9) reports.
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// Per-superstep breakdown.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SuperstepMetrics {
+    /// Superstep index (0 = PEval, ≥ 1 = IncEval rounds).
+    pub superstep: usize,
+    /// Number of fragments that did local work in this superstep.
+    pub active_fragments: usize,
+    /// Messages routed to workers at the end of the superstep.
+    pub messages: usize,
+    /// Bytes shipped for those messages.
+    pub bytes: usize,
+    /// Wall-clock time of the superstep (local evaluation + routing).
+    #[serde(skip)]
+    pub duration: Duration,
+}
+
+/// Aggregate metrics of one engine run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct EngineMetrics {
+    /// Name of the PIE / vertex / block program that ran.
+    pub program: String,
+    /// Number of physical workers used.
+    pub workers: usize,
+    /// Number of fragments (virtual workers).
+    pub fragments: usize,
+    /// Total supersteps executed (PEval counts as the first).
+    pub supersteps: usize,
+    /// Total number of routed messages.
+    pub total_messages: usize,
+    /// Total communication volume in bytes (messages + fragment expansion).
+    pub total_bytes: usize,
+    /// Bytes attributable to `d`-hop fragment expansion (SubIso).
+    pub expansion_bytes: usize,
+    /// Number of injected worker failures that were recovered.
+    pub recovered_failures: usize,
+    /// Number of checkpoints taken.
+    pub checkpoints: usize,
+    /// Wall-clock time spent in PEval/IncEval across all supersteps.
+    #[serde(skip)]
+    pub eval_time: Duration,
+    /// Total wall-clock time of the run (evaluation + routing + assemble).
+    #[serde(skip)]
+    pub total_time: Duration,
+    /// Per-superstep breakdown.
+    pub per_superstep: Vec<SuperstepMetrics>,
+}
+
+impl EngineMetrics {
+    /// Communication volume in megabytes (the unit of Table 1 and Figure 8).
+    pub fn comm_megabytes(&self) -> f64 {
+        self.total_bytes as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Total wall-clock time in seconds (the unit of Table 1 and Figure 6).
+    pub fn seconds(&self) -> f64 {
+        self.total_time.as_secs_f64()
+    }
+
+    /// Records a finished superstep.
+    pub fn push_superstep(&mut self, step: SuperstepMetrics) {
+        self.supersteps = self.supersteps.max(step.superstep + 1);
+        self.total_messages += step.messages;
+        self.total_bytes += step.bytes;
+        self.per_superstep.push(step);
+    }
+
+    /// Adds expansion (d-hop neighborhood shipping) communication.
+    pub fn add_expansion(&mut self, bytes: usize) {
+        self.expansion_bytes += bytes;
+        self.total_bytes += bytes;
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: {} workers, {} fragments, {} supersteps, {} msgs, {:.3} MB, {:.3} s",
+            self.program,
+            self.workers,
+            self.fragments,
+            self.supersteps,
+            self.total_messages,
+            self.comm_megabytes(),
+            self.seconds()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_superstep_accumulates_totals() {
+        let mut m = EngineMetrics { program: "sssp".into(), workers: 4, ..Default::default() };
+        m.push_superstep(SuperstepMetrics {
+            superstep: 0,
+            active_fragments: 4,
+            messages: 10,
+            bytes: 160,
+            duration: Duration::from_millis(5),
+        });
+        m.push_superstep(SuperstepMetrics {
+            superstep: 1,
+            active_fragments: 2,
+            messages: 3,
+            bytes: 48,
+            duration: Duration::from_millis(2),
+        });
+        assert_eq!(m.supersteps, 2);
+        assert_eq!(m.total_messages, 13);
+        assert_eq!(m.total_bytes, 208);
+        assert_eq!(m.per_superstep.len(), 2);
+    }
+
+    #[test]
+    fn expansion_counts_towards_total_bytes() {
+        let mut m = EngineMetrics::default();
+        m.add_expansion(1024);
+        assert_eq!(m.expansion_bytes, 1024);
+        assert_eq!(m.total_bytes, 1024);
+    }
+
+    #[test]
+    fn unit_conversions() {
+        let m = EngineMetrics {
+            total_bytes: 2 * 1024 * 1024,
+            total_time: Duration::from_millis(1500),
+            ..Default::default()
+        };
+        assert!((m.comm_megabytes() - 2.0).abs() < 1e-9);
+        assert!((m.seconds() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_mentions_program_name() {
+        let m = EngineMetrics { program: "cc".into(), ..Default::default() };
+        assert!(m.summary().contains("cc"));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut m = EngineMetrics { program: "sim".into(), workers: 2, ..Default::default() };
+        m.push_superstep(SuperstepMetrics { superstep: 0, messages: 1, bytes: 8, ..Default::default() });
+        let json = serde_json::to_string(&m).unwrap();
+        let back: EngineMetrics = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.total_messages, 1);
+        assert_eq!(back.program, "sim");
+    }
+}

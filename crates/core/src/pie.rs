@@ -1,0 +1,203 @@
+//! The PIE programming model (Section 3 of the paper).
+//!
+//! A *PIE program* consists of three sequential functions — `PEval`,
+//! `IncEval` and `Assemble` — together with a *message preamble*: the
+//! declaration of status variables attached to border vertices (the *update
+//! parameters* `C_i.x̄`), a [`crate::pie::PieProgram::scope`] selecting
+//! whether they live on `F_i.O`, `F_i.I` or both, and an `aggregateMsg`
+//! conflict-resolution function.
+//!
+//! The GRAPE engine takes care of everything else: running PEval on every
+//! fragment in parallel, collecting the changed update parameters, resolving
+//! conflicts, routing them via the fragmentation graph `G_P`, iterating
+//! IncEval to a fixpoint and finally calling Assemble.
+
+use std::hash::Hash;
+
+use grape_graph::types::VertexId;
+use grape_partition::fragment::Fragment;
+use grape_partition::fragmentation_graph::BorderScope;
+
+/// Message keys identify an update parameter (a status variable).  The engine
+/// only needs to know which *vertex* the variable is attached to in order to
+/// route it through `G_P`; everything else about the key is opaque.
+pub trait KeyVertex {
+    /// The border vertex this update parameter is attached to.
+    fn vertex(&self) -> VertexId;
+}
+
+impl KeyVertex for VertexId {
+    fn vertex(&self) -> VertexId {
+        *self
+    }
+}
+
+/// Keys of the form `(tag, vertex)` — e.g. graph simulation attaches one
+/// Boolean variable `x_(u, v)` per (query node `u`, border vertex `v`) pair.
+impl KeyVertex for (u32, VertexId) {
+    fn vertex(&self) -> VertexId {
+        self.1
+    }
+}
+
+/// Message buffer handed to `PEval` / `IncEval`, playing the role of the
+/// *message segment* of the paper's programming interface: the program pushes
+/// the (changed) values of its update parameters here, and the engine turns
+/// them into messages.
+#[derive(Debug)]
+pub struct Messages<K, V> {
+    updates: Vec<(K, V)>,
+}
+
+impl<K, V> Messages<K, V> {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Messages { updates: Vec::new() }
+    }
+
+    /// Declares that the update parameter `key` now has value `value`.
+    ///
+    /// Programs should only send *changed* values (e.g. SSSP sends
+    /// `dist(s, v)` only when it decreased) — this is what keeps GRAPE's
+    /// communication so much below the vertex-centric systems.
+    pub fn send(&mut self, key: K, value: V) {
+        self.updates.push((key, value));
+    }
+
+    /// Number of buffered updates.
+    pub fn len(&self) -> usize {
+        self.updates.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.updates.is_empty()
+    }
+
+    /// Drains the buffered updates (used by the engine).
+    pub fn take(&mut self) -> Vec<(K, V)> {
+        std::mem::take(&mut self.updates)
+    }
+}
+
+impl<K, V> Default for Messages<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A PIE program: sequential `PEval`, `IncEval`, `Assemble` plus the message
+/// preamble (update-parameter scope and `aggregateMsg`).
+///
+/// The type parameters mirror the paper:
+///
+/// * [`PieProgram::Query`] — the query `Q ∈ 𝒬`,
+/// * [`PieProgram::Partial`] — the partial result `Q(F_i)` kept at worker `i`
+///   between supersteps,
+/// * [`PieProgram::Key`] / [`PieProgram::Value`] — an update parameter
+///   (status variable) and its value,
+/// * [`PieProgram::Output`] — the assembled answer `Q(G)`.
+pub trait PieProgram: Send + Sync {
+    /// The query type `Q`.
+    type Query: Clone + Send + Sync + 'static;
+    /// Per-fragment partial result `Q(F_i)`, persisted across supersteps.
+    /// `Clone` is required so the engine can checkpoint it for fault
+    /// tolerance.
+    type Partial: Clone + Send + 'static;
+    /// Identity of an update parameter.
+    type Key: KeyVertex + Clone + Eq + Hash + Send + Sync + 'static;
+    /// Value of an update parameter.
+    type Value: Clone + PartialEq + Send + Sync + 'static;
+    /// The assembled output `Q(G)`.
+    type Output: Send + 'static;
+
+    /// Human-readable program name, used in metrics and benchmark output.
+    fn name(&self) -> &str {
+        "pie-program"
+    }
+
+    /// Which border set the update parameters are attached to
+    /// (the candidate set `C_i` of the message preamble).
+    fn scope(&self) -> BorderScope {
+        BorderScope::Out
+    }
+
+    /// `d`-hop fragment expansion requested before PEval runs (the SubIso PIE
+    /// program returns the pattern diameter `d_Q` here; everything else keeps
+    /// the default `0`).
+    fn expansion_hops(&self, query: &Self::Query) -> usize {
+        let _ = query;
+        0
+    }
+
+    /// Partial evaluation: compute `Q(F_i)` on the local fragment and declare
+    /// the initial values of the update parameters through `ctx`.
+    fn peval(
+        &self,
+        query: &Self::Query,
+        frag: &Fragment,
+        ctx: &mut Messages<Self::Key, Self::Value>,
+    ) -> Self::Partial;
+
+    /// Incremental evaluation: compute `Q(F_i ⊕ M_i)` given the message `M_i`
+    /// (updates to this fragment's update parameters), reusing `partial`.
+    /// Changed update parameters are again declared through `ctx`.
+    fn inc_eval(
+        &self,
+        query: &Self::Query,
+        frag: &Fragment,
+        partial: &mut Self::Partial,
+        messages: &[(Self::Key, Self::Value)],
+        ctx: &mut Messages<Self::Key, Self::Value>,
+    );
+
+    /// Combines the partial results of all fragments into `Q(G)`.
+    fn assemble(&self, query: &Self::Query, partials: Vec<Self::Partial>) -> Self::Output;
+
+    /// `aggregateMsg`: resolves conflicts when several workers assign values
+    /// to the same update parameter in the same superstep (e.g. `min` for
+    /// SSSP distances).  Must be associative and commutative; together with a
+    /// partial order on values it gives the monotonic condition of the
+    /// Assurance Theorem.
+    fn aggregate(&self, key: &Self::Key, a: Self::Value, b: Self::Value) -> Self::Value;
+
+    /// Approximate wire size of a key, used for communication accounting.
+    fn key_size(&self, _key: &Self::Key) -> usize {
+        std::mem::size_of::<Self::Key>()
+    }
+
+    /// Approximate wire size of a value, used for communication accounting.
+    fn value_size(&self, _value: &Self::Value) -> usize {
+        std::mem::size_of::<Self::Value>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertex_id_key_routes_to_itself() {
+        let v: VertexId = 17;
+        assert_eq!(v.vertex(), 17);
+        assert_eq!((3u32, 42u64).vertex(), 42);
+    }
+
+    #[test]
+    fn message_buffer_accumulates_and_drains() {
+        let mut m: Messages<VertexId, f64> = Messages::new();
+        assert!(m.is_empty());
+        m.send(1, 0.5);
+        m.send(2, 1.5);
+        assert_eq!(m.len(), 2);
+        let drained = m.take();
+        assert_eq!(drained, vec![(1, 0.5), (2, 1.5)]);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn default_is_empty() {
+        let m: Messages<VertexId, bool> = Messages::default();
+        assert!(m.is_empty());
+    }
+}

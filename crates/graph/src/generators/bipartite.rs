@@ -1,0 +1,180 @@
+//! Bipartite user × item rating graph, the stand-in for `movieLens`
+//! (10M ratings between 71 567 users and 10 681 movies) used by the
+//! collaborative-filtering experiments.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::builder::GraphBuilder;
+use crate::graph::{Directedness, Graph};
+use crate::types::{Edge, VertexId};
+
+/// A generated rating workload: the bipartite graph plus the ground-truth
+/// latent factors the ratings were sampled from, so that tests and benches
+/// can measure how well SGD/ISGD recover them.
+#[derive(Debug, Clone)]
+pub struct RatingData {
+    /// Bipartite graph; vertices `0..num_users` are users, vertices
+    /// `num_users..num_users + num_items` are items, and every rating is a
+    /// directed user→item edge whose weight is the rating.
+    pub graph: Graph,
+    /// Number of user vertices.
+    pub num_users: usize,
+    /// Number of item vertices.
+    pub num_items: usize,
+    /// Dimensionality of the latent factors the ratings were generated from.
+    pub num_factors: usize,
+    /// Ground-truth user factors, `num_users × num_factors`.
+    pub user_factors: Vec<Vec<f64>>,
+    /// Ground-truth item factors, `num_items × num_factors`.
+    pub item_factors: Vec<Vec<f64>>,
+}
+
+impl RatingData {
+    /// Global vertex id of user `u`.
+    pub fn user_vertex(&self, u: usize) -> VertexId {
+        u as VertexId
+    }
+
+    /// Global vertex id of item `i`.
+    pub fn item_vertex(&self, i: usize) -> VertexId {
+        (self.num_users + i) as VertexId
+    }
+
+    /// Whether a vertex id denotes a user.
+    pub fn is_user(&self, v: VertexId) -> bool {
+        (v as usize) < self.num_users
+    }
+
+    /// The ground-truth rating of `(user, item)` (dot product of the latent
+    /// factors, clamped to the 1–5 star scale).
+    pub fn true_rating(&self, user: usize, item: usize) -> f64 {
+        let dot: f64 = self.user_factors[user]
+            .iter()
+            .zip(&self.item_factors[item])
+            .map(|(a, b)| a * b)
+            .sum();
+        dot.clamp(1.0, 5.0)
+    }
+}
+
+/// Generates a rating workload.
+///
+/// * `num_users`, `num_items` — sizes of the two vertex classes,
+/// * `num_ratings` — number of observed ratings (edges),
+/// * `num_factors` — latent dimensionality of the ground truth,
+/// * `seed` — RNG seed.
+///
+/// Item popularity is Zipf-like (a few blockbusters receive most ratings),
+/// ratings are `u·i + noise` clamped to `[1, 5]`.
+pub fn bipartite_ratings(
+    num_users: usize,
+    num_items: usize,
+    num_ratings: usize,
+    num_factors: usize,
+    seed: u64,
+) -> RatingData {
+    assert!(num_users > 0 && num_items > 0, "need at least one user and item");
+    assert!(num_factors > 0, "need at least one latent factor");
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let factor = |rng: &mut StdRng| -> Vec<f64> {
+        (0..num_factors).map(|_| rng.gen_range(0.2..1.5)).collect()
+    };
+    let user_factors: Vec<Vec<f64>> = (0..num_users).map(|_| factor(&mut rng)).collect();
+    let item_factors: Vec<Vec<f64>> = (0..num_items).map(|_| factor(&mut rng)).collect();
+
+    let mut builder = GraphBuilder::new(Directedness::Directed)
+        .ensure_vertices(num_users + num_items)
+        .with_capacity(num_ratings);
+
+    let mut seen = std::collections::HashSet::with_capacity(num_ratings);
+    let mut added = 0usize;
+    let mut attempts = 0usize;
+    let max_attempts = num_ratings.saturating_mul(10).max(100);
+    while added < num_ratings && attempts < max_attempts {
+        attempts += 1;
+        let user = rng.gen_range(0..num_users);
+        // Zipf-like item popularity: square the uniform draw.
+        let u: f64 = rng.gen();
+        let item = ((u * u * num_items as f64) as usize).min(num_items - 1);
+        if !seen.insert((user, item)) {
+            continue;
+        }
+        let dot: f64 = user_factors[user]
+            .iter()
+            .zip(&item_factors[item])
+            .map(|(a, b)| a * b)
+            .sum();
+        let noise = rng.gen_range(-0.25..0.25);
+        let rating = (dot + noise).clamp(1.0, 5.0);
+        builder.push_edge(Edge::weighted(
+            user as VertexId,
+            (num_users + item) as VertexId,
+            rating,
+        ));
+        added += 1;
+    }
+
+    RatingData {
+        graph: builder.build(),
+        num_users,
+        num_items,
+        num_factors,
+        user_factors,
+        item_factors,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertex_classes_and_sizes() {
+        let data = bipartite_ratings(50, 20, 300, 4, 1);
+        assert_eq!(data.graph.num_vertices(), 70);
+        assert!(data.graph.num_edges() > 250 && data.graph.num_edges() <= 300);
+        assert!(data.is_user(10));
+        assert!(!data.is_user(60));
+        assert_eq!(data.item_vertex(3), 53);
+    }
+
+    #[test]
+    fn all_edges_go_from_users_to_items_with_valid_ratings() {
+        let data = bipartite_ratings(30, 10, 150, 3, 2);
+        for e in data.graph.edges() {
+            assert!(data.is_user(e.src));
+            assert!(!data.is_user(e.dst));
+            assert!((1.0..=5.0).contains(&e.weight), "rating {}", e.weight);
+        }
+    }
+
+    #[test]
+    fn no_duplicate_ratings() {
+        let data = bipartite_ratings(20, 10, 150, 2, 3);
+        let mut seen = std::collections::HashSet::new();
+        for e in data.graph.edges() {
+            assert!(seen.insert((e.src, e.dst)), "duplicate rating {:?}", (e.src, e.dst));
+        }
+    }
+
+    #[test]
+    fn ratings_track_ground_truth() {
+        let data = bipartite_ratings(40, 15, 400, 3, 4);
+        for e in data.graph.edges() {
+            let user = e.src as usize;
+            let item = e.dst as usize - data.num_users;
+            let truth = data.true_rating(user, item);
+            assert!((e.weight - truth).abs() <= 0.26, "rating too far from truth");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = bipartite_ratings(25, 10, 100, 2, 9);
+        let b = bipartite_ratings(25, 10, 100, 2, 9);
+        assert_eq!(a.graph.edges(), b.graph.edges());
+        assert_eq!(a.user_factors, b.user_factors);
+    }
+}

@@ -1,0 +1,124 @@
+//! Knowledge-graph stand-in (replaces `DBpedia`): power-law topology with a
+//! rich alphabet of node *and* edge types.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::builder::GraphBuilder;
+use crate::graph::{Directedness, Graph};
+use crate::types::{Edge, VertexId};
+
+/// Generates a directed, labeled knowledge-graph-like graph.
+///
+/// * `num_vertices`, `num_edges` — size of the graph,
+/// * `node_labels` — size of the node type alphabet (DBpedia: 200 types),
+/// * `edge_labels` — size of the edge type alphabet (DBpedia: 160 types),
+/// * `seed` — RNG seed.
+///
+/// Topology is preferential-attachment-like: the destination of each edge is
+/// biased towards earlier (already popular) vertices, producing hubs such as
+/// the entity pages everything links to.  Node types are assigned with a
+/// Zipf-like skew so that some types are common and some rare, which is what
+/// gives pattern queries their selectivity.
+pub fn labeled_kg(
+    num_vertices: usize,
+    num_edges: usize,
+    node_labels: u32,
+    edge_labels: u32,
+    seed: u64,
+) -> Graph {
+    assert!(num_vertices > 0, "graph must have at least one vertex");
+    assert!(node_labels > 0, "knowledge graphs need node labels");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::new(Directedness::Directed)
+        .ensure_vertices(num_vertices)
+        .with_capacity(num_edges);
+
+    for _ in 0..num_edges {
+        let src = rng.gen_range(0..num_vertices as u64) as VertexId;
+        // Preferential-attachment-like skew: square the uniform draw so low
+        // ids (hubs) are chosen more often.
+        let u: f64 = rng.gen();
+        let dst = ((u * u * num_vertices as f64) as u64).min(num_vertices as u64 - 1) as VertexId;
+        if src == dst {
+            continue;
+        }
+        let label = if edge_labels > 0 { rng.gen_range(1..=edge_labels) } else { 0 };
+        builder.push_edge(Edge::new(src, dst, rng.gen_range(1.0..10.0), label));
+    }
+
+    for v in 0..num_vertices as VertexId {
+        // Zipf-like node type assignment: type t chosen with weight ~ 1/t.
+        let label = zipf_label(&mut rng, node_labels);
+        builder.push_vertex_label(v, label);
+    }
+    builder.build()
+}
+
+/// Draws a label in `1..=k` with probability proportional to `1 / label`.
+fn zipf_label(rng: &mut StdRng, k: u32) -> u32 {
+    let norm: f64 = (1..=k).map(|i| 1.0 / i as f64).sum();
+    let mut target = rng.gen::<f64>() * norm;
+    for i in 1..=k {
+        target -= 1.0 / i as f64;
+        if target <= 0.0 {
+            return i;
+        }
+    }
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_is_close_to_requested() {
+        let g = labeled_kg(1000, 4000, 20, 10, 3);
+        assert_eq!(g.num_vertices(), 1000);
+        // Self loops are skipped, so the edge count may be slightly lower.
+        assert!(g.num_edges() > 3800 && g.num_edges() <= 4000);
+    }
+
+    #[test]
+    fn node_and_edge_labels_in_range() {
+        let g = labeled_kg(300, 1000, 7, 4, 11);
+        for v in g.vertices() {
+            assert!((1..=7).contains(&g.vertex_label(v)));
+        }
+        for e in g.edges() {
+            assert!((1..=4).contains(&e.label));
+        }
+    }
+
+    #[test]
+    fn node_label_distribution_is_skewed() {
+        let g = labeled_kg(5000, 5000, 10, 1, 21);
+        let mut counts = vec![0usize; 11];
+        for v in g.vertices() {
+            counts[g.vertex_label(v) as usize] += 1;
+        }
+        assert!(
+            counts[1] > counts[10] * 2,
+            "label 1 ({}) should be much more common than label 10 ({})",
+            counts[1],
+            counts[10]
+        );
+    }
+
+    #[test]
+    fn destination_distribution_has_hubs() {
+        let g = labeled_kg(2000, 10000, 5, 5, 2);
+        let max_in = g.vertices().map(|v| g.in_degree(v)).max().unwrap();
+        let avg_in = g.num_edges() as f64 / g.num_vertices() as f64;
+        assert!(max_in as f64 > 5.0 * avg_in, "max in-degree {max_in} vs avg {avg_in}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = labeled_kg(200, 800, 6, 3, 99);
+        let b = labeled_kg(200, 800, 6, 3, 99);
+        assert_eq!(a.edges(), b.edges());
+        assert_eq!(a.vertex_labels(), b.vertex_labels());
+    }
+}

@@ -1,0 +1,28 @@
+//! Synthetic workload generators.
+//!
+//! The paper evaluates GRAPE on four real-life datasets plus synthetic graphs.
+//! Those datasets are not redistributable here, so each one has a synthetic
+//! stand-in that preserves the structural property the corresponding
+//! experiments depend on (see DESIGN.md §3):
+//!
+//! | paper dataset | generator | preserved property |
+//! |---|---|---|
+//! | `traffic` (US road network) | [`road_grid`] | huge diameter, constant degree |
+//! | `liveJournal` (social network) | [`power_law`] | skewed degrees, small diameter, 100 labels |
+//! | `DBpedia` (knowledge base) | [`labeled_kg`] | many node/edge types, power-law degrees |
+//! | `movieLens` (ratings) | [`bipartite_ratings`] | sparse user×item bipartite ratings |
+//! | synthetic Fig. 9 graphs | [`power_law`] size sweep | controlled `(|V|, |E|)` |
+//!
+//! All generators are deterministic functions of their seed.
+
+mod bipartite;
+mod labeled;
+mod power_law;
+mod random;
+mod road;
+
+pub use bipartite::{bipartite_ratings, RatingData};
+pub use labeled::labeled_kg;
+pub use power_law::power_law;
+pub use random::erdos_renyi;
+pub use road::road_grid;

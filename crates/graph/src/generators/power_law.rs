@@ -1,0 +1,151 @@
+//! Power-law / social-network stand-in (R-MAT style), replacing `liveJournal`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::builder::GraphBuilder;
+use crate::graph::{Directedness, Graph};
+use crate::types::{Edge, Label, VertexId};
+
+/// R-MAT quadrant probabilities producing skewed (power-law-like) degree
+/// distributions, as in the original R-MAT paper.
+const A: f64 = 0.57;
+const B: f64 = 0.19;
+const C: f64 = 0.19;
+
+/// Generates a directed power-law graph with `num_vertices` vertices,
+/// `num_edges` edges, vertex labels drawn uniformly from `1..=num_labels`
+/// (0 labels ⇒ unlabeled) and edge weights uniform in `[1, 10)`.
+///
+/// This is the stand-in for the paper's `liveJournal` social network
+/// (4.8M nodes, 68M edges, 100 labels): a small-diameter graph with a heavy
+/// degree tail, so traversal converges in tens of supersteps and pattern
+/// queries find many candidate matches.
+pub fn power_law(num_vertices: usize, num_edges: usize, num_labels: u32, seed: u64) -> Graph {
+    assert!(num_vertices > 0, "graph must have at least one vertex");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let scale = (num_vertices as f64).log2().ceil().max(1.0) as u32;
+    let side = 1u64 << scale;
+
+    let mut builder = GraphBuilder::new(Directedness::Directed)
+        .ensure_vertices(num_vertices)
+        .with_capacity(num_edges);
+
+    let mut generated = 0usize;
+    let mut attempts = 0usize;
+    let max_attempts = num_edges.saturating_mul(4).max(64);
+    while generated < num_edges && attempts < max_attempts {
+        attempts += 1;
+        let (src, dst) = rmat_edge(&mut rng, side, scale);
+        let src = (src % num_vertices as u64) as VertexId;
+        let dst = (dst % num_vertices as u64) as VertexId;
+        if src == dst {
+            continue;
+        }
+        let weight = rng.gen_range(1.0..10.0);
+        builder.push_edge(Edge::weighted(src, dst, weight));
+        generated += 1;
+    }
+    // Top up with uniform random edges if R-MAT rejected too many self loops.
+    while generated < num_edges {
+        let src = rng.gen_range(0..num_vertices as u64);
+        let dst = rng.gen_range(0..num_vertices as u64);
+        if src == dst {
+            continue;
+        }
+        builder.push_edge(Edge::weighted(src, dst, rng.gen_range(1.0..10.0)));
+        generated += 1;
+    }
+
+    if num_labels > 0 {
+        for v in 0..num_vertices as VertexId {
+            let label: Label = rng.gen_range(1..=num_labels);
+            builder.push_vertex_label(v, label);
+        }
+    }
+    builder.build()
+}
+
+/// Draws one R-MAT edge by recursively descending `scale` levels of the
+/// adjacency matrix.
+fn rmat_edge(rng: &mut StdRng, side: u64, scale: u32) -> (u64, u64) {
+    let mut x_low = 0u64;
+    let mut y_low = 0u64;
+    let mut len = side;
+    for _ in 0..scale {
+        len /= 2;
+        let r: f64 = rng.gen();
+        // Perturb probabilities slightly per level to avoid exact self-similarity.
+        let noise = (rng.gen::<f64>() - 0.5) * 0.1;
+        let a = (A + noise).clamp(0.05, 0.9);
+        if r < a {
+            // top-left quadrant
+        } else if r < a + B {
+            y_low += len;
+        } else if r < a + B + C {
+            x_low += len;
+        } else {
+            x_low += len;
+            y_low += len;
+        }
+        if len == 0 {
+            break;
+        }
+    }
+    (x_low, y_low)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_requested_size() {
+        let g = power_law(1000, 5000, 10, 42);
+        assert_eq!(g.num_vertices(), 1000);
+        assert_eq!(g.num_edges(), 5000);
+    }
+
+    #[test]
+    fn labels_in_range_when_requested() {
+        let g = power_law(200, 600, 5, 1);
+        for v in g.vertices() {
+            let l = g.vertex_label(v);
+            assert!((1..=5).contains(&l), "label {l} out of range");
+        }
+    }
+
+    #[test]
+    fn unlabeled_when_zero_labels() {
+        let g = power_law(100, 200, 0, 1);
+        assert!(g.vertices().all(|v| g.vertex_label(v) == 0));
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let g = power_law(500, 2000, 3, 9);
+        assert!(g.edges().iter().all(|e| e.src != e.dst));
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        let g = power_law(2000, 16000, 0, 7);
+        let mut degrees: Vec<usize> = g.vertices().map(|v| g.out_degree(v)).collect();
+        degrees.sort_unstable_by(|a, b| b.cmp(a));
+        let top_1_percent: usize = degrees.iter().take(degrees.len() / 100).sum();
+        let total: usize = degrees.iter().sum();
+        // The hubs of an R-MAT graph own far more than their uniform share.
+        assert!(
+            top_1_percent as f64 > 0.03 * total as f64,
+            "expected skew, top 1% owns {top_1_percent}/{total}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = power_law(300, 900, 4, 5);
+        let b = power_law(300, 900, 4, 5);
+        assert_eq!(a.edges(), b.edges());
+        assert_eq!(a.vertex_labels(), b.vertex_labels());
+    }
+}

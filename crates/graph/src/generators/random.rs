@@ -1,0 +1,85 @@
+//! Uniform (Erdős–Rényi `G(n, m)`) random graphs, used mainly by property
+//! tests and by ablation benches that need unstructured inputs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::builder::GraphBuilder;
+use crate::graph::{Directedness, Graph};
+use crate::types::{Edge, VertexId};
+
+/// Generates a uniform random graph with exactly `num_edges` edges (self
+/// loops excluded, duplicates allowed), vertex labels uniform in
+/// `1..=num_labels` when `num_labels > 0`, edge weights uniform in `[1, 10)`.
+pub fn erdos_renyi(
+    num_vertices: usize,
+    num_edges: usize,
+    num_labels: u32,
+    directedness: Directedness,
+    seed: u64,
+) -> Graph {
+    assert!(num_vertices > 1 || num_edges == 0, "cannot place edges on < 2 vertices");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::new(directedness)
+        .ensure_vertices(num_vertices)
+        .with_capacity(num_edges);
+    let mut added = 0usize;
+    while added < num_edges {
+        let src = rng.gen_range(0..num_vertices as u64) as VertexId;
+        let dst = rng.gen_range(0..num_vertices as u64) as VertexId;
+        if src == dst {
+            continue;
+        }
+        builder.push_edge(Edge::weighted(src, dst, rng.gen_range(1.0..10.0)));
+        added += 1;
+    }
+    if num_labels > 0 {
+        for v in 0..num_vertices as VertexId {
+            builder.push_vertex_label(v, rng.gen_range(1..=num_labels));
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_edge_count_and_no_self_loops() {
+        let g = erdos_renyi(100, 500, 0, Directedness::Directed, 1);
+        assert_eq!(g.num_vertices(), 100);
+        assert_eq!(g.num_edges(), 500);
+        assert!(g.edges().iter().all(|e| e.src != e.dst));
+    }
+
+    #[test]
+    fn undirected_variant_is_symmetric() {
+        let g = erdos_renyi(50, 200, 0, Directedness::Undirected, 2);
+        for v in g.vertices() {
+            for n in g.out_neighbors(v) {
+                assert!(g.out_neighbors(n.target).iter().any(|m| m.target == v));
+            }
+        }
+    }
+
+    #[test]
+    fn labels_present_when_requested() {
+        let g = erdos_renyi(40, 80, 6, Directedness::Directed, 3);
+        assert!(g.vertices().all(|v| (1..=6).contains(&g.vertex_label(v))));
+    }
+
+    #[test]
+    fn zero_edge_graph() {
+        let g = erdos_renyi(10, 0, 0, Directedness::Directed, 4);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.num_vertices(), 10);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = erdos_renyi(60, 300, 2, Directedness::Directed, 5);
+        let b = erdos_renyi(60, 300, 2, Directedness::Directed, 5);
+        assert_eq!(a.edges(), b.edges());
+    }
+}

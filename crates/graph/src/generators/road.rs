@@ -1,0 +1,100 @@
+//! Road-network stand-in: a 2-D grid with positive random edge weights.
+//!
+//! The defining property of the paper's `traffic` dataset (23M nodes, 58M
+//! edges, US road network) for the experiments is its *huge diameter* and
+//! near-constant degree: vertex-centric systems need on the order of the
+//! diameter supersteps (Giraph took 10 752 on traffic), whereas GRAPE only
+//! needs about `diameter / fragment-width` supersteps (18 in the paper).  A
+//! grid of `w × h` intersections reproduces exactly that regime with
+//! `diameter = w + h - 2`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::builder::GraphBuilder;
+use crate::graph::{Directedness, Graph};
+use crate::types::{Edge, VertexId};
+
+/// Generates a `width × height` grid road network.
+///
+/// Every intersection is connected to its four neighbours with a pair of
+/// directed edges (one per direction) whose weights are drawn uniformly from
+/// `[1, 10)`, mimicking road segment lengths.
+pub fn road_grid(width: usize, height: usize, seed: u64) -> Graph {
+    assert!(width > 0 && height > 0, "grid dimensions must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let id = |x: usize, y: usize| (y * width + x) as VertexId;
+    let mut builder = GraphBuilder::new(Directedness::Directed)
+        .ensure_vertices(width * height)
+        .with_capacity(4 * width * height);
+    for y in 0..height {
+        for x in 0..width {
+            if x + 1 < width {
+                let w = rng.gen_range(1.0..10.0);
+                builder.push_edge(Edge::weighted(id(x, y), id(x + 1, y), w));
+                builder.push_edge(Edge::weighted(id(x + 1, y), id(x, y), w));
+            }
+            if y + 1 < height {
+                let w = rng.gen_range(1.0..10.0);
+                builder.push_edge(Edge::weighted(id(x, y), id(x, y + 1), w));
+                builder.push_edge(Edge::weighted(id(x, y + 1), id(x, y), w));
+            }
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_has_expected_size() {
+        let g = road_grid(10, 5, 1);
+        assert_eq!(g.num_vertices(), 50);
+        // Horizontal: 9*5 per direction, vertical: 10*4 per direction.
+        assert_eq!(g.num_edges(), 2 * (9 * 5 + 10 * 4));
+    }
+
+    #[test]
+    fn corner_and_interior_degrees() {
+        let g = road_grid(4, 4, 2);
+        assert_eq!(g.out_degree(0), 2); // corner
+        assert_eq!(g.out_degree(5), 4); // interior (x=1,y=1)
+    }
+
+    #[test]
+    fn weights_are_positive_and_symmetric_per_segment() {
+        let g = road_grid(3, 3, 3);
+        for e in g.edges() {
+            assert!(e.weight >= 1.0 && e.weight < 10.0);
+        }
+        // Each segment appears in both directions with the same weight.
+        for v in g.vertices() {
+            for n in g.out_neighbors(v) {
+                let back = g
+                    .out_neighbors(n.target)
+                    .iter()
+                    .find(|m| m.target == v)
+                    .expect("reverse edge exists");
+                assert_eq!(back.weight, n.weight);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = road_grid(6, 6, 7);
+        let b = road_grid(6, 6, 7);
+        assert_eq!(a.edges(), b.edges());
+    }
+
+    #[test]
+    fn single_row_grid_is_a_path() {
+        let g = road_grid(5, 1, 0);
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 8);
+        assert_eq!(g.out_degree(0), 1);
+        assert_eq!(g.out_degree(2), 2);
+    }
+}

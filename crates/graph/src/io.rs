@@ -1,0 +1,162 @@
+//! Plain-text edge-list readers/writers.
+//!
+//! The format is whitespace separated, one edge per line:
+//!
+//! ```text
+//! # comment lines start with '#' or '%'
+//! <src> <dst> [weight] [label]
+//! ```
+//!
+//! which is compatible with the SNAP-style edge lists the paper's datasets
+//! (liveJournal, traffic) are distributed in.  [`Graph`] additionally
+//! implements `serde::{Serialize, Deserialize}` for binary/JSON snapshots.
+
+use std::io::{self, BufRead, BufWriter, Write};
+use std::path::Path;
+
+use crate::graph::{Directedness, Graph};
+use crate::types::{Edge, Label, VertexId, Weight, NO_LABEL, UNIT_WEIGHT};
+
+/// Errors produced by the readers.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A line that could not be parsed, with its 1-based line number.
+    Parse { line: usize, content: String },
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o error: {e}"),
+            IoError::Parse { line, content } => {
+                write!(f, "cannot parse edge list line {line}: {content:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<io::Error> for IoError {
+    fn from(e: io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Parses an edge list from any reader.
+pub fn read_edge_list<R: BufRead>(reader: R, directedness: Directedness) -> Result<Graph, IoError> {
+    let mut edges = Vec::new();
+    let mut max_vertex: Option<VertexId> = None;
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let parse_err = || IoError::Parse { line: idx + 1, content: trimmed.to_string() };
+        let src: VertexId = parts.next().ok_or_else(parse_err)?.parse().map_err(|_| parse_err())?;
+        let dst: VertexId = parts.next().ok_or_else(parse_err)?.parse().map_err(|_| parse_err())?;
+        let weight: Weight = match parts.next() {
+            Some(w) => w.parse().map_err(|_| parse_err())?,
+            None => UNIT_WEIGHT,
+        };
+        let label: Label = match parts.next() {
+            Some(l) => l.parse().map_err(|_| parse_err())?,
+            None => NO_LABEL,
+        };
+        max_vertex = Some(max_vertex.map_or(src.max(dst), |m| m.max(src).max(dst)));
+        edges.push(Edge::new(src, dst, weight, label));
+    }
+    let n = max_vertex.map_or(0, |m| m as usize + 1);
+    let labels = vec![NO_LABEL; n];
+    Ok(Graph::from_parts(directedness, n, edges, labels))
+}
+
+/// Reads an edge list from a file path.
+pub fn read_edge_list_file<P: AsRef<Path>>(
+    path: P,
+    directedness: Directedness,
+) -> Result<Graph, IoError> {
+    let file = std::fs::File::open(path)?;
+    read_edge_list(io::BufReader::new(file), directedness)
+}
+
+/// Writes the graph's edge list (weight and label included) to a writer.
+pub fn write_edge_list<W: Write>(graph: &Graph, writer: W) -> Result<(), IoError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# grape edge list: {} vertices, {} edges", graph.num_vertices(), graph.num_edges())?;
+    for e in graph.edges() {
+        writeln!(w, "{} {} {} {}", e.src, e.dst, e.weight, e.label)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes the graph's edge list to a file path.
+pub fn write_edge_list_file<P: AsRef<Path>>(graph: &Graph, path: P) -> Result<(), IoError> {
+    let file = std::fs::File::create(path)?;
+    write_edge_list(graph, file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_basic_edge_list_with_comments() {
+        let text = "# header\n0 1\n1 2 3.5\n% another comment\n2 0 1.0 7\n\n";
+        let g = read_edge_list(Cursor::new(text), Directedness::Directed).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.out_neighbors(1)[0].weight, 3.5);
+        assert_eq!(g.out_neighbors(2)[0].label, 7);
+    }
+
+    #[test]
+    fn rejects_malformed_lines_with_location() {
+        let text = "0 1\nnot an edge\n";
+        let err = read_edge_list(Cursor::new(text), Directedness::Directed).unwrap_err();
+        match err {
+            IoError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_graph() {
+        let g = read_edge_list(Cursor::new("# nothing\n"), Directedness::Undirected).unwrap();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let g = GraphBuilder::directed()
+            .add_labeled_edge(0, 1, 2.0, 3)
+            .add_labeled_edge(1, 4, 0.5, 9)
+            .build();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let back = read_edge_list(Cursor::new(buf), Directedness::Directed).unwrap();
+        assert_eq!(back.num_vertices(), g.num_vertices());
+        assert_eq!(back.num_edges(), g.num_edges());
+        assert_eq!(back.out_neighbors(1)[0].label, 9);
+        assert_eq!(back.out_neighbors(0)[0].weight, 2.0);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let g = GraphBuilder::undirected().add_edge(0, 1).add_edge(1, 2).build();
+        let dir = std::env::temp_dir();
+        let path = dir.join("grape_io_test_edges.txt");
+        write_edge_list_file(&g, &path).unwrap();
+        let back = read_edge_list_file(&path, Directedness::Undirected).unwrap();
+        assert_eq!(back.num_edges(), 2);
+        let _ = std::fs::remove_file(path);
+    }
+}

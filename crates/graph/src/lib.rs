@@ -1,0 +1,33 @@
+//! # grape-graph
+//!
+//! Graph storage and synthetic workload generators for the GRAPE (SIGMOD
+//! 2017) reproduction.
+//!
+//! The crate provides:
+//!
+//! * [`graph::Graph`] — an immutable, CSR-backed, labeled and weighted graph
+//!   (directed or undirected) with forward and reverse adjacency,
+//! * [`builder::GraphBuilder`] — an incremental builder producing [`graph::Graph`],
+//! * [`pattern::Pattern`] — small labeled pattern graphs used by graph-pattern
+//!   matching (Sim / SubIso),
+//! * [`generators`] — synthetic stand-ins for the paper's datasets
+//!   (road grid ≙ *traffic*, power-law ≙ *liveJournal*, labeled knowledge graph
+//!   ≙ *DBpedia*, bipartite ratings ≙ *movieLens*),
+//! * [`io`] — plain-text edge-list readers/writers and serde support.
+//!
+//! All vertex identifiers are dense `0..n` integers ([`types::VertexId`]);
+//! this is what lets fragments and the fragmentation graph index status
+//! variables with plain vectors.
+
+pub mod builder;
+pub mod csr;
+pub mod generators;
+pub mod graph;
+pub mod io;
+pub mod pattern;
+pub mod types;
+
+pub use builder::GraphBuilder;
+pub use graph::{Directedness, Graph};
+pub use pattern::Pattern;
+pub use types::{EdgeId, Label, VertexId, Weight};

@@ -1,0 +1,107 @@
+//! Fundamental identifier and attribute types shared across the workspace.
+//!
+//! Vertices are identified by dense integers in `0..n`, which keeps fragment
+//! state (status variables, `dist(s, v)`, component ids, …) addressable by
+//! plain `Vec` indexing and makes message keys cheap to hash and ship.
+
+use serde::{Deserialize, Serialize};
+
+/// Global identifier of a vertex.  Dense: a graph with `n` vertices uses ids
+/// `0..n`.
+pub type VertexId = u64;
+
+/// Identifier of an edge, i.e. its position in the graph's edge list.
+pub type EdgeId = u64;
+
+/// Label attached to a vertex or an edge (paper: `L(v)`, `L(e)`).
+///
+/// Labels are small integers drawn from a finite alphabet; the generators
+/// control the alphabet size (e.g. 100 labels for the liveJournal stand-in,
+/// 200 node / 160 edge types for the DBpedia stand-in).
+pub type Label = u32;
+
+/// Edge weight (paper: the positive edge length used by SSSP, or a rating
+/// used by collaborative filtering).
+pub type Weight = f64;
+
+/// The label used when a graph carries no label information.
+pub const NO_LABEL: Label = 0;
+
+/// The default weight used when a graph carries no weight information.
+pub const UNIT_WEIGHT: Weight = 1.0;
+
+/// A single edge record, used by builders, readers and generators before the
+/// graph is frozen into CSR form.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Edge {
+    /// Source vertex.
+    pub src: VertexId,
+    /// Destination vertex.
+    pub dst: VertexId,
+    /// Edge weight (`1.0` when unweighted).
+    pub weight: Weight,
+    /// Edge label (`0` when unlabeled).
+    pub label: Label,
+}
+
+impl Edge {
+    /// An unlabeled, unit-weight edge.
+    pub fn unweighted(src: VertexId, dst: VertexId) -> Self {
+        Edge { src, dst, weight: UNIT_WEIGHT, label: NO_LABEL }
+    }
+
+    /// An unlabeled, weighted edge.
+    pub fn weighted(src: VertexId, dst: VertexId, weight: Weight) -> Self {
+        Edge { src, dst, weight, label: NO_LABEL }
+    }
+
+    /// A fully specified edge.
+    pub fn new(src: VertexId, dst: VertexId, weight: Weight, label: Label) -> Self {
+        Edge { src, dst, weight, label }
+    }
+
+    /// The same edge with source and destination swapped (used to materialise
+    /// the reverse adjacency and undirected graphs).
+    pub fn reversed(&self) -> Self {
+        Edge { src: self.dst, dst: self.src, weight: self.weight, label: self.label }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_constructors() {
+        let e = Edge::unweighted(1, 2);
+        assert_eq!(e.src, 1);
+        assert_eq!(e.dst, 2);
+        assert_eq!(e.weight, UNIT_WEIGHT);
+        assert_eq!(e.label, NO_LABEL);
+
+        let w = Edge::weighted(3, 4, 2.5);
+        assert_eq!(w.weight, 2.5);
+
+        let f = Edge::new(5, 6, 1.5, 7);
+        assert_eq!(f.label, 7);
+    }
+
+    #[test]
+    fn edge_reversed_swaps_endpoints_and_keeps_attributes() {
+        let e = Edge::new(1, 2, 3.0, 4);
+        let r = e.reversed();
+        assert_eq!(r.src, 2);
+        assert_eq!(r.dst, 1);
+        assert_eq!(r.weight, 3.0);
+        assert_eq!(r.label, 4);
+        assert_eq!(r.reversed(), e);
+    }
+
+    #[test]
+    fn edge_serde_roundtrip() {
+        let e = Edge::new(10, 20, 0.5, 3);
+        let json = serde_json::to_string(&e).unwrap();
+        let back: Edge = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, e);
+    }
+}

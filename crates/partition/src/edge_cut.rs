@@ -1,0 +1,159 @@
+//! Simple edge-cut strategies: hash and contiguous-range vertex assignment.
+
+use std::sync::Arc;
+
+use grape_graph::graph::Graph;
+
+use crate::fragment::{build_edge_cut, Fragmentation};
+use crate::strategy::{validate, PartitionError, PartitionStrategy};
+
+/// Edge-cut partition assigning vertex `v` to fragment `hash(v) mod m`.
+///
+/// This is the classic Pregel-style default: perfectly balanced in vertex
+/// count, oblivious to locality (high edge cut), and therefore a useful
+/// worst-case-ish baseline against [`crate::metis_like::MetisLike`].
+#[derive(Debug, Clone)]
+pub struct HashEdgeCut {
+    num_fragments: usize,
+}
+
+impl HashEdgeCut {
+    /// Creates a hash edge-cut strategy producing `num_fragments` fragments.
+    pub fn new(num_fragments: usize) -> Self {
+        HashEdgeCut { num_fragments }
+    }
+}
+
+/// A cheap, well-mixing 64-bit integer hash (splitmix64 finalizer), used to
+/// spread vertex ids over fragments/workers.  Public because the baseline
+/// engines hash-partition vertices the same way.
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+impl PartitionStrategy for HashEdgeCut {
+    fn name(&self) -> &str {
+        "hash-edge-cut"
+    }
+
+    fn num_fragments(&self) -> usize {
+        self.num_fragments
+    }
+
+    fn partition_arc(&self, graph: &Arc<Graph>) -> Result<Fragmentation, PartitionError> {
+        validate(graph, self.num_fragments)?;
+        let m = self.num_fragments as u64;
+        let assignment: Vec<u32> =
+            graph.vertices().map(|v| (mix64(v) % m) as u32).collect();
+        Ok(build_edge_cut(graph, &assignment, self.num_fragments, self.name()))
+    }
+}
+
+/// Edge-cut partition assigning contiguous vertex-id ranges to fragments.
+///
+/// When vertex ids carry locality (road grids, generator output) this keeps
+/// neighbourhoods together and produces far fewer border vertices than
+/// hashing.
+#[derive(Debug, Clone)]
+pub struct RangeEdgeCut {
+    num_fragments: usize,
+}
+
+impl RangeEdgeCut {
+    /// Creates a range edge-cut strategy producing `num_fragments` fragments.
+    pub fn new(num_fragments: usize) -> Self {
+        RangeEdgeCut { num_fragments }
+    }
+}
+
+impl PartitionStrategy for RangeEdgeCut {
+    fn name(&self) -> &str {
+        "range-edge-cut"
+    }
+
+    fn num_fragments(&self) -> usize {
+        self.num_fragments
+    }
+
+    fn partition_arc(&self, graph: &Arc<Graph>) -> Result<Fragmentation, PartitionError> {
+        validate(graph, self.num_fragments)?;
+        let n = graph.num_vertices();
+        let m = self.num_fragments;
+        let chunk = n.div_ceil(m);
+        let assignment: Vec<u32> =
+            graph.vertices().map(|v| ((v as usize / chunk).min(m - 1)) as u32).collect();
+        Ok(build_edge_cut(graph, &assignment, m, self.name()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grape_graph::generators::{power_law, road_grid};
+
+    #[test]
+    fn hash_partition_is_balanced() {
+        let g = power_law(1000, 4000, 0, 1);
+        let frag = HashEdgeCut::new(4).partition(&g).unwrap();
+        assert_eq!(frag.num_fragments(), 4);
+        let sizes: Vec<usize> = frag.fragments().iter().map(|f| f.num_inner()).collect();
+        let total: usize = sizes.iter().sum();
+        assert_eq!(total, 1000);
+        for &s in &sizes {
+            assert!(s > 150 && s < 350, "imbalanced fragment of size {s}");
+        }
+    }
+
+    #[test]
+    fn range_partition_keeps_grid_locality() {
+        let g = road_grid(20, 20, 3);
+        let hash_frag = HashEdgeCut::new(4).partition(&g).unwrap();
+        let range_frag = RangeEdgeCut::new(4).partition(&g).unwrap();
+        assert!(
+            range_frag.num_border_vertices() < hash_frag.num_border_vertices(),
+            "range ({}) should cut less than hash ({})",
+            range_frag.num_border_vertices(),
+            hash_frag.num_border_vertices()
+        );
+    }
+
+    #[test]
+    fn every_vertex_owned_exactly_once() {
+        let g = power_law(500, 1500, 0, 2);
+        for strategy in [&HashEdgeCut::new(3) as &dyn PartitionStrategy, &RangeEdgeCut::new(3)] {
+            let frag = strategy.partition(&g).unwrap();
+            let mut owned = vec![0usize; g.num_vertices()];
+            for f in frag.fragments() {
+                for l in f.inner_locals() {
+                    owned[f.global_of(l) as usize] += 1;
+                }
+            }
+            assert!(owned.iter().all(|&c| c == 1), "strategy {}", strategy.name());
+        }
+    }
+
+    #[test]
+    fn one_fragment_degenerates_to_whole_graph() {
+        let g = road_grid(5, 5, 1);
+        let frag = RangeEdgeCut::new(1).partition(&g).unwrap();
+        assert_eq!(frag.fragment(0).num_inner(), 25);
+        assert_eq!(frag.num_border_vertices(), 0);
+    }
+
+    #[test]
+    fn rejects_zero_fragments() {
+        let g = road_grid(3, 3, 1);
+        assert!(HashEdgeCut::new(0).partition(&g).is_err());
+    }
+
+    #[test]
+    fn mix64_spreads_consecutive_keys() {
+        let buckets: Vec<u64> = (0..32u64).map(|v| mix64(v) % 4).collect();
+        let count0 = buckets.iter().filter(|&&b| b == 0).count();
+        assert!(count0 > 2 && count0 < 16, "poor spread: {count0}/32 in bucket 0");
+    }
+}

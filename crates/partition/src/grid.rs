@@ -1,0 +1,158 @@
+//! 1-D and 2-D partitions (Section 6: "1-D and 2-D partitions [12], which
+//! distribute vertex and adjacent matrix to the workers, respectively").
+//!
+//! * **1-D**: vertices are distributed in contiguous blocks (one block row of
+//!   the adjacency matrix per worker) — an edge-cut partition.
+//! * **2-D**: the adjacency matrix is tiled into a `pr × pc` processor grid
+//!   and every edge `(u, v)` goes to the tile `(block(u), block(v))` — an
+//!   edge (vertex-cut style) partition that bounds the number of replicas of
+//!   a vertex by `pr + pc`.
+
+use std::sync::Arc;
+
+use grape_graph::graph::Graph;
+
+use crate::fragment::{build_edge_cut, build_vertex_cut, Fragmentation};
+use crate::strategy::{validate, PartitionError, PartitionStrategy};
+
+/// 1-D (block-row) partition: contiguous vertex ranges, one per worker.
+#[derive(Debug, Clone)]
+pub struct OneDPartition {
+    num_fragments: usize,
+}
+
+impl OneDPartition {
+    /// Creates a 1-D partition with `num_fragments` workers.
+    pub fn new(num_fragments: usize) -> Self {
+        OneDPartition { num_fragments }
+    }
+}
+
+impl PartitionStrategy for OneDPartition {
+    fn name(&self) -> &str {
+        "1d-partition"
+    }
+
+    fn num_fragments(&self) -> usize {
+        self.num_fragments
+    }
+
+    fn partition_arc(&self, graph: &Arc<Graph>) -> Result<Fragmentation, PartitionError> {
+        validate(graph, self.num_fragments)?;
+        let n = graph.num_vertices();
+        let chunk = n.div_ceil(self.num_fragments);
+        let assignment: Vec<u32> = graph
+            .vertices()
+            .map(|v| ((v as usize / chunk).min(self.num_fragments - 1)) as u32)
+            .collect();
+        Ok(build_edge_cut(graph, &assignment, self.num_fragments, self.name()))
+    }
+}
+
+/// 2-D (block) partition over a `rows × cols` processor grid.
+#[derive(Debug, Clone)]
+pub struct TwoDPartition {
+    rows: usize,
+    cols: usize,
+}
+
+impl TwoDPartition {
+    /// Creates a 2-D partition over a `rows × cols` grid
+    /// (`rows * cols` fragments).
+    pub fn new(rows: usize, cols: usize) -> Self {
+        TwoDPartition { rows, cols }
+    }
+
+    /// Creates a near-square grid with `num_fragments` fragments.
+    pub fn squarish(num_fragments: usize) -> Self {
+        let rows = (num_fragments as f64).sqrt().floor().max(1.0) as usize;
+        let mut rows = rows;
+        while num_fragments % rows != 0 {
+            rows -= 1;
+        }
+        TwoDPartition { rows, cols: num_fragments / rows }
+    }
+}
+
+impl PartitionStrategy for TwoDPartition {
+    fn name(&self) -> &str {
+        "2d-partition"
+    }
+
+    fn num_fragments(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    fn partition_arc(&self, graph: &Arc<Graph>) -> Result<Fragmentation, PartitionError> {
+        let m = self.num_fragments();
+        validate(graph, m)?;
+        if self.rows == 0 || self.cols == 0 {
+            return Err(PartitionError::InvalidConfig("grid dimensions must be positive".into()));
+        }
+        let n = graph.num_vertices();
+        let row_chunk = n.div_ceil(self.rows);
+        let col_chunk = n.div_ceil(self.cols);
+        let assignment: Vec<u32> = graph
+            .edges()
+            .iter()
+            .map(|e| {
+                let r = (e.src as usize / row_chunk).min(self.rows - 1);
+                let c = (e.dst as usize / col_chunk).min(self.cols - 1);
+                (r * self.cols + c) as u32
+            })
+            .collect();
+        Ok(build_vertex_cut(graph, &assignment, m, self.name()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quality::replication_factor;
+    use grape_graph::generators::{power_law, road_grid};
+
+    #[test]
+    fn one_d_assigns_contiguous_ranges() {
+        let g = road_grid(10, 10, 1);
+        let frag = OneDPartition::new(4).partition(&g).unwrap();
+        assert_eq!(frag.num_fragments(), 4);
+        for f in frag.fragments() {
+            let mut globals: Vec<u64> = f.inner_locals().map(|l| f.global_of(l)).collect();
+            globals.sort_unstable();
+            if globals.len() > 1 {
+                assert_eq!(globals[globals.len() - 1] - globals[0] + 1, globals.len() as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn two_d_covers_every_edge_once() {
+        let g = power_law(400, 2000, 0, 2);
+        let frag = TwoDPartition::new(2, 2).partition(&g).unwrap();
+        assert_eq!(frag.num_fragments(), 4);
+        let total: usize = frag.fragments().iter().map(|f| f.num_local_edges()).sum();
+        assert_eq!(total, g.num_edges());
+    }
+
+    #[test]
+    fn two_d_bounds_replication() {
+        let g = power_law(600, 4000, 0, 3);
+        let frag = TwoDPartition::new(2, 2).partition(&g).unwrap();
+        let rf = replication_factor(&frag);
+        // 2-D bounds replicas to rows + cols = 4; the average is far below.
+        assert!(rf <= 4.0, "replication factor {rf}");
+    }
+
+    #[test]
+    fn squarish_produces_requested_fragment_count() {
+        assert_eq!(TwoDPartition::squarish(6).num_fragments(), 6);
+        assert_eq!(TwoDPartition::squarish(9).num_fragments(), 9);
+        assert_eq!(TwoDPartition::squarish(7).num_fragments(), 7); // 1 × 7
+    }
+
+    #[test]
+    fn strategies_report_names() {
+        assert_eq!(OneDPartition::new(2).name(), "1d-partition");
+        assert_eq!(TwoDPartition::new(2, 2).name(), "2d-partition");
+    }
+}

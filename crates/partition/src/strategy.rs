@@ -1,0 +1,97 @@
+//! The partition strategy abstraction (paper: the strategy `P` picked in the
+//! configuration panel, Fig. 1).
+
+use std::sync::Arc;
+
+use grape_graph::graph::Graph;
+
+use crate::fragment::Fragmentation;
+
+/// Errors raised by partition strategies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartitionError {
+    /// The requested number of fragments is zero.
+    ZeroFragments,
+    /// The graph has no vertices.
+    EmptyGraph,
+    /// Strategy-specific configuration problem.
+    InvalidConfig(String),
+}
+
+impl std::fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PartitionError::ZeroFragments => write!(f, "number of fragments must be positive"),
+            PartitionError::EmptyGraph => write!(f, "cannot partition an empty graph"),
+            PartitionError::InvalidConfig(msg) => write!(f, "invalid partition config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+/// A graph partition strategy `P`.
+///
+/// Strategies are cheap, cloneable configuration objects; the expensive work
+/// happens in [`PartitionStrategy::partition`].  The paper stresses that `G`
+/// is partitioned *once for all queries* of a class — callers are expected to
+/// cache the returned [`Fragmentation`].
+pub trait PartitionStrategy {
+    /// Human-readable strategy name (used in logs and benchmark output).
+    fn name(&self) -> &str;
+
+    /// Number of fragments this strategy produces.
+    fn num_fragments(&self) -> usize;
+
+    /// Partitions the graph into fragments.
+    fn partition_arc(&self, graph: &Arc<Graph>) -> Result<Fragmentation, PartitionError>;
+
+    /// Convenience wrapper taking the graph by value/clone-into-Arc.
+    fn partition(&self, graph: &Graph) -> Result<Fragmentation, PartitionError> {
+        self.partition_arc(&Arc::new(graph.clone()))
+    }
+}
+
+/// Shared validation for strategies.
+pub(crate) fn validate(graph: &Graph, num_fragments: usize) -> Result<(), PartitionError> {
+    if num_fragments == 0 {
+        return Err(PartitionError::ZeroFragments);
+    }
+    if graph.num_vertices() == 0 {
+        return Err(PartitionError::EmptyGraph);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge_cut::HashEdgeCut;
+    use grape_graph::builder::GraphBuilder;
+
+    #[test]
+    fn validate_rejects_zero_fragments_and_empty_graphs() {
+        let g = GraphBuilder::directed().add_edge(0, 1).build();
+        assert_eq!(validate(&g, 0), Err(PartitionError::ZeroFragments));
+        let empty = GraphBuilder::directed().build();
+        assert_eq!(validate(&empty, 2), Err(PartitionError::EmptyGraph));
+        assert_eq!(validate(&g, 2), Ok(()));
+    }
+
+    #[test]
+    fn error_display_messages() {
+        assert!(PartitionError::ZeroFragments.to_string().contains("positive"));
+        assert!(PartitionError::EmptyGraph.to_string().contains("empty"));
+        assert!(PartitionError::InvalidConfig("bad".into()).to_string().contains("bad"));
+    }
+
+    #[test]
+    fn partition_by_ref_matches_partition_arc() {
+        let g = GraphBuilder::directed().add_edge(0, 1).add_edge(1, 2).build();
+        let strategy = HashEdgeCut::new(2);
+        let a = strategy.partition(&g).unwrap();
+        let b = strategy.partition_arc(&Arc::new(g)).unwrap();
+        assert_eq!(a.num_fragments(), b.num_fragments());
+        assert_eq!(a.fragment(0).num_inner(), b.fragment(0).num_inner());
+    }
+}

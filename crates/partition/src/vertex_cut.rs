@@ -1,0 +1,132 @@
+//! Greedy vertex-cut partitioning (PowerGraph-style), Section 6 "vertex cut
+//! … for graphs with small vertex cut-set".
+//!
+//! Edges are streamed and each edge is assigned to a fragment using the
+//! classic greedy heuristic: prefer fragments that already host both
+//! endpoints, then one endpoint, then the least-loaded fragment.  Vertices
+//! incident to edges in several fragments become replicated border vertices.
+
+use std::sync::Arc;
+
+use grape_graph::graph::Graph;
+
+use crate::fragment::{build_vertex_cut, Fragmentation};
+use crate::strategy::{validate, PartitionError, PartitionStrategy};
+
+/// Greedy vertex-cut strategy.
+#[derive(Debug, Clone)]
+pub struct GreedyVertexCut {
+    num_fragments: usize,
+}
+
+impl GreedyVertexCut {
+    /// Creates a greedy vertex-cut strategy with `num_fragments` fragments.
+    pub fn new(num_fragments: usize) -> Self {
+        GreedyVertexCut { num_fragments }
+    }
+
+    /// Computes the edge → fragment assignment (exposed for tests).
+    pub fn compute_edge_assignment(&self, graph: &Graph) -> Vec<u32> {
+        let m = self.num_fragments;
+        let n = graph.num_vertices();
+        // Which fragments already host each vertex (bitset over ≤ 64 fragments,
+        // falling back to "any" beyond that — benches never exceed 64).
+        let mut hosted = vec![0u64; n];
+        let mut load = vec![0usize; m];
+        let mut assignment = Vec::with_capacity(graph.num_edges());
+
+        for e in graph.edges() {
+            let hs = hosted[e.src as usize];
+            let hd = hosted[e.dst as usize];
+            let both = hs & hd;
+            let either = hs | hd;
+            let pick_least_loaded = |mask: u64, load: &[usize]| -> Option<usize> {
+                (0..m.min(64))
+                    .filter(|&i| mask & (1u64 << i) != 0)
+                    .min_by_key(|&i| load[i])
+            };
+            let target = if both != 0 {
+                pick_least_loaded(both, &load).unwrap()
+            } else if either != 0 {
+                pick_least_loaded(either, &load).unwrap()
+            } else {
+                (0..m).min_by_key(|&i| load[i]).unwrap()
+            };
+            assignment.push(target as u32);
+            load[target] += 1;
+            if target < 64 {
+                hosted[e.src as usize] |= 1u64 << target;
+                hosted[e.dst as usize] |= 1u64 << target;
+            }
+        }
+        assignment
+    }
+}
+
+impl PartitionStrategy for GreedyVertexCut {
+    fn name(&self) -> &str {
+        "greedy-vertex-cut"
+    }
+
+    fn num_fragments(&self) -> usize {
+        self.num_fragments
+    }
+
+    fn partition_arc(&self, graph: &Arc<Graph>) -> Result<Fragmentation, PartitionError> {
+        validate(graph, self.num_fragments)?;
+        if self.num_fragments > 64 {
+            return Err(PartitionError::InvalidConfig(
+                "greedy vertex cut supports at most 64 fragments".into(),
+            ));
+        }
+        let assignment = self.compute_edge_assignment(graph);
+        Ok(build_vertex_cut(graph, &assignment, self.num_fragments, self.name()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quality::replication_factor;
+    use grape_graph::generators::power_law;
+
+    #[test]
+    fn every_edge_assigned_and_loads_balanced() {
+        let g = power_law(500, 3000, 0, 1);
+        let strategy = GreedyVertexCut::new(4);
+        let assignment = strategy.compute_edge_assignment(&g);
+        assert_eq!(assignment.len(), g.num_edges());
+        let mut load = vec![0usize; 4];
+        for &a in &assignment {
+            load[a as usize] += 1;
+        }
+        let max = *load.iter().max().unwrap();
+        let min = *load.iter().min().unwrap();
+        assert!(max < min * 2 + 50, "unbalanced loads {load:?}");
+    }
+
+    #[test]
+    fn produces_valid_fragmentation() {
+        let g = power_law(300, 1500, 0, 2);
+        let frag = GreedyVertexCut::new(3).partition(&g).unwrap();
+        assert_eq!(frag.num_fragments(), 3);
+        let total_edges: usize = frag.fragments().iter().map(|f| f.num_local_edges()).sum();
+        assert_eq!(total_edges, g.num_edges());
+        assert!(frag.fragments().iter().all(|f| f.check_invariants()));
+    }
+
+    #[test]
+    fn replication_factor_is_modest_on_power_law_graphs() {
+        let g = power_law(1000, 6000, 0, 3);
+        let frag = GreedyVertexCut::new(4).partition(&g).unwrap();
+        let rf = replication_factor(&frag);
+        assert!(rf >= 1.0);
+        assert!(rf < 3.0, "replication factor {rf} too high for greedy placement");
+    }
+
+    #[test]
+    fn rejects_too_many_fragments() {
+        let g = power_law(100, 300, 0, 4);
+        assert!(GreedyVertexCut::new(100).partition(&g).is_err());
+    }
+}

@@ -1,0 +1,46 @@
+//! Quickstart: build a tiny weighted graph, partition it, and run the SSSP
+//! PIE program on the GRAPE engine.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use grape::prelude::*;
+
+fn main() {
+    // A small weighted road map: 6 places, a few roads.
+    let graph = GraphBuilder::new(Directedness::Directed)
+        .add_weighted_edge(0, 1, 4.0)
+        .add_weighted_edge(0, 2, 1.0)
+        .add_weighted_edge(2, 1, 2.0)
+        .add_weighted_edge(1, 3, 5.0)
+        .add_weighted_edge(2, 3, 8.0)
+        .add_weighted_edge(3, 4, 3.0)
+        .add_weighted_edge(4, 5, 1.0)
+        .add_weighted_edge(1, 5, 9.5)
+        .build();
+
+    // Partition into 2 fragments (the configuration panel: strategy + n).
+    let fragments = HashEdgeCut::new(2).partition(&graph).expect("partition");
+    println!(
+        "partitioned {} vertices / {} edges into {} fragments ({} border vertices)",
+        graph.num_vertices(),
+        graph.num_edges(),
+        fragments.num_fragments(),
+        fragments.num_border_vertices()
+    );
+
+    // Plug the sequential Dijkstra + incremental Dijkstra (the SSSP PIE
+    // program) into the engine and play.
+    let engine = GrapeEngine::new(EngineConfig::with_workers(2));
+    let result = engine.run(&fragments, &Sssp::default(), &SsspQuery::new(0)).expect("run");
+
+    println!("\nshortest distances from vertex 0:");
+    for v in graph.vertices() {
+        match result.output.distance(v) {
+            Some(d) => println!("  dist(0, {v}) = {d}"),
+            None => println!("  dist(0, {v}) = unreachable"),
+        }
+    }
+    println!("\n{}", result.metrics.summary());
+}

@@ -1,0 +1,60 @@
+//! # GRAPE — Parallelizing Sequential Graph Computations
+//!
+//! Umbrella crate for the GRAPE (SIGMOD 2017) reproduction.  It re-exports
+//! the individual crates of the workspace under a single namespace so that
+//! examples and downstream users can depend on one crate:
+//!
+//! * [`graph`] — graph storage, builders and synthetic workload generators,
+//! * [`partition`] — partition strategies, fragments and the fragmentation graph,
+//! * [`core`] — the GRAPE engine: the PIE programming model, coordinator,
+//!   workers, messages and metrics,
+//! * [`algorithms`] — ready-made PIE programs (SSSP, CC, Sim, SubIso, CF),
+//! * [`baselines`] — vertex-centric (Pregel/Giraph-style) and block-centric
+//!   (Blogel-style) engines used as comparison systems.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use grape::prelude::*;
+//!
+//! // A small weighted directed graph.
+//! let g = GraphBuilder::new(Directedness::Directed)
+//!     .add_weighted_edge(0, 1, 2.0)
+//!     .add_weighted_edge(1, 2, 2.0)
+//!     .add_weighted_edge(0, 2, 10.0)
+//!     .build();
+//!
+//! // Partition it into 2 fragments with hash edge-cut and run SSSP from 0.
+//! let fragments = HashEdgeCut::new(2).partition(&g).expect("partition");
+//! let engine = GrapeEngine::new(EngineConfig::with_workers(2));
+//! let result = engine.run(&fragments, &Sssp::default(), &SsspQuery::new(0)).unwrap();
+//! assert_eq!(result.output.distance(2), Some(4.0));
+//! ```
+
+pub use grape_algorithms as algorithms;
+pub use grape_baselines as baselines;
+pub use grape_core as core;
+pub use grape_graph as graph;
+pub use grape_partition as partition;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use grape_algorithms::cc::{Cc, CcQuery};
+    pub use grape_algorithms::cf::{Cf, CfQuery};
+    pub use grape_algorithms::sim::{Sim, SimQuery};
+    pub use grape_algorithms::sssp::{Sssp, SsspQuery};
+    pub use grape_algorithms::subiso::{SubIso, SubIsoQuery};
+    pub use grape_core::config::{EngineConfig, EngineMode};
+    pub use grape_core::engine::{GrapeEngine, RunResult};
+    pub use grape_core::metrics::EngineMetrics;
+    pub use grape_core::pie::PieProgram;
+    pub use grape_graph::builder::GraphBuilder;
+    pub use grape_graph::generators;
+    pub use grape_graph::graph::{Directedness, Graph};
+    pub use grape_graph::pattern::Pattern;
+    pub use grape_graph::types::VertexId;
+    pub use grape_partition::edge_cut::HashEdgeCut;
+    pub use grape_partition::fragment::Fragmentation;
+    pub use grape_partition::metis_like::MetisLike;
+    pub use grape_partition::strategy::PartitionStrategy;
+}

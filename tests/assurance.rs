@@ -1,0 +1,117 @@
+//! Property-based tests for the Assurance Theorem (Theorem 1): for monotonic
+//! PIE programs built from correct sequential algorithms, GRAPE terminates
+//! and produces the sequential answer — for arbitrary graphs, partition
+//! strategies and worker counts.
+
+use proptest::prelude::*;
+
+use grape::algorithms::cc::{connected_components, Cc, CcQuery};
+use grape::algorithms::sim::{graph_simulation, Sim, SimQuery};
+use grape::algorithms::sssp::{dijkstra, Sssp, SsspQuery};
+use grape::core::config::EngineConfig;
+use grape::core::engine::GrapeEngine;
+use grape::graph::builder::GraphBuilder;
+use grape::graph::graph::{Directedness, Graph};
+use grape::graph::pattern::Pattern;
+use grape::partition::edge_cut::{HashEdgeCut, RangeEdgeCut};
+use grape::partition::strategy::PartitionStrategy;
+
+/// Strategy: a random directed weighted labeled graph with up to `max_n`
+/// vertices and `max_m` edges.
+fn arb_graph(max_n: u64, max_m: usize, labels: u32) -> impl Strategy<Value = Graph> {
+    (2..max_n, proptest::collection::vec((0u64..max_n, 0u64..max_n, 1u32..10u32), 1..max_m))
+        .prop_map(move |(n, edges)| {
+            let mut b = GraphBuilder::new(Directedness::Directed).ensure_vertices(n as usize);
+            for (s, d, w) in edges {
+                let (s, d) = (s % n, d % n);
+                if s != d {
+                    b.push_edge(grape::graph::types::Edge::weighted(s, d, w as f64));
+                }
+            }
+            if labels > 0 {
+                for v in 0..n {
+                    b.push_vertex_label(v, (v as u32 % labels) + 1);
+                }
+            }
+            b.build()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    /// SSSP over GRAPE equals sequential Dijkstra for any graph, any number
+    /// of fragments and any worker count.
+    #[test]
+    fn sssp_matches_dijkstra(
+        graph in arb_graph(40, 120, 0),
+        fragments in 1usize..6,
+        workers in 1usize..4,
+        source in 0u64..40,
+    ) {
+        let source = source % graph.num_vertices() as u64;
+        let frag = HashEdgeCut::new(fragments).partition(&graph).unwrap();
+        let engine = GrapeEngine::new(EngineConfig::with_workers(workers));
+        let result = engine.run(&frag, &Sssp, &SsspQuery::new(source)).unwrap();
+        let expected = dijkstra(&graph, source);
+        for (v, d) in expected.iter().enumerate() {
+            match result.output.distance(v as u64) {
+                Some(got) => prop_assert!((got - d).abs() < 1e-9),
+                None => prop_assert!(!d.is_finite()),
+            }
+        }
+    }
+
+    /// CC over GRAPE equals sequential union-find.
+    #[test]
+    fn cc_matches_union_find(
+        graph in arb_graph(40, 100, 0),
+        fragments in 1usize..6,
+    ) {
+        let undirected = graph.to_undirected();
+        let frag = RangeEdgeCut::new(fragments).partition(&undirected).unwrap();
+        let engine = GrapeEngine::new(EngineConfig::with_workers(2));
+        let result = engine.run(&frag, &Cc, &CcQuery).unwrap();
+        let expected = connected_components(&undirected);
+        for v in undirected.vertices() {
+            prop_assert_eq!(result.output.component(v), Some(expected[v as usize]));
+        }
+    }
+
+    /// Graph simulation over GRAPE equals the sequential HHK algorithm.
+    #[test]
+    fn sim_matches_sequential(
+        graph in arb_graph(36, 110, 4),
+        fragments in 1usize..5,
+        pattern_seed in 0u64..500,
+    ) {
+        let pattern = Pattern::random(3, 4, &[1, 2, 3, 4], pattern_seed);
+        let frag = HashEdgeCut::new(fragments).partition(&graph).unwrap();
+        let engine = GrapeEngine::new(EngineConfig::with_workers(2));
+        let result = engine.run(&frag, &Sim::new(), &SimQuery::new(pattern.clone())).unwrap();
+        let expected = graph_simulation(&graph, &pattern);
+        for u in 0..pattern.num_nodes() {
+            prop_assert_eq!(result.output.matches(u as u32), expected[u].as_slice());
+        }
+    }
+
+    /// Termination and determinism: the same query on the same fragmentation
+    /// always produces identical supersteps and identical output regardless
+    /// of the number of physical workers.
+    #[test]
+    fn deterministic_across_worker_counts(
+        graph in arb_graph(30, 80, 0),
+        fragments in 2usize..5,
+    ) {
+        let frag = HashEdgeCut::new(fragments).partition(&graph).unwrap();
+        let a = GrapeEngine::new(EngineConfig::with_workers(1))
+            .run(&frag, &Sssp, &SsspQuery::new(0)).unwrap();
+        let b = GrapeEngine::new(EngineConfig::with_workers(4))
+            .run(&frag, &Sssp, &SsspQuery::new(0)).unwrap();
+        prop_assert_eq!(a.metrics.supersteps, b.metrics.supersteps);
+        prop_assert_eq!(a.metrics.total_messages, b.metrics.total_messages);
+        for (v, d) in a.output.distances() {
+            prop_assert_eq!(b.output.distance(*v), Some(*d));
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Tests for the Simulation Theorem (Theorem 2): BSP and MapReduce programs
+//! run on GRAPE's simulation layers with the same round/superstep structure
+//! and produce their usual answers; a CREW-PRAM-style computation composes
+//! out of MapReduce rounds.
+
+use std::collections::HashMap;
+
+use grape::core::simulate::{
+    run_bsp, run_mapreduce, BspOutbox, BspProgram, MapReduceJob,
+};
+
+/// MapReduce: inverted index over a small document collection.
+struct InvertedIndex;
+
+impl MapReduceJob for InvertedIndex {
+    type Input = (usize, String);
+    type Key = String;
+    type Value = usize;
+
+    fn map(&self, (doc, text): &(usize, String)) -> Vec<(String, usize)> {
+        text.split_whitespace().map(|w| (w.to_string(), *doc)).collect()
+    }
+
+    fn reduce(&self, key: &String, mut values: Vec<usize>) -> Vec<(String, usize)> {
+        values.sort_unstable();
+        values.dedup();
+        values.into_iter().map(|d| (key.clone(), d)).collect()
+    }
+}
+
+#[test]
+fn mapreduce_inverted_index_is_correct_and_two_supersteps_per_round() {
+    let docs = vec![
+        (0, "grape parallelizes sequential algorithms".to_string()),
+        (1, "sequential algorithms stay sequential".to_string()),
+        (2, "grape is a parallel engine".to_string()),
+    ];
+    let (pairs, metrics) = run_mapreduce(&InvertedIndex, &docs, 3);
+    let mut index: HashMap<String, Vec<usize>> = HashMap::new();
+    for (word, doc) in pairs {
+        index.entry(word).or_default().push(doc);
+    }
+    for docs in index.values_mut() {
+        docs.sort_unstable();
+    }
+    assert_eq!(index["grape"], vec![0, 2]);
+    assert_eq!(index["sequential"], vec![0, 1]);
+    assert_eq!(index["engine"], vec![2]);
+    // Theorem 2(2): each map-shuffle-reduce round costs two supersteps.
+    assert_eq!(metrics.rounds, 1);
+    assert_eq!(metrics.supersteps, 2);
+}
+
+#[test]
+fn mapreduce_output_is_independent_of_worker_count() {
+    let docs: Vec<(usize, String)> =
+        (0..12).map(|i| (i, format!("w{} shared w{}", i % 4, i % 3))).collect();
+    let normalize = |pairs: Vec<(String, usize)>| {
+        let mut v = pairs;
+        v.sort();
+        v
+    };
+    let (a, _) = run_mapreduce(&InvertedIndex, &docs, 1);
+    let (b, _) = run_mapreduce(&InvertedIndex, &docs, 5);
+    assert_eq!(normalize(a), normalize(b));
+}
+
+/// BSP: parallel prefix-sum style accumulation — worker `w` holds value `w+1`
+/// and after `ceil(log2(n))` doubling supersteps every worker knows the total.
+struct DoublingSum;
+
+impl BspProgram for DoublingSum {
+    type State = (u64, usize); // (accumulated sum, round)
+    type Message = u64;
+
+    fn init(&self, worker: usize, _num_workers: usize) -> (u64, usize) {
+        (worker as u64 + 1, 0)
+    }
+
+    fn superstep(
+        &self,
+        worker: usize,
+        state: &mut (u64, usize),
+        inbox: Vec<u64>,
+        outbox: &mut BspOutbox<u64>,
+    ) {
+        for value in inbox {
+            state.0 += value;
+        }
+        let stride = 1usize << state.1;
+        state.1 += 1;
+        // Recursive doubling over a ring of 4 workers for 2 rounds.
+        if state.1 <= 2 {
+            outbox.send((worker + stride) % 4, state.0);
+        }
+    }
+}
+
+#[test]
+fn bsp_recursive_doubling_reaches_the_global_sum() {
+    let (states, metrics) = run_bsp(&DoublingSum, 4, 10);
+    // 1 + 2 + 3 + 4 = 10 at every worker after log2(4) = 2 doubling rounds.
+    assert!(states.iter().all(|(sum, _)| *sum == 10), "states: {states:?}");
+    // Supersteps: 2 doubling rounds plus the quiescent delivery step.
+    assert_eq!(metrics.supersteps, 3);
+    assert_eq!(metrics.messages, 8);
+}
+
+/// PRAM-style composition: simulating one CREW PRAM step (every cell reads a
+/// neighbour and writes its own cell) as a MapReduce round, iterated.
+struct PramShiftAdd {
+    rounds: usize,
+}
+
+impl MapReduceJob for PramShiftAdd {
+    type Input = (usize, u64);
+    type Key = usize;
+    type Value = u64;
+
+    fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    fn map(&self, (cell, value): &(usize, u64)) -> Vec<(usize, u64)> {
+        // Cell i contributes its value to itself and to cell i+1 (a shift-add
+        // step, the building block of parallel prefix on a PRAM).
+        vec![(*cell, *value), (cell + 1, *value)]
+    }
+
+    fn remap(&self, key: &usize, value: &u64) -> Vec<(usize, u64)> {
+        vec![(*key, *value), (key + 1, *value)]
+    }
+
+    fn reduce(&self, key: &usize, values: Vec<u64>) -> Vec<(usize, u64)> {
+        vec![(*key, values.iter().sum())]
+    }
+}
+
+#[test]
+fn pram_step_composition_runs_in_o_rounds() {
+    let cells: Vec<(usize, u64)> = (0..8).map(|i| (i, 1)).collect();
+    let (pairs, metrics) = run_mapreduce(&PramShiftAdd { rounds: 3 }, &cells, 4);
+    let values: HashMap<usize, u64> = pairs.into_iter().collect();
+    // After r shift-add rounds, cell i holds C(r, k) contributions summed —
+    // in particular cell 0 still holds 1 and the values are monotone in i up
+    // to the binomial profile; the structural claim we verify is the cost:
+    // 3 rounds → 2 supersteps for round 1 plus 2 per later round.
+    assert_eq!(values[&0], 1);
+    assert!(values[&3] >= values[&0]);
+    assert_eq!(metrics.rounds, 3);
+    assert_eq!(metrics.supersteps, 2 + 2 * 2);
+}

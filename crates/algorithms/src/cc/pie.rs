@@ -114,25 +114,33 @@ impl PieProgram for Cc {
         let mut component_of = vec![0usize; k];
         let mut component_cid: Vec<VertexId> = Vec::new();
         let mut border_members: Vec<Vec<u32>> = Vec::new();
-        for l in 0..k {
+        for (l, slot) in component_of.iter_mut().enumerate() {
             let root = uf.find(l);
             let idx = *root_index.entry(root).or_insert_with(|| {
                 component_cid.push(VertexId::MAX);
                 border_members.push(Vec::new());
                 component_cid.len() - 1
             });
-            component_of[l] = idx;
+            *slot = idx;
             let g = frag.global_of(l as u32);
             component_cid[idx] = component_cid[idx].min(g);
         }
         // The inner border is included alongside F_i.O so that vertex-cut
         // partitions (shared vertices) also propagate component ids; under
         // edge-cut these extra values have no destination and cost nothing.
-        for &l in frag.out_border_locals().iter().chain(frag.in_border_locals()) {
+        for &l in frag
+            .out_border_locals()
+            .iter()
+            .chain(frag.in_border_locals())
+        {
             border_members[component_of[l as usize]].push(l);
         }
         // Message segment: cid of every border vertex.
-        for &l in frag.out_border_locals().iter().chain(frag.in_border_locals()) {
+        for &l in frag
+            .out_border_locals()
+            .iter()
+            .chain(frag.in_border_locals())
+        {
             ctx.send(frag.global_of(l), component_cid[component_of[l as usize]]);
         }
         CcPartial {
@@ -273,7 +281,10 @@ mod tests {
 
     #[test]
     fn component_ids_are_minimum_member_ids() {
-        let g = GraphBuilder::undirected().add_edge(5, 9).add_edge(9, 3).build();
+        let g = GraphBuilder::undirected()
+            .add_edge(5, 9)
+            .add_edge(9, 3)
+            .build();
         let result = run_cc(&g, 2, 1);
         assert_eq!(result.component(5), Some(3));
         assert_eq!(result.component(9), Some(3));

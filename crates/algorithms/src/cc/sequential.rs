@@ -15,7 +15,10 @@ pub struct UnionFind {
 impl UnionFind {
     /// Creates `n` singleton sets.
     pub fn new(n: usize) -> Self {
-        UnionFind { parent: (0..n).collect(), size: vec![1; n] }
+        UnionFind {
+            parent: (0..n).collect(),
+            size: vec![1; n],
+        }
     }
 
     /// Finds the representative of `x` with path compression.
@@ -39,7 +42,11 @@ impl UnionFind {
         if ra == rb {
             return false;
         }
-        let (big, small) = if self.size[ra] >= self.size[rb] { (ra, rb) } else { (rb, ra) };
+        let (big, small) = if self.size[ra] >= self.size[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
         self.parent[small] = big;
         self.size[big] += self.size[small];
         true
@@ -111,7 +118,10 @@ mod tests {
 
     #[test]
     fn isolated_vertices_are_their_own_component() {
-        let g = GraphBuilder::undirected().add_edge(0, 1).ensure_vertices(4).build();
+        let g = GraphBuilder::undirected()
+            .add_edge(0, 1)
+            .ensure_vertices(4)
+            .build();
         assert_eq!(num_components(&g), 3);
     }
 
@@ -123,7 +133,10 @@ mod tests {
 
     #[test]
     fn directed_edges_are_treated_as_undirected() {
-        let g = GraphBuilder::directed().add_edge(0, 1).add_edge(2, 1).build();
+        let g = GraphBuilder::directed()
+            .add_edge(0, 1)
+            .add_edge(2, 1)
+            .build();
         assert_eq!(num_components(&g), 1);
     }
 

@@ -39,7 +39,12 @@ pub struct CfQuery {
 
 impl Default for CfQuery {
     fn default() -> Self {
-        CfQuery { num_factors: 8, learning_rate: 0.05, regularization: 0.05, epochs: 8 }
+        CfQuery {
+            num_factors: 8,
+            learning_rate: 0.05,
+            regularization: 0.05,
+            epochs: 8,
+        }
     }
 }
 
@@ -79,7 +84,13 @@ impl Cf {
                 // Split borrow: clone the smaller (user) vector, mutate in place.
                 let mut user = partial.factors[l as usize].clone();
                 let item = &mut partial.factors[t];
-                sgd_step(&mut user, item, rating, query.learning_rate, query.regularization);
+                sgd_step(
+                    &mut user,
+                    item,
+                    rating,
+                    query.learning_rate,
+                    query.regularization,
+                );
                 partial.factors[l as usize] = user;
                 partial.timestamps[l as usize] = partial.epoch;
                 partial.timestamps[t] = partial.epoch;
@@ -88,7 +99,11 @@ impl Cf {
     }
 
     /// Emits the factor vectors of all border vertices.
-    fn send_border(frag: &Fragment, partial: &CfPartial, ctx: &mut Messages<VertexId, FactorUpdate>) {
+    fn send_border(
+        frag: &Fragment,
+        partial: &CfPartial,
+        ctx: &mut Messages<VertexId, FactorUpdate>,
+    ) {
         let mut border: Vec<u32> = frag.out_border_locals().to_vec();
         border.extend_from_slice(frag.in_border_locals());
         border.sort_unstable();
@@ -218,10 +233,22 @@ mod tests {
 
     use crate::cf::sequential::{sgd_train, CfConfig};
 
-    fn train_distributed(fragments: usize, epochs: usize, seed: u64) -> (CfModel, grape_core::metrics::EngineMetrics, grape_graph::graph::Graph) {
+    fn train_distributed(
+        fragments: usize,
+        epochs: usize,
+        seed: u64,
+    ) -> (
+        CfModel,
+        grape_core::metrics::EngineMetrics,
+        grape_graph::graph::Graph,
+    ) {
         let data = bipartite_ratings(60, 30, 800, 4, seed);
         let frag = HashEdgeCut::new(fragments).partition(&data.graph).unwrap();
-        let query = CfQuery { epochs, num_factors: 4, ..Default::default() };
+        let query = CfQuery {
+            epochs,
+            num_factors: 4,
+            ..Default::default()
+        };
         let result = GrapeEngine::new(EngineConfig::with_workers(4))
             .run(&frag, &Cf, &query)
             .unwrap();
@@ -233,7 +260,11 @@ mod tests {
         let (model, _, graph) = train_distributed(4, 10, 1);
         let sequential = sgd_train(
             &graph,
-            &CfConfig { epochs: 10, num_factors: 4, ..Default::default() },
+            &CfConfig {
+                epochs: 10,
+                num_factors: 4,
+                ..Default::default()
+            },
         );
         let dist_rmse = model.rmse(&graph);
         let seq_rmse = sequential.rmse(&graph);
@@ -257,7 +288,11 @@ mod tests {
     fn supersteps_match_epoch_budget() {
         let (_, metrics, _) = train_distributed(4, 5, 3);
         // PEval + (epochs - 1) IncEval rounds + the final quiescent exchange.
-        assert!(metrics.supersteps >= 5 && metrics.supersteps <= 7, "{}", metrics.supersteps);
+        assert!(
+            metrics.supersteps >= 5 && metrics.supersteps <= 7,
+            "{}",
+            metrics.supersteps
+        );
     }
 
     #[test]

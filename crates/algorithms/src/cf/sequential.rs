@@ -20,7 +20,12 @@ pub struct CfConfig {
 
 impl Default for CfConfig {
     fn default() -> Self {
-        CfConfig { num_factors: 8, learning_rate: 0.05, regularization: 0.05, epochs: 10 }
+        CfConfig {
+            num_factors: 8,
+            learning_rate: 0.05,
+            regularization: 0.05,
+            epochs: 10,
+        }
     }
 }
 
@@ -89,7 +94,9 @@ impl CfModel {
 pub fn initial_factors(v: VertexId, num_factors: usize) -> Vec<f64> {
     (0..num_factors)
         .map(|i| {
-            let h = v.wrapping_mul(6364136223846793005).wrapping_add(i as u64 * 1442695040888963407);
+            let h = v
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(i as u64 * 1442695040888963407);
             0.1 + 0.4 * ((h >> 33) as f64 / u32::MAX as f64)
         })
         .collect()
@@ -104,7 +111,11 @@ pub fn sgd_step(
     learning_rate: f64,
     regularization: f64,
 ) -> f64 {
-    let prediction: f64 = user_factors.iter().zip(item_factors.iter()).map(|(a, b)| a * b).sum();
+    let prediction: f64 = user_factors
+        .iter()
+        .zip(item_factors.iter())
+        .map(|(a, b)| a * b)
+        .sum();
     let error = rating - prediction;
     for i in 0..user_factors.len() {
         let u = user_factors[i];
@@ -119,8 +130,12 @@ pub fn sgd_step(
 pub fn sgd_train(graph: &Graph, config: &CfConfig) -> CfModel {
     let mut factors: HashMap<VertexId, Vec<f64>> = HashMap::new();
     for e in graph.edges() {
-        factors.entry(e.src).or_insert_with(|| initial_factors(e.src, config.num_factors));
-        factors.entry(e.dst).or_insert_with(|| initial_factors(e.dst, config.num_factors));
+        factors
+            .entry(e.src)
+            .or_insert_with(|| initial_factors(e.src, config.num_factors));
+        factors
+            .entry(e.dst)
+            .or_insert_with(|| initial_factors(e.dst, config.num_factors));
     }
     for _ in 0..config.epochs {
         for e in graph.edges() {
@@ -128,7 +143,13 @@ pub fn sgd_train(graph: &Graph, config: &CfConfig) -> CfModel {
             // user vector (the map cannot hand out two &mut at once).
             let mut user = factors.get(&e.src).expect("user factors exist").clone();
             let item = factors.get_mut(&e.dst).expect("item factors exist");
-            sgd_step(&mut user, item, e.weight, config.learning_rate, config.regularization);
+            sgd_step(
+                &mut user,
+                item,
+                e.weight,
+                config.learning_rate,
+                config.regularization,
+            );
             factors.insert(e.src, user);
         }
     }
@@ -165,7 +186,10 @@ mod tests {
     #[test]
     fn training_reduces_rmse_on_generated_ratings() {
         let data = bipartite_ratings(60, 30, 600, 4, 1);
-        let config = CfConfig { epochs: 15, ..Default::default() };
+        let config = CfConfig {
+            epochs: 15,
+            ..Default::default()
+        };
         let untrained = CfModel {
             factors: data
                 .graph
@@ -188,8 +212,20 @@ mod tests {
     #[test]
     fn more_epochs_do_not_hurt() {
         let data = bipartite_ratings(40, 20, 400, 3, 2);
-        let short = sgd_train(&data.graph, &CfConfig { epochs: 2, ..Default::default() });
-        let long = sgd_train(&data.graph, &CfConfig { epochs: 20, ..Default::default() });
+        let short = sgd_train(
+            &data.graph,
+            &CfConfig {
+                epochs: 2,
+                ..Default::default()
+            },
+        );
+        let long = sgd_train(
+            &data.graph,
+            &CfConfig {
+                epochs: 20,
+                ..Default::default()
+            },
+        );
         assert!(long.rmse(&data.graph) <= short.rmse(&data.graph) + 0.05);
     }
 

@@ -5,7 +5,7 @@
 //!   candidates by neighbourhood labels (the optimization of Exp-3).
 //! * [`pie`] — the PIE program: PEval computes the local simulation relation
 //!   treating outer copies optimistically, IncEval reacts to `x_(u,v) = false`
-//!   messages exactly like the incremental algorithm of [21] reacts to
+//!   messages exactly like the incremental algorithm of \[21\] reacts to
 //!   cross-edge deletions, Assemble unions the per-fragment matches.
 //! * [`ni`] — the non-incremental variant `GRAPE_NI` used by Exp-2, which
 //!   recomputes the local relation from scratch in every superstep.

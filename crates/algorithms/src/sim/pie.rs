@@ -108,8 +108,11 @@ pub fn init_sim(frag: &Fragment, pattern: &Pattern, use_index: bool) -> Vec<Vec<
         Some(
             (0..k as u32)
                 .map(|l| {
-                    let mut labels: Vec<u32> =
-                        frag.out_edges(l).iter().map(|n| frag.label(n.target as u32)).collect();
+                    let mut labels: Vec<u32> = frag
+                        .out_edges(l)
+                        .iter()
+                        .map(|n| frag.label(n.target as u32))
+                        .collect();
                     labels.sort_unstable();
                     labels.dedup();
                     labels
@@ -128,10 +131,9 @@ pub fn init_sim(frag: &Fragment, pattern: &Pattern, use_index: bool) -> Vec<Vec<
                     }
                     if frag.is_inner(l) {
                         if let Some(index) = &out_labels {
-                            return pattern
-                                .children(u as u32)
-                                .iter()
-                                .all(|&c| index[l as usize].binary_search(&pattern.label(c)).is_ok());
+                            return pattern.children(u as u32).iter().all(|&c| {
+                                index[l as usize].binary_search(&pattern.label(c)).is_ok()
+                            });
                         }
                     }
                     true
@@ -148,7 +150,10 @@ pub fn compute_cnt(frag: &Fragment, pattern: &Pattern, sim: &[Vec<bool>]) -> Vec
         .map(|u| {
             (0..k as u32)
                 .map(|l| {
-                    frag.out_edges(l).iter().filter(|n| sim[u][n.target as usize]).count() as u32
+                    frag.out_edges(l)
+                        .iter()
+                        .filter(|n| sim[u][n.target as usize])
+                        .count() as u32
                 })
                 .collect()
         })
@@ -166,7 +171,10 @@ pub fn initial_violations(
     for u in 0..pattern.num_nodes() as u32 {
         for l in frag.inner_locals() {
             if sim[u as usize][l as usize]
-                && pattern.children(u).iter().any(|&c| cnt[c as usize][l as usize] == 0)
+                && pattern
+                    .children(u)
+                    .iter()
+                    .any(|&c| cnt[c as usize][l as usize] == 0)
             {
                 sim[u as usize][l as usize] = false;
                 worklist.push((u, l));
@@ -308,10 +316,10 @@ impl PieProgram for Sim {
         let mut matches: Vec<Vec<VertexId>> = vec![Vec::new(); q];
         let mut seen: Vec<HashMap<VertexId, bool>> = vec![HashMap::new(); q];
         for partial in partials {
-            for u in 0..q {
+            for (u, seen_u) in seen.iter_mut().enumerate().take(q) {
                 for l in 0..partial.num_inner {
                     if partial.sim[u][l] {
-                        seen[u].entry(partial.globals[l]).or_insert(true);
+                        seen_u.entry(partial.globals[l]).or_insert(true);
                     }
                 }
             }
@@ -356,8 +364,12 @@ mod tests {
 
     fn assert_matches_sequential(g: &Graph, pattern: &Pattern, result: &SimResult) {
         let expected = graph_simulation(g, pattern);
-        for u in 0..pattern.num_nodes() {
-            assert_eq!(result.matches(u as u32), expected[u].as_slice(), "query node {u}");
+        for (u, expected_u) in expected.iter().enumerate() {
+            assert_eq!(
+                result.matches(u as u32),
+                expected_u.as_slice(),
+                "query node {u}"
+            );
         }
     }
 

@@ -24,7 +24,7 @@ pub fn graph_simulation(graph: &Graph, pattern: &Pattern) -> SimRelation {
 
 /// Index-optimized graph simulation: candidate sets are additionally pruned
 /// by requiring that a vertex's out-neighbour labels cover the labels of the
-/// query node's children (a neighbourhood index in the spirit of [19]).
+/// query node's children (a neighbourhood index in the spirit of \[19\]).
 /// Produces the same relation as [`graph_simulation`], usually faster.
 pub fn graph_simulation_optimized(graph: &Graph, pattern: &Pattern) -> SimRelation {
     simulation_impl(graph, pattern, true)
@@ -42,8 +42,11 @@ fn simulation_impl(graph: &Graph, pattern: &Pattern, use_index: bool) -> SimRela
         Some(
             (0..n as VertexId)
                 .map(|v| {
-                    let mut labels: Vec<u32> =
-                        graph.out_neighbors(v).iter().map(|x| graph.vertex_label(x.target)).collect();
+                    let mut labels: Vec<u32> = graph
+                        .out_neighbors(v)
+                        .iter()
+                        .map(|x| graph.vertex_label(x.target))
+                        .collect();
                     labels.sort_unstable();
                     labels.dedup();
                     labels
@@ -79,7 +82,11 @@ fn simulation_impl(graph: &Graph, pattern: &Pattern, use_index: bool) -> SimRela
         .map(|u| {
             (0..n as VertexId)
                 .map(|v| {
-                    graph.out_neighbors(v).iter().filter(|x| sim[u][x.target as usize]).count() as u32
+                    graph
+                        .out_neighbors(v)
+                        .iter()
+                        .filter(|x| sim[u][x.target as usize])
+                        .count() as u32
                 })
                 .collect()
         })
@@ -90,7 +97,10 @@ fn simulation_impl(graph: &Graph, pattern: &Pattern, use_index: bool) -> SimRela
     for u in 0..q as u32 {
         for v in 0..n as VertexId {
             if sim[u as usize][v as usize]
-                && pattern.children(u).iter().any(|&c| cnt[c as usize][v as usize] == 0)
+                && pattern
+                    .children(u)
+                    .iter()
+                    .any(|&c| cnt[c as usize][v as usize] == 0)
             {
                 sim[u as usize][v as usize] = false;
                 worklist.push((u, v));

@@ -85,7 +85,10 @@ impl Sssp {
                 let alt = d + n.weight;
                 if alt < dist[t as usize] {
                     dist[t as usize] = alt;
-                    heap.push(MinDist { dist: alt, vertex: t });
+                    heap.push(MinDist {
+                        dist: alt,
+                        vertex: t,
+                    });
                 }
             }
         }
@@ -103,7 +106,11 @@ impl Sssp {
         previous: Option<&[f64]>,
         ctx: &mut Messages<VertexId, f64>,
     ) {
-        for &l in frag.out_border_locals().iter().chain(frag.in_border_locals()) {
+        for &l in frag
+            .out_border_locals()
+            .iter()
+            .chain(frag.in_border_locals())
+        {
             let d = dist[l as usize];
             if !d.is_finite() {
                 continue;
@@ -144,7 +151,10 @@ impl PieProgram for Sssp {
         let mut heap = BinaryHeap::new();
         if let Some(source_local) = frag.local_of(query.source) {
             dist[source_local as usize] = 0.0;
-            heap.push(MinDist { dist: 0.0, vertex: source_local });
+            heap.push(MinDist {
+                dist: 0.0,
+                vertex: source_local,
+            });
         }
         Self::relax(frag, &mut dist, heap);
         Self::send_border(frag, &dist, None, ctx);
@@ -298,10 +308,15 @@ mod tests {
         // fragment per superstep and every border value is shipped at most a
         // handful of times.
         let g = road_grid(30, 1, 5);
-        let frag = grape_partition::edge_cut::RangeEdgeCut::new(5).partition(&g).unwrap();
+        let frag = grape_partition::edge_cut::RangeEdgeCut::new(5)
+            .partition(&g)
+            .unwrap();
         let engine = GrapeEngine::new(EngineConfig::with_workers(2));
         let result = engine.run(&frag, &Sssp, &SsspQuery::new(0)).unwrap();
-        assert!(result.metrics.supersteps >= 5, "propagation crosses 5 fragments");
+        assert!(
+            result.metrics.supersteps >= 5,
+            "propagation crosses 5 fragments"
+        );
         assert!(
             result.metrics.total_messages <= 4 * frag.num_border_vertices() + 8,
             "messages {} too high",

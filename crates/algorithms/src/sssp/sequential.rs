@@ -19,7 +19,10 @@ pub fn dijkstra(graph: &Graph, source: VertexId) -> Vec<f64> {
     }
     dist[source as usize] = 0.0;
     let mut heap = BinaryHeap::new();
-    heap.push(MinDist { dist: 0.0, vertex: source });
+    heap.push(MinDist {
+        dist: 0.0,
+        vertex: source,
+    });
     while let Some(MinDist { dist: d, vertex: u }) = heap.pop() {
         if d > dist[u as usize] {
             continue; // stale entry
@@ -28,7 +31,10 @@ pub fn dijkstra(graph: &Graph, source: VertexId) -> Vec<f64> {
             let alt = d + n.weight;
             if alt < dist[n.target as usize] {
                 dist[n.target as usize] = alt;
-                heap.push(MinDist { dist: alt, vertex: n.target });
+                heap.push(MinDist {
+                    dist: alt,
+                    vertex: n.target,
+                });
             }
         }
     }
@@ -56,7 +62,10 @@ pub fn incremental_dijkstra(
             dist[v as usize] = d;
             changed.push(v);
         }
-        heap.push(MinDist { dist: dist[v as usize], vertex: v });
+        heap.push(MinDist {
+            dist: dist[v as usize],
+            vertex: v,
+        });
     }
     while let Some(MinDist { dist: d, vertex: u }) = heap.pop() {
         if d > dist[u as usize] {
@@ -67,7 +76,10 @@ pub fn incremental_dijkstra(
             if alt < dist[n.target as usize] {
                 dist[n.target as usize] = alt;
                 changed.push(n.target);
-                heap.push(MinDist { dist: alt, vertex: n.target });
+                heap.push(MinDist {
+                    dist: alt,
+                    vertex: n.target,
+                });
             }
         }
     }
@@ -103,7 +115,10 @@ mod tests {
 
     #[test]
     fn unreachable_vertices_stay_infinite() {
-        let g = GraphBuilder::directed().add_weighted_edge(0, 1, 1.0).ensure_vertices(3).build();
+        let g = GraphBuilder::directed()
+            .add_weighted_edge(0, 1, 1.0)
+            .ensure_vertices(3)
+            .build();
         let d = dijkstra(&g, 0);
         assert_eq!(d[2], INF);
     }
@@ -148,7 +163,12 @@ mod tests {
         dist[0] = 0.0;
         incremental_dijkstra(&g, &mut dist, &[(0, 0.0)]);
         for v in 0..g.num_vertices() {
-            assert!((dist[v] - full[v]).abs() < 1e-9, "vertex {v}: {} vs {}", dist[v], full[v]);
+            assert!(
+                (dist[v] - full[v]).abs() < 1e-9,
+                "vertex {v}: {} vs {}",
+                dist[v],
+                full[v]
+            );
         }
     }
 }

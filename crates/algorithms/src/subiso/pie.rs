@@ -37,7 +37,10 @@ pub struct SubIsoQuery {
 impl SubIsoQuery {
     /// Creates a query with the default per-fragment cap of 10 000 matches.
     pub fn new(pattern: Pattern) -> Self {
-        SubIsoQuery { pattern, max_matches_per_fragment: 10_000 }
+        SubIsoQuery {
+            pattern,
+            max_matches_per_fragment: 10_000,
+        }
     }
 
     /// Overrides the per-fragment match cap.
@@ -187,7 +190,10 @@ mod tests {
         let alphabet: Vec<u32> = (1..=4).collect();
         let pattern = Pattern::random(3, 4, &alphabet, 3);
         let (_, supersteps) = run_subiso(&g, &pattern, 6);
-        assert!(supersteps <= 2, "SubIso should not iterate, took {supersteps}");
+        assert!(
+            supersteps <= 2,
+            "SubIso should not iterate, took {supersteps}"
+        );
     }
 
     #[test]
@@ -222,6 +228,9 @@ mod tests {
         let pattern = Pattern::random(3, 3, &alphabet, 21);
         let (one, _) = run_subiso(&g, &pattern, 1);
         let (eight, _) = run_subiso(&g, &pattern, 8);
-        assert_eq!(sorted(one.matches().to_vec()), sorted(eight.matches().to_vec()));
+        assert_eq!(
+            sorted(one.matches().to_vec()),
+            sorted(eight.matches().to_vec())
+        );
     }
 }

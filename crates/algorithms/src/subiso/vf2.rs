@@ -59,7 +59,17 @@ pub fn subgraph_isomorphism_filtered<F: Fn(VertexId) -> bool>(
     let mut matches = Vec::new();
     let mut mapping = vec![VertexId::MAX; q];
     let mut used: HashSet<VertexId> = HashSet::new();
-    extend(graph, pattern, &order, 0, &mut mapping, &mut used, &mut matches, max_matches, anchor_filter);
+    extend(
+        graph,
+        pattern,
+        &order,
+        0,
+        &mut mapping,
+        &mut used,
+        &mut matches,
+        max_matches,
+        anchor_filter,
+    );
     matches
 }
 
@@ -126,7 +136,17 @@ fn extend<F: Fn(VertexId) -> bool>(
         }
         mapping[u as usize] = v;
         used.insert(v);
-        extend(graph, pattern, order, depth + 1, mapping, used, matches, max_matches, anchor_filter);
+        extend(
+            graph,
+            pattern,
+            order,
+            depth + 1,
+            mapping,
+            used,
+            matches,
+            max_matches,
+            anchor_filter,
+        );
         used.remove(&v);
         mapping[u as usize] = VertexId::MAX;
     }
@@ -251,8 +271,7 @@ mod tests {
     #[test]
     fn anchor_filter_restricts_first_node() {
         let g = labeled_triangle_graph();
-        let matches =
-            subgraph_isomorphism_filtered(&g, &triangle_pattern(), 100, &|v| v < 3);
+        let matches = subgraph_isomorphism_filtered(&g, &triangle_pattern(), 100, &|v| v < 3);
         assert_eq!(matches.len(), 1);
         assert_eq!(matches[0], vec![0, 1, 2]);
     }

@@ -26,7 +26,10 @@ impl<V: PartialEq> PartialOrd for MinDist<V> {
 impl<V: PartialEq> Ord for MinDist<V> {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse: BinaryHeap is a max-heap, we want the smallest distance on top.
-        other.dist.partial_cmp(&self.dist).unwrap_or(Ordering::Equal)
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
     }
 }
 
@@ -41,9 +44,18 @@ mod tests {
     #[test]
     fn heap_pops_smallest_distance_first() {
         let mut heap = BinaryHeap::new();
-        heap.push(MinDist { dist: 3.0, vertex: 3u32 });
-        heap.push(MinDist { dist: 1.0, vertex: 1u32 });
-        heap.push(MinDist { dist: 2.0, vertex: 2u32 });
+        heap.push(MinDist {
+            dist: 3.0,
+            vertex: 3u32,
+        });
+        heap.push(MinDist {
+            dist: 1.0,
+            vertex: 1u32,
+        });
+        heap.push(MinDist {
+            dist: 2.0,
+            vertex: 2u32,
+        });
         assert_eq!(heap.pop().unwrap().vertex, 1);
         assert_eq!(heap.pop().unwrap().vertex, 2);
         assert_eq!(heap.pop().unwrap().vertex, 3);
@@ -52,8 +64,14 @@ mod tests {
     #[test]
     fn infinity_sorts_last() {
         let mut heap = BinaryHeap::new();
-        heap.push(MinDist { dist: INF, vertex: 0u32 });
-        heap.push(MinDist { dist: 5.0, vertex: 1u32 });
+        heap.push(MinDist {
+            dist: INF,
+            vertex: 0u32,
+        });
+        heap.push(MinDist {
+            dist: 5.0,
+            vertex: 1u32,
+        });
         assert_eq!(heap.pop().unwrap().vertex, 1);
     }
 }

@@ -13,8 +13,11 @@ use std::time::Instant;
 use parking_lot::Mutex;
 
 use grape_core::metrics::{EngineMetrics, SuperstepMetrics};
-use grape_partition::fragment::{Fragment, Fragmentation};
 use grape_graph::types::VertexId;
+use grape_partition::fragment::{Fragment, Fragmentation};
+
+/// One lock-protected buffer of vertex-addressed messages per block.
+type MessageQueues<M> = Vec<Mutex<Vec<(VertexId, M)>>>;
 
 /// Message outbox of a block.
 #[derive(Debug)]
@@ -98,7 +101,9 @@ pub struct BlockCentricEngine {
 impl BlockCentricEngine {
     /// Creates an engine with `num_workers` workers.
     pub fn new(num_workers: usize) -> Self {
-        BlockCentricEngine { num_workers: num_workers.max(1) }
+        BlockCentricEngine {
+            num_workers: num_workers.max(1),
+        }
     }
 
     /// Runs a block program over a fragmentation.
@@ -125,8 +130,9 @@ impl BlockCentricEngine {
 
         loop {
             let step_start = Instant::now();
-            let active: Vec<bool> =
-                (0..m).map(|i| superstep == 0 || !inboxes[i].is_empty()).collect();
+            let active: Vec<bool> = (0..m)
+                .map(|i| superstep == 0 || !inboxes[i].is_empty())
+                .collect();
             let active_count = active.iter().filter(|&&a| a).count();
             if active_count == 0 || superstep >= program.max_supersteps() {
                 break;
@@ -135,7 +141,7 @@ impl BlockCentricEngine {
                 std::mem::replace(&mut inboxes, vec![Vec::new(); m]);
             let state_slots: Vec<Mutex<Option<P::BlockState>>> =
                 states.into_iter().map(|s| Mutex::new(Some(s))).collect();
-            let outboxes: Vec<Mutex<Vec<(VertexId, P::Message)>>> =
+            let outboxes: MessageQueues<P::Message> =
                 (0..m).map(|_| Mutex::new(Vec::new())).collect();
 
             std::thread::scope(|scope| {
@@ -149,10 +155,19 @@ impl BlockCentricEngine {
                             if !active[i] {
                                 continue;
                             }
-                            let mut ctx = BlockContext { messages: Vec::new() };
+                            let mut ctx = BlockContext {
+                                messages: Vec::new(),
+                            };
                             let mut slot = state_slots[i].lock();
                             let state = slot.as_mut().expect("state present");
-                            program.compute(query, &fragments[i], state, superstep, &incoming[i], &mut ctx);
+                            program.compute(
+                                query,
+                                &fragments[i],
+                                state,
+                                superstep,
+                                &incoming[i],
+                                &mut ctx,
+                            );
                             *outboxes[i].lock() = ctx.messages;
                         }
                     });
@@ -227,7 +242,9 @@ mod tests {
         }
 
         fn init(&self, _q: &(), frag: &Fragment) -> Self::BlockState {
-            frag.all_locals().map(|l| (frag.global_of(l), frag.global_of(l))).collect()
+            frag.all_locals()
+                .map(|l| (frag.global_of(l), frag.global_of(l)))
+                .collect()
         }
 
         fn compute(
@@ -280,7 +297,9 @@ mod tests {
             let mut out = std::collections::HashMap::new();
             for s in states {
                 for (v, value) in s {
-                    out.entry(v).and_modify(|e: &mut VertexId| *e = (*e).min(value)).or_insert(value);
+                    out.entry(v)
+                        .and_modify(|e: &mut VertexId| *e = (*e).min(value))
+                        .or_insert(value);
                 }
             }
             out
@@ -315,7 +334,11 @@ mod tests {
         let frag = RangeEdgeCut::new(4).partition(&g).unwrap();
         let (out, metrics) = BlockCentricEngine::new(2).run(&frag, &BlockMin, &());
         assert!(out.values().all(|&v| v == 0));
-        assert!(metrics.supersteps < 20, "took {} supersteps", metrics.supersteps);
+        assert!(
+            metrics.supersteps < 20,
+            "took {} supersteps",
+            metrics.supersteps
+        );
         assert!(metrics.total_messages > 0);
     }
 }

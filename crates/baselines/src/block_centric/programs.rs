@@ -27,12 +27,7 @@ use super::engine::{BlockContext, BlockProgram, BlockRouting};
 
 /// Sends `value` for border vertex `l`, once per incident local cross edge
 /// (block messages travel per edge, as in Blogel's V/B-compute model).
-fn send_per_cross_edge<M: Clone>(
-    frag: &Fragment,
-    l: u32,
-    value: M,
-    ctx: &mut BlockContext<M>,
-) {
+fn send_per_cross_edge<M: Clone>(frag: &Fragment, l: u32, value: M, ctx: &mut BlockContext<M>) {
     let copies = frag.in_edges(l).len().max(1);
     let v = frag.global_of(l);
     for _ in 0..copies {
@@ -89,7 +84,10 @@ impl BlockProgram for BlockSssp {
         let mut heap = std::collections::BinaryHeap::new();
         for l in frag.all_locals() {
             if dist[l as usize].is_finite() {
-                heap.push(grape_algorithms::util::MinDist { dist: dist[l as usize], vertex: l });
+                heap.push(grape_algorithms::util::MinDist {
+                    dist: dist[l as usize],
+                    vertex: l,
+                });
             }
         }
         while let Some(grape_algorithms::util::MinDist { dist: d, vertex: u }) = heap.pop() {
@@ -101,7 +99,10 @@ impl BlockProgram for BlockSssp {
                 let alt = d + n.weight;
                 if alt < dist[t as usize] {
                     dist[t as usize] = alt;
-                    heap.push(grape_algorithms::util::MinDist { dist: alt, vertex: t });
+                    heap.push(grape_algorithms::util::MinDist {
+                        dist: alt,
+                        vertex: t,
+                    });
                 }
             }
         }
@@ -117,7 +118,9 @@ impl BlockProgram for BlockSssp {
         for (dist, globals) in states {
             for (d, v) in dist.into_iter().zip(globals) {
                 if d.is_finite() {
-                    out.entry(v).and_modify(|e: &mut f64| *e = e.min(d)).or_insert(d);
+                    out.entry(v)
+                        .and_modify(|e: &mut f64| *e = e.min(d))
+                        .or_insert(d);
                 }
             }
         }
@@ -205,7 +208,9 @@ impl BlockProgram for BlockCc {
         let mut out = HashMap::new();
         for (cids, globals) in states {
             for (cid, v) in cids.into_iter().zip(globals) {
-                out.entry(v).and_modify(|e: &mut VertexId| *e = (*e).min(cid)).or_insert(cid);
+                out.entry(v)
+                    .and_modify(|e: &mut VertexId| *e = (*e).min(cid))
+                    .or_insert(cid);
             }
         }
         out
@@ -304,10 +309,10 @@ impl BlockProgram for BlockSim {
         let q = query.pattern.num_nodes();
         let mut matches: Vec<Vec<VertexId>> = vec![Vec::new(); q];
         for state in states {
-            for u in 0..q {
+            for (u, matches_u) in matches.iter_mut().enumerate().take(q) {
                 for l in 0..state.num_inner {
                     if state.sim[u][l] {
-                        matches[u].push(state.globals[l]);
+                        matches_u.push(state.globals[l]);
                     }
                 }
             }
@@ -391,7 +396,13 @@ impl BlockProgram for BlockCf {
             for n in frag.out_edges(l) {
                 let mut user = state.factors[l as usize].clone();
                 let item = &mut state.factors[n.target as usize];
-                sgd_step(&mut user, item, n.weight, query.learning_rate, query.regularization);
+                sgd_step(
+                    &mut user,
+                    item,
+                    n.weight,
+                    query.learning_rate,
+                    query.regularization,
+                );
                 state.factors[l as usize] = user;
             }
         }
@@ -554,9 +565,17 @@ mod tests {
     fn block_cf_learns_ratings() {
         let data = bipartite_ratings(40, 20, 400, 4, 11);
         let frag = HashEdgeCut::new(3).partition(&data.graph).unwrap();
-        let query = CfQuery { epochs: 6, num_factors: 4, ..Default::default() };
+        let query = CfQuery {
+            epochs: 6,
+            num_factors: 4,
+            ..Default::default()
+        };
         let (model, _) = BlockCentricEngine::new(2).run(&frag, &BlockCf, &query);
-        assert!(model.rmse(&data.graph) < 1.2, "rmse {}", model.rmse(&data.graph));
+        assert!(
+            model.rmse(&data.graph) < 1.2,
+            "rmse {}",
+            model.rmse(&data.graph)
+        );
     }
 
     #[test]

@@ -16,6 +16,9 @@ use grape_core::metrics::{EngineMetrics, SuperstepMetrics};
 use grape_graph::graph::Graph;
 use grape_graph::types::VertexId;
 
+/// One lock-protected buffer of vertex-addressed messages per worker.
+type MessageQueues<M> = Vec<Mutex<Vec<(VertexId, M)>>>;
+
 /// Message outbox handed to a vertex during `compute`.
 #[derive(Debug)]
 pub struct VertexContext<M> {
@@ -48,6 +51,7 @@ pub trait VertexProgram: Send + Sync {
     fn init(&self, query: &Self::Query, graph: &Graph, v: VertexId) -> Self::VertexValue;
 
     /// One superstep of one vertex.
+    #[allow(clippy::too_many_arguments)] // mirrors the Pregel compute() signature
     fn compute(
         &self,
         query: &Self::Query,
@@ -65,7 +69,12 @@ pub trait VertexProgram: Send + Sync {
     }
 
     /// Collects the final output from all vertex values.
-    fn output(&self, query: &Self::Query, graph: &Graph, values: Vec<Self::VertexValue>) -> Self::Output;
+    fn output(
+        &self,
+        query: &Self::Query,
+        graph: &Graph,
+        values: Vec<Self::VertexValue>,
+    ) -> Self::Output;
 
     /// Approximate wire size of a message.
     fn message_size(&self, _message: &Self::Message) -> usize {
@@ -88,7 +97,9 @@ pub struct VertexCentricEngine {
 impl VertexCentricEngine {
     /// Creates an engine with `num_workers` workers.
     pub fn new(num_workers: usize) -> Self {
-        VertexCentricEngine { num_workers: num_workers.max(1) }
+        VertexCentricEngine {
+            num_workers: num_workers.max(1),
+        }
     }
 
     fn worker_of(&self, v: VertexId) -> usize {
@@ -111,23 +122,26 @@ impl VertexCentricEngine {
             fragments: self.num_workers,
             ..Default::default()
         };
-        let mut values: Vec<P::VertexValue> =
-            (0..n as VertexId).map(|v| program.init(query, graph, v)).collect();
+        let mut values: Vec<P::VertexValue> = (0..n as VertexId)
+            .map(|v| program.init(query, graph, v))
+            .collect();
         // Inbox per vertex.
         let mut inboxes: Vec<Vec<P::Message>> = (0..n).map(|_| Vec::new()).collect();
         let mut superstep = 0usize;
 
         loop {
             let step_start = Instant::now();
-            let active: Vec<bool> =
-                (0..n).map(|v| superstep == 0 || !inboxes[v].is_empty()).collect();
+            let active: Vec<bool> = (0..n)
+                .map(|v| superstep == 0 || !inboxes[v].is_empty())
+                .collect();
             let active_count = active.iter().filter(|&&a| a).count();
             if active_count == 0 || superstep >= program.max_supersteps() {
                 break;
             }
             // Partition vertices by worker and run compute in parallel.
-            let outboxes: Vec<Mutex<Vec<(VertexId, P::Message)>>> =
-                (0..self.num_workers).map(|_| Mutex::new(Vec::new())).collect();
+            let outboxes: MessageQueues<P::Message> = (0..self.num_workers)
+                .map(|_| Mutex::new(Vec::new()))
+                .collect();
             let incoming: Vec<Vec<P::Message>> =
                 std::mem::replace(&mut inboxes, (0..n).map(|_| Vec::new()).collect());
             let values_slots: Vec<Mutex<Option<P::VertexValue>>> =
@@ -144,7 +158,9 @@ impl VertexCentricEngine {
                             if self.worker_of(v as VertexId) != w || !active[v] {
                                 continue;
                             }
-                            let mut ctx = VertexContext { messages: Vec::new() };
+                            let mut ctx = VertexContext {
+                                messages: Vec::new(),
+                            };
                             let mut slot = values_slots[v].lock();
                             let value = slot.as_mut().expect("value present");
                             program.compute(
@@ -275,7 +291,11 @@ mod tests {
 
     #[test]
     fn workers_do_not_change_the_answer() {
-        let g = GraphBuilder::directed().add_edge(0, 1).add_edge(1, 2).add_edge(2, 0).build();
+        let g = GraphBuilder::directed()
+            .add_edge(0, 1)
+            .add_edge(1, 2)
+            .add_edge(2, 0)
+            .build();
         let (a, _) = VertexCentricEngine::new(1).run(&g, &MaxFlood, &());
         let (b, _) = VertexCentricEngine::new(4).run(&g, &MaxFlood, &());
         assert_eq!(a, b);

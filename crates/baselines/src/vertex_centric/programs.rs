@@ -162,7 +162,10 @@ impl VertexProgram for VertexSim {
         let sim = (0..pattern.num_nodes() as u32)
             .map(|u| graph.vertex_label(v) == pattern.label(u))
             .collect();
-        VertexSimValue { sim, neighbor_sim: HashMap::new() }
+        VertexSimValue {
+            sim,
+            neighbor_sim: HashMap::new(),
+        }
     }
 
     fn compute(
@@ -186,10 +189,13 @@ impl VertexProgram for VertexSim {
                 continue;
             }
             let ok = pattern.children(u).iter().all(|&c| {
-                graph.out_neighbors(v).iter().any(|n| match value.neighbor_sim.get(&n.target) {
-                    Some(vec) => vec[c as usize],
-                    None => graph.vertex_label(n.target) == pattern.label(c),
-                })
+                graph
+                    .out_neighbors(v)
+                    .iter()
+                    .any(|n| match value.neighbor_sim.get(&n.target) {
+                        Some(vec) => vec[c as usize],
+                        None => graph.vertex_label(n.target) == pattern.label(c),
+                    })
             });
             if !ok {
                 value.sim[u as usize] = false;
@@ -205,13 +211,18 @@ impl VertexProgram for VertexSim {
         }
     }
 
-    fn output(&self, pattern: &Pattern, graph: &Graph, values: Vec<VertexSimValue>) -> Vec<Vec<VertexId>> {
+    fn output(
+        &self,
+        pattern: &Pattern,
+        graph: &Graph,
+        values: Vec<VertexSimValue>,
+    ) -> Vec<Vec<VertexId>> {
         let q = pattern.num_nodes();
         let mut matches: Vec<Vec<VertexId>> = vec![Vec::new(); q];
         for (v, value) in values.iter().enumerate() {
-            for u in 0..q {
+            for (u, matches_u) in matches.iter_mut().enumerate().take(q) {
                 if value.sim[u] {
-                    matches[u].push(v as VertexId);
+                    matches_u.push(v as VertexId);
                 }
             }
         }
@@ -252,7 +263,13 @@ pub struct VertexSubIsoValue {
 }
 
 impl VertexSubIso {
-    fn consistent(graph: &Graph, pattern: &Pattern, partial: &[VertexId], u: u32, v: VertexId) -> bool {
+    fn consistent(
+        graph: &Graph,
+        pattern: &Pattern,
+        partial: &[VertexId],
+        u: u32,
+        v: VertexId,
+    ) -> bool {
         if graph.vertex_label(v) != pattern.label(u) || partial.contains(&v) {
             return false;
         }
@@ -329,7 +346,11 @@ impl VertexProgram for VertexSubIso {
                 // union of the neighbourhoods of the mapped vertices covers
                 // every candidate.
                 for &mapped in &partial {
-                    for n in graph.out_neighbors(mapped).iter().chain(graph.in_neighbors(mapped)) {
+                    for n in graph
+                        .out_neighbors(mapped)
+                        .iter()
+                        .chain(graph.in_neighbors(mapped))
+                    {
                         ctx.send(n.target, partial.clone());
                     }
                 }
@@ -388,7 +409,10 @@ impl VertexProgram for VertexCf {
     }
 
     fn init(&self, query: &CfQuery, _graph: &Graph, v: VertexId) -> VertexCfValue {
-        VertexCfValue { factors: initial_factors(v, query.num_factors), received: HashMap::new() }
+        VertexCfValue {
+            factors: initial_factors(v, query.num_factors),
+            received: HashMap::new(),
+        }
     }
 
     fn compute(
@@ -409,7 +433,7 @@ impl VertexProgram for VertexCf {
         if epoch >= query.epochs {
             return;
         }
-        if is_user && superstep % 2 == 0 {
+        if is_user && superstep.is_multiple_of(2) {
             // Users update against the latest item factors, then push.
             for n in graph.out_neighbors(v) {
                 let mut item = value
@@ -417,7 +441,13 @@ impl VertexProgram for VertexCf {
                     .get(&n.target)
                     .cloned()
                     .unwrap_or_else(|| initial_factors(n.target, query.num_factors));
-                sgd_step(&mut value.factors, &mut item, n.weight, query.learning_rate, query.regularization);
+                sgd_step(
+                    &mut value.factors,
+                    &mut item,
+                    n.weight,
+                    query.learning_rate,
+                    query.regularization,
+                );
             }
             for n in graph.out_neighbors(v) {
                 ctx.send(n.target, (v, value.factors.clone()));
@@ -427,7 +457,13 @@ impl VertexProgram for VertexCf {
             for n in graph.in_neighbors(v) {
                 if let Some(user) = value.received.get(&n.target) {
                     let mut user = user.clone();
-                    sgd_step(&mut user, &mut value.factors, n.weight, query.learning_rate, query.regularization);
+                    sgd_step(
+                        &mut user,
+                        &mut value.factors,
+                        n.weight,
+                        query.learning_rate,
+                        query.regularization,
+                    );
                 }
             }
             for n in graph.in_neighbors(v) {
@@ -476,7 +512,11 @@ mod tests {
             assert!((dist[v] - expected[v]).abs() < 1e-9, "vertex {v}");
         }
         // Vertex-centric needs on the order of the weighted-hop diameter.
-        assert!(metrics.supersteps >= 14, "only {} supersteps", metrics.supersteps);
+        assert!(
+            metrics.supersteps >= 14,
+            "only {} supersteps",
+            metrics.supersteps
+        );
     }
 
     #[test]
@@ -505,7 +545,10 @@ mod tests {
         let alphabet: Vec<u32> = (1..=3).collect();
         let pattern = Pattern::random(3, 3, &alphabet, 9);
         let engine = VertexCentricEngine::new(2);
-        let query = VertexSubIsoQuery { pattern: pattern.clone(), max_matches_per_vertex: 10_000 };
+        let query = VertexSubIsoQuery {
+            pattern: pattern.clone(),
+            max_matches_per_vertex: 10_000,
+        };
         let (matches, _) = engine.run(&g, &VertexSubIso, &query);
         let mut expected = subgraph_isomorphism(&g, &pattern, usize::MAX);
         expected.sort_unstable();
@@ -516,9 +559,17 @@ mod tests {
     fn vertex_cf_learns_ratings() {
         let data = bipartite_ratings(40, 20, 400, 4, 7);
         let engine = VertexCentricEngine::new(4);
-        let query = CfQuery { epochs: 6, num_factors: 4, ..Default::default() };
+        let query = CfQuery {
+            epochs: 6,
+            num_factors: 4,
+            ..Default::default()
+        };
         let (model, metrics) = engine.run(&data.graph, &VertexCf, &query);
-        assert!(model.rmse(&data.graph) < 1.2, "rmse {}", model.rmse(&data.graph));
+        assert!(
+            model.rmse(&data.graph) < 1.2,
+            "rmse {}",
+            model.rmse(&data.graph)
+        );
         assert!(metrics.supersteps >= 2 * 6);
     }
 
@@ -530,7 +581,8 @@ mod tests {
         use grape_partition::strategy::PartitionStrategy;
 
         let g = road_grid(16, 16, 4);
-        let (_, vertex_metrics) = VertexCentricEngine::new(4).run(&g, &VertexSssp, &SsspQuery::new(0));
+        let (_, vertex_metrics) =
+            VertexCentricEngine::new(4).run(&g, &VertexSssp, &SsspQuery::new(0));
         let frag = MetisLike::new(4).partition(&g).unwrap();
         let grape = GrapeEngine::new(EngineConfig::with_workers(4))
             .run(&frag, &grape_algorithms::sssp::Sssp, &SsspQuery::new(0))

@@ -10,7 +10,10 @@ use grape_bench::workloads::{self, Scale};
 fn fig6_cc(c: &mut Criterion) {
     let datasets = [
         ("traffic", workloads::traffic(Scale::Small)),
-        ("livejournal", workloads::livejournal(Scale::Small).to_undirected()),
+        (
+            "livejournal",
+            workloads::livejournal(Scale::Small).to_undirected(),
+        ),
         ("dbpedia", workloads::dbpedia(Scale::Small).to_undirected()),
     ];
     for (name, graph) in &datasets {

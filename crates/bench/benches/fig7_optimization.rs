@@ -18,7 +18,9 @@ fn fig7_optimization(c: &mut Criterion) {
     let mut sequential = c.benchmark_group("fig7b_sequential_sim");
     common::configure(&mut sequential);
     sequential.bench_function("basic", |b| b.iter(|| graph_simulation(&graph, &pattern)));
-    sequential.bench_function("optimized", |b| b.iter(|| graph_simulation_optimized(&graph, &pattern)));
+    sequential.bench_function("optimized", |b| {
+        b.iter(|| graph_simulation_optimized(&graph, &pattern))
+    });
     sequential.finish();
 
     // Parallelized speedup (the Tp(A)/Tp(A*) denominator).

@@ -37,49 +37,102 @@ fn main() {
 
     for target in &targets {
         match target.as_str() {
-            "table1" => print!("{}", format_table("Table 1: SSSP on traffic", &experiments::table1(scale))),
+            "table1" => print!(
+                "{}",
+                format_table("Table 1: SSSP on traffic", &experiments::table1(scale))
+            ),
             "fig6" => print_fig6(scale),
             "fig7" => print_fig7(scale),
             "fig8" => print!(
                 "{}",
-                format_table("Fig 8(a-l): communication cost (see comm column)", &experiments::fig8_comm(scale))
+                format_table(
+                    "Fig 8(a-l): communication cost (see comm column)",
+                    &experiments::fig8_comm(scale)
+                )
             ),
             "fig9" => print!(
                 "{}",
-                format_table("Fig 9: scalability on synthetic graphs", &experiments::fig9_scalability(scale))
+                format_table(
+                    "Fig 9: scalability on synthetic graphs",
+                    &experiments::fig9_scalability(scale)
+                )
             ),
             "loc" => print_loc(),
             "all" => {
-                print!("{}", format_table("Table 1: SSSP on traffic", &experiments::table1(scale)));
+                print!(
+                    "{}",
+                    format_table("Table 1: SSSP on traffic", &experiments::table1(scale))
+                );
                 print_fig6(scale);
                 print_fig7(scale);
                 print!(
                     "{}",
-                    format_table("Fig 9: scalability on synthetic graphs", &experiments::fig9_scalability(scale))
+                    format_table(
+                        "Fig 9: scalability on synthetic graphs",
+                        &experiments::fig9_scalability(scale)
+                    )
                 );
                 print_loc();
             }
-            other => eprintln!("unknown experiment {other:?} (use table1|fig6|fig7|fig8|fig9|loc|all)"),
+            other => {
+                eprintln!("unknown experiment {other:?} (use table1|fig6|fig7|fig8|fig9|loc|all)")
+            }
         }
     }
 }
 
 fn print_fig6(scale: Scale) {
-    print!("{}", format_table("Fig 6(a-c) / 8(a-c): SSSP, time & comm vs n", &experiments::fig6_sssp(scale)));
-    print!("{}", format_table("Fig 6(d-f) / 8(d-f): CC, time & comm vs n", &experiments::fig6_cc(scale)));
-    print!("{}", format_table("Fig 6(g-h) / 8(g-h): Sim, time & comm vs n", &experiments::fig6_sim(scale)));
-    print!("{}", format_table("Fig 6(i-j) / 8(i-j): SubIso, time & comm vs n", &experiments::fig6_subiso(scale)));
-    print!("{}", format_table("Fig 6(k-l) / 8(k-l): CF, time & comm vs n", &experiments::fig6_cf(scale)));
+    print!(
+        "{}",
+        format_table(
+            "Fig 6(a-c) / 8(a-c): SSSP, time & comm vs n",
+            &experiments::fig6_sssp(scale)
+        )
+    );
+    print!(
+        "{}",
+        format_table(
+            "Fig 6(d-f) / 8(d-f): CC, time & comm vs n",
+            &experiments::fig6_cc(scale)
+        )
+    );
+    print!(
+        "{}",
+        format_table(
+            "Fig 6(g-h) / 8(g-h): Sim, time & comm vs n",
+            &experiments::fig6_sim(scale)
+        )
+    );
+    print!(
+        "{}",
+        format_table(
+            "Fig 6(i-j) / 8(i-j): SubIso, time & comm vs n",
+            &experiments::fig6_subiso(scale)
+        )
+    );
+    print!(
+        "{}",
+        format_table(
+            "Fig 6(k-l) / 8(k-l): CF, time & comm vs n",
+            &experiments::fig6_cf(scale)
+        )
+    );
 }
 
 fn print_fig7(scale: Scale) {
     print!(
         "{}",
-        format_table("Fig 7(a): incremental vs non-incremental Sim", &experiments::fig7_incremental(scale))
+        format_table(
+            "Fig 7(a): incremental vs non-incremental Sim",
+            &experiments::fig7_incremental(scale)
+        )
     );
     print!(
         "{}",
-        format_table("Fig 7(b): optimized sequential Sim under GRAPE", &experiments::fig7_optimization(scale))
+        format_table(
+            "Fig 7(b): optimized sequential Sim under GRAPE",
+            &experiments::fig7_optimization(scale)
+        )
     );
 }
 
@@ -87,9 +140,18 @@ fn print_fig7(scale: Scale) {
 /// vertex/block programs, the analogue of Figures 10–11.
 fn print_loc() {
     let entries = [
-        ("PIE SSSP (crates/algorithms/src/sssp/pie.rs)", include_str!("../../../algorithms/src/sssp/pie.rs")),
-        ("PIE CC (crates/algorithms/src/cc/pie.rs)", include_str!("../../../algorithms/src/cc/pie.rs")),
-        ("PIE Sim (crates/algorithms/src/sim/pie.rs)", include_str!("../../../algorithms/src/sim/pie.rs")),
+        (
+            "PIE SSSP (crates/algorithms/src/sssp/pie.rs)",
+            include_str!("../../../algorithms/src/sssp/pie.rs"),
+        ),
+        (
+            "PIE CC (crates/algorithms/src/cc/pie.rs)",
+            include_str!("../../../algorithms/src/cc/pie.rs"),
+        ),
+        (
+            "PIE Sim (crates/algorithms/src/sim/pie.rs)",
+            include_str!("../../../algorithms/src/sim/pie.rs"),
+        ),
         (
             "vertex programs, all five (crates/baselines/src/vertex_centric/programs.rs)",
             include_str!("../../../baselines/src/vertex_centric/programs.rs"),

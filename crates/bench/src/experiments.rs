@@ -21,7 +21,10 @@ pub fn worker_counts(scale: Scale) -> Vec<usize> {
 pub fn table1(scale: Scale) -> Vec<RunRow> {
     let g = workloads::traffic(scale);
     let n = *worker_counts(scale).last().unwrap();
-    System::all().iter().map(|&s| run_sssp(s, &g, 0, n, "traffic")).collect()
+    System::all()
+        .iter()
+        .map(|&s| run_sssp(s, &g, 0, n, "traffic"))
+        .collect()
 }
 
 /// Figures 6(a)–(c) and 8(a)–(c): SSSP time / communication vs `n` on the
@@ -63,8 +66,10 @@ pub fn fig6_cc(scale: Scale) -> Vec<RunRow> {
 
 /// Figures 6(g)–(h) and 8(g)–(h): Sim vs `n` on liveJournal and DBpedia.
 pub fn fig6_sim(scale: Scale) -> Vec<RunRow> {
-    let datasets =
-        [("livejournal", workloads::livejournal(scale)), ("dbpedia", workloads::dbpedia(scale))];
+    let datasets = [
+        ("livejournal", workloads::livejournal(scale)),
+        ("dbpedia", workloads::dbpedia(scale)),
+    ];
     let mut rows = Vec::new();
     for (name, g) in &datasets {
         let pattern = workloads::sim_pattern(g, scale, 0x51);
@@ -79,8 +84,10 @@ pub fn fig6_sim(scale: Scale) -> Vec<RunRow> {
 
 /// Figures 6(i)–(j) and 8(i)–(j): SubIso vs `n` on liveJournal and DBpedia.
 pub fn fig6_subiso(scale: Scale) -> Vec<RunRow> {
-    let datasets =
-        [("livejournal", workloads::livejournal(scale)), ("dbpedia", workloads::dbpedia(scale))];
+    let datasets = [
+        ("livejournal", workloads::livejournal(scale)),
+        ("dbpedia", workloads::dbpedia(scale)),
+    ];
     let mut rows = Vec::new();
     for (name, g) in &datasets {
         let pattern = workloads::subiso_pattern(g, scale, 0x52);

@@ -23,8 +23,7 @@ use grape_baselines::block_centric::{
     run_block_subiso, BlockCc, BlockCentricEngine, BlockCf, BlockSim,
 };
 use grape_baselines::vertex_centric::{
-    VertexCc, VertexCentricEngine, VertexCf, VertexSim, VertexSssp, VertexSubIso,
-    VertexSubIsoQuery,
+    VertexCc, VertexCentricEngine, VertexCf, VertexSim, VertexSssp, VertexSubIso, VertexSubIsoQuery,
 };
 
 /// The systems compared in the evaluation.
@@ -75,7 +74,13 @@ pub struct RunRow {
 }
 
 impl RunRow {
-    fn from_metrics(query: &str, workload: &str, system: System, workers: usize, m: &EngineMetrics) -> Self {
+    fn from_metrics(
+        query: &str,
+        workload: &str,
+        system: System,
+        workers: usize,
+        m: &EngineMetrics,
+    ) -> Self {
         RunRow {
             query: query.to_string(),
             workload: workload.to_string(),
@@ -91,7 +96,9 @@ impl RunRow {
 /// Partitions `graph` into `workers` fragments with the default strategy
 /// (METIS-like, as in the paper).
 pub fn partition(graph: &Graph, workers: usize) -> Fragmentation {
-    MetisLike::new(workers.max(1)).partition(graph).expect("partition")
+    MetisLike::new(workers.max(1))
+        .partition(graph)
+        .expect("partition")
 }
 
 fn grape_engine(workers: usize) -> GrapeEngine {
@@ -99,14 +106,27 @@ fn grape_engine(workers: usize) -> GrapeEngine {
 }
 
 /// Runs SSSP on one system.
-pub fn run_sssp(system: System, graph: &Graph, source: VertexId, workers: usize, workload: &str) -> RunRow {
+pub fn run_sssp(
+    system: System,
+    graph: &Graph,
+    source: VertexId,
+    workers: usize,
+    workload: &str,
+) -> RunRow {
     let query = SsspQuery::new(source);
     let metrics = match system {
         System::Grape => {
             let frag = partition(graph, workers);
-            grape_engine(workers).run(&frag, &Sssp, &query).expect("grape sssp").metrics
+            grape_engine(workers)
+                .run(&frag, &Sssp, &query)
+                .expect("grape sssp")
+                .metrics
         }
-        System::VertexCentric => VertexCentricEngine::new(workers).run(graph, &VertexSssp, &query).1,
+        System::VertexCentric => {
+            VertexCentricEngine::new(workers)
+                .run(graph, &VertexSssp, &query)
+                .1
+        }
         System::BlockCentric => {
             let frag = partition(graph, workers);
             grape_baselines::block_centric::run_block_sssp(&frag, &query, workers).1
@@ -120,9 +140,16 @@ pub fn run_cc(system: System, graph: &Graph, workers: usize, workload: &str) -> 
     let metrics = match system {
         System::Grape => {
             let frag = partition(graph, workers);
-            grape_engine(workers).run(&frag, &Cc, &CcQuery).expect("grape cc").metrics
+            grape_engine(workers)
+                .run(&frag, &Cc, &CcQuery)
+                .expect("grape cc")
+                .metrics
         }
-        System::VertexCentric => VertexCentricEngine::new(workers).run(graph, &VertexCc, &()).1,
+        System::VertexCentric => {
+            VertexCentricEngine::new(workers)
+                .run(graph, &VertexCc, &())
+                .1
+        }
         System::BlockCentric => {
             let frag = partition(graph, workers);
             BlockCentricEngine::new(workers).run(&frag, &BlockCc, &()).1
@@ -132,7 +159,13 @@ pub fn run_cc(system: System, graph: &Graph, workers: usize, workload: &str) -> 
 }
 
 /// Runs graph simulation on one system.
-pub fn run_sim(system: System, graph: &Graph, pattern: &Pattern, workers: usize, workload: &str) -> RunRow {
+pub fn run_sim(
+    system: System,
+    graph: &Graph,
+    pattern: &Pattern,
+    workers: usize,
+    workload: &str,
+) -> RunRow {
     let metrics = match system {
         System::Grape => {
             let frag = partition(graph, workers);
@@ -141,7 +174,11 @@ pub fn run_sim(system: System, graph: &Graph, pattern: &Pattern, workers: usize,
                 .expect("grape sim")
                 .metrics
         }
-        System::VertexCentric => VertexCentricEngine::new(workers).run(graph, &VertexSim, pattern).1,
+        System::VertexCentric => {
+            VertexCentricEngine::new(workers)
+                .run(graph, &VertexSim, pattern)
+                .1
+        }
         System::BlockCentric => {
             let frag = partition(graph, workers);
             BlockCentricEngine::new(workers)
@@ -166,7 +203,12 @@ pub fn run_sim_ni(graph: &Graph, pattern: &Pattern, workers: usize, workload: &s
 }
 
 /// Runs the index-optimized simulation variant — Exp-3.
-pub fn run_sim_optimized(graph: &Graph, pattern: &Pattern, workers: usize, workload: &str) -> RunRow {
+pub fn run_sim_optimized(
+    graph: &Graph,
+    pattern: &Pattern,
+    workers: usize,
+    workload: &str,
+) -> RunRow {
     let frag = partition(graph, workers);
     let metrics = grape_engine(workers)
         .run(&frag, &Sim::with_index(), &SimQuery::new(pattern.clone()))
@@ -204,7 +246,9 @@ pub fn run_subiso(
                 pattern: pattern.clone(),
                 max_matches_per_vertex: MAX_MATCHES,
             };
-            VertexCentricEngine::new(workers).run(graph, &VertexSubIso, &query).1
+            VertexCentricEngine::new(workers)
+                .run(graph, &VertexSubIso, &query)
+                .1
         }
         System::BlockCentric => {
             let frag = partition(graph, workers);
@@ -215,8 +259,18 @@ pub fn run_subiso(
 }
 
 /// Runs collaborative filtering on one system.
-pub fn run_cf(system: System, data: &RatingData, epochs: usize, workers: usize, workload: &str) -> RunRow {
-    let query = CfQuery { epochs, num_factors: 8, ..Default::default() };
+pub fn run_cf(
+    system: System,
+    data: &RatingData,
+    epochs: usize,
+    workers: usize,
+    workload: &str,
+) -> RunRow {
+    let query = CfQuery {
+        epochs,
+        num_factors: 8,
+        ..Default::default()
+    };
     let metrics = match system {
         System::Grape => {
             let frag = partition(&data.graph, workers);
@@ -226,11 +280,15 @@ pub fn run_cf(system: System, data: &RatingData, epochs: usize, workers: usize, 
                 .metrics
         }
         System::VertexCentric => {
-            VertexCentricEngine::new(workers).run(&data.graph, &VertexCf, &query).1
+            VertexCentricEngine::new(workers)
+                .run(&data.graph, &VertexCf, &query)
+                .1
         }
         System::BlockCentric => {
             let frag = partition(&data.graph, workers);
-            BlockCentricEngine::new(workers).run(&frag, &BlockCf, &query).1
+            BlockCentricEngine::new(workers)
+                .run(&frag, &BlockCf, &query)
+                .1
         }
     };
     RunRow::from_metrics("cf", workload, system, workers, &metrics)
@@ -275,7 +333,12 @@ mod tests {
         let g = workloads::traffic(Scale::Small);
         let grape = run_sssp(System::Grape, &g, 0, 4, "traffic");
         let vertex = run_sssp(System::VertexCentric, &g, 0, 4, "traffic");
-        assert!(grape.comm_mb < vertex.comm_mb, "{} vs {}", grape.comm_mb, vertex.comm_mb);
+        assert!(
+            grape.comm_mb < vertex.comm_mb,
+            "{} vs {}",
+            grape.comm_mb,
+            vertex.comm_mb
+        );
         assert!(grape.supersteps < vertex.supersteps);
     }
 

@@ -1,9 +1,7 @@
 //! Benchmark workloads: scaled-down synthetic stand-ins for the paper's
 //! datasets (see DESIGN.md §3 for the substitution rationale).
 
-use grape_graph::generators::{
-    bipartite_ratings, labeled_kg, power_law, road_grid, RatingData,
-};
+use grape_graph::generators::{bipartite_ratings, labeled_kg, power_law, road_grid, RatingData};
 use grape_graph::graph::Graph;
 use grape_graph::pattern::Pattern;
 
@@ -81,7 +79,11 @@ pub fn synthetic(step: usize, scale: Scale) -> Graph {
 /// stays fast), drawn from the labels of `graph`.
 pub fn sim_pattern(graph: &Graph, scale: Scale, seed: u64) -> Pattern {
     let alphabet = graph.distinct_vertex_labels();
-    let alphabet = if alphabet.len() > 1 { alphabet } else { vec![1] };
+    let alphabet = if alphabet.len() > 1 {
+        alphabet
+    } else {
+        vec![1]
+    };
     match scale {
         Scale::Small => Pattern::random(4, 7, &alphabet, seed),
         Scale::Medium => Pattern::random(8, 15, &alphabet, seed),
@@ -92,7 +94,11 @@ pub fn sim_pattern(graph: &Graph, scale: Scale, seed: u64) -> Pattern {
 /// (3, 4) at small scale).
 pub fn subiso_pattern(graph: &Graph, scale: Scale, seed: u64) -> Pattern {
     let alphabet = graph.distinct_vertex_labels();
-    let alphabet = if alphabet.len() > 1 { alphabet } else { vec![1] };
+    let alphabet = if alphabet.len() > 1 {
+        alphabet
+    } else {
+        vec![1]
+    };
     match scale {
         Scale::Small => Pattern::random(3, 4, &alphabet, seed),
         Scale::Medium => Pattern::random(6, 10, &alphabet, seed),

@@ -81,7 +81,10 @@ impl EngineConfig {
 
     /// Adds an injected failure.
     pub fn with_injected_failure(mut self, superstep: usize, fragment: usize) -> Self {
-        self.injected_failures.push(InjectedFailure { superstep, fragment });
+        self.injected_failures.push(InjectedFailure {
+            superstep,
+            fragment,
+        });
         self
     }
 }
@@ -112,7 +115,13 @@ mod tests {
         assert_eq!(cfg.mode, EngineMode::Asynchronous);
         assert_eq!(cfg.max_supersteps, 50);
         assert_eq!(cfg.checkpoint_every, Some(5));
-        assert_eq!(cfg.injected_failures, vec![InjectedFailure { superstep: 3, fragment: 1 }]);
+        assert_eq!(
+            cfg.injected_failures,
+            vec![InjectedFailure {
+                superstep: 3,
+                fragment: 1
+            }]
+        );
     }
 
     #[test]

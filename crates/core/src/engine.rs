@@ -31,6 +31,10 @@ use crate::load_balance::LoadBalancer;
 use crate::metrics::{EngineMetrics, SuperstepMetrics};
 use crate::pie::{KeyVertex, Messages, PieProgram};
 
+/// One lock-protected buffer of `(key, value)` update-parameter assignments
+/// per fragment.
+type KvQueues<K, V> = Vec<Mutex<Vec<(K, V)>>>;
+
 /// Errors produced by an engine run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EngineError {
@@ -87,7 +91,10 @@ impl GrapeEngine {
     /// Creates an engine with the given configuration and the default load
     /// balancer.
     pub fn new(config: EngineConfig) -> Self {
-        GrapeEngine { config, balancer: LoadBalancer::default() }
+        GrapeEngine {
+            config,
+            balancer: LoadBalancer::default(),
+        }
     }
 
     /// Overrides the load balancer.
@@ -143,8 +150,7 @@ impl GrapeEngine {
 
         // Shared per-fragment state.
         let partials: Vec<Mutex<Option<P::Partial>>> = (0..m).map(|_| Mutex::new(None)).collect();
-        let inboxes: Vec<Mutex<Vec<(P::Key, P::Value)>>> =
-            (0..m).map(|_| Mutex::new(Vec::new())).collect();
+        let inboxes: KvQueues<P::Key, P::Value> = (0..m).map(|_| Mutex::new(Vec::new())).collect();
         let mut delivered: Vec<HashMap<P::Key, P::Value>> = vec![HashMap::new(); m];
         let mut checkpoint: Option<Checkpoint<P>> = None;
         let mut handled_failures = vec![false; self.config.injected_failures.len()];
@@ -163,7 +169,8 @@ impl GrapeEngine {
             // (1a) Failure injection + arbitrator recovery.
             let mut failed = false;
             for (idx, failure) in self.config.injected_failures.iter().enumerate() {
-                if !handled_failures[idx] && failure.superstep == superstep && failure.fragment < m {
+                if !handled_failures[idx] && failure.superstep == superstep && failure.fragment < m
+                {
                     handled_failures[idx] = true;
                     failed = true;
                     metrics.recovered_failures += 1;
@@ -208,7 +215,7 @@ impl GrapeEngine {
             }
 
             // (3) Local evaluation (PEval in superstep 0, IncEval afterwards).
-            let outputs: Vec<Mutex<Vec<(P::Key, P::Value)>>> =
+            let outputs: KvQueues<P::Key, P::Value> =
                 (0..m).map(|_| Mutex::new(Vec::new())).collect();
 
             match self.config.mode {
@@ -322,7 +329,7 @@ impl GrapeEngine {
 
             // (5) Checkpoint.
             if let Some(every) = self.config.checkpoint_every {
-                if (superstep + 1) % every == 0 {
+                if (superstep + 1).is_multiple_of(every) {
                     checkpoint = Some(Checkpoint {
                         superstep: superstep + 1,
                         partials: partials.iter().map(|p| p.lock().clone()).collect(),
@@ -406,14 +413,11 @@ mod tests {
             BorderScope::Out
         }
 
-        fn peval(
-            &self,
-            _q: &(),
-            frag: &Fragment,
-            ctx: &mut Messages<VertexId, u64>,
-        ) -> MinPartial {
-            let mut values: MinPartial =
-                frag.all_locals().map(|l| (frag.global_of(l), frag.global_of(l))).collect();
+        fn peval(&self, _q: &(), frag: &Fragment, ctx: &mut Messages<VertexId, u64>) -> MinPartial {
+            let mut values: MinPartial = frag
+                .all_locals()
+                .map(|l| (frag.global_of(l), frag.global_of(l)))
+                .collect();
             Self::local_propagate(frag, &mut values);
             for &l in frag.out_border_locals() {
                 let v = frag.global_of(l);
@@ -453,7 +457,9 @@ mod tests {
             let mut out = HashMap::new();
             for p in partials {
                 for (v, value) in p {
-                    out.entry(v).and_modify(|x: &mut u64| *x = (*x).min(value)).or_insert(value);
+                    out.entry(v)
+                        .and_modify(|x: &mut u64| *x = (*x).min(value))
+                        .or_insert(value);
                 }
             }
             out
@@ -480,7 +486,10 @@ mod tests {
         let result = engine.run(&frag, &MinPropagation, &()).unwrap();
         // Every vertex of the ring should converge to the global minimum 0.
         assert!(result.output.values().all(|&v| v == 0));
-        assert!(result.metrics.supersteps >= 2, "ring needs multiple supersteps");
+        assert!(
+            result.metrics.supersteps >= 2,
+            "ring needs multiple supersteps"
+        );
         assert!(result.metrics.total_messages > 0);
     }
 
@@ -529,7 +538,9 @@ mod tests {
         let config = EngineConfig::with_workers(3)
             .with_checkpoint_every(1)
             .with_injected_failure(2, 1);
-        let result = GrapeEngine::new(config).run(&frag, &MinPropagation, &()).unwrap();
+        let result = GrapeEngine::new(config)
+            .run(&frag, &MinPropagation, &())
+            .unwrap();
         assert_eq!(result.metrics.recovered_failures, 1);
         assert!(result.metrics.checkpoints >= 1);
         assert!(result.output.values().all(|&v| v == 0));
@@ -540,7 +551,9 @@ mod tests {
         let g = ring_graph(9);
         let frag = RangeEdgeCut::new(3).partition(&g).unwrap();
         let config = EngineConfig::with_workers(2).with_injected_failure(1, 0);
-        let result = GrapeEngine::new(config).run(&frag, &MinPropagation, &()).unwrap();
+        let result = GrapeEngine::new(config)
+            .run(&frag, &MinPropagation, &())
+            .unwrap();
         assert_eq!(result.metrics.recovered_failures, 1);
         assert!(result.output.values().all(|&v| v == 0));
     }
@@ -550,7 +563,9 @@ mod tests {
         let g = ring_graph(32);
         let frag = RangeEdgeCut::new(8).partition(&g).unwrap();
         let config = EngineConfig::with_workers(2).with_max_supersteps(2);
-        let err = GrapeEngine::new(config).run(&frag, &MinPropagation, &()).unwrap_err();
+        let err = GrapeEngine::new(config)
+            .run(&frag, &MinPropagation, &())
+            .unwrap_err();
         assert_eq!(err, EngineError::DidNotConverge { max_supersteps: 2 });
     }
 
@@ -561,7 +576,10 @@ mod tests {
         let result = GrapeEngine::new(EngineConfig::with_workers(2))
             .run(&frag, &MinPropagation, &())
             .unwrap();
-        assert_eq!(result.metrics.per_superstep.len(), result.metrics.supersteps);
+        assert_eq!(
+            result.metrics.per_superstep.len(),
+            result.metrics.supersteps
+        );
         assert_eq!(result.metrics.fragments, 4);
         assert!(result.metrics.seconds() >= 0.0);
         assert!(result.metrics.summary().contains("min-propagation"));
@@ -579,8 +597,7 @@ mod tests {
         // Each border vertex can change at most a handful of times; far fewer
         // messages than vertices × supersteps.
         assert!(
-            result.metrics.total_messages
-                <= frag.num_border_vertices() * result.metrics.supersteps,
+            result.metrics.total_messages <= frag.num_border_vertices() * result.metrics.supersteps,
             "messages {} vs bound {}",
             result.metrics.total_messages,
             frag.num_border_vertices() * result.metrics.supersteps

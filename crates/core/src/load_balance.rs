@@ -102,7 +102,7 @@ mod tests {
     fn every_fragment_assigned_exactly_once() {
         let frag = fragmentation(8);
         let assignment = LoadBalancer::default().assign(&frag, 3);
-        let mut seen = vec![false; 8];
+        let mut seen = [false; 8];
         for worker in &assignment {
             for &f in worker {
                 assert!(!seen[f], "fragment {f} assigned twice");

@@ -99,7 +99,11 @@ mod tests {
 
     #[test]
     fn push_superstep_accumulates_totals() {
-        let mut m = EngineMetrics { program: "sssp".into(), workers: 4, ..Default::default() };
+        let mut m = EngineMetrics {
+            program: "sssp".into(),
+            workers: 4,
+            ..Default::default()
+        };
         m.push_superstep(SuperstepMetrics {
             superstep: 0,
             active_fragments: 4,
@@ -141,14 +145,26 @@ mod tests {
 
     #[test]
     fn summary_mentions_program_name() {
-        let m = EngineMetrics { program: "cc".into(), ..Default::default() };
+        let m = EngineMetrics {
+            program: "cc".into(),
+            ..Default::default()
+        };
         assert!(m.summary().contains("cc"));
     }
 
     #[test]
     fn serde_roundtrip() {
-        let mut m = EngineMetrics { program: "sim".into(), workers: 2, ..Default::default() };
-        m.push_superstep(SuperstepMetrics { superstep: 0, messages: 1, bytes: 8, ..Default::default() });
+        let mut m = EngineMetrics {
+            program: "sim".into(),
+            workers: 2,
+            ..Default::default()
+        };
+        m.push_superstep(SuperstepMetrics {
+            superstep: 0,
+            messages: 1,
+            bytes: 8,
+            ..Default::default()
+        });
         let json = serde_json::to_string(&m).unwrap();
         let back: EngineMetrics = serde_json::from_str(&json).unwrap();
         assert_eq!(back.total_messages, 1);

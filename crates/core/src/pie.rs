@@ -52,7 +52,9 @@ pub struct Messages<K, V> {
 impl<K, V> Messages<K, V> {
     /// Creates an empty buffer.
     pub fn new() -> Self {
-        Messages { updates: Vec::new() }
+        Messages {
+            updates: Vec::new(),
+        }
     }
 
     /// Declares that the update parameter `key` now has value `value`.

@@ -17,6 +17,12 @@ use std::hash::Hash;
 
 use parking_lot::Mutex;
 
+/// Key-value pairs produced by a map/reduce phase.
+type Pairs<K, V> = Vec<(K, V)>;
+
+/// One lock-protected pair buffer per simulated worker.
+type PairQueues<K, V> = Vec<Mutex<Pairs<K, V>>>;
+
 /// Cost accounting of a simulated MapReduce job.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MapReduceMetrics {
@@ -63,12 +69,12 @@ pub fn run_mapreduce<J: MapReduceJob>(
     job: &J,
     inputs: &[J::Input],
     num_workers: usize,
-) -> (Vec<(J::Key, J::Value)>, MapReduceMetrics) {
+) -> (Pairs<J::Key, J::Value>, MapReduceMetrics) {
     let num_workers = num_workers.max(1);
     let mut metrics = MapReduceMetrics::default();
 
     // Round-1 map: inputs are split across workers (PEval).
-    let mapped: Vec<Mutex<Vec<(J::Key, J::Value)>>> =
+    let mapped: PairQueues<J::Key, J::Value> =
         (0..num_workers).map(|_| Mutex::new(Vec::new())).collect();
     std::thread::scope(|s| {
         for w in 0..num_workers {
@@ -93,7 +99,7 @@ pub fn run_mapreduce<J: MapReduceJob>(
     for round in 0..job.rounds() {
         // For rounds after the first, re-map the previous reduce output.
         if round > 0 {
-            let remapped: Vec<Mutex<Vec<(J::Key, J::Value)>>> =
+            let remapped: PairQueues<J::Key, J::Value> =
                 (0..num_workers).map(|_| Mutex::new(Vec::new())).collect();
             std::thread::scope(|s| {
                 for (w, pairs) in current.iter().enumerate() {
@@ -128,7 +134,7 @@ pub fn run_mapreduce<J: MapReduceJob>(
         }
 
         // Reduce phase (one IncEval superstep).
-        let reduced: Vec<Mutex<Vec<(J::Key, J::Value)>>> =
+        let reduced: PairQueues<J::Key, J::Value> =
             (0..num_workers).map(|_| Mutex::new(Vec::new())).collect();
         std::thread::scope(|s| {
             for (w, group) in groups.into_iter().enumerate() {
@@ -205,23 +211,24 @@ pub fn run_bsp<B: BspProgram>(
     max_supersteps: usize,
 ) -> (Vec<B::State>, BspMetrics) {
     let num_workers = num_workers.max(1);
-    let mut states: Vec<B::State> =
-        (0..num_workers).map(|w| program.init(w, num_workers)).collect();
+    let mut states: Vec<B::State> = (0..num_workers)
+        .map(|w| program.init(w, num_workers))
+        .collect();
     let mut inboxes: Vec<Vec<B::Message>> = (0..num_workers).map(|_| Vec::new()).collect();
     let mut metrics = BspMetrics::default();
 
     for _ in 0..max_supersteps {
-        let outboxes: Vec<Mutex<Vec<(usize, B::Message)>>> =
+        let outboxes: PairQueues<usize, B::Message> =
             (0..num_workers).map(|_| Mutex::new(Vec::new())).collect();
-        let incoming: Vec<Vec<B::Message>> = std::mem::replace(
-            &mut inboxes,
-            (0..num_workers).map(|_| Vec::new()).collect(),
-        );
+        let incoming: Vec<Vec<B::Message>> =
+            std::mem::replace(&mut inboxes, (0..num_workers).map(|_| Vec::new()).collect());
         std::thread::scope(|s| {
             for (w, (state, inbox)) in states.iter_mut().zip(incoming).enumerate() {
                 let outboxes = &outboxes;
                 s.spawn(move || {
-                    let mut outbox = BspOutbox { messages: Vec::new() };
+                    let mut outbox = BspOutbox {
+                        messages: Vec::new(),
+                    };
                     program.superstep(w, state, inbox, &mut outbox);
                     *outboxes[w].lock() = outbox.messages;
                 });
@@ -256,7 +263,10 @@ mod tests {
         type Value = u64;
 
         fn map(&self, input: &String) -> Vec<(String, u64)> {
-            input.split_whitespace().map(|w| (w.to_string(), 1)).collect()
+            input
+                .split_whitespace()
+                .map(|w| (w.to_string(), 1))
+                .collect()
         }
 
         fn reduce(&self, key: &String, values: Vec<u64>) -> Vec<(String, u64)> {
@@ -283,12 +293,13 @@ mod tests {
 
     #[test]
     fn word_count_is_worker_count_independent() {
-        let docs: Vec<String> = (0..20).map(|i| format!("w{} common w{}", i % 5, i % 3)).collect();
+        let docs: Vec<String> = (0..20)
+            .map(|i| format!("w{} common w{}", i % 5, i % 3))
+            .collect();
         let (a, _) = run_mapreduce(&WordCount, &docs, 1);
         let (b, _) = run_mapreduce(&WordCount, &docs, 4);
-        let to_map = |pairs: Vec<(String, u64)>| -> HashMap<String, u64> {
-            pairs.into_iter().collect()
-        };
+        let to_map =
+            |pairs: Vec<(String, u64)>| -> HashMap<String, u64> { pairs.into_iter().collect() };
         assert_eq!(to_map(a), to_map(b));
     }
 
@@ -305,11 +316,18 @@ mod tests {
         }
 
         fn map(&self, input: &String) -> Vec<(String, u64)> {
-            input.split_whitespace().map(|w| (w.to_string(), 1)).collect()
+            input
+                .split_whitespace()
+                .map(|w| (w.to_string(), 1))
+                .collect()
         }
 
         fn remap(&self, _key: &String, value: &u64) -> Vec<(String, u64)> {
-            let bucket = if value % 2 == 0 { "even" } else { "odd" };
+            let bucket = if value.is_multiple_of(2) {
+                "even"
+            } else {
+                "odd"
+            };
             vec![(bucket.to_string(), 1)]
         }
 
@@ -370,7 +388,10 @@ mod tests {
         // Token visits workers 1, 2, 3, 0, 1, 2, 3 (7 hops).
         assert_eq!(states.iter().sum::<u64>(), 8); // 7 receipts + worker 0 start
         assert_eq!(metrics.messages, 7);
-        assert_eq!(metrics.supersteps, 8, "one start superstep + 7 hop supersteps");
+        assert_eq!(
+            metrics.supersteps, 8,
+            "one start superstep + 7 hop supersteps"
+        );
     }
 
     #[test]

@@ -138,7 +138,10 @@ mod tests {
 
     #[test]
     fn ensure_vertices_creates_isolated_vertices() {
-        let g = GraphBuilder::directed().add_edge(0, 1).ensure_vertices(5).build();
+        let g = GraphBuilder::directed()
+            .add_edge(0, 1)
+            .ensure_vertices(5)
+            .build();
         assert_eq!(g.num_vertices(), 5);
         assert_eq!(g.out_degree(4), 0);
     }

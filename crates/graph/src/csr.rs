@@ -54,12 +54,20 @@ impl Csr {
         let offsets = counts.clone();
         let mut cursor = counts;
         let mut neighbors = vec![
-            Neighbor { target: 0, weight: 0.0, label: 0 };
+            Neighbor {
+                target: 0,
+                weight: 0.0,
+                label: 0
+            };
             edges.len()
         ];
         for e in edges {
             let slot = cursor[e.src as usize];
-            neighbors[slot] = Neighbor { target: e.dst, weight: e.weight, label: e.label };
+            neighbors[slot] = Neighbor {
+                target: e.dst,
+                weight: e.weight,
+                label: e.label,
+            };
             cursor[e.src as usize] += 1;
         }
         Csr { offsets, neighbors }
@@ -104,10 +112,9 @@ impl Csr {
             return false;
         }
         self.offsets.windows(2).all(|w| w[0] <= w[1])
-            && self
-                .neighbors
-                .iter()
-                .all(|n| (n.target as usize) < self.num_vertices().max(1) || self.num_vertices() == 0)
+            && self.neighbors.iter().all(|n| {
+                (n.target as usize) < self.num_vertices().max(1) || self.num_vertices() == 0
+            })
     }
 }
 
@@ -173,8 +180,7 @@ mod tests {
     #[test]
     fn iter_visits_every_edge_once() {
         let csr = Csr::from_edges(4, &edges());
-        let collected: Vec<(VertexId, VertexId)> =
-            csr.iter().map(|(s, n)| (s, n.target)).collect();
+        let collected: Vec<(VertexId, VertexId)> = csr.iter().map(|(s, n)| (s, n.target)).collect();
         assert_eq!(collected.len(), 5);
         assert!(collected.contains(&(0, 1)));
         assert!(collected.contains(&(2, 0)));

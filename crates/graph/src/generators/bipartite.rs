@@ -74,7 +74,10 @@ pub fn bipartite_ratings(
     num_factors: usize,
     seed: u64,
 ) -> RatingData {
-    assert!(num_users > 0 && num_items > 0, "need at least one user and item");
+    assert!(
+        num_users > 0 && num_items > 0,
+        "need at least one user and item"
+    );
     assert!(num_factors > 0, "need at least one latent factor");
     let mut rng = StdRng::seed_from_u64(seed);
 
@@ -155,7 +158,11 @@ mod tests {
         let data = bipartite_ratings(20, 10, 150, 2, 3);
         let mut seen = std::collections::HashSet::new();
         for e in data.graph.edges() {
-            assert!(seen.insert((e.src, e.dst)), "duplicate rating {:?}", (e.src, e.dst));
+            assert!(
+                seen.insert((e.src, e.dst)),
+                "duplicate rating {:?}",
+                (e.src, e.dst)
+            );
         }
     }
 
@@ -166,7 +173,10 @@ mod tests {
             let user = e.src as usize;
             let item = e.dst as usize - data.num_users;
             let truth = data.true_rating(user, item);
-            assert!((e.weight - truth).abs() <= 0.26, "rating too far from truth");
+            assert!(
+                (e.weight - truth).abs() <= 0.26,
+                "rating too far from truth"
+            );
         }
     }
 

@@ -43,7 +43,11 @@ pub fn labeled_kg(
         if src == dst {
             continue;
         }
-        let label = if edge_labels > 0 { rng.gen_range(1..=edge_labels) } else { 0 };
+        let label = if edge_labels > 0 {
+            rng.gen_range(1..=edge_labels)
+        } else {
+            0
+        };
         builder.push_edge(Edge::new(src, dst, rng.gen_range(1.0..10.0), label));
     }
 
@@ -94,7 +98,7 @@ mod tests {
     #[test]
     fn node_label_distribution_is_skewed() {
         let g = labeled_kg(5000, 5000, 10, 1, 21);
-        let mut counts = vec![0usize; 11];
+        let mut counts = [0usize; 11];
         for v in g.vertices() {
             counts[g.vertex_label(v) as usize] += 1;
         }
@@ -111,7 +115,10 @@ mod tests {
         let g = labeled_kg(2000, 10000, 5, 5, 2);
         let max_in = g.vertices().map(|v| g.in_degree(v)).max().unwrap();
         let avg_in = g.num_edges() as f64 / g.num_vertices() as f64;
-        assert!(max_in as f64 > 5.0 * avg_in, "max in-degree {max_in} vs avg {avg_in}");
+        assert!(
+            max_in as f64 > 5.0 * avg_in,
+            "max in-degree {max_in} vs avg {avg_in}"
+        );
     }
 
     #[test]

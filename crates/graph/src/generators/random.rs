@@ -18,7 +18,10 @@ pub fn erdos_renyi(
     directedness: Directedness,
     seed: u64,
 ) -> Graph {
-    assert!(num_vertices > 1 || num_edges == 0, "cannot place edges on < 2 vertices");
+    assert!(
+        num_vertices > 1 || num_edges == 0,
+        "cannot place edges on < 2 vertices"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut builder = GraphBuilder::new(directedness)
         .ensure_vertices(num_vertices)

@@ -47,7 +47,10 @@ impl Graph {
         let (forward, backward) = match directedness {
             Directedness::Directed => {
                 let rev: Vec<Edge> = edges.iter().map(|e| e.reversed()).collect();
-                (Csr::from_edges(num_vertices, &edges), Csr::from_edges(num_vertices, &rev))
+                (
+                    Csr::from_edges(num_vertices, &edges),
+                    Csr::from_edges(num_vertices, &rev),
+                )
             }
             Directedness::Undirected => {
                 let mut sym = Vec::with_capacity(edges.len() * 2);
@@ -128,7 +131,10 @@ impl Graph {
     /// Label of vertex `v` (paper: `L(v)`), [`NO_LABEL`] when unlabeled.
     #[inline]
     pub fn vertex_label(&self, v: VertexId) -> Label {
-        self.vertex_labels.get(v as usize).copied().unwrap_or(NO_LABEL)
+        self.vertex_labels
+            .get(v as usize)
+            .copied()
+            .unwrap_or(NO_LABEL)
     }
 
     /// All vertex labels, indexed by vertex id.

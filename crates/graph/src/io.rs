@@ -56,9 +56,20 @@ pub fn read_edge_list<R: BufRead>(reader: R, directedness: Directedness) -> Resu
             continue;
         }
         let mut parts = trimmed.split_whitespace();
-        let parse_err = || IoError::Parse { line: idx + 1, content: trimmed.to_string() };
-        let src: VertexId = parts.next().ok_or_else(parse_err)?.parse().map_err(|_| parse_err())?;
-        let dst: VertexId = parts.next().ok_or_else(parse_err)?.parse().map_err(|_| parse_err())?;
+        let parse_err = || IoError::Parse {
+            line: idx + 1,
+            content: trimmed.to_string(),
+        };
+        let src: VertexId = parts
+            .next()
+            .ok_or_else(parse_err)?
+            .parse()
+            .map_err(|_| parse_err())?;
+        let dst: VertexId = parts
+            .next()
+            .ok_or_else(parse_err)?
+            .parse()
+            .map_err(|_| parse_err())?;
         let weight: Weight = match parts.next() {
             Some(w) => w.parse().map_err(|_| parse_err())?,
             None => UNIT_WEIGHT,
@@ -87,7 +98,12 @@ pub fn read_edge_list_file<P: AsRef<Path>>(
 /// Writes the graph's edge list (weight and label included) to a writer.
 pub fn write_edge_list<W: Write>(graph: &Graph, writer: W) -> Result<(), IoError> {
     let mut w = BufWriter::new(writer);
-    writeln!(w, "# grape edge list: {} vertices, {} edges", graph.num_vertices(), graph.num_edges())?;
+    writeln!(
+        w,
+        "# grape edge list: {} vertices, {} edges",
+        graph.num_vertices(),
+        graph.num_edges()
+    )?;
     for e in graph.edges() {
         writeln!(w, "{} {} {} {}", e.src, e.dst, e.weight, e.label)?;
     }
@@ -151,7 +167,10 @@ mod tests {
 
     #[test]
     fn file_roundtrip() {
-        let g = GraphBuilder::undirected().add_edge(0, 1).add_edge(1, 2).build();
+        let g = GraphBuilder::undirected()
+            .add_edge(0, 1)
+            .add_edge(1, 2)
+            .build();
         let dir = std::env::temp_dir();
         let path = dir.join("grape_io_test_edges.txt");
         write_edge_list_file(&g, &path).unwrap();

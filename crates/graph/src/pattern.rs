@@ -27,11 +27,19 @@ impl Pattern {
         let mut out = vec![Vec::new(); k];
         let mut r#in = vec![Vec::new(); k];
         for &(u, v) in &edges {
-            assert!((u as usize) < k && (v as usize) < k, "pattern edge out of bounds");
+            assert!(
+                (u as usize) < k && (v as usize) < k,
+                "pattern edge out of bounds"
+            );
             out[u as usize].push(v);
             r#in[v as usize].push(u);
         }
-        Pattern { labels, edges, out, r#in }
+        Pattern {
+            labels,
+            edges,
+            out,
+            r#in,
+        }
     }
 
     /// Single-node pattern, matching every vertex with `label`.
@@ -119,8 +127,9 @@ impl Pattern {
         assert!(nodes > 0, "pattern needs at least one node");
         assert!(!alphabet.is_empty(), "label alphabet must not be empty");
         let mut rng = StdRng::seed_from_u64(seed);
-        let labels: Vec<Label> =
-            (0..nodes).map(|_| *alphabet.choose(&mut rng).expect("non-empty")).collect();
+        let labels: Vec<Label> = (0..nodes)
+            .map(|_| *alphabet.choose(&mut rng).expect("non-empty"))
+            .collect();
         let mut edge_set = std::collections::BTreeSet::new();
         // Spanning chain to keep the pattern connected.
         for u in 1..nodes as u32 {

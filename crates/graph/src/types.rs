@@ -47,23 +47,43 @@ pub struct Edge {
 impl Edge {
     /// An unlabeled, unit-weight edge.
     pub fn unweighted(src: VertexId, dst: VertexId) -> Self {
-        Edge { src, dst, weight: UNIT_WEIGHT, label: NO_LABEL }
+        Edge {
+            src,
+            dst,
+            weight: UNIT_WEIGHT,
+            label: NO_LABEL,
+        }
     }
 
     /// An unlabeled, weighted edge.
     pub fn weighted(src: VertexId, dst: VertexId, weight: Weight) -> Self {
-        Edge { src, dst, weight, label: NO_LABEL }
+        Edge {
+            src,
+            dst,
+            weight,
+            label: NO_LABEL,
+        }
     }
 
     /// A fully specified edge.
     pub fn new(src: VertexId, dst: VertexId, weight: Weight, label: Label) -> Self {
-        Edge { src, dst, weight, label }
+        Edge {
+            src,
+            dst,
+            weight,
+            label,
+        }
     }
 
     /// The same edge with source and destination swapped (used to materialise
     /// the reverse adjacency and undirected graphs).
     pub fn reversed(&self) -> Self {
-        Edge { src: self.dst, dst: self.src, weight: self.weight, label: self.label }
+        Edge {
+            src: self.dst,
+            dst: self.src,
+            weight: self.weight,
+            label: self.label,
+        }
     }
 }
 

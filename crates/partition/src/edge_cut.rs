@@ -47,9 +47,13 @@ impl PartitionStrategy for HashEdgeCut {
     fn partition_arc(&self, graph: &Arc<Graph>) -> Result<Fragmentation, PartitionError> {
         validate(graph, self.num_fragments)?;
         let m = self.num_fragments as u64;
-        let assignment: Vec<u32> =
-            graph.vertices().map(|v| (mix64(v) % m) as u32).collect();
-        Ok(build_edge_cut(graph, &assignment, self.num_fragments, self.name()))
+        let assignment: Vec<u32> = graph.vertices().map(|v| (mix64(v) % m) as u32).collect();
+        Ok(build_edge_cut(
+            graph,
+            &assignment,
+            self.num_fragments,
+            self.name(),
+        ))
     }
 }
 
@@ -84,8 +88,10 @@ impl PartitionStrategy for RangeEdgeCut {
         let n = graph.num_vertices();
         let m = self.num_fragments;
         let chunk = n.div_ceil(m);
-        let assignment: Vec<u32> =
-            graph.vertices().map(|v| ((v as usize / chunk).min(m - 1)) as u32).collect();
+        let assignment: Vec<u32> = graph
+            .vertices()
+            .map(|v| ((v as usize / chunk).min(m - 1)) as u32)
+            .collect();
         Ok(build_edge_cut(graph, &assignment, m, self.name()))
     }
 }
@@ -124,7 +130,10 @@ mod tests {
     #[test]
     fn every_vertex_owned_exactly_once() {
         let g = power_law(500, 1500, 0, 2);
-        for strategy in [&HashEdgeCut::new(3) as &dyn PartitionStrategy, &RangeEdgeCut::new(3)] {
+        for strategy in [
+            &HashEdgeCut::new(3) as &dyn PartitionStrategy,
+            &RangeEdgeCut::new(3),
+        ] {
             let frag = strategy.partition(&g).unwrap();
             let mut owned = vec![0usize; g.num_vertices()];
             for f in frag.fragments() {
@@ -132,7 +141,11 @@ mod tests {
                     owned[f.global_of(l) as usize] += 1;
                 }
             }
-            assert!(owned.iter().all(|&c| c == 1), "strategy {}", strategy.name());
+            assert!(
+                owned.iter().all(|&c| c == 1),
+                "strategy {}",
+                strategy.name()
+            );
         }
     }
 
@@ -154,6 +167,9 @@ mod tests {
     fn mix64_spreads_consecutive_keys() {
         let buckets: Vec<u64> = (0..32u64).map(|v| mix64(v) % 4).collect();
         let count0 = buckets.iter().filter(|&&b| b == 0).count();
-        assert!(count0 > 2 && count0 < 16, "poor spread: {count0}/32 in bucket 0");
+        assert!(
+            count0 > 2 && count0 < 16,
+            "poor spread: {count0}/32 in bucket 0"
+        );
     }
 }

@@ -85,12 +85,18 @@ impl Fragment {
 
     /// Global ids of `F_i.O`.
     pub fn out_border_globals(&self) -> Vec<VertexId> {
-        self.out_border.iter().map(|&l| self.globals[l as usize]).collect()
+        self.out_border
+            .iter()
+            .map(|&l| self.globals[l as usize])
+            .collect()
     }
 
     /// Global ids of `F_i.I`.
     pub fn in_border_globals(&self) -> Vec<VertexId> {
-        self.in_border.iter().map(|&l| self.globals[l as usize]).collect()
+        self.in_border
+            .iter()
+            .map(|&l| self.globals[l as usize])
+            .collect()
     }
 
     /// Whether the local id denotes an inner vertex.
@@ -214,8 +220,8 @@ impl Fragmentation {
             let mut next = Vec::new();
             for &v in &frontier {
                 for n in g.out_neighbors(v).iter().chain(g.in_neighbors(v).iter()) {
-                    if !keep.contains_key(&n.target) {
-                        keep.insert(n.target, false);
+                    if let std::collections::hash_map::Entry::Vacant(e) = keep.entry(n.target) {
+                        e.insert(false);
                         next.push(n.target);
                     }
                 }
@@ -223,10 +229,7 @@ impl Fragmentation {
             frontier = next;
         }
         // Assemble the vertex list: inner vertices first (same order as base).
-        let mut globals: Vec<VertexId> = base
-            .inner_locals()
-            .map(|l| base.global_of(l))
-            .collect();
+        let mut globals: Vec<VertexId> = base.inner_locals().map(|l| base.global_of(l)).collect();
         let mut extra: Vec<VertexId> = keep
             .iter()
             .filter(|(v, is_inner)| !**is_inner && !globals.contains(*v))
@@ -236,8 +239,11 @@ impl Fragmentation {
         let shipped_vertices = keep.len() - base.num_local();
         globals.extend(extra);
 
-        let to_local: HashMap<VertexId, LocalId> =
-            globals.iter().enumerate().map(|(l, &v)| (v, l as LocalId)).collect();
+        let to_local: HashMap<VertexId, LocalId> = globals
+            .iter()
+            .enumerate()
+            .map(|(l, &v)| (v, l as LocalId))
+            .collect();
 
         // Local edges: every source-graph edge with both endpoints kept.
         let mut edges = Vec::new();
@@ -286,7 +292,11 @@ pub fn build_edge_cut(
     num_fragments: usize,
     strategy_name: &str,
 ) -> Fragmentation {
-    assert_eq!(assignment.len(), graph.num_vertices(), "assignment covers every vertex");
+    assert_eq!(
+        assignment.len(),
+        graph.num_vertices(),
+        "assignment covers every vertex"
+    );
     assert!(num_fragments > 0, "need at least one fragment");
     let g = graph.as_ref();
 
@@ -304,8 +314,11 @@ pub fn build_edge_cut(
 
     for (i, inner_vs) in inner.iter().enumerate() {
         let mut globals: Vec<VertexId> = inner_vs.clone();
-        let mut to_local: HashMap<VertexId, LocalId> =
-            globals.iter().enumerate().map(|(l, &v)| (v, l as LocalId)).collect();
+        let mut to_local: HashMap<VertexId, LocalId> = globals
+            .iter()
+            .enumerate()
+            .map(|(l, &v)| (v, l as LocalId))
+            .collect();
         let num_inner = globals.len();
 
         // Discover outer copies: targets of edges leaving inner vertices that
@@ -313,8 +326,7 @@ pub fn build_edge_cut(
         let mut out_border_globals: Vec<VertexId> = Vec::new();
         for &v in inner_vs {
             for n in g.out_neighbors(v) {
-                if assignment[n.target as usize] as usize != i
-                    && !to_local.contains_key(&n.target)
+                if assignment[n.target as usize] as usize != i && !to_local.contains_key(&n.target)
                 {
                     to_local.insert(n.target, globals.len() as LocalId);
                     globals.push(n.target);
@@ -329,7 +341,12 @@ pub fn build_edge_cut(
             let src_local = to_local[&v];
             for n in g.out_neighbors(v) {
                 let dst_local = to_local[&n.target];
-                edges.push(Edge::new(src_local as VertexId, dst_local as VertexId, n.weight, n.label));
+                edges.push(Edge::new(
+                    src_local as VertexId,
+                    dst_local as VertexId,
+                    n.weight,
+                    n.label,
+                ));
             }
         }
         let labels: Vec<Label> = globals.iter().map(|&v| g.vertex_label(v)).collect();
@@ -348,8 +365,7 @@ pub fn build_edge_cut(
                 in_border_globals.push(v);
             }
         }
-        let out_border: Vec<LocalId> =
-            (num_inner as LocalId..globals.len() as LocalId).collect();
+        let out_border: Vec<LocalId> = (num_inner as LocalId..globals.len() as LocalId).collect();
 
         outer_sets.push(out_border_globals);
         in_border_sets.push(in_border_globals);
@@ -386,7 +402,11 @@ pub fn build_vertex_cut(
     strategy_name: &str,
 ) -> Fragmentation {
     let g = graph.as_ref();
-    assert_eq!(edge_assignment.len(), g.num_edges(), "assignment covers every edge");
+    assert_eq!(
+        edge_assignment.len(),
+        g.num_edges(),
+        "assignment covers every edge"
+    );
     assert!(num_fragments > 0, "need at least one fragment");
 
     // Which fragments touch each vertex, and how often.
@@ -404,7 +424,11 @@ pub fn build_vertex_cut(
             (v % num_fragments as u64) as u32
         } else {
             let max = t.values().max().copied().unwrap_or(0);
-            t.iter().filter(|(_, &c)| c == max).map(|(&f, _)| f).min().unwrap_or(0)
+            t.iter()
+                .filter(|(_, &c)| c == max)
+                .map(|(&f, _)| f)
+                .min()
+                .unwrap_or(0)
         };
     }
 
@@ -430,8 +454,11 @@ pub fn build_vertex_cut(
         let num_inner = masters.len();
         let mut globals = masters;
         globals.extend(replicas.iter().copied());
-        let to_local: HashMap<VertexId, LocalId> =
-            globals.iter().enumerate().map(|(l, &v)| (v, l as LocalId)).collect();
+        let to_local: HashMap<VertexId, LocalId> = globals
+            .iter()
+            .enumerate()
+            .map(|(l, &v)| (v, l as LocalId))
+            .collect();
 
         // Local edges: the edges assigned to this fragment.
         let mut edges = Vec::new();
@@ -460,7 +487,7 @@ pub fn build_vertex_cut(
             if !replicated {
                 continue;
             }
-            if (l as usize) < num_inner {
+            if l < num_inner {
                 in_border.push(l as LocalId);
                 in_border_globals.push(v);
             } else {
@@ -482,8 +509,8 @@ pub fn build_vertex_cut(
         });
     }
 
-    let gp = FragmentationGraph::new(owner, &outer_sets, &in_border_sets)
-        .with_shared_vertex_routing();
+    let gp =
+        FragmentationGraph::new(owner, &outer_sets, &in_border_sets).with_shared_vertex_routing();
     Fragmentation {
         fragments,
         gp,
@@ -544,8 +571,11 @@ mod tests {
         for f in frag.fragments() {
             for l in f.inner_locals() {
                 let v = f.global_of(l);
-                let local_targets: Vec<VertexId> =
-                    f.out_edges(l).iter().map(|n| f.global_of(n.target as LocalId)).collect();
+                let local_targets: Vec<VertexId> = f
+                    .out_edges(l)
+                    .iter()
+                    .map(|n| f.global_of(n.target as LocalId))
+                    .collect();
                 let global_targets: Vec<VertexId> =
                     g.out_neighbors(v).iter().map(|n| n.target).collect();
                 assert_eq!(local_targets, global_targets, "vertex {v}");
@@ -594,7 +624,11 @@ mod tests {
         // Fragment 1 owns {2, 3}; expanding by 2 hops should pull in 0,1,4,5.
         let (expanded, shipped_v, shipped_e) = frag.expand_fragment(1, 2);
         assert_eq!(expanded.num_inner(), 2);
-        assert!(expanded.num_local() >= 5, "expanded to {} vertices", expanded.num_local());
+        assert!(
+            expanded.num_local() >= 5,
+            "expanded to {} vertices",
+            expanded.num_local()
+        );
         assert!(shipped_v >= 2);
         assert!(shipped_e >= 1);
         assert!(expanded.check_invariants());
@@ -616,7 +650,11 @@ mod tests {
     #[test]
     fn undirected_graph_edge_cut_keeps_symmetric_adjacency_for_inner_pairs() {
         let g = Arc::new(
-            GraphBuilder::undirected().add_edge(0, 1).add_edge(1, 2).add_edge(2, 3).build(),
+            GraphBuilder::undirected()
+                .add_edge(0, 1)
+                .add_edge(1, 2)
+                .add_edge(2, 3)
+                .build(),
         );
         let assignment = vec![0, 0, 1, 1];
         let frag = build_edge_cut(&g, &assignment, 2, "test");

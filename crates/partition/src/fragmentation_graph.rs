@@ -150,7 +150,11 @@ impl FragmentationGraph {
     /// The producing fragment itself is never a destination.
     pub fn route(&self, v: VertexId, from: usize, scope: BorderScope) -> Vec<usize> {
         let mut dests: Vec<usize> = Vec::new();
-        let scope = if self.shared_vertex_routing { BorderScope::Both } else { scope };
+        let scope = if self.shared_vertex_routing {
+            BorderScope::Both
+        } else {
+            scope
+        };
         match scope {
             BorderScope::Out => {
                 // Value computed for an outer copy → fragments where v is an

@@ -1,4 +1,4 @@
-//! 1-D and 2-D partitions (Section 6: "1-D and 2-D partitions [12], which
+//! 1-D and 2-D partitions (Section 6: "1-D and 2-D partitions \[12\], which
 //! distribute vertex and adjacent matrix to the workers, respectively").
 //!
 //! * **1-D**: vertices are distributed in contiguous blocks (one block row of
@@ -45,7 +45,12 @@ impl PartitionStrategy for OneDPartition {
             .vertices()
             .map(|v| ((v as usize / chunk).min(self.num_fragments - 1)) as u32)
             .collect();
-        Ok(build_edge_cut(graph, &assignment, self.num_fragments, self.name()))
+        Ok(build_edge_cut(
+            graph,
+            &assignment,
+            self.num_fragments,
+            self.name(),
+        ))
     }
 }
 
@@ -67,10 +72,13 @@ impl TwoDPartition {
     pub fn squarish(num_fragments: usize) -> Self {
         let rows = (num_fragments as f64).sqrt().floor().max(1.0) as usize;
         let mut rows = rows;
-        while num_fragments % rows != 0 {
+        while !num_fragments.is_multiple_of(rows) {
             rows -= 1;
         }
-        TwoDPartition { rows, cols: num_fragments / rows }
+        TwoDPartition {
+            rows,
+            cols: num_fragments / rows,
+        }
     }
 }
 
@@ -87,7 +95,9 @@ impl PartitionStrategy for TwoDPartition {
         let m = self.num_fragments();
         validate(graph, m)?;
         if self.rows == 0 || self.cols == 0 {
-            return Err(PartitionError::InvalidConfig("grid dimensions must be positive".into()));
+            return Err(PartitionError::InvalidConfig(
+                "grid dimensions must be positive".into(),
+            ));
         }
         let n = graph.num_vertices();
         let row_chunk = n.div_ceil(self.rows);
@@ -120,7 +130,10 @@ mod tests {
             let mut globals: Vec<u64> = f.inner_locals().map(|l| f.global_of(l)).collect();
             globals.sort_unstable();
             if globals.len() > 1 {
-                assert_eq!(globals[globals.len() - 1] - globals[0] + 1, globals.len() as u64);
+                assert_eq!(
+                    globals[globals.len() - 1] - globals[0] + 1,
+                    globals.len() as u64
+                );
             }
         }
     }

@@ -39,7 +39,12 @@ pub struct MetisLike {
 impl MetisLike {
     /// Creates a partitioner with default parameters.
     pub fn new(num_fragments: usize) -> Self {
-        MetisLike { num_fragments, balance_factor: 1.1, refinement_passes: 4, seed: 42 }
+        MetisLike {
+            num_fragments,
+            balance_factor: 1.1,
+            refinement_passes: 4,
+            seed: 42,
+        }
     }
 
     /// Overrides the balance factor (must be ≥ 1).
@@ -84,10 +89,17 @@ impl PartitionStrategy for MetisLike {
     fn partition_arc(&self, graph: &Arc<Graph>) -> Result<Fragmentation, PartitionError> {
         validate(graph, self.num_fragments)?;
         if self.balance_factor < 1.0 {
-            return Err(PartitionError::InvalidConfig("balance factor must be >= 1".into()));
+            return Err(PartitionError::InvalidConfig(
+                "balance factor must be >= 1".into(),
+            ));
         }
         let assignment = self.compute_assignment(graph);
-        Ok(build_edge_cut(graph, &assignment, self.num_fragments, self.name()))
+        Ok(build_edge_cut(
+            graph,
+            &assignment,
+            self.num_fragments,
+            self.name(),
+        ))
     }
 }
 
@@ -126,16 +138,26 @@ impl MetisLike {
             if shrink > 0.95 {
                 break; // matching no longer makes progress
             }
-            levels.push(Level { fine_to_coarse: map, ..coarse });
+            levels.push(Level {
+                fine_to_coarse: map,
+                ..coarse
+            });
         }
 
         // Initial partition on the coarsest level.
         let coarsest = levels.last().unwrap();
         let total_weight: usize = coarsest.vweight.iter().sum();
         let mut part = initial_partition(coarsest, self.num_fragments, &mut rng);
-        let max_part_weight =
-            ((total_weight as f64 / self.num_fragments as f64) * self.balance_factor).ceil() as usize;
-        refine(coarsest, &mut part, self.num_fragments, max_part_weight, self.refinement_passes);
+        let max_part_weight = ((total_weight as f64 / self.num_fragments as f64)
+            * self.balance_factor)
+            .ceil() as usize;
+        refine(
+            coarsest,
+            &mut part,
+            self.num_fragments,
+            max_part_weight,
+            self.refinement_passes,
+        );
 
         // Project back and refine at every level.
         for level_idx in (1..levels.len()).rev() {
@@ -145,7 +167,13 @@ impl MetisLike {
             for (v, &c) in map.iter().enumerate() {
                 fine_part[v] = part[c];
             }
-            refine(fine, &mut fine_part, self.num_fragments, max_part_weight, self.refinement_passes);
+            refine(
+                fine,
+                &mut fine_part,
+                self.num_fragments,
+                max_part_weight,
+                self.refinement_passes,
+            );
             part = fine_part;
         }
         part
@@ -217,7 +245,11 @@ fn coarsen(level: &Level, rng: &mut StdRng) -> (Level, Vec<usize>) {
         })
         .collect();
     (
-        Level { adj, vweight, fine_to_coarse: Vec::new() },
+        Level {
+            adj,
+            vweight,
+            fine_to_coarse: Vec::new(),
+        },
         coarse_of,
     )
 }
@@ -330,7 +362,11 @@ impl Level {
             adj[a].push((b, 1.0));
             adj[b].push((a, 1.0));
         }
-        Level { adj, vweight: vec![1; n], fine_to_coarse: Vec::new() }
+        Level {
+            adj,
+            vweight: vec![1; n],
+            fine_to_coarse: Vec::new(),
+        }
     }
 }
 

@@ -30,12 +30,26 @@ pub fn evaluate(frag: &Fragmentation) -> PartitionQuality {
     let n = g.num_vertices().max(1);
 
     let cut_edges = cut_edge_count(frag);
-    let total_directed_edges: usize =
-        frag.fragments().iter().map(|f| f.num_local_edges()).sum::<usize>().max(1);
+    let total_directed_edges: usize = frag
+        .fragments()
+        .iter()
+        .map(|f| f.num_local_edges())
+        .sum::<usize>()
+        .max(1);
 
-    let max_inner = frag.fragments().iter().map(|f| f.num_inner()).max().unwrap_or(0);
+    let max_inner = frag
+        .fragments()
+        .iter()
+        .map(|f| f.num_inner())
+        .max()
+        .unwrap_or(0);
     let ideal_inner = n as f64 / m as f64;
-    let max_edges = frag.fragments().iter().map(|f| f.num_local_edges()).max().unwrap_or(0);
+    let max_edges = frag
+        .fragments()
+        .iter()
+        .map(|f| f.num_local_edges())
+        .max()
+        .unwrap_or(0);
     let ideal_edges = total_directed_edges as f64 / m as f64;
 
     PartitionQuality {
@@ -56,7 +70,12 @@ pub fn cut_edge_count(frag: &Fragmentation) -> usize {
         .iter()
         .map(|f| {
             f.inner_locals()
-                .map(|l| f.out_edges(l).iter().filter(|n| !f.is_inner(n.target as u32)).count())
+                .map(|l| {
+                    f.out_edges(l)
+                        .iter()
+                        .filter(|n| !f.is_inner(n.target as u32))
+                        .count()
+                })
                 .sum::<usize>()
         })
         .sum()
@@ -106,7 +125,11 @@ mod tests {
     fn balance_close_to_one_for_range_partition() {
         let g = road_grid(16, 16, 3);
         let q = evaluate(&RangeEdgeCut::new(4).partition(&g).unwrap());
-        assert!(q.vertex_balance <= 1.01, "vertex balance {}", q.vertex_balance);
+        assert!(
+            q.vertex_balance <= 1.01,
+            "vertex balance {}",
+            q.vertex_balance
+        );
     }
 
     #[test]

@@ -80,14 +80,21 @@ mod tests {
 
     #[test]
     fn error_display_messages() {
-        assert!(PartitionError::ZeroFragments.to_string().contains("positive"));
+        assert!(PartitionError::ZeroFragments
+            .to_string()
+            .contains("positive"));
         assert!(PartitionError::EmptyGraph.to_string().contains("empty"));
-        assert!(PartitionError::InvalidConfig("bad".into()).to_string().contains("bad"));
+        assert!(PartitionError::InvalidConfig("bad".into())
+            .to_string()
+            .contains("bad"));
     }
 
     #[test]
     fn partition_by_ref_matches_partition_arc() {
-        let g = GraphBuilder::directed().add_edge(0, 1).add_edge(1, 2).build();
+        let g = GraphBuilder::directed()
+            .add_edge(0, 1)
+            .add_edge(1, 2)
+            .build();
         let strategy = HashEdgeCut::new(2);
         let a = strategy.partition(&g).unwrap();
         let b = strategy.partition_arc(&Arc::new(g)).unwrap();

@@ -1,5 +1,5 @@
 //! Streaming (single-pass) vertex partitioning, the paper's "fast
-//! streaming-style partition strategy [43] that assigns edges to high degree
+//! streaming-style partition strategy \[43\] that assigns edges to high degree
 //! nodes to reduce cross edges" (Section 6).
 //!
 //! Two classic heuristics are provided behind one strategy type:
@@ -38,12 +38,20 @@ pub struct StreamingPartition {
 impl StreamingPartition {
     /// LDG streaming partitioner.
     pub fn ldg(num_fragments: usize) -> Self {
-        StreamingPartition { num_fragments, heuristic: StreamingHeuristic::Ldg, slack: 1.1 }
+        StreamingPartition {
+            num_fragments,
+            heuristic: StreamingHeuristic::Ldg,
+            slack: 1.1,
+        }
     }
 
     /// Fennel streaming partitioner.
     pub fn fennel(num_fragments: usize) -> Self {
-        StreamingPartition { num_fragments, heuristic: StreamingHeuristic::Fennel, slack: 1.1 }
+        StreamingPartition {
+            num_fragments,
+            heuristic: StreamingHeuristic::Fennel,
+            slack: 1.1,
+        }
     }
 
     /// Overrides the capacity slack (≥ 1).
@@ -68,7 +76,11 @@ impl StreamingPartition {
         for v in graph.vertices() {
             // Count already-placed neighbours per fragment (both directions).
             let mut neigh = vec![0usize; m];
-            for x in graph.out_neighbors(v).iter().chain(graph.in_neighbors(v).iter()) {
+            for x in graph
+                .out_neighbors(v)
+                .iter()
+                .chain(graph.in_neighbors(v).iter())
+            {
                 let t = assignment[x.target as usize];
                 if t != u32::MAX {
                     neigh[t as usize] += 1;
@@ -81,12 +93,9 @@ impl StreamingPartition {
                     continue;
                 }
                 let score = match self.heuristic {
-                    StreamingHeuristic::Ldg => {
-                        neigh[i] as f64 * (1.0 - sizes[i] as f64 / capacity)
-                    }
+                    StreamingHeuristic::Ldg => neigh[i] as f64 * (1.0 - sizes[i] as f64 / capacity),
                     StreamingHeuristic::Fennel => {
-                        neigh[i] as f64
-                            - alpha * gamma / 2.0 * (sizes[i] as f64).powf(gamma - 1.0)
+                        neigh[i] as f64 - alpha * gamma / 2.0 * (sizes[i] as f64).powf(gamma - 1.0)
                     }
                 };
                 if score > best_score {
@@ -121,7 +130,12 @@ impl PartitionStrategy for StreamingPartition {
     fn partition_arc(&self, graph: &Arc<Graph>) -> Result<Fragmentation, PartitionError> {
         validate(graph, self.num_fragments)?;
         let assignment = self.compute_assignment(graph);
-        Ok(build_edge_cut(graph, &assignment, self.num_fragments, self.name()))
+        Ok(build_edge_cut(
+            graph,
+            &assignment,
+            self.num_fragments,
+            self.name(),
+        ))
     }
 }
 
@@ -143,7 +157,11 @@ mod tests {
                 sizes[a as usize] += 1;
             }
             let cap = (1000.0_f64 / 4.0 * 1.1).ceil() as usize;
-            assert!(sizes.iter().all(|&s| s <= cap), "{}: {sizes:?}", strategy.name());
+            assert!(
+                sizes.iter().all(|&s| s <= cap),
+                "{}: {sizes:?}",
+                strategy.name()
+            );
         }
     }
 
@@ -175,7 +193,9 @@ mod tests {
     #[test]
     fn slack_one_still_assigns_everything() {
         let g = power_law(100, 300, 0, 7);
-        let assignment = StreamingPartition::ldg(3).with_slack(1.0).compute_assignment(&g);
+        let assignment = StreamingPartition::ldg(3)
+            .with_slack(1.0)
+            .compute_assignment(&g);
         assert!(assignment.iter().all(|&a| a < 3));
     }
 

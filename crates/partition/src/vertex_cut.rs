@@ -80,7 +80,12 @@ impl PartitionStrategy for GreedyVertexCut {
             ));
         }
         let assignment = self.compute_edge_assignment(graph);
-        Ok(build_vertex_cut(graph, &assignment, self.num_fragments, self.name()))
+        Ok(build_vertex_cut(
+            graph,
+            &assignment,
+            self.num_fragments,
+            self.name(),
+        ))
     }
 }
 
@@ -121,7 +126,10 @@ mod tests {
         let frag = GreedyVertexCut::new(4).partition(&g).unwrap();
         let rf = replication_factor(&frag);
         assert!(rf >= 1.0);
-        assert!(rf < 3.0, "replication factor {rf} too high for greedy placement");
+        assert!(
+            rf < 3.0,
+            "replication factor {rf} too high for greedy placement"
+        );
     }
 
     #[test]

@@ -1,0 +1,349 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment for this repository has no access to a crates
+//! registry, so the workspace ships a minimal, dependency-free implementation
+//! of exactly the `rand 0.8` API surface it uses:
+//!
+//! * [`rngs::StdRng`] seeded via [`SeedableRng::seed_from_u64`],
+//! * [`Rng::gen`], [`Rng::gen_range`] and [`Rng::gen_bool`],
+//! * [`seq::SliceRandom::choose`] and [`seq::SliceRandom::shuffle`].
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — deterministic
+//! per seed, statistically solid for synthetic workload generation, and *not*
+//! cryptographically secure (neither is the real `StdRng` contractually).
+//! Streams differ from the real `rand` crate, so regenerated workloads are
+//! deterministic per seed but not bit-identical with upstream `rand`.
+
+/// Core random-number-generator trait: a source of `u64` values plus the
+/// derived convenience methods used by the workspace.
+pub trait Rng {
+    /// Returns the next raw 64-bit value of the stream.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples a value of type `T` from its standard distribution
+    /// (`[0, 1)` for floats, uniform over all values for integers).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self.next_u64())
+    }
+
+    /// Samples uniformly from a range (`a..b` or `a..=b`).
+    ///
+    /// # Panics
+    /// Panics when the range is empty, as the real `rand` does.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        let mut draw = || self.next_u64();
+        range.sample_from(&mut draw)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability out of range"
+        );
+        f64::sample(self.next_u64()) < p
+    }
+}
+
+/// Uniform `u64` in `[0, max]` (inclusive, so the full domain is reachable)
+/// via a 128-bit multiply-shift; bias is negligible for the small ranges used
+/// by workload generation.
+fn bounded(raw: u64, max: u64) -> u64 {
+    if max == u64::MAX {
+        return raw;
+    }
+    ((raw as u128 * (max as u128 + 1)) >> 64) as u64
+}
+
+/// Types samplable from their "standard" distribution via [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Maps one raw `u64` draw onto the standard distribution of `Self`.
+    fn sample(raw: u64) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample(raw: u64) -> f64 {
+        // 53 random mantissa bits → uniform in [0, 1).
+        (raw >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample(raw: u64) -> f32 {
+        (raw >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for u64 {
+    fn sample(raw: u64) -> u64 {
+        raw
+    }
+}
+
+impl Standard for u32 {
+    fn sample(raw: u64) -> u32 {
+        (raw >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    fn sample(raw: u64) -> bool {
+        raw & 1 == 1
+    }
+}
+
+/// Types with a uniform sampler over `[low, high)` / `[low, high]`.
+///
+/// Mirrors `rand::distributions::uniform::SampleUniform` closely enough that
+/// the blanket [`SampleRange`] impls below tie a range's element type to the
+/// sampled type — which is what lets plain literals like
+/// `rng.gen_range(-0.25..0.25)` infer `f64`.
+pub trait SampleUniform: PartialOrd + Sized {
+    /// Uniform draw from `[low, high)` (`inclusive = false`) or
+    /// `[low, high]` (`inclusive = true`).
+    fn sample_between(
+        low: Self,
+        high: Self,
+        inclusive: bool,
+        draw: &mut dyn FnMut() -> u64,
+    ) -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between(
+                low: $t,
+                high: $t,
+                inclusive: bool,
+                draw: &mut dyn FnMut() -> u64,
+            ) -> $t {
+                // Offset through the unsigned domain so signed spans can't
+                // overflow.
+                let span = (high as $u).wrapping_sub(low as $u) as u64;
+                let span = if inclusive { span } else { span - 1 };
+                low.wrapping_add(bounded(draw(), span) as $t)
+            }
+        }
+    )*};
+}
+
+uniform_int!(
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize
+);
+
+macro_rules! uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between(
+                low: $t,
+                high: $t,
+                inclusive: bool,
+                draw: &mut dyn FnMut() -> u64,
+            ) -> $t {
+                let r = low + (f64::sample(draw()) as $t) * (high - low);
+                // `low + s*(high-low)` can round up to `high` even though
+                // `s < 1`; keep the exclusive contract of `low..high`.
+                if !inclusive && r >= high {
+                    high.next_down().max(low)
+                } else {
+                    r
+                }
+            }
+        }
+    )*};
+}
+
+uniform_float!(f32, f64);
+
+/// Ranges samplable via [`Rng::gen_range`]; `draw` produces raw `u64`s.
+pub trait SampleRange<T> {
+    /// Samples a value uniformly from the range.
+    fn sample_from(self, draw: &mut dyn FnMut() -> u64) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_from(self, draw: &mut dyn FnMut() -> u64) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_between(self.start, self.end, false, draw)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_from(self, draw: &mut dyn FnMut() -> u64) -> T {
+        let (start, end) = self.into_inner();
+        assert!(start <= end, "cannot sample empty range");
+        T::sample_between(start, end, true, draw)
+    }
+}
+
+/// RNGs constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    //! Concrete generator types.
+
+    use super::{Rng, SeedableRng};
+
+    /// The workspace's standard RNG: xoshiro256++ seeded via SplitMix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod seq {
+    //! Sequence-related helpers (`choose`, `shuffle`).
+
+    use super::Rng;
+
+    /// Extension trait over slices, mirroring `rand::seq::SliceRandom`.
+    pub trait SliceRandom {
+        /// Element type of the slice.
+        type Item;
+
+        /// A uniformly chosen element, or `None` on an empty slice.
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get(rng.gen_range(0..self.len()))
+            }
+        }
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                self.swap(i, rng.gen_range(0..=i));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: u32 = rng.gen_range(3..10);
+            assert!((3..10).contains(&x));
+            let y: u32 = rng.gen_range(1..=5);
+            assert!((1..=5).contains(&y));
+            let f: f64 = rng.gen_range(-0.25..0.25);
+            assert!((-0.25..0.25).contains(&f));
+            let n: i64 = rng.gen_range(-5..5);
+            assert!((-5..5).contains(&n));
+        }
+    }
+
+    #[test]
+    fn gen_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut sum = 0.0;
+        for _ in 0..1000 {
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        assert!((sum / 1000.0 - 0.5).abs() < 0.05, "mean far from 0.5");
+    }
+
+    #[test]
+    fn choose_and_shuffle_cover_the_slice() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let items = [10, 20, 30];
+        assert!(items.contains(items.as_slice().choose(&mut rng).unwrap()));
+        let empty: [u8; 0] = [];
+        assert!(empty.as_slice().choose(&mut rng).is_none());
+
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle of 50 elements left them sorted");
+    }
+
+    #[test]
+    fn float_range_never_returns_the_exclusive_upper_bound() {
+        // A maximal draw makes `low + s*(high-low)` round up to `high`;
+        // the sampler must stay inside the half-open range anyway.
+        let mut max_draw = || u64::MAX;
+        let r = <f64 as super::SampleUniform>::sample_between(1.0, 10.0, false, &mut max_draw);
+        assert!((1.0..10.0).contains(&r), "exclusive range returned {r}");
+        let ri = <f64 as super::SampleUniform>::sample_between(1.0, 10.0, true, &mut max_draw);
+        assert!((1.0..=10.0).contains(&ri));
+    }
+
+    #[test]
+    fn gen_bool_probability_edges() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+}

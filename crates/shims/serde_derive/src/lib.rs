@@ -1,0 +1,355 @@
+//! Offline stand-in for the `serde_derive` proc-macro crate.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against the
+//! shim `serde` crate's `Value` model, without `syn`/`quote` (which are not
+//! available offline).  Supported input shapes — which cover every derive in
+//! this workspace:
+//!
+//! * structs with named fields, honoring `#[serde(skip)]` (never serialized,
+//!   deserialized via `Default`) and `#[serde(default)]` (deserialized via
+//!   `Default` when the field is absent),
+//! * enums whose variants all carry no data (serialized as the variant name).
+//!
+//! Generics, tuple structs and data-carrying enum variants are rejected with
+//! a compile error naming this file.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One named struct field, as needed for code generation.
+struct Field {
+    /// The field identifier as written (including a `r#` prefix if raw).
+    ident: String,
+    /// The map key: the identifier with any `r#` prefix stripped.
+    key: String,
+    /// `#[serde(skip)]`: never serialized, always defaulted.
+    skip: bool,
+    /// `#[serde(default)]`: defaulted when absent from the input.
+    default: bool,
+}
+
+/// The parsed shape of the derive input.
+enum Item {
+    Struct { name: String, fields: Vec<Field> },
+    Enum { name: String, variants: Vec<String> },
+}
+
+/// Derives the shim `serde::Serialize` (conversion into `serde::Value`).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => {
+            let mut pushes = String::new();
+            for f in fields.iter().filter(|f| !f.skip) {
+                pushes.push_str(&format!(
+                    "__entries.push((\"{key}\".to_string(), \
+                     ::serde::Serialize::to_value(&self.{ident})));\n",
+                    key = f.key,
+                    ident = f.ident,
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut __entries: ::std::vec::Vec<(::std::string::String, ::serde::Value)> \
+                             = ::std::vec::Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Map(__entries)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => ::serde::Value::Str(\"{v}\".to_string()),\n"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{arms}}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse()
+        .expect("serde_derive shim generated invalid Serialize impl")
+}
+
+/// Derives the shim `serde::Deserialize` (reconstruction from `serde::Value`).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => {
+            let mut inits = String::new();
+            for f in fields {
+                if f.skip {
+                    inits.push_str(&format!(
+                        "{ident}: ::std::default::Default::default(),\n",
+                        ident = f.ident
+                    ));
+                } else if f.default {
+                    inits.push_str(&format!(
+                        "{ident}: match __v.get_field(\"{key}\") {{\n\
+                             ::std::option::Option::Some(__x) => \
+                                 ::serde::Deserialize::from_value(__x)?,\n\
+                             ::std::option::Option::None => ::std::default::Default::default(),\n\
+                         }},\n",
+                        ident = f.ident,
+                        key = f.key,
+                    ));
+                } else {
+                    inits.push_str(&format!(
+                        "{ident}: match __v.get_field(\"{key}\") {{\n\
+                             ::std::option::Option::Some(__x) => \
+                                 ::serde::Deserialize::from_value(__x)?,\n\
+                             ::std::option::Option::None => return \
+                                 ::std::result::Result::Err(::serde::Error::missing_field(\"{key}\")),\n\
+                         }},\n",
+                        ident = f.ident,
+                        key = f.key,
+                    ));
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         ::std::result::Result::Ok({name} {{\n{inits}}})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "::std::option::Option::Some(\"{v}\") => \
+                         ::std::result::Result::Ok({name}::{v}),\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match __v.as_str() {{\n\
+                             {arms}\
+                             _ => ::std::result::Result::Err(\
+                                 ::serde::Error::custom(\"unknown variant for {name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse()
+        .expect("serde_derive shim generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// Parses the derive input into an [`Item`], panicking (→ compile error) on
+/// shapes the shim does not support.
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+
+    // Preamble: attributes and visibility before `struct` / `enum`.
+    let kind = loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Attribute: consume the following bracket group.
+                let _ = tokens.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                // Visibility, possibly `pub(crate)`: consume the paren group.
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        let _ = tokens.next();
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id))
+                if id.to_string() == "struct" || id.to_string() == "enum" =>
+            {
+                break id.to_string();
+            }
+            Some(other) => panic!("serde_derive shim: unexpected token `{other}` before item"),
+            None => panic!("serde_derive shim: no struct or enum found"),
+        }
+    };
+
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected item name, found {other:?}"),
+    };
+
+    let body = match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => panic!(
+            "serde_derive shim: generic type `{name}` is not supported; \
+             write the impls by hand or extend crates/shims/serde_derive"
+        ),
+        _ => panic!(
+            "serde_derive shim: `{name}` must be a braced struct or enum \
+             (tuple/unit structs are not supported)"
+        ),
+    };
+
+    if kind == "struct" {
+        Item::Struct {
+            name,
+            fields: parse_fields(body),
+        }
+    } else {
+        Item::Enum {
+            name,
+            variants: parse_variants(body),
+        }
+    }
+}
+
+/// Parses named struct fields, extracting `#[serde(...)]` flags and skipping
+/// field types (tracking `<...>` nesting so type-level commas don't split
+/// fields).
+fn parse_fields(body: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+
+    loop {
+        // Attributes.
+        let mut skip = false;
+        let mut default = false;
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    let _ = tokens.next();
+                    match tokens.next() {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                            let (s, d) = serde_flags(g.stream());
+                            skip |= s;
+                            default |= d;
+                        }
+                        other => {
+                            panic!("serde_derive shim: malformed attribute, found {other:?}")
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+
+        // Visibility.
+        if let Some(TokenTree::Ident(id)) = tokens.peek() {
+            if id.to_string() == "pub" {
+                let _ = tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        let _ = tokens.next();
+                    }
+                }
+            }
+        }
+
+        // Field name (or end of the field list).
+        let ident = match tokens.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive shim: expected field name, found {other:?}"),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive shim: expected `:` after `{ident}`, found {other:?}"),
+        }
+
+        // Skip the type up to the next top-level comma.  Angle brackets are
+        // plain puncts in token streams, so nesting must be tracked by hand.
+        let mut angle_depth = 0i32;
+        for tt in tokens.by_ref() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+
+        let key = ident.strip_prefix("r#").unwrap_or(&ident).to_string();
+        fields.push(Field {
+            ident,
+            key,
+            skip,
+            default,
+        });
+    }
+    fields
+}
+
+/// Extracts `(skip, default)` flags from the contents of one `#[...]`
+/// attribute; non-`serde` attributes (e.g. doc comments) yield `(false,
+/// false)`.
+fn serde_flags(attr: TokenStream) -> (bool, bool) {
+    let mut tokens = attr.into_iter();
+    match tokens.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return (false, false),
+    }
+    let mut skip = false;
+    let mut default = false;
+    if let Some(TokenTree::Group(g)) = tokens.next() {
+        for tt in g.stream() {
+            if let TokenTree::Ident(id) = tt {
+                match id.to_string().as_str() {
+                    "skip" => skip = true,
+                    "default" => default = true,
+                    other => panic!(
+                        "serde_derive shim: unsupported serde attribute `{other}` \
+                         (only `skip` and `default` are implemented)"
+                    ),
+                }
+            }
+        }
+    }
+    (skip, default)
+}
+
+/// Parses enum variants, rejecting any that carry data.
+fn parse_variants(body: TokenStream) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // Attributes (doc comments on variants).
+        while let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            let _ = tokens.next();
+            let _ = tokens.next();
+        }
+        let name = match tokens.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive shim: expected variant name, found {other:?}"),
+        };
+        match tokens.next() {
+            None => {
+                variants.push(name);
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => variants.push(name),
+            Some(TokenTree::Group(_)) => panic!(
+                "serde_derive shim: variant `{name}` carries data; only fieldless \
+                 enums are supported"
+            ),
+            other => {
+                panic!("serde_derive shim: unexpected token after variant `{name}`: {other:?}")
+            }
+        }
+    }
+    variants
+}

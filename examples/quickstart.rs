@@ -33,7 +33,9 @@ fn main() {
     // Plug the sequential Dijkstra + incremental Dijkstra (the SSSP PIE
     // program) into the engine and play.
     let engine = GrapeEngine::new(EngineConfig::with_workers(2));
-    let result = engine.run(&fragments, &Sssp::default(), &SsspQuery::new(0)).expect("run");
+    let result = engine
+        .run(&fragments, &Sssp, &SsspQuery::new(0))
+        .expect("run");
 
     println!("\nshortest distances from vertex 0:");
     for v in graph.vertices() {

@@ -23,10 +23,16 @@ fn main() {
     );
 
     // Distributed training with GRAPE.
-    let fragments = HashEdgeCut::new(4).partition(&data.graph).expect("partition");
+    let fragments = HashEdgeCut::new(4)
+        .partition(&data.graph)
+        .expect("partition");
     let engine = GrapeEngine::new(EngineConfig::with_workers(4));
-    let query = CfQuery { epochs: 10, num_factors: 8, ..Default::default() };
-    let run = engine.run(&fragments, &Cf::default(), &query).expect("cf");
+    let query = CfQuery {
+        epochs: 10,
+        num_factors: 8,
+        ..Default::default()
+    };
+    let run = engine.run(&fragments, &Cf, &query).expect("cf");
     let grape_rmse = run.output.rmse(&data.graph);
     println!(
         "\nGRAPE CF: RMSE {:.3} after {} supersteps, {:.3} MB of factor exchange",
@@ -36,14 +42,25 @@ fn main() {
     );
 
     // Sequential SGD for comparison (the algorithm that was "plugged in").
-    let sequential = sgd_train(&data.graph, &CfConfig { epochs: 10, num_factors: 8, ..Default::default() });
+    let sequential = sgd_train(
+        &data.graph,
+        &CfConfig {
+            epochs: 10,
+            num_factors: 8,
+            ..Default::default()
+        },
+    );
     println!("sequential SGD: RMSE {:.3}", sequential.rmse(&data.graph));
 
     // Produce a few recommendations for user 0: unseen movies with the
     // highest predicted rating.
     let user = 0u64;
-    let rated: std::collections::HashSet<u64> =
-        data.graph.out_neighbors(user).iter().map(|n| n.target).collect();
+    let rated: std::collections::HashSet<u64> = data
+        .graph
+        .out_neighbors(user)
+        .iter()
+        .map(|n| n.target)
+        .collect();
     let mut predictions: Vec<(u64, f64)> = (0..data.num_items)
         .map(|i| data.item_vertex(i))
         .filter(|item| !rated.contains(item))
@@ -52,6 +69,10 @@ fn main() {
     predictions.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
     println!("\ntop-5 recommendations for user {user}:");
     for (item, score) in predictions.iter().take(5) {
-        println!("  movie {} — predicted rating {:.2}", item - data.num_users as u64, score);
+        println!(
+            "  movie {} — predicted rating {:.2}",
+            item - data.num_users as u64,
+            score
+        );
     }
 }

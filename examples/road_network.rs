@@ -23,8 +23,12 @@ fn main() {
 
     // Partition quality: METIS-like vs hash (graph-level optimization the
     // paper inherits from sequential processing).
-    let metis = MetisLike::new(4).partition(&graph).expect("metis partition");
-    let hash = HashEdgeCut::new(4).partition(&graph).expect("hash partition");
+    let metis = MetisLike::new(4)
+        .partition(&graph)
+        .expect("metis partition");
+    let hash = HashEdgeCut::new(4)
+        .partition(&graph)
+        .expect("hash partition");
     let mq = quality::evaluate(&metis);
     let hq = quality::evaluate(&hash);
     println!(
@@ -38,7 +42,7 @@ fn main() {
     // GRAPE SSSP.
     let engine = GrapeEngine::new(EngineConfig::with_workers(4));
     let query = SsspQuery::new(0);
-    let grape_run = engine.run(&metis, &Sssp::default(), &query).expect("grape sssp");
+    let grape_run = engine.run(&metis, &Sssp, &query).expect("grape sssp");
 
     // Vertex-centric (Giraph-style) SSSP on the same graph.
     let (vertex_dist, vertex_metrics) =

@@ -22,7 +22,7 @@ fn main() {
     let engine = GrapeEngine::new(EngineConfig::with_workers(4));
 
     // --- Connected components (who can reach whom, ignoring direction). ---
-    let cc = engine.run(&fragments, &Cc::default(), &CcQuery).expect("cc");
+    let cc = engine.run(&fragments, &Cc, &CcQuery).expect("cc");
     println!(
         "\nconnected components: {} components found in {} supersteps ({:.4} MB shipped)",
         cc.output.num_components(),
@@ -34,7 +34,9 @@ fn main() {
     // Pattern: someone of community 1 following someone of community 2 who
     // follows back into community 1 (a triangle of interests).
     let pattern = Pattern::new(vec![1, 2, 3], vec![(0, 1), (1, 2), (2, 0)]);
-    let sim = engine.run(&fragments, &Sim::new(), &SimQuery::new(pattern.clone())).expect("sim");
+    let sim = engine
+        .run(&fragments, &Sim::new(), &SimQuery::new(pattern.clone()))
+        .expect("sim");
     println!(
         "\ngraph simulation of a {}-node pattern: {} matching (query node, user) pairs, {} supersteps",
         pattern.num_nodes(),
@@ -42,12 +44,19 @@ fn main() {
         sim.metrics.supersteps
     );
     for u in 0..pattern.num_nodes() as u32 {
-        println!("  query node {u}: {} candidate users", sim.output.matches(u).len());
+        println!(
+            "  query node {u}: {} candidate users",
+            sim.output.matches(u).len()
+        );
     }
 
     // --- Subgraph isomorphism: exact embeddings of the same pattern. ---
     let subiso = engine
-        .run(&fragments, &SubIso::default(), &SubIsoQuery::new(pattern).with_max_matches(1_000))
+        .run(
+            &fragments,
+            &SubIso,
+            &SubIsoQuery::new(pattern).with_max_matches(1_000),
+        )
         .expect("subiso");
     println!(
         "\nsubgraph isomorphism: {} exact embeddings (capped at 1000 per fragment), {:.4} MB of neighborhood exchange",

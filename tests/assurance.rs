@@ -1,9 +1,14 @@
-//! Property-based tests for the Assurance Theorem (Theorem 1): for monotonic
-//! PIE programs built from correct sequential algorithms, GRAPE terminates
-//! and produces the sequential answer — for arbitrary graphs, partition
-//! strategies and worker counts.
+//! Randomized tests for the Assurance Theorem (Theorem 1): for monotonic PIE
+//! programs built from correct sequential algorithms, GRAPE terminates and
+//! produces the sequential answer — across random graphs, partition
+//! strategies, fragment counts and worker counts.
+//!
+//! Cases are generated from a seeded RNG (24 per property, mirroring the
+//! original proptest configuration), so failures are reproducible: the
+//! failing case's seed appears in the assertion message.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use grape::algorithms::cc::{connected_components, Cc, CcQuery};
 use grape::algorithms::sim::{graph_simulation, Sim, SimQuery};
@@ -16,102 +21,139 @@ use grape::graph::pattern::Pattern;
 use grape::partition::edge_cut::{HashEdgeCut, RangeEdgeCut};
 use grape::partition::strategy::PartitionStrategy;
 
-/// Strategy: a random directed weighted labeled graph with up to `max_n`
-/// vertices and `max_m` edges.
-fn arb_graph(max_n: u64, max_m: usize, labels: u32) -> impl Strategy<Value = Graph> {
-    (2..max_n, proptest::collection::vec((0u64..max_n, 0u64..max_n, 1u32..10u32), 1..max_m))
-        .prop_map(move |(n, edges)| {
-            let mut b = GraphBuilder::new(Directedness::Directed).ensure_vertices(n as usize);
-            for (s, d, w) in edges {
-                let (s, d) = (s % n, d % n);
-                if s != d {
-                    b.push_edge(grape::graph::types::Edge::weighted(s, d, w as f64));
-                }
-            }
-            if labels > 0 {
-                for v in 0..n {
-                    b.push_vertex_label(v, (v as u32 % labels) + 1);
-                }
-            }
-            b.build()
-        })
+const CASES: u64 = 24;
+
+/// A random directed weighted labeled graph with up to `max_n` vertices and
+/// `max_m` edges; `labels = 0` leaves the graph unlabeled.
+fn arb_graph(rng: &mut StdRng, max_n: u64, max_m: usize, labels: u32) -> Graph {
+    let n = rng.gen_range(2..max_n);
+    let m = rng.gen_range(1..max_m);
+    let mut b = GraphBuilder::new(Directedness::Directed).ensure_vertices(n as usize);
+    for _ in 0..m {
+        let s = rng.gen_range(0..n);
+        let d = rng.gen_range(0..n);
+        let w = rng.gen_range(1u32..10u32);
+        if s != d {
+            b.push_edge(grape::graph::types::Edge::weighted(s, d, w as f64));
+        }
+    }
+    if labels > 0 {
+        for v in 0..n {
+            b.push_vertex_label(v, (v as u32 % labels) + 1);
+        }
+    }
+    b.build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+/// SSSP over GRAPE equals sequential Dijkstra for any graph, any number of
+/// fragments and any worker count.
+#[test]
+fn sssp_matches_dijkstra() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x55_5500 + case);
+        let graph = arb_graph(&mut rng, 40, 120, 0);
+        let fragments = rng.gen_range(1usize..6);
+        let workers = rng.gen_range(1usize..4);
+        let source = rng.gen_range(0u64..graph.num_vertices() as u64);
 
-    /// SSSP over GRAPE equals sequential Dijkstra for any graph, any number
-    /// of fragments and any worker count.
-    #[test]
-    fn sssp_matches_dijkstra(
-        graph in arb_graph(40, 120, 0),
-        fragments in 1usize..6,
-        workers in 1usize..4,
-        source in 0u64..40,
-    ) {
-        let source = source % graph.num_vertices() as u64;
         let frag = HashEdgeCut::new(fragments).partition(&graph).unwrap();
         let engine = GrapeEngine::new(EngineConfig::with_workers(workers));
         let result = engine.run(&frag, &Sssp, &SsspQuery::new(source)).unwrap();
         let expected = dijkstra(&graph, source);
         for (v, d) in expected.iter().enumerate() {
             match result.output.distance(v as u64) {
-                Some(got) => prop_assert!((got - d).abs() < 1e-9),
-                None => prop_assert!(!d.is_finite()),
+                Some(got) => {
+                    assert!(
+                        (got - d).abs() < 1e-9,
+                        "case {case}: vertex {v}: {got} vs {d}"
+                    )
+                }
+                None => assert!(!d.is_finite(), "case {case}: vertex {v} unreachable vs {d}"),
             }
         }
     }
+}
 
-    /// CC over GRAPE equals sequential union-find.
-    #[test]
-    fn cc_matches_union_find(
-        graph in arb_graph(40, 100, 0),
-        fragments in 1usize..6,
-    ) {
+/// CC over GRAPE equals sequential union-find.
+#[test]
+fn cc_matches_union_find() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xCC_CC00 + case);
+        let graph = arb_graph(&mut rng, 40, 100, 0);
+        let fragments = rng.gen_range(1usize..6);
+
         let undirected = graph.to_undirected();
         let frag = RangeEdgeCut::new(fragments).partition(&undirected).unwrap();
         let engine = GrapeEngine::new(EngineConfig::with_workers(2));
         let result = engine.run(&frag, &Cc, &CcQuery).unwrap();
         let expected = connected_components(&undirected);
         for v in undirected.vertices() {
-            prop_assert_eq!(result.output.component(v), Some(expected[v as usize]));
+            assert_eq!(
+                result.output.component(v),
+                Some(expected[v as usize]),
+                "case {case}: component of vertex {v}"
+            );
         }
     }
+}
 
-    /// Graph simulation over GRAPE equals the sequential HHK algorithm.
-    #[test]
-    fn sim_matches_sequential(
-        graph in arb_graph(36, 110, 4),
-        fragments in 1usize..5,
-        pattern_seed in 0u64..500,
-    ) {
+/// Graph simulation over GRAPE equals the sequential HHK algorithm.
+#[test]
+fn sim_matches_sequential() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x51_5100 + case);
+        let graph = arb_graph(&mut rng, 36, 110, 4);
+        let fragments = rng.gen_range(1usize..5);
+        let pattern_seed = rng.gen_range(0u64..500);
+
         let pattern = Pattern::random(3, 4, &[1, 2, 3, 4], pattern_seed);
         let frag = HashEdgeCut::new(fragments).partition(&graph).unwrap();
         let engine = GrapeEngine::new(EngineConfig::with_workers(2));
-        let result = engine.run(&frag, &Sim::new(), &SimQuery::new(pattern.clone())).unwrap();
+        let result = engine
+            .run(&frag, &Sim::new(), &SimQuery::new(pattern.clone()))
+            .unwrap();
         let expected = graph_simulation(&graph, &pattern);
-        for u in 0..pattern.num_nodes() {
-            prop_assert_eq!(result.output.matches(u as u32), expected[u].as_slice());
+        for (u, expected_u) in expected.iter().enumerate() {
+            assert_eq!(
+                result.output.matches(u as u32),
+                expected_u.as_slice(),
+                "case {case}: matches of query node {u}"
+            );
         }
     }
+}
 
-    /// Termination and determinism: the same query on the same fragmentation
-    /// always produces identical supersteps and identical output regardless
-    /// of the number of physical workers.
-    #[test]
-    fn deterministic_across_worker_counts(
-        graph in arb_graph(30, 80, 0),
-        fragments in 2usize..5,
-    ) {
+/// Termination and determinism: the same query on the same fragmentation
+/// always produces identical supersteps and identical output regardless of
+/// the number of physical workers.
+#[test]
+fn deterministic_across_worker_counts() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xDE_DE00 + case);
+        let graph = arb_graph(&mut rng, 30, 80, 0);
+        let fragments = rng.gen_range(2usize..5);
+
         let frag = HashEdgeCut::new(fragments).partition(&graph).unwrap();
         let a = GrapeEngine::new(EngineConfig::with_workers(1))
-            .run(&frag, &Sssp, &SsspQuery::new(0)).unwrap();
+            .run(&frag, &Sssp, &SsspQuery::new(0))
+            .unwrap();
         let b = GrapeEngine::new(EngineConfig::with_workers(4))
-            .run(&frag, &Sssp, &SsspQuery::new(0)).unwrap();
-        prop_assert_eq!(a.metrics.supersteps, b.metrics.supersteps);
-        prop_assert_eq!(a.metrics.total_messages, b.metrics.total_messages);
+            .run(&frag, &Sssp, &SsspQuery::new(0))
+            .unwrap();
+        assert_eq!(
+            a.metrics.supersteps, b.metrics.supersteps,
+            "case {case}: supersteps"
+        );
+        assert_eq!(
+            a.metrics.total_messages, b.metrics.total_messages,
+            "case {case}: messages"
+        );
         for (v, d) in a.output.distances() {
-            prop_assert_eq!(b.output.distance(*v), Some(*d));
+            assert_eq!(
+                b.output.distance(*v),
+                Some(*d),
+                "case {case}: distance of {v}"
+            );
         }
     }
 }

@@ -34,9 +34,15 @@ fn all_five_query_classes_run_on_one_partitioned_graph() {
 
     let alphabet: Vec<u32> = (1..=20).collect();
     let pattern = Pattern::random(4, 6, &alphabet, 7);
-    let sim = engine.run(&frag, &Sim::new(), &SimQuery::new(pattern.clone())).unwrap();
+    let sim = engine
+        .run(&frag, &Sim::new(), &SimQuery::new(pattern.clone()))
+        .unwrap();
     let subiso = engine
-        .run(&frag, &SubIso, &SubIsoQuery::new(pattern.clone()).with_max_matches(500))
+        .run(
+            &frag,
+            &SubIso,
+            &SubIsoQuery::new(pattern.clone()).with_max_matches(500),
+        )
         .unwrap();
     // Every exact embedding is also contained in the simulation relation.
     if sim.output.is_match() {
@@ -98,8 +104,10 @@ fn grape_baselines_and_sequential_agree_on_subiso_and_sim() {
     expected.sort_unstable();
     assert_eq!(grape_subiso.matches(), expected.as_slice());
 
-    let grape_sim =
-        engine.run(&frag, &Sim::new(), &SimQuery::new(pattern.clone())).unwrap().output;
+    let grape_sim = engine
+        .run(&frag, &Sim::new(), &SimQuery::new(pattern.clone()))
+        .unwrap()
+        .output;
     let (block_sim, _) =
         BlockCentricEngine::new(2).run(&frag, &BlockSim, &SimQuery::new(pattern.clone()));
     assert_eq!(grape_sim.relation(), block_sim.as_slice());
@@ -113,9 +121,12 @@ fn fault_tolerance_and_async_mode_preserve_answers() {
     let expected = dijkstra(&graph, 0);
 
     // Checkpoint every superstep, kill fragment 2 at superstep 3.
-    let fault_config =
-        EngineConfig::with_workers(3).with_checkpoint_every(1).with_injected_failure(3, 2);
-    let faulty = GrapeEngine::new(fault_config).run(&frag, &Sssp, &query).unwrap();
+    let fault_config = EngineConfig::with_workers(3)
+        .with_checkpoint_every(1)
+        .with_injected_failure(3, 2);
+    let faulty = GrapeEngine::new(fault_config)
+        .run(&frag, &Sssp, &query)
+        .unwrap();
     assert_eq!(faulty.metrics.recovered_failures, 1);
 
     // Asynchronous extension.
@@ -130,7 +141,9 @@ fn fault_tolerance_and_async_mode_preserve_answers() {
         }
     }
     // The asynchronous sweep needs no more supersteps than the synchronous one.
-    let sync_run = GrapeEngine::new(EngineConfig::with_workers(3)).run(&frag, &Sssp, &query).unwrap();
+    let sync_run = GrapeEngine::new(EngineConfig::with_workers(3))
+        .run(&frag, &Sssp, &query)
+        .unwrap();
     assert!(async_run.metrics.supersteps <= sync_run.metrics.supersteps);
 }
 
@@ -139,24 +152,36 @@ fn cf_pipeline_learns_on_generated_ratings() {
     let data = generators::bipartite_ratings(200, 80, 4_000, 6, 5);
     let frag = HashEdgeCut::new(4).partition(&data.graph).unwrap();
     let engine = GrapeEngine::new(EngineConfig::with_workers(4));
-    let query = CfQuery { epochs: 8, num_factors: 6, ..Default::default() };
+    let query = CfQuery {
+        epochs: 8,
+        num_factors: 6,
+        ..Default::default()
+    };
     let run = engine.run(&frag, &Cf, &query).unwrap();
     let rmse = run.output.rmse(&data.graph);
-    assert!(rmse < 0.9, "distributed CF should fit the training data, rmse = {rmse}");
+    assert!(
+        rmse < 0.9,
+        "distributed CF should fit the training data, rmse = {rmse}"
+    );
     // Predictions correlate with the ground truth for unseen pairs.
     let mut better = 0usize;
     let mut total = 0usize;
     for user in 0..20 {
         for item in 0..20 {
             let truth = data.true_rating(user, item);
-            let predicted = run.output.predict(data.user_vertex(user), data.item_vertex(item));
+            let predicted = run
+                .output
+                .predict(data.user_vertex(user), data.item_vertex(item));
             if (predicted - truth).abs() < 1.5 {
                 better += 1;
             }
             total += 1;
         }
     }
-    assert!(better * 2 > total, "only {better}/{total} predictions near the ground truth");
+    assert!(
+        better * 2 > total,
+        "only {better}/{total} predictions near the ground truth"
+    );
 }
 
 #[test]
@@ -166,7 +191,9 @@ fn grape_beats_vertex_centric_on_road_network_metrics() {
     let graph = generators::road_grid(30, 30, 8);
     let frag = MetisLike::new(4).partition(&graph).unwrap();
     let query = SsspQuery::new(0);
-    let grape = GrapeEngine::new(EngineConfig::with_workers(4)).run(&frag, &Sssp, &query).unwrap();
+    let grape = GrapeEngine::new(EngineConfig::with_workers(4))
+        .run(&frag, &Sssp, &query)
+        .unwrap();
     let (_, vertex) = VertexCentricEngine::new(4).run(&graph, &VertexSssp, &query);
     assert!(grape.metrics.supersteps * 2 < vertex.supersteps);
     assert!(grape.metrics.total_bytes * 2 < vertex.total_bytes);

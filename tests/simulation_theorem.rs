@@ -5,9 +5,7 @@
 
 use std::collections::HashMap;
 
-use grape::core::simulate::{
-    run_bsp, run_mapreduce, BspOutbox, BspProgram, MapReduceJob,
-};
+use grape::core::simulate::{run_bsp, run_mapreduce, BspOutbox, BspProgram, MapReduceJob};
 
 /// MapReduce: inverted index over a small document collection.
 struct InvertedIndex;
@@ -18,7 +16,9 @@ impl MapReduceJob for InvertedIndex {
     type Value = usize;
 
     fn map(&self, (doc, text): &(usize, String)) -> Vec<(String, usize)> {
-        text.split_whitespace().map(|w| (w.to_string(), *doc)).collect()
+        text.split_whitespace()
+            .map(|w| (w.to_string(), *doc))
+            .collect()
     }
 
     fn reduce(&self, key: &String, mut values: Vec<usize>) -> Vec<(String, usize)> {
@@ -53,8 +53,9 @@ fn mapreduce_inverted_index_is_correct_and_two_supersteps_per_round() {
 
 #[test]
 fn mapreduce_output_is_independent_of_worker_count() {
-    let docs: Vec<(usize, String)> =
-        (0..12).map(|i| (i, format!("w{} shared w{}", i % 4, i % 3))).collect();
+    let docs: Vec<(usize, String)> = (0..12)
+        .map(|i| (i, format!("w{} shared w{}", i % 4, i % 3)))
+        .collect();
     let normalize = |pairs: Vec<(String, usize)>| {
         let mut v = pairs;
         v.sort();
@@ -100,7 +101,10 @@ impl BspProgram for DoublingSum {
 fn bsp_recursive_doubling_reaches_the_global_sum() {
     let (states, metrics) = run_bsp(&DoublingSum, 4, 10);
     // 1 + 2 + 3 + 4 = 10 at every worker after log2(4) = 2 doubling rounds.
-    assert!(states.iter().all(|(sum, _)| *sum == 10), "states: {states:?}");
+    assert!(
+        states.iter().all(|(sum, _)| *sum == 10),
+        "states: {states:?}"
+    );
     // Supersteps: 2 doubling rounds plus the quiescent delivery step.
     assert_eq!(metrics.supersteps, 3);
     assert_eq!(metrics.messages, 8);

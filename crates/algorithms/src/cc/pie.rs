@@ -208,8 +208,7 @@ impl PieProgram for Cc {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use grape_core::config::EngineConfig;
-    use grape_core::engine::GrapeEngine;
+    use grape_core::session::GrapeSession;
     use grape_graph::builder::GraphBuilder;
     use grape_graph::generators::{erdos_renyi, power_law, road_grid};
     use grape_graph::graph::Directedness;
@@ -220,7 +219,7 @@ mod tests {
 
     fn run_cc(g: &grape_graph::graph::Graph, fragments: usize, workers: usize) -> CcResult {
         let frag = HashEdgeCut::new(fragments).partition(g).unwrap();
-        GrapeEngine::new(EngineConfig::with_workers(workers))
+        GrapeSession::with_workers(workers)
             .run(&frag, &Cc, &CcQuery)
             .unwrap()
             .output
@@ -268,7 +267,7 @@ mod tests {
             .ensure_vertices(13)
             .build();
         let frag = RangeEdgeCut::new(3).partition(&g).unwrap();
-        let result = GrapeEngine::new(EngineConfig::with_workers(2))
+        let result = GrapeSession::with_workers(2)
             .run(&frag, &Cc, &CcQuery)
             .unwrap()
             .output;

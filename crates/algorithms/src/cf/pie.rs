@@ -225,8 +225,7 @@ impl PieProgram for Cf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use grape_core::config::EngineConfig;
-    use grape_core::engine::GrapeEngine;
+    use grape_core::session::GrapeSession;
     use grape_graph::generators::bipartite_ratings;
     use grape_partition::edge_cut::HashEdgeCut;
     use grape_partition::strategy::PartitionStrategy;
@@ -242,6 +241,8 @@ mod tests {
         grape_core::metrics::EngineMetrics,
         grape_graph::graph::Graph,
     ) {
+        // CF's epoch accounting is superstep-aligned (one epoch per IncEval
+        // round), so the training pipeline pins synchronous mode.
         let data = bipartite_ratings(60, 30, 800, 4, seed);
         let frag = HashEdgeCut::new(fragments).partition(&data.graph).unwrap();
         let query = CfQuery {
@@ -249,7 +250,11 @@ mod tests {
             num_factors: 4,
             ..Default::default()
         };
-        let result = GrapeEngine::new(EngineConfig::with_workers(4))
+        let result = GrapeSession::builder()
+            .workers(4)
+            .mode(grape_core::config::EngineMode::Sync)
+            .build()
+            .unwrap()
             .run(&frag, &Cf, &query)
             .unwrap();
         (result.output, result.metrics, data.graph)

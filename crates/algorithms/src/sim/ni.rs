@@ -165,8 +165,7 @@ impl PieProgram for SimNi {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use grape_core::config::EngineConfig;
-    use grape_core::engine::GrapeEngine;
+    use grape_core::session::GrapeSession;
     use grape_graph::generators::labeled_kg;
     use grape_graph::pattern::Pattern;
     use grape_partition::edge_cut::HashEdgeCut;
@@ -181,7 +180,7 @@ mod tests {
             let alphabet: Vec<u32> = (1..=5).collect();
             let pattern = Pattern::random(4, 6, &alphabet, seed + 20);
             let frag = HashEdgeCut::new(4).partition(&g).unwrap();
-            let engine = GrapeEngine::new(EngineConfig::with_workers(2));
+            let engine = GrapeSession::with_workers(2);
             let query = SimQuery::new(pattern);
             let incremental = engine.run(&frag, &Sim::new(), &query).unwrap();
             let batch = engine.run(&frag, &SimNi, &query).unwrap();
@@ -193,12 +192,17 @@ mod tests {
     fn ni_variant_spends_at_least_as_much_eval_time_shape() {
         // Not a strict timing assertion (too flaky); instead check that the
         // NI variant does at least as many supersteps and never fewer
-        // messages, which is the structural reason it is slower.
+        // messages, which is the structural reason it is slower.  The
+        // superstep comparison is a BSP property, so pin synchronous mode.
         let g = labeled_kg(400, 1600, 5, 3, 9);
         let alphabet: Vec<u32> = (1..=5).collect();
         let pattern = Pattern::random(5, 8, &alphabet, 33);
         let frag = HashEdgeCut::new(6).partition(&g).unwrap();
-        let engine = GrapeEngine::new(EngineConfig::with_workers(2));
+        let engine = GrapeSession::builder()
+            .workers(2)
+            .mode(grape_core::config::EngineMode::Sync)
+            .build()
+            .unwrap();
         let query = SimQuery::new(pattern);
         let incremental = engine.run(&frag, &Sim::new(), &query).unwrap();
         let batch = engine.run(&frag, &SimNi, &query).unwrap();

@@ -344,8 +344,7 @@ impl PieProgram for Sim {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use grape_core::config::EngineConfig;
-    use grape_core::engine::GrapeEngine;
+    use grape_core::session::GrapeSession;
     use grape_graph::generators::labeled_kg;
     use grape_graph::graph::Graph;
     use grape_partition::edge_cut::HashEdgeCut;
@@ -356,7 +355,7 @@ mod tests {
 
     fn run_sim(g: &Graph, pattern: &Pattern, fragments: usize, program: Sim) -> SimResult {
         let frag = HashEdgeCut::new(fragments).partition(g).unwrap();
-        GrapeEngine::new(EngineConfig::with_workers(4))
+        GrapeSession::with_workers(4)
             .run(&frag, &program, &SimQuery::new(pattern.clone()))
             .unwrap()
             .output
@@ -410,7 +409,7 @@ mod tests {
         let alphabet: Vec<u32> = (1..=5).collect();
         let pattern = Pattern::random(4, 6, &alphabet, 4);
         let frag = MetisLike::new(4).partition(&g).unwrap();
-        let result = GrapeEngine::new(EngineConfig::with_workers(2))
+        let result = GrapeSession::with_workers(2)
             .run(&frag, &Sim::new(), &SimQuery::new(pattern.clone()))
             .unwrap()
             .output;

@@ -217,8 +217,7 @@ impl PieProgram for Sssp {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use grape_core::config::EngineConfig;
-    use grape_core::engine::GrapeEngine;
+    use grape_core::session::GrapeSession;
     use grape_graph::generators::{power_law, road_grid};
     use grape_partition::edge_cut::HashEdgeCut;
     use grape_partition::metis_like::MetisLike;
@@ -233,7 +232,7 @@ mod tests {
         source: VertexId,
     ) {
         let frag = strategy.partition(g).unwrap();
-        let engine = GrapeEngine::new(EngineConfig::with_workers(workers));
+        let engine = GrapeSession::with_workers(workers);
         let result = engine.run(&frag, &Sssp, &SsspQuery::new(source)).unwrap();
         let expected = dijkstra(g, source);
         for (v, d) in expected.iter().enumerate() {
@@ -263,7 +262,7 @@ mod tests {
             .ensure_vertices(4)
             .build();
         let frag = HashEdgeCut::new(2).partition(&g).unwrap();
-        let engine = GrapeEngine::new(EngineConfig::with_workers(2));
+        let engine = GrapeSession::with_workers(2);
         let result = engine.run(&frag, &Sssp, &SsspQuery::new(0)).unwrap();
         assert_eq!(result.output.distance(3), None);
         assert_eq!(result.output.distance(1), Some(1.0));
@@ -274,7 +273,7 @@ mod tests {
     fn source_outside_graph_reaches_nothing() {
         let g = road_grid(4, 4, 1);
         let frag = HashEdgeCut::new(2).partition(&g).unwrap();
-        let engine = GrapeEngine::new(EngineConfig::with_workers(1));
+        let engine = GrapeSession::with_workers(1);
         let result = engine.run(&frag, &Sssp, &SsspQuery::new(999)).unwrap();
         assert_eq!(result.output.num_reached(), 0);
     }
@@ -284,14 +283,14 @@ mod tests {
         let g = power_law(200, 800, 0, 3);
         let base = {
             let frag = HashEdgeCut::new(1).partition(&g).unwrap();
-            GrapeEngine::new(EngineConfig::with_workers(1))
+            GrapeSession::with_workers(1)
                 .run(&frag, &Sssp, &SsspQuery::new(0))
                 .unwrap()
                 .output
         };
         for m in [2, 4, 8] {
             let frag = HashEdgeCut::new(m).partition(&g).unwrap();
-            let out = GrapeEngine::new(EngineConfig::with_workers(4))
+            let out = GrapeSession::with_workers(4)
                 .run(&frag, &Sssp, &SsspQuery::new(0))
                 .unwrap()
                 .output;
@@ -306,12 +305,17 @@ mod tests {
     fn incremental_supersteps_ship_only_improvements() {
         // On a long path partitioned into ranges, distances propagate one
         // fragment per superstep and every border value is shipped at most a
-        // handful of times.
+        // handful of times.  Superstep-per-fragment propagation is a BSP
+        // property, so pin synchronous mode.
         let g = road_grid(30, 1, 5);
         let frag = grape_partition::edge_cut::RangeEdgeCut::new(5)
             .partition(&g)
             .unwrap();
-        let engine = GrapeEngine::new(EngineConfig::with_workers(2));
+        let engine = GrapeSession::builder()
+            .workers(2)
+            .mode(grape_core::config::EngineMode::Sync)
+            .build()
+            .unwrap();
         let result = engine.run(&frag, &Sssp, &SsspQuery::new(0)).unwrap();
         assert!(
             result.metrics.supersteps >= 5,

@@ -149,8 +149,7 @@ impl PieProgram for SubIso {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use grape_core::config::EngineConfig;
-    use grape_core::engine::GrapeEngine;
+    use grape_core::session::GrapeSession;
     use grape_graph::generators::labeled_kg;
     use grape_graph::graph::Graph;
     use grape_partition::edge_cut::HashEdgeCut;
@@ -161,7 +160,7 @@ mod tests {
 
     fn run_subiso(g: &Graph, pattern: &Pattern, fragments: usize) -> (SubIsoResult, usize) {
         let frag = HashEdgeCut::new(fragments).partition(g).unwrap();
-        let result = GrapeEngine::new(EngineConfig::with_workers(4))
+        let result = GrapeSession::with_workers(4)
             .run(&frag, &SubIso, &SubIsoQuery::new(pattern.clone()))
             .unwrap();
         (result.output, result.metrics.supersteps)
@@ -202,7 +201,7 @@ mod tests {
         let alphabet: Vec<u32> = (1..=4).collect();
         let pattern = Pattern::random(3, 4, &alphabet, 8);
         let frag = MetisLike::new(4).partition(&g).unwrap();
-        let result = GrapeEngine::new(EngineConfig::with_workers(2))
+        let result = GrapeSession::with_workers(2)
             .run(&frag, &SubIso, &SubIsoQuery::new(pattern))
             .unwrap();
         assert!(result.metrics.expansion_bytes > 0);

@@ -593,13 +593,12 @@ mod tests {
 
     #[test]
     fn block_sssp_does_more_local_work_than_grape_but_same_answer() {
-        use grape_core::config::EngineConfig;
-        use grape_core::engine::GrapeEngine;
+        use grape_core::session::GrapeSession;
 
         let g = road_grid(12, 12, 9);
         let frag = MetisLike::new(4).partition(&g).unwrap();
         let (block_dist, block_metrics) = run_block_sssp(&frag, &SsspQuery::new(0), 4);
-        let grape = GrapeEngine::new(EngineConfig::with_workers(4))
+        let grape = GrapeSession::with_workers(4)
             .run(&frag, &grape_algorithms::sssp::Sssp, &SsspQuery::new(0))
             .unwrap();
         for (v, d) in &block_dist {

@@ -575,8 +575,7 @@ mod tests {
 
     #[test]
     fn vertex_sssp_ships_many_more_messages_than_grape() {
-        use grape_core::config::EngineConfig;
-        use grape_core::engine::GrapeEngine;
+        use grape_core::session::GrapeSession;
         use grape_partition::metis_like::MetisLike;
         use grape_partition::strategy::PartitionStrategy;
 
@@ -584,7 +583,7 @@ mod tests {
         let (_, vertex_metrics) =
             VertexCentricEngine::new(4).run(&g, &VertexSssp, &SsspQuery::new(0));
         let frag = MetisLike::new(4).partition(&g).unwrap();
-        let grape = GrapeEngine::new(EngineConfig::with_workers(4))
+        let grape = GrapeSession::with_workers(4)
             .run(&frag, &grape_algorithms::sssp::Sssp, &SsspQuery::new(0))
             .unwrap();
         // The gap grows with graph size/diameter (the benches show orders of

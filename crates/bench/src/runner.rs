@@ -2,9 +2,8 @@
 //! three systems (GRAPE, vertex-centric, block-centric) and report the
 //! metrics the paper plots: response time, communication volume, supersteps.
 
-use grape_core::config::EngineConfig;
-use grape_core::engine::GrapeEngine;
 use grape_core::metrics::EngineMetrics;
+use grape_core::session::GrapeSession;
 use grape_graph::generators::RatingData;
 use grape_graph::graph::Graph;
 use grape_graph::pattern::Pattern;
@@ -12,6 +11,7 @@ use grape_graph::types::VertexId;
 use grape_partition::fragment::Fragmentation;
 use grape_partition::metis_like::MetisLike;
 use grape_partition::strategy::PartitionStrategy;
+use serde::Serialize;
 
 use grape_algorithms::cc::{Cc, CcQuery};
 use grape_algorithms::cf::CfQuery;
@@ -55,7 +55,7 @@ impl System {
 
 /// One measured configuration — a row of a paper table / one point of a
 /// figure.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize)]
 pub struct RunRow {
     /// Query class (sssp, cc, sim, subiso, cf).
     pub query: String,
@@ -101,8 +101,8 @@ pub fn partition(graph: &Graph, workers: usize) -> Fragmentation {
         .expect("partition")
 }
 
-fn grape_engine(workers: usize) -> GrapeEngine {
-    GrapeEngine::new(EngineConfig::with_workers(workers))
+fn grape_session(workers: usize) -> GrapeSession {
+    GrapeSession::with_workers(workers)
 }
 
 /// Runs SSSP on one system.
@@ -117,7 +117,7 @@ pub fn run_sssp(
     let metrics = match system {
         System::Grape => {
             let frag = partition(graph, workers);
-            grape_engine(workers)
+            grape_session(workers)
                 .run(&frag, &Sssp, &query)
                 .expect("grape sssp")
                 .metrics
@@ -140,7 +140,7 @@ pub fn run_cc(system: System, graph: &Graph, workers: usize, workload: &str) -> 
     let metrics = match system {
         System::Grape => {
             let frag = partition(graph, workers);
-            grape_engine(workers)
+            grape_session(workers)
                 .run(&frag, &Cc, &CcQuery)
                 .expect("grape cc")
                 .metrics
@@ -169,7 +169,7 @@ pub fn run_sim(
     let metrics = match system {
         System::Grape => {
             let frag = partition(graph, workers);
-            grape_engine(workers)
+            grape_session(workers)
                 .run(&frag, &Sim::new(), &SimQuery::new(pattern.clone()))
                 .expect("grape sim")
                 .metrics
@@ -192,7 +192,7 @@ pub fn run_sim(
 /// Runs the GRAPE_NI (non-incremental) simulation variant — Exp-2.
 pub fn run_sim_ni(graph: &Graph, pattern: &Pattern, workers: usize, workload: &str) -> RunRow {
     let frag = partition(graph, workers);
-    let metrics = grape_engine(workers)
+    let metrics = grape_session(workers)
         .run(&frag, &SimNi, &SimQuery::new(pattern.clone()))
         .expect("grape sim-ni")
         .metrics;
@@ -210,7 +210,7 @@ pub fn run_sim_optimized(
     workload: &str,
 ) -> RunRow {
     let frag = partition(graph, workers);
-    let metrics = grape_engine(workers)
+    let metrics = grape_session(workers)
         .run(&frag, &Sim::with_index(), &SimQuery::new(pattern.clone()))
         .expect("grape sim-opt")
         .metrics;
@@ -232,7 +232,7 @@ pub fn run_subiso(
     let metrics = match system {
         System::Grape => {
             let frag = partition(graph, workers);
-            grape_engine(workers)
+            grape_session(workers)
                 .run(
                     &frag,
                     &SubIso,
@@ -274,7 +274,7 @@ pub fn run_cf(
     let metrics = match system {
         System::Grape => {
             let frag = partition(&data.graph, workers);
-            grape_engine(workers)
+            grape_session(workers)
                 .run(&frag, &grape_algorithms::cf::Cf, &query)
                 .expect("grape cf")
                 .metrics
@@ -292,6 +292,86 @@ pub fn run_cf(
         }
     };
     RunRow::from_metrics("cf", workload, system, workers, &metrics)
+}
+
+/// A [`RunRow`] tagged with the experiment (table/figure) and scale it came
+/// from — the machine-readable record emitted by `experiments --format
+/// json|csv`, one per (algorithm, system, scale) run, so figures can be
+/// regenerated and regressions tracked.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExportRow {
+    /// Experiment id, e.g. `table1` or `fig6_sssp`.
+    pub experiment: String,
+    /// Workload scale (`small`, `medium`).
+    pub scale: String,
+    /// Query class (sssp, cc, sim, subiso, cf).
+    pub query: String,
+    /// Workload name.
+    pub workload: String,
+    /// System measured.
+    pub system: String,
+    /// Number of workers `n`.
+    pub workers: usize,
+    /// Response time in seconds.
+    pub seconds: f64,
+    /// Communication volume in megabytes.
+    pub comm_mb: f64,
+    /// Supersteps executed.
+    pub supersteps: usize,
+}
+
+impl ExportRow {
+    /// Tags a measured row with its experiment and scale.
+    pub fn new(experiment: &str, scale: &str, row: &RunRow) -> Self {
+        ExportRow {
+            experiment: experiment.to_string(),
+            scale: scale.to_string(),
+            query: row.query.clone(),
+            workload: row.workload.clone(),
+            system: row.system.clone(),
+            workers: row.workers,
+            seconds: row.seconds,
+            comm_mb: row.comm_mb,
+            supersteps: row.supersteps,
+        }
+    }
+}
+
+/// The CSV header matching [`format_rows_csv`].
+pub const CSV_HEADER: &str =
+    "experiment,scale,query,workload,system,workers,seconds,comm_mb,supersteps";
+
+/// Formats rows as JSON Lines — one self-describing object per run.
+pub fn format_rows_json(experiment: &str, scale: &str, rows: &[RunRow]) -> String {
+    let mut out = String::new();
+    for row in rows {
+        let export = ExportRow::new(experiment, scale, row);
+        out.push_str(&serde_json::to_string(&export).expect("ExportRow serializes"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats rows as CSV records (no header; see [`CSV_HEADER`]).  Fields are
+/// simple identifiers and numbers, except system names, which may contain
+/// spaces/parentheses and are therefore quoted.
+pub fn format_rows_csv(experiment: &str, scale: &str, rows: &[RunRow]) -> String {
+    let mut out = String::new();
+    for row in rows {
+        out.push_str(&format!(
+            "{},{},{},{},\"{}\",{},{:.6},{:.6},{}\n",
+            experiment,
+            scale,
+            row.query,
+            row.workload,
+            row.system.replace('"', "\"\""),
+            row.workers,
+            row.seconds,
+            row.comm_mb,
+            row.supersteps
+        ));
+    }
+    out
 }
 
 /// Formats a slice of rows as an aligned text table (what the `experiments`
@@ -349,5 +429,42 @@ mod tests {
         let table = format_table("test", &rows);
         assert!(table.contains("GRAPE"));
         assert!(table.contains("livejournal"));
+    }
+
+    #[test]
+    fn json_rows_are_one_parsable_object_per_run() {
+        let g = workloads::traffic(Scale::Small);
+        let rows = vec![
+            run_sssp(System::Grape, &g, 0, 2, "traffic"),
+            run_sssp(System::VertexCentric, &g, 0, 2, "traffic"),
+        ];
+        let json = format_rows_json("table1", "small", &rows);
+        let lines: Vec<&str> = json.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            let value: serde::Value = serde_json::from_str(line).expect("valid JSON");
+            assert_eq!(
+                value.get_field("experiment").and_then(|v| v.as_str()),
+                Some("table1")
+            );
+            assert_eq!(
+                value.get_field("scale").and_then(|v| v.as_str()),
+                Some("small")
+            );
+            assert!(value.get_field("supersteps").is_some());
+            assert!(value.get_field("seconds").is_some());
+        }
+    }
+
+    #[test]
+    fn csv_rows_match_the_header_arity() {
+        let g = workloads::traffic(Scale::Small);
+        let rows = vec![run_cc(System::Grape, &g, 2, "traffic")];
+        let csv = format_rows_csv("fig6_cc", "small", &rows);
+        let header_fields = CSV_HEADER.split(',').count();
+        for line in csv.lines() {
+            assert_eq!(line.split(',').count(), header_fields, "line: {line}");
+            assert!(line.starts_with("fig6_cc,small,cc,traffic,"));
+        }
     }
 }

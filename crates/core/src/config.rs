@@ -1,26 +1,49 @@
 //! Engine configuration: the paper's "configuration panel" (Fig. 1), where
 //! the user picks the number of workers, plus knobs for the execution mode,
 //! fault tolerance and termination safety net.
+//!
+//! Configurations are usually assembled through
+//! [`crate::session::GrapeSession::builder`]; the struct itself stays public
+//! so configurations can be stored, serialized and replayed.
 
 use serde::{Deserialize, Serialize};
 
 /// Synchronisation mode of the engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum EngineMode {
-    /// BSP-style synchronous supersteps (the model analysed in the paper).
-    Synchronous,
+    /// BSP-style synchronous supersteps (the model analysed in the paper):
+    /// a global barrier between supersteps, messages published at the
+    /// barrier by [`crate::transport::BarrierTransport`].
+    Sync,
     /// Asynchronous extension (mentioned as future work in the paper's
-    /// conclusion): within one sweep, messages produced by a fragment are
-    /// immediately visible to fragments processed later in the same sweep.
-    /// Results are identical under the monotonic condition, usually with
-    /// fewer sweeps.
-    Asynchronous,
+    /// conclusion): fragments run as independent tasks draining their
+    /// mailboxes ([`crate::transport::ChannelTransport`]) to quiescence —
+    /// there is **no global superstep barrier**.  Results are identical
+    /// under the monotonic condition, usually with fewer supersteps (the
+    /// superstep metric then reports the depth of an equivalent BSP
+    /// schedule of the same message deliveries).
+    Async,
+}
+
+impl EngineMode {
+    /// The process-wide default mode: `Sync`, unless the environment
+    /// variable `GRAPE_ENGINE_MODE` is set to `async` (used by CI to run
+    /// the whole test suite through the barrier-free runtime).
+    pub fn default_from_env() -> Self {
+        match std::env::var("GRAPE_ENGINE_MODE") {
+            Ok(v) if v.eq_ignore_ascii_case("async") || v.eq_ignore_ascii_case("asynchronous") => {
+                EngineMode::Async
+            }
+            _ => EngineMode::Sync,
+        }
+    }
 }
 
 /// An injected worker failure, used to exercise the fault-tolerance path
 /// (Section 6, "Fault tolerance"): at the start of superstep `superstep`, the
 /// fragment `fragment` loses its state and must be recovered from the last
-/// checkpoint by the arbitrator.
+/// checkpoint by the arbitrator.  Only meaningful in [`EngineMode::Sync`]
+/// (checkpoints are superstep-aligned).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct InjectedFailure {
     /// Superstep (1-based IncEval rounds; PEval is superstep 0).
@@ -29,7 +52,7 @@ pub struct InjectedFailure {
     pub fragment: usize,
 }
 
-/// Configuration of a [`crate::engine::GrapeEngine`].
+/// Configuration of a GRAPE run (see [`crate::session::GrapeSession`]).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct EngineConfig {
     /// Number of physical workers (threads).  Fragments (virtual workers) are
@@ -42,28 +65,36 @@ pub struct EngineConfig {
     /// buggy user program might not be monotonic).
     pub max_supersteps: usize,
     /// Take a checkpoint of all partial results every `n` supersteps
-    /// (`None` disables checkpointing).
+    /// (`None` disables checkpointing).  Synchronous mode only.
     pub checkpoint_every: Option<usize>,
     /// Failures to inject (testing / evaluation of the recovery path).
+    /// Synchronous mode only.
     pub injected_failures: Vec<InjectedFailure>,
 }
 
 impl EngineConfig {
-    /// A synchronous configuration with `num_workers` physical workers and
-    /// default safety limits.
+    /// A configuration with `num_workers` physical workers, default safety
+    /// limits, and the process default mode (see
+    /// [`EngineMode::default_from_env`]).
     pub fn with_workers(num_workers: usize) -> Self {
         EngineConfig {
             num_workers: num_workers.max(1),
-            mode: EngineMode::Synchronous,
+            mode: EngineMode::default_from_env(),
             max_supersteps: 100_000,
             checkpoint_every: None,
             injected_failures: Vec::new(),
         }
     }
 
-    /// Switches to the asynchronous extension.
+    /// Forces BSP-style synchronous supersteps (overrides the env default).
+    pub fn synchronous(mut self) -> Self {
+        self.mode = EngineMode::Sync;
+        self
+    }
+
+    /// Switches to the asynchronous (barrier-free) extension.
     pub fn asynchronous(mut self) -> Self {
-        self.mode = EngineMode::Asynchronous;
+        self.mode = EngineMode::Async;
         self
     }
 
@@ -112,7 +143,7 @@ mod tests {
             .with_max_supersteps(50)
             .with_checkpoint_every(5)
             .with_injected_failure(3, 1);
-        assert_eq!(cfg.mode, EngineMode::Asynchronous);
+        assert_eq!(cfg.mode, EngineMode::Async);
         assert_eq!(cfg.max_supersteps, 50);
         assert_eq!(cfg.checkpoint_every, Some(5));
         assert_eq!(
@@ -125,10 +156,16 @@ mod tests {
     }
 
     #[test]
-    fn default_config_is_synchronous_with_at_least_one_worker() {
+    fn synchronous_overrides_async() {
+        let cfg = EngineConfig::with_workers(2).asynchronous().synchronous();
+        assert_eq!(cfg.mode, EngineMode::Sync);
+    }
+
+    #[test]
+    fn default_config_has_at_least_one_worker() {
         let cfg = EngineConfig::default();
         assert!(cfg.num_workers >= 1);
-        assert_eq!(cfg.mode, EngineMode::Synchronous);
+        assert_eq!(cfg.mode, EngineMode::default_from_env());
         assert!(cfg.checkpoint_every.is_none());
     }
 }

@@ -23,7 +23,12 @@
 //! Modules:
 //!
 //! * [`pie`] — the [`pie::PieProgram`] trait (the programming model),
-//! * [`engine`] — the coordinator/worker runtime ([`engine::GrapeEngine`]),
+//! * [`session`] — the user entry point: [`session::GrapeSession`] and its
+//!   fluent builder (workers, mode, transport, balancer),
+//! * [`engine`] — the two runtimes (BSP superstep loop and the barrier-free
+//!   streaming loop) behind a session,
+//! * [`transport`] — the pluggable message substrate ([`transport::Transport`],
+//!   with barrier and mpsc-style channel implementations),
 //! * [`config`] — engine configuration (workers, sync/async mode, fault
 //!   tolerance, superstep limits),
 //! * [`metrics`] — response-time / superstep / communication accounting,
@@ -36,9 +41,17 @@ pub mod engine;
 pub mod load_balance;
 pub mod metrics;
 pub mod pie;
+pub mod session;
 pub mod simulate;
+pub mod transport;
 
 pub use config::{EngineConfig, EngineMode};
-pub use engine::{EngineError, GrapeEngine, RunResult};
+pub use engine::{EngineError, RunResult};
 pub use metrics::EngineMetrics;
 pub use pie::{KeyVertex, Messages, PieProgram};
+pub use session::{GrapeSession, GrapeSessionBuilder};
+pub use transport::{Transport, TransportSpec};
+
+// The deprecated shim stays reachable for one release.
+#[allow(deprecated)]
+pub use engine::GrapeEngine;

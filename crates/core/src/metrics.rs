@@ -17,7 +17,10 @@ pub struct SuperstepMetrics {
     pub messages: usize,
     /// Bytes shipped for those messages.
     pub bytes: usize,
-    /// Wall-clock time of the superstep (local evaluation + routing).
+    /// Time of the superstep (local evaluation + routing): wall-clock under
+    /// the synchronous runtime; summed concurrent evaluation durations
+    /// under the barrier-free runtime (see
+    /// [`EngineMetrics::eval_time`]).
     #[serde(skip)]
     pub duration: Duration,
 }
@@ -27,6 +30,11 @@ pub struct SuperstepMetrics {
 pub struct EngineMetrics {
     /// Name of the PIE / vertex / block program that ran.
     pub program: String,
+    /// Name of the transport that moved the messages (see
+    /// [`crate::transport::TransportSpec`]); empty for engines that predate
+    /// the transport layer (the baselines).
+    #[serde(default)]
+    pub transport: String,
     /// Number of physical workers used.
     pub workers: usize,
     /// Number of fragments (virtual workers).
@@ -43,7 +51,12 @@ pub struct EngineMetrics {
     pub recovered_failures: usize,
     /// Number of checkpoints taken.
     pub checkpoints: usize,
-    /// Wall-clock time spent in PEval/IncEval across all supersteps.
+    /// Time spent in PEval/IncEval across all supersteps.  Under the
+    /// synchronous runtime this is wall-clock per superstep; under the
+    /// barrier-free runtime it is the *sum* of per-evaluation durations,
+    /// which run concurrently across workers and can therefore exceed
+    /// wall-clock time (use [`EngineMetrics::total_time`] for wall-clock
+    /// comparisons — that is what the benches report).
     #[serde(skip)]
     pub eval_time: Duration,
     /// Total wall-clock time of the run (evaluation + routing + assemble).

@@ -12,11 +12,16 @@
 //! conflicts, routing them via the fragmentation graph `G_P`, iterating
 //! IncEval to a fixpoint and finally calling Assemble.
 
+use std::collections::HashMap;
 use std::hash::Hash;
 
 use grape_graph::types::VertexId;
 use grape_partition::fragment::Fragment;
 use grape_partition::fragmentation_graph::BorderScope;
+
+/// An `aggregateMsg` conflict-resolution function, borrowed from the PIE
+/// program for the duration of one evaluation or one run.
+pub type AggregateFn<'a, K, V> = &'a (dyn Fn(&K, V, V) -> V + Sync);
 
 /// Message keys identify an update parameter (a status variable).  The engine
 /// only needs to know which *vertex* the variable is attached to in order to
@@ -44,16 +49,46 @@ impl KeyVertex for (u32, VertexId) {
 /// *message segment* of the paper's programming interface: the program pushes
 /// the (changed) values of its update parameters here, and the engine turns
 /// them into messages.
-#[derive(Debug)]
-pub struct Messages<K, V> {
+///
+/// When constructed with [`Messages::with_aggregator`] (which is how the
+/// engine hands it to programs), duplicate sends of the same key are
+/// **coalesced at insert time** with the program's `aggregateMsg` function —
+/// a program that declares `dist(s, v)` twice in one evaluation buffers only
+/// the winning value, and the buffer never grows beyond one entry per key.
+pub struct Messages<'a, K, V> {
     updates: Vec<(K, V)>,
+    /// Key → position in `updates`; only maintained when `agg` is set.
+    index: HashMap<K, usize>,
+    agg: Option<AggregateFn<'a, K, V>>,
 }
 
-impl<K, V> Messages<K, V> {
-    /// Creates an empty buffer.
+impl<K, V> std::fmt::Debug for Messages<'_, K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Messages")
+            .field("updates", &self.updates.len())
+            .field("coalescing", &self.agg.is_some())
+            .finish()
+    }
+}
+
+impl<'a, K, V> Messages<'a, K, V> {
+    /// Creates an empty buffer that keeps duplicate keys verbatim.
     pub fn new() -> Self {
         Messages {
             updates: Vec::new(),
+            index: HashMap::new(),
+            agg: None,
+        }
+    }
+
+    /// Creates an empty buffer that coalesces duplicate keys at insert time
+    /// with the given `aggregateMsg` function (what the engine does with
+    /// [`PieProgram::aggregate`]).
+    pub fn with_aggregator(agg: AggregateFn<'a, K, V>) -> Self {
+        Messages {
+            updates: Vec::new(),
+            index: HashMap::new(),
+            agg: Some(agg),
         }
     }
 
@@ -61,9 +96,27 @@ impl<K, V> Messages<K, V> {
     ///
     /// Programs should only send *changed* values (e.g. SSSP sends
     /// `dist(s, v)` only when it decreased) — this is what keeps GRAPE's
-    /// communication so much below the vertex-centric systems.
-    pub fn send(&mut self, key: K, value: V) {
-        self.updates.push((key, value));
+    /// communication so much below the vertex-centric systems.  Competing
+    /// sends of the same key are resolved by the aggregator when one was
+    /// installed (e.g. `min` keeps the shortest SSSP distance).
+    pub fn send(&mut self, key: K, value: V)
+    where
+        K: Clone + Eq + Hash,
+        V: Clone,
+    {
+        match self.agg {
+            Some(agg) => match self.index.get(&key) {
+                Some(&i) => {
+                    let slot = &mut self.updates[i].1;
+                    *slot = agg(&key, slot.clone(), value);
+                }
+                None => {
+                    self.index.insert(key.clone(), self.updates.len());
+                    self.updates.push((key, value));
+                }
+            },
+            None => self.updates.push((key, value)),
+        }
     }
 
     /// Number of buffered updates.
@@ -78,11 +131,12 @@ impl<K, V> Messages<K, V> {
 
     /// Drains the buffered updates (used by the engine).
     pub fn take(&mut self) -> Vec<(K, V)> {
+        self.index.clear();
         std::mem::take(&mut self.updates)
     }
 }
 
-impl<K, V> Default for Messages<K, V> {
+impl<K, V> Default for Messages<'_, K, V> {
     fn default() -> Self {
         Self::new()
     }
@@ -201,5 +255,46 @@ mod tests {
     fn default_is_empty() {
         let m: Messages<VertexId, bool> = Messages::default();
         assert!(m.is_empty());
+    }
+
+    /// Competing sends for the same key coalesce at insert time with
+    /// `aggregateMsg` semantics: for SSSP distances (`min`), the shortest
+    /// distance wins regardless of send order, and only one entry is kept.
+    #[test]
+    fn competing_sssp_distances_coalesce_to_the_minimum() {
+        let min = |_k: &VertexId, a: f64, b: f64| a.min(b);
+        let mut m: Messages<VertexId, f64> = Messages::with_aggregator(&min);
+        m.send(7, 5.0);
+        m.send(7, 3.0);
+        m.send(7, 4.0);
+        m.send(9, 1.5);
+        assert_eq!(m.len(), 2, "duplicate keys must not grow the buffer");
+        let mut drained = m.take();
+        drained.sort_by_key(|(k, _)| *k);
+        assert_eq!(drained, vec![(7, 3.0), (9, 1.5)]);
+        assert!(m.is_empty());
+    }
+
+    /// The coalescing index is rebuilt after `take`, so a reused buffer
+    /// still aggregates correctly.
+    #[test]
+    fn coalescing_survives_take_and_reuse() {
+        let min = |_k: &VertexId, a: u64, b: u64| a.min(b);
+        let mut m: Messages<VertexId, u64> = Messages::with_aggregator(&min);
+        m.send(1, 10);
+        assert_eq!(m.take(), vec![(1, 10)]);
+        m.send(1, 8);
+        m.send(1, 9);
+        assert_eq!(m.take(), vec![(1, 8)]);
+    }
+
+    /// Without an aggregator the buffer keeps duplicates verbatim (legacy
+    /// behaviour used by unit tests that inspect raw sends).
+    #[test]
+    fn plain_buffer_keeps_duplicates() {
+        let mut m: Messages<VertexId, f64> = Messages::new();
+        m.send(1, 2.0);
+        m.send(1, 1.0);
+        assert_eq!(m.len(), 2);
     }
 }

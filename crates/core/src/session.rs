@@ -1,0 +1,329 @@
+//! Sessions: the user-facing entry point of the engine.
+//!
+//! A [`GrapeSession`] bundles the three run policies — configuration
+//! (workers, mode, limits, fault tolerance), load balancing, and the message
+//! transport — behind one fluent builder:
+//!
+//! ```
+//! use grape_core::config::EngineMode;
+//! use grape_core::session::GrapeSession;
+//! use grape_core::transport::TransportSpec;
+//!
+//! let session = GrapeSession::builder()
+//!     .workers(8)
+//!     .mode(EngineMode::Async)
+//!     .transport(TransportSpec::Channel)
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(session.config().num_workers, 8);
+//! ```
+//!
+//! The session is cheap to clone, stateless between runs, and reusable:
+//! `session.run(&fragmentation, &program, &query)` executes one query and
+//! returns the same [`RunResult`] shape as always.  Contradictory policies
+//! (the barrier-free [`EngineMode::Async`] with a [`TransportSpec::Barrier`]
+//! transport, or with superstep-aligned checkpointing) are rejected at
+//! [`GrapeSessionBuilder::build`] time rather than at run time.
+
+use crate::config::{EngineConfig, EngineMode};
+use crate::engine::{execute, EngineError, RunResult};
+use crate::load_balance::LoadBalancer;
+use crate::pie::PieProgram;
+use crate::transport::TransportSpec;
+
+use grape_partition::fragment::Fragmentation;
+
+/// A configured, reusable handle on the GRAPE engine.
+///
+/// Construct it with [`GrapeSession::builder`] (full control) or
+/// [`GrapeSession::with_workers`] (defaults everywhere else).
+#[derive(Debug, Clone)]
+pub struct GrapeSession {
+    config: EngineConfig,
+    balancer: LoadBalancer,
+    transport: TransportSpec,
+}
+
+impl GrapeSession {
+    /// Starts building a session.
+    pub fn builder() -> GrapeSessionBuilder {
+        GrapeSessionBuilder::default()
+    }
+
+    /// A session with `num_workers` physical workers and default policies —
+    /// the moral equivalent of the old `GrapeEngine::new(
+    /// EngineConfig::with_workers(n))`.
+    pub fn with_workers(num_workers: usize) -> Self {
+        GrapeSession::builder()
+            .workers(num_workers)
+            .build()
+            .expect("a bare worker-count session is always valid")
+    }
+
+    /// Runs a PIE program over a fragmented graph and returns the assembled
+    /// output together with the run metrics.
+    pub fn run<P: PieProgram>(
+        &self,
+        fragmentation: &Fragmentation,
+        program: &P,
+        query: &P::Query,
+    ) -> Result<RunResult<P::Output>, EngineError> {
+        execute(
+            &self.config,
+            &self.balancer,
+            self.transport,
+            fragmentation,
+            program,
+            query,
+        )
+    }
+
+    /// The session configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The load balancer mapping fragments onto physical workers.
+    pub fn balancer(&self) -> &LoadBalancer {
+        &self.balancer
+    }
+
+    /// The transport policy.
+    pub fn transport(&self) -> TransportSpec {
+        self.transport
+    }
+}
+
+impl Default for GrapeSession {
+    fn default() -> Self {
+        GrapeSession::builder()
+            .build()
+            .expect("the default session is always valid")
+    }
+}
+
+/// Fluent builder for [`GrapeSession`].
+#[derive(Debug, Clone, Default)]
+pub struct GrapeSessionBuilder {
+    config: EngineConfig,
+    balancer: LoadBalancer,
+    transport: Option<TransportSpec>,
+}
+
+impl GrapeSessionBuilder {
+    /// Number of physical workers (threads); clamped to ≥ 1.
+    pub fn workers(mut self, num_workers: usize) -> Self {
+        self.config.num_workers = num_workers.max(1);
+        self
+    }
+
+    /// Execution mode (default: [`EngineMode::default_from_env`]).
+    pub fn mode(mut self, mode: EngineMode) -> Self {
+        self.config.mode = mode;
+        self
+    }
+
+    /// Superstep safety limit.
+    pub fn max_supersteps(mut self, max: usize) -> Self {
+        self.config.max_supersteps = max.max(1);
+        self
+    }
+
+    /// Checkpoint every `n` supersteps ([`EngineMode::Sync`] only).
+    pub fn checkpoint_every(mut self, n: usize) -> Self {
+        self.config.checkpoint_every = Some(n.max(1));
+        self
+    }
+
+    /// Injects a worker failure ([`EngineMode::Sync`] only).
+    pub fn inject_failure(mut self, superstep: usize, fragment: usize) -> Self {
+        self.config = self.config.with_injected_failure(superstep, fragment);
+        self
+    }
+
+    /// Replaces the whole configuration (useful for replaying a serialized
+    /// [`EngineConfig`]); later builder calls still apply on top.
+    pub fn config(mut self, config: EngineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Overrides the load balancer.
+    pub fn balancer(mut self, balancer: LoadBalancer) -> Self {
+        self.balancer = balancer;
+        self
+    }
+
+    /// Overrides the transport (default: the mode's natural substrate,
+    /// [`TransportSpec::default_for`]).
+    pub fn transport(mut self, transport: TransportSpec) -> Self {
+        self.transport = Some(transport);
+        self
+    }
+
+    /// Validates the combined policies (shared with the engine's own
+    /// run-time check, so the deprecated shim path gets the same rules) and
+    /// produces the session.
+    pub fn build(self) -> Result<GrapeSession, EngineError> {
+        let transport = self
+            .transport
+            .unwrap_or_else(|| TransportSpec::default_for(self.config.mode));
+        crate::engine::validate_policies(&self.config, transport)?;
+        Ok(GrapeSession {
+            config: self.config,
+            balancer: self.balancer,
+            transport,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pie::Messages;
+    use grape_graph::builder::GraphBuilder;
+    use grape_graph::types::VertexId;
+    use grape_partition::edge_cut::HashEdgeCut;
+    use grape_partition::fragment::Fragment;
+    use grape_partition::strategy::PartitionStrategy;
+
+    /// The smallest possible PIE program: PEval counts local vertices, no
+    /// messages, Assemble sums.  Enough to prove a session is reusable.
+    struct CountVertices;
+
+    impl PieProgram for CountVertices {
+        type Query = ();
+        type Partial = usize;
+        type Key = VertexId;
+        type Value = u64;
+        type Output = usize;
+
+        fn peval(&self, _q: &(), frag: &Fragment, _ctx: &mut Messages<VertexId, u64>) -> usize {
+            frag.num_inner()
+        }
+
+        fn inc_eval(
+            &self,
+            _q: &(),
+            _frag: &Fragment,
+            _partial: &mut usize,
+            _messages: &[(VertexId, u64)],
+            _ctx: &mut Messages<VertexId, u64>,
+        ) {
+        }
+
+        fn assemble(&self, _q: &(), partials: Vec<usize>) -> usize {
+            partials.into_iter().sum()
+        }
+
+        fn aggregate(&self, _key: &VertexId, a: u64, _b: u64) -> u64 {
+            a
+        }
+    }
+
+    fn tiny_fragmentation() -> grape_partition::fragment::Fragmentation {
+        let g = GraphBuilder::directed()
+            .add_edge(0, 1)
+            .add_edge(1, 2)
+            .add_edge(2, 3)
+            .build();
+        HashEdgeCut::new(2).partition(&g).unwrap()
+    }
+
+    #[test]
+    fn builder_sets_every_policy() {
+        let session = GrapeSession::builder()
+            .workers(8)
+            .mode(EngineMode::Async)
+            .max_supersteps(50)
+            .transport(TransportSpec::Channel)
+            .balancer(LoadBalancer { comm_weight: 2.0 })
+            .build()
+            .unwrap();
+        assert_eq!(session.config().num_workers, 8);
+        assert_eq!(session.config().mode, EngineMode::Async);
+        assert_eq!(session.config().max_supersteps, 50);
+        assert_eq!(session.transport(), TransportSpec::Channel);
+        assert!((session.balancer().comm_weight - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transport_defaults_follow_the_mode() {
+        let sync = GrapeSession::builder()
+            .mode(EngineMode::Sync)
+            .build()
+            .unwrap();
+        assert_eq!(sync.transport(), TransportSpec::Barrier);
+        let async_ = GrapeSession::builder()
+            .mode(EngineMode::Async)
+            .build()
+            .unwrap();
+        assert_eq!(async_.transport(), TransportSpec::Channel);
+    }
+
+    #[test]
+    fn async_mode_rejects_barrier_transport() {
+        let err = GrapeSession::builder()
+            .mode(EngineMode::Async)
+            .transport(TransportSpec::Barrier)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, EngineError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn async_mode_rejects_superstep_aligned_fault_tolerance() {
+        let err = GrapeSession::builder()
+            .mode(EngineMode::Async)
+            .checkpoint_every(2)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, EngineError::InvalidConfig(_)));
+        let err = GrapeSession::builder()
+            .mode(EngineMode::Async)
+            .inject_failure(1, 0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, EngineError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn sync_mode_rejects_checkpointing_on_a_streaming_transport() {
+        // ChannelTransport cannot snapshot, so accepting this combination
+        // would silently degrade recovery to restart-from-scratch.
+        let err = GrapeSession::builder()
+            .mode(EngineMode::Sync)
+            .transport(TransportSpec::Channel)
+            .checkpoint_every(1)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, EngineError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn workers_clamped_to_one() {
+        assert_eq!(GrapeSession::with_workers(0).config().num_workers, 1);
+    }
+
+    #[test]
+    fn a_session_is_reusable_across_runs() {
+        let frag = tiny_fragmentation();
+        let session = GrapeSession::with_workers(2);
+        let first = session.run(&frag, &CountVertices, &()).unwrap();
+        let second = session.run(&frag, &CountVertices, &()).unwrap();
+        assert_eq!(first.output, 4);
+        assert_eq!(second.output, 4);
+    }
+
+    #[test]
+    fn config_seed_then_override() {
+        let cfg = EngineConfig::with_workers(3).with_max_supersteps(7);
+        let session = GrapeSession::builder()
+            .config(cfg)
+            .workers(5)
+            .build()
+            .unwrap();
+        assert_eq!(session.config().num_workers, 5);
+        assert_eq!(session.config().max_supersteps, 7);
+    }
+}

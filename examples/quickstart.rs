@@ -31,9 +31,9 @@ fn main() {
     );
 
     // Plug the sequential Dijkstra + incremental Dijkstra (the SSSP PIE
-    // program) into the engine and play.
-    let engine = GrapeEngine::new(EngineConfig::with_workers(2));
-    let result = engine
+    // program) into a GRAPE session and play.
+    let session = GrapeSession::with_workers(2);
+    let result = session
         .run(&fragments, &Sssp, &SsspQuery::new(0))
         .expect("run");
 

@@ -26,13 +26,13 @@ fn main() {
     let fragments = HashEdgeCut::new(4)
         .partition(&data.graph)
         .expect("partition");
-    let engine = GrapeEngine::new(EngineConfig::with_workers(4));
+    let session = GrapeSession::with_workers(4);
     let query = CfQuery {
         epochs: 10,
         num_factors: 8,
         ..Default::default()
     };
-    let run = engine.run(&fragments, &Cf, &query).expect("cf");
+    let run = session.run(&fragments, &Cf, &query).expect("cf");
     let grape_rmse = run.output.rmse(&data.graph);
     println!(
         "\nGRAPE CF: RMSE {:.3} after {} supersteps, {:.3} MB of factor exchange",

@@ -40,9 +40,9 @@ fn main() {
     );
 
     // GRAPE SSSP.
-    let engine = GrapeEngine::new(EngineConfig::with_workers(4));
+    let session = GrapeSession::with_workers(4);
     let query = SsspQuery::new(0);
-    let grape_run = engine.run(&metis, &Sssp, &query).expect("grape sssp");
+    let grape_run = session.run(&metis, &Sssp, &query).expect("grape sssp");
 
     // Vertex-centric (Giraph-style) SSSP on the same graph.
     let (vertex_dist, vertex_metrics) =

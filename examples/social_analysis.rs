@@ -19,10 +19,10 @@ fn main() {
     );
 
     let fragments = MetisLike::new(4).partition(&graph).expect("partition");
-    let engine = GrapeEngine::new(EngineConfig::with_workers(4));
+    let session = GrapeSession::with_workers(4);
 
     // --- Connected components (who can reach whom, ignoring direction). ---
-    let cc = engine.run(&fragments, &Cc, &CcQuery).expect("cc");
+    let cc = session.run(&fragments, &Cc, &CcQuery).expect("cc");
     println!(
         "\nconnected components: {} components found in {} supersteps ({:.4} MB shipped)",
         cc.output.num_components(),
@@ -34,7 +34,7 @@ fn main() {
     // Pattern: someone of community 1 following someone of community 2 who
     // follows back into community 1 (a triangle of interests).
     let pattern = Pattern::new(vec![1, 2, 3], vec![(0, 1), (1, 2), (2, 0)]);
-    let sim = engine
+    let sim = session
         .run(&fragments, &Sim::new(), &SimQuery::new(pattern.clone()))
         .expect("sim");
     println!(
@@ -51,7 +51,7 @@ fn main() {
     }
 
     // --- Subgraph isomorphism: exact embeddings of the same pattern. ---
-    let subiso = engine
+    let subiso = session
         .run(
             &fragments,
             &SubIso,

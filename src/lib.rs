@@ -26,8 +26,8 @@
 //!
 //! // Partition it into 2 fragments with hash edge-cut and run SSSP from 0.
 //! let fragments = HashEdgeCut::new(2).partition(&g).expect("partition");
-//! let engine = GrapeEngine::new(EngineConfig::with_workers(2));
-//! let result = engine.run(&fragments, &Sssp::default(), &SsspQuery::new(0)).unwrap();
+//! let session = GrapeSession::builder().workers(2).build().unwrap();
+//! let result = session.run(&fragments, &Sssp::default(), &SsspQuery::new(0)).unwrap();
 //! assert_eq!(result.output.distance(2), Some(4.0));
 //! ```
 
@@ -45,9 +45,11 @@ pub mod prelude {
     pub use grape_algorithms::sssp::{Sssp, SsspQuery};
     pub use grape_algorithms::subiso::{SubIso, SubIsoQuery};
     pub use grape_core::config::{EngineConfig, EngineMode};
-    pub use grape_core::engine::{GrapeEngine, RunResult};
+    pub use grape_core::engine::RunResult;
     pub use grape_core::metrics::EngineMetrics;
     pub use grape_core::pie::PieProgram;
+    pub use grape_core::session::{GrapeSession, GrapeSessionBuilder};
+    pub use grape_core::transport::{Transport, TransportSpec};
     pub use grape_graph::builder::GraphBuilder;
     pub use grape_graph::generators;
     pub use grape_graph::graph::{Directedness, Graph};

@@ -13,8 +13,8 @@ use rand::{Rng, SeedableRng};
 use grape::algorithms::cc::{connected_components, Cc, CcQuery};
 use grape::algorithms::sim::{graph_simulation, Sim, SimQuery};
 use grape::algorithms::sssp::{dijkstra, Sssp, SsspQuery};
-use grape::core::config::EngineConfig;
-use grape::core::engine::GrapeEngine;
+use grape::core::config::EngineMode;
+use grape::core::session::GrapeSession;
 use grape::graph::builder::GraphBuilder;
 use grape::graph::graph::{Directedness, Graph};
 use grape::graph::pattern::Pattern;
@@ -57,8 +57,8 @@ fn sssp_matches_dijkstra() {
         let source = rng.gen_range(0u64..graph.num_vertices() as u64);
 
         let frag = HashEdgeCut::new(fragments).partition(&graph).unwrap();
-        let engine = GrapeEngine::new(EngineConfig::with_workers(workers));
-        let result = engine.run(&frag, &Sssp, &SsspQuery::new(source)).unwrap();
+        let session = GrapeSession::with_workers(workers);
+        let result = session.run(&frag, &Sssp, &SsspQuery::new(source)).unwrap();
         let expected = dijkstra(&graph, source);
         for (v, d) in expected.iter().enumerate() {
             match result.output.distance(v as u64) {
@@ -84,8 +84,8 @@ fn cc_matches_union_find() {
 
         let undirected = graph.to_undirected();
         let frag = RangeEdgeCut::new(fragments).partition(&undirected).unwrap();
-        let engine = GrapeEngine::new(EngineConfig::with_workers(2));
-        let result = engine.run(&frag, &Cc, &CcQuery).unwrap();
+        let session = GrapeSession::with_workers(2);
+        let result = session.run(&frag, &Cc, &CcQuery).unwrap();
         let expected = connected_components(&undirected);
         for v in undirected.vertices() {
             assert_eq!(
@@ -108,8 +108,8 @@ fn sim_matches_sequential() {
 
         let pattern = Pattern::random(3, 4, &[1, 2, 3, 4], pattern_seed);
         let frag = HashEdgeCut::new(fragments).partition(&graph).unwrap();
-        let engine = GrapeEngine::new(EngineConfig::with_workers(2));
-        let result = engine
+        let session = GrapeSession::with_workers(2);
+        let result = session
             .run(&frag, &Sim::new(), &SimQuery::new(pattern.clone()))
             .unwrap();
         let expected = graph_simulation(&graph, &pattern);
@@ -125,7 +125,10 @@ fn sim_matches_sequential() {
 
 /// Termination and determinism: the same query on the same fragmentation
 /// always produces identical supersteps and identical output regardless of
-/// the number of physical workers.
+/// the number of physical workers.  This is a BSP property — superstep and
+/// message counts are barrier-aligned — so the runs pin synchronous mode
+/// (the barrier-free runtime guarantees identical *output*, which
+/// `async_equivalence.rs` covers, but its metrics depend on scheduling).
 #[test]
 fn deterministic_across_worker_counts() {
     for case in 0..CASES {
@@ -133,11 +136,18 @@ fn deterministic_across_worker_counts() {
         let graph = arb_graph(&mut rng, 30, 80, 0);
         let fragments = rng.gen_range(2usize..5);
 
+        let sync_session = |workers: usize| {
+            GrapeSession::builder()
+                .workers(workers)
+                .mode(EngineMode::Sync)
+                .build()
+                .unwrap()
+        };
         let frag = HashEdgeCut::new(fragments).partition(&graph).unwrap();
-        let a = GrapeEngine::new(EngineConfig::with_workers(1))
+        let a = sync_session(1)
             .run(&frag, &Sssp, &SsspQuery::new(0))
             .unwrap();
-        let b = GrapeEngine::new(EngineConfig::with_workers(4))
+        let b = sync_session(4)
             .run(&frag, &Sssp, &SsspQuery::new(0))
             .unwrap();
         assert_eq!(

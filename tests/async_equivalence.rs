@@ -1,0 +1,158 @@
+//! Equivalence of the barrier-free runtime: under the monotonic condition
+//! of the Assurance Theorem, [`EngineMode::Async`] (fragments as independent
+//! tasks draining streaming mailboxes, no global superstep barrier) must
+//! produce *exactly* the output of the BSP runtime — for SSSP, CC and graph
+//! simulation over seeded random graphs, partitions and worker counts.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use grape::algorithms::cc::{Cc, CcQuery};
+use grape::algorithms::sim::{Sim, SimQuery};
+use grape::algorithms::sssp::{Sssp, SsspQuery};
+use grape::core::config::EngineMode;
+use grape::core::session::GrapeSession;
+use grape::graph::builder::GraphBuilder;
+use grape::graph::graph::{Directedness, Graph};
+use grape::graph::pattern::Pattern;
+use grape::partition::edge_cut::HashEdgeCut;
+use grape::partition::strategy::PartitionStrategy;
+
+const CASES: u64 = 16;
+
+fn session(workers: usize, mode: EngineMode) -> GrapeSession {
+    GrapeSession::builder()
+        .workers(workers)
+        .mode(mode)
+        .build()
+        .unwrap()
+}
+
+/// A random directed weighted labeled graph (same generator family as
+/// `assurance.rs`).
+fn arb_graph(rng: &mut StdRng, max_n: u64, max_m: usize, labels: u32) -> Graph {
+    let n = rng.gen_range(2..max_n);
+    let m = rng.gen_range(1..max_m);
+    let mut b = GraphBuilder::new(Directedness::Directed).ensure_vertices(n as usize);
+    for _ in 0..m {
+        let s = rng.gen_range(0..n);
+        let d = rng.gen_range(0..n);
+        let w = rng.gen_range(1u32..10u32);
+        if s != d {
+            b.push_edge(grape::graph::types::Edge::weighted(s, d, w as f64));
+        }
+    }
+    if labels > 0 {
+        for v in 0..n {
+            b.push_vertex_label(v, (v as u32 % labels) + 1);
+        }
+    }
+    b.build()
+}
+
+#[test]
+fn sssp_async_output_equals_sync_output() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xA5_0100 + case);
+        let graph = arb_graph(&mut rng, 60, 220, 0);
+        let fragments = rng.gen_range(2usize..6);
+        let workers = rng.gen_range(1usize..5);
+        let source = rng.gen_range(0u64..graph.num_vertices() as u64);
+
+        let frag = HashEdgeCut::new(fragments).partition(&graph).unwrap();
+        let query = SsspQuery::new(source);
+        let sync = session(workers, EngineMode::Sync)
+            .run(&frag, &Sssp, &query)
+            .unwrap();
+        let async_ = session(workers, EngineMode::Async)
+            .run(&frag, &Sssp, &query)
+            .unwrap();
+        for v in graph.vertices() {
+            assert_eq!(
+                sync.output.distance(v),
+                async_.output.distance(v),
+                "case {case}: distance of vertex {v}"
+            );
+        }
+    }
+}
+
+#[test]
+fn cc_async_output_equals_sync_output() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xA5_0200 + case);
+        let graph = arb_graph(&mut rng, 60, 180, 0).to_undirected();
+        let fragments = rng.gen_range(2usize..6);
+        let workers = rng.gen_range(1usize..5);
+
+        let frag = HashEdgeCut::new(fragments).partition(&graph).unwrap();
+        let sync = session(workers, EngineMode::Sync)
+            .run(&frag, &Cc, &CcQuery)
+            .unwrap();
+        let async_ = session(workers, EngineMode::Async)
+            .run(&frag, &Cc, &CcQuery)
+            .unwrap();
+        for v in graph.vertices() {
+            assert_eq!(
+                sync.output.component(v),
+                async_.output.component(v),
+                "case {case}: component of vertex {v}"
+            );
+        }
+    }
+}
+
+#[test]
+fn sim_async_output_equals_sync_output() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xA5_0300 + case);
+        let graph = arb_graph(&mut rng, 50, 160, 4);
+        let fragments = rng.gen_range(2usize..5);
+        let workers = rng.gen_range(1usize..5);
+        let pattern_seed = rng.gen_range(0u64..500);
+
+        let pattern = Pattern::random(3, 4, &[1, 2, 3, 4], pattern_seed);
+        let frag = HashEdgeCut::new(fragments).partition(&graph).unwrap();
+        let query = SimQuery::new(pattern);
+        let sync = session(workers, EngineMode::Sync)
+            .run(&frag, &Sim::new(), &query)
+            .unwrap();
+        let async_ = session(workers, EngineMode::Async)
+            .run(&frag, &Sim::new(), &query)
+            .unwrap();
+        assert_eq!(
+            sync.output.relation(),
+            async_.output.relation(),
+            "case {case}"
+        );
+    }
+}
+
+/// The point of going barrier-free: on a high-diameter workload the slowest
+/// fragment needs no more evaluation rounds than the BSP superstep count,
+/// because fresher values arrive without waiting for a barrier.
+#[test]
+fn async_supersteps_never_exceed_sync_on_high_diameter_graph() {
+    // A long path of fragments — the worst case for BSP round-trips.
+    let mut b = GraphBuilder::directed();
+    for v in 0..120u64 {
+        b.push_edge(grape::graph::types::Edge::weighted(v, v + 1, 1.0));
+    }
+    let graph = b.build();
+    let frag = grape::partition::edge_cut::RangeEdgeCut::new(6)
+        .partition(&graph)
+        .unwrap();
+    let query = SsspQuery::new(0);
+    let sync = session(3, EngineMode::Sync)
+        .run(&frag, &Sssp, &query)
+        .unwrap();
+    let async_ = session(3, EngineMode::Async)
+        .run(&frag, &Sssp, &query)
+        .unwrap();
+    assert!(
+        async_.metrics.supersteps <= sync.metrics.supersteps,
+        "async {} vs sync {}",
+        async_.metrics.supersteps,
+        sync.metrics.supersteps
+    );
+}

@@ -9,8 +9,8 @@ use grape::algorithms::sssp::{dijkstra, Sssp, SsspQuery};
 use grape::algorithms::subiso::{subgraph_isomorphism, SubIso, SubIsoQuery};
 use grape::baselines::block_centric::{BlockCentricEngine, BlockSim};
 use grape::baselines::vertex_centric::{VertexCentricEngine, VertexSssp};
-use grape::core::config::EngineConfig;
-use grape::core::engine::GrapeEngine;
+use grape::core::config::EngineMode;
+use grape::core::session::GrapeSession;
 use grape::graph::generators;
 use grape::graph::pattern::Pattern;
 use grape::partition::edge_cut::HashEdgeCut;
@@ -24,20 +24,20 @@ use grape::partition::vertex_cut::GreedyVertexCut;
 fn all_five_query_classes_run_on_one_partitioned_graph() {
     let graph = generators::labeled_kg(1_000, 4_000, 20, 10, 42);
     let frag = MetisLike::new(4).partition(&graph).unwrap();
-    let engine = GrapeEngine::new(EngineConfig::with_workers(4));
+    let session = GrapeSession::with_workers(4);
 
-    let sssp = engine.run(&frag, &Sssp, &SsspQuery::new(0)).unwrap();
+    let sssp = session.run(&frag, &Sssp, &SsspQuery::new(0)).unwrap();
     assert!(sssp.output.num_reached() >= 1);
 
-    let cc = engine.run(&frag, &Cc, &CcQuery).unwrap();
+    let cc = session.run(&frag, &Cc, &CcQuery).unwrap();
     assert!(cc.output.num_components() >= 1);
 
     let alphabet: Vec<u32> = (1..=20).collect();
     let pattern = Pattern::random(4, 6, &alphabet, 7);
-    let sim = engine
+    let sim = session
         .run(&frag, &Sim::new(), &SimQuery::new(pattern.clone()))
         .unwrap();
-    let subiso = engine
+    let subiso = session
         .run(
             &frag,
             &SubIso,
@@ -63,7 +63,7 @@ fn all_five_query_classes_run_on_one_partitioned_graph() {
 fn every_partition_strategy_yields_the_same_sssp_answer() {
     let graph = generators::power_law(800, 3_200, 0, 9);
     let expected = dijkstra(&graph, 0);
-    let engine = GrapeEngine::new(EngineConfig::with_workers(3));
+    let session = GrapeSession::with_workers(3);
     let strategies: Vec<Box<dyn PartitionStrategy>> = vec![
         Box::new(HashEdgeCut::new(5)),
         Box::new(MetisLike::new(5)),
@@ -74,7 +74,7 @@ fn every_partition_strategy_yields_the_same_sssp_answer() {
     ];
     for strategy in strategies {
         let frag = strategy.partition(&graph).unwrap();
-        let result = engine.run(&frag, &Sssp, &SsspQuery::new(0)).unwrap();
+        let result = session.run(&frag, &Sssp, &SsspQuery::new(0)).unwrap();
         for (v, d) in expected.iter().enumerate() {
             match result.output.distance(v as u64) {
                 Some(got) => assert!(
@@ -94,9 +94,9 @@ fn grape_baselines_and_sequential_agree_on_subiso_and_sim() {
     let alphabet: Vec<u32> = (1..=6).collect();
     let pattern = Pattern::random(3, 4, &alphabet, 23);
     let frag = HashEdgeCut::new(4).partition(&graph).unwrap();
-    let engine = GrapeEngine::new(EngineConfig::with_workers(2));
+    let session = GrapeSession::with_workers(2);
 
-    let grape_subiso = engine
+    let grape_subiso = session
         .run(&frag, &SubIso, &SubIsoQuery::new(pattern.clone()))
         .unwrap()
         .output;
@@ -104,7 +104,7 @@ fn grape_baselines_and_sequential_agree_on_subiso_and_sim() {
     expected.sort_unstable();
     assert_eq!(grape_subiso.matches(), expected.as_slice());
 
-    let grape_sim = engine
+    let grape_sim = session
         .run(&frag, &Sim::new(), &SimQuery::new(pattern.clone()))
         .unwrap()
         .output;
@@ -120,17 +120,25 @@ fn fault_tolerance_and_async_mode_preserve_answers() {
     let query = SsspQuery::new(0);
     let expected = dijkstra(&graph, 0);
 
-    // Checkpoint every superstep, kill fragment 2 at superstep 3.
-    let fault_config = EngineConfig::with_workers(3)
-        .with_checkpoint_every(1)
-        .with_injected_failure(3, 2);
-    let faulty = GrapeEngine::new(fault_config)
+    // Checkpoint every superstep, kill fragment 2 at superstep 3.  Fault
+    // tolerance is superstep-aligned, so this run pins synchronous mode.
+    let faulty = GrapeSession::builder()
+        .workers(3)
+        .mode(EngineMode::Sync)
+        .checkpoint_every(1)
+        .inject_failure(3, 2)
+        .build()
+        .unwrap()
         .run(&frag, &Sssp, &query)
         .unwrap();
     assert_eq!(faulty.metrics.recovered_failures, 1);
 
-    // Asynchronous extension.
-    let async_run = GrapeEngine::new(EngineConfig::with_workers(3).asynchronous())
+    // Asynchronous (barrier-free) extension.
+    let async_run = GrapeSession::builder()
+        .workers(3)
+        .mode(EngineMode::Async)
+        .build()
+        .unwrap()
         .run(&frag, &Sssp, &query)
         .unwrap();
 
@@ -140,24 +148,34 @@ fn fault_tolerance_and_async_mode_preserve_answers() {
             assert!((async_run.output.distance(v as u64).unwrap() - d).abs() < 1e-9);
         }
     }
-    // The asynchronous sweep needs no more supersteps than the synchronous one.
-    let sync_run = GrapeEngine::new(EngineConfig::with_workers(3))
+    // The barrier-free runtime needs no more supersteps (longest causal
+    // message chain) than the synchronous run.
+    let sync_run = GrapeSession::builder()
+        .workers(3)
+        .mode(EngineMode::Sync)
+        .build()
+        .unwrap()
         .run(&frag, &Sssp, &query)
         .unwrap();
-    assert!(async_run.metrics.supersteps <= sync_run.metrics.supersteps);
+    assert!(
+        async_run.metrics.supersteps <= sync_run.metrics.supersteps,
+        "async {} vs sync {}",
+        async_run.metrics.supersteps,
+        sync_run.metrics.supersteps
+    );
 }
 
 #[test]
 fn cf_pipeline_learns_on_generated_ratings() {
     let data = generators::bipartite_ratings(200, 80, 4_000, 6, 5);
     let frag = HashEdgeCut::new(4).partition(&data.graph).unwrap();
-    let engine = GrapeEngine::new(EngineConfig::with_workers(4));
+    let session = GrapeSession::with_workers(4);
     let query = CfQuery {
         epochs: 8,
         num_factors: 6,
         ..Default::default()
     };
-    let run = engine.run(&frag, &Cf, &query).unwrap();
+    let run = session.run(&frag, &Cf, &query).unwrap();
     let rmse = run.output.rmse(&data.graph);
     assert!(
         rmse < 0.9,
@@ -191,7 +209,7 @@ fn grape_beats_vertex_centric_on_road_network_metrics() {
     let graph = generators::road_grid(30, 30, 8);
     let frag = MetisLike::new(4).partition(&graph).unwrap();
     let query = SsspQuery::new(0);
-    let grape = GrapeEngine::new(EngineConfig::with_workers(4))
+    let grape = GrapeSession::with_workers(4)
         .run(&frag, &Sssp, &query)
         .unwrap();
     let (_, vertex) = VertexCentricEngine::new(4).run(&graph, &VertexSssp, &query);

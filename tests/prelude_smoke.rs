@@ -12,8 +12,11 @@ fn prelude_exposes_the_advertised_surface() {
     // Construction surface.
     let _builder: GraphBuilder = GraphBuilder::new(Directedness::Directed);
     let _strategy: HashEdgeCut = HashEdgeCut::new(2);
-    let _engine: GrapeEngine = GrapeEngine::new(EngineConfig::with_workers(1));
-    let _mode: EngineMode = EngineMode::Synchronous;
+    let _session: GrapeSession = GrapeSession::with_workers(1);
+    let _session_builder: GrapeSessionBuilder = GrapeSession::builder();
+    let _config: EngineConfig = EngineConfig::with_workers(1);
+    let _mode: EngineMode = EngineMode::Sync;
+    let _transport: TransportSpec = TransportSpec::Barrier;
 
     // The five query classes of the paper (Section 5).
     fn is_pie_program<P: PieProgram>(_p: &P) {}
@@ -45,8 +48,11 @@ fn prelude_supports_an_end_to_end_run() {
         .add_weighted_edge(0, 2, 10.0)
         .build();
     let fragments = HashEdgeCut::new(2).partition(&g).expect("partition");
-    let engine = GrapeEngine::new(EngineConfig::with_workers(2));
-    let result: RunResult<_> = engine
+    let session = GrapeSession::builder()
+        .workers(2)
+        .build()
+        .expect("valid session");
+    let result: RunResult<_> = session
         .run(&fragments, &Sssp, &SsspQuery::new(0))
         .expect("run");
     assert_eq!(result.output.distance(2), Some(4.0));

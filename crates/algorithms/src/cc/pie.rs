@@ -10,11 +10,20 @@
 //!   link — `O(|M_i| + |AFF|)`, independent of `|F_i|` (the paper's bounded
 //!   incremental step).
 //! * Assemble: vertices with equal `cid` form one component.
+//!
+//! CC also implements [`IncrementalPie`]: *insert-only* deltas are monotone
+//! (components only merge, minimum ids only decrease), so `Q(G ⊕ ΔG)` is
+//! refreshed by re-deriving the local component structure of the affected
+//! fragments — seeded with the retained cids — and shipping the border cids
+//! that decreased.  Deletions can split components, so they fall back to a
+//! full re-preparation.
 
 use std::collections::HashMap;
 
-use grape_core::pie::{Messages, PieProgram};
+use grape_core::pie::{IncrementalPie, Messages, PieProgram};
+use grape_graph::delta::GraphDelta;
 use grape_graph::types::VertexId;
+use grape_partition::delta::FragmentDelta;
 use grape_partition::fragment::Fragment;
 use grape_partition::fragmentation_graph::BorderScope;
 
@@ -79,6 +88,57 @@ pub struct CcPartial {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Cc;
 
+impl Cc {
+    /// Derives the local component structure of a fragment — union-find over
+    /// *all* local vertices (outer copies included: the cross edge that
+    /// brought them in connects them locally), root numbering, border-member
+    /// lists — seeding each component's cid with `seed_cid(global)` over its
+    /// members.  PEval seeds with the vertex's own id; the incremental
+    /// rebase additionally folds in the retained cids, which is what makes
+    /// component *merges* (the only change an insert-only delta can cause)
+    /// pick up the previously-propagated minima.
+    fn local_structure(frag: &Fragment, seed_cid: impl Fn(VertexId) -> VertexId) -> CcPartial {
+        let k = frag.num_local();
+        let mut uf = UnionFind::new(k);
+        for l in frag.all_locals() {
+            for n in frag.out_edges(l) {
+                uf.union(l as usize, n.target as usize);
+            }
+        }
+        let mut root_index: HashMap<usize, usize> = HashMap::new();
+        let mut component_of = vec![0usize; k];
+        let mut component_cid: Vec<VertexId> = Vec::new();
+        let mut border_members: Vec<Vec<u32>> = Vec::new();
+        for (l, slot) in component_of.iter_mut().enumerate() {
+            let root = uf.find(l);
+            let idx = *root_index.entry(root).or_insert_with(|| {
+                component_cid.push(VertexId::MAX);
+                border_members.push(Vec::new());
+                component_cid.len() - 1
+            });
+            *slot = idx;
+            let g = frag.global_of(l as u32);
+            component_cid[idx] = component_cid[idx].min(seed_cid(g));
+        }
+        // The inner border is included alongside F_i.O so that vertex-cut
+        // partitions (shared vertices) also propagate component ids; under
+        // edge-cut these extra values have no destination and cost nothing.
+        for &l in frag
+            .out_border_locals()
+            .iter()
+            .chain(frag.in_border_locals())
+        {
+            border_members[component_of[l as usize]].push(l);
+        }
+        CcPartial {
+            component_of,
+            component_cid,
+            border_members,
+            globals: frag.all_locals().map(|l| frag.global_of(l)).collect(),
+        }
+    }
+}
+
 impl PieProgram for Cc {
     type Query = CcQuery;
     type Partial = CcPartial;
@@ -100,55 +160,19 @@ impl PieProgram for Cc {
         frag: &Fragment,
         ctx: &mut Messages<VertexId, VertexId>,
     ) -> CcPartial {
-        let k = frag.num_local();
-        // Local components over *all* local vertices (outer copies included —
-        // the cross edge that brought them in connects them locally).
-        let mut uf = UnionFind::new(k);
-        for l in frag.all_locals() {
-            for n in frag.out_edges(l) {
-                uf.union(l as usize, n.target as usize);
-            }
-        }
-        // Root numbering and minimum global id per component.
-        let mut root_index: HashMap<usize, usize> = HashMap::new();
-        let mut component_of = vec![0usize; k];
-        let mut component_cid: Vec<VertexId> = Vec::new();
-        let mut border_members: Vec<Vec<u32>> = Vec::new();
-        for (l, slot) in component_of.iter_mut().enumerate() {
-            let root = uf.find(l);
-            let idx = *root_index.entry(root).or_insert_with(|| {
-                component_cid.push(VertexId::MAX);
-                border_members.push(Vec::new());
-                component_cid.len() - 1
-            });
-            *slot = idx;
-            let g = frag.global_of(l as u32);
-            component_cid[idx] = component_cid[idx].min(g);
-        }
-        // The inner border is included alongside F_i.O so that vertex-cut
-        // partitions (shared vertices) also propagate component ids; under
-        // edge-cut these extra values have no destination and cost nothing.
-        for &l in frag
-            .out_border_locals()
-            .iter()
-            .chain(frag.in_border_locals())
-        {
-            border_members[component_of[l as usize]].push(l);
-        }
+        let partial = Self::local_structure(frag, |g| g);
         // Message segment: cid of every border vertex.
         for &l in frag
             .out_border_locals()
             .iter()
             .chain(frag.in_border_locals())
         {
-            ctx.send(frag.global_of(l), component_cid[component_of[l as usize]]);
+            ctx.send(
+                frag.global_of(l),
+                partial.component_cid[partial.component_of[l as usize]],
+            );
         }
-        CcPartial {
-            component_of,
-            component_cid,
-            border_members,
-            globals: frag.all_locals().map(|l| frag.global_of(l)).collect(),
-        }
+        partial
     }
 
     fn inc_eval(
@@ -202,6 +226,52 @@ impl PieProgram for Cc {
 
     fn aggregate(&self, _key: &VertexId, a: VertexId, b: VertexId) -> VertexId {
         a.min(b)
+    }
+}
+
+impl IncrementalPie for Cc {
+    /// Insertions only merge components and decrease minimum ids — monotone
+    /// under the `min` order.  Removals can split components.
+    fn delta_is_monotone(&self, delta: &GraphDelta) -> bool {
+        !delta.has_removals()
+    }
+
+    /// Component merge: re-derive the fragment's local structure with cids
+    /// seeded from the retained values (so merged components inherit the
+    /// smaller propagated minimum), then ship every border cid that
+    /// decreased — including those of brand-new border vertices, whose
+    /// holders have no value yet.
+    fn rebase(
+        &self,
+        _query: &CcQuery,
+        _old_frag: &Fragment,
+        new_frag: &Fragment,
+        partial: CcPartial,
+        _delta: &FragmentDelta,
+    ) -> (CcPartial, Vec<(VertexId, VertexId)>) {
+        let old_cid_of: HashMap<VertexId, VertexId> = partial
+            .globals
+            .iter()
+            .enumerate()
+            .map(|(l, &g)| (g, partial.component_cid[partial.component_of[l]]))
+            .collect();
+        let rebased = Self::local_structure(new_frag, |g| {
+            old_cid_of.get(&g).copied().unwrap_or(g).min(g)
+        });
+        let mut sends = Vec::new();
+        for &l in new_frag
+            .out_border_locals()
+            .iter()
+            .chain(new_frag.in_border_locals())
+        {
+            let g = new_frag.global_of(l);
+            let new_cid = rebased.component_cid[rebased.component_of[l as usize]];
+            let old_cid = old_cid_of.get(&g).copied().unwrap_or(VertexId::MAX);
+            if new_cid < old_cid {
+                sends.push((g, new_cid));
+            }
+        }
+        (rebased, sends)
     }
 }
 
@@ -287,6 +357,55 @@ mod tests {
         let result = run_cc(&g, 2, 1);
         assert_eq!(result.component(5), Some(3));
         assert_eq!(result.component(9), Some(3));
+    }
+
+    #[test]
+    fn prepared_update_merges_components_without_peval() {
+        use grape_graph::delta::GraphDelta;
+
+        let g = GraphBuilder::undirected()
+            .add_edge(0, 1)
+            .add_edge(1, 2)
+            .add_edge(10, 11)
+            .add_edge(11, 12)
+            .ensure_vertices(13)
+            .build();
+        let frag = RangeEdgeCut::new(3).partition(&g).unwrap();
+        let session = GrapeSession::with_workers(2);
+        let mut prepared = session.prepare(frag, Cc, CcQuery).unwrap();
+        assert!(!prepared.output().same_component(2, 10));
+
+        // Bridge the two components across fragments.
+        let report = prepared.update(&GraphDelta::new().add_edge(2, 10)).unwrap();
+        assert!(report.incremental);
+        assert_eq!(report.metrics.peval_calls, 0);
+
+        let merged = prepared.output();
+        assert!(merged.same_component(0, 12));
+        assert_eq!(merged.component(12), Some(0));
+        assert_matches_sequential(prepared.fragmentation().source(), &merged);
+
+        // A second, purely redundant edge changes nothing but stays cheap.
+        let report = prepared.update(&GraphDelta::new().add_edge(0, 12)).unwrap();
+        assert!(report.incremental);
+        assert_eq!(report.metrics.peval_calls, 0);
+        assert_matches_sequential(prepared.fragmentation().source(), &prepared.output());
+    }
+
+    #[test]
+    fn prepared_update_falls_back_on_vertex_removal() {
+        use grape_graph::delta::GraphDelta;
+
+        let g = erdos_renyi(60, 80, 0, Directedness::Undirected, 4);
+        let frag = HashEdgeCut::new(3).partition(&g).unwrap();
+        let session = GrapeSession::with_workers(2);
+        let mut prepared = session.prepare(frag, Cc, CcQuery).unwrap();
+        let report = prepared
+            .update(&GraphDelta::new().remove_vertex(7))
+            .unwrap();
+        assert!(!report.incremental, "removals can split components");
+        assert!(report.metrics.peval_calls > 0);
+        assert_matches_sequential(prepared.fragmentation().source(), &prepared.output());
     }
 
     #[test]

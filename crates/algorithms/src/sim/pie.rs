@@ -13,12 +13,23 @@
 //!   the counter-based removal propagation, touching only the affected area.
 //! * Assemble — union of the per-fragment matches of inner vertices; if some
 //!   query node ends up with no match anywhere, `Q(G) = ∅`.
+//!
+//! Sim also implements [`IncrementalPie`], with the monotone direction
+//! *reversed* relative to SSSP/CC: **deletions** are monotone (removing
+//! edges or vertices can only invalidate matches — `x_(u, v)` flips `true →
+//! false`, never back), while insertions can resurrect matches and fall
+//! back to a full re-preparation.  The rebase step is exactly the paper's
+//! incremental match invalidation: remap the retained relation, recompute
+//! the witness counters on the shrunken fragment, and propagate removals
+//! from the violations the deletion introduced.
 
 use std::collections::{HashMap, HashSet};
 
-use grape_core::pie::{Messages, PieProgram};
+use grape_core::pie::{IncrementalPie, Messages, PieProgram};
+use grape_graph::delta::GraphDelta;
 use grape_graph::pattern::Pattern;
 use grape_graph::types::VertexId;
+use grape_partition::delta::FragmentDelta;
 use grape_partition::fragment::Fragment;
 use grape_partition::fragmentation_graph::BorderScope;
 
@@ -341,6 +352,72 @@ impl PieProgram for Sim {
     }
 }
 
+impl IncrementalPie for Sim {
+    /// The monotone direction is *deletions*: they can only flip match
+    /// variables `true → false` (the order of the preamble).  Insertions can
+    /// make a falsified variable true again, which the retained relation
+    /// cannot express.
+    fn delta_is_monotone(&self, delta: &GraphDelta) -> bool {
+        !delta.has_insertions()
+    }
+
+    /// Match invalidation: remap the retained relation onto the shrunken
+    /// fragment (dropped vertices leave the matrices), recompute the witness
+    /// counters against the new adjacency, and run the counter-based removal
+    /// propagation from the violations the deleted edges introduced.  The
+    /// newly falsified in-border pairs are the seeds.
+    fn rebase(
+        &self,
+        query: &SimQuery,
+        _old_frag: &Fragment,
+        new_frag: &Fragment,
+        partial: SimPartial,
+        _delta: &FragmentDelta,
+    ) -> (SimPartial, Vec<((u32, VertexId), bool)>) {
+        let pattern = &query.pattern;
+        let q = pattern.num_nodes();
+        let k = new_frag.num_local();
+        let old_index: HashMap<VertexId, usize> = partial
+            .globals
+            .iter()
+            .enumerate()
+            .map(|(i, &g)| (g, i))
+            .collect();
+        let mut sim: Vec<Vec<bool>> = (0..q)
+            .map(|u| {
+                (0..k as u32)
+                    .map(|l| match old_index.get(&new_frag.global_of(l)) {
+                        Some(&i) => partial.sim[u][i],
+                        // Unreachable for a deletion-only delta, but keep
+                        // PEval's optimistic label-match initialization.
+                        None => new_frag.label(l) == pattern.label(u as u32),
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut cnt = compute_cnt(new_frag, pattern, &sim);
+        let in_border: HashSet<u32> = new_frag.in_border_locals().iter().copied().collect();
+        let worklist = initial_violations(new_frag, pattern, &mut sim, &cnt);
+        let newly_false = propagate(new_frag, pattern, &mut sim, &mut cnt, worklist, &in_border);
+        let sends = newly_false
+            .into_iter()
+            .map(|(u, l)| ((u, new_frag.global_of(l)), false))
+            .collect();
+        (
+            SimPartial {
+                sim,
+                cnt,
+                globals: new_frag
+                    .all_locals()
+                    .map(|l| new_frag.global_of(l))
+                    .collect(),
+                num_inner: new_frag.num_inner(),
+            },
+            sends,
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -414,6 +491,59 @@ mod tests {
             .unwrap()
             .output;
         assert_matches_sequential(&g, &pattern, &result);
+    }
+
+    #[test]
+    fn prepared_update_invalidates_matches_without_peval() {
+        use grape_graph::delta::GraphDelta;
+
+        let g = labeled_kg(200, 900, 4, 2, 21);
+        let alphabet: Vec<u32> = (1..=4).collect();
+        let pattern = Pattern::random(3, 4, &alphabet, 33);
+        let frag = HashEdgeCut::new(4).partition(&g).unwrap();
+        let session = GrapeSession::with_workers(2);
+        let mut prepared = session
+            .prepare(frag, Sim::new(), SimQuery::new(pattern.clone()))
+            .unwrap();
+
+        // Delete a handful of edges (the monotone direction for Sim).
+        let mut delta = GraphDelta::new();
+        for e in g.edges().iter().step_by(97).take(6) {
+            delta = delta.remove_edge(e.src, e.dst);
+        }
+        let report = prepared.update(&delta).unwrap();
+        assert!(
+            report.incremental,
+            "deletions take the IncEval path for Sim"
+        );
+        assert_eq!(report.metrics.peval_calls, 0);
+        assert_matches_sequential(
+            prepared.fragmentation().source(),
+            &pattern,
+            &prepared.output(),
+        );
+    }
+
+    #[test]
+    fn prepared_update_falls_back_on_insertion() {
+        use grape_graph::delta::GraphDelta;
+
+        let g = labeled_kg(120, 500, 3, 2, 8);
+        let alphabet: Vec<u32> = (1..=3).collect();
+        let pattern = Pattern::random(3, 4, &alphabet, 5);
+        let frag = HashEdgeCut::new(3).partition(&g).unwrap();
+        let session = GrapeSession::with_workers(2);
+        let mut prepared = session
+            .prepare(frag, Sim::new(), SimQuery::new(pattern.clone()))
+            .unwrap();
+        let report = prepared.update(&GraphDelta::new().add_edge(0, 1)).unwrap();
+        assert!(!report.incremental, "insertions can resurrect matches");
+        assert!(report.metrics.peval_calls > 0);
+        assert_matches_sequential(
+            prepared.fragmentation().source(),
+            &pattern,
+            &prepared.output(),
+        );
     }
 
     #[test]

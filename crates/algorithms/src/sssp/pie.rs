@@ -7,12 +7,21 @@
 //!   distances received in `M_i`.
 //! * Assemble: union of the per-fragment distances, taking the minimum for
 //!   border vertices.
+//!
+//! SSSP also implements [`IncrementalPie`]: *insert-only* deltas are
+//! monotone (a new edge can only shorten distances), so `Q(G ⊕ ΔG)` is
+//! refreshed by re-relaxing around the inserted edges and letting IncEval
+//! propagate the improvements — no PEval.  Deletions can lengthen shortest
+//! paths, which the min-aggregated variables cannot express, so they fall
+//! back to a full re-preparation.
 
 use std::collections::BinaryHeap;
 use std::collections::HashMap;
 
-use grape_core::pie::{Messages, PieProgram};
+use grape_core::pie::{IncrementalPie, Messages, PieProgram};
+use grape_graph::delta::GraphDelta;
 use grape_graph::types::VertexId;
+use grape_partition::delta::FragmentDelta;
 use grape_partition::fragment::Fragment;
 use grape_partition::fragmentation_graph::BorderScope;
 
@@ -214,6 +223,82 @@ impl PieProgram for Sssp {
     }
 }
 
+impl IncrementalPie for Sssp {
+    /// Edge/vertex insertions only decrease distances — monotone under the
+    /// `min` order.  Any removal can increase them, which the retained
+    /// variables cannot express.
+    fn delta_is_monotone(&self, delta: &GraphDelta) -> bool {
+        !delta.has_removals()
+    }
+
+    /// Edge-insert relaxation: remap the retained distances onto the rebuilt
+    /// fragment (new vertices start at `∞`, the source at `0`), re-relax
+    /// from every endpoint of an inserted local edge, and ship the border
+    /// distances that improved.
+    fn rebase(
+        &self,
+        query: &SsspQuery,
+        _old_frag: &Fragment,
+        new_frag: &Fragment,
+        partial: SsspPartial,
+        delta: &FragmentDelta,
+    ) -> (SsspPartial, Vec<(VertexId, f64)>) {
+        let old_index: HashMap<VertexId, usize> = partial
+            .globals
+            .iter()
+            .enumerate()
+            .map(|(i, &g)| (g, i))
+            .collect();
+        let mut dist = vec![INF; new_frag.num_local()];
+        for l in new_frag.all_locals() {
+            if let Some(&i) = old_index.get(&new_frag.global_of(l)) {
+                dist[l as usize] = partial.dist[i];
+            }
+        }
+        let previous = dist.clone();
+
+        let mut heap = BinaryHeap::new();
+        // A newly local copy of the source (new vertex, or fresh outer copy)
+        // anchors at distance 0, exactly as PEval would.
+        if let Some(sl) = new_frag.local_of(query.source) {
+            if dist[sl as usize] > 0.0 {
+                dist[sl as usize] = 0.0;
+                heap.push(MinDist {
+                    dist: 0.0,
+                    vertex: sl,
+                });
+            }
+        }
+        // Re-relax from the endpoints of every inserted local edge; the new
+        // adjacency (which includes those edges) does the rest.
+        for e in &delta.added_edges {
+            for v in [e.src, e.dst] {
+                if let Some(l) = new_frag.local_of(v) {
+                    let d = dist[l as usize];
+                    if d.is_finite() {
+                        heap.push(MinDist { dist: d, vertex: l });
+                    }
+                }
+            }
+        }
+        Self::relax(new_frag, &mut dist, heap);
+
+        let mut msgs = Messages::new();
+        Self::send_border(new_frag, &dist, Some(&previous), &mut msgs);
+        let sends = msgs.take();
+        (
+            SsspPartial {
+                dist,
+                globals: new_frag
+                    .all_locals()
+                    .map(|l| new_frag.global_of(l))
+                    .collect(),
+            },
+            sends,
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -297,6 +382,60 @@ mod tests {
             assert_eq!(out.num_reached(), base.num_reached(), "m = {m}");
             for (v, d) in base.distances() {
                 assert!((out.distance(*v).unwrap() - d).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn prepared_update_relaxes_inserted_edges_without_peval() {
+        use grape_graph::delta::GraphDelta;
+
+        let g = road_grid(8, 8, 3);
+        let frag = HashEdgeCut::new(3).partition(&g).unwrap();
+        let session = GrapeSession::with_workers(2);
+        let mut prepared = session.prepare(frag, Sssp, SsspQuery::new(0)).unwrap();
+
+        // A shortcut from the source into the far corner's neighborhood.
+        let far = (g.num_vertices() - 1) as VertexId;
+        let delta = GraphDelta::new().add_weighted_edge(0, far, 0.25);
+        let report = prepared.update(&delta).unwrap();
+        assert!(
+            report.incremental,
+            "insert-only deltas take the IncEval path"
+        );
+        assert_eq!(report.metrics.peval_calls, 0);
+        assert!(report.affected_fragments >= 1);
+
+        let expected = dijkstra(prepared.fragmentation().source(), 0);
+        for (v, d) in expected.iter().enumerate() {
+            match prepared.output().distance(v as VertexId) {
+                Some(got) => assert!((got - d).abs() < 1e-9, "vertex {v}: {got} vs {d}"),
+                None => assert!(!d.is_finite(), "vertex {v}"),
+            }
+        }
+        assert_eq!(prepared.output().distance(far), Some(0.25));
+    }
+
+    #[test]
+    fn prepared_update_falls_back_on_deletion() {
+        use grape_graph::delta::GraphDelta;
+
+        let g = road_grid(6, 6, 9);
+        let frag = HashEdgeCut::new(2).partition(&g).unwrap();
+        let session = GrapeSession::with_workers(2);
+        let mut prepared = session.prepare(frag, Sssp, SsspQuery::new(0)).unwrap();
+        let e = g.edges()[0];
+        let report = prepared
+            .update(&GraphDelta::new().remove_edge(e.src, e.dst))
+            .unwrap();
+        assert!(!report.incremental, "deletions are not monotone for SSSP");
+        assert!(report.metrics.peval_calls > 0);
+
+        let expected = dijkstra(prepared.fragmentation().source(), 0);
+        for (v, d) in expected.iter().enumerate() {
+            match prepared.output().distance(v as VertexId) {
+                Some(got) => assert!((got - d).abs() < 1e-9, "vertex {v}: {got} vs {d}"),
+                None => assert!(!d.is_finite(), "vertex {v}"),
             }
         }
     }

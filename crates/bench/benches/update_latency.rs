@@ -1,0 +1,88 @@
+//! Prepared-query update latency: absorbing one `ΔG` batch through
+//! `PreparedQuery::update` vs answering the same query from scratch on the
+//! updated graph.
+//!
+//! Both sides pay the partition maintenance (`Fragmentation::apply_delta`):
+//! the incremental iteration clones the prepared handle and calls
+//! `update(&delta)` (apply_delta + rebase + IncEval-only refresh), the
+//! recompute iteration applies the delta and runs PEval + IncEval from
+//! scratch.  The handle clone is extra overhead charged to the incremental
+//! side — it exists only to keep iterations identical under the harness.
+//!
+//! At `Scale::Small` the O(|G|) partition maintenance dominates both sides
+//! and wall-clock times converge; the engine-level savings — supersteps,
+//! messages, communication volume, and `peval_calls == 0` — are what the
+//! `experiments incremental` rows report, and they grow with scale (see
+//! `tests/nightly_large.rs`).
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use grape_algorithms::cc::{Cc, CcQuery};
+use grape_algorithms::sssp::{Sssp, SsspQuery};
+use grape_bench::runner::partition;
+use grape_bench::workloads::{self, Scale};
+use grape_core::session::GrapeSession;
+
+fn update_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("update_latency");
+    common::configure(&mut group);
+
+    let workers = 4usize;
+    let session = GrapeSession::with_workers(workers);
+    let batch = workloads::delta_batch_size(Scale::Small);
+
+    // SSSP over traffic, insert-only delta.
+    let traffic = workloads::traffic(Scale::Small);
+    let delta = workloads::insertion_delta(&traffic, batch, 0xB1);
+    let base = partition(&traffic, workers);
+    let prepared = session
+        .prepare(base.clone(), Sssp, SsspQuery::new(0))
+        .expect("prepare sssp");
+    group.bench_function("sssp_incremental_update", |b| {
+        b.iter(|| {
+            let mut p = prepared.clone();
+            let report = p.update(&delta).expect("update");
+            assert!(report.incremental);
+            p.output()
+        })
+    });
+    group.bench_function("sssp_recompute_on_updated_graph", |b| {
+        b.iter(|| {
+            let applied = base.apply_delta(&delta).expect("apply delta");
+            session
+                .run(&applied.fragmentation, &Sssp, &SsspQuery::new(0))
+                .expect("run")
+        })
+    });
+
+    // CC over liveJournal, insert-only delta.
+    let lj = workloads::livejournal(Scale::Small).to_undirected();
+    let delta = workloads::insertion_delta(&lj, batch, 0xB2);
+    let base = partition(&lj, workers);
+    let prepared = session
+        .prepare(base.clone(), Cc, CcQuery)
+        .expect("prepare cc");
+    group.bench_function("cc_incremental_update", |b| {
+        b.iter(|| {
+            let mut p = prepared.clone();
+            let report = p.update(&delta).expect("update");
+            assert!(report.incremental);
+            p.output()
+        })
+    });
+    group.bench_function("cc_recompute_on_updated_graph", |b| {
+        b.iter(|| {
+            let applied = base.apply_delta(&delta).expect("apply delta");
+            session
+                .run(&applied.fragmentation, &Cc, &CcQuery)
+                .expect("run")
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, update_latency);
+criterion_main!(benches);

@@ -1,9 +1,13 @@
 //! Regenerates every table and figure of the GRAPE (SIGMOD 2017) evaluation.
 //!
 //! ```text
-//! experiments [--scale small|medium] [--format text|json|csv]
-//!             [table1|fig6|fig7|fig8|fig9|loc|all]
+//! experiments [--scale small|medium|large] [--format text|json|csv]
+//!             [table1|fig6|fig7|fig8|fig9|incremental|loc|all]
 //! ```
+//!
+//! `incremental` is the prepared-query update experiment: update latency and
+//! messages saved of `PreparedQuery::update` (IncEval-only refresh) vs a
+//! full recompute on the updated graph, per query class.
 //!
 //! `--format text` (the default) prints aligned tables; `--format json`
 //! emits one self-describing JSON object per (algorithm, system, scale) run
@@ -121,6 +125,11 @@ fn sections_for(target: &str, scale: Scale) -> Option<Vec<Section>> {
             "Fig 9: scalability on synthetic graphs",
             experiments::fig9_scalability(scale),
         )]),
+        "incremental" => Some(vec![section(
+            "incremental",
+            "Prepared queries: update latency & messages saved vs recompute",
+            experiments::incremental(scale),
+        )]),
         "all" => {
             let mut all = vec![section(
                 "table1",
@@ -133,6 +142,11 @@ fn sections_for(target: &str, scale: Scale) -> Option<Vec<Section>> {
                 "fig9",
                 "Fig 9: scalability on synthetic graphs",
                 experiments::fig9_scalability(scale),
+            ));
+            all.push(section(
+                "incremental",
+                "Prepared queries: update latency & messages saved vs recompute",
+                experiments::incremental(scale),
             ));
             Some(all)
         }
@@ -169,10 +183,7 @@ fn main() {
         targets.push("all".to_string());
     }
 
-    let scale_name = match scale {
-        Scale::Small => "small",
-        Scale::Medium => "medium",
-    };
+    let scale_name = scale.name();
     let mut csv_header_printed = false;
     for target in &targets {
         if target == "loc" {
@@ -186,7 +197,10 @@ fn main() {
             continue;
         }
         let Some(sections) = sections_for(target, scale) else {
-            eprintln!("unknown experiment {target:?} (use table1|fig6|fig7|fig8|fig9|loc|all)");
+            eprintln!(
+                "unknown experiment {target:?} \
+                 (use table1|fig6|fig7|fig8|fig9|incremental|loc|all)"
+            );
             continue;
         };
         for s in &sections {

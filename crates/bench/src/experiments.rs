@@ -4,7 +4,8 @@
 //! the underlying runners.
 
 use crate::runner::{
-    run_cc, run_cf, run_sim, run_sim_ni, run_sim_optimized, run_sssp, run_subiso, RunRow, System,
+    run_cc, run_cf, run_incremental_cc, run_incremental_sim, run_incremental_sssp, run_sim,
+    run_sim_ni, run_sim_optimized, run_sssp, run_subiso, RunRow, System,
 };
 use crate::workloads::{self, Scale};
 
@@ -14,6 +15,7 @@ pub fn worker_counts(scale: Scale) -> Vec<usize> {
     match scale {
         Scale::Small => vec![2, 4],
         Scale::Medium => vec![1, 2, 4, 8],
+        Scale::Large => vec![4, 8, 16],
     }
 }
 
@@ -140,6 +142,35 @@ pub fn fig7_optimization(scale: Scale) -> Vec<RunRow> {
     rows
 }
 
+/// The prepared-query update experiment (the repo's extension of Exp-2 to
+/// *whole-computation* incrementality): for each query class, prepare
+/// `Q(G)`, apply one `ΔG` batch in its monotone direction — insertions for
+/// SSSP/CC, deletions for Sim — and compare the IncEval-only refresh with a
+/// full recompute on the updated graph.  Each configuration emits two rows,
+/// `GRAPE (incremental)` and `GRAPE (recompute)`; update latency is the
+/// `seconds` column, messages saved is the difference of the `messages`
+/// columns.
+pub fn incremental(scale: Scale) -> Vec<RunRow> {
+    let n = *worker_counts(scale).last().unwrap();
+    let batch = workloads::delta_batch_size(scale);
+    let mut rows = Vec::new();
+
+    let traffic = workloads::traffic(scale);
+    let delta = workloads::insertion_delta(&traffic, batch, 0xD1);
+    rows.extend(run_incremental_sssp(&traffic, &delta, 0, n, "traffic"));
+
+    let lj_undirected = workloads::livejournal(scale).to_undirected();
+    let delta = workloads::insertion_delta(&lj_undirected, batch, 0xD2);
+    rows.extend(run_incremental_cc(&lj_undirected, &delta, n, "livejournal"));
+
+    let lj = workloads::livejournal(scale);
+    let pattern = workloads::sim_pattern(&lj, scale, 0xD3);
+    let delta = workloads::deletion_delta(&lj, batch, 0xD4);
+    rows.extend(run_incremental_sim(&lj, &pattern, &delta, n, "livejournal"));
+
+    rows
+}
+
 /// Figure 8 is the communication view of the Figure 6 runs; the same rows are
 /// reused (every row already carries `comm_mb`).
 pub fn fig8_comm(scale: Scale) -> Vec<RunRow> {
@@ -196,5 +227,17 @@ mod tests {
     fn worker_counts_are_increasing() {
         let counts = worker_counts(Scale::Medium);
         assert!(counts.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn incremental_emits_a_pair_per_query_class() {
+        let rows = incremental(Scale::Small);
+        assert_eq!(rows.len(), 6);
+        for query in ["sssp", "cc", "sim"] {
+            let pair: Vec<_> = rows.iter().filter(|r| r.query == query).collect();
+            assert_eq!(pair.len(), 2, "{query}");
+            assert!(pair.iter().any(|r| r.system == "GRAPE (incremental)"));
+            assert!(pair.iter().any(|r| r.system == "GRAPE (recompute)"));
+        }
     }
 }

@@ -71,6 +71,10 @@ pub struct RunRow {
     pub comm_mb: f64,
     /// Supersteps executed.
     pub supersteps: usize,
+    /// Messages shipped (for incremental refreshes this includes the
+    /// `ΔG`-derived seed messages) — what the `incremental` experiment's
+    /// messages-saved comparison reads.
+    pub messages: usize,
 }
 
 impl RunRow {
@@ -89,6 +93,7 @@ impl RunRow {
             seconds: m.seconds(),
             comm_mb: m.comm_megabytes(),
             supersteps: m.supersteps,
+            messages: m.total_messages,
         }
     }
 }
@@ -294,6 +299,99 @@ pub fn run_cf(
     RunRow::from_metrics("cf", workload, system, workers, &metrics)
 }
 
+/// Prepares `program` over `graph`, applies `delta` through
+/// [`grape_core::prepared::PreparedQuery::update`], and measures the refresh
+/// against a full recompute on the updated graph (same partition, same
+/// session): two rows, `GRAPE (incremental)` and `GRAPE (recompute)`.
+/// Update latency is the row's `seconds`; messages saved is the difference
+/// of the two rows' `messages`.
+fn run_incremental_pair<P>(
+    query_name: &str,
+    workload: &str,
+    graph: &Graph,
+    delta: &grape_graph::delta::GraphDelta,
+    program: P,
+    query: P::Query,
+    workers: usize,
+) -> Vec<RunRow>
+where
+    P: grape_core::pie::IncrementalPie,
+{
+    let frag = partition(graph, workers);
+    let session = grape_session(workers);
+    let mut prepared = session
+        .prepare(frag, program, query)
+        .expect("prepare for incremental experiment");
+    let report = prepared.update(delta).expect("apply delta");
+    assert!(
+        report.incremental,
+        "the incremental experiment feeds monotone deltas only"
+    );
+    let recompute = session
+        .run(
+            prepared.fragmentation(),
+            prepared.program(),
+            prepared.query(),
+        )
+        .expect("full recompute on the updated graph");
+    let base = |m: &EngineMetrics, system: &str| RunRow {
+        system: system.to_string(),
+        ..RunRow::from_metrics(query_name, workload, System::Grape, workers, m)
+    };
+    vec![
+        base(&report.metrics, "GRAPE (incremental)"),
+        base(&recompute.metrics, "GRAPE (recompute)"),
+    ]
+}
+
+/// The update-latency experiment for SSSP: a batch of edge insertions.
+pub fn run_incremental_sssp(
+    graph: &Graph,
+    delta: &grape_graph::delta::GraphDelta,
+    source: VertexId,
+    workers: usize,
+    workload: &str,
+) -> Vec<RunRow> {
+    run_incremental_pair(
+        "sssp",
+        workload,
+        graph,
+        delta,
+        Sssp,
+        SsspQuery::new(source),
+        workers,
+    )
+}
+
+/// The update-latency experiment for CC: a batch of edge insertions.
+pub fn run_incremental_cc(
+    graph: &Graph,
+    delta: &grape_graph::delta::GraphDelta,
+    workers: usize,
+    workload: &str,
+) -> Vec<RunRow> {
+    run_incremental_pair("cc", workload, graph, delta, Cc, CcQuery, workers)
+}
+
+/// The update-latency experiment for Sim: a batch of edge deletions.
+pub fn run_incremental_sim(
+    graph: &Graph,
+    pattern: &Pattern,
+    delta: &grape_graph::delta::GraphDelta,
+    workers: usize,
+    workload: &str,
+) -> Vec<RunRow> {
+    run_incremental_pair(
+        "sim",
+        workload,
+        graph,
+        delta,
+        Sim::new(),
+        SimQuery::new(pattern.clone()),
+        workers,
+    )
+}
+
 /// A [`RunRow`] tagged with the experiment (table/figure) and scale it came
 /// from — the machine-readable record emitted by `experiments --format
 /// json|csv`, one per (algorithm, system, scale) run, so figures can be
@@ -302,7 +400,7 @@ pub fn run_cf(
 pub struct ExportRow {
     /// Experiment id, e.g. `table1` or `fig6_sssp`.
     pub experiment: String,
-    /// Workload scale (`small`, `medium`).
+    /// Workload scale (`small`, `medium`, `large`).
     pub scale: String,
     /// Query class (sssp, cc, sim, subiso, cf).
     pub query: String,
@@ -318,6 +416,8 @@ pub struct ExportRow {
     pub comm_mb: f64,
     /// Supersteps executed.
     pub supersteps: usize,
+    /// Messages shipped.
+    pub messages: usize,
 }
 
 impl ExportRow {
@@ -333,13 +433,14 @@ impl ExportRow {
             seconds: row.seconds,
             comm_mb: row.comm_mb,
             supersteps: row.supersteps,
+            messages: row.messages,
         }
     }
 }
 
 /// The CSV header matching [`format_rows_csv`].
 pub const CSV_HEADER: &str =
-    "experiment,scale,query,workload,system,workers,seconds,comm_mb,supersteps";
+    "experiment,scale,query,workload,system,workers,seconds,comm_mb,supersteps,messages";
 
 /// Formats rows as JSON Lines — one self-describing object per run.
 pub fn format_rows_json(experiment: &str, scale: &str, rows: &[RunRow]) -> String {
@@ -359,7 +460,7 @@ pub fn format_rows_csv(experiment: &str, scale: &str, rows: &[RunRow]) -> String
     let mut out = String::new();
     for row in rows {
         out.push_str(&format!(
-            "{},{},{},{},\"{}\",{},{:.6},{:.6},{}\n",
+            "{},{},{},{},\"{}\",{},{:.6},{:.6},{},{}\n",
             experiment,
             scale,
             row.query,
@@ -368,7 +469,8 @@ pub fn format_rows_csv(experiment: &str, scale: &str, rows: &[RunRow]) -> String
             row.workers,
             row.seconds,
             row.comm_mb,
-            row.supersteps
+            row.supersteps,
+            row.messages
         ));
     }
     out
@@ -380,13 +482,20 @@ pub fn format_table(title: &str, rows: &[RunRow]) -> String {
     let mut out = String::new();
     out.push_str(&format!("\n== {title} ==\n"));
     out.push_str(&format!(
-        "{:<10} {:<14} {:<20} {:>3} {:>12} {:>12} {:>10}\n",
-        "query", "workload", "system", "n", "time (s)", "comm (MB)", "supersteps"
+        "{:<10} {:<14} {:<20} {:>3} {:>12} {:>12} {:>10} {:>10}\n",
+        "query", "workload", "system", "n", "time (s)", "comm (MB)", "supersteps", "messages"
     ));
     for r in rows {
         out.push_str(&format!(
-            "{:<10} {:<14} {:<20} {:>3} {:>12.4} {:>12.4} {:>10}\n",
-            r.query, r.workload, r.system, r.workers, r.seconds, r.comm_mb, r.supersteps
+            "{:<10} {:<14} {:<20} {:>3} {:>12.4} {:>12.4} {:>10} {:>10}\n",
+            r.query,
+            r.workload,
+            r.system,
+            r.workers,
+            r.seconds,
+            r.comm_mb,
+            r.supersteps,
+            r.messages
         ));
     }
     out
@@ -420,6 +529,31 @@ mod tests {
             vertex.comm_mb
         );
         assert!(grape.supersteps < vertex.supersteps);
+    }
+
+    #[test]
+    fn incremental_rows_come_in_pairs() {
+        let g = workloads::traffic(Scale::Small);
+        let delta = workloads::insertion_delta(&g, 16, 1);
+        let rows = run_incremental_sssp(&g, &delta, 0, 2, "traffic");
+        assert_eq!(rows.len(), 2);
+        let incr = rows
+            .iter()
+            .find(|r| r.system == "GRAPE (incremental)")
+            .unwrap();
+        let full = rows
+            .iter()
+            .find(|r| r.system == "GRAPE (recompute)")
+            .unwrap();
+        assert_eq!(incr.query, "sssp");
+        // The whole point: refreshing from retained partials ships less than
+        // recomputing from scratch.
+        assert!(
+            incr.messages <= full.messages,
+            "incremental {} vs recompute {}",
+            incr.messages,
+            full.messages
+        );
     }
 
     #[test]

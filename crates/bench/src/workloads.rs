@@ -1,18 +1,27 @@
 //! Benchmark workloads: scaled-down synthetic stand-ins for the paper's
-//! datasets (see DESIGN.md §3 for the substitution rationale).
+//! datasets (see DESIGN.md §3 for the substitution rationale), plus the
+//! random delta batches of the prepared-query update experiment.
 
+use grape_graph::delta::GraphDelta;
 use grape_graph::generators::{bipartite_ratings, labeled_kg, power_law, road_grid, RatingData};
 use grape_graph::graph::Graph;
 use grape_graph::pattern::Pattern;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-/// Workload scale: `Small` keeps Criterion benches fast; `Medium` is what the
-/// `experiments` binary uses to regenerate the paper's tables and figures.
+/// Workload scale: `Small` keeps Criterion benches and CI fast; `Medium` is
+/// what the `experiments` binary uses to regenerate the paper's tables and
+/// figures; `Large` is the CI-excluded nightly profile that checks the
+/// paper's trends at millions of edges (see
+/// `crates/bench/tests/nightly_large.rs`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {
     /// A few thousand vertices — seconds for the whole suite.
     Small,
     /// Tens of thousands of vertices — minutes for the whole suite.
     Medium,
+    /// Hundreds of thousands of vertices, millions of edges — nightly only.
+    Large,
 }
 
 impl Scale {
@@ -21,7 +30,17 @@ impl Scale {
         match s {
             "small" => Some(Scale::Small),
             "medium" | "full" => Some(Scale::Medium),
+            "large" | "nightly" => Some(Scale::Large),
             _ => None,
+        }
+    }
+
+    /// The flag value / machine-readable name of the scale.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scale::Small => "small",
+            Scale::Medium => "medium",
+            Scale::Large => "large",
         }
     }
 }
@@ -31,6 +50,7 @@ pub fn traffic(scale: Scale) -> Graph {
     match scale {
         Scale::Small => road_grid(48, 48, 0xF00D),
         Scale::Medium => road_grid(120, 120, 0xF00D),
+        Scale::Large => road_grid(700, 700, 0xF00D),
     }
 }
 
@@ -39,6 +59,7 @@ pub fn livejournal(scale: Scale) -> Graph {
     match scale {
         Scale::Small => power_law(3_000, 15_000, 100, 0xBEEF),
         Scale::Medium => power_law(20_000, 120_000, 100, 0xBEEF),
+        Scale::Large => power_law(400_000, 2_400_000, 100, 0xBEEF),
     }
 }
 
@@ -47,6 +68,7 @@ pub fn dbpedia(scale: Scale) -> Graph {
     match scale {
         Scale::Small => labeled_kg(3_000, 12_000, 200, 160, 0xCAFE),
         Scale::Medium => labeled_kg(20_000, 80_000, 200, 160, 0xCAFE),
+        Scale::Large => labeled_kg(300_000, 1_500_000, 200, 160, 0xCAFE),
     }
 }
 
@@ -56,6 +78,7 @@ pub fn movielens(scale: Scale, training_fraction: f64) -> RatingData {
     let (users, items, base_ratings) = match scale {
         Scale::Small => (400, 120, 6_000),
         Scale::Medium => (2_000, 600, 40_000),
+        Scale::Large => (30_000, 8_000, 1_000_000),
     };
     let ratings = ((base_ratings as f64) * training_fraction).round() as usize;
     bipartite_ratings(users, items, ratings, 8, 0xD00D)
@@ -63,15 +86,75 @@ pub fn movielens(scale: Scale, training_fraction: f64) -> RatingData {
 
 /// Synthetic graphs for the Fig. 9 scalability sweep; `step` indexes the
 /// paper's sizes (10M,40M) … (50M,200M), scaled down by three orders of
-/// magnitude.
+/// magnitude (one order at `Scale::Large`).
 pub fn synthetic(step: usize, scale: Scale) -> Graph {
     let factor = match scale {
         Scale::Small => 1_000,
         Scale::Medium => 5_000,
+        Scale::Large => 100_000,
     };
     let vertices = (step + 1) * 10 * factor / 10;
     let edges = vertices * 4;
     power_law(vertices, edges, 50, 0xACE + step as u64)
+}
+
+/// Size of one `ΔG` batch in the prepared-query update experiment.
+pub fn delta_batch_size(scale: Scale) -> usize {
+    match scale {
+        Scale::Small => 64,
+        Scale::Medium => 512,
+        Scale::Large => 8_192,
+    }
+}
+
+/// A batch of `count` random weighted edge insertions between existing
+/// vertices — the monotone update direction for SSSP and CC.
+///
+/// Insertions are *localized*: each new edge connects a random vertex to one
+/// at most 32 ids away.  This models the update streams of the evolving-
+/// graph setting (new road segments join nearby intersections, new social
+/// edges cluster) and is what makes the incremental refresh's affected
+/// region — and therefore its message bill — small relative to a recompute;
+/// a batch of random long-range shortcuts would legitimately invalidate
+/// distances almost everywhere.
+pub fn insertion_delta(graph: &Graph, count: usize, seed: u64) -> GraphDelta {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = graph.num_vertices() as u64;
+    let mut delta = GraphDelta::new();
+    let mut added = 0usize;
+    while added < count && n > 1 {
+        let src = rng.gen_range(0..n);
+        let dst = (src + 1 + rng.gen_range(0u64..32.min(n - 1))) % n;
+        if src == dst {
+            continue;
+        }
+        let weight = 1.0 + rng.gen_range(0u32..8) as f64;
+        delta = delta.add_weighted_edge(src, dst, weight);
+        added += 1;
+    }
+    delta
+}
+
+/// A batch of `count` distinct random edge deletions drawn from the existing
+/// edge list — the monotone update direction for graph simulation.
+pub fn deletion_delta(graph: &Graph, count: usize, seed: u64) -> GraphDelta {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let m = graph.num_edges();
+    let mut seen = std::collections::HashSet::new();
+    let mut delta = GraphDelta::new();
+    // Attempts are bounded: the graph may contain parallel edges, so the
+    // number of distinct (src, dst) pairs can be below `count.min(m)`.
+    for _ in 0..count.saturating_mul(4) {
+        if seen.len() >= count.min(m) {
+            break;
+        }
+        let idx = rng.gen_range(0..m as u64) as usize;
+        let e = graph.edges()[idx];
+        if seen.insert((e.src, e.dst)) {
+            delta = delta.remove_edge(e.src, e.dst);
+        }
+    }
+    delta
 }
 
 /// A pattern of the paper's Sim workload shape `|Q| = (8, 15)` (scaled to
@@ -86,7 +169,7 @@ pub fn sim_pattern(graph: &Graph, scale: Scale, seed: u64) -> Pattern {
     };
     match scale {
         Scale::Small => Pattern::random(4, 7, &alphabet, seed),
-        Scale::Medium => Pattern::random(8, 15, &alphabet, seed),
+        Scale::Medium | Scale::Large => Pattern::random(8, 15, &alphabet, seed),
     }
 }
 
@@ -101,7 +184,7 @@ pub fn subiso_pattern(graph: &Graph, scale: Scale, seed: u64) -> Pattern {
     };
     match scale {
         Scale::Small => Pattern::random(3, 4, &alphabet, seed),
-        Scale::Medium => Pattern::random(6, 10, &alphabet, seed),
+        Scale::Medium | Scale::Large => Pattern::random(6, 10, &alphabet, seed),
     }
 }
 
@@ -113,7 +196,33 @@ mod tests {
     fn scales_parse() {
         assert_eq!(Scale::parse("small"), Some(Scale::Small));
         assert_eq!(Scale::parse("medium"), Some(Scale::Medium));
+        assert_eq!(Scale::parse("large"), Some(Scale::Large));
+        assert_eq!(Scale::parse("nightly"), Some(Scale::Large));
         assert_eq!(Scale::parse("huge"), None);
+        assert_eq!(Scale::Large.name(), "large");
+    }
+
+    #[test]
+    fn insertion_delta_is_insert_only_and_sized() {
+        let g = traffic(Scale::Small);
+        let delta = insertion_delta(&g, 32, 7);
+        assert_eq!(delta.added_edges().len(), 32);
+        assert!(!delta.has_removals());
+        // Deterministic per seed.
+        assert_eq!(
+            insertion_delta(&g, 32, 7).added_edges(),
+            delta.added_edges()
+        );
+    }
+
+    #[test]
+    fn deletion_delta_removes_existing_distinct_edges() {
+        let g = livejournal(Scale::Small);
+        let delta = deletion_delta(&g, 16, 3);
+        assert_eq!(delta.removed_edges().len(), 16);
+        assert!(!delta.has_insertions());
+        // Every removal refers to a real edge: applying must succeed.
+        assert!(g.apply_delta(&delta).is_ok());
     }
 
     #[test]

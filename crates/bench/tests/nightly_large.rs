@@ -1,0 +1,62 @@
+//! The `Scale::Large` nightly profile: millions of edges, minutes of
+//! runtime — **excluded from the tier-1 CI gate** by `#[ignore]` (plain
+//! `cargo test -q` skips these).  The scheduled nightly CI job runs
+//!
+//! ```text
+//! cargo test --release -p grape-bench --test nightly_large -- --ignored
+//! ```
+//!
+//! to check that the paper's trends — GRAPE beating the vertex-centric
+//! baseline on communication, and the prepared-query update path beating a
+//! full recompute — survive at realistic graph sizes.
+
+use grape_bench::runner::{run_incremental_sssp, run_sssp, System};
+use grape_bench::workloads::{self, Scale};
+
+#[test]
+#[ignore = "nightly profile: millions of edges, minutes of runtime"]
+fn grape_still_ships_less_than_vertex_centric_at_large_scale() {
+    let g = workloads::traffic(Scale::Large);
+    assert!(g.num_edges() >= 900_000, "large traffic is ~1M edges");
+    let grape = run_sssp(System::Grape, &g, 0, 8, "traffic");
+    let vertex = run_sssp(System::VertexCentric, &g, 0, 8, "traffic");
+    assert!(
+        grape.comm_mb < vertex.comm_mb,
+        "GRAPE {} MB vs vertex-centric {} MB",
+        grape.comm_mb,
+        vertex.comm_mb
+    );
+    assert!(grape.supersteps < vertex.supersteps);
+}
+
+#[test]
+#[ignore = "nightly profile: millions of edges, minutes of runtime"]
+fn incremental_update_beats_recompute_at_large_scale() {
+    let g = workloads::livejournal(Scale::Large);
+    assert!(
+        g.num_edges() >= 2_000_000,
+        "large liveJournal is ~2.4M edges"
+    );
+    let delta = workloads::insertion_delta(&g, workloads::delta_batch_size(Scale::Large), 0x17);
+    let rows = run_incremental_sssp(&g, &delta, 0, 8, "livejournal");
+    let incr = rows
+        .iter()
+        .find(|r| r.system == "GRAPE (incremental)")
+        .unwrap();
+    let full = rows
+        .iter()
+        .find(|r| r.system == "GRAPE (recompute)")
+        .unwrap();
+    assert!(
+        incr.messages <= full.messages,
+        "incremental {} msgs vs recompute {} msgs",
+        incr.messages,
+        full.messages
+    );
+    assert!(
+        incr.seconds < full.seconds,
+        "incremental {}s vs recompute {}s",
+        incr.seconds,
+        full.seconds
+    );
+}

@@ -26,10 +26,21 @@
 //!   values arrive without waiting for a barrier, this is no larger (and on
 //!   high-diameter workloads smaller) than the synchronous superstep count.
 //!
+//! Both runtimes run in one of two *phases* (the crate-internal `Phase`):
+//!
+//! * `Phase::Full` — PEval roots the computation in superstep 0 (the
+//!   classic one-shot run, `prepare_parts`);
+//! * `Phase::Incremental` — the partial results of an earlier run are
+//!   retained, `ΔG`-derived seed messages are pre-loaded into the transport,
+//!   and **only IncEval** iterates to the new fixpoint (`refresh_parts`).
+//!   This is the paper's "queries under updates" protocol (Section 3.4):
+//!   `Q(G ⊕ ΔG)` from `Q(G)` without a single PEval call.
+//!
 //! Physical workers are OS threads; fragments are virtual workers mapped
 //! onto physical workers by the [`crate::load_balance::LoadBalancer`].
-//! Entry point: [`crate::session::GrapeSession`].  The former
-//! [`GrapeEngine`] handle remains as a deprecated shim for one release.
+//! Entry points: [`crate::session::GrapeSession::run`] (one-shot) and
+//! [`crate::session::GrapeSession::prepare`] →
+//! [`crate::prepared::PreparedQuery`] (prepare → answer → update).
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -62,6 +73,9 @@ pub enum EngineError {
     /// The session/engine configuration is contradictory (e.g. the
     /// barrier-free mode with a barrier transport).
     InvalidConfig(String),
+    /// A graph delta could not be applied to the prepared fragmentation
+    /// (missing edge/vertex, vertex-cut partition, …).
+    Delta(String),
 }
 
 impl std::fmt::Display for EngineError {
@@ -74,6 +88,7 @@ impl std::fmt::Display for EngineError {
                  the PIE program is probably not monotonic"
             ),
             EngineError::InvalidConfig(reason) => write!(f, "invalid configuration: {reason}"),
+            EngineError::Delta(reason) => write!(f, "cannot apply graph delta: {reason}"),
         }
     }
 }
@@ -128,11 +143,22 @@ fn route_and_send<K: KeyVertex + Clone, V: Clone, T: Transport<K, V> + ?Sized>(
     }
 }
 
+/// Which evaluation roots a run: a fresh PEval pass, or retained partials
+/// plus pre-seeded mailboxes (IncEval only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// PEval on every fragment in superstep 0, then IncEval to fixpoint.
+    Full,
+    /// Partials are retained from an earlier run and the transport has been
+    /// pre-seeded with `ΔG`-derived messages; IncEval-only to fixpoint.
+    Incremental,
+}
+
 /// Validates a (mode, transport, fault-tolerance) policy combination.
 ///
 /// Called by [`crate::session::GrapeSessionBuilder::build`] (fail fast) and
-/// again by [`execute`] so the deprecated [`GrapeEngine`] shim — which
-/// bypasses the builder — gets the same checks.
+/// again by the engine entry points, so configurations replayed through
+/// [`crate::session::GrapeSessionBuilder::config`] get the same checks.
 pub(crate) fn validate_policies(
     config: &EngineConfig,
     spec: TransportSpec,
@@ -165,9 +191,9 @@ pub(crate) fn validate_policies(
     Ok(())
 }
 
-/// Runs a PIE program with the given configuration, balancer and transport
-/// policy.  This is the single entry point behind
-/// [`crate::session::GrapeSession::run`] and the deprecated [`GrapeEngine`].
+/// Runs a PIE program to its fixpoint and assembles the answer.  This is the
+/// one-shot entry point behind [`crate::session::GrapeSession::run`] — a
+/// full preparation whose partial results are assembled and then dropped.
 pub(crate) fn execute<P: PieProgram>(
     config: &EngineConfig,
     balancer: &LoadBalancer,
@@ -176,6 +202,26 @@ pub(crate) fn execute<P: PieProgram>(
     program: &P,
     query: &P::Query,
 ) -> Result<RunResult<P::Output>, EngineError> {
+    let total_start = Instant::now();
+    let (partials, mut metrics) =
+        prepare_parts(config, balancer, spec, fragmentation, program, query)?;
+    let output = program.assemble(query, partials);
+    metrics.total_time = total_start.elapsed();
+    Ok(RunResult { output, metrics })
+}
+
+/// The *prepare* phase: runs PEval on every fragment and iterates IncEval to
+/// the fixpoint, returning the per-fragment partial results `Q(F_i)` without
+/// assembling them.  [`crate::prepared::PreparedQuery`] retains these
+/// partials so later [`refresh_parts`] calls can skip PEval entirely.
+pub(crate) fn prepare_parts<P: PieProgram>(
+    config: &EngineConfig,
+    balancer: &LoadBalancer,
+    spec: TransportSpec,
+    fragmentation: &Fragmentation,
+    program: &P,
+    query: &P::Query,
+) -> Result<(Vec<P::Partial>, EngineMetrics), EngineError> {
     let m = fragmentation.num_fragments();
     if m == 0 {
         return Err(EngineError::NoFragments);
@@ -230,31 +276,183 @@ pub(crate) fn execute<P: PieProgram>(
         ops,
     };
 
-    let output = match (config.mode, spec) {
+    let empty: Vec<Mutex<Option<P::Partial>>> = (0..m).map(|_| Mutex::new(None)).collect();
+    let partials = match (config.mode, spec) {
+        (EngineMode::Sync, TransportSpec::Barrier) => superstep_loop(
+            &ctx,
+            &BarrierTransport::new(m, ops),
+            &mut metrics,
+            empty,
+            Phase::Full,
+        )?,
+        (EngineMode::Sync, TransportSpec::Channel) => superstep_loop(
+            &ctx,
+            &ChannelTransport::new(m, ops),
+            &mut metrics,
+            empty,
+            Phase::Full,
+        )?,
+        (EngineMode::Async, _) => streaming_loop(
+            &ctx,
+            &ChannelTransport::new(m, ops),
+            &mut metrics,
+            empty,
+            Phase::Full,
+        )?,
+    };
+    metrics.total_time = total_start.elapsed();
+    Ok((partials, metrics))
+}
+
+/// One fragment's seed batch: the sender fragment and the changed update
+/// parameters its rebase produced.
+pub(crate) type SeedBatch<P> = (
+    usize,
+    Vec<(<P as PieProgram>::Key, <P as PieProgram>::Value)>,
+);
+
+/// What an incremental refresh starts from: the previous fixpoint's
+/// per-fragment partials plus the `ΔG`-derived seed messages — a list of
+/// `(sender fragment, changed update parameters)` that the engine routes
+/// exactly like a normal evaluation's sends.
+pub(crate) struct RefreshState<P: PieProgram> {
+    /// Retained partial results, one per fragment.
+    pub partials: Vec<P::Partial>,
+    /// Seed messages produced by the programs' rebase step.
+    pub seeds: Vec<SeedBatch<P>>,
+}
+
+/// The *refresh* phase of a prepared query: given the retained state,
+/// routes the seeds through `G_P`, then iterates **IncEval only** to the new
+/// fixpoint.  Zero PEval calls, by construction — pinned by
+/// `EngineMetrics::peval_calls == 0`.
+pub(crate) fn refresh_parts<P: PieProgram>(
+    config: &EngineConfig,
+    balancer: &LoadBalancer,
+    spec: TransportSpec,
+    fragmentation: &Fragmentation,
+    program: &P,
+    query: &P::Query,
+    state: RefreshState<P>,
+) -> Result<(Vec<P::Partial>, EngineMetrics), EngineError> {
+    let RefreshState { partials, seeds } = state;
+    let m = fragmentation.num_fragments();
+    if m == 0 {
+        return Err(EngineError::NoFragments);
+    }
+    validate_policies(config, spec)?;
+    if !config.injected_failures.is_empty() {
+        return Err(EngineError::InvalidConfig(
+            "failure injection is superstep-aligned to a PEval-rooted run; \
+             it is not supported on the incremental refresh path"
+                .to_string(),
+        ));
+    }
+    if partials.len() != m {
+        return Err(EngineError::InvalidConfig(format!(
+            "retained {} partials for {} fragments",
+            partials.len(),
+            m
+        )));
+    }
+    if program.expansion_hops(query) > 0 {
+        return Err(EngineError::InvalidConfig(
+            "d-hop expansion programs cannot refresh incrementally; re-prepare instead".to_string(),
+        ));
+    }
+
+    let total_start = Instant::now();
+    let mut metrics = EngineMetrics {
+        program: program.name().to_string(),
+        workers: config.num_workers,
+        fragments: m,
+        transport: spec.name().to_string(),
+        incremental: true,
+        ..Default::default()
+    };
+
+    let assignment = balancer.assign(fragmentation, config.num_workers);
+    let aggregate = |k: &P::Key, a: P::Value, b: P::Value| program.aggregate(k, a, b);
+    let key_size = |k: &P::Key| program.key_size(k);
+    let value_size = |v: &P::Value| program.value_size(v);
+    let ops = MessageOps {
+        aggregate: &aggregate,
+        key_size: &key_size,
+        value_size: &value_size,
+    };
+    let ctx = RunCtx {
+        config,
+        fragments: fragmentation.fragments(),
+        assignment: &assignment,
+        gp: fragmentation.gp(),
+        scope: program.scope(),
+        program,
+        query,
+        ops,
+    };
+
+    let retained: Vec<Mutex<Option<P::Partial>>> =
+        partials.into_iter().map(|p| Mutex::new(Some(p))).collect();
+
+    // Seeds are routed at logical step 0 and published before the loop
+    // starts, so the first IncEval round sees them like any other mail; the
+    // published volume is accounted as `seed_messages` (separate from the
+    // per-superstep flow, included in the run totals).
+    fn seed<K: KeyVertex + Clone, V: Clone, T: Transport<K, V>>(
+        transport: &T,
+        gp: &FragmentationGraph,
+        scope: BorderScope,
+        seeds: Vec<(usize, Vec<(K, V)>)>,
+        metrics: &mut EngineMetrics,
+    ) {
+        for (from, updates) in seeds {
+            route_and_send(transport, gp, scope, from, 0, updates);
+        }
+        transport.flush();
+        let s = transport.stats();
+        metrics.seed_messages = s.messages;
+        metrics.total_messages += s.messages;
+        metrics.total_bytes += s.bytes;
+    }
+
+    let partials = match (config.mode, spec) {
         (EngineMode::Sync, TransportSpec::Barrier) => {
-            superstep_loop(&ctx, &BarrierTransport::new(m, ops), &mut metrics)?
+            let transport = BarrierTransport::new(m, ops);
+            seed(&transport, ctx.gp, ctx.scope, seeds, &mut metrics);
+            superstep_loop(&ctx, &transport, &mut metrics, retained, Phase::Incremental)?
         }
         (EngineMode::Sync, TransportSpec::Channel) => {
-            superstep_loop(&ctx, &ChannelTransport::new(m, ops), &mut metrics)?
+            let transport = ChannelTransport::new(m, ops);
+            seed(&transport, ctx.gp, ctx.scope, seeds, &mut metrics);
+            superstep_loop(&ctx, &transport, &mut metrics, retained, Phase::Incremental)?
         }
         (EngineMode::Async, _) => {
-            streaming_loop(&ctx, &ChannelTransport::new(m, ops), &mut metrics)?
+            let transport = ChannelTransport::new(m, ops);
+            seed(&transport, ctx.gp, ctx.scope, seeds, &mut metrics);
+            streaming_loop(&ctx, &transport, &mut metrics, retained, Phase::Incremental)?
         }
     };
     metrics.total_time = total_start.elapsed();
-    Ok(RunResult { output, metrics })
+    Ok((partials, metrics))
 }
 
 /// The BSP runtime: supersteps separated by a global barrier at which the
 /// transport publishes messages.  Supports checkpointing and the arbitrator
 /// recovery protocol of Section 6.
+///
+/// `partials` arrives empty (`None` everywhere) in [`Phase::Full`] and
+/// pre-populated in [`Phase::Incremental`]; the loop returns the partials at
+/// the fixpoint so callers can assemble or retain them.
 fn superstep_loop<P: PieProgram, T: Transport<P::Key, P::Value>>(
     ctx: &RunCtx<'_, P>,
     transport: &T,
     metrics: &mut EngineMetrics,
-) -> Result<P::Output, EngineError> {
+    partials: Vec<Mutex<Option<P::Partial>>>,
+    phase: Phase,
+) -> Result<Vec<P::Partial>, EngineError> {
     let m = ctx.fragments.len();
-    let partials: Vec<Mutex<Option<P::Partial>>> = (0..m).map(|_| Mutex::new(None)).collect();
+    let peval_count = AtomicUsize::new(0);
+    let inceval_count = AtomicUsize::new(0);
     // Checkpoint = (next superstep, partials, mailboxes + delivered caches).
     #[allow(clippy::type_complexity)]
     let mut checkpoint: Option<(
@@ -302,7 +500,7 @@ fn superstep_loop<P: PieProgram, T: Transport<P::Key, P::Value>>(
         }
 
         let step_start = Instant::now();
-        let is_peval = superstep == 0;
+        let is_peval = superstep == 0 && phase == Phase::Full;
 
         // Decide which fragments are active this superstep.
         let active: Vec<bool> = (0..m)
@@ -318,6 +516,8 @@ fn superstep_loop<P: PieProgram, T: Transport<P::Key, P::Value>>(
         let stats_before = transport.stats();
         let active_ref = &active;
         let partials_ref = &partials;
+        let peval_count_ref = &peval_count;
+        let inceval_count_ref = &inceval_count;
         std::thread::scope(|s| {
             for worker_fragments in ctx.assignment {
                 let worker_fragments = worker_fragments.clone();
@@ -331,6 +531,7 @@ fn superstep_loop<P: PieProgram, T: Transport<P::Key, P::Value>>(
                             let partial =
                                 ctx.program.peval(ctx.query, &ctx.fragments[fi], &mut msgs);
                             *partials_ref[fi].lock() = Some(partial);
+                            peval_count_ref.fetch_add(1, Ordering::Relaxed);
                         } else {
                             let drained = transport.drain(fi);
                             if drained.updates.is_empty() {
@@ -347,6 +548,7 @@ fn superstep_loop<P: PieProgram, T: Transport<P::Key, P::Value>>(
                                 &drained.updates,
                                 &mut msgs,
                             );
+                            inceval_count_ref.fetch_add(1, Ordering::Relaxed);
                         }
                         route_and_send(transport, ctx.gp, ctx.scope, fi, superstep, msgs.take());
                     }
@@ -386,11 +588,13 @@ fn superstep_loop<P: PieProgram, T: Transport<P::Key, P::Value>>(
         }
     }
 
+    metrics.peval_calls += peval_count.into_inner();
+    metrics.inceval_calls += inceval_count.into_inner();
     let collected: Vec<P::Partial> = partials
         .into_iter()
-        .map(|p| p.into_inner().expect("every fragment ran PEval"))
+        .map(|p| p.into_inner().expect("every fragment has a partial result"))
         .collect();
-    Ok(ctx.program.assemble(ctx.query, collected))
+    Ok(collected)
 }
 
 /// One evaluation in the streaming runtime, for the per-superstep metric
@@ -416,9 +620,12 @@ fn streaming_loop<P: PieProgram, T: Transport<P::Key, P::Value>>(
     ctx: &RunCtx<'_, P>,
     transport: &T,
     metrics: &mut EngineMetrics,
-) -> Result<P::Output, EngineError> {
+    partials: Vec<Mutex<Option<P::Partial>>>,
+    phase: Phase,
+) -> Result<Vec<P::Partial>, EngineError> {
     let m = ctx.fragments.len();
-    let partials: Vec<Mutex<Option<P::Partial>>> = (0..m).map(|_| Mutex::new(None)).collect();
+    let peval_count = AtomicUsize::new(0);
+    let inceval_count = AtomicUsize::new(0);
     // Quiescence: the run is over when every PEval finished, no mailbox has
     // pending mail, and no worker is mid-evaluation (a worker is "busy"
     // from before it drains until after it ships its results, so mail can
@@ -429,7 +636,11 @@ fn streaming_loop<P: PieProgram, T: Transport<P::Key, P::Value>>(
     // whole observation — then no busy transition completed inside the
     // window, `busy` was constant 0 throughout, no send was in flight, and
     // the observed zeros really did overlap.
-    let unstarted = AtomicUsize::new(m);
+    // In the incremental phase there are no PEvals to wait for.
+    let unstarted = AtomicUsize::new(match phase {
+        Phase::Full => m,
+        Phase::Incremental => 0,
+    });
     let busy = AtomicUsize::new(0);
     let activity = AtomicUsize::new(0);
     let diverged = AtomicBool::new(false);
@@ -442,6 +653,8 @@ fn streaming_loop<P: PieProgram, T: Transport<P::Key, P::Value>>(
         let activity_ref = &activity;
         let diverged_ref = &diverged;
         let records_ref = &records;
+        let peval_count_ref = &peval_count;
+        let inceval_count_ref = &inceval_count;
         std::thread::scope(|s| {
             for worker_fragments in ctx.assignment {
                 let worker_fragments = worker_fragments.clone();
@@ -462,24 +675,30 @@ fn streaming_loop<P: PieProgram, T: Transport<P::Key, P::Value>>(
                     // (which inflates evaluation counts) and chains of
                     // interim values (which inflate message depth).
                     let mut evals: HashMap<usize, usize> = HashMap::new();
-                    // PEval for the fragments this worker owns.  No global
-                    // barrier afterwards: mail addressed to a fragment whose
-                    // PEval has not run yet simply waits in its mailbox.
-                    for &fi in &worker_fragments {
-                        let t0 = Instant::now();
-                        let mut msgs = Messages::with_aggregator(ctx.ops.aggregate);
-                        let partial = ctx.program.peval(ctx.query, &ctx.fragments[fi], &mut msgs);
-                        *partials_ref[fi].lock() = Some(partial);
-                        route_and_send(transport, ctx.gp, ctx.scope, fi, 0, msgs.take());
-                        unstarted_ref.fetch_sub(1, Ordering::SeqCst);
-                        evals.insert(fi, 0);
-                        local.push(EvalRecord {
-                            fragment: fi,
-                            step: 0,
-                            consumed_messages: 0,
-                            consumed_bytes: 0,
-                            duration: t0.elapsed(),
-                        });
+                    // PEval for the fragments this worker owns (full phase
+                    // only — an incremental refresh starts straight from the
+                    // retained partials and the pre-seeded mailboxes).  No
+                    // global barrier afterwards: mail addressed to a fragment
+                    // whose PEval has not run yet simply waits in its mailbox.
+                    if phase == Phase::Full {
+                        for &fi in &worker_fragments {
+                            let t0 = Instant::now();
+                            let mut msgs = Messages::with_aggregator(ctx.ops.aggregate);
+                            let partial =
+                                ctx.program.peval(ctx.query, &ctx.fragments[fi], &mut msgs);
+                            *partials_ref[fi].lock() = Some(partial);
+                            route_and_send(transport, ctx.gp, ctx.scope, fi, 0, msgs.take());
+                            unstarted_ref.fetch_sub(1, Ordering::SeqCst);
+                            peval_count_ref.fetch_add(1, Ordering::Relaxed);
+                            evals.insert(fi, 0);
+                            local.push(EvalRecord {
+                                fragment: fi,
+                                step: 0,
+                                consumed_messages: 0,
+                                consumed_bytes: 0,
+                                duration: t0.elapsed(),
+                            });
+                        }
                     }
                     // Drain to quiescence.
                     let mut idle_rounds = 0u32;
@@ -508,7 +727,17 @@ fn streaming_loop<P: PieProgram, T: Transport<P::Key, P::Value>>(
                                 busy_ref.fetch_sub(1, Ordering::SeqCst);
                                 continue;
                             }
-                            let own = evals[&fi] + 1;
+                            // First evaluation of a fragment: round 1 in the
+                            // full phase (its PEval was round 0), round 0 in
+                            // the incremental phase (seeds carry step 0 and
+                            // there is no PEval round).
+                            let own = evals.get(&fi).map_or(
+                                match phase {
+                                    Phase::Full => 1,
+                                    Phase::Incremental => 0,
+                                },
+                                |e| e + 1,
+                            );
                             let step = own.min(drained.max_step + 1);
                             // Guard divergence on the *logical* round, not
                             // the raw evaluation count: piecemeal arrival
@@ -542,6 +771,7 @@ fn streaming_loop<P: PieProgram, T: Transport<P::Key, P::Value>>(
                             route_and_send(transport, ctx.gp, ctx.scope, fi, step, msgs.take());
                             activity_ref.fetch_add(1, Ordering::SeqCst);
                             busy_ref.fetch_sub(1, Ordering::SeqCst);
+                            inceval_count_ref.fetch_add(1, Ordering::Relaxed);
                             local.push(EvalRecord {
                                 fragment: fi,
                                 step,
@@ -591,8 +821,20 @@ fn streaming_loop<P: PieProgram, T: Transport<P::Key, P::Value>>(
     // the reported superstep count is the depth of an equivalent BSP
     // schedule of the same deliveries.  Messages consumed by an evaluation
     // in round `s` are attributed to the end of round `s - 1`, matching the
-    // synchronous accounting.
+    // synchronous accounting; round-0 consumption only exists in the
+    // incremental phase, where it is the injected seeds (accounted
+    // separately as `seed_messages` by the caller).
     let records = records.into_inner();
+    if records.is_empty() {
+        // Incremental refresh with nothing to do: zero supersteps.
+        metrics.peval_calls += peval_count.into_inner();
+        metrics.inceval_calls += inceval_count.into_inner();
+        let collected: Vec<P::Partial> = partials
+            .into_iter()
+            .map(|p| p.into_inner().expect("every fragment has a partial result"))
+            .collect();
+        return Ok(collected);
+    }
     let depth = records.iter().map(|r| r.step).max().unwrap_or(0);
     let mut steps: Vec<SuperstepMetrics> = (0..=depth)
         .map(|s| SuperstepMetrics {
@@ -620,77 +862,19 @@ fn streaming_loop<P: PieProgram, T: Transport<P::Key, P::Value>>(
     for s in steps {
         metrics.push_superstep(s);
     }
+    metrics.peval_calls += peval_count.into_inner();
+    metrics.inceval_calls += inceval_count.into_inner();
 
     let collected: Vec<P::Partial> = partials
         .into_iter()
-        .map(|p| p.into_inner().expect("every fragment ran PEval"))
+        .map(|p| p.into_inner().expect("every fragment has a partial result"))
         .collect();
-    Ok(ctx.program.assemble(ctx.query, collected))
-}
-
-/// The original engine handle, kept as a thin shim for one release.
-///
-/// It behaves like a [`crate::session::GrapeSession`] with the default
-/// transport for its mode.  One intentional behavior change rides along:
-/// the asynchronous mode is now truly barrier-free, so combining it with
-/// superstep-aligned checkpointing or failure injection — which the old
-/// sequential-sweep implementation tolerated — is rejected with
-/// [`EngineError::InvalidConfig`] at run time.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `GrapeSession::builder()` (or `GrapeSession::with_workers`) instead"
-)]
-#[derive(Debug, Clone, Default)]
-pub struct GrapeEngine {
-    config: EngineConfig,
-    balancer: LoadBalancer,
-}
-
-#[allow(deprecated)]
-impl GrapeEngine {
-    /// Creates an engine with the given configuration and the default load
-    /// balancer.
-    pub fn new(config: EngineConfig) -> Self {
-        GrapeEngine {
-            config,
-            balancer: LoadBalancer::default(),
-        }
-    }
-
-    /// Overrides the load balancer.
-    pub fn with_balancer(mut self, balancer: LoadBalancer) -> Self {
-        self.balancer = balancer;
-        self
-    }
-
-    /// The engine configuration.
-    pub fn config(&self) -> &EngineConfig {
-        &self.config
-    }
-
-    /// Runs a PIE program over a fragmented graph and returns the assembled
-    /// output together with the run metrics.
-    pub fn run<P: PieProgram>(
-        &self,
-        fragmentation: &Fragmentation,
-        program: &P,
-        query: &P::Query,
-    ) -> Result<RunResult<P::Output>, EngineError> {
-        execute(
-            &self.config,
-            &self.balancer,
-            TransportSpec::default_for(self.config.mode),
-            fragmentation,
-            program,
-            query,
-        )
-    }
+    Ok(collected)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::EngineConfig;
     use crate::session::GrapeSession;
     use grape_graph::builder::GraphBuilder;
     use grape_graph::types::VertexId;
@@ -983,16 +1167,23 @@ mod tests {
         );
     }
 
-    /// The deprecated shim still runs (and is the only place allowed to
-    /// construct a `GrapeEngine`).
+    /// PEval/IncEval call accounting: a full run calls PEval exactly once
+    /// per fragment, in both runtimes.
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_engine_shim_still_runs() {
+    fn full_runs_count_one_peval_per_fragment() {
         let g = ring_graph(12);
         let frag = RangeEdgeCut::new(3).partition(&g).unwrap();
-        let engine = GrapeEngine::new(EngineConfig::with_workers(3));
-        assert_eq!(engine.config().num_workers, 3);
-        let result = engine.run(&frag, &MinPropagation, &()).unwrap();
-        assert!(result.output.values().all(|&v| v == 0));
+        for mode in [EngineMode::Sync, EngineMode::Async] {
+            let result = GrapeSession::builder()
+                .workers(2)
+                .mode(mode)
+                .build()
+                .unwrap()
+                .run(&frag, &MinPropagation, &())
+                .unwrap();
+            assert_eq!(result.metrics.peval_calls, 3, "{mode:?}");
+            assert!(result.metrics.inceval_calls > 0, "{mode:?}");
+            assert!(!result.metrics.incremental);
+        }
     }
 }

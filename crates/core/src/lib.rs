@@ -22,9 +22,13 @@
 //!
 //! Modules:
 //!
-//! * [`pie`] — the [`pie::PieProgram`] trait (the programming model),
+//! * [`pie`] — the [`pie::PieProgram`] trait (the programming model) and the
+//!   [`pie::IncrementalPie`] extension for queries under updates,
 //! * [`session`] — the user entry point: [`session::GrapeSession`] and its
 //!   fluent builder (workers, mode, transport, balancer),
+//! * [`prepared`] — prepared queries over evolving graphs:
+//!   [`prepared::PreparedQuery`] retains the per-fragment partials so
+//!   `Q(G ⊕ ΔG)` is answered by IncEval alone,
 //! * [`engine`] — the two runtimes (BSP superstep loop and the barrier-free
 //!   streaming loop) behind a session,
 //! * [`transport`] — the pluggable message substrate ([`transport::Transport`],
@@ -41,6 +45,7 @@ pub mod engine;
 pub mod load_balance;
 pub mod metrics;
 pub mod pie;
+pub mod prepared;
 pub mod session;
 pub mod simulate;
 pub mod transport;
@@ -48,10 +53,7 @@ pub mod transport;
 pub use config::{EngineConfig, EngineMode};
 pub use engine::{EngineError, RunResult};
 pub use metrics::EngineMetrics;
-pub use pie::{KeyVertex, Messages, PieProgram};
+pub use pie::{IncrementalPie, KeyVertex, Messages, PieProgram};
+pub use prepared::{PreparedQuery, UpdateReport};
 pub use session::{GrapeSession, GrapeSessionBuilder};
 pub use transport::{Transport, TransportSpec};
-
-// The deprecated shim stays reachable for one release.
-#[allow(deprecated)]
-pub use engine::GrapeEngine;

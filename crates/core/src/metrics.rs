@@ -51,6 +51,25 @@ pub struct EngineMetrics {
     pub recovered_failures: usize,
     /// Number of checkpoints taken.
     pub checkpoints: usize,
+    /// Number of `PEval` invocations.  An IncEval-only incremental refresh
+    /// (see `crate::prepared::PreparedQuery::update`) reports **0** here —
+    /// the pin of the prepared-query acceptance criterion.
+    #[serde(default)]
+    pub peval_calls: usize,
+    /// Number of `IncEval` invocations (evaluations that actually consumed
+    /// messages; empty drains are not counted).
+    #[serde(default)]
+    pub inceval_calls: usize,
+    /// Messages synthesized from `ΔG` by the per-fragment rebase step and
+    /// injected into the mailboxes to start an incremental refresh.  Counted
+    /// separately from the per-superstep message flow (they are part of
+    /// [`EngineMetrics::total_messages`]).
+    #[serde(default)]
+    pub seed_messages: usize,
+    /// Whether this run was an IncEval-only incremental refresh rather than
+    /// a full PEval-rooted computation.
+    #[serde(default)]
+    pub incremental: bool,
     /// Time spent in PEval/IncEval across all supersteps.  Under the
     /// synchronous runtime this is wall-clock per superstep; under the
     /// barrier-free runtime it is the *sum* of per-evaluation durations,
@@ -170,6 +189,10 @@ mod tests {
         let mut m = EngineMetrics {
             program: "sim".into(),
             workers: 2,
+            peval_calls: 4,
+            inceval_calls: 9,
+            seed_messages: 3,
+            incremental: true,
             ..Default::default()
         };
         m.push_superstep(SuperstepMetrics {
@@ -182,5 +205,9 @@ mod tests {
         let back: EngineMetrics = serde_json::from_str(&json).unwrap();
         assert_eq!(back.total_messages, 1);
         assert_eq!(back.program, "sim");
+        assert_eq!(back.peval_calls, 4);
+        assert_eq!(back.inceval_calls, 9);
+        assert_eq!(back.seed_messages, 3);
+        assert!(back.incremental);
     }
 }

@@ -15,7 +15,9 @@
 use std::collections::HashMap;
 use std::hash::Hash;
 
+use grape_graph::delta::GraphDelta;
 use grape_graph::types::VertexId;
+use grape_partition::delta::FragmentDelta;
 use grape_partition::fragment::Fragment;
 use grape_partition::fragmentation_graph::BorderScope;
 
@@ -226,6 +228,67 @@ pub trait PieProgram: Send + Sync {
     fn value_size(&self, _value: &Self::Value) -> usize {
         std::mem::size_of::<Self::Value>()
     }
+}
+
+/// The result of [`IncrementalPie::rebase`]: the partial rebased onto the
+/// updated fragment, plus the update parameters whose values changed as a
+/// consequence of `ΔG` (routed by the engine like a normal evaluation's
+/// sends).
+pub type Rebased<P> = (
+    <P as PieProgram>::Partial,
+    Vec<(<P as PieProgram>::Key, <P as PieProgram>::Value)>,
+);
+
+/// Extension trait for PIE programs that can answer queries **under graph
+/// updates** (the paper's Section 3.4): once `Q(G)` has been prepared, the
+/// program can compute `Q(G ⊕ ΔG)` by rebasing its retained partials onto the
+/// updated fragments and letting the engine iterate IncEval — no PEval.
+///
+/// The protocol, driven by [`crate::prepared::PreparedQuery::update`]:
+///
+/// 1. the partition layer applies `ΔG` to the fragmentation (fragments,
+///    border sets and `G_P` are maintained there);
+/// 2. for every structurally changed fragment, [`IncrementalPie::rebase`]
+///    repairs that fragment's partial *locally* and returns the update
+///    parameters whose values changed as a consequence of `ΔG` — the
+///    messages `M_i` that IncEval would otherwise never learn about;
+/// 3. the engine routes those seeds through `G_P` and runs the ordinary
+///    IncEval fixpoint from the retained partials.
+///
+/// This path is only sound when the delta moves every update parameter in
+/// the direction of the program's partial order (the monotone condition of
+/// the Assurance Theorem): SSSP and CC tolerate *insertions* (distances and
+/// component ids only decrease), graph simulation tolerates *deletions*
+/// (match variables only flip to `false`).  [`IncrementalPie::delta_is_monotone`]
+/// makes that call per program; a non-monotone delta makes the prepared
+/// query fall back to a full re-preparation (PEval on every fragment).
+pub trait IncrementalPie: PieProgram {
+    /// Whether `delta` can be absorbed by the IncEval-only refresh: every
+    /// update parameter must only ever move along the program's partial
+    /// order under this delta.  Deltas for which this returns `false` are
+    /// handled by re-running PEval on every fragment.
+    fn delta_is_monotone(&self, delta: &GraphDelta) -> bool;
+
+    /// Rebases the retained partial result of one *affected* fragment onto
+    /// its rebuilt incarnation and returns the changed update parameters.
+    ///
+    /// `old_frag` is the fragment the partial was computed on, `new_frag`
+    /// the rebuilt fragment (local ids may have shifted — remap by global
+    /// id), and `delta` the restriction of `ΔG` to this fragment.  The
+    /// returned messages are routed through `G_P` exactly like the sends of
+    /// a normal evaluation; only *changed* values should be returned, in
+    /// keeping with GRAPE's changed-parameters-only discipline.
+    ///
+    /// Only called for monotone deltas, so implementations may assume the
+    /// direction of change (e.g. SSSP distances never increase).
+    fn rebase(
+        &self,
+        query: &Self::Query,
+        old_frag: &Fragment,
+        new_frag: &Fragment,
+        partial: Self::Partial,
+        delta: &FragmentDelta,
+    ) -> Rebased<Self>;
 }
 
 #[cfg(test)]

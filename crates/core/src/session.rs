@@ -20,7 +20,10 @@
 //!
 //! The session is cheap to clone, stateless between runs, and reusable:
 //! `session.run(&fragmentation, &program, &query)` executes one query and
-//! returns the same [`RunResult`] shape as always.  Contradictory policies
+//! returns the same [`RunResult`] shape as always, while
+//! `session.prepare(fragmentation, program, query)` returns a
+//! [`crate::prepared::PreparedQuery`] that retains the per-fragment partials
+//! for answering under graph updates.  Contradictory policies
 //! (the barrier-free [`EngineMode::Async`] with a [`TransportSpec::Barrier`]
 //! transport, or with superstep-aligned checkpointing) are rejected at
 //! [`GrapeSessionBuilder::build`] time rather than at run time.
@@ -50,9 +53,8 @@ impl GrapeSession {
         GrapeSessionBuilder::default()
     }
 
-    /// A session with `num_workers` physical workers and default policies —
-    /// the moral equivalent of the old `GrapeEngine::new(
-    /// EngineConfig::with_workers(n))`.
+    /// A session with `num_workers` physical workers and default policies
+    /// everywhere else.
     pub fn with_workers(num_workers: usize) -> Self {
         GrapeSession::builder()
             .workers(num_workers)
@@ -62,6 +64,11 @@ impl GrapeSession {
 
     /// Runs a PIE program over a fragmented graph and returns the assembled
     /// output together with the run metrics.
+    ///
+    /// One-shot: the per-fragment partial results are assembled and dropped.
+    /// To answer the same query repeatedly while the graph evolves, use
+    /// [`GrapeSession::prepare`] (defined in [`crate::prepared`]) and apply
+    /// [`crate::prepared::PreparedQuery::update`] instead of re-running.
     pub fn run<P: PieProgram>(
         &self,
         fragmentation: &Fragmentation,

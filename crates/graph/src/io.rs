@@ -1,6 +1,6 @@
-//! Plain-text edge-list readers/writers.
+//! Graph readers and writers: plain-text edge lists and binary snapshots.
 //!
-//! The format is whitespace separated, one edge per line:
+//! The text format is whitespace separated, one edge per line:
 //!
 //! ```text
 //! # comment lines start with '#' or '%'
@@ -9,10 +9,16 @@
 //!
 //! which is compatible with the SNAP-style edge lists the paper's datasets
 //! (liveJournal, traffic) are distributed in.  [`Graph`] additionally
-//! implements `serde::{Serialize, Deserialize}` for binary/JSON snapshots.
+//! implements `serde::{Serialize, Deserialize}`, and
+//! [`write_binary_snapshot`] / [`read_binary_snapshot`] persist that serde
+//! tree in a compact length-prefixed binary envelope — the first step of the
+//! persistent fragment storage roadmap (graphs no longer need to be re-parsed
+//! or re-generated per process).
 
-use std::io::{self, BufRead, BufWriter, Write};
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
+
+use serde::{Deserialize, Serialize, Value};
 
 use crate::graph::{Directedness, Graph};
 use crate::types::{Edge, Label, VertexId, Weight, NO_LABEL, UNIT_WEIGHT};
@@ -24,6 +30,8 @@ pub enum IoError {
     Io(io::Error),
     /// A line that could not be parsed, with its 1-based line number.
     Parse { line: usize, content: String },
+    /// A binary snapshot that is malformed or from an unknown format version.
+    Snapshot(String),
 }
 
 impl std::fmt::Display for IoError {
@@ -33,6 +41,7 @@ impl std::fmt::Display for IoError {
             IoError::Parse { line, content } => {
                 write!(f, "cannot parse edge list line {line}: {content:?}")
             }
+            IoError::Snapshot(reason) => write!(f, "invalid binary snapshot: {reason}"),
         }
     }
 }
@@ -117,6 +126,168 @@ pub fn write_edge_list_file<P: AsRef<Path>>(graph: &Graph, path: P) -> Result<()
     write_edge_list(graph, file)
 }
 
+// ---------------------------------------------------------------------------
+// Binary snapshots
+// ---------------------------------------------------------------------------
+
+/// Magic header of a binary graph snapshot: "GRPS" + format version 1.
+const SNAPSHOT_MAGIC: &[u8; 5] = b"GRPS\x01";
+
+// One-byte tags of the binary `Value` encoding.
+const TAG_NULL: u8 = 0;
+const TAG_FALSE: u8 = 1;
+const TAG_TRUE: u8 = 2;
+const TAG_UINT: u8 = 3;
+const TAG_INT: u8 = 4;
+const TAG_FLOAT: u8 = 5;
+const TAG_STR: u8 = 6;
+const TAG_SEQ: u8 = 7;
+const TAG_MAP: u8 = 8;
+
+fn write_len<W: Write>(w: &mut W, len: usize) -> io::Result<()> {
+    w.write_all(&(len as u64).to_le_bytes())
+}
+
+fn write_str<W: Write>(w: &mut W, s: &str) -> io::Result<()> {
+    write_len(w, s.len())?;
+    w.write_all(s.as_bytes())
+}
+
+/// Encodes one serde `Value` tree: a tag byte, then a fixed-width payload
+/// (integers and floats little-endian) or a length-prefixed body.
+fn write_value<W: Write>(w: &mut W, v: &Value) -> io::Result<()> {
+    match v {
+        Value::Null => w.write_all(&[TAG_NULL]),
+        Value::Bool(false) => w.write_all(&[TAG_FALSE]),
+        Value::Bool(true) => w.write_all(&[TAG_TRUE]),
+        Value::UInt(n) => {
+            w.write_all(&[TAG_UINT])?;
+            w.write_all(&n.to_le_bytes())
+        }
+        Value::Int(n) => {
+            w.write_all(&[TAG_INT])?;
+            w.write_all(&n.to_le_bytes())
+        }
+        Value::Float(f) => {
+            w.write_all(&[TAG_FLOAT])?;
+            w.write_all(&f.to_bits().to_le_bytes())
+        }
+        Value::Str(s) => {
+            w.write_all(&[TAG_STR])?;
+            write_str(w, s)
+        }
+        Value::Seq(items) => {
+            w.write_all(&[TAG_SEQ])?;
+            write_len(w, items.len())?;
+            for item in items {
+                write_value(w, item)?;
+            }
+            Ok(())
+        }
+        Value::Map(entries) => {
+            w.write_all(&[TAG_MAP])?;
+            write_len(w, entries.len())?;
+            for (k, v) in entries {
+                write_str(w, k)?;
+                write_value(w, v)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+fn read_exact_buf<R: Read>(r: &mut R, n: usize) -> Result<Vec<u8>, IoError> {
+    let mut buf = vec![0u8; n];
+    r.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+fn read_u64<R: Read>(r: &mut R) -> Result<u64, IoError> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+fn read_len<R: Read>(r: &mut R) -> Result<usize, IoError> {
+    usize::try_from(read_u64(r)?).map_err(|_| IoError::Snapshot("length overflow".to_string()))
+}
+
+fn read_str<R: Read>(r: &mut R) -> Result<String, IoError> {
+    let len = read_len(r)?;
+    let bytes = read_exact_buf(r, len)?;
+    String::from_utf8(bytes).map_err(|_| IoError::Snapshot("non-UTF-8 string".to_string()))
+}
+
+fn read_value<R: Read>(r: &mut R) -> Result<Value, IoError> {
+    let mut tag = [0u8; 1];
+    r.read_exact(&mut tag)?;
+    match tag[0] {
+        TAG_NULL => Ok(Value::Null),
+        TAG_FALSE => Ok(Value::Bool(false)),
+        TAG_TRUE => Ok(Value::Bool(true)),
+        TAG_UINT => Ok(Value::UInt(read_u64(r)?)),
+        TAG_INT => Ok(Value::Int(read_u64(r)? as i64)),
+        TAG_FLOAT => Ok(Value::Float(f64::from_bits(read_u64(r)?))),
+        TAG_STR => Ok(Value::Str(read_str(r)?)),
+        TAG_SEQ => {
+            let len = read_len(r)?;
+            let mut items = Vec::with_capacity(len.min(1 << 20));
+            for _ in 0..len {
+                items.push(read_value(r)?);
+            }
+            Ok(Value::Seq(items))
+        }
+        TAG_MAP => {
+            let len = read_len(r)?;
+            let mut entries = Vec::with_capacity(len.min(1 << 20));
+            for _ in 0..len {
+                let k = read_str(r)?;
+                let v = read_value(r)?;
+                entries.push((k, v));
+            }
+            Ok(Value::Map(entries))
+        }
+        other => Err(IoError::Snapshot(format!("unknown value tag {other}"))),
+    }
+}
+
+/// Writes a binary snapshot of the graph (magic header + the serde `Value`
+/// tree in a tagged, length-prefixed little-endian encoding).
+pub fn write_binary_snapshot<W: Write>(graph: &Graph, writer: W) -> Result<(), IoError> {
+    let mut w = BufWriter::new(writer);
+    w.write_all(SNAPSHOT_MAGIC)?;
+    write_value(&mut w, &graph.to_value())?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a graph back from a binary snapshot produced by
+/// [`write_binary_snapshot`].
+pub fn read_binary_snapshot<R: Read>(reader: R) -> Result<Graph, IoError> {
+    let mut r = BufReader::new(reader);
+    let mut magic = [0u8; 5];
+    r.read_exact(&mut magic)?;
+    if &magic != SNAPSHOT_MAGIC {
+        return Err(IoError::Snapshot(
+            "bad magic header (not a grape binary snapshot, or wrong version)".to_string(),
+        ));
+    }
+    let value = read_value(&mut r)?;
+    Graph::from_value(&value).map_err(|e| IoError::Snapshot(e.to_string()))
+}
+
+/// Writes a binary snapshot to a file path.
+pub fn write_binary_snapshot_file<P: AsRef<Path>>(graph: &Graph, path: P) -> Result<(), IoError> {
+    let file = std::fs::File::create(path)?;
+    write_binary_snapshot(graph, file)
+}
+
+/// Reads a binary snapshot from a file path.
+pub fn read_binary_snapshot_file<P: AsRef<Path>>(path: P) -> Result<Graph, IoError> {
+    let file = std::fs::File::open(path)?;
+    read_binary_snapshot(file)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -177,5 +348,56 @@ mod tests {
         let back = read_edge_list_file(&path, Directedness::Undirected).unwrap();
         assert_eq!(back.num_edges(), 2);
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn binary_snapshot_roundtrip_preserves_everything() {
+        let g = GraphBuilder::directed()
+            .add_labeled_edge(0, 1, 2.5, 3)
+            .add_labeled_edge(1, 4, 0.125, 9)
+            .set_vertex_label(4, 7)
+            .ensure_vertices(6)
+            .build();
+        let mut buf = Vec::new();
+        write_binary_snapshot(&g, &mut buf).unwrap();
+        let back = read_binary_snapshot(Cursor::new(buf)).unwrap();
+        assert_eq!(back.num_vertices(), g.num_vertices());
+        assert_eq!(back.num_edges(), g.num_edges());
+        assert_eq!(back.is_directed(), g.is_directed());
+        assert_eq!(back.vertex_label(4), 7);
+        assert_eq!(back.out_neighbors(0)[0].weight, 2.5);
+        assert_eq!(back.out_neighbors(1)[0].label, 9);
+        assert!(back.check_invariants());
+    }
+
+    #[test]
+    fn binary_snapshot_file_roundtrip() {
+        let g = GraphBuilder::undirected()
+            .add_weighted_edge(0, 1, 4.0)
+            .add_edge(1, 2)
+            .build();
+        let path = std::env::temp_dir().join("grape_io_test_snapshot.bin");
+        write_binary_snapshot_file(&g, &path).unwrap();
+        let back = read_binary_snapshot_file(&path).unwrap();
+        assert_eq!(back.num_edges(), 2);
+        assert!(!back.is_directed());
+        assert_eq!(back.out_neighbors(0)[0].weight, 4.0);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn binary_snapshot_rejects_wrong_magic() {
+        let err = read_binary_snapshot(Cursor::new(b"NOPE\x01garbage".to_vec())).unwrap_err();
+        assert!(matches!(err, IoError::Snapshot(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn binary_snapshot_rejects_truncation() {
+        let g = GraphBuilder::directed().add_edge(0, 1).build();
+        let mut buf = Vec::new();
+        write_binary_snapshot(&g, &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        let err = read_binary_snapshot(Cursor::new(buf)).unwrap_err();
+        assert!(matches!(err, IoError::Io(_) | IoError::Snapshot(_)));
     }
 }

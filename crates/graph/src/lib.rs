@@ -13,7 +13,10 @@
 //! * [`generators`] — synthetic stand-ins for the paper's datasets
 //!   (road grid ≙ *traffic*, power-law ≙ *liveJournal*, labeled knowledge graph
 //!   ≙ *DBpedia*, bipartite ratings ≙ *movieLens*),
-//! * [`io`] — plain-text edge-list readers/writers and serde support.
+//! * [`delta`] — batched graph updates ([`delta::GraphDelta`]) and
+//!   [`graph::Graph::apply_delta`], the `ΔG` of queries under updates,
+//! * [`io`] — plain-text edge-list readers/writers, binary graph snapshots
+//!   and serde support.
 //!
 //! All vertex identifiers are dense `0..n` integers ([`types::VertexId`]);
 //! this is what lets fragments and the fragmentation graph index status
@@ -21,6 +24,7 @@
 
 pub mod builder;
 pub mod csr;
+pub mod delta;
 pub mod generators;
 pub mod graph;
 pub mod io;
@@ -28,6 +32,7 @@ pub mod pattern;
 pub mod types;
 
 pub use builder::GraphBuilder;
+pub use delta::GraphDelta;
 pub use graph::{Directedness, Graph};
 pub use pattern::Pattern;
 pub use types::{EdgeId, Label, VertexId, Weight};

@@ -148,6 +148,20 @@ impl Fragment {
             && self.in_border.iter().all(|&l| self.is_inner(l));
         bijective && borders_in_range && self.local.check_invariants()
     }
+
+    /// Whether two fragments are structurally identical: same vertex mapping,
+    /// inner/outer split, border sets and local adjacency.  Both sides must
+    /// come from the deterministic edge-cut construction (which they do —
+    /// this is how delta application decides that a candidate fragment was
+    /// not actually affected by `ΔG`).
+    pub(crate) fn same_structure(&self, other: &Fragment) -> bool {
+        self.id == other.id
+            && self.num_inner == other.num_inner
+            && self.globals == other.globals
+            && self.in_border == other.in_border
+            && self.out_border == other.out_border
+            && self.local.edges() == other.local.edges()
+    }
 }
 
 /// A complete fragmentation: all fragments, the fragmentation graph `G_P`,
@@ -282,6 +296,99 @@ impl Fragmentation {
     }
 }
 
+/// Builds fragment `i` of an edge-cut fragmentation: the given inner
+/// vertices (in global order) plus outer copies discovered from their
+/// out-edges, the local adjacency, and both border sets.  Shared by the
+/// full [`build_edge_cut`] construction and by the incremental rebuild in
+/// [`crate::delta`], so delta application and fresh partitioning produce
+/// byte-identical fragments.
+pub(crate) fn build_edge_cut_fragment(
+    g: &Graph,
+    assignment: &[u32],
+    i: usize,
+    inner_vs: &[VertexId],
+) -> Fragment {
+    let mut globals: Vec<VertexId> = inner_vs.to_vec();
+    let mut to_local: HashMap<VertexId, LocalId> = globals
+        .iter()
+        .enumerate()
+        .map(|(l, &v)| (v, l as LocalId))
+        .collect();
+    let num_inner = globals.len();
+
+    // Discover outer copies: targets of edges leaving inner vertices that
+    // are owned elsewhere.
+    for &v in inner_vs {
+        for n in g.out_neighbors(v) {
+            if assignment[n.target as usize] as usize != i && !to_local.contains_key(&n.target) {
+                to_local.insert(n.target, globals.len() as LocalId);
+                globals.push(n.target);
+            }
+        }
+    }
+
+    // Local edges: all out-edges of inner vertices.
+    let mut edges = Vec::new();
+    for &v in inner_vs {
+        let src_local = to_local[&v];
+        for n in g.out_neighbors(v) {
+            let dst_local = to_local[&n.target];
+            edges.push(Edge::new(
+                src_local as VertexId,
+                dst_local as VertexId,
+                n.weight,
+                n.label,
+            ));
+        }
+    }
+    let labels: Vec<Label> = globals.iter().map(|&v| g.vertex_label(v)).collect();
+    let local = Graph::from_parts(Directedness::Directed, globals.len(), edges, labels);
+
+    // F_i.I: inner vertices with an incoming edge from another fragment.
+    let mut in_border: Vec<LocalId> = Vec::new();
+    for (l, &v) in globals.iter().enumerate().take(num_inner) {
+        let has_cross_in = g
+            .in_neighbors(v)
+            .iter()
+            .any(|n| assignment[n.target as usize] as usize != i);
+        if has_cross_in {
+            in_border.push(l as LocalId);
+        }
+    }
+    let out_border: Vec<LocalId> = (num_inner as LocalId..globals.len() as LocalId).collect();
+
+    Fragment {
+        id: i,
+        local,
+        globals,
+        to_local,
+        num_inner,
+        in_border,
+        out_border,
+    }
+}
+
+/// Assembles a [`Fragmentation`] from already-built fragments, recomputing
+/// the fragmentation graph `G_P` from their border sets.  Used by
+/// [`build_edge_cut`] and by delta application.
+pub(crate) fn assemble_edge_cut(
+    fragments: Vec<Fragment>,
+    assignment: Vec<u32>,
+    source: Arc<Graph>,
+    strategy_name: String,
+) -> Fragmentation {
+    let outer_sets: Vec<Vec<VertexId>> = fragments.iter().map(|f| f.out_border_globals()).collect();
+    let in_border_sets: Vec<Vec<VertexId>> =
+        fragments.iter().map(|f| f.in_border_globals()).collect();
+    let gp = FragmentationGraph::new(assignment, &outer_sets, &in_border_sets);
+    Fragmentation {
+        fragments,
+        gp,
+        source,
+        strategy_name,
+    }
+}
+
 /// Builds an edge-cut fragmentation from a vertex → fragment assignment.
 ///
 /// Fragment `i` receives every vertex assigned to it plus, for every edge
@@ -308,85 +415,17 @@ pub fn build_edge_cut(
         inner[f].push(v);
     }
 
-    let mut fragments = Vec::with_capacity(num_fragments);
-    let mut outer_sets: Vec<Vec<VertexId>> = Vec::with_capacity(num_fragments);
-    let mut in_border_sets: Vec<Vec<VertexId>> = Vec::with_capacity(num_fragments);
-
-    for (i, inner_vs) in inner.iter().enumerate() {
-        let mut globals: Vec<VertexId> = inner_vs.clone();
-        let mut to_local: HashMap<VertexId, LocalId> = globals
-            .iter()
-            .enumerate()
-            .map(|(l, &v)| (v, l as LocalId))
-            .collect();
-        let num_inner = globals.len();
-
-        // Discover outer copies: targets of edges leaving inner vertices that
-        // are owned elsewhere.
-        let mut out_border_globals: Vec<VertexId> = Vec::new();
-        for &v in inner_vs {
-            for n in g.out_neighbors(v) {
-                if assignment[n.target as usize] as usize != i && !to_local.contains_key(&n.target)
-                {
-                    to_local.insert(n.target, globals.len() as LocalId);
-                    globals.push(n.target);
-                    out_border_globals.push(n.target);
-                }
-            }
-        }
-
-        // Local edges: all out-edges of inner vertices.
-        let mut edges = Vec::new();
-        for &v in inner_vs {
-            let src_local = to_local[&v];
-            for n in g.out_neighbors(v) {
-                let dst_local = to_local[&n.target];
-                edges.push(Edge::new(
-                    src_local as VertexId,
-                    dst_local as VertexId,
-                    n.weight,
-                    n.label,
-                ));
-            }
-        }
-        let labels: Vec<Label> = globals.iter().map(|&v| g.vertex_label(v)).collect();
-        let local = Graph::from_parts(Directedness::Directed, globals.len(), edges, labels);
-
-        // F_i.I: inner vertices with an incoming edge from another fragment.
-        let mut in_border: Vec<LocalId> = Vec::new();
-        let mut in_border_globals: Vec<VertexId> = Vec::new();
-        for (l, &v) in globals.iter().enumerate().take(num_inner) {
-            let has_cross_in = g
-                .in_neighbors(v)
-                .iter()
-                .any(|n| assignment[n.target as usize] as usize != i);
-            if has_cross_in {
-                in_border.push(l as LocalId);
-                in_border_globals.push(v);
-            }
-        }
-        let out_border: Vec<LocalId> = (num_inner as LocalId..globals.len() as LocalId).collect();
-
-        outer_sets.push(out_border_globals);
-        in_border_sets.push(in_border_globals);
-        fragments.push(Fragment {
-            id: i,
-            local,
-            globals,
-            to_local,
-            num_inner,
-            in_border,
-            out_border,
-        });
-    }
-
-    let gp = FragmentationGraph::new(assignment.to_vec(), &outer_sets, &in_border_sets);
-    Fragmentation {
+    let fragments: Vec<Fragment> = inner
+        .iter()
+        .enumerate()
+        .map(|(i, inner_vs)| build_edge_cut_fragment(g, assignment, i, inner_vs))
+        .collect();
+    assemble_edge_cut(
         fragments,
-        gp,
-        source: Arc::clone(graph),
-        strategy_name: strategy_name.to_string(),
-    }
+        assignment.to_vec(),
+        Arc::clone(graph),
+        strategy_name.to_string(),
+    )
 }
 
 /// Builds a vertex-cut fragmentation from an edge → fragment assignment.

@@ -26,6 +26,7 @@
 //! * [`grid::OneDPartition`] / [`grid::TwoDPartition`] — 1-D / 2-D partitions,
 //! * [`streaming::StreamingPartition`] — LDG / Fennel streaming heuristics.
 
+pub mod delta;
 pub mod edge_cut;
 pub mod fragment;
 pub mod fragmentation_graph;
@@ -36,6 +37,7 @@ pub mod strategy;
 pub mod streaming;
 pub mod vertex_cut;
 
+pub use delta::{DeltaApplication, FragmentDelta};
 pub use fragment::{Fragment, Fragmentation};
 pub use fragmentation_graph::{BorderScope, FragmentationGraph};
 pub use strategy::{PartitionError, PartitionStrategy};

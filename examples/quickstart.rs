@@ -1,5 +1,6 @@
-//! Quickstart: build a tiny weighted graph, partition it, and run the SSSP
-//! PIE program on the GRAPE engine.
+//! Quickstart: build a tiny weighted graph, partition it, prepare the SSSP
+//! PIE program on the GRAPE engine, and absorb a graph update with IncEval
+//! alone.
 //!
 //! ```text
 //! cargo run --example quickstart
@@ -31,18 +32,40 @@ fn main() {
     );
 
     // Plug the sequential Dijkstra + incremental Dijkstra (the SSSP PIE
-    // program) into a GRAPE session and play.
+    // program) into a GRAPE session and *prepare* the query: PEval runs
+    // once and the per-fragment partials are retained for serving.
     let session = GrapeSession::with_workers(2);
-    let result = session
-        .run(&fragments, &Sssp, &SsspQuery::new(0))
-        .expect("run");
+    let mut prepared = session
+        .prepare(fragments, Sssp, SsspQuery::new(0))
+        .expect("prepare");
 
+    // `output()` assembles from the retained partials — bind it once.
+    let distances = prepared.output();
     println!("\nshortest distances from vertex 0:");
     for v in graph.vertices() {
-        match result.output.distance(v) {
+        match distances.distance(v) {
             Some(d) => println!("  dist(0, {v}) = {d}"),
             None => println!("  dist(0, {v}) = unreachable"),
         }
     }
-    println!("\n{}", result.metrics.summary());
+    println!("\n{}", prepared.prepare_metrics().summary());
+
+    // The road map evolves: a new road 0 -> 3 opens.  An insertion is
+    // monotone for SSSP, so the prepared query absorbs it by IncEval alone
+    // — zero PEval calls — instead of recomputing from scratch.
+    let report = prepared
+        .update(&GraphDelta::new().add_weighted_edge(0, 3, 2.0))
+        .expect("update");
+    println!(
+        "\nafter opening road 0 -> 3 (incremental = {}, PEval calls = {}):",
+        report.incremental, report.metrics.peval_calls
+    );
+    let refreshed = prepared.output();
+    for v in [3u64, 4, 5] {
+        println!(
+            "  dist(0, {v}) = {}",
+            refreshed.distance(v).expect("reachable")
+        );
+    }
+    println!("\n{}", prepared.last_metrics().summary());
 }

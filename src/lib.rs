@@ -24,11 +24,18 @@
 //!     .add_weighted_edge(0, 2, 10.0)
 //!     .build();
 //!
-//! // Partition it into 2 fragments with hash edge-cut and run SSSP from 0.
+//! // Partition it into 2 fragments with hash edge-cut and prepare SSSP
+//! // from vertex 0: PEval runs once, the partials are retained.
 //! let fragments = HashEdgeCut::new(2).partition(&g).expect("partition");
 //! let session = GrapeSession::builder().workers(2).build().unwrap();
-//! let result = session.run(&fragments, &Sssp::default(), &SsspQuery::new(0)).unwrap();
-//! assert_eq!(result.output.distance(2), Some(4.0));
+//! let mut prepared = session.prepare(fragments, Sssp::default(), SsspQuery::new(0)).unwrap();
+//! assert_eq!(prepared.output().distance(2), Some(4.0));
+//!
+//! // The graph evolves: a new edge shortens the path.  IncEval absorbs it —
+//! // no PEval runs (one-shot `session.run` remains available as well).
+//! let report = prepared.update(&GraphDelta::new().add_weighted_edge(0, 2, 3.0)).unwrap();
+//! assert!(report.incremental && report.metrics.peval_calls == 0);
+//! assert_eq!(prepared.output().distance(2), Some(3.0));
 //! ```
 
 pub use grape_algorithms as algorithms;
@@ -47,10 +54,12 @@ pub mod prelude {
     pub use grape_core::config::{EngineConfig, EngineMode};
     pub use grape_core::engine::RunResult;
     pub use grape_core::metrics::EngineMetrics;
-    pub use grape_core::pie::PieProgram;
+    pub use grape_core::pie::{IncrementalPie, PieProgram};
+    pub use grape_core::prepared::{PreparedQuery, UpdateReport};
     pub use grape_core::session::{GrapeSession, GrapeSessionBuilder};
     pub use grape_core::transport::{Transport, TransportSpec};
     pub use grape_graph::builder::GraphBuilder;
+    pub use grape_graph::delta::GraphDelta;
     pub use grape_graph::generators;
     pub use grape_graph::graph::{Directedness, Graph};
     pub use grape_graph::pattern::Pattern;

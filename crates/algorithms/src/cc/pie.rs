@@ -15,12 +15,14 @@
 //! (components only merge, minimum ids only decrease), so `Q(G ⊕ ΔG)` is
 //! refreshed by re-deriving the local component structure of the affected
 //! fragments — seeded with the retained cids — and shipping the border cids
-//! that decreased.  Deletions can split components, so they fall back to a
-//! full re-preparation.
+//! that decreased.  Deletions can split components; they take the **bounded
+//! refresh** under [`DamagePolicy::Reachability`]: only the fragments whose
+//! retained cids could have flowed through a deleted edge are re-rooted
+//! with PEval, everyone else keeps its partial and reseeds its border cids.
 
 use std::collections::HashMap;
 
-use grape_core::pie::{IncrementalPie, Messages, PieProgram};
+use grape_core::pie::{DamagePolicy, IncrementalPie, Messages, PieProgram};
 use grape_graph::delta::GraphDelta;
 use grape_graph::types::VertexId;
 use grape_partition::delta::FragmentDelta;
@@ -273,6 +275,33 @@ impl IncrementalPie for Cc {
         }
         (rebased, sends)
     }
+
+    /// The min-cid fixpoint is schedule-independent given fixed border
+    /// inputs: deletions re-root only the message-flow closure of the
+    /// damage.
+    fn damage_policy(&self, _query: &CcQuery) -> DamagePolicy {
+        DamagePolicy::Reachability
+    }
+
+    /// The full border segment of a retained partial: the current cid of
+    /// every border vertex (same candidate set as PEval's message segment).
+    fn reseed(
+        &self,
+        _query: &CcQuery,
+        frag: &Fragment,
+        partial: &CcPartial,
+    ) -> Vec<(VertexId, VertexId)> {
+        frag.out_border_locals()
+            .iter()
+            .chain(frag.in_border_locals())
+            .map(|&l| {
+                (
+                    frag.global_of(l),
+                    partial.component_cid[partial.component_of[l as usize]],
+                )
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -406,6 +435,48 @@ mod tests {
         assert!(!report.incremental, "removals can split components");
         assert!(report.metrics.peval_calls > 0);
         assert_matches_sequential(prepared.fragmentation().source(), &prepared.output());
+    }
+
+    #[test]
+    fn deletion_in_an_isolated_component_repevals_only_that_component() {
+        use grape_core::prepared::RefreshKind;
+        use grape_graph::delta::GraphDelta;
+
+        // Two disjoint chains over four range fragments of 3: {0,1,2} and
+        // {3,4,5} form one quotient component, {6,7,8} and {9,10,11} the
+        // other.  Splitting the second chain damages only its fragments.
+        let g = GraphBuilder::undirected()
+            .add_edge(0, 1)
+            .add_edge(1, 2)
+            .add_edge(2, 3)
+            .add_edge(3, 4)
+            .add_edge(4, 5)
+            .add_edge(6, 7)
+            .add_edge(7, 8)
+            .add_edge(8, 9)
+            .add_edge(9, 10)
+            .add_edge(10, 11)
+            .build();
+        let frag = RangeEdgeCut::new(4).partition(&g).unwrap();
+        let session = GrapeSession::with_workers(2);
+        let mut prepared = session.prepare(frag, Cc, CcQuery).unwrap();
+        assert!(prepared.output().same_component(6, 11));
+
+        let report = prepared
+            .update(&GraphDelta::new().remove_edge(9, 10))
+            .unwrap();
+        assert_eq!(report.kind, RefreshKind::Bounded);
+        assert!(
+            report.repeval.iter().all(|&i| i >= 2),
+            "the first chain's fragments stay untouched: {:?}",
+            report.repeval
+        );
+        assert!(report.metrics.peval_calls < 4);
+
+        let split = prepared.output();
+        assert!(!split.same_component(6, 11));
+        assert!(split.same_component(0, 5));
+        assert_matches_sequential(prepared.fragmentation().source(), &split);
     }
 
     #[test]

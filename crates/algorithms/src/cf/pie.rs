@@ -12,11 +12,29 @@
 //!   local epoch touching only the affected vectors, until the configured
 //!   number of epochs is exhausted.
 //! * Assemble — union of the factor vectors (master copies win).
+//!
+//! CF also implements [`IncrementalPie`] for prepared queries over evolving
+//! rating graphs: **rating inserts are an epoch-seeded factor refresh** over
+//! the affected user/item vertices.  SGD training is trajectory-dependent —
+//! a new rating participates in *every* epoch, so no delta is monotone and
+//! there is no sound way to splice boundary factors mid-training.  The
+//! damage policy is therefore [`DamagePolicy::Component`]: the refresh
+//! re-initializes the factors of every fragment in the quotient connected
+//! component(s) the new ratings touch and re-runs their epoch budget from
+//! epoch 1, while fragments of untouched components keep their trained
+//! factors verbatim (no message ever crossed the component boundary, so
+//! they equal a full retraining's by construction).
+//!
+//! On a rating graph whose quotient is one connected component the frontier
+//! degenerates to a full retrain — the honest answer for a model whose
+//! every factor depends on every rating.
 
 use std::collections::HashMap;
 
-use grape_core::pie::{Messages, PieProgram};
+use grape_core::pie::{DamagePolicy, IncrementalPie, Messages, PieProgram};
+use grape_graph::delta::GraphDelta;
 use grape_graph::types::VertexId;
+use grape_partition::delta::FragmentDelta;
 use grape_partition::fragment::Fragment;
 use grape_partition::fragmentation_graph::BorderScope;
 
@@ -222,6 +240,37 @@ impl PieProgram for Cf {
     }
 }
 
+impl IncrementalPie for Cf {
+    /// SGD training has no monotone direction: a new rating participates in
+    /// every epoch, so both inserts and removals change the trajectory of
+    /// their whole component.  Every non-empty delta takes the bounded
+    /// (component-closed) refresh.
+    fn delta_is_monotone(&self, delta: &GraphDelta) -> bool {
+        delta.is_empty()
+    }
+
+    /// Only reachable for deltas that changed no fragment structurally
+    /// (empty `ΔG`), where there is nothing to repair.
+    fn rebase(
+        &self,
+        _query: &CfQuery,
+        _old_frag: &Fragment,
+        _new_frag: &Fragment,
+        partial: CfPartial,
+        _delta: &FragmentDelta,
+    ) -> (CfPartial, Vec<(VertexId, FactorUpdate)>) {
+        (partial, Vec::new())
+    }
+
+    /// Epoch-seeded factor refresh: the whole quotient component of every
+    /// changed fragment retrains from epoch 1 (PEval re-initializes the
+    /// affected user/item factor vectors); untouched components keep their
+    /// trained factors.
+    fn damage_policy(&self, _query: &CfQuery) -> DamagePolicy {
+        DamagePolicy::Component
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -305,6 +354,101 @@ mod tests {
         let (_, metrics, _) = train_distributed(4, 1, 4);
         assert_eq!(metrics.supersteps, 1);
         assert_eq!(metrics.total_messages, 0);
+    }
+
+    #[test]
+    fn prepared_rating_insert_refreshes_only_the_touched_component() {
+        use grape_core::prepared::RefreshKind;
+        use grape_graph::builder::GraphBuilder;
+        use grape_graph::delta::GraphDelta;
+        use grape_graph::types::Edge;
+        use grape_partition::edge_cut::RangeEdgeCut;
+
+        // Two disjoint rating blocks: users 0–3 rate items 4–7, users 8–11
+        // rate items 12–15.  Four range fragments of 4 vertices — fragments
+        // {0,1} form one quotient component, {2,3} the other.
+        let mut b = GraphBuilder::directed();
+        for u in 0..4u64 {
+            for i in 0..3u64 {
+                b.push_edge(Edge::weighted(
+                    u,
+                    4 + (u + i) % 4,
+                    1.0 + ((u + i) % 5) as f64,
+                ));
+            }
+        }
+        for u in 8..12u64 {
+            for i in 0..3u64 {
+                b.push_edge(Edge::weighted(
+                    u,
+                    12 + (u + i) % 4,
+                    1.0 + ((u * (i + 1)) % 5) as f64,
+                ));
+            }
+        }
+        let g = b.build();
+        let frag = RangeEdgeCut::new(4).partition(&g).unwrap();
+        let session = GrapeSession::builder()
+            .workers(2)
+            .mode(grape_core::config::EngineMode::Sync)
+            .build()
+            .unwrap();
+        let query = CfQuery {
+            epochs: 4,
+            num_factors: 4,
+            ..Default::default()
+        };
+        let mut prepared = session.prepare(frag, Cf, query.clone()).unwrap();
+
+        // A new rating inside the second block: epoch-seeded factor refresh
+        // over that component's user/item vertices only.
+        let report = prepared
+            .update(&GraphDelta::new().add_weighted_edge(9, 15, 5.0))
+            .unwrap();
+        assert_eq!(report.kind, RefreshKind::Bounded);
+        assert_eq!(report.repeval, vec![2, 3], "only the touched component");
+        assert_eq!(report.metrics.peval_calls, 2);
+        assert_eq!(prepared.bounded_updates(), 1);
+
+        // Exact equivalence with a full retraining on the updated graph:
+        // the untouched component's factors never depended on the other's.
+        let recompute = session.run(prepared.fragmentation(), &Cf, &query).unwrap();
+        assert_eq!(
+            prepared.output().into_factors(),
+            recompute.output.into_factors()
+        );
+    }
+
+    #[test]
+    fn rating_insert_in_a_connected_quotient_retrains_fully() {
+        use grape_core::prepared::RefreshKind;
+        use grape_graph::delta::GraphDelta;
+
+        // One bipartite block: every fragment shares items with the others,
+        // so the honest frontier is everything — a full retrain.
+        let data = bipartite_ratings(40, 16, 400, 4, 9);
+        let frag = HashEdgeCut::new(3).partition(&data.graph).unwrap();
+        let session = GrapeSession::builder()
+            .workers(2)
+            .mode(grape_core::config::EngineMode::Sync)
+            .build()
+            .unwrap();
+        let query = CfQuery {
+            epochs: 3,
+            num_factors: 4,
+            ..Default::default()
+        };
+        let mut prepared = session.prepare(frag, Cf, query.clone()).unwrap();
+        let report = prepared
+            .update(&GraphDelta::new().add_weighted_edge(0, 45, 3.0))
+            .unwrap();
+        assert_eq!(report.kind, RefreshKind::Full);
+        assert_eq!(report.metrics.peval_calls, 3);
+        let recompute = session.run(prepared.fragmentation(), &Cf, &query).unwrap();
+        assert_eq!(
+            prepared.output().into_factors(),
+            recompute.output.into_factors()
+        );
     }
 
     #[test]

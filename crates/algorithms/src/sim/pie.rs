@@ -17,15 +17,19 @@
 //! Sim also implements [`IncrementalPie`], with the monotone direction
 //! *reversed* relative to SSSP/CC: **deletions** are monotone (removing
 //! edges or vertices can only invalidate matches — `x_(u, v)` flips `true →
-//! false`, never back), while insertions can resurrect matches and fall
-//! back to a full re-preparation.  The rebase step is exactly the paper's
-//! incremental match invalidation: remap the retained relation, recompute
-//! the witness counters on the shrunken fragment, and propagate removals
-//! from the violations the deletion introduced.
+//! false`, never back), while insertions can resurrect matches.  The rebase
+//! step is exactly the paper's incremental match invalidation: remap the
+//! retained relation, recompute the witness counters on the shrunken
+//! fragment, and propagate removals from the violations the deletion
+//! introduced.  Insertions take the **bounded refresh** under
+//! [`DamagePolicy::Reachability`] (over the `F_i.I` message-flow
+//! direction): only the fragments whose match variables could depend on a
+//! resurrected match are re-rooted, the rest keep their relation and
+//! reseed their in-border falsifications.
 
 use std::collections::{HashMap, HashSet};
 
-use grape_core::pie::{IncrementalPie, Messages, PieProgram};
+use grape_core::pie::{DamagePolicy, IncrementalPie, Messages, PieProgram};
 use grape_graph::delta::GraphDelta;
 use grape_graph::pattern::Pattern;
 use grape_graph::types::VertexId;
@@ -416,6 +420,34 @@ impl IncrementalPie for Sim {
             sends,
         )
     }
+
+    /// The match-invalidation fixpoint is schedule-independent given fixed
+    /// border inputs: insertions re-root only the message-flow closure of
+    /// the damage (under the `F_i.I` scope).
+    fn damage_policy(&self, _query: &SimQuery) -> DamagePolicy {
+        DamagePolicy::Reachability
+    }
+
+    /// The full border segment of a retained partial: every in-border
+    /// falsification whose label would otherwise let the copy holder stay
+    /// optimistic (same candidate set as PEval's message segment).
+    fn reseed(
+        &self,
+        query: &SimQuery,
+        frag: &Fragment,
+        partial: &SimPartial,
+    ) -> Vec<((u32, VertexId), bool)> {
+        let pattern = &query.pattern;
+        let mut sends = Vec::new();
+        for &l in frag.in_border_locals() {
+            for u in 0..pattern.num_nodes() as u32 {
+                if frag.label(l) == pattern.label(u) && !partial.sim[u as usize][l as usize] {
+                    sends.push(((u, frag.global_of(l)), false));
+                }
+            }
+        }
+        sends
+    }
 }
 
 #[cfg(test)]
@@ -544,6 +576,44 @@ mod tests {
             &pattern,
             &prepared.output(),
         );
+    }
+
+    #[test]
+    fn upstream_insertion_repevals_a_bounded_frontier() {
+        use grape_core::prepared::RefreshKind;
+        use grape_graph::builder::GraphBuilder;
+        use grape_graph::delta::GraphDelta;
+        use grape_partition::edge_cut::RangeEdgeCut;
+
+        // A forward chain with alternating labels over four range fragments.
+        // Sim's messages flow along F_i.I — against the edge direction — so
+        // an insertion inside fragment 0 (which nothing points into) damages
+        // fragment 0 alone; fragment 1 reseeds its in-border falsifications.
+        let mut b = GraphBuilder::directed();
+        for v in 0..15u64 {
+            b.push_edge(grape_graph::types::Edge::unweighted(v, v + 1));
+        }
+        for v in 0..16u64 {
+            b.push_vertex_label(v, 1 + (v % 2) as u32);
+        }
+        let g = b.build();
+        let frag = RangeEdgeCut::new(4).partition(&g).unwrap();
+        let pattern = Pattern::new(vec![1, 1], vec![(0, 1)]);
+        let session = GrapeSession::with_workers(2);
+        let query = SimQuery::new(pattern.clone());
+        let mut prepared = session.prepare(frag, Sim::new(), query).unwrap();
+        // No label-1 vertex has a label-1 child on the alternating chain.
+        assert!(!prepared.output().is_match());
+
+        // 0 and 2 both carry label 1: the new edge resurrects matches.
+        let report = prepared.update(&GraphDelta::new().add_edge(0, 2)).unwrap();
+        assert_eq!(report.kind, RefreshKind::Bounded);
+        assert_eq!(report.repeval, vec![0], "nothing points into fragment 0");
+        assert_eq!(report.metrics.peval_calls, 1);
+
+        let refreshed = prepared.output();
+        assert!(refreshed.is_match());
+        assert_matches_sequential(prepared.fragmentation().source(), &pattern, &refreshed);
     }
 
     #[test]

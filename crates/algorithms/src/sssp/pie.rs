@@ -12,13 +12,17 @@
 //! monotone (a new edge can only shorten distances), so `Q(G ⊕ ΔG)` is
 //! refreshed by re-relaxing around the inserted edges and letting IncEval
 //! propagate the improvements — no PEval.  Deletions can lengthen shortest
-//! paths, which the min-aggregated variables cannot express, so they fall
-//! back to a full re-preparation.
+//! paths, which the min-aggregated variables cannot express; they take the
+//! **bounded refresh** under [`DamagePolicy::Reachability`]: only the
+//! fragments whose retained distances could depend on a deleted edge
+//! (the message-flow closure of the structurally changed fragments) are
+//! re-rooted with PEval, while every other fragment keeps its partial and
+//! reseeds its border distances into the fixpoint.
 
 use std::collections::BinaryHeap;
 use std::collections::HashMap;
 
-use grape_core::pie::{IncrementalPie, Messages, PieProgram};
+use grape_core::pie::{DamagePolicy, IncrementalPie, Messages, PieProgram};
 use grape_graph::delta::GraphDelta;
 use grape_graph::types::VertexId;
 use grape_partition::delta::FragmentDelta;
@@ -297,6 +301,27 @@ impl IncrementalPie for Sssp {
             sends,
         )
     }
+
+    /// Dijkstra's fixpoint is schedule-independent given fixed border
+    /// inputs, so deletions only need to re-root the fragments reachable
+    /// from the damage through `G_P`.
+    fn damage_policy(&self, _query: &SsspQuery) -> DamagePolicy {
+        DamagePolicy::Reachability
+    }
+
+    /// The full border segment of a retained partial: every finite border
+    /// distance, so a freshly re-rooted downstream fragment re-learns the
+    /// entry distances this (undamaged) fragment feeds it.
+    fn reseed(
+        &self,
+        _query: &SsspQuery,
+        frag: &Fragment,
+        partial: &SsspPartial,
+    ) -> Vec<(VertexId, f64)> {
+        let mut msgs = Messages::new();
+        Self::send_border(frag, &partial.dist, None, &mut msgs);
+        msgs.take()
+    }
 }
 
 #[cfg(test)]
@@ -438,6 +463,45 @@ mod tests {
                 None => assert!(!d.is_finite(), "vertex {v}"),
             }
         }
+    }
+
+    #[test]
+    fn localized_deletion_repevals_only_the_downstream_frontier() {
+        use grape_core::prepared::RefreshKind;
+        use grape_graph::builder::GraphBuilder;
+        use grape_graph::delta::GraphDelta;
+        use grape_partition::edge_cut::RangeEdgeCut;
+
+        // Weighted path 0 → 1 → … → 11 over four range fragments of 3.
+        // Deleting the fragment-local edge 4 → 5 can only lengthen distances
+        // downstream: the damage frontier is {1, 2, 3}, never fragment 0.
+        let mut b = GraphBuilder::directed();
+        for v in 0..11u64 {
+            b.push_edge(grape_graph::types::Edge::weighted(v, v + 1, 1.0 + v as f64));
+        }
+        let g = b.build();
+        let frag = RangeEdgeCut::new(4).partition(&g).unwrap();
+        let session = GrapeSession::with_workers(2);
+        let mut prepared = session.prepare(frag, Sssp, SsspQuery::new(0)).unwrap();
+
+        let report = prepared
+            .update(&GraphDelta::new().remove_edge(4, 5))
+            .unwrap();
+        assert_eq!(report.kind, RefreshKind::Bounded);
+        assert_eq!(report.rebuilt, vec![1], "the edge is local to fragment 1");
+        assert_eq!(report.repeval, vec![1, 2, 3]);
+        assert_eq!(report.metrics.peval_calls, 3, "3 of 4 fragments re-rooted");
+        assert_eq!(prepared.bounded_updates(), 1);
+
+        let expected = dijkstra(prepared.fragmentation().source(), 0);
+        for (v, d) in expected.iter().enumerate() {
+            match prepared.output().distance(v as VertexId) {
+                Some(got) => assert!((got - d).abs() < 1e-9, "vertex {v}: {got} vs {d}"),
+                None => assert!(!d.is_finite(), "vertex {v} expected {d}"),
+            }
+        }
+        // The cut really disconnects 5..12.
+        assert_eq!(prepared.output().distance(6), None);
     }
 
     #[test]

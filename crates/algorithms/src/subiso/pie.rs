@@ -14,10 +14,22 @@
 //! * IncEval is never triggered (no messages), so the whole computation takes
 //!   a constant number of supersteps.
 //! * Assemble concatenates the per-fragment match lists.
+//!
+//! SubIso also implements [`IncrementalPie`]: a fragment's match list is a
+//! pure function of its `d_Q`-hop expanded subgraph, so **any** delta
+//! (insert or delete — neither direction is monotone for match sets) takes
+//! the bounded refresh with a *pattern-radius* damage frontier,
+//! [`DamagePolicy::Halo`]`(d_Q + 1)`: a changed edge can only enter a
+//! fragment's expansion if the fragment is within `d_Q + 1` quotient-graph
+//! hops of the edge's owner.  Damaged fragments re-expand and re-match;
+//! everyone else keeps its retained matches verbatim.  No messages flow, so
+//! no reseeding is needed.
 
-use grape_core::pie::{Messages, PieProgram};
+use grape_core::pie::{DamagePolicy, IncrementalPie, Messages, PieProgram};
+use grape_graph::delta::GraphDelta;
 use grape_graph::pattern::Pattern;
 use grape_graph::types::VertexId;
+use grape_partition::delta::FragmentDelta;
 use grape_partition::fragment::Fragment;
 use grape_partition::fragmentation_graph::BorderScope;
 
@@ -146,6 +158,35 @@ impl PieProgram for SubIso {
     }
 }
 
+impl IncrementalPie for SubIso {
+    /// Match sets have no monotone direction: inserts create matches,
+    /// deletes destroy them.  Every non-empty delta takes the bounded
+    /// (pattern-radius) refresh.
+    fn delta_is_monotone(&self, delta: &GraphDelta) -> bool {
+        delta.is_empty()
+    }
+
+    /// Only reachable for deltas that changed no fragment structurally
+    /// (empty `ΔG`): the retained matches are already exact.
+    fn rebase(
+        &self,
+        _query: &SubIsoQuery,
+        _old_frag: &Fragment,
+        _new_frag: &Fragment,
+        partial: SubIsoPartial,
+        _delta: &FragmentDelta,
+    ) -> (SubIsoPartial, Vec<(VertexId, bool)>) {
+        (partial, Vec::new())
+    }
+
+    /// Delta-scoped candidate invalidation: re-match only the fragments
+    /// whose `d_Q`-hop expansion can see a changed edge — within
+    /// `d_Q + 1` quotient hops of the structurally changed fragments.
+    fn damage_policy(&self, query: &SubIsoQuery) -> DamagePolicy {
+        DamagePolicy::Halo(query.pattern.diameter() + 1)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -218,6 +259,86 @@ mod tests {
         for m in result.matches() {
             assert!(seen.insert(m.clone()), "duplicate match {m:?}");
         }
+    }
+
+    #[test]
+    fn prepared_update_rematches_only_the_pattern_radius() {
+        use grape_core::prepared::RefreshKind;
+        use grape_graph::builder::GraphBuilder;
+        use grape_graph::delta::GraphDelta;
+        use grape_partition::edge_cut::RangeEdgeCut;
+
+        // A labeled path over six range fragments of 5; the 2-node pattern
+        // has diameter 1, so the damage halo is 2 quotient hops.
+        let mut b = GraphBuilder::directed();
+        for v in 0..29u64 {
+            b.push_edge(grape_graph::types::Edge::unweighted(v, v + 1));
+        }
+        for v in 0..30u64 {
+            b.push_vertex_label(v, 1 + (v % 2) as u32);
+        }
+        let g = b.build();
+        let pattern = Pattern::new(vec![1, 2], vec![(0, 1)]);
+        assert_eq!(pattern.diameter(), 1);
+        let frag = RangeEdgeCut::new(6).partition(&g).unwrap();
+        let session = GrapeSession::with_workers(2);
+        let query = SubIsoQuery::new(pattern.clone());
+        let mut prepared = session.prepare(frag, SubIso, query.clone()).unwrap();
+        let before = prepared.output().num_matches();
+        assert!(before > 0);
+
+        // Delete the fragment-local edge 2 → 3: matches further than the
+        // pattern radius away cannot change, so fragments 3..6 keep their
+        // retained match lists without re-expansion or re-matching.
+        let report = prepared
+            .update(&GraphDelta::new().remove_edge(2, 3))
+            .unwrap();
+        assert_eq!(report.kind, RefreshKind::Bounded);
+        assert_eq!(report.repeval, vec![0, 1, 2], "pattern-radius halo");
+        assert_eq!(report.metrics.peval_calls, 3, "3 of 6 fragments re-matched");
+        assert!(
+            report.metrics.expansion_bytes > 0,
+            "damaged re-expansion is charged"
+        );
+
+        let recompute = session
+            .run(prepared.fragmentation(), &SubIso, &query)
+            .unwrap();
+        assert_eq!(
+            sorted(prepared.output().matches().to_vec()),
+            sorted(recompute.output.matches().to_vec())
+        );
+        assert_eq!(prepared.output().num_matches(), before - 1);
+    }
+
+    #[test]
+    fn prepared_update_handles_insertions_too() {
+        use grape_core::prepared::RefreshKind;
+        use grape_graph::delta::GraphDelta;
+
+        let g = labeled_kg(150, 450, 4, 2, 12);
+        let alphabet: Vec<u32> = (1..=4).collect();
+        let pattern = Pattern::random(3, 3, &alphabet, 77);
+        let frag = HashEdgeCut::new(4).partition(&g).unwrap();
+        let session = GrapeSession::with_workers(2);
+        let query = SubIsoQuery::new(pattern.clone());
+        let mut prepared = session.prepare(frag, SubIso, query.clone()).unwrap();
+
+        let e = g.edges()[17];
+        let delta = GraphDelta::new()
+            .add_edge_record(grape_graph::types::Edge::new(e.src, e.dst, 1.0, e.label));
+        let report = prepared.update(&delta).unwrap();
+        assert!(matches!(
+            report.kind,
+            RefreshKind::Bounded | RefreshKind::Full
+        ));
+        let recompute = session
+            .run(prepared.fragmentation(), &SubIso, &query)
+            .unwrap();
+        assert_eq!(
+            sorted(prepared.output().matches().to_vec()),
+            sorted(recompute.output.matches().to_vec())
+        );
     }
 
     #[test]

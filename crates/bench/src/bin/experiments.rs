@@ -125,11 +125,18 @@ fn sections_for(target: &str, scale: Scale) -> Option<Vec<Section>> {
             "Fig 9: scalability on synthetic graphs",
             experiments::fig9_scalability(scale),
         )]),
-        "incremental" => Some(vec![section(
-            "incremental",
-            "Prepared queries: update latency & messages saved vs recompute",
-            experiments::incremental(scale),
-        )]),
+        "incremental" => Some(vec![
+            section(
+                "incremental",
+                "Prepared queries: update latency & messages saved vs recompute",
+                experiments::incremental(scale),
+            ),
+            section(
+                "refresh_comparison",
+                "Bounded refresh: recompute vs bounded vs monotone (regional traffic)",
+                experiments::refresh_comparison(scale),
+            ),
+        ]),
         "all" => {
             let mut all = vec![section(
                 "table1",
@@ -147,6 +154,11 @@ fn sections_for(target: &str, scale: Scale) -> Option<Vec<Section>> {
                 "incremental",
                 "Prepared queries: update latency & messages saved vs recompute",
                 experiments::incremental(scale),
+            ));
+            all.push(section(
+                "refresh_comparison",
+                "Bounded refresh: recompute vs bounded vs monotone (regional traffic)",
+                experiments::refresh_comparison(scale),
             ));
             Some(all)
         }

@@ -4,8 +4,9 @@
 //! the underlying runners.
 
 use crate::runner::{
-    run_cc, run_cf, run_incremental_cc, run_incremental_sim, run_incremental_sssp, run_sim,
-    run_sim_ni, run_sim_optimized, run_sssp, run_subiso, RunRow, System,
+    run_cc, run_cf, run_incremental_cc, run_incremental_cf, run_incremental_sim,
+    run_incremental_sssp, run_incremental_subiso, run_refresh_comparison_sssp, run_sim, run_sim_ni,
+    run_sim_optimized, run_sssp, run_subiso, RunRow, System,
 };
 use crate::workloads::{self, Scale};
 
@@ -143,13 +144,15 @@ pub fn fig7_optimization(scale: Scale) -> Vec<RunRow> {
 }
 
 /// The prepared-query update experiment (the repo's extension of Exp-2 to
-/// *whole-computation* incrementality): for each query class, prepare
-/// `Q(G)`, apply one `ΔG` batch in its monotone direction — insertions for
-/// SSSP/CC, deletions for Sim — and compare the IncEval-only refresh with a
-/// full recompute on the updated graph.  Each configuration emits two rows,
-/// `GRAPE (incremental)` and `GRAPE (recompute)`; update latency is the
-/// `seconds` column, messages saved is the difference of the `messages`
-/// columns.
+/// *whole-computation* incrementality): for each of the **five** query
+/// classes, prepare `Q(G)`, apply one `ΔG` batch, and compare the refresh
+/// with a full recompute on the updated graph.  SSSP/CC take insertions
+/// (monotone, `GRAPE (incremental)` rows) and Sim deletions (its monotone
+/// direction); CF takes a burst of new ratings in one catalog segment and
+/// SubIso a deletion batch — both non-monotone, refreshed by the bounded
+/// path (`GRAPE (bounded)` rows, `peval_calls == |damaged|`).  Update
+/// latency is the `seconds` column, messages saved is the difference of the
+/// `messages` columns.
 pub fn incremental(scale: Scale) -> Vec<RunRow> {
     let n = *worker_counts(scale).last().unwrap();
     let batch = workloads::delta_batch_size(scale);
@@ -168,7 +171,41 @@ pub fn incremental(scale: Scale) -> Vec<RunRow> {
     let delta = workloads::deletion_delta(&lj, batch, 0xD4);
     rows.extend(run_incremental_sim(&lj, &pattern, &delta, n, "livejournal"));
 
+    // CF: new ratings confined to one catalog segment of a segmented
+    // movielens; fragment count = segment multiple so the component-closed
+    // frontier stays segmental.
+    let (ratings, segments, users) = workloads::segmented_movielens(scale, 2 * n);
+    let (lo, hi) = segments[0];
+    let delta = workloads::segment_rating_delta(lo, hi, users, batch.min(64), 0xD5);
+    rows.extend(run_incremental_cf(&ratings, &delta, 6, n, "movielens-seg"));
+
+    // SubIso: a deletion batch on the knowledge graph; the pattern-radius
+    // halo bounds the re-matching.
+    let db = workloads::dbpedia(scale);
+    let pattern = workloads::subiso_pattern(&db, scale, 0xD6);
+    let delta = workloads::deletion_delta(&db, batch.min(16), 0xD7);
+    rows.extend(run_incremental_subiso(&db, &pattern, &delta, n, "dbpedia"));
+
     rows
+}
+
+/// The `recompute vs bounded vs monotone` comparison: one prepared SSSP
+/// query over the regional traffic network absorbs a batch of new road
+/// segments (monotone path), then a batch of road closures confined to one
+/// region (bounded path, `peval_calls < num_fragments`), priced against a
+/// full recompute of the final graph.
+pub fn refresh_comparison(scale: Scale) -> Vec<RunRow> {
+    let n = *worker_counts(scale).last().unwrap();
+    let batch = workloads::delta_batch_size(scale);
+    let regions = n.max(2);
+    let g = workloads::regional_traffic(scale, regions);
+    let region = workloads::regional_size(scale);
+    // New road segments, then road closures, both inside the source's
+    // region — kept regional so each path's footprint stays visible (and
+    // reachable from the source, so both refreshes do real work).
+    let insert_delta = workloads::ranged_insertion_delta(0, region, batch.min(64), 0xD9);
+    let delete_delta = workloads::ranged_deletion_delta(&g, 0, region, batch.min(64), 0xD8);
+    run_refresh_comparison_sssp(&g, &insert_delta, &delete_delta, 0, n, "regional-traffic")
 }
 
 /// Figure 8 is the communication view of the Figure 6 runs; the same rows are
@@ -232,12 +269,42 @@ mod tests {
     #[test]
     fn incremental_emits_a_pair_per_query_class() {
         let rows = incremental(Scale::Small);
-        assert_eq!(rows.len(), 6);
+        assert_eq!(rows.len(), 10, "five query classes, two rows each");
         for query in ["sssp", "cc", "sim"] {
             let pair: Vec<_> = rows.iter().filter(|r| r.query == query).collect();
             assert_eq!(pair.len(), 2, "{query}");
             assert!(pair.iter().any(|r| r.system == "GRAPE (incremental)"));
             assert!(pair.iter().any(|r| r.system == "GRAPE (recompute)"));
         }
+        // CF and SubIso updates are non-monotone: their refresh rows record
+        // the bounded path (never a silent full re-preparation for CF's
+        // segment-local burst).
+        let cf: Vec<_> = rows.iter().filter(|r| r.query == "cf").collect();
+        assert_eq!(cf.len(), 2);
+        assert!(cf.iter().any(|r| r.system == "GRAPE (bounded)"));
+        assert!(cf.iter().any(|r| r.system == "GRAPE (recompute)"));
+        let subiso: Vec<_> = rows.iter().filter(|r| r.query == "subiso").collect();
+        assert_eq!(subiso.len(), 2);
+        assert!(subiso
+            .iter()
+            .any(|r| r.system == "GRAPE (bounded)" || r.system == "GRAPE (full)"));
+        assert!(subiso.iter().any(|r| r.system == "GRAPE (recompute)"));
+    }
+
+    #[test]
+    fn refresh_comparison_emits_all_three_paths() {
+        let rows = refresh_comparison(Scale::Small);
+        assert_eq!(rows.len(), 3);
+        let systems: Vec<&str> = rows.iter().map(|r| r.system.as_str()).collect();
+        assert!(systems.contains(&"GRAPE (monotone)"));
+        assert!(systems.contains(&"GRAPE (bounded)"));
+        assert!(systems.contains(&"GRAPE (recompute)"));
+        // The decision table's locality claim, in PEval calls: the monotone
+        // path never re-roots, the bounded path re-roots only the damaged
+        // region's fragments, the recompute re-roots everything.
+        let pevals_of = |s: &str| rows.iter().find(|r| r.system == s).unwrap().peval_calls;
+        assert_eq!(pevals_of("GRAPE (monotone)"), 0);
+        assert!(pevals_of("GRAPE (bounded)") > 0);
+        assert!(pevals_of("GRAPE (bounded)") < pevals_of("GRAPE (recompute)"));
     }
 }

@@ -8,6 +8,7 @@ use grape_graph::generators::RatingData;
 use grape_graph::graph::Graph;
 use grape_graph::pattern::Pattern;
 use grape_graph::types::VertexId;
+use grape_partition::edge_cut::RangeEdgeCut;
 use grape_partition::fragment::Fragmentation;
 use grape_partition::metis_like::MetisLike;
 use grape_partition::strategy::PartitionStrategy;
@@ -75,6 +76,10 @@ pub struct RunRow {
     /// `ΔG`-derived seed messages) — what the `incremental` experiment's
     /// messages-saved comparison reads.
     pub messages: usize,
+    /// `PEval` invocations: `fragments` for a full run, `0` for a monotone
+    /// refresh, the damage-frontier size for a bounded refresh — what the
+    /// `refresh_comparison` experiment's locality claim reads.
+    pub peval_calls: usize,
 }
 
 impl RunRow {
@@ -94,6 +99,7 @@ impl RunRow {
             comm_mb: m.comm_megabytes(),
             supersteps: m.supersteps,
             messages: m.total_messages,
+            peval_calls: m.peval_calls,
         }
     }
 }
@@ -299,6 +305,46 @@ pub fn run_cf(
     RunRow::from_metrics("cf", workload, system, workers, &metrics)
 }
 
+/// A GRAPE row with an explicit system label (the refresh-path tags of the
+/// incremental experiments: `GRAPE (incremental)`, `GRAPE (bounded)`, …).
+fn labeled_row(
+    query_name: &str,
+    workload: &str,
+    workers: usize,
+    metrics: &EngineMetrics,
+    system: &str,
+) -> RunRow {
+    RunRow {
+        system: system.to_string(),
+        ..RunRow::from_metrics(query_name, workload, System::Grape, workers, metrics)
+    }
+}
+
+/// Prices a full recompute of the prepared query's *current* graph — the
+/// `GRAPE (recompute)` baseline row shared by every refresh experiment.
+fn recompute_row<P: grape_core::pie::IncrementalPie>(
+    session: &GrapeSession,
+    prepared: &grape_core::prepared::PreparedQuery<P>,
+    query_name: &str,
+    workload: &str,
+    workers: usize,
+) -> RunRow {
+    let recompute = session
+        .run(
+            prepared.fragmentation(),
+            prepared.program(),
+            prepared.query(),
+        )
+        .expect("full recompute on the updated graph");
+    labeled_row(
+        query_name,
+        workload,
+        workers,
+        &recompute.metrics,
+        "GRAPE (recompute)",
+    )
+}
+
 /// Prepares `program` over `graph`, applies `delta` through
 /// [`grape_core::prepared::PreparedQuery::update`], and measures the refresh
 /// against a full recompute on the updated graph (same partition, same
@@ -327,20 +373,15 @@ where
         report.incremental,
         "the incremental experiment feeds monotone deltas only"
     );
-    let recompute = session
-        .run(
-            prepared.fragmentation(),
-            prepared.program(),
-            prepared.query(),
-        )
-        .expect("full recompute on the updated graph");
-    let base = |m: &EngineMetrics, system: &str| RunRow {
-        system: system.to_string(),
-        ..RunRow::from_metrics(query_name, workload, System::Grape, workers, m)
-    };
     vec![
-        base(&report.metrics, "GRAPE (incremental)"),
-        base(&recompute.metrics, "GRAPE (recompute)"),
+        labeled_row(
+            query_name,
+            workload,
+            workers,
+            &report.metrics,
+            "GRAPE (incremental)",
+        ),
+        recompute_row(&session, &prepared, query_name, workload, workers),
     ]
 }
 
@@ -392,6 +433,151 @@ pub fn run_incremental_sim(
     )
 }
 
+/// Prepares over an explicit (locality-aligned) fragmentation, applies one
+/// `ΔG` through the update path it naturally takes, and pairs it with a
+/// full recompute on the updated graph.  The first row's system name
+/// records the refresh kind — `GRAPE (monotone)`, `GRAPE (bounded)` or
+/// `GRAPE (full)` — so the experiment output shows which decision-table row
+/// fired; `supersteps`/`messages`/`seconds` quantify what it saved.
+fn run_refresh_pair<P>(
+    query_name: &str,
+    workload: &str,
+    frag: Fragmentation,
+    delta: &grape_graph::delta::GraphDelta,
+    program: P,
+    query: P::Query,
+    workers: usize,
+) -> Vec<RunRow>
+where
+    P: grape_core::pie::IncrementalPie,
+{
+    let session = grape_session(workers);
+    let mut prepared = session
+        .prepare(frag, program, query)
+        .expect("prepare for refresh experiment");
+    let report = prepared.update(delta).expect("apply delta");
+    let label = match report.kind {
+        grape_core::prepared::RefreshKind::Monotone => "GRAPE (monotone)",
+        grape_core::prepared::RefreshKind::Bounded => "GRAPE (bounded)",
+        grape_core::prepared::RefreshKind::Full => "GRAPE (full)",
+    };
+    vec![
+        labeled_row(query_name, workload, workers, &report.metrics, label),
+        recompute_row(&session, &prepared, query_name, workload, workers),
+    ]
+}
+
+/// The update-latency experiment for CF: a burst of new ratings confined to
+/// one catalog segment of a [`crate::workloads::segmented_movielens`]
+/// workload.  The epoch-seeded refresh retrains only the quotient
+/// component(s) of the touched segment (`GRAPE (bounded)` row) against a
+/// full retrain (`GRAPE (recompute)` row).  Range-partitioned so fragments
+/// align with the segments' contiguous id ranges.
+pub fn run_incremental_cf(
+    graph: &Graph,
+    delta: &grape_graph::delta::GraphDelta,
+    epochs: usize,
+    workers: usize,
+    workload: &str,
+) -> Vec<RunRow> {
+    let query = CfQuery {
+        epochs,
+        num_factors: 8,
+        ..Default::default()
+    };
+    let frag = RangeEdgeCut::new(workers.max(1))
+        .partition(graph)
+        .expect("partition");
+    run_refresh_pair(
+        "cf",
+        workload,
+        frag,
+        delta,
+        grape_algorithms::cf::Cf,
+        query,
+        workers,
+    )
+}
+
+/// The update-latency experiment for SubIso: a batch of edge deletions;
+/// the pattern-radius halo re-expands and re-matches only the fragments
+/// within `d_Q + 1` quotient hops of the damage.
+pub fn run_incremental_subiso(
+    graph: &Graph,
+    pattern: &Pattern,
+    delta: &grape_graph::delta::GraphDelta,
+    workers: usize,
+    workload: &str,
+) -> Vec<RunRow> {
+    const MAX_MATCHES: usize = 20_000;
+    let frag = partition(graph, workers);
+    run_refresh_pair(
+        "subiso",
+        workload,
+        frag,
+        delta,
+        SubIso,
+        SubIsoQuery::new(pattern.clone()).with_max_matches(MAX_MATCHES),
+        workers,
+    )
+}
+
+/// The `recompute vs bounded vs monotone` comparison on the regional
+/// traffic workload: from one prepared SSSP query, (1) a batch of new road
+/// segments takes the monotone IncEval-only path, then (2) a batch of road
+/// closures confined to the first region takes the bounded refresh, and
+/// (3) the recompute row prices answering the final graph from scratch.
+/// Range-partitioned into **two fragments per region**, so fragments align
+/// with regions (the closure stays regional: `peval_calls ≤ 2`) while
+/// intra-region borders keep real message traffic in every row.
+pub fn run_refresh_comparison_sssp(
+    graph: &Graph,
+    insert_delta: &grape_graph::delta::GraphDelta,
+    delete_delta: &grape_graph::delta::GraphDelta,
+    source: VertexId,
+    workers: usize,
+    workload: &str,
+) -> Vec<RunRow> {
+    let session = grape_session(workers);
+    let frag = RangeEdgeCut::new(2 * workers.max(1))
+        .partition(graph)
+        .expect("partition");
+    let query = SsspQuery::new(source);
+    let mut prepared = session.prepare(frag, Sssp, query).expect("prepare");
+    let m = prepared.fragmentation().num_fragments();
+
+    let monotone = prepared.update(insert_delta).expect("insert batch");
+    assert!(
+        monotone.incremental,
+        "road-segment insertions take the monotone path"
+    );
+    let bounded = prepared.update(delete_delta).expect("deletion batch");
+    assert_eq!(
+        bounded.kind,
+        grape_core::prepared::RefreshKind::Bounded,
+        "regional closures keep the frontier regional"
+    );
+    assert!(bounded.metrics.peval_calls < m);
+
+    vec![
+        labeled_row(
+            "sssp",
+            workload,
+            workers,
+            &monotone.metrics,
+            "GRAPE (monotone)",
+        ),
+        labeled_row(
+            "sssp",
+            workload,
+            workers,
+            &bounded.metrics,
+            "GRAPE (bounded)",
+        ),
+        recompute_row(&session, &prepared, "sssp", workload, workers),
+    ]
+}
+
 /// A [`RunRow`] tagged with the experiment (table/figure) and scale it came
 /// from — the machine-readable record emitted by `experiments --format
 /// json|csv`, one per (algorithm, system, scale) run, so figures can be
@@ -418,6 +604,8 @@ pub struct ExportRow {
     pub supersteps: usize,
     /// Messages shipped.
     pub messages: usize,
+    /// `PEval` invocations (see [`RunRow::peval_calls`]).
+    pub peval_calls: usize,
 }
 
 impl ExportRow {
@@ -434,13 +622,14 @@ impl ExportRow {
             comm_mb: row.comm_mb,
             supersteps: row.supersteps,
             messages: row.messages,
+            peval_calls: row.peval_calls,
         }
     }
 }
 
 /// The CSV header matching [`format_rows_csv`].
 pub const CSV_HEADER: &str =
-    "experiment,scale,query,workload,system,workers,seconds,comm_mb,supersteps,messages";
+    "experiment,scale,query,workload,system,workers,seconds,comm_mb,supersteps,messages,peval_calls";
 
 /// Formats rows as JSON Lines — one self-describing object per run.
 pub fn format_rows_json(experiment: &str, scale: &str, rows: &[RunRow]) -> String {
@@ -460,7 +649,7 @@ pub fn format_rows_csv(experiment: &str, scale: &str, rows: &[RunRow]) -> String
     let mut out = String::new();
     for row in rows {
         out.push_str(&format!(
-            "{},{},{},{},\"{}\",{},{:.6},{:.6},{},{}\n",
+            "{},{},{},{},\"{}\",{},{:.6},{:.6},{},{},{}\n",
             experiment,
             scale,
             row.query,
@@ -470,7 +659,8 @@ pub fn format_rows_csv(experiment: &str, scale: &str, rows: &[RunRow]) -> String
             row.seconds,
             row.comm_mb,
             row.supersteps,
-            row.messages
+            row.messages,
+            row.peval_calls
         ));
     }
     out
@@ -482,12 +672,20 @@ pub fn format_table(title: &str, rows: &[RunRow]) -> String {
     let mut out = String::new();
     out.push_str(&format!("\n== {title} ==\n"));
     out.push_str(&format!(
-        "{:<10} {:<14} {:<20} {:>3} {:>12} {:>12} {:>10} {:>10}\n",
-        "query", "workload", "system", "n", "time (s)", "comm (MB)", "supersteps", "messages"
+        "{:<10} {:<16} {:<20} {:>3} {:>12} {:>12} {:>10} {:>10} {:>7}\n",
+        "query",
+        "workload",
+        "system",
+        "n",
+        "time (s)",
+        "comm (MB)",
+        "supersteps",
+        "messages",
+        "pevals"
     ));
     for r in rows {
         out.push_str(&format!(
-            "{:<10} {:<14} {:<20} {:>3} {:>12.4} {:>12.4} {:>10} {:>10}\n",
+            "{:<10} {:<16} {:<20} {:>3} {:>12.4} {:>12.4} {:>10} {:>10} {:>7}\n",
             r.query,
             r.workload,
             r.system,
@@ -495,7 +693,8 @@ pub fn format_table(title: &str, rows: &[RunRow]) -> String {
             r.seconds,
             r.comm_mb,
             r.supersteps,
-            r.messages
+            r.messages,
+            r.peval_calls
         ));
     }
     out

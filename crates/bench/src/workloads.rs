@@ -118,13 +118,94 @@ pub fn delta_batch_size(scale: Scale) -> usize {
 /// a batch of random long-range shortcuts would legitimately invalidate
 /// distances almost everywhere.
 pub fn insertion_delta(graph: &Graph, count: usize, seed: u64) -> GraphDelta {
+    ranged_insertion_delta(0, graph.num_vertices() as u64, count, seed)
+}
+
+/// A batch of `count` distinct random edge deletions drawn from the existing
+/// edge list — the monotone update direction for graph simulation.
+pub fn deletion_delta(graph: &Graph, count: usize, seed: u64) -> GraphDelta {
+    ranged_deletion_delta(graph, 0, graph.num_vertices() as u64, count, seed)
+}
+
+/// A *regional* traffic network: `regions` disjoint road grids (think
+/// separate metropolitan areas with no connecting road in the dataset).
+/// Region `r` owns the contiguous id range `r * region_size(scale) ..
+/// (r + 1) * region_size(scale)`, so a range partition with a fragment
+/// count dividing `regions` aligns fragments to regions — the workload of
+/// the `recompute vs bounded vs monotone` comparison, where a road closure
+/// in one region must not re-prepare the others.
+pub fn regional_traffic(scale: Scale, regions: usize) -> Graph {
+    use grape_graph::builder::GraphBuilder;
+    use grape_graph::types::Edge;
+
+    let side = regional_side(scale);
+    let region_size = (side * side) as u64;
+    let mut b = GraphBuilder::directed().ensure_vertices(side * side * regions);
+    for r in 0..regions {
+        let grid = road_grid(side, side, 0xF00D + r as u64);
+        let offset = r as u64 * region_size;
+        for e in grid.edges() {
+            b.push_edge(Edge::weighted(e.src + offset, e.dst + offset, e.weight));
+        }
+    }
+    b.build()
+}
+
+fn regional_side(scale: Scale) -> usize {
+    match scale {
+        Scale::Small => 12,
+        Scale::Medium => 40,
+        Scale::Large => 220,
+    }
+}
+
+/// Number of vertices per region of [`regional_traffic`].
+pub fn regional_size(scale: Scale) -> u64 {
+    let side = regional_side(scale) as u64;
+    side * side
+}
+
+/// A batch of `count` distinct edge deletions confined to the id range
+/// `[lo, hi)` — the "road closures in one region" / "updates to one catalog
+/// segment" shape that keeps a non-monotone delta's damage frontier local.
+pub fn ranged_deletion_delta(
+    graph: &Graph,
+    lo: u64,
+    hi: u64,
+    count: usize,
+    seed: u64,
+) -> GraphDelta {
     let mut rng = StdRng::seed_from_u64(seed);
-    let n = graph.num_vertices() as u64;
+    let local: Vec<_> = graph
+        .edges()
+        .iter()
+        .filter(|e| (lo..hi).contains(&e.src) && (lo..hi).contains(&e.dst))
+        .collect();
+    let mut seen = std::collections::HashSet::new();
+    let mut delta = GraphDelta::new();
+    // Attempts are bounded: the graph may contain parallel edges, so the
+    // number of distinct (src, dst) pairs can be below `count.min(len)`.
+    for _ in 0..count.saturating_mul(4) {
+        if local.is_empty() || seen.len() >= count.min(local.len()) {
+            break;
+        }
+        let e = local[rng.gen_range(0..local.len() as u64) as usize];
+        if seen.insert((e.src, e.dst)) {
+            delta = delta.remove_edge(e.src, e.dst);
+        }
+    }
+    delta
+}
+
+/// A batch of `count` weighted edge insertions confined to the id range
+/// `[lo, hi)` — the regional counterpart of [`insertion_delta`].
+pub fn ranged_insertion_delta(lo: u64, hi: u64, count: usize, seed: u64) -> GraphDelta {
+    let mut rng = StdRng::seed_from_u64(seed);
     let mut delta = GraphDelta::new();
     let mut added = 0usize;
-    while added < count && n > 1 {
-        let src = rng.gen_range(0..n);
-        let dst = (src + 1 + rng.gen_range(0u64..32.min(n - 1))) % n;
+    while added < count && hi - lo > 1 {
+        let src = rng.gen_range(lo..hi);
+        let dst = lo + (src - lo + 1 + rng.gen_range(0u64..32.min(hi - lo - 1))) % (hi - lo);
         if src == dst {
             continue;
         }
@@ -135,24 +216,54 @@ pub fn insertion_delta(graph: &Graph, count: usize, seed: u64) -> GraphDelta {
     delta
 }
 
-/// A batch of `count` distinct random edge deletions drawn from the existing
-/// edge list — the monotone update direction for graph simulation.
-pub fn deletion_delta(graph: &Graph, count: usize, seed: u64) -> GraphDelta {
+/// A *segmented* rating workload: `segments` disjoint bipartite blocks
+/// (catalogs that share no users or items), each a scaled-down
+/// [`movielens`]-like block occupying a contiguous id range.  Returns the
+/// graph, the `[lo, hi)` range of each segment, and the number of users per
+/// segment (ids `lo .. lo + users` are the segment's users — returned so
+/// delta generators can never drift from the workload's shape).  The
+/// workload of the CF incremental experiment: new ratings land in one
+/// segment, and the epoch-seeded (component-closed) refresh must retrain
+/// only that segment.
+pub fn segmented_movielens(scale: Scale, segments: usize) -> (Graph, Vec<(u64, u64)>, u64) {
+    use grape_graph::builder::GraphBuilder;
+    use grape_graph::types::Edge;
+
+    let (users, items, ratings) = match scale {
+        Scale::Small => (60, 20, 900),
+        Scale::Medium => (400, 120, 8_000),
+        Scale::Large => (6_000, 1_600, 200_000),
+    };
+    let block = (users + items) as u64;
+    let mut b = GraphBuilder::directed().ensure_vertices((users + items) * segments);
+    let mut ranges = Vec::with_capacity(segments);
+    for s in 0..segments {
+        let data = bipartite_ratings(users, items, ratings, 8, 0xD00D + s as u64);
+        let offset = s as u64 * block;
+        for e in data.graph.edges() {
+            b.push_edge(Edge::weighted(e.src + offset, e.dst + offset, e.weight));
+        }
+        ranges.push((offset, offset + block));
+    }
+    (b.build(), ranges, users as u64)
+}
+
+/// A batch of `count` new ratings confined to one segment of
+/// [`segmented_movielens`] (user → item edges inside `[lo, hi)`).
+pub fn segment_rating_delta(
+    lo: u64,
+    hi: u64,
+    num_users: u64,
+    count: usize,
+    seed: u64,
+) -> GraphDelta {
     let mut rng = StdRng::seed_from_u64(seed);
-    let m = graph.num_edges();
-    let mut seen = std::collections::HashSet::new();
     let mut delta = GraphDelta::new();
-    // Attempts are bounded: the graph may contain parallel edges, so the
-    // number of distinct (src, dst) pairs can be below `count.min(m)`.
-    for _ in 0..count.saturating_mul(4) {
-        if seen.len() >= count.min(m) {
-            break;
-        }
-        let idx = rng.gen_range(0..m as u64) as usize;
-        let e = graph.edges()[idx];
-        if seen.insert((e.src, e.dst)) {
-            delta = delta.remove_edge(e.src, e.dst);
-        }
+    for _ in 0..count {
+        let user = lo + rng.gen_range(0..num_users);
+        let item = lo + num_users + rng.gen_range(0..hi - lo - num_users);
+        let rating = 1.0 + rng.gen_range(0u32..40) as f64 / 10.0;
+        delta = delta.add_weighted_edge(user, item, rating);
     }
     delta
 }
@@ -244,6 +355,46 @@ mod tests {
         let b = synthetic(4, Scale::Small);
         assert!(b.num_vertices() > a.num_vertices());
         assert!(b.num_edges() > a.num_edges());
+    }
+
+    #[test]
+    fn regional_traffic_keeps_regions_disjoint() {
+        let g = regional_traffic(Scale::Small, 4);
+        let size = regional_size(Scale::Small);
+        assert_eq!(g.num_vertices() as u64, 4 * size);
+        for e in g.edges() {
+            assert_eq!(e.src / size, e.dst / size, "edge crosses regions");
+        }
+        let delta = ranged_deletion_delta(&g, 0, size, 16, 5);
+        assert_eq!(delta.removed_edges().len(), 16);
+        assert!(delta
+            .removed_edges()
+            .iter()
+            .all(|&(s, d)| s < size && d < size));
+        assert!(g.apply_delta(&delta).is_ok());
+    }
+
+    #[test]
+    fn segmented_movielens_keeps_segments_disjoint() {
+        let (g, ranges, users) = segmented_movielens(Scale::Small, 3);
+        assert_eq!(ranges.len(), 3);
+        for e in g.edges() {
+            let seg = ranges
+                .iter()
+                .position(|&(lo, hi)| (lo..hi).contains(&e.src))
+                .unwrap();
+            let (lo, hi) = ranges[seg];
+            assert!((lo..hi).contains(&e.dst), "rating crosses segments");
+            // Ratings run user → item within the segment.
+            assert!(e.src < lo + users && e.dst >= lo + users);
+        }
+        let (lo, hi) = ranges[1];
+        let delta = segment_rating_delta(lo, hi, users, 12, 3);
+        assert_eq!(delta.added_edges().len(), 12);
+        assert!(delta
+            .added_edges()
+            .iter()
+            .all(|e| (lo..hi).contains(&e.src) && (lo..hi).contains(&e.dst)));
     }
 
     #[test]

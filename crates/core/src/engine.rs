@@ -26,15 +26,17 @@
 //!   values arrive without waiting for a barrier, this is no larger (and on
 //!   high-diameter workloads smaller) than the synchronous superstep count.
 //!
-//! Both runtimes run in one of two *phases* (the crate-internal `Phase`):
+//! Both runtimes root a run through a per-fragment **PEval mask**
+//! (`RunCtx::peval`):
 //!
-//! * `Phase::Full` — PEval roots the computation in superstep 0 (the
-//!   classic one-shot run, `prepare_parts`);
-//! * `Phase::Incremental` — the partial results of an earlier run are
-//!   retained, `ΔG`-derived seed messages are pre-loaded into the transport,
-//!   and **only IncEval** iterates to the new fixpoint (`refresh_parts`).
-//!   This is the paper's "queries under updates" protocol (Section 3.4):
-//!   `Q(G ⊕ ΔG)` from `Q(G)` without a single PEval call.
+//! * a full run (`prepare_parts`) masks every fragment — the classic
+//!   PEval-everywhere superstep 0;
+//! * an incremental refresh (`refresh_parts`) retains the partial results
+//!   of an earlier run and pre-loads `ΔG`-derived seed messages: the mask
+//!   is **empty** for a monotone delta (the paper's "queries under
+//!   updates" protocol of Section 3.4 — `Q(G ⊕ ΔG)` from `Q(G)` without a
+//!   single PEval call) and equals the **damage frontier** for a bounded
+//!   non-monotone refresh (PEval re-roots only the stale fragments).
 //!
 //! Physical workers are OS threads; fragments are virtual workers mapped
 //! onto physical workers by the [`crate::load_balance::LoadBalancer`].
@@ -44,6 +46,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
@@ -107,13 +110,17 @@ pub struct RunResult<O> {
 /// Borrowed per-run state shared by both runtimes.
 struct RunCtx<'r, P: PieProgram> {
     config: &'r EngineConfig,
-    fragments: &'r [Fragment],
+    fragments: &'r [Arc<Fragment>],
     assignment: &'r [Vec<usize>],
     gp: &'r FragmentationGraph,
     scope: BorderScope,
     program: &'r P,
     query: &'r P::Query,
     ops: MessageOps<'r, P::Key, P::Value>,
+    /// Which fragments run PEval in the rooting step: all of them for a
+    /// full run, the *damage frontier* for a bounded refresh, none for a
+    /// monotone IncEval-only refresh.
+    peval: &'r [bool],
 }
 
 /// Routes one evaluation's updates through `G_P` and ships them, batched per
@@ -126,12 +133,31 @@ fn route_and_send<K: KeyVertex + Clone, V: Clone, T: Transport<K, V> + ?Sized>(
     step: usize,
     updates: Vec<(K, V)>,
 ) {
+    route_and_send_to(transport, gp, scope, from, step, updates, None);
+}
+
+/// [`route_and_send`] with an optional destination filter: `Some(mask)`
+/// drops every destination whose mask entry is `false` (used by the bounded
+/// refresh to deliver reseeded border values to damaged fragments only).
+#[allow(clippy::too_many_arguments)]
+fn route_and_send_to<K: KeyVertex + Clone, V: Clone, T: Transport<K, V> + ?Sized>(
+    transport: &T,
+    gp: &FragmentationGraph,
+    scope: BorderScope,
+    from: usize,
+    step: usize,
+    updates: Vec<(K, V)>,
+    restrict_to: Option<&[bool]>,
+) {
     if updates.is_empty() {
         return;
     }
     let mut per_dest: HashMap<usize, Vec<(K, V)>> = HashMap::new();
     for (key, value) in updates {
         for dest in gp.route(key.vertex(), from, scope) {
+            if restrict_to.is_some_and(|mask| !mask[dest]) {
+                continue;
+            }
             per_dest
                 .entry(dest)
                 .or_default()
@@ -147,10 +173,13 @@ fn route_and_send<K: KeyVertex + Clone, V: Clone, T: Transport<K, V> + ?Sized>(
 /// plus pre-seeded mailboxes (IncEval only).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Phase {
-    /// PEval on every fragment in superstep 0, then IncEval to fixpoint.
+    /// PEval roots every fragment in superstep 0, then IncEval to fixpoint.
     Full,
     /// Partials are retained from an earlier run and the transport has been
-    /// pre-seeded with `ΔG`-derived messages; IncEval-only to fixpoint.
+    /// pre-seeded with `ΔG`-derived messages.  `RunCtx::peval` selects the
+    /// fragments PEval re-roots in superstep 0 (none for a monotone
+    /// IncEval-only refresh, the damage frontier for a bounded refresh);
+    /// everything else continues from its retained partial.
     Incremental,
 }
 
@@ -242,12 +271,12 @@ pub(crate) fn prepare_parts<P: PieProgram>(
     // "message M_i … including all nodes and edges in C_i.x̄ from other
     // fragments".
     let hops = program.expansion_hops(query);
-    let fragments: Vec<Fragment> = if hops > 0 {
+    let fragments: Vec<Arc<Fragment>> = if hops > 0 {
         let mut expanded = Vec::with_capacity(m);
         for i in 0..m {
             let (f, shipped_vertices, shipped_edges) = fragmentation.expand_fragment(i, hops);
             metrics.add_expansion(shipped_vertices * 24 + shipped_edges * 24);
-            expanded.push(f);
+            expanded.push(Arc::new(f));
         }
         expanded
     } else {
@@ -265,6 +294,7 @@ pub(crate) fn prepare_parts<P: PieProgram>(
         key_size: &key_size,
         value_size: &value_size,
     };
+    let peval = vec![true; m];
     let ctx = RunCtx {
         config,
         fragments: &fragments,
@@ -274,24 +304,17 @@ pub(crate) fn prepare_parts<P: PieProgram>(
         program,
         query,
         ops,
+        peval: &peval,
     };
 
     let empty: Vec<Mutex<Option<P::Partial>>> = (0..m).map(|_| Mutex::new(None)).collect();
     let partials = match (config.mode, spec) {
-        (EngineMode::Sync, TransportSpec::Barrier) => superstep_loop(
-            &ctx,
-            &BarrierTransport::new(m, ops),
-            &mut metrics,
-            empty,
-            Phase::Full,
-        )?,
-        (EngineMode::Sync, TransportSpec::Channel) => superstep_loop(
-            &ctx,
-            &ChannelTransport::new(m, ops),
-            &mut metrics,
-            empty,
-            Phase::Full,
-        )?,
+        (EngineMode::Sync, TransportSpec::Barrier) => {
+            superstep_loop(&ctx, &BarrierTransport::new(m, ops), &mut metrics, empty)?
+        }
+        (EngineMode::Sync, TransportSpec::Channel) => {
+            superstep_loop(&ctx, &ChannelTransport::new(m, ops), &mut metrics, empty)?
+        }
         (EngineMode::Async, _) => streaming_loop(
             &ctx,
             &ChannelTransport::new(m, ops),
@@ -316,16 +339,26 @@ pub(crate) type SeedBatch<P> = (
 /// `(sender fragment, changed update parameters)` that the engine routes
 /// exactly like a normal evaluation's sends.
 pub(crate) struct RefreshState<P: PieProgram> {
-    /// Retained partial results, one per fragment.
+    /// Retained partial results, one per fragment.  The entries of damaged
+    /// fragments (`repeval`) are placeholders: PEval overwrites them in the
+    /// rooting step before anything reads them.
     pub partials: Vec<P::Partial>,
-    /// Seed messages produced by the programs' rebase step.
+    /// Seed messages: the rebase step's changed update parameters (monotone
+    /// refresh) or the undamaged neighbours' reseeded border segments
+    /// (bounded refresh).
     pub seeds: Vec<SeedBatch<P>>,
+    /// The damage frontier of a **bounded** refresh: fragments whose
+    /// retained partials may be stale and are re-rooted with PEval in
+    /// superstep 0.  Empty for the monotone IncEval-only refresh.  When
+    /// non-empty, seed messages are delivered to damaged fragments only.
+    pub repeval: Vec<usize>,
 }
 
 /// The *refresh* phase of a prepared query: given the retained state,
-/// routes the seeds through `G_P`, then iterates **IncEval only** to the new
-/// fixpoint.  Zero PEval calls, by construction — pinned by
-/// `EngineMetrics::peval_calls == 0`.
+/// routes the seeds through `G_P`, re-roots the damage frontier with PEval
+/// (none for a monotone delta), then iterates IncEval to the new fixpoint.
+/// `EngineMetrics::peval_calls` equals `|repeval|` by construction — **0**
+/// on the monotone path, pinned by the equivalence suites.
 pub(crate) fn refresh_parts<P: PieProgram>(
     config: &EngineConfig,
     balancer: &LoadBalancer,
@@ -335,7 +368,11 @@ pub(crate) fn refresh_parts<P: PieProgram>(
     query: &P::Query,
     state: RefreshState<P>,
 ) -> Result<(Vec<P::Partial>, EngineMetrics), EngineError> {
-    let RefreshState { partials, seeds } = state;
+    let RefreshState {
+        partials,
+        seeds,
+        repeval,
+    } = state;
     let m = fragmentation.num_fragments();
     if m == 0 {
         return Err(EngineError::NoFragments);
@@ -355,9 +392,20 @@ pub(crate) fn refresh_parts<P: PieProgram>(
             m
         )));
     }
-    if program.expansion_hops(query) > 0 {
+    let mut peval = vec![false; m];
+    for &i in &repeval {
+        if i >= m {
+            return Err(EngineError::InvalidConfig(format!(
+                "damage frontier names fragment {i} of {m}"
+            )));
+        }
+        peval[i] = true;
+    }
+    if program.expansion_hops(query) > 0 && repeval.is_empty() && !seeds.is_empty() {
         return Err(EngineError::InvalidConfig(
-            "d-hop expansion programs cannot refresh incrementally; re-prepare instead".to_string(),
+            "d-hop expansion programs cannot refresh from seed messages alone; \
+             use the bounded refresh (damage frontier) or re-prepare"
+                .to_string(),
         ));
     }
 
@@ -371,6 +419,27 @@ pub(crate) fn refresh_parts<P: PieProgram>(
         ..Default::default()
     };
 
+    // `d`-hop expansion (SubIso): only the damaged fragments are re-rooted,
+    // so only they need their expanded incarnation — the bounded refresh
+    // ships `|damaged|` neighborhoods instead of all `m`.
+    let hops = program.expansion_hops(query);
+    let fragments: Vec<Arc<Fragment>> = if hops > 0 {
+        (0..m)
+            .map(|i| {
+                if peval[i] {
+                    let (f, shipped_vertices, shipped_edges) =
+                        fragmentation.expand_fragment(i, hops);
+                    metrics.add_expansion(shipped_vertices * 24 + shipped_edges * 24);
+                    Arc::new(f)
+                } else {
+                    fragmentation.fragments()[i].clone()
+                }
+            })
+            .collect()
+    } else {
+        fragmentation.fragments().to_vec()
+    };
+
     let assignment = balancer.assign(fragmentation, config.num_workers);
     let aggregate = |k: &P::Key, a: P::Value, b: P::Value| program.aggregate(k, a, b);
     let key_size = |k: &P::Key| program.key_size(k);
@@ -382,13 +451,14 @@ pub(crate) fn refresh_parts<P: PieProgram>(
     };
     let ctx = RunCtx {
         config,
-        fragments: fragmentation.fragments(),
+        fragments: &fragments,
         assignment: &assignment,
         gp: fragmentation.gp(),
         scope: program.scope(),
         program,
         query,
         ops,
+        peval: &peval,
     };
 
     let retained: Vec<Mutex<Option<P::Partial>>> =
@@ -397,16 +467,20 @@ pub(crate) fn refresh_parts<P: PieProgram>(
     // Seeds are routed at logical step 0 and published before the loop
     // starts, so the first IncEval round sees them like any other mail; the
     // published volume is accounted as `seed_messages` (separate from the
-    // per-superstep flow, included in the run totals).
+    // per-superstep flow, included in the run totals).  During a bounded
+    // refresh, only the damaged fragments start from a fresh PEval with no
+    // memory of their neighbours' values — everyone else already holds them
+    // — so seed delivery is restricted to the damage frontier.
     fn seed<K: KeyVertex + Clone, V: Clone, T: Transport<K, V>>(
         transport: &T,
         gp: &FragmentationGraph,
         scope: BorderScope,
         seeds: Vec<(usize, Vec<(K, V)>)>,
+        restrict_to: Option<&[bool]>,
         metrics: &mut EngineMetrics,
     ) {
         for (from, updates) in seeds {
-            route_and_send(transport, gp, scope, from, 0, updates);
+            route_and_send_to(transport, gp, scope, from, 0, updates, restrict_to);
         }
         transport.flush();
         let s = transport.stats();
@@ -414,21 +488,47 @@ pub(crate) fn refresh_parts<P: PieProgram>(
         metrics.total_messages += s.messages;
         metrics.total_bytes += s.bytes;
     }
+    let restrict_to = if repeval.is_empty() {
+        None
+    } else {
+        Some(peval.as_slice())
+    };
 
     let partials = match (config.mode, spec) {
         (EngineMode::Sync, TransportSpec::Barrier) => {
             let transport = BarrierTransport::new(m, ops);
-            seed(&transport, ctx.gp, ctx.scope, seeds, &mut metrics);
-            superstep_loop(&ctx, &transport, &mut metrics, retained, Phase::Incremental)?
+            seed(
+                &transport,
+                ctx.gp,
+                ctx.scope,
+                seeds,
+                restrict_to,
+                &mut metrics,
+            );
+            superstep_loop(&ctx, &transport, &mut metrics, retained)?
         }
         (EngineMode::Sync, TransportSpec::Channel) => {
             let transport = ChannelTransport::new(m, ops);
-            seed(&transport, ctx.gp, ctx.scope, seeds, &mut metrics);
-            superstep_loop(&ctx, &transport, &mut metrics, retained, Phase::Incremental)?
+            seed(
+                &transport,
+                ctx.gp,
+                ctx.scope,
+                seeds,
+                restrict_to,
+                &mut metrics,
+            );
+            superstep_loop(&ctx, &transport, &mut metrics, retained)?
         }
         (EngineMode::Async, _) => {
             let transport = ChannelTransport::new(m, ops);
-            seed(&transport, ctx.gp, ctx.scope, seeds, &mut metrics);
+            seed(
+                &transport,
+                ctx.gp,
+                ctx.scope,
+                seeds,
+                restrict_to,
+                &mut metrics,
+            );
             streaming_loop(&ctx, &transport, &mut metrics, retained, Phase::Incremental)?
         }
     };
@@ -440,15 +540,16 @@ pub(crate) fn refresh_parts<P: PieProgram>(
 /// transport publishes messages.  Supports checkpointing and the arbitrator
 /// recovery protocol of Section 6.
 ///
-/// `partials` arrives empty (`None` everywhere) in [`Phase::Full`] and
-/// pre-populated in [`Phase::Incremental`]; the loop returns the partials at
-/// the fixpoint so callers can assemble or retain them.
+/// `partials` arrives empty (`None` everywhere) for a full run and
+/// pre-populated for an incremental refresh; `ctx.peval` selects the
+/// fragments PEval roots in superstep 0 (their slots are overwritten before
+/// anything reads them).  The loop returns the partials at the fixpoint so
+/// callers can assemble or retain them.
 fn superstep_loop<P: PieProgram, T: Transport<P::Key, P::Value>>(
     ctx: &RunCtx<'_, P>,
     transport: &T,
     metrics: &mut EngineMetrics,
     partials: Vec<Mutex<Option<P::Partial>>>,
-    phase: Phase,
 ) -> Result<Vec<P::Partial>, EngineError> {
     let m = ctx.fragments.len();
     let peval_count = AtomicUsize::new(0);
@@ -500,18 +601,21 @@ fn superstep_loop<P: PieProgram, T: Transport<P::Key, P::Value>>(
         }
 
         let step_start = Instant::now();
-        let is_peval = superstep == 0 && phase == Phase::Full;
+        // The rooting step: superstep 0 runs PEval on the fragments the
+        // mask selects (all of them in a full run, the damage frontier in a
+        // bounded refresh, none in a monotone refresh).
+        let rooting = superstep == 0;
 
         // Decide which fragments are active this superstep.
         let active: Vec<bool> = (0..m)
-            .map(|i| is_peval || transport.has_pending(i))
+            .map(|i| (rooting && ctx.peval[i]) || transport.has_pending(i))
             .collect();
         let active_count = active.iter().filter(|&&a| a).count();
         if active_count == 0 {
             break;
         }
 
-        // Local evaluation (PEval in superstep 0, IncEval afterwards),
+        // Local evaluation (PEval in the rooting step, IncEval otherwise),
         // spread over the physical workers.
         let stats_before = transport.stats();
         let active_ref = &active;
@@ -527,7 +631,7 @@ fn superstep_loop<P: PieProgram, T: Transport<P::Key, P::Value>>(
                             continue;
                         }
                         let mut msgs = Messages::with_aggregator(ctx.ops.aggregate);
-                        if is_peval {
+                        if rooting && ctx.peval[fi] {
                             let partial =
                                 ctx.program.peval(ctx.query, &ctx.fragments[fi], &mut msgs);
                             *partials_ref[fi].lock() = Some(partial);
@@ -623,7 +727,6 @@ fn streaming_loop<P: PieProgram, T: Transport<P::Key, P::Value>>(
     partials: Vec<Mutex<Option<P::Partial>>>,
     phase: Phase,
 ) -> Result<Vec<P::Partial>, EngineError> {
-    let m = ctx.fragments.len();
     let peval_count = AtomicUsize::new(0);
     let inceval_count = AtomicUsize::new(0);
     // Quiescence: the run is over when every PEval finished, no mailbox has
@@ -636,11 +739,10 @@ fn streaming_loop<P: PieProgram, T: Transport<P::Key, P::Value>>(
     // whole observation — then no busy transition completed inside the
     // window, `busy` was constant 0 throughout, no send was in flight, and
     // the observed zeros really did overlap.
-    // In the incremental phase there are no PEvals to wait for.
-    let unstarted = AtomicUsize::new(match phase {
-        Phase::Full => m,
-        Phase::Incremental => 0,
-    });
+    // Only the mask-selected fragments have a PEval to wait for (all in the
+    // full phase, the damage frontier in a bounded refresh, none in a
+    // monotone refresh).
+    let unstarted = AtomicUsize::new(ctx.peval.iter().filter(|&&p| p).count());
     let busy = AtomicUsize::new(0);
     let activity = AtomicUsize::new(0);
     let diverged = AtomicBool::new(false);
@@ -675,30 +777,32 @@ fn streaming_loop<P: PieProgram, T: Transport<P::Key, P::Value>>(
                     // (which inflates evaluation counts) and chains of
                     // interim values (which inflate message depth).
                     let mut evals: HashMap<usize, usize> = HashMap::new();
-                    // PEval for the fragments this worker owns (full phase
-                    // only — an incremental refresh starts straight from the
-                    // retained partials and the pre-seeded mailboxes).  No
-                    // global barrier afterwards: mail addressed to a fragment
-                    // whose PEval has not run yet simply waits in its mailbox.
-                    if phase == Phase::Full {
-                        for &fi in &worker_fragments {
-                            let t0 = Instant::now();
-                            let mut msgs = Messages::with_aggregator(ctx.ops.aggregate);
-                            let partial =
-                                ctx.program.peval(ctx.query, &ctx.fragments[fi], &mut msgs);
-                            *partials_ref[fi].lock() = Some(partial);
-                            route_and_send(transport, ctx.gp, ctx.scope, fi, 0, msgs.take());
-                            unstarted_ref.fetch_sub(1, Ordering::SeqCst);
-                            peval_count_ref.fetch_add(1, Ordering::Relaxed);
-                            evals.insert(fi, 0);
-                            local.push(EvalRecord {
-                                fragment: fi,
-                                step: 0,
-                                consumed_messages: 0,
-                                consumed_bytes: 0,
-                                duration: t0.elapsed(),
-                            });
+                    // PEval for the mask-selected fragments this worker owns
+                    // (all of its fragments in the full phase, the damaged
+                    // ones in a bounded refresh, none in a monotone refresh
+                    // — which starts straight from the retained partials and
+                    // the pre-seeded mailboxes).  No global barrier
+                    // afterwards: mail addressed to a fragment whose PEval
+                    // has not run yet simply waits in its mailbox.
+                    for &fi in &worker_fragments {
+                        if !ctx.peval[fi] {
+                            continue;
                         }
+                        let t0 = Instant::now();
+                        let mut msgs = Messages::with_aggregator(ctx.ops.aggregate);
+                        let partial = ctx.program.peval(ctx.query, &ctx.fragments[fi], &mut msgs);
+                        *partials_ref[fi].lock() = Some(partial);
+                        route_and_send(transport, ctx.gp, ctx.scope, fi, 0, msgs.take());
+                        unstarted_ref.fetch_sub(1, Ordering::SeqCst);
+                        peval_count_ref.fetch_add(1, Ordering::Relaxed);
+                        evals.insert(fi, 0);
+                        local.push(EvalRecord {
+                            fragment: fi,
+                            step: 0,
+                            consumed_messages: 0,
+                            consumed_bytes: 0,
+                            duration: t0.elapsed(),
+                        });
                     }
                     // Drain to quiescence.
                     let mut idle_rounds = 0u32;

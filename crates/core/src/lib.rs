@@ -54,6 +54,6 @@ pub use config::{EngineConfig, EngineMode};
 pub use engine::{EngineError, RunResult};
 pub use metrics::EngineMetrics;
 pub use pie::{IncrementalPie, KeyVertex, Messages, PieProgram};
-pub use prepared::{PreparedQuery, UpdateReport};
+pub use prepared::{PreparedQuery, RefreshKind, UpdateReport};
 pub use session::{GrapeSession, GrapeSessionBuilder};
 pub use transport::{Transport, TransportSpec};

@@ -53,7 +53,9 @@ pub struct EngineMetrics {
     pub checkpoints: usize,
     /// Number of `PEval` invocations.  An IncEval-only incremental refresh
     /// (see `crate::prepared::PreparedQuery::update`) reports **0** here —
-    /// the pin of the prepared-query acceptance criterion.
+    /// the pin of the prepared-query acceptance criterion — and a *bounded*
+    /// non-monotone refresh reports the size of the damage frontier
+    /// (`|damaged| < fragments`, the pin of the bounded-refresh criterion).
     #[serde(default)]
     pub peval_calls: usize,
     /// Number of `IncEval` invocations (evaluations that actually consumed
@@ -66,8 +68,9 @@ pub struct EngineMetrics {
     /// [`EngineMetrics::total_messages`]).
     #[serde(default)]
     pub seed_messages: usize,
-    /// Whether this run was an IncEval-only incremental refresh rather than
-    /// a full PEval-rooted computation.
+    /// Whether this run was an incremental refresh (IncEval-only, or a
+    /// bounded refresh rooted at the damage frontier) rather than a full
+    /// PEval-everywhere computation.
     #[serde(default)]
     pub incremental: bool,
     /// Time spent in PEval/IncEval across all supersteps.  Under the

@@ -21,6 +21,8 @@ use grape_partition::delta::FragmentDelta;
 use grape_partition::fragment::Fragment;
 use grape_partition::fragmentation_graph::BorderScope;
 
+pub use grape_partition::delta::DamagePolicy;
+
 /// An `aggregateMsg` conflict-resolution function, borrowed from the PIE
 /// program for the duration of one evaluation or one run.
 pub type AggregateFn<'a, K, V> = &'a (dyn Fn(&K, V, V) -> V + Sync);
@@ -260,8 +262,19 @@ pub type Rebased<P> = (
 /// the Assurance Theorem): SSSP and CC tolerate *insertions* (distances and
 /// component ids only decrease), graph simulation tolerates *deletions*
 /// (match variables only flip to `false`).  [`IncrementalPie::delta_is_monotone`]
-/// makes that call per program; a non-monotone delta makes the prepared
-/// query fall back to a full re-preparation (PEval on every fragment).
+/// makes that call per program.
+///
+/// A **non-monotone** delta no longer forces PEval everywhere: the prepared
+/// query runs a *bounded refresh* instead.  The program's
+/// [`IncrementalPie::damage_policy`] tells the partition layer how far the
+/// staleness spreads across the fragment quotient graph
+/// ([`grape_partition::delta::damage_frontier`]); PEval re-roots only the
+/// damaged fragments, every undamaged fragment keeps its retained partial,
+/// and — under [`DamagePolicy::Reachability`] — the undamaged neighbours'
+/// border segments are re-emitted via [`IncrementalPie::reseed`] so the
+/// freshly re-rooted fragments re-learn the values they contribute.  Only
+/// when the frontier covers every fragment does the refresh degenerate into
+/// the classic full re-preparation.
 pub trait IncrementalPie: PieProgram {
     /// Whether `delta` can be absorbed by the IncEval-only refresh: every
     /// update parameter must only ever move along the program's partial
@@ -289,6 +302,46 @@ pub trait IncrementalPie: PieProgram {
         partial: Self::Partial,
         delta: &FragmentDelta,
     ) -> Rebased<Self>;
+
+    /// How far a **non-monotone** delta's damage spreads across fragments —
+    /// the policy of the bounded refresh (`peval_calls == |damaged|` instead
+    /// of a full re-preparation).
+    ///
+    /// The default, [`DamagePolicy::Component`], is sound for *any*
+    /// deterministic program without further cooperation: damage swallows
+    /// whole quotient connected components, so no message ever crosses the
+    /// damaged/undamaged boundary and both sides reproduce a full
+    /// recompute's values independently.  Programs whose fixpoint is
+    /// schedule-independent given boundary inputs (the Assurance-Theorem
+    /// programs) should narrow this to [`DamagePolicy::Reachability`] and
+    /// implement [`IncrementalPie::reseed`]; programs whose partial is a
+    /// pure function of a bounded neighborhood (SubIso) can return
+    /// [`DamagePolicy::Halo`].
+    fn damage_policy(&self, query: &Self::Query) -> DamagePolicy {
+        let _ = query;
+        DamagePolicy::Component
+    }
+
+    /// Re-emits the **full border segment** of a retained partial — the
+    /// current value of every update parameter this fragment contributes —
+    /// so that a freshly re-PEval'ed neighbour can re-learn them during a
+    /// bounded refresh.  Only called for *undamaged* fragments feeding a
+    /// damaged one, and only under [`DamagePolicy::Reachability`]; the
+    /// engine routes the values like ordinary sends but delivers them to
+    /// damaged fragments exclusively.
+    ///
+    /// Unlike the changed-values-only discipline of normal evaluation, this
+    /// must emit *all* current border values: the receiver starts from a
+    /// fresh PEval and has no memory of them.
+    fn reseed(
+        &self,
+        query: &Self::Query,
+        frag: &Fragment,
+        partial: &Self::Partial,
+    ) -> Vec<(Self::Key, Self::Value)> {
+        let _ = (query, frag, partial);
+        Vec::new()
+    }
 }
 
 #[cfg(test)]

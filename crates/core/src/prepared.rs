@@ -21,11 +21,16 @@
 //! messages, and the engine re-enters the IncEval fixpoint from the retained
 //! state — zero PEval calls for monotone deltas, pinned by
 //! [`crate::metrics::EngineMetrics::peval_calls`].  Non-monotone deltas
-//! (e.g. edge deletions under SSSP) transparently fall back to a full
-//! re-preparation, so [`PreparedQuery::output`] always equals a from-scratch
-//! recompute on the updated graph.
+//! (e.g. edge deletions under SSSP) take the **bounded refresh**: the
+//! damage frontier derived from `ΔG` via `G_P` is re-rooted with PEval while
+//! every undamaged fragment keeps (and reseeds) its retained partial, so
+//! `peval_calls == |damaged|` instead of `num_fragments`; only a frontier
+//! covering every fragment degenerates into the classic full
+//! re-preparation.  On every path [`PreparedQuery::output`] equals a
+//! from-scratch recompute on the updated graph.
 
 use grape_graph::delta::GraphDelta;
+use grape_partition::delta::damage_frontier;
 use grape_partition::fragment::Fragmentation;
 
 use crate::engine::{prepare_parts, refresh_parts, EngineError, RefreshState};
@@ -50,19 +55,50 @@ pub struct PreparedQuery<P: PieProgram> {
     last_metrics: EngineMetrics,
     updates_applied: usize,
     incremental_updates: usize,
+    bounded_updates: usize,
+}
+
+/// Which refresh path one [`PreparedQuery::update`] took — the decision
+/// table of the bounded-refresh protocol (see `docs/ARCHITECTURE.md` §1a).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefreshKind {
+    /// The delta was in the program's monotone direction: affected
+    /// fragments were rebased, IncEval alone absorbed the change
+    /// (`peval_calls == 0`).
+    Monotone,
+    /// Non-monotone delta with a localized damage frontier: PEval re-rooted
+    /// only the damaged fragments, the rest kept their retained partials
+    /// (`peval_calls == repeval.len() < num_fragments`).
+    Bounded,
+    /// The damage frontier covered every fragment: full re-preparation
+    /// (`peval_calls == num_fragments`).
+    Full,
 }
 
 /// What one [`PreparedQuery::update`] call did.
 #[derive(Debug, Clone)]
 pub struct UpdateReport {
-    /// `true` when the delta was absorbed by the IncEval-only path;
-    /// `false` when it forced a full re-preparation (PEval everywhere).
+    /// `true` when the delta was absorbed by the IncEval-only path
+    /// (equivalent to `kind == RefreshKind::Monotone`).
     pub incremental: bool,
-    /// Number of fragments whose structure changed under the delta (and,
-    /// on the incremental path, were rebased).
+    /// Which refresh path ran.
+    pub kind: RefreshKind,
+    /// Number of fragments whose structure changed under the delta
+    /// (`== rebuilt.len()`, kept for compatibility).
     pub affected_fragments: usize,
-    /// Engine metrics of the refresh (or of the fallback re-preparation).
-    /// On the incremental path `metrics.peval_calls == 0`.
+    /// Fragments the partition layer rebuilt because `ΔG` touched their
+    /// local structure; everything else was **reused** verbatim (shared
+    /// `Arc` storage).
+    pub rebuilt: Vec<usize>,
+    /// Fragments the engine re-rooted with PEval: empty on the monotone
+    /// path, the damage frontier on the bounded path, all fragments on the
+    /// full path.  `metrics.peval_calls == repeval.len()` always.
+    pub repeval: Vec<usize>,
+    /// Number of fragments whose structure the partition layer reused
+    /// verbatim (`num_fragments - rebuilt.len()`).
+    pub reused: usize,
+    /// Engine metrics of the refresh (or of the full re-preparation).
+    /// On the monotone path `metrics.peval_calls == 0`.
     pub metrics: EngineMetrics,
 }
 
@@ -98,6 +134,7 @@ impl GrapeSession {
             last_metrics: metrics,
             updates_applied: 0,
             incremental_updates: 0,
+            bounded_updates: 0,
         })
     }
 }
@@ -144,19 +181,36 @@ impl<P: PieProgram> PreparedQuery<P> {
     pub fn incremental_updates(&self) -> usize {
         self.incremental_updates
     }
+
+    /// Number of non-monotone deltas absorbed by the bounded refresh
+    /// (PEval on the damage frontier only, not everywhere).
+    pub fn bounded_updates(&self) -> usize {
+        self.bounded_updates
+    }
 }
 
 impl<P: IncrementalPie> PreparedQuery<P> {
     /// Applies a batched graph update and refreshes the retained partials so
     /// that [`PreparedQuery::output`] returns `Q(G ⊕ ΔG)`.
     ///
-    /// For a delta the program declares monotone
-    /// ([`IncrementalPie::delta_is_monotone`]), the refresh runs **IncEval
-    /// only**: affected fragments are rebased, their changed update
-    /// parameters are seeded through `G_P`, and the engine iterates to the
-    /// new fixpoint from the retained state (`metrics.peval_calls == 0`).
-    /// Otherwise the handle transparently re-prepares from scratch on the
-    /// updated graph — same answer, full cost.
+    /// The decision table (see `docs/ARCHITECTURE.md` §1a):
+    ///
+    /// 1. **Monotone** — the delta is in the program's monotone direction
+    ///    ([`IncrementalPie::delta_is_monotone`]): affected fragments are
+    ///    rebased, their changed update parameters are seeded through `G_P`,
+    ///    and the engine iterates **IncEval only** to the new fixpoint from
+    ///    the retained state (`metrics.peval_calls == 0`).
+    /// 2. **Bounded** — the delta is non-monotone but its *damage frontier*
+    ///    ([`IncrementalPie::damage_policy`]) does not cover every fragment:
+    ///    PEval re-roots only the damaged fragments, the undamaged ones keep
+    ///    their retained partials and — under the reachability policy —
+    ///    reseed their border segments into the fixpoint
+    ///    (`metrics.peval_calls == |damaged| < num_fragments`).
+    /// 3. **Full** — the frontier covers everything: classic full
+    ///    re-preparation (PEval everywhere).
+    ///
+    /// All three produce output identical to a from-scratch recompute on the
+    /// updated graph, pinned by `tests/delta_fuzz.rs`.
     ///
     /// On error the handle must be considered stale: re-`prepare` before
     /// trusting [`PreparedQuery::output`] again.
@@ -166,13 +220,82 @@ impl<P: IncrementalPie> PreparedQuery<P> {
             .apply_delta(delta)
             .map_err(|e| EngineError::Delta(e.to_string()))?;
         let session = self.session.clone();
+        let m = applied.fragmentation.num_fragments();
+        let rebuilt: Vec<usize> = applied.affected.iter().map(|fd| fd.fragment).collect();
+        let reused = m - rebuilt.len();
 
-        // d-hop expansion programs evaluate over expanded fragments the
-        // handle does not retain; their deltas always take the fallback.
-        let monotone =
-            self.program.delta_is_monotone(delta) && self.program.expansion_hops(&self.query) == 0;
+        // A delta that changed no fragment's structure (empty `ΔG`) is a
+        // free refresh for every program; otherwise the monotone path needs
+        // the program's blessing.  d-hop expansion programs evaluate over
+        // expanded fragments the handle does not retain, so their rebase
+        // path is unavailable — they go through the bounded refresh, which
+        // re-expands exactly the damaged fragments.
+        let monotone = applied.affected.is_empty()
+            || (self.program.delta_is_monotone(delta)
+                && self.program.expansion_hops(&self.query) == 0);
 
-        if !monotone {
+        if monotone {
+            // Rebase the affected fragments' partials and collect the seeds.
+            let mut seeds = Vec::with_capacity(applied.affected.len());
+            for fd in &applied.affected {
+                let fi = fd.fragment;
+                let old_partial = self.partials[fi].clone();
+                let (new_partial, sends) = self.program.rebase(
+                    &self.query,
+                    self.fragmentation.fragment(fi),
+                    applied.fragmentation.fragment(fi),
+                    old_partial,
+                    fd,
+                );
+                self.partials[fi] = new_partial;
+                if !sends.is_empty() {
+                    seeds.push((fi, sends));
+                }
+            }
+
+            let state = RefreshState {
+                partials: std::mem::take(&mut self.partials),
+                seeds,
+                repeval: Vec::new(),
+            };
+            let (partials, metrics) = refresh_parts(
+                session.config(),
+                session.balancer(),
+                session.transport(),
+                &applied.fragmentation,
+                &self.program,
+                &self.query,
+                state,
+            )?;
+            self.fragmentation = applied.fragmentation;
+            self.partials = partials;
+            self.updates_applied += 1;
+            self.incremental_updates += 1;
+            self.last_metrics = metrics.clone();
+            return Ok(UpdateReport {
+                incremental: true,
+                kind: RefreshKind::Monotone,
+                affected_fragments: rebuilt.len(),
+                rebuilt,
+                repeval: Vec::new(),
+                reused,
+                metrics,
+            });
+        }
+
+        // Non-monotone: derive the damage frontier from ΔG over the union
+        // of the old and new fragment quotient graphs.
+        let frontier = damage_frontier(
+            &self.fragmentation,
+            &applied.fragmentation,
+            &rebuilt,
+            self.program.damage_policy(&self.query),
+            self.program.scope(),
+        );
+        let repeval = frontier.damaged_ids();
+
+        if repeval.len() == m {
+            // The frontier covers everything: classic full re-preparation.
             let (partials, metrics) = prepare_parts(
                 session.config(),
                 session.balancer(),
@@ -187,32 +310,34 @@ impl<P: IncrementalPie> PreparedQuery<P> {
             self.last_metrics = metrics.clone();
             return Ok(UpdateReport {
                 incremental: false,
-                affected_fragments: applied.affected.len(),
+                kind: RefreshKind::Full,
+                affected_fragments: rebuilt.len(),
+                rebuilt,
+                repeval,
+                reused,
                 metrics,
             });
         }
 
-        // Rebase the affected fragments' partials and collect the seeds.
-        let mut seeds = Vec::with_capacity(applied.affected.len());
-        for fd in &applied.affected {
-            let fi = fd.fragment;
-            let old_partial = self.partials[fi].clone();
-            let (new_partial, sends) = self.program.rebase(
+        // Bounded refresh: undamaged fragments that feed a damaged one
+        // re-emit their retained border segments (the freshly re-rooted
+        // fragments have no memory of them); the engine re-runs PEval on
+        // the frontier only and iterates IncEval to the fixpoint.
+        let mut seeds = Vec::new();
+        for &i in &frontier.reseed_sources {
+            let sends = self.program.reseed(
                 &self.query,
-                self.fragmentation.fragment(fi),
-                applied.fragmentation.fragment(fi),
-                old_partial,
-                fd,
+                applied.fragmentation.fragment(i),
+                &self.partials[i],
             );
-            self.partials[fi] = new_partial;
             if !sends.is_empty() {
-                seeds.push((fi, sends));
+                seeds.push((i, sends));
             }
         }
-
         let state = RefreshState {
             partials: std::mem::take(&mut self.partials),
             seeds,
+            repeval: repeval.clone(),
         };
         let (partials, metrics) = refresh_parts(
             session.config(),
@@ -226,11 +351,15 @@ impl<P: IncrementalPie> PreparedQuery<P> {
         self.fragmentation = applied.fragmentation;
         self.partials = partials;
         self.updates_applied += 1;
-        self.incremental_updates += 1;
+        self.bounded_updates += 1;
         self.last_metrics = metrics.clone();
         Ok(UpdateReport {
-            incremental: true,
-            affected_fragments: applied.affected.len(),
+            incremental: false,
+            kind: RefreshKind::Bounded,
+            affected_fragments: rebuilt.len(),
+            rebuilt,
+            repeval,
+            reused,
             metrics,
         })
     }
@@ -248,6 +377,7 @@ impl<P: PieProgram + Clone> Clone for PreparedQuery<P> {
             last_metrics: self.last_metrics.clone(),
             updates_applied: self.updates_applied,
             incremental_updates: self.incremental_updates,
+            bounded_updates: self.bounded_updates,
         }
     }
 }
@@ -369,6 +499,27 @@ mod tests {
             !delta.has_removals()
         }
 
+        fn damage_policy(&self, _query: &()) -> crate::pie::DamagePolicy {
+            // Min propagation has a schedule-independent fixpoint: the
+            // reachability frontier plus reseeded borders is exact.
+            crate::pie::DamagePolicy::Reachability
+        }
+
+        fn reseed(
+            &self,
+            _query: &(),
+            frag: &Fragment,
+            partial: &MinPartial,
+        ) -> Vec<(VertexId, u64)> {
+            frag.out_border_locals()
+                .iter()
+                .map(|&l| {
+                    let v = frag.global_of(l);
+                    (v, partial[&v])
+                })
+                .collect()
+        }
+
         fn rebase(
             &self,
             _query: &(),
@@ -461,6 +612,9 @@ mod tests {
 
     #[test]
     fn non_monotone_update_falls_back_to_full_reprepare() {
+        // Deleting the only cross edge damages both fragments (the stale
+        // downstream fragment is reachable through the OLD quotient graph),
+        // so the frontier covers everything: full re-preparation.
         let g = path_graph(8);
         let frag = RangeEdgeCut::new(2).partition(&g).unwrap();
         let s = session(EngineMode::Sync);
@@ -469,12 +623,49 @@ mod tests {
             .update(&GraphDelta::new().remove_edge(3, 4))
             .unwrap();
         assert!(!report.incremental);
+        assert_eq!(report.kind, RefreshKind::Full);
         assert_eq!(report.metrics.peval_calls, 2, "full re-preparation");
+        assert_eq!(report.repeval, vec![0, 1]);
         let recompute = s.run(prepared.fragmentation(), &MinForward, &()).unwrap();
         assert_eq!(prepared.output(), recompute.output);
         // The cut path: 4..8 no longer reach min 0.
         assert_eq!(prepared.output()[&5], 4);
         assert_eq!(prepared.incremental_updates(), 0);
+    }
+
+    #[test]
+    fn localized_deletion_takes_the_bounded_refresh() {
+        // Path 0..12 over three range fragments {0..4}, {4..8}, {8..12}.
+        // Deleting the fragment-local edge 5 → 6 damages F1 and (via Out-
+        // scope reachability) its downstream F2 — but never F0, whose
+        // retained partial is reused and whose border value is reseeded.
+        for mode in [EngineMode::Sync, EngineMode::Async] {
+            let g = path_graph(12);
+            let frag = RangeEdgeCut::new(3).partition(&g).unwrap();
+            let s = session(mode);
+            let mut prepared = s.prepare(frag, MinForward, ()).unwrap();
+            let report = prepared
+                .update(&GraphDelta::new().remove_edge(5, 6))
+                .unwrap();
+            assert!(!report.incremental, "{mode:?}");
+            assert_eq!(report.kind, RefreshKind::Bounded, "{mode:?}");
+            assert_eq!(report.rebuilt, vec![1], "only F1 changed structurally");
+            assert_eq!(report.repeval, vec![1, 2], "damage frontier ({mode:?})");
+            assert_eq!(
+                report.metrics.peval_calls, 2,
+                "peval_calls == |damaged| < num_fragments ({mode:?})"
+            );
+            assert_eq!(report.reused, 2);
+            assert!(report.metrics.incremental);
+            assert_eq!(prepared.bounded_updates(), 1);
+
+            let recompute = s.run(prepared.fragmentation(), &MinForward, &()).unwrap();
+            assert_eq!(prepared.output(), recompute.output, "{mode:?}");
+            // The deletion cuts min-0 propagation at vertex 6.
+            assert_eq!(prepared.output()[&5], 0, "{mode:?}");
+            assert_eq!(prepared.output()[&7], 6, "{mode:?}");
+            assert_eq!(prepared.output()[&11], 6, "{mode:?}");
+        }
     }
 
     #[test]

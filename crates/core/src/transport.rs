@@ -666,11 +666,39 @@ mod tests {
         assert_eq!(d.updates, vec![(5, 10)], "{name}: reset must forget dedup");
         assert_eq!(t.stats().messages, before.messages + 1, "{name}");
 
-        // (8) Seal: pending mail can still be drained.
+        // (8) Empty flush: publishing with nothing staged is free, returns
+        // zero stats, and never disturbs pending mail.
+        let before = t.stats();
+        assert_eq!(t.flush(), TransportStats::default(), "{name}");
+        assert_eq!(t.stats(), before, "{name}: empty flush must not charge");
+        t.send_batch(0, 1, 5, vec![(21, 21)]);
+        t.flush();
+        assert!(t.has_pending(1), "{name}");
+        t.flush(); // a second, empty flush between barrier and drain
+        assert_eq!(
+            t.drain(1).updates,
+            vec![(21, 21)],
+            "{name}: empty flush dropped or duplicated pending mail"
+        );
+
+        // (9) Seal: pending mail can still be drained.
         t.send_batch(0, 2, 6, vec![(11, 11)]);
         t.flush();
         t.seal();
         assert_eq!(t.drain(2).updates, vec![(11, 11)], "{name}");
+
+        // (10) Seal after drain: the transport stays drainable (empty) and
+        // consistent once everything has been consumed.
+        assert!(t.drain(2).updates.is_empty(), "{name}: drained twice");
+        assert!(!t.has_pending(2), "{name}");
+        assert_eq!(t.pending_mailboxes(), 0, "{name}");
+        let sealed_stats = t.stats();
+        assert!(t.drain(0).updates.is_empty(), "{name}");
+        assert_eq!(
+            t.stats(),
+            sealed_stats,
+            "{name}: sealed drains must be free"
+        );
     }
 
     #[test]
@@ -729,6 +757,63 @@ mod tests {
         t.send_batch(0, 1, 4, vec![(5, 40)]);
         t.flush();
         assert_eq!(t.drain(1).updates, vec![(5, 40)]);
+    }
+
+    /// A snapshot taken *mid-superstep* — after sends were staged but
+    /// before the barrier published them — must capture only the published
+    /// mailbox state: restoring discards the staged-but-unflushed sends, so
+    /// the re-executed superstep cannot double-deliver them.
+    #[test]
+    fn barrier_snapshot_mid_superstep_discards_staged_sends() {
+        let ops = MIN_OPS;
+        let t = BarrierTransport::new(2, ops);
+        t.send_batch(0, 1, 0, vec![(3, 30)]);
+        t.flush(); // published: (3, 30)
+
+        // Mid-superstep: a new send is staged but NOT yet flushed.
+        t.send_batch(0, 1, 1, vec![(4, 40)]);
+        let snap = t.snapshot().expect("barrier transports checkpoint");
+
+        // The in-flight superstep completes normally…
+        t.flush();
+        let mut d = t.drain(1).updates;
+        d.sort_unstable();
+        assert_eq!(d, vec![(3, 30), (4, 40)]);
+
+        // …then a failure rolls back to the snapshot: only the published
+        // (3, 30) comes back; the staged (4, 40) is gone until the
+        // recovering superstep re-evaluates and re-sends it.
+        t.restore(&snap);
+        assert_eq!(t.drain(1).updates, vec![(3, 30)]);
+        assert_eq!(t.flush(), TransportStats::default(), "staging was cleared");
+        assert!(!t.has_pending(1));
+
+        // Re-sending (4, 40) after the rollback ships again (it was never
+        // part of the snapshot's delivered cache).
+        t.send_batch(0, 1, 1, vec![(4, 40)]);
+        t.flush();
+        assert_eq!(t.drain(1).updates, vec![(4, 40)]);
+    }
+
+    /// Draining a sealed transport stays legal indefinitely, and a sealed
+    /// channel transport keeps its immediate-delivery semantics for mail
+    /// that was in flight before the seal.
+    #[test]
+    fn channel_seal_after_drain_stays_consistent() {
+        let ops = MIN_OPS;
+        let t: ChannelTransport<u64, u64> = ChannelTransport::new(2, ops);
+        t.send_batch(0, 1, 0, vec![(1, 10)]);
+        assert_eq!(t.drain(1).updates, vec![(1, 10)]);
+        t.seal();
+        assert!(t.drain(1).updates.is_empty());
+        assert_eq!(t.pending_mailboxes(), 0);
+        assert_eq!(
+            t.stats(),
+            TransportStats {
+                messages: 1,
+                bytes: 16
+            }
+        );
     }
 
     #[test]

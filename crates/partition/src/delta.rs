@@ -24,13 +24,14 @@
 //! same stateless rule a streaming partitioner would apply; a later
 //! re-partition can rebalance.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::sync::Arc;
 
 use grape_graph::delta::{DeltaError as GraphDeltaError, GraphDelta};
 use grape_graph::types::{Edge, VertexId};
 
 use crate::fragment::{assemble_edge_cut, build_edge_cut_fragment, Fragment, Fragmentation};
+use crate::fragmentation_graph::BorderScope;
 
 /// Errors produced by [`Fragmentation::apply_delta`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -160,7 +161,9 @@ impl Fragmentation {
 
         // Rebuild candidates; keep the old fragment whenever the rebuild is
         // structurally identical (the delta did not actually touch it).
-        let mut fragments: Vec<Fragment> = self.fragments().to_vec();
+        // Untouched fragments keep their `Arc`, so every prepared query over
+        // the old fragmentation keeps sharing their storage.
+        let mut fragments: Vec<Arc<Fragment>> = self.fragments().to_vec();
         let mut affected: Vec<FragmentDelta> = Vec::new();
         for &i in &candidates {
             let rebuilt = build_edge_cut_fragment(&new_source, &assignment, i, &inner[&i]);
@@ -175,7 +178,7 @@ impl Fragmentation {
                 &owner_of,
                 new_source.is_directed(),
             ));
-            fragments[i] = rebuilt;
+            fragments[i] = Arc::new(rebuilt);
         }
 
         let fragmentation = assemble_edge_cut(
@@ -243,6 +246,204 @@ fn restrict_delta(
         removed_edges,
         added_vertices,
         removed_vertices,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Damage frontier
+// ---------------------------------------------------------------------------
+
+/// How far the damage of a **non-monotone** delta spreads across fragments —
+/// the policy behind the engine's *bounded refresh* (re-PEval only the
+/// damaged fragments instead of everywhere).  A PIE program picks the policy
+/// that matches its dependency structure; the partition layer turns it into
+/// a concrete fragment set via [`damage_frontier`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DamagePolicy {
+    /// Closure of the structurally changed fragments under **message-flow
+    /// reachability** (the program's [`BorderScope`], over the union of the
+    /// old and new quotient graphs).  Sound for programs whose fixpoint is
+    /// schedule-independent given fixed boundary inputs — the
+    /// Assurance-Theorem programs (SSSP, CC, Sim) — *provided* the retained
+    /// border values of undamaged fragments are reseeded into the fixpoint
+    /// (`IncrementalPie::reseed`): every undamaged fragment's partial is a
+    /// function of its own unchanged structure and of inputs from other
+    /// undamaged fragments only, so it equals a full recompute's by
+    /// construction.
+    Reachability,
+    /// Whole quotient **connected components** containing a changed
+    /// fragment.  For trajectory-dependent programs (CF's SGD epochs): no
+    /// boundary exchange between damaged and undamaged fragments may exist
+    /// at all, so damage swallows everything transitively connected — but
+    /// updates confined to one component leave the others untouched.
+    Component,
+    /// Changed fragments plus a `k`-hop halo in the (undirected) quotient
+    /// graph.  For programs whose partial is a pure function of a bounded
+    /// neighborhood — PEval derives it without boundary inputs, so no
+    /// reseeding happens under this policy (SubIso: a changed edge can
+    /// only enter a fragment's `d_Q`-hop expansion if the fragment is
+    /// within `d_Q + 1` quotient hops of the edge's owner, so
+    /// `Halo(d_Q + 1)` is sound).
+    Halo(usize),
+}
+
+impl Fragmentation {
+    /// The message-flow successor sets of the fragment quotient graph: for
+    /// every fragment `i`, the fragments an update parameter produced by `i`
+    /// can reach under `scope` (derived from `G_P` exactly like the engine's
+    /// routing, so the frontier never under-approximates real traffic).
+    pub fn quotient_successors(&self, scope: BorderScope) -> Vec<BTreeSet<usize>> {
+        let gp = self.gp();
+        let mut succ: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); self.num_fragments()];
+        for v in gp.border_vertices() {
+            for i in holders_of(self, v) {
+                for dest in gp.route(v, i, scope) {
+                    succ[i].insert(dest);
+                }
+            }
+        }
+        succ
+    }
+
+    /// Undirected structural adjacency of the fragment quotient graph:
+    /// fragments are adjacent iff they hold a copy of a common border
+    /// vertex (i.e. a cross edge connects them, in either direction).
+    pub fn quotient_adjacency(&self) -> Vec<BTreeSet<usize>> {
+        let gp = self.gp();
+        let mut adj: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); self.num_fragments()];
+        for v in gp.border_vertices() {
+            let holders: Vec<usize> = holders_of(self, v).collect();
+            for &a in &holders {
+                for &b in &holders {
+                    if a != b {
+                        adj[a].insert(b);
+                    }
+                }
+            }
+        }
+        adj
+    }
+}
+
+/// Every fragment holding a copy of border vertex `v` (owner, outer-copy
+/// holders and in-border holders), deduplicated.
+fn holders_of(frag: &Fragmentation, v: VertexId) -> impl Iterator<Item = usize> {
+    let gp = frag.gp();
+    let mut holders: BTreeSet<usize> = BTreeSet::new();
+    holders.insert(gp.owner(v));
+    holders.extend(gp.outer_holders(v).iter().map(|&i| i as usize));
+    holders.extend(gp.in_holders(v).iter().map(|&i| i as usize));
+    holders.into_iter()
+}
+
+/// Unions two successor tables (old and new quotient graphs): stale state
+/// propagated along an edge that the delta *removed* is still stale, so the
+/// frontier must follow both.
+fn union_tables(a: Vec<BTreeSet<usize>>, b: Vec<BTreeSet<usize>>) -> Vec<BTreeSet<usize>> {
+    a.into_iter()
+        .zip(b)
+        .map(|(mut x, y)| {
+            x.extend(y);
+            x
+        })
+        .collect()
+}
+
+/// BFS over a successor table from `seeds`, bounded by `max_hops`
+/// (`usize::MAX` = full closure).  Returns the damage mask.
+fn bfs_closure(table: &[BTreeSet<usize>], seeds: &[usize], max_hops: usize) -> Vec<bool> {
+    let m = table.len();
+    let mut damaged = vec![false; m];
+    let mut queue: VecDeque<(usize, usize)> = VecDeque::new();
+    for &s in seeds {
+        if s < m && !damaged[s] {
+            damaged[s] = true;
+            queue.push_back((s, 0));
+        }
+    }
+    while let Some((i, depth)) = queue.pop_front() {
+        if depth >= max_hops {
+            continue;
+        }
+        for &j in &table[i] {
+            if j < m && !damaged[j] {
+                damaged[j] = true;
+                queue.push_back((j, depth + 1));
+            }
+        }
+    }
+    damaged
+}
+
+/// The damage frontier of a non-monotone delta, as computed by
+/// [`damage_frontier`].
+#[derive(Debug, Clone)]
+pub struct DamageFrontier {
+    /// Mask of fragments whose retained partial results may be stale and
+    /// must be re-rooted with PEval during a bounded refresh.
+    pub damaged: Vec<bool>,
+    /// The *undamaged* fragments whose retained border values the refresh
+    /// must reseed: those with at least one damaged message-flow successor
+    /// in the **new** quotient graph (a freshly re-PEval'ed fragment would
+    /// otherwise never re-learn the values its undamaged neighbours
+    /// contributed).  Only populated under [`DamagePolicy::Reachability`]
+    /// — the component closure has no cross-boundary flow by construction,
+    /// and halo programs derive their partials without boundary inputs.
+    pub reseed_sources: Vec<usize>,
+}
+
+impl DamageFrontier {
+    /// The damaged fragment ids, ascending.
+    pub fn damaged_ids(&self) -> Vec<usize> {
+        self.damaged
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Computes the **damage frontier** of a non-monotone delta.  `changed` is
+/// the set of structurally changed fragments
+/// (`DeltaApplication::affected`), always contained in the damage mask;
+/// `old`/`new` are the fragmentations before and after the delta (the
+/// closure follows the union of both quotient graphs: stale state
+/// propagated along an edge the delta *removed* is still stale).
+pub fn damage_frontier(
+    old: &Fragmentation,
+    new: &Fragmentation,
+    changed: &[usize],
+    policy: DamagePolicy,
+    scope: BorderScope,
+) -> DamageFrontier {
+    let (damaged, new_successors) = match policy {
+        DamagePolicy::Reachability => {
+            let new_succ = new.quotient_successors(scope);
+            let table = union_tables(old.quotient_successors(scope), new_succ.clone());
+            (bfs_closure(&table, changed, usize::MAX), Some(new_succ))
+        }
+        DamagePolicy::Component => {
+            let table = union_tables(old.quotient_adjacency(), new.quotient_adjacency());
+            (bfs_closure(&table, changed, usize::MAX), None)
+        }
+        DamagePolicy::Halo(k) => {
+            let table = union_tables(old.quotient_adjacency(), new.quotient_adjacency());
+            (bfs_closure(&table, changed, k), None)
+        }
+    };
+    let reseed_sources = new_successors
+        .map(|succ| {
+            succ.iter()
+                .enumerate()
+                .filter(|(i, s)| !damaged[*i] && s.iter().any(|&j| damaged[j]))
+                .map(|(i, _)| i)
+                .collect()
+        })
+        .unwrap_or_default();
+    DamageFrontier {
+        damaged,
+        reseed_sources,
     }
 }
 
@@ -407,6 +608,12 @@ mod tests {
         let applied = frag.apply_delta(&delta).unwrap();
         assert_eq!(applied.affected.len(), 1);
         assert_eq!(applied.affected[0].fragment, 0);
+        // Reused means *shared*: the untouched fragments' `Arc`s survive
+        // delta application, so prepared queries over the old fragmentation
+        // keep sharing their storage with the updated one.
+        assert!(!frag.shares_fragment_storage(&applied.fragmentation, 0));
+        assert!(frag.shares_fragment_storage(&applied.fragmentation, 1));
+        assert!(frag.shares_fragment_storage(&applied.fragmentation, 2));
     }
 
     #[test]
@@ -454,6 +661,165 @@ mod tests {
             .apply_delta(&GraphDelta::new().remove_edge(5, 0))
             .unwrap_err();
         assert!(matches!(err, DeltaError::Graph(_)));
+    }
+
+    /// 0→1→2→3→4→5→6→7→8, three range fragments {0..2}, {3..5}, {6..8}.
+    fn three_chain() -> (Graph, Fragmentation) {
+        let mut b = GraphBuilder::directed();
+        for v in 0..8u64 {
+            b.push_edge(Edge::weighted(v, v + 1, 1.0));
+        }
+        let g = b.build();
+        let frag = RangeEdgeCut::new(3).partition(&g).unwrap();
+        (g, frag)
+    }
+
+    fn ids(mask: &[bool]) -> Vec<usize> {
+        mask.iter()
+            .enumerate()
+            .filter(|(_, &d)| d)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    #[test]
+    fn quotient_successors_follow_the_scope() {
+        let (_, frag) = three_chain();
+        // Out scope: values for outer copies flow downstream (F0 holds the
+        // outer copy of 3 owned by F1, …).
+        let out = frag.quotient_successors(BorderScope::Out);
+        assert_eq!(out[0].iter().copied().collect::<Vec<_>>(), vec![1]);
+        assert_eq!(out[1].iter().copied().collect::<Vec<_>>(), vec![2]);
+        assert!(out[2].is_empty());
+        // In scope: values of in-border vertices flow back to copy holders.
+        let inward = frag.quotient_successors(BorderScope::In);
+        assert!(inward[0].is_empty());
+        assert_eq!(inward[1].iter().copied().collect::<Vec<_>>(), vec![0]);
+        assert_eq!(inward[2].iter().copied().collect::<Vec<_>>(), vec![1]);
+        // Structural adjacency is the symmetric closure.
+        let adj = frag.quotient_adjacency();
+        assert_eq!(adj[1].iter().copied().collect::<Vec<_>>(), vec![0, 2]);
+    }
+
+    #[test]
+    fn reachability_frontier_spreads_downstream_only() {
+        let (_, frag) = three_chain();
+        // Delete the fragment-local edge 4 → 5: only F1 is rebuilt.
+        let applied = frag
+            .apply_delta(&GraphDelta::new().remove_edge(4, 5))
+            .unwrap();
+        assert_eq!(applied.affected.len(), 1);
+        assert_eq!(applied.affected[0].fragment, 1);
+        let mask = damage_frontier(
+            &frag,
+            &applied.fragmentation,
+            &[1],
+            DamagePolicy::Reachability,
+            BorderScope::Out,
+        );
+        // Under Out scope stale state can only flow downstream: F0 is safe.
+        assert_eq!(ids(&mask.damaged), vec![1, 2]);
+        assert_eq!(mask.damaged_ids(), vec![1, 2]);
+        // Its retained border values must be reseeded into the fixpoint iff
+        // it feeds a damaged fragment — F0 feeds F1.
+        assert_eq!(mask.reseed_sources, vec![0]);
+    }
+
+    #[test]
+    fn component_frontier_swallows_the_connected_component() {
+        let (_, frag) = three_chain();
+        let applied = frag
+            .apply_delta(&GraphDelta::new().remove_edge(4, 5))
+            .unwrap();
+        let mask = damage_frontier(
+            &frag,
+            &applied.fragmentation,
+            &[1],
+            DamagePolicy::Component,
+            BorderScope::Both,
+        );
+        assert_eq!(ids(&mask.damaged), vec![0, 1, 2]);
+        assert!(
+            mask.reseed_sources.is_empty(),
+            "component closure never reseeds"
+        );
+    }
+
+    #[test]
+    fn halo_frontier_is_hop_bounded() {
+        let (_, frag) = three_chain();
+        let applied = frag
+            .apply_delta(&GraphDelta::new().remove_edge(1, 2))
+            .unwrap();
+        let zero = damage_frontier(
+            &frag,
+            &applied.fragmentation,
+            &[0],
+            DamagePolicy::Halo(0),
+            BorderScope::Out,
+        );
+        assert_eq!(ids(&zero.damaged), vec![0]);
+        let one = damage_frontier(
+            &frag,
+            &applied.fragmentation,
+            &[0],
+            DamagePolicy::Halo(1),
+            BorderScope::Out,
+        );
+        assert_eq!(ids(&one.damaged), vec![0, 1]);
+    }
+
+    #[test]
+    fn frontier_follows_removed_edges_through_the_old_quotient() {
+        // Deleting the only cross edge between F0 and F1 still damages F1
+        // under Reachability: stale state flowed along it before the delta,
+        // and the new quotient graph no longer records the adjacency.
+        let (_, frag) = chain();
+        let applied = frag
+            .apply_delta(&GraphDelta::new().remove_edge(2, 3))
+            .unwrap();
+        assert!(!applied.fragmentation.gp().is_border(3));
+        let changed: Vec<usize> = applied.affected.iter().map(|d| d.fragment).collect();
+        let mask = damage_frontier(
+            &frag,
+            &applied.fragmentation,
+            &changed,
+            DamagePolicy::Reachability,
+            BorderScope::Out,
+        );
+        assert!(
+            mask.damaged[1],
+            "downstream fragment must be damaged via the OLD edge"
+        );
+    }
+
+    #[test]
+    fn disconnected_components_stay_undamaged() {
+        // Two disjoint chains in separate fragments.
+        let g = GraphBuilder::directed()
+            .add_edge(0, 1)
+            .add_edge(1, 2)
+            .add_edge(3, 4)
+            .add_edge(4, 5)
+            .build();
+        let frag = RangeEdgeCut::new(2).partition(&g).unwrap();
+        let applied = frag
+            .apply_delta(&GraphDelta::new().remove_edge(0, 1))
+            .unwrap();
+        for policy in [
+            DamagePolicy::Reachability,
+            DamagePolicy::Component,
+            DamagePolicy::Halo(9),
+        ] {
+            let mask = damage_frontier(
+                &frag,
+                &applied.fragmentation,
+                &[0],
+                policy,
+                BorderScope::Out,
+            );
+            assert_eq!(ids(&mask.damaged), vec![0], "{policy:?}");
+        }
     }
 
     #[test]

@@ -166,9 +166,16 @@ impl Fragment {
 
 /// A complete fragmentation: all fragments, the fragmentation graph `G_P`,
 /// and a shared handle on the source graph.
+///
+/// Fragments are **refcounted** (`Arc<Fragment>`): cloning a fragmentation —
+/// which is how every `PreparedQuery` handle gets its own copy — shares the
+/// fragment storage instead of duplicating it, so a server can keep
+/// thousands of prepared queries over one evolving graph cheaply.  Delta
+/// application replaces only the rebuilt fragments' `Arc`s; untouched
+/// fragments stay shared across all handles.
 #[derive(Debug, Clone)]
 pub struct Fragmentation {
-    fragments: Vec<Fragment>,
+    fragments: Vec<Arc<Fragment>>,
     gp: FragmentationGraph,
     source: Arc<Graph>,
     strategy_name: String,
@@ -180,14 +187,20 @@ impl Fragmentation {
         self.fragments.len()
     }
 
-    /// The fragments.
-    pub fn fragments(&self) -> &[Fragment] {
+    /// The fragments (shared handles).
+    pub fn fragments(&self) -> &[Arc<Fragment>] {
         &self.fragments
     }
 
     /// Fragment `i`.
     pub fn fragment(&self, i: usize) -> &Fragment {
         &self.fragments[i]
+    }
+
+    /// Whether two fragmentations share the storage of fragment `i` (used by
+    /// tests to pin the refcounting behaviour).
+    pub fn shares_fragment_storage(&self, other: &Fragmentation, i: usize) -> bool {
+        Arc::ptr_eq(&self.fragments[i], &other.fragments[i])
     }
 
     /// The fragmentation graph `G_P`.
@@ -372,7 +385,7 @@ pub(crate) fn build_edge_cut_fragment(
 /// the fragmentation graph `G_P` from their border sets.  Used by
 /// [`build_edge_cut`] and by delta application.
 pub(crate) fn assemble_edge_cut(
-    fragments: Vec<Fragment>,
+    fragments: Vec<Arc<Fragment>>,
     assignment: Vec<u32>,
     source: Arc<Graph>,
     strategy_name: String,
@@ -415,10 +428,10 @@ pub fn build_edge_cut(
         inner[f].push(v);
     }
 
-    let fragments: Vec<Fragment> = inner
+    let fragments: Vec<Arc<Fragment>> = inner
         .iter()
         .enumerate()
-        .map(|(i, inner_vs)| build_edge_cut_fragment(g, assignment, i, inner_vs))
+        .map(|(i, inner_vs)| Arc::new(build_edge_cut_fragment(g, assignment, i, inner_vs)))
         .collect();
     assemble_edge_cut(
         fragments,
@@ -537,7 +550,7 @@ pub fn build_vertex_cut(
 
         outer_sets.push(out_border_globals);
         in_border_sets.push(in_border_globals);
-        fragments.push(Fragment {
+        fragments.push(Arc::new(Fragment {
             id: i,
             local,
             globals,
@@ -545,7 +558,7 @@ pub fn build_vertex_cut(
             num_inner,
             in_border,
             out_border,
-        });
+        }));
     }
 
     let gp =
@@ -684,6 +697,23 @@ mod tests {
         let (expanded, shipped_v, _) = frag.expand_fragment(0, 0);
         assert_eq!(expanded.num_local(), frag.fragment(0).num_local());
         assert_eq!(shipped_v, 0);
+    }
+
+    #[test]
+    fn cloned_fragmentations_share_fragment_storage() {
+        // The refcounting contract behind prepared-query serving: a clone
+        // (what every `PreparedQuery` handle holds) must not duplicate the
+        // fragment storage.
+        let g = chain_graph();
+        let assignment = vec![0, 0, 0, 1, 1, 1];
+        let frag = build_edge_cut(&g, &assignment, 2, "test");
+        let clone = frag.clone();
+        for i in 0..frag.num_fragments() {
+            assert!(
+                frag.shares_fragment_storage(&clone, i),
+                "fragment {i} was deep-copied"
+            );
+        }
     }
 
     #[test]

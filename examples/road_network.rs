@@ -6,9 +6,11 @@
 //! SSSP under GRAPE (PEval once, partials retained), then absorbs live
 //! updates: opening a new road segment is an edge insertion — monotone for
 //! SSSP, so the refresh runs IncEval only, with zero PEval calls — while a
-//! road closure is a deletion, which transparently falls back to a full
-//! re-preparation.  The vertex-centric baseline is re-run from scratch for
-//! the comparison row.
+//! road closure is a deletion, refreshed by the **bounded** path: PEval
+//! re-roots only the damage frontier derived from `ΔG` (on a connected
+//! grid that can be every fragment; on a regional network it stays
+//! regional).  The vertex-centric baseline is re-run from scratch for the
+//! comparison row.
 //!
 //! ```text
 //! cargo run --release --example road_network
@@ -105,15 +107,23 @@ fn main() {
     assert!(report.incremental && m.peval_calls == 0);
 
     // A closure on one of the source's roads: deletions are not monotone
-    // for SSSP (distances can grow back), so the handle transparently
-    // re-prepares — same answer as recomputing from scratch.
+    // for SSSP (distances can grow back), so the update takes the bounded
+    // refresh — PEval re-roots the damage frontier, every other fragment
+    // keeps its retained partials — same answer as recomputing from
+    // scratch.  (The grid is one strongly connected region, so here the
+    // frontier legitimately covers all fragments; `report.kind` records
+    // which decision-table row fired.)
     let closed = graph.out_neighbors(0)[0].target;
     let closure = GraphDelta::new().remove_edge(0, closed);
     let report = prepared.update(&closure).expect("close a road");
     println!(
-        "closing a road (delete): incremental = {}, PEval calls = {} (full fallback), {:.4} s",
-        report.incremental,
-        report.metrics.peval_calls,
+        "closing a road (delete): kind = {:?}, PEval re-rooted {} of {} fragments \
+         (rebuilt {:?}, reused {}), {:.4} s",
+        report.kind,
+        report.repeval.len(),
+        prepared.fragmentation().num_fragments(),
+        report.rebuilt,
+        report.reused,
         report.metrics.seconds()
     );
 

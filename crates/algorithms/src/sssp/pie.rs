@@ -28,6 +28,7 @@ use grape_graph::types::VertexId;
 use grape_partition::delta::FragmentDelta;
 use grape_partition::fragment::Fragment;
 use grape_partition::fragmentation_graph::BorderScope;
+use serde::{Deserialize, Serialize};
 
 use crate::util::{MinDist, INF};
 
@@ -71,7 +72,11 @@ impl SsspResult {
 
 /// Per-fragment partial result `Q(F_i)`: `dist(s, v)` for every local vertex,
 /// together with the local→global id mapping so Assemble can merge fragments.
-#[derive(Debug, Clone)]
+///
+/// Serializable so a prepared SSSP query can be **evicted** by
+/// `grape_core::serve::GrapeServer` (partials spill to disk next to the
+/// per-fragment binary snapshots and reload without re-running PEval).
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SsspPartial {
     /// Distance per local vertex id.
     dist: Vec<f64>,

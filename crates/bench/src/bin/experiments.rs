@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! experiments [--scale small|medium|large] [--format text|json|csv]
-//!             [table1|fig6|fig7|fig8|fig9|incremental|loc|all]
+//!             [table1|fig6|fig7|fig8|fig9|incremental|serving|loc|all]
 //! ```
 //!
 //! `incremental` is the prepared-query update experiment: update latency and
@@ -137,6 +137,11 @@ fn sections_for(target: &str, scale: Scale) -> Option<Vec<Section>> {
                 experiments::refresh_comparison(scale),
             ),
         ]),
+        "serving" => Some(vec![section(
+            "serving",
+            "GrapeServer: K standing queries, one delta stream (per-delta latency)",
+            experiments::serving(scale),
+        )]),
         "all" => {
             let mut all = vec![section(
                 "table1",
@@ -159,6 +164,11 @@ fn sections_for(target: &str, scale: Scale) -> Option<Vec<Section>> {
                 "refresh_comparison",
                 "Bounded refresh: recompute vs bounded vs monotone (regional traffic)",
                 experiments::refresh_comparison(scale),
+            ));
+            all.push(section(
+                "serving",
+                "GrapeServer: K standing queries, one delta stream (per-delta latency)",
+                experiments::serving(scale),
             ));
             Some(all)
         }
@@ -211,7 +221,7 @@ fn main() {
         let Some(sections) = sections_for(target, scale) else {
             eprintln!(
                 "unknown experiment {target:?} \
-                 (use table1|fig6|fig7|fig8|fig9|incremental|loc|all)"
+                 (use table1|fig6|fig7|fig8|fig9|incremental|serving|loc|all)"
             );
             continue;
         };

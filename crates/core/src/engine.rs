@@ -79,6 +79,11 @@ pub enum EngineError {
     /// A graph delta could not be applied to the prepared fragmentation
     /// (missing edge/vertex, vertex-cut partition, …).
     Delta(String),
+    /// The prepared handle was poisoned by an earlier failed refresh: its
+    /// retained partials were consumed or half-rebased when the engine
+    /// errored, so its state no longer corresponds to any graph version.
+    /// Re-`prepare` (or re-register with the server) before trusting it.
+    PoisonedHandle,
 }
 
 impl std::fmt::Display for EngineError {
@@ -92,6 +97,11 @@ impl std::fmt::Display for EngineError {
             ),
             EngineError::InvalidConfig(reason) => write!(f, "invalid configuration: {reason}"),
             EngineError::Delta(reason) => write!(f, "cannot apply graph delta: {reason}"),
+            EngineError::PoisonedHandle => write!(
+                f,
+                "prepared query handle is poisoned by an earlier failed \
+                 update; re-prepare before reading its output"
+            ),
         }
     }
 }

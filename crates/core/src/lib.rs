@@ -29,6 +29,10 @@
 //! * [`prepared`] — prepared queries over evolving graphs:
 //!   [`prepared::PreparedQuery`] retains the per-fragment partials so
 //!   `Q(G ⊕ ΔG)` is answered by IncEval alone,
+//! * [`serve`] — [`serve::GrapeServer`]: many prepared queries multiplexed
+//!   over **one** delta stream (one `apply_delta` per `ΔG`, shared
+//!   `Arc<Fragment>` storage), with eviction/rehydration through the
+//!   per-fragment binary snapshots,
 //! * [`engine`] — the two runtimes (BSP superstep loop and the barrier-free
 //!   streaming loop) behind a session,
 //! * [`transport`] — the pluggable message substrate ([`transport::Transport`],
@@ -46,8 +50,11 @@ pub mod load_balance;
 pub mod metrics;
 pub mod pie;
 pub mod prepared;
+pub mod serve;
 pub mod session;
 pub mod simulate;
+#[cfg(test)]
+pub(crate) mod test_support;
 pub mod transport;
 
 pub use config::{EngineConfig, EngineMode};
@@ -55,5 +62,6 @@ pub use engine::{EngineError, RunResult};
 pub use metrics::EngineMetrics;
 pub use pie::{IncrementalPie, KeyVertex, Messages, PieProgram};
 pub use prepared::{PreparedQuery, RefreshKind, UpdateReport};
+pub use serve::{GrapeServer, QueryHandle, RehydrationReport, ServeError, ServeReport};
 pub use session::{GrapeSession, GrapeSessionBuilder};
 pub use transport::{Transport, TransportSpec};

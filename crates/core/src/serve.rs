@@ -1,0 +1,991 @@
+//! Serving many prepared queries off **one** delta stream.
+//!
+//! A single [`crate::prepared::PreparedQuery`] owns its fragmentation, so
+//! `K` standing queries over the same evolving graph would apply every
+//! `ΔG` `K` times and hold `K` fragment timelines.  The paper's
+//! preprocess-once / answer-under-updates protocol (Section 3.4) only pays
+//! off at scale when the preparation work — and the per-delta partition
+//! maintenance — is **amortized** across all standing queries, the same
+//! economy the answering-under-updates literature (Berkholz–Keppeler–
+//! Schweikardt and the constant-delay-enumeration line) gets from separating
+//! preprocessing from the update/answer loop.
+//!
+//! [`GrapeServer`] is that amortization layer:
+//!
+//! * it owns **one** `Arc`-shared [`Fragmentation`] timeline;
+//! * [`GrapeServer::register`] prepares a query against the current version
+//!   and returns a typed [`QueryHandle`];
+//! * [`GrapeServer::apply`] runs `Fragmentation::apply_delta` **exactly
+//!   once** per `ΔG` and fans the resulting [`DeltaApplication`] out to
+//!   every resident query through its own monotone/bounded/full decision
+//!   table (the crate-internal `PreparedQuery::refresh_from` — the update
+//!   path of [`crate::prepared`] with the partition work factored out);
+//!   the rebuilt fragment set is shared by all of them via the existing
+//!   `Arc<Fragment>` refcounting;
+//! * [`GrapeServer::evict`] spills a cold query's fragments and partials to
+//!   a per-fragment binary snapshot file
+//!   ([`grape_partition::snapshot`]) and frees its in-memory state; the
+//!   next [`GrapeServer::output`] (or an explicit
+//!   [`GrapeServer::rehydrate`]) reloads it — **without re-partitioning
+//!   and without a single PEval call** — and replays the deltas that
+//!   arrived while it was cold from the server's retained timeline.
+//!
+//! The timeline keeps one fragmentation per version only while an evicted
+//! query still needs it for replay (fragment storage is `Arc`-shared across
+//! versions, so retaining a version costs one rebuilt-fragment delta, not a
+//! copy of the graph); once every query has caught up the history is
+//! pruned.
+
+use std::any::Any;
+use std::io::{Read, Write};
+use std::marker::PhantomData;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use grape_graph::delta::GraphDelta;
+use grape_graph::io::{ensure_fully_consumed, read_value_tree, write_value_tree, IoError};
+use grape_graph::types::VertexId;
+use grape_partition::delta::{DeltaApplication, FragmentDelta};
+use grape_partition::fragment::{Fragment, Fragmentation};
+use grape_partition::snapshot::{
+    read_fragments, rehydrate_fragmentation, write_fragments, SnapshotError,
+};
+use serde::{Deserialize, Serialize, Value};
+
+use crate::engine::EngineError;
+use crate::metrics::EngineMetrics;
+use crate::pie::IncrementalPie;
+use crate::prepared::{PreparedQuery, UpdateReport};
+use crate::session::GrapeSession;
+
+/// Magic header of a query spill file: "GRQS" + format version 1.
+const SPILL_MAGIC: &[u8; 5] = b"GRQS\x01";
+
+/// Process-unique server tokens: stamped into every [`QueryHandle`] so a
+/// handle cannot silently operate on a *different* server that happens to
+/// hold a same-typed query under the same id, and used to name the default
+/// spill directory.
+static SERVER_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+/// Errors produced by the serving layer.
+#[derive(Debug)]
+pub enum ServeError {
+    /// An engine error surfaced by prepare/refresh (including
+    /// [`EngineError::PoisonedHandle`] for queries wrecked by an earlier
+    /// failed refresh).
+    Engine(EngineError),
+    /// The delta was rejected by the partition layer; the timeline did not
+    /// advance.
+    Delta(String),
+    /// The handle does not belong to this server (or the query type of the
+    /// handle does not match the registered entry).
+    UnknownHandle(usize),
+    /// The query is already evicted.
+    AlreadyEvicted(usize),
+    /// A spill file could not be written, read back, or decoded.
+    Snapshot(SnapshotError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Engine(e) => write!(f, "{e}"),
+            ServeError::Delta(reason) => write!(f, "cannot apply graph delta: {reason}"),
+            ServeError::UnknownHandle(id) => {
+                write!(f, "query handle {id} is not registered with this server")
+            }
+            ServeError::AlreadyEvicted(id) => write!(f, "query {id} is already evicted"),
+            ServeError::Snapshot(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<EngineError> for ServeError {
+    fn from(e: EngineError) -> Self {
+        ServeError::Engine(e)
+    }
+}
+
+impl From<SnapshotError> for ServeError {
+    fn from(e: SnapshotError) -> Self {
+        ServeError::Snapshot(e)
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Snapshot(SnapshotError::Io(IoError::Io(e)))
+    }
+}
+
+impl From<IoError> for ServeError {
+    fn from(e: IoError) -> Self {
+        ServeError::Snapshot(SnapshotError::Io(e))
+    }
+}
+
+/// A typed handle on a query registered with a [`GrapeServer`].  Cheap to
+/// copy; the type parameter lets [`GrapeServer::output`] return the
+/// program's real output type without downcasting at the call site, and
+/// the embedded server token rejects handles presented to a server they
+/// were not issued by.
+pub struct QueryHandle<P> {
+    server: usize,
+    id: usize,
+    _marker: PhantomData<fn() -> P>,
+}
+
+impl<P> QueryHandle<P> {
+    /// The server-scoped query id (stable for the server's lifetime).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+}
+
+impl<P> Clone for QueryHandle<P> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<P> Copy for QueryHandle<P> {}
+
+impl<P> std::fmt::Debug for QueryHandle<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "QueryHandle({})", self.id)
+    }
+}
+
+/// One registered query's refresh outcome within a [`ServeReport`].
+#[derive(Debug)]
+pub struct QueryRefresh {
+    /// The query id ([`QueryHandle::id`]).
+    pub query: usize,
+    /// The query's own [`UpdateReport`] — or the engine error that poisoned
+    /// it (the server keeps serving the others).
+    pub result: Result<UpdateReport, EngineError>,
+}
+
+/// What one [`GrapeServer::apply`] did: one `apply_delta`, then one refresh
+/// per resident query.
+#[derive(Debug)]
+pub struct ServeReport {
+    /// Timeline version after this delta.
+    pub version: usize,
+    /// Fragments the **single** delta application rebuilt — by construction
+    /// identical to the `rebuilt` set of every per-query [`UpdateReport`].
+    pub rebuilt: Vec<usize>,
+    /// Fragments whose `Arc` storage every query keeps sharing verbatim.
+    pub reused: usize,
+    /// Per-query refresh outcomes, in registration order.
+    pub refreshed: Vec<QueryRefresh>,
+    /// Evicted queries whose refresh is deferred until rehydration (the
+    /// server retains the timeline they will replay from).
+    pub deferred: Vec<usize>,
+    /// Queries skipped because an earlier failed refresh poisoned them.
+    pub poisoned: Vec<usize>,
+}
+
+impl ServeReport {
+    /// Total PEval invocations across every successful per-query refresh —
+    /// `0` when the whole delta stream stays on the monotone path.
+    pub fn peval_calls(&self) -> usize {
+        self.refreshed
+            .iter()
+            .filter_map(|r| r.result.as_ref().ok())
+            .map(|r| r.metrics.peval_calls)
+            .sum()
+    }
+}
+
+/// What one [`GrapeServer::rehydrate`] did: the spill reload itself runs
+/// zero PEval calls; `replayed` holds the per-delta reports of catching the
+/// query up to the current timeline version.
+#[derive(Debug)]
+pub struct RehydrationReport {
+    /// The query id.
+    pub query: usize,
+    /// One report per delta that arrived while the query was cold.
+    pub replayed: Vec<UpdateReport>,
+}
+
+impl RehydrationReport {
+    /// Total PEval invocations of the replay — `0` when every pending delta
+    /// is monotone (and always `0` for an up-to-date evict → rehydrate
+    /// round trip).
+    pub fn peval_calls(&self) -> usize {
+        self.replayed.iter().map(|r| r.metrics.peval_calls).sum()
+    }
+}
+
+/// One step of the timeline: the delta and its per-fragment restrictions,
+/// retained so evicted queries can replay the refresh without a second
+/// `apply_delta`.
+struct ServeStep {
+    delta: GraphDelta,
+    affected: Vec<FragmentDelta>,
+}
+
+/// Object-safe view of one registered query, erasing the program type.
+trait ServedQuery: Send {
+    fn refresh(
+        &mut self,
+        applied: &DeltaApplication,
+        delta: &GraphDelta,
+    ) -> Result<UpdateReport, EngineError>;
+    fn evict(&mut self, path: &Path) -> Result<(), ServeError>;
+    fn rehydrate(&mut self, at: &Fragmentation) -> Result<(), ServeError>;
+    fn is_evicted(&self) -> bool;
+    fn is_poisoned(&self) -> bool;
+    fn as_any(&self) -> &dyn Any;
+}
+
+/// The program, query and bookkeeping of an evicted entry — everything that
+/// stays in memory while the heavy state (fragments + partials) lives in
+/// the spill file.
+struct ColdState<P: IncrementalPie> {
+    session: GrapeSession,
+    program: P,
+    query: P::Query,
+    spill: PathBuf,
+    prepare_metrics: EngineMetrics,
+    last_metrics: EngineMetrics,
+    updates_applied: usize,
+    incremental_updates: usize,
+    bounded_updates: usize,
+}
+
+/// A registered query: resident (a live [`PreparedQuery`]) or evicted (a
+/// [`ColdState`] pointing at its spill file).  Exactly one of the two is
+/// `Some`.
+struct ServedEntry<P: IncrementalPie> {
+    prepared: Option<PreparedQuery<P>>,
+    cold: Option<ColdState<P>>,
+}
+
+/// Reads a spill file back: the fragment set and the raw partial value
+/// trees.  Trailing bytes after the declared records are rejected — the
+/// concatenated per-fragment records must line up with the counts exactly.
+fn read_spill(path: &Path) -> Result<(Vec<Fragment>, Vec<Value>), ServeError> {
+    let mut r = std::io::BufReader::new(std::fs::File::open(path)?);
+    let mut magic = [0u8; 5];
+    r.read_exact(&mut magic)?;
+    if &magic != SPILL_MAGIC {
+        return Err(ServeError::Snapshot(SnapshotError::Malformed(
+            "bad magic header (not a grape query spill file)".to_string(),
+        )));
+    }
+    let fragments = read_fragments(&mut r)?;
+    let mut count = [0u8; 8];
+    r.read_exact(&mut count)?;
+    let k = u64::from_le_bytes(count) as usize;
+    let mut values = Vec::with_capacity(k.min(1 << 16));
+    for _ in 0..k {
+        values.push(read_value_tree(&mut r)?);
+    }
+    ensure_fully_consumed(&mut r)?;
+    Ok((fragments, values))
+}
+
+impl<P> ServedQuery for ServedEntry<P>
+where
+    P: IncrementalPie + 'static,
+    P::Partial: Serialize + Deserialize,
+{
+    fn refresh(
+        &mut self,
+        applied: &DeltaApplication,
+        delta: &GraphDelta,
+    ) -> Result<UpdateReport, EngineError> {
+        self.prepared
+            .as_mut()
+            .expect("refresh is only called on resident entries")
+            .refresh_from(applied, delta)
+    }
+
+    fn evict(&mut self, path: &Path) -> Result<(), ServeError> {
+        // Write the spill while the entry is still intact, so a failed
+        // write leaves the query resident and consistent.
+        {
+            let p = self
+                .prepared
+                .as_ref()
+                .expect("evict is only called on resident entries");
+            if p.is_poisoned() {
+                return Err(ServeError::Engine(EngineError::PoisonedHandle));
+            }
+            let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
+            w.write_all(SPILL_MAGIC)?;
+            write_fragments(p.fragmentation.fragments(), &mut w)?;
+            w.write_all(&(p.partials.len() as u64).to_le_bytes())?;
+            for partial in &p.partials {
+                write_value_tree(&mut w, &partial.to_value())?;
+            }
+            w.flush()?;
+        }
+        let prepared = self.prepared.take().expect("checked above");
+        let PreparedQuery {
+            session,
+            program,
+            query,
+            fragmentation: _,
+            partials: _,
+            prepare_metrics,
+            last_metrics,
+            updates_applied,
+            incremental_updates,
+            bounded_updates,
+            poisoned: _,
+        } = prepared;
+        self.cold = Some(ColdState {
+            session,
+            program,
+            query,
+            spill: path.to_path_buf(),
+            prepare_metrics,
+            last_metrics,
+            updates_applied,
+            incremental_updates,
+            bounded_updates,
+        });
+        Ok(())
+    }
+
+    fn rehydrate(&mut self, at: &Fragmentation) -> Result<(), ServeError> {
+        let spill = self
+            .cold
+            .as_ref()
+            .expect("rehydrate is only called on evicted entries")
+            .spill
+            .clone();
+        let (fragments, values) = read_spill(&spill)?;
+        if fragments.len() != at.num_fragments() || values.len() != fragments.len() {
+            return Err(ServeError::Snapshot(SnapshotError::Malformed(format!(
+                "spill holds {} fragments / {} partials for a {}-fragment timeline",
+                fragments.len(),
+                values.len(),
+                at.num_fragments()
+            ))));
+        }
+        let partials: Vec<P::Partial> = values
+            .iter()
+            .map(P::Partial::from_value)
+            .collect::<Result<_, _>>()
+            .map_err(|e| ServeError::Snapshot(SnapshotError::Malformed(e.to_string())))?;
+        // No re-partitioning: the vertex assignment is read off the
+        // retained timeline's G_P, the fragments come from disk, and G_P is
+        // re-derived from their border sets.
+        let assignment: Vec<u32> = (0..at.gp().num_vertices() as VertexId)
+            .map(|v| at.gp().owner(v) as u32)
+            .collect();
+        let fragmentation = rehydrate_fragmentation(
+            fragments,
+            assignment,
+            at.source().clone(),
+            at.strategy_name(),
+        )?;
+        let cold = self.cold.take().expect("checked above");
+        let _ = std::fs::remove_file(&cold.spill);
+        self.prepared = Some(PreparedQuery {
+            session: cold.session,
+            program: cold.program,
+            query: cold.query,
+            fragmentation,
+            partials,
+            prepare_metrics: cold.prepare_metrics,
+            last_metrics: cold.last_metrics,
+            updates_applied: cold.updates_applied,
+            incremental_updates: cold.incremental_updates,
+            bounded_updates: cold.bounded_updates,
+            poisoned: false,
+        });
+        Ok(())
+    }
+
+    fn is_evicted(&self) -> bool {
+        self.cold.is_some()
+    }
+
+    fn is_poisoned(&self) -> bool {
+        self.prepared.as_ref().is_some_and(|p| p.is_poisoned())
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// One registered query plus the timeline version its state corresponds to.
+struct Slot {
+    entry: Box<dyn ServedQuery>,
+    version: usize,
+}
+
+/// A server multiplexing many prepared queries over one evolving graph.
+/// See the [module docs](self) for the protocol.
+pub struct GrapeServer {
+    session: GrapeSession,
+    /// `timeline[i]` is the fragmentation at version `base + i`; the last
+    /// entry is current.  Older versions are retained only while an evicted
+    /// query may still replay from them.
+    base: usize,
+    timeline: Vec<Fragmentation>,
+    /// `steps[i]` takes version `base + i` to `base + i + 1`.
+    steps: Vec<ServeStep>,
+    slots: Vec<Slot>,
+    spill_dir: PathBuf,
+    /// Whether the server created `spill_dir` itself (the [`GrapeServer::new`]
+    /// default) and may therefore delete it wholesale on drop.  A
+    /// caller-provided directory is never removed.
+    owns_spill_dir: bool,
+    /// This server's process-unique token, stamped into every issued
+    /// [`QueryHandle`].
+    token: usize,
+}
+
+impl GrapeServer {
+    /// A server over `fragmentation`, spilling evicted queries under a
+    /// process-unique directory inside the system temp dir (removed when
+    /// the server is dropped).
+    pub fn new(session: GrapeSession, fragmentation: Fragmentation) -> Self {
+        let mut server = GrapeServer::with_spill_dir(session, fragmentation, PathBuf::new());
+        server.spill_dir = std::env::temp_dir().join(format!(
+            "grape-server-{}-{}",
+            std::process::id(),
+            server.token
+        ));
+        server.owns_spill_dir = true;
+        server
+    }
+
+    /// A server with an explicit spill directory (created lazily on the
+    /// first eviction, left in place on drop).
+    pub fn with_spill_dir(
+        session: GrapeSession,
+        fragmentation: Fragmentation,
+        spill_dir: PathBuf,
+    ) -> Self {
+        GrapeServer {
+            session,
+            base: 0,
+            timeline: vec![fragmentation],
+            steps: Vec::new(),
+            slots: Vec::new(),
+            spill_dir,
+            owns_spill_dir: false,
+            token: SERVER_SEQ.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
+    /// The current fragmentation (the newest timeline version).
+    pub fn fragmentation(&self) -> &Fragmentation {
+        self.timeline.last().expect("timeline is never empty")
+    }
+
+    /// The current timeline version — equals the number of deltas applied.
+    pub fn version(&self) -> usize {
+        self.base + self.timeline.len() - 1
+    }
+
+    /// How many deltas this server has applied (each exactly once,
+    /// regardless of how many queries are registered).
+    pub fn deltas_applied(&self) -> usize {
+        self.version()
+    }
+
+    /// How many timeline versions are currently retained — `1` when every
+    /// query is caught up, more only while evicted queries still need older
+    /// versions for replay.
+    pub fn retained_versions(&self) -> usize {
+        self.timeline.len()
+    }
+
+    /// Number of registered queries.
+    pub fn num_queries(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of currently evicted queries.
+    pub fn num_evicted(&self) -> usize {
+        self.slots.iter().filter(|s| s.entry.is_evicted()).count()
+    }
+
+    /// Registers a standing query: prepares it (PEval + IncEval to the
+    /// fixpoint) against the **current** timeline version and retains the
+    /// handle.  The partial-result type must round-trip through the serde
+    /// value encoding so the query can be evicted.
+    pub fn register<P>(&mut self, program: P, query: P::Query) -> Result<QueryHandle<P>, ServeError>
+    where
+        P: IncrementalPie + 'static,
+        P::Partial: Serialize + Deserialize,
+    {
+        let prepared = self
+            .session
+            .prepare(self.fragmentation().clone(), program, query)?;
+        let id = self.slots.len();
+        self.slots.push(Slot {
+            entry: Box::new(ServedEntry {
+                prepared: Some(prepared),
+                cold: None,
+            }),
+            version: self.version(),
+        });
+        Ok(QueryHandle {
+            server: self.token,
+            id,
+            _marker: PhantomData,
+        })
+    }
+
+    /// Applies one `ΔG` to the shared fragmentation — **one**
+    /// `Fragmentation::apply_delta` call, one rebuilt-fragment set — and
+    /// refreshes every resident query from it.  Evicted queries are
+    /// deferred (they replay on rehydration); queries poisoned by an
+    /// earlier failed refresh are skipped.  A query whose refresh errors is
+    /// reported in [`ServeReport::refreshed`] and poisoned; the server and
+    /// the other queries keep going.
+    pub fn apply(&mut self, delta: &GraphDelta) -> Result<ServeReport, ServeError> {
+        let applied = self
+            .fragmentation()
+            .apply_delta(delta)
+            .map_err(|e| ServeError::Delta(e.to_string()))?;
+        let rebuilt: Vec<usize> = applied.affected.iter().map(|fd| fd.fragment).collect();
+        let reused = applied.fragmentation.num_fragments() - rebuilt.len();
+        let new_version = self.version() + 1;
+
+        let mut refreshed = Vec::new();
+        let mut deferred = Vec::new();
+        let mut poisoned = Vec::new();
+        for (id, slot) in self.slots.iter_mut().enumerate() {
+            if slot.entry.is_evicted() {
+                deferred.push(id);
+                continue;
+            }
+            if slot.entry.is_poisoned() {
+                // A poisoned query can never refresh again; advance its
+                // version so it does not pin the timeline history.
+                slot.version = new_version;
+                poisoned.push(id);
+                continue;
+            }
+            let result = slot.entry.refresh(&applied, delta);
+            slot.version = new_version;
+            refreshed.push(QueryRefresh { query: id, result });
+        }
+
+        if self.slots.iter().any(|s| s.entry.is_evicted()) {
+            // Someone may still replay this step: retain it.
+            self.steps.push(ServeStep {
+                delta: delta.clone(),
+                affected: applied.affected,
+            });
+            self.timeline.push(applied.fragmentation);
+            self.prune();
+        } else {
+            // Hot path — everyone is resident and caught up, so no query
+            // can ever need this step for replay: advance the timeline in
+            // place without retaining (or cloning) the delta.
+            self.base = new_version;
+            self.timeline.clear();
+            self.timeline.push(applied.fragmentation);
+            self.steps.clear();
+        }
+        Ok(ServeReport {
+            version: new_version,
+            rebuilt,
+            reused,
+            refreshed,
+            deferred,
+            poisoned,
+        })
+    }
+
+    /// Spills a cold query's fragments and partials to a per-fragment
+    /// binary snapshot file and frees its in-memory state.  The server
+    /// retains the timeline version the query was last refreshed at, so a
+    /// later rehydration replays only the deltas that arrived in between.
+    /// Returns the spill path.
+    pub fn evict<P>(&mut self, handle: &QueryHandle<P>) -> Result<PathBuf, ServeError>
+    where
+        P: IncrementalPie + 'static,
+        P::Partial: Serialize + Deserialize,
+    {
+        self.check_handle::<P>(handle)?;
+        let slot = &mut self.slots[handle.id];
+        if slot.entry.is_evicted() {
+            return Err(ServeError::AlreadyEvicted(handle.id));
+        }
+        std::fs::create_dir_all(&self.spill_dir)?;
+        let path = self.spill_dir.join(format!("query-{}.spill", handle.id));
+        slot.entry.evict(&path)?;
+        Ok(path)
+    }
+
+    /// Reloads an evicted query from its spill file — zero PEval calls,
+    /// no re-partitioning — and replays the deltas applied while it was
+    /// cold from the retained timeline (again without any `apply_delta`).
+    /// A no-op returning an empty report when the query is resident.
+    pub fn rehydrate<P>(&mut self, handle: &QueryHandle<P>) -> Result<RehydrationReport, ServeError>
+    where
+        P: IncrementalPie + 'static,
+        P::Partial: Serialize + Deserialize,
+    {
+        self.check_handle::<P>(handle)?;
+        if !self.slots[handle.id].entry.is_evicted() {
+            return Ok(RehydrationReport {
+                query: handle.id,
+                replayed: Vec::new(),
+            });
+        }
+        let at = self.slots[handle.id].version;
+        {
+            let frozen = &self.timeline[at - self.base];
+            self.slots[handle.id].entry.rehydrate(frozen)?;
+        }
+        // Replay the pending steps: the timeline already holds every
+        // post-delta fragmentation, so no step runs apply_delta again.
+        let mut replayed = Vec::new();
+        for i in (at - self.base)..self.steps.len() {
+            let step = &self.steps[i];
+            let applied = DeltaApplication {
+                fragmentation: self.timeline[i + 1].clone(),
+                affected: step.affected.clone(),
+            };
+            let report = self.slots[handle.id]
+                .entry
+                .refresh(&applied, &step.delta)
+                .map_err(ServeError::Engine)?;
+            self.slots[handle.id].version = self.base + i + 1;
+            replayed.push(report);
+        }
+        self.slots[handle.id].version = self.version();
+        self.prune();
+        Ok(RehydrationReport {
+            query: handle.id,
+            replayed,
+        })
+    }
+
+    /// Assembles the query's current answer, lazily rehydrating it first if
+    /// it was evicted.
+    pub fn output<P>(&mut self, handle: &QueryHandle<P>) -> Result<P::Output, ServeError>
+    where
+        P: IncrementalPie + 'static,
+        P::Partial: Serialize + Deserialize,
+    {
+        self.rehydrate(handle)?;
+        let entry = self.entry_ref::<P>(handle)?;
+        entry
+            .prepared
+            .as_ref()
+            .expect("rehydrate left the entry resident")
+            .try_output()
+            .map_err(ServeError::Engine)
+    }
+
+    /// Borrow of the resident [`PreparedQuery`] behind a handle — `None`
+    /// while the query is evicted.  Useful for metrics and tests (e.g.
+    /// pinning that all handles share one fragment storage).
+    pub fn prepared<P>(&self, handle: &QueryHandle<P>) -> Option<&PreparedQuery<P>>
+    where
+        P: IncrementalPie + 'static,
+        P::Partial: Serialize + Deserialize,
+    {
+        self.entry_ref::<P>(handle)
+            .ok()
+            .and_then(|e| e.prepared.as_ref())
+    }
+
+    /// Whether the query behind `handle` is currently evicted.
+    pub fn is_evicted<P>(&self, handle: &QueryHandle<P>) -> Result<bool, ServeError>
+    where
+        P: IncrementalPie + 'static,
+        P::Partial: Serialize + Deserialize,
+    {
+        self.check_handle::<P>(handle)?;
+        Ok(self.slots[handle.id].entry.is_evicted())
+    }
+
+    fn check_handle<P>(&self, handle: &QueryHandle<P>) -> Result<(), ServeError>
+    where
+        P: IncrementalPie + 'static,
+        P::Partial: Serialize + Deserialize,
+    {
+        if handle.server != self.token {
+            return Err(ServeError::UnknownHandle(handle.id));
+        }
+        let slot = self
+            .slots
+            .get(handle.id)
+            .ok_or(ServeError::UnknownHandle(handle.id))?;
+        if !slot.entry.as_any().is::<ServedEntry<P>>() {
+            return Err(ServeError::UnknownHandle(handle.id));
+        }
+        Ok(())
+    }
+
+    fn entry_ref<P>(&self, handle: &QueryHandle<P>) -> Result<&ServedEntry<P>, ServeError>
+    where
+        P: IncrementalPie + 'static,
+        P::Partial: Serialize + Deserialize,
+    {
+        self.check_handle::<P>(handle)?;
+        self.slots
+            .get(handle.id)
+            .and_then(|s| s.entry.as_any().downcast_ref::<ServedEntry<P>>())
+            .ok_or(ServeError::UnknownHandle(handle.id))
+    }
+
+    /// Drops timeline versions no query can need anymore: everything older
+    /// than the oldest evicted query's version (or everything but the
+    /// current version when nothing is evicted).
+    fn prune(&mut self) {
+        let needed = self
+            .slots
+            .iter()
+            .filter(|s| s.entry.is_evicted())
+            .map(|s| s.version)
+            .min()
+            .unwrap_or_else(|| self.version());
+        if needed > self.base {
+            let k = needed - self.base;
+            self.timeline.drain(..k);
+            self.steps.drain(..k);
+            self.base = needed;
+        }
+    }
+}
+
+impl Drop for GrapeServer {
+    fn drop(&mut self) {
+        // Reclaim spill files of queries still evicted at shutdown — but
+        // only from the directory this server created itself; a
+        // caller-provided spill directory is never touched.
+        if self.owns_spill_dir {
+            let _ = std::fs::remove_dir_all(&self.spill_dir);
+        }
+    }
+}
+
+impl std::fmt::Debug for GrapeServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GrapeServer")
+            .field("version", &self.version())
+            .field("queries", &self.slots.len())
+            .field("evicted", &self.num_evicted())
+            .field("retained_versions", &self.timeline.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineMode;
+    use crate::prepared::RefreshKind;
+    use crate::test_support::{path_graph, session, DivergingOnUpdate, MinForward};
+    use grape_partition::edge_cut::RangeEdgeCut;
+    use grape_partition::strategy::PartitionStrategy;
+
+    fn server_with(
+        n_queries: usize,
+        mode: EngineMode,
+    ) -> (GrapeServer, Vec<QueryHandle<MinForward>>) {
+        let g = path_graph(12);
+        let frag = RangeEdgeCut::new(3).partition(&g).unwrap();
+        let mut server = GrapeServer::new(session(mode), frag);
+        let handles = (0..n_queries)
+            .map(|_| server.register(MinForward, ()).unwrap())
+            .collect();
+        (server, handles)
+    }
+
+    #[test]
+    fn one_apply_per_delta_is_shared_by_every_query() {
+        for mode in [EngineMode::Sync, EngineMode::Async] {
+            let (mut server, handles) = server_with(3, mode);
+            assert_eq!(server.num_queries(), 3);
+
+            // A monotone insert, then a bounded deletion.
+            let deltas = [
+                GraphDelta::new().add_edge(0, 2),
+                GraphDelta::new().remove_edge(5, 6),
+            ];
+            for (d, delta) in deltas.iter().enumerate() {
+                let report = server.apply(delta).unwrap();
+                assert_eq!(report.version, d + 1, "{mode:?}");
+                assert_eq!(report.refreshed.len(), 3, "{mode:?}");
+                // The single delta application's rebuilt set IS every
+                // query's rebuilt set.
+                for qr in &report.refreshed {
+                    let ur = qr.result.as_ref().unwrap();
+                    assert_eq!(ur.rebuilt, report.rebuilt, "{mode:?}");
+                    assert_eq!(ur.reused, report.reused, "{mode:?}");
+                }
+            }
+            assert_eq!(server.deltas_applied(), 2);
+            assert_eq!(server.retained_versions(), 1, "nothing evicted: pruned");
+
+            // Every handle shares the server's (single) fragment storage.
+            for h in &handles {
+                let prepared = server.prepared(h).unwrap();
+                for i in 0..server.fragmentation().num_fragments() {
+                    assert!(
+                        server
+                            .fragmentation()
+                            .shares_fragment_storage(prepared.fragmentation(), i),
+                        "query {} fragment {i} was copied ({mode:?})",
+                        h.id()
+                    );
+                }
+            }
+
+            // And each answer equals a from-scratch recompute.
+            let recompute = session(mode)
+                .run(server.fragmentation(), &MinForward, &())
+                .unwrap();
+            for h in handles {
+                assert_eq!(server.output(&h).unwrap(), recompute.output, "{mode:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn evict_rehydrate_round_trip_is_exact_and_peval_free() {
+        let (mut server, handles) = server_with(2, EngineMode::Sync);
+        let (kept, cold) = (handles[0], handles[1]);
+        server.apply(&GraphDelta::new().add_edge(0, 2)).unwrap();
+
+        let spill = server.evict(&cold).unwrap();
+        assert!(spill.exists());
+        assert!(server.is_evicted(&cold).unwrap());
+        assert!(server.prepared(&cold).is_none(), "partials were released");
+
+        // Rehydration reloads fragments+partials from the snapshot file:
+        // no PEval, no re-partitioning, answers identical to the handle
+        // that never left memory.
+        let report = server.rehydrate(&cold).unwrap();
+        assert_eq!(report.replayed.len(), 0);
+        assert_eq!(report.peval_calls(), 0);
+        assert!(!spill.exists(), "spill is reclaimed after rehydration");
+        assert_eq!(server.output(&cold).unwrap(), server.output(&kept).unwrap());
+    }
+
+    #[test]
+    fn deltas_arriving_while_cold_are_replayed_on_rehydration() {
+        let (mut server, handles) = server_with(2, EngineMode::Sync);
+        let (kept, cold) = (handles[0], handles[1]);
+
+        server.evict(&cold).unwrap();
+        let r1 = server.apply(&GraphDelta::new().add_edge(0, 2)).unwrap();
+        assert_eq!(r1.deferred, vec![cold.id()]);
+        assert_eq!(r1.refreshed.len(), 1, "only the resident query refreshed");
+        let r2 = server.apply(&GraphDelta::new().add_edge(20, 21)).unwrap();
+        assert_eq!(r2.deferred, vec![cold.id()]);
+        assert!(
+            server.retained_versions() > 1,
+            "history retained for the cold query"
+        );
+
+        // output() lazily rehydrates and replays both deltas — still zero
+        // PEval calls, because the pending stream is monotone.
+        let report = server.rehydrate(&cold).unwrap();
+        assert_eq!(report.replayed.len(), 2);
+        assert_eq!(report.peval_calls(), 0);
+        assert_eq!(
+            report.replayed[0].kind,
+            RefreshKind::Monotone,
+            "replay takes the same decision table"
+        );
+        assert_eq!(server.output(&cold).unwrap(), server.output(&kept).unwrap());
+        assert_eq!(
+            server.retained_versions(),
+            1,
+            "history pruned once everyone caught up"
+        );
+    }
+
+    #[test]
+    fn eviction_bookkeeping_rejects_misuse() {
+        let (mut server, handles) = server_with(1, EngineMode::Sync);
+        let h = handles[0];
+        server.evict(&h).unwrap();
+        assert!(matches!(
+            server.evict(&h).unwrap_err(),
+            ServeError::AlreadyEvicted(_)
+        ));
+        // A handle from a DIFFERENT server is rejected even when the other
+        // server holds a same-typed query under the same id.
+        let (mut other, other_handles) = server_with(1, EngineMode::Sync);
+        assert_eq!(h.id(), other_handles[0].id(), "same id, different server");
+        assert!(matches!(
+            other.output(&h).unwrap_err(),
+            ServeError::UnknownHandle(_)
+        ));
+        assert!(other.output(&other_handles[0]).is_ok());
+    }
+
+    #[test]
+    fn dropping_a_server_reclaims_its_default_spill_dir() {
+        let (mut server, handles) = server_with(1, EngineMode::Sync);
+        let spill = server.evict(&handles[0]).unwrap();
+        let dir = spill.parent().unwrap().to_path_buf();
+        assert!(dir.exists());
+        drop(server);
+        assert!(!dir.exists(), "default spill dir is removed on drop");
+    }
+
+    #[test]
+    fn corrupted_spill_files_are_rejected_not_half_loaded() {
+        let (mut server, handles) = server_with(1, EngineMode::Sync);
+        let h = handles[0];
+        let spill = server.evict(&h).unwrap();
+        // Concatenated per-fragment records must line up exactly: a
+        // trailing byte is corruption, not slack.
+        let mut bytes = std::fs::read(&spill).unwrap();
+        bytes.push(0x55);
+        std::fs::write(&spill, bytes).unwrap();
+        let err = server.rehydrate(&h).unwrap_err();
+        assert!(matches!(err, ServeError::Snapshot(_)), "{err}");
+        // The entry stays evicted (and retryable) rather than half-loaded.
+        assert!(server.is_evicted(&h).unwrap());
+    }
+
+    #[test]
+    fn a_poisoned_query_is_quarantined_and_the_rest_keep_serving() {
+        // A ring, so the diverging program's escalation actually cycles.
+        let g = crate::test_support::ring_graph(12);
+        let frag = RangeEdgeCut::new(3).partition(&g).unwrap();
+        let s = GrapeSession::builder()
+            .workers(2)
+            .mode(EngineMode::Sync)
+            .max_supersteps(4)
+            .build()
+            .unwrap();
+        let mut server = GrapeServer::new(s.clone(), frag);
+        let healthy = server.register(MinForward, ()).unwrap();
+        let doomed = server.register(DivergingOnUpdate, ()).unwrap();
+
+        // The diverging query fails its refresh; the report carries the
+        // error, the healthy query's refresh still lands.
+        let r1 = server.apply(&GraphDelta::new().add_edge(0, 2)).unwrap();
+        assert_eq!(r1.refreshed.len(), 2);
+        let by_id = |id: usize| r1.refreshed.iter().find(|q| q.query == id).unwrap();
+        assert!(by_id(healthy.id()).result.is_ok());
+        assert!(by_id(doomed.id()).result.is_err());
+
+        // Subsequent deltas skip the poisoned query explicitly.
+        let r2 = server.apply(&GraphDelta::new().add_edge(1, 3)).unwrap();
+        assert_eq!(r2.poisoned, vec![doomed.id()]);
+        assert_eq!(r2.refreshed.len(), 1);
+        assert!(matches!(
+            server.output(&doomed).unwrap_err(),
+            ServeError::Engine(EngineError::PoisonedHandle)
+        ));
+        let recompute = s.run(server.fragmentation(), &MinForward, &()).unwrap();
+        assert_eq!(server.output(&healthy).unwrap(), recompute.output);
+        assert_eq!(server.retained_versions(), 1, "poison does not pin history");
+    }
+}

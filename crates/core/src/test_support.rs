@@ -1,0 +1,267 @@
+//! Miniature `IncrementalPie` programs shared by the unit tests of
+//! [`crate::prepared`] and [`crate::serve`] — small enough to reason about
+//! by hand, complete enough to exercise every refresh path.
+
+#![allow(dead_code)]
+
+use std::collections::HashMap;
+
+use grape_graph::builder::GraphBuilder;
+use grape_graph::delta::GraphDelta;
+use grape_graph::types::{Edge, VertexId};
+use grape_partition::delta::FragmentDelta;
+use grape_partition::fragment::Fragment;
+use grape_partition::fragmentation_graph::BorderScope;
+
+use crate::config::EngineMode;
+use crate::pie::{IncrementalPie, Messages, PieProgram};
+use crate::session::GrapeSession;
+
+/// Forward min-id propagation, keyed by **global** id so the partial
+/// survives fragment rebuilds without remapping — the smallest possible
+/// `IncrementalPie` program.  Its partial (`HashMap<u64, u64>`) round-trips
+/// through the serde value encoding, so it is also evictable.
+#[derive(Clone)]
+pub(crate) struct MinForward;
+
+pub(crate) type MinPartial = HashMap<VertexId, u64>;
+
+fn local_fixpoint(frag: &Fragment, values: &mut MinPartial) {
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for l in frag.all_locals() {
+            let v = frag.global_of(l);
+            let mine = values[&v];
+            for n in frag.out_edges(l) {
+                let t = frag.global_of(n.target as u32);
+                if mine < values[&t] {
+                    values.insert(t, mine);
+                    changed = true;
+                }
+            }
+        }
+    }
+}
+
+impl PieProgram for MinForward {
+    type Query = ();
+    type Partial = MinPartial;
+    type Key = VertexId;
+    type Value = u64;
+    type Output = HashMap<VertexId, u64>;
+
+    fn name(&self) -> &str {
+        "min-forward"
+    }
+
+    fn scope(&self) -> BorderScope {
+        BorderScope::Out
+    }
+
+    fn peval(&self, _q: &(), frag: &Fragment, ctx: &mut Messages<VertexId, u64>) -> MinPartial {
+        let mut values: MinPartial = frag
+            .all_locals()
+            .map(|l| (frag.global_of(l), frag.global_of(l)))
+            .collect();
+        local_fixpoint(frag, &mut values);
+        for &l in frag.out_border_locals() {
+            let v = frag.global_of(l);
+            ctx.send(v, values[&v]);
+        }
+        values
+    }
+
+    fn inc_eval(
+        &self,
+        _q: &(),
+        frag: &Fragment,
+        partial: &mut MinPartial,
+        messages: &[(VertexId, u64)],
+        ctx: &mut Messages<VertexId, u64>,
+    ) {
+        let mut touched = false;
+        for (v, value) in messages {
+            if partial.get(v).is_some_and(|cur| value < cur) {
+                partial.insert(*v, *value);
+                touched = true;
+            }
+        }
+        if touched {
+            let before = partial.clone();
+            local_fixpoint(frag, partial);
+            for &l in frag.out_border_locals() {
+                let v = frag.global_of(l);
+                if partial[&v] < before[&v] {
+                    ctx.send(v, partial[&v]);
+                }
+            }
+        }
+    }
+
+    fn assemble(&self, _q: &(), partials: Vec<MinPartial>) -> HashMap<VertexId, u64> {
+        let mut out = HashMap::new();
+        for p in partials {
+            for (v, value) in p {
+                out.entry(v)
+                    .and_modify(|x: &mut u64| *x = (*x).min(value))
+                    .or_insert(value);
+            }
+        }
+        out
+    }
+
+    fn aggregate(&self, _key: &VertexId, a: u64, b: u64) -> u64 {
+        a.min(b)
+    }
+}
+
+impl IncrementalPie for MinForward {
+    fn delta_is_monotone(&self, delta: &GraphDelta) -> bool {
+        !delta.has_removals()
+    }
+
+    fn damage_policy(&self, _query: &()) -> crate::pie::DamagePolicy {
+        // Min propagation has a schedule-independent fixpoint: the
+        // reachability frontier plus reseeded borders is exact.
+        crate::pie::DamagePolicy::Reachability
+    }
+
+    fn reseed(&self, _query: &(), frag: &Fragment, partial: &MinPartial) -> Vec<(VertexId, u64)> {
+        frag.out_border_locals()
+            .iter()
+            .map(|&l| {
+                let v = frag.global_of(l);
+                (v, partial[&v])
+            })
+            .collect()
+    }
+
+    fn rebase(
+        &self,
+        _query: &(),
+        _old_frag: &Fragment,
+        new_frag: &Fragment,
+        mut partial: MinPartial,
+        _delta: &FragmentDelta,
+    ) -> (MinPartial, Vec<(VertexId, u64)>) {
+        let old: MinPartial = partial.clone();
+        // New locals start at their own id; re-run the local fixpoint.
+        for l in new_frag.all_locals() {
+            let v = new_frag.global_of(l);
+            partial.entry(v).or_insert(v);
+        }
+        partial.retain(|&v, _| new_frag.local_of(v).is_some());
+        local_fixpoint(new_frag, &mut partial);
+        let mut sends = Vec::new();
+        for &l in new_frag.out_border_locals() {
+            let v = new_frag.global_of(l);
+            if partial[&v] < old.get(&v).copied().unwrap_or(u64::MAX) {
+                sends.push((v, partial[&v]));
+            }
+        }
+        (partial, sends)
+    }
+}
+
+/// A deliberately broken program: its PEval fixpoint is trivial (no
+/// messages), but any seeded refresh escalates values forever — the update
+/// path hits the superstep limit and errors.  Used to regression-test the
+/// poisoned-handle protocol.
+#[derive(Clone)]
+pub(crate) struct DivergingOnUpdate;
+
+impl PieProgram for DivergingOnUpdate {
+    type Query = ();
+    type Partial = u64;
+    type Key = VertexId;
+    type Value = u64;
+    type Output = u64;
+
+    fn name(&self) -> &str {
+        "diverging-on-update"
+    }
+
+    fn scope(&self) -> BorderScope {
+        BorderScope::Out
+    }
+
+    fn peval(&self, _q: &(), _frag: &Fragment, _ctx: &mut Messages<VertexId, u64>) -> u64 {
+        0
+    }
+
+    fn inc_eval(
+        &self,
+        _q: &(),
+        frag: &Fragment,
+        partial: &mut u64,
+        messages: &[(VertexId, u64)],
+        ctx: &mut Messages<VertexId, u64>,
+    ) {
+        // Escalate: every received value is re-sent increased, so the
+        // "fixpoint" recedes forever.
+        let next = messages.iter().map(|&(_, v)| v).max().unwrap_or(0) + 1;
+        *partial = next;
+        for &l in frag.out_border_locals() {
+            ctx.send(frag.global_of(l), next);
+        }
+    }
+
+    fn assemble(&self, _q: &(), partials: Vec<u64>) -> u64 {
+        partials.into_iter().sum()
+    }
+
+    fn aggregate(&self, _key: &VertexId, a: u64, b: u64) -> u64 {
+        a.max(b)
+    }
+}
+
+impl IncrementalPie for DivergingOnUpdate {
+    fn delta_is_monotone(&self, _delta: &GraphDelta) -> bool {
+        true
+    }
+
+    fn rebase(
+        &self,
+        _query: &(),
+        _old_frag: &Fragment,
+        new_frag: &Fragment,
+        partial: u64,
+        _delta: &FragmentDelta,
+    ) -> (u64, Vec<(VertexId, u64)>) {
+        // Seed the escalation through the rebuilt fragment's border.
+        let sends = new_frag
+            .out_border_locals()
+            .iter()
+            .map(|&l| (new_frag.global_of(l), partial + 1))
+            .collect();
+        (partial, sends)
+    }
+}
+
+/// `0 → 1 → … → n-1` path graph.
+pub(crate) fn path_graph(n: u64) -> grape_graph::graph::Graph {
+    let mut b = GraphBuilder::directed();
+    for v in 0..n - 1 {
+        b.push_edge(Edge::unweighted(v, v + 1));
+    }
+    b.build()
+}
+
+/// `0 → 1 → … → n-1 → 0` ring graph (every fragment has a downstream).
+pub(crate) fn ring_graph(n: u64) -> grape_graph::graph::Graph {
+    let mut b = GraphBuilder::directed();
+    for v in 0..n {
+        b.push_edge(Edge::unweighted(v, (v + 1) % n));
+    }
+    b.build()
+}
+
+/// A two-worker session in the given mode.
+pub(crate) fn session(mode: EngineMode) -> GrapeSession {
+    GrapeSession::builder()
+        .workers(2)
+        .mode(mode)
+        .build()
+        .unwrap()
+}

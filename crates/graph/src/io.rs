@@ -196,6 +196,40 @@ fn write_value<W: Write>(w: &mut W, v: &Value) -> io::Result<()> {
     }
 }
 
+/// Encodes one serde [`Value`] tree to a writer in the tagged
+/// little-endian format of the binary snapshots.  Public building block of
+/// the persistent-storage stack: `grape-partition`'s fragment snapshots and
+/// the prepared-query spill files compose their records out of these trees.
+/// The encoding is self-delimiting, so records can be concatenated into one
+/// stream and read back one at a time with [`read_value_tree`].
+pub fn write_value_tree<W: Write>(writer: &mut W, value: &Value) -> Result<(), IoError> {
+    write_value(writer, value)?;
+    Ok(())
+}
+
+/// Decodes exactly one [`Value`] tree from a reader, leaving the reader
+/// positioned at the first byte after it (concatenation-friendly: no
+/// internal buffering, no lookahead).  Counterpart of [`write_value_tree`].
+pub fn read_value_tree<R: Read>(reader: &mut R) -> Result<Value, IoError> {
+    read_value(reader)
+}
+
+/// Asserts that a reader is exhausted: one more readable byte is a format
+/// error.  Whole-file readers call this after decoding their value tree so
+/// that trailing garbage — e.g. a spill file whose concatenated records got
+/// out of sync with its declared count — is rejected instead of silently
+/// ignored.
+pub fn ensure_fully_consumed<R: Read>(reader: &mut R) -> Result<(), IoError> {
+    let mut probe = [0u8; 1];
+    match reader.read(&mut probe) {
+        Ok(0) => Ok(()),
+        Ok(_) => Err(IoError::Snapshot(
+            "trailing bytes after the encoded value tree".to_string(),
+        )),
+        Err(e) => Err(IoError::Io(e)),
+    }
+}
+
 fn read_exact_buf<R: Read>(r: &mut R, n: usize) -> Result<Vec<u8>, IoError> {
     let mut buf = vec![0u8; n];
     r.read_exact(&mut buf)?;
@@ -263,6 +297,10 @@ pub fn write_binary_snapshot<W: Write>(graph: &Graph, writer: W) -> Result<(), I
 
 /// Reads a graph back from a binary snapshot produced by
 /// [`write_binary_snapshot`].
+///
+/// The snapshot must cover the whole input: unconsumed bytes after the
+/// encoded value tree are rejected as corruption (a truncated *next* record
+/// glued to a valid one would otherwise read back silently).
 pub fn read_binary_snapshot<R: Read>(reader: R) -> Result<Graph, IoError> {
     let mut r = BufReader::new(reader);
     let mut magic = [0u8; 5];
@@ -273,6 +311,7 @@ pub fn read_binary_snapshot<R: Read>(reader: R) -> Result<Graph, IoError> {
         ));
     }
     let value = read_value(&mut r)?;
+    ensure_fully_consumed(&mut r)?;
     Graph::from_value(&value).map_err(|e| IoError::Snapshot(e.to_string()))
 }
 
@@ -399,5 +438,36 @@ mod tests {
         buf.truncate(buf.len() - 3);
         let err = read_binary_snapshot(Cursor::new(buf)).unwrap_err();
         assert!(matches!(err, IoError::Io(_) | IoError::Snapshot(_)));
+    }
+
+    #[test]
+    fn binary_snapshot_rejects_trailing_garbage() {
+        let g = GraphBuilder::directed().add_edge(0, 1).build();
+        let mut buf = Vec::new();
+        write_binary_snapshot(&g, &mut buf).unwrap();
+        buf.push(0x42);
+        let err = read_binary_snapshot(Cursor::new(buf)).unwrap_err();
+        match err {
+            IoError::Snapshot(reason) => assert!(reason.contains("trailing"), "{reason}"),
+            other => panic!("expected snapshot error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn value_trees_concatenate_and_read_back_one_at_a_time() {
+        let a = GraphBuilder::directed().add_edge(0, 1).build();
+        let b = GraphBuilder::directed()
+            .add_edge(1, 2)
+            .add_edge(2, 3)
+            .build();
+        let mut buf = Vec::new();
+        write_value_tree(&mut buf, &a.to_value()).unwrap();
+        write_value_tree(&mut buf, &b.to_value()).unwrap();
+        let mut r = Cursor::new(buf);
+        let a2 = Graph::from_value(&read_value_tree(&mut r).unwrap()).unwrap();
+        let b2 = Graph::from_value(&read_value_tree(&mut r).unwrap()).unwrap();
+        ensure_fully_consumed(&mut r).unwrap();
+        assert_eq!(a2.num_edges(), 1);
+        assert_eq!(b2.num_edges(), 2);
     }
 }

@@ -149,6 +149,34 @@ impl Fragment {
         bijective && borders_in_range && self.local.check_invariants()
     }
 
+    /// Reassembles a fragment from its persisted parts (the inverse of the
+    /// field accessors the snapshot codec reads).  The global → local map is
+    /// derived from `globals`; the caller is expected to validate the result
+    /// with [`Fragment::check_invariants`].
+    pub(crate) fn from_raw_parts(
+        id: usize,
+        local: Graph,
+        globals: Vec<VertexId>,
+        num_inner: usize,
+        in_border: Vec<LocalId>,
+        out_border: Vec<LocalId>,
+    ) -> Fragment {
+        let to_local: HashMap<VertexId, LocalId> = globals
+            .iter()
+            .enumerate()
+            .map(|(l, &v)| (v, l as LocalId))
+            .collect();
+        Fragment {
+            id,
+            local,
+            globals,
+            to_local,
+            num_inner,
+            in_border,
+            out_border,
+        }
+    }
+
     /// Whether two fragments are structurally identical: same vertex mapping,
     /// inner/outer split, border sets and local adjacency.  Both sides must
     /// come from the deterministic edge-cut construction (which they do —

@@ -33,6 +33,7 @@ pub mod fragmentation_graph;
 pub mod grid;
 pub mod metis_like;
 pub mod quality;
+pub mod snapshot;
 pub mod strategy;
 pub mod streaming;
 pub mod vertex_cut;
@@ -40,4 +41,5 @@ pub mod vertex_cut;
 pub use delta::{DeltaApplication, FragmentDelta};
 pub use fragment::{Fragment, Fragmentation};
 pub use fragmentation_graph::{BorderScope, FragmentationGraph};
+pub use snapshot::SnapshotError;
 pub use strategy::{PartitionError, PartitionStrategy};

@@ -1,0 +1,378 @@
+//! Per-fragment binary snapshots: persisting [`Fragment`]s with the same
+//! tagged little-endian value encoding as `grape_graph::io`'s graph
+//! snapshots — the second half of the persistent-storage roadmap item.
+//!
+//! A prepared query that has been **evicted** from memory must come back
+//! without re-partitioning the graph or re-running PEval.  That needs the
+//! fragments themselves (local subgraph, global-id mapping, inner/outer
+//! split, border sets) to round-trip through disk:
+//!
+//! * [`write_fragment_snapshot`] / [`read_fragment_snapshot`] persist **one**
+//!   fragment as a self-delimiting record (magic header + value tree), so
+//!   records can be *concatenated* into a single spill file and read back
+//!   one at a time;
+//! * [`write_fragments_file`] / [`read_fragments_file`] store a whole
+//!   fragment set as a count-prefixed concatenation, rejecting trailing
+//!   bytes after the last record;
+//! * [`rehydrate_fragmentation`] reassembles a [`Fragmentation`] from
+//!   reloaded fragments plus the retained source graph and vertex
+//!   assignment, re-deriving the fragmentation graph `G_P` from the border
+//!   sets exactly like fresh partitioning does.
+//!
+//! The codec is strict: every record is validated with
+//! [`Fragment::check_invariants`] on read, and malformed or truncated input
+//! surfaces as [`SnapshotError`] instead of a half-built fragment.
+
+use std::io::{Read, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+use grape_graph::graph::Graph;
+use grape_graph::io::{ensure_fully_consumed, read_value_tree, write_value_tree, IoError};
+use grape_graph::types::VertexId;
+use serde::{Deserialize, Serialize, Value};
+
+use crate::fragment::{assemble_edge_cut, Fragment, Fragmentation, LocalId};
+
+/// Magic header of one fragment snapshot record: "GRPF" + format version 1.
+const FRAGMENT_MAGIC: &[u8; 5] = b"GRPF\x01";
+
+/// Errors produced by the fragment snapshot codec.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Underlying I/O or value-tree failure.
+    Io(IoError),
+    /// A record that decodes but does not describe a valid fragment.
+    Malformed(String),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "fragment snapshot i/o: {e}"),
+            SnapshotError::Malformed(reason) => {
+                write!(f, "malformed fragment snapshot: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<IoError> for SnapshotError {
+    fn from(e: IoError) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(IoError::Io(e))
+    }
+}
+
+/// Converts a fragment into its persistable value tree.
+fn fragment_to_value(frag: &Fragment) -> Value {
+    let globals: Vec<VertexId> = frag.all_locals().map(|l| frag.global_of(l)).collect();
+    Value::Map(vec![
+        ("id".to_string(), (frag.id() as u64).to_value()),
+        (
+            "num_inner".to_string(),
+            (frag.num_inner() as u64).to_value(),
+        ),
+        ("globals".to_string(), globals.to_value()),
+        ("in_border".to_string(), frag.in_border_locals().to_value()),
+        (
+            "out_border".to_string(),
+            frag.out_border_locals().to_value(),
+        ),
+        ("local".to_string(), frag.local_graph().to_value()),
+    ])
+}
+
+fn field<'v>(v: &'v Value, name: &str) -> Result<&'v Value, SnapshotError> {
+    v.get_field(name)
+        .ok_or_else(|| SnapshotError::Malformed(format!("missing field `{name}`")))
+}
+
+/// Rebuilds a fragment from its value tree, validating the invariants.
+fn fragment_from_value(v: &Value) -> Result<Fragment, SnapshotError> {
+    let shape = |e: serde::Error| SnapshotError::Malformed(e.to_string());
+    let id = u64::from_value(field(v, "id")?).map_err(shape)? as usize;
+    let num_inner = u64::from_value(field(v, "num_inner")?).map_err(shape)? as usize;
+    let globals = Vec::<VertexId>::from_value(field(v, "globals")?).map_err(shape)?;
+    let in_border = Vec::<LocalId>::from_value(field(v, "in_border")?).map_err(shape)?;
+    let out_border = Vec::<LocalId>::from_value(field(v, "out_border")?).map_err(shape)?;
+    let local = Graph::from_value(field(v, "local")?).map_err(shape)?;
+    if num_inner > globals.len() || local.num_vertices() != globals.len() {
+        return Err(SnapshotError::Malformed(format!(
+            "inner/local counts disagree: {num_inner} inner, {} globals, {} local vertices",
+            globals.len(),
+            local.num_vertices()
+        )));
+    }
+    if in_border
+        .iter()
+        .chain(out_border.iter())
+        .any(|&l| (l as usize) >= globals.len())
+    {
+        return Err(SnapshotError::Malformed(
+            "border local id out of range".to_string(),
+        ));
+    }
+    let frag = Fragment::from_raw_parts(id, local, globals, num_inner, in_border, out_border);
+    if !frag.check_invariants() {
+        return Err(SnapshotError::Malformed(
+            "fragment invariants do not hold (duplicate globals or inconsistent borders)"
+                .to_string(),
+        ));
+    }
+    Ok(frag)
+}
+
+/// Writes **one** fragment as a self-delimiting record (magic header +
+/// value tree).  Records written back to back form a valid concatenated
+/// stream for [`read_fragment_snapshot`].
+pub fn write_fragment_snapshot<W: Write>(
+    frag: &Fragment,
+    writer: &mut W,
+) -> Result<(), SnapshotError> {
+    writer.write_all(FRAGMENT_MAGIC)?;
+    write_value_tree(writer, &fragment_to_value(frag))?;
+    Ok(())
+}
+
+/// Reads exactly one fragment record, leaving the reader positioned at the
+/// first byte after it (no lookahead, so concatenated records read back one
+/// at a time).
+pub fn read_fragment_snapshot<R: Read>(reader: &mut R) -> Result<Fragment, SnapshotError> {
+    let mut magic = [0u8; 5];
+    reader
+        .read_exact(&mut magic)
+        .map_err(|e| SnapshotError::Io(IoError::Io(e)))?;
+    if &magic != FRAGMENT_MAGIC {
+        return Err(SnapshotError::Malformed(
+            "bad magic header (not a grape fragment snapshot, or wrong version)".to_string(),
+        ));
+    }
+    let value = read_value_tree(reader)?;
+    fragment_from_value(&value)
+}
+
+/// Writes a fragment set to a writer: a `u64` little-endian count prefix
+/// followed by the concatenated per-fragment records.  Composable — e.g.
+/// the prepared-query spill files embed this block followed by the
+/// partials.
+pub fn write_fragments<W: Write>(
+    fragments: &[Arc<Fragment>],
+    writer: &mut W,
+) -> Result<(), SnapshotError> {
+    writer.write_all(&(fragments.len() as u64).to_le_bytes())?;
+    for frag in fragments {
+        write_fragment_snapshot(frag, writer)?;
+    }
+    Ok(())
+}
+
+/// Reads a count-prefixed fragment block back, leaving the reader
+/// positioned after the last declared record (no end-of-input check — the
+/// caller of a composed format decides when the stream must end).
+pub fn read_fragments<R: Read>(reader: &mut R) -> Result<Vec<Fragment>, SnapshotError> {
+    let mut count = [0u8; 8];
+    reader.read_exact(&mut count)?;
+    let n = u64::from_le_bytes(count) as usize;
+    let mut fragments = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        fragments.push(read_fragment_snapshot(reader)?);
+    }
+    Ok(fragments)
+}
+
+/// Writes a whole fragment set to `path` ([`write_fragments`] as the entire
+/// file).
+pub fn write_fragments_file<P: AsRef<Path>>(
+    fragments: &[Arc<Fragment>],
+    path: P,
+) -> Result<(), SnapshotError> {
+    let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
+    write_fragments(fragments, &mut w)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a fragment set back from `path`, rejecting trailing bytes after
+/// the last declared record (concatenation gone out of sync with the count
+/// prefix must not read back silently).
+pub fn read_fragments_file<P: AsRef<Path>>(path: P) -> Result<Vec<Fragment>, SnapshotError> {
+    let mut r = std::io::BufReader::new(std::fs::File::open(path)?);
+    let fragments = read_fragments(&mut r)?;
+    ensure_fully_consumed(&mut r)?;
+    Ok(fragments)
+}
+
+/// Reassembles a [`Fragmentation`] from reloaded fragments: `G_P` is
+/// re-derived from the fragments' border sets, exactly as fresh edge-cut
+/// partitioning does.  `assignment` must map every vertex of `source` to
+/// its owning fragment (the evolving-graph timeline retains it) and the
+/// fragments must be the complete set, in fragment-id order.
+pub fn rehydrate_fragmentation(
+    fragments: Vec<Fragment>,
+    assignment: Vec<u32>,
+    source: Arc<Graph>,
+    strategy_name: &str,
+) -> Result<Fragmentation, SnapshotError> {
+    if assignment.len() != source.num_vertices() {
+        return Err(SnapshotError::Malformed(format!(
+            "assignment covers {} vertices, source has {}",
+            assignment.len(),
+            source.num_vertices()
+        )));
+    }
+    for (i, frag) in fragments.iter().enumerate() {
+        if frag.id() != i {
+            return Err(SnapshotError::Malformed(format!(
+                "fragment {} found at position {i}: snapshots out of order",
+                frag.id()
+            )));
+        }
+    }
+    Ok(assemble_edge_cut(
+        fragments.into_iter().map(Arc::new).collect(),
+        assignment,
+        source,
+        strategy_name.to_string(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge_cut::RangeEdgeCut;
+    use crate::strategy::PartitionStrategy;
+    use grape_graph::builder::GraphBuilder;
+    use grape_graph::types::Edge;
+    use std::io::Cursor;
+
+    fn chain_fragmentation() -> Fragmentation {
+        let mut b = GraphBuilder::directed();
+        for v in 0..8u64 {
+            b.push_edge(Edge::weighted(v, v + 1, 1.0 + v as f64));
+        }
+        RangeEdgeCut::new(3).partition(&b.build()).unwrap()
+    }
+
+    fn assert_same_fragment(a: &Fragment, b: &Fragment) {
+        assert_eq!(a.id(), b.id());
+        assert_eq!(a.num_inner(), b.num_inner());
+        assert_eq!(a.num_local(), b.num_local());
+        assert_eq!(a.in_border_locals(), b.in_border_locals());
+        assert_eq!(a.out_border_locals(), b.out_border_locals());
+        assert_eq!(a.local_graph().edges(), b.local_graph().edges());
+        for l in a.all_locals() {
+            assert_eq!(a.global_of(l), b.global_of(l));
+        }
+    }
+
+    #[test]
+    fn single_fragment_round_trip() {
+        let frag = chain_fragmentation();
+        for i in 0..frag.num_fragments() {
+            let mut buf = Vec::new();
+            write_fragment_snapshot(frag.fragment(i), &mut buf).unwrap();
+            let back = read_fragment_snapshot(&mut Cursor::new(buf)).unwrap();
+            assert_same_fragment(frag.fragment(i), &back);
+            assert!(back.check_invariants());
+        }
+    }
+
+    #[test]
+    fn concatenated_records_read_back_in_order() {
+        let frag = chain_fragmentation();
+        let mut buf = Vec::new();
+        for f in frag.fragments() {
+            write_fragment_snapshot(f, &mut buf).unwrap();
+        }
+        let mut r = Cursor::new(buf);
+        for i in 0..frag.num_fragments() {
+            let back = read_fragment_snapshot(&mut r).unwrap();
+            assert_same_fragment(frag.fragment(i), &back);
+        }
+        ensure_fully_consumed(&mut r).unwrap();
+    }
+
+    #[test]
+    fn fragments_file_round_trip_and_rehydration() {
+        let frag = chain_fragmentation();
+        let path = std::env::temp_dir().join("grape_fragments_roundtrip.bin");
+        write_fragments_file(frag.fragments(), &path).unwrap();
+        let back = read_fragments_file(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(back.len(), frag.num_fragments());
+
+        let assignment: Vec<u32> = (0..frag.gp().num_vertices() as VertexId)
+            .map(|v| frag.gp().owner(v) as u32)
+            .collect();
+        let rehydrated = rehydrate_fragmentation(
+            back,
+            assignment,
+            frag.source().clone(),
+            frag.strategy_name(),
+        )
+        .unwrap();
+        assert_eq!(rehydrated.num_fragments(), frag.num_fragments());
+        for i in 0..frag.num_fragments() {
+            assert_same_fragment(frag.fragment(i), rehydrated.fragment(i));
+        }
+        // G_P is re-derived, not persisted: routing must agree.
+        for v in frag.gp().border_vertices() {
+            assert_eq!(frag.gp().owner(v), rehydrated.gp().owner(v));
+        }
+        assert_eq!(rehydrated.num_border_vertices(), frag.num_border_vertices());
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_truncation() {
+        let frag = chain_fragmentation();
+        let mut buf = Vec::new();
+        write_fragment_snapshot(frag.fragment(0), &mut buf).unwrap();
+        let mut wrong = buf.clone();
+        wrong[0] = b'X';
+        assert!(read_fragment_snapshot(&mut Cursor::new(wrong)).is_err());
+        buf.truncate(buf.len() - 2);
+        assert!(read_fragment_snapshot(&mut Cursor::new(buf)).is_err());
+    }
+
+    #[test]
+    fn fragments_file_rejects_trailing_garbage() {
+        let frag = chain_fragmentation();
+        let path = std::env::temp_dir().join("grape_fragments_trailing.bin");
+        write_fragments_file(frag.fragments(), &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.push(0x7f);
+        std::fs::write(&path, bytes).unwrap();
+        let err = read_fragments_file(&path).unwrap_err();
+        let _ = std::fs::remove_file(&path);
+        assert!(
+            err.to_string().contains("trailing"),
+            "expected trailing-bytes rejection, got {err}"
+        );
+    }
+
+    #[test]
+    fn malformed_borders_are_rejected() {
+        let frag = chain_fragmentation();
+        let mut v = fragment_to_value(frag.fragment(1));
+        if let Value::Map(entries) = &mut v {
+            for (k, val) in entries.iter_mut() {
+                if k == "out_border" {
+                    *val = Value::Seq(vec![Value::UInt(10_000)]);
+                }
+            }
+        }
+        let mut buf = Vec::new();
+        buf.extend_from_slice(FRAGMENT_MAGIC);
+        write_value_tree(&mut buf, &v).unwrap();
+        let err = read_fragment_snapshot(&mut Cursor::new(buf)).unwrap_err();
+        assert!(matches!(err, SnapshotError::Malformed(_)), "{err}");
+    }
+}

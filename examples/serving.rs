@@ -1,0 +1,112 @@
+//! Serving many standing queries off one evolving road network.
+//!
+//! A navigation service answers shortest-path queries from many depots over
+//! one city graph that keeps changing.  Instead of giving every depot its
+//! own `PreparedQuery` — which would re-apply every `ΔG` once *per depot* —
+//! a [`GrapeServer`] owns a single `Arc`-shared fragmentation timeline:
+//!
+//! * each depot registers once (`register` pays PEval once per query),
+//! * every road update is applied to the fragmentation **once**
+//!   (`apply` → one `apply_delta`, one rebuilt-fragment set shared by all
+//!   registered queries through the `Arc<Fragment>` refcounting),
+//! * rarely-asked depots are **evicted**: their fragments and partials
+//!   spill to per-fragment binary snapshots on disk, and the next
+//!   `output()` reloads them — zero PEval calls — and replays whatever
+//!   deltas arrived while they were cold.
+//!
+//! ```text
+//! cargo run --release --example serving
+//! ```
+
+use grape::core::serve::GrapeServer;
+use grape::prelude::*;
+
+fn main() {
+    let graph = generators::road_grid(60, 60, 7);
+    println!(
+        "road network: {} intersections, {} road segments",
+        graph.num_vertices(),
+        graph.num_edges() / 2
+    );
+
+    let fragments = MetisLike::new(4).partition(&graph).expect("partition");
+    let session = GrapeSession::with_workers(4);
+    let mut server = GrapeServer::new(session, fragments);
+
+    // Three depots, three standing SSSP queries over ONE fragmentation.
+    let depots: Vec<VertexId> = vec![0, 1770, 3599];
+    let handles: Vec<_> = depots
+        .iter()
+        .map(|&d| server.register(Sssp, SsspQuery::new(d)).expect("register"))
+        .collect();
+    println!(
+        "registered {} standing queries at timeline version {}",
+        server.num_queries(),
+        server.version()
+    );
+
+    // Live updates: new road segments open.  One apply_delta; every
+    // query's refresh reports the SAME rebuilt-fragment set.
+    let new_roads = GraphDelta::new()
+        .add_weighted_edge(10, 1000, 2.0)
+        .add_weighted_edge(1000, 10, 2.0)
+        .add_weighted_edge(42, 2042, 1.5)
+        .add_weighted_edge(2042, 42, 1.5);
+    let report = server.apply(&new_roads).expect("apply new roads");
+    println!(
+        "ΔG #1 (new segments): version {}, rebuilt fragments {:?}, \
+         {} queries refreshed, {} total PEval calls",
+        report.version,
+        report.rebuilt,
+        report.refreshed.len(),
+        report.peval_calls()
+    );
+
+    // The overnight-only depot goes cold: spill it to disk.
+    let cold = handles[2];
+    let spill = server.evict(&cold).expect("evict");
+    println!(
+        "evicted depot {} → {} ({} of {} queries cold)",
+        depots[2],
+        spill.display(),
+        server.num_evicted(),
+        server.num_queries()
+    );
+
+    // A road closes while the depot is cold: resident queries refresh via
+    // the bounded path; the cold one is deferred (the server retains the
+    // timeline it will replay from).
+    let closure = GraphDelta::new().remove_edge(10, 11).remove_edge(11, 10);
+    let report = server.apply(&closure).expect("apply closure");
+    println!(
+        "ΔG #2 (closure): {} refreshed, deferred {:?}, retained versions {}",
+        report.refreshed.len(),
+        report.deferred,
+        server.retained_versions()
+    );
+
+    // Asking the cold depot lazily rehydrates it: fragments + partials come
+    // back from the snapshot file (no re-partitioning, no PEval) and the
+    // missed closure is replayed.
+    let rehydration = server.rehydrate(&cold).expect("rehydrate");
+    println!(
+        "rehydrated depot {}: {} delta(s) replayed with {} PEval calls \
+         (the snapshot reload itself runs none; the closure's bounded \
+         replay re-roots its damage frontier)",
+        depots[2],
+        rehydration.replayed.len(),
+        rehydration.peval_calls()
+    );
+
+    for (depot, handle) in depots.iter().zip(&handles) {
+        let answer = server.output(handle).expect("output");
+        println!(
+            "depot {depot}: reaches {} intersections",
+            answer.num_reached()
+        );
+    }
+    println!(
+        "timeline after everyone caught up: {} retained version(s)",
+        server.retained_versions()
+    );
+}

@@ -1,0 +1,228 @@
+//! `GrapeServer` acceptance pins: K registered queries share **one**
+//! `apply_delta` per `ΔG` (identical `rebuilt` sets across per-query
+//! reports, `Arc`-shared fragment storage, answers identical to independent
+//! handles and to full recomputes), and an evict → rehydrate round trip
+//! through the per-fragment binary snapshots yields `output()` identical to
+//! the never-evicted handle with `peval_calls == 0` on rehydration.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use grape::algorithms::sssp::{Sssp, SsspQuery};
+use grape::core::config::EngineMode;
+use grape::core::serve::GrapeServer;
+use grape::core::session::GrapeSession;
+use grape::graph::builder::GraphBuilder;
+use grape::graph::delta::GraphDelta;
+use grape::graph::graph::{Directedness, Graph};
+use grape::graph::types::VertexId;
+use grape::partition::edge_cut::HashEdgeCut;
+use grape::partition::fragment::Fragmentation;
+use grape::partition::strategy::PartitionStrategy;
+
+const MODES: [EngineMode; 2] = [EngineMode::Sync, EngineMode::Async];
+
+fn session(mode: EngineMode) -> GrapeSession {
+    GrapeSession::builder()
+        .workers(3)
+        .mode(mode)
+        .build()
+        .unwrap()
+}
+
+fn seeded_graph(seed: u64, n: u64, m: usize) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(Directedness::Directed).ensure_vertices(n as usize);
+    for _ in 0..m {
+        let s = rng.gen_range(0..n);
+        let d = rng.gen_range(0..n);
+        if s != d {
+            b.push_edge(grape::graph::types::Edge::weighted(
+                s,
+                d,
+                rng.gen_range(1u32..9u32) as f64,
+            ));
+        }
+    }
+    b.build()
+}
+
+fn partition(g: &Graph) -> Fragmentation {
+    HashEdgeCut::new(4).partition(g).unwrap()
+}
+
+fn insert_batch(rng: &mut StdRng, n: u64, count: usize) -> GraphDelta {
+    let mut delta = GraphDelta::new();
+    for _ in 0..count {
+        let s = rng.gen_range(0..n);
+        let d = rng.gen_range(0..n);
+        if s != d {
+            delta = delta.add_weighted_edge(s, d, rng.gen_range(1u32..5u32) as f64);
+        }
+    }
+    delta
+}
+
+fn assert_same_sssp(
+    a: &grape::algorithms::sssp::SsspResult,
+    b: &grape::algorithms::sssp::SsspResult,
+    ctx: &str,
+) {
+    assert_eq!(a.distances().len(), b.distances().len(), "{ctx}");
+    for (v, d) in a.distances() {
+        let other = b.distances().get(v).unwrap_or_else(|| panic!("{ctx}: {v}"));
+        assert!(
+            (d - other).abs() < 1e-9,
+            "{ctx}: vertex {v}: {d} vs {other}"
+        );
+    }
+}
+
+/// K standing queries, one delta stream: every per-query report carries the
+/// single delta application's rebuilt set, every handle keeps sharing the
+/// server's fragment storage, and every answer equals both an independent
+/// handle's and a from-scratch recompute.
+#[test]
+fn k_queries_share_one_delta_application() {
+    for mode in MODES {
+        let g = seeded_graph(0xC0FFEE, 40, 120);
+        let s = session(mode);
+        let sources: Vec<VertexId> = vec![0, 3, 7, 11];
+
+        // Independent handles: the baseline the server must match while
+        // applying each delta once instead of K times.
+        let mut independent: Vec<_> = sources
+            .iter()
+            .map(|&src| s.prepare(partition(&g), Sssp, SsspQuery::new(src)).unwrap())
+            .collect();
+
+        let mut server = GrapeServer::new(s.clone(), partition(&g));
+        let handles: Vec<_> = sources
+            .iter()
+            .map(|&src| server.register(Sssp, SsspQuery::new(src)).unwrap())
+            .collect();
+
+        let mut rng = StdRng::seed_from_u64(0xD157);
+        let existing = g.edges()[17];
+        let deltas = vec![
+            insert_batch(&mut rng, 40, 6),
+            insert_batch(&mut rng, 44, 6),
+            GraphDelta::new().remove_edge(existing.src, existing.dst),
+            insert_batch(&mut rng, 44, 4),
+        ];
+
+        for delta in &deltas {
+            let report = server.apply(delta).unwrap();
+            assert_eq!(report.refreshed.len(), sources.len(), "{mode:?}");
+            for qr in &report.refreshed {
+                let ur = qr.result.as_ref().unwrap();
+                assert_eq!(
+                    ur.rebuilt, report.rebuilt,
+                    "one rebuilt-fragment set shared by query {} ({mode:?})",
+                    qr.query
+                );
+            }
+            for p in independent.iter_mut() {
+                p.update(delta).unwrap();
+            }
+        }
+        assert_eq!(server.deltas_applied(), deltas.len());
+        assert_eq!(server.retained_versions(), 1);
+
+        // Shared storage: every handle's fragmentation is the server's,
+        // fragment by fragment (Arc identity, not just equality).
+        for h in &handles {
+            let prepared = server.prepared(h).unwrap();
+            for i in 0..server.fragmentation().num_fragments() {
+                assert!(
+                    server
+                        .fragmentation()
+                        .shares_fragment_storage(prepared.fragmentation(), i),
+                    "query {} fragment {i} not shared ({mode:?})",
+                    h.id()
+                );
+            }
+        }
+
+        for (k, h) in handles.iter().enumerate() {
+            let served = server.output(h).unwrap();
+            let alone = independent[k].output();
+            assert_same_sssp(
+                &served,
+                &alone,
+                &format!("served vs independent ({mode:?})"),
+            );
+            let recompute = s
+                .run(server.fragmentation(), &Sssp, &SsspQuery::new(sources[k]))
+                .unwrap();
+            assert_same_sssp(
+                &served,
+                &recompute.output,
+                &format!("served vs recompute ({mode:?})"),
+            );
+        }
+    }
+}
+
+/// The eviction acceptance pin: spill → reload through the per-fragment
+/// binary snapshots reproduces the never-evicted handle exactly, with zero
+/// PEval calls on rehydration — including when monotone deltas arrived
+/// while the query was cold.
+#[test]
+fn evict_rehydrate_matches_the_never_evicted_handle() {
+    for mode in MODES {
+        let g = seeded_graph(0xE71C7, 36, 100);
+        let s = session(mode);
+        let mut server = GrapeServer::new(s.clone(), partition(&g));
+        let hot = server.register(Sssp, SsspQuery::new(0)).unwrap();
+        let cold = server.register(Sssp, SsspQuery::new(0)).unwrap();
+
+        let mut rng = StdRng::seed_from_u64(0x5EED);
+        server.apply(&insert_batch(&mut rng, 36, 5)).unwrap();
+
+        // Round trip with no pending deltas.
+        let spill = server.evict(&cold).unwrap();
+        assert!(spill.exists(), "{mode:?}");
+        let rehydration = server.rehydrate(&cold).unwrap();
+        assert_eq!(
+            rehydration.peval_calls(),
+            0,
+            "rehydration must not re-run PEval ({mode:?})"
+        );
+        assert!(rehydration.replayed.is_empty());
+        let a = server.output(&cold).unwrap();
+        let b = server.output(&hot).unwrap();
+        assert_same_sssp(&a, &b, &format!("round trip ({mode:?})"));
+
+        // Evict again; monotone deltas arrive while cold; lazy rehydration
+        // replays them — still zero PEval anywhere on the cold path.
+        server.evict(&cold).unwrap();
+        server.apply(&insert_batch(&mut rng, 40, 5)).unwrap();
+        let r = server.apply(&insert_batch(&mut rng, 40, 5)).unwrap();
+        assert_eq!(r.deferred, vec![cold.id()], "{mode:?}");
+        assert!(server.retained_versions() > 1, "{mode:?}");
+
+        let rehydration = server.rehydrate(&cold).unwrap();
+        assert_eq!(rehydration.replayed.len(), 2, "{mode:?}");
+        assert_eq!(
+            rehydration.peval_calls(),
+            0,
+            "monotone replay is PEval-free ({mode:?})"
+        );
+        let a = server.output(&cold).unwrap();
+        let b = server.output(&hot).unwrap();
+        assert_same_sssp(&a, &b, &format!("replayed round trip ({mode:?})"));
+        assert_eq!(server.retained_versions(), 1, "{mode:?}");
+
+        // Deletions while cold take the same decision table on replay and
+        // still match the hot handle.
+        server.evict(&cold).unwrap();
+        let edge = server.fragmentation().source().edges()[3];
+        server
+            .apply(&GraphDelta::new().remove_edge(edge.src, edge.dst))
+            .unwrap();
+        let a = server.output(&cold).unwrap(); // lazy rehydrate + replay
+        let b = server.output(&hot).unwrap();
+        assert_same_sssp(&a, &b, &format!("deletion replay ({mode:?})"));
+    }
+}

@@ -31,10 +31,19 @@
 //!   arrived while it was cold from the server's retained timeline.
 //!
 //! The timeline keeps one fragmentation per version only while an evicted
-//! query still needs it for replay (fragment storage is `Arc`-shared across
-//! versions, so retaining a version costs one rebuilt-fragment delta, not a
-//! copy of the graph); once every query has caught up the history is
-//! pruned.
+//! query — or a resident one left *behind* by a failed refresh — still
+//! needs it for replay (fragment storage is `Arc`-shared across versions,
+//! so retaining a version costs one rebuilt-fragment delta, not a copy of
+//! the graph); once every query has caught up the history is pruned.
+//!
+//! Refresh failures keep every query's version honest.  A failed
+//! monotone/bounded refresh poisons the query (its partials were consumed),
+//! and the server quarantines it.  A failed **full** re-preparation leaves
+//! the handle consistent at its pre-delta fragmentation, so the server
+//! keeps the query on its old version and replays the retained steps into
+//! it — exactly like an evicted query — before its next refresh or
+//! `output()`; it is never handed a [`DeltaApplication`] derived from a
+//! fragmentation it does not hold.
 
 use std::any::Any;
 use std::io::{Read, Write};
@@ -163,8 +172,12 @@ impl<P> std::fmt::Debug for QueryHandle<P> {
 pub struct QueryRefresh {
     /// The query id ([`QueryHandle::id`]).
     pub query: usize,
-    /// The query's own [`UpdateReport`] — or the engine error that poisoned
-    /// it (the server keeps serving the others).
+    /// The query's own [`UpdateReport`] — or the engine error that stopped
+    /// it (the server keeps serving the others).  A monotone/bounded
+    /// refresh error poisons the query; a failed **full** re-preparation
+    /// leaves it consistent at its pre-delta version, and the server
+    /// retains the step and replays it (like an evicted query) before the
+    /// next refresh or output.
     pub result: Result<UpdateReport, EngineError>,
 }
 
@@ -181,6 +194,11 @@ pub struct ServeReport {
     pub reused: usize,
     /// Per-query refresh outcomes, in registration order.
     pub refreshed: Vec<QueryRefresh>,
+    /// Resident queries that were behind (an earlier full re-preparation
+    /// failed) and were caught up by replaying the retained steps before
+    /// this delta was applied to them.  Their [`QueryRefresh`] covers this
+    /// delta only, not the replay.
+    pub caught_up: Vec<usize>,
     /// Evicted queries whose refresh is deferred until rehydration (the
     /// server retains the timeline they will replay from).
     pub deferred: Vec<usize>,
@@ -236,10 +254,37 @@ trait ServedQuery: Send {
         delta: &GraphDelta,
     ) -> Result<UpdateReport, EngineError>;
     fn evict(&mut self, path: &Path) -> Result<(), ServeError>;
-    fn rehydrate(&mut self, at: &Fragmentation) -> Result<(), ServeError>;
+    /// Reloads the entry from its spill file.  Returns the spill path; the
+    /// file is **not** deleted here — the server reclaims it only after the
+    /// post-reload replay fully succeeds, so the on-disk snapshot stays a
+    /// valid recovery point until then.
+    fn rehydrate(&mut self, at: &Fragmentation) -> Result<PathBuf, ServeError>;
+    /// Drops the resident in-memory state (possibly poisoned or
+    /// half-replayed) and points the entry back at `spill` — the inverse of
+    /// a reload whose replay failed.  The snapshot on disk becomes the
+    /// entry's state again (with `book` as its counters), so the entry is
+    /// evicted and retryable.
+    fn demote(&mut self, spill: &Path, book: QueryBookkeeping);
+    /// The entry's current counters/metrics — from the live handle when
+    /// resident, from the cold state when evicted.
+    fn bookkeeping(&self) -> QueryBookkeeping;
     fn is_evicted(&self) -> bool;
     fn is_poisoned(&self) -> bool;
     fn as_any(&self) -> &dyn Any;
+}
+
+/// The counters and metrics of a query that must survive an evict →
+/// rehydrate round trip.  Captured *before* a post-reload replay so that a
+/// failed replay can fall back to the values the on-disk snapshot actually
+/// corresponds to — the successfully replayed prefix is rolled back with
+/// the state, not double-counted by the retry.
+#[derive(Clone)]
+struct QueryBookkeeping {
+    prepare_metrics: EngineMetrics,
+    last_metrics: EngineMetrics,
+    updates_applied: usize,
+    incremental_updates: usize,
+    bounded_updates: usize,
 }
 
 /// The program, query and bookkeeping of an evicted entry — everything that
@@ -250,11 +295,7 @@ struct ColdState<P: IncrementalPie> {
     program: P,
     query: P::Query,
     spill: PathBuf,
-    prepare_metrics: EngineMetrics,
-    last_metrics: EngineMetrics,
-    updates_applied: usize,
-    incremental_updates: usize,
-    bounded_updates: usize,
+    book: QueryBookkeeping,
 }
 
 /// A registered query: resident (a live [`PreparedQuery`]) or evicted (a
@@ -325,35 +366,12 @@ where
             }
             w.flush()?;
         }
-        let prepared = self.prepared.take().expect("checked above");
-        let PreparedQuery {
-            session,
-            program,
-            query,
-            fragmentation: _,
-            partials: _,
-            prepare_metrics,
-            last_metrics,
-            updates_applied,
-            incremental_updates,
-            bounded_updates,
-            poisoned: _,
-        } = prepared;
-        self.cold = Some(ColdState {
-            session,
-            program,
-            query,
-            spill: path.to_path_buf(),
-            prepare_metrics,
-            last_metrics,
-            updates_applied,
-            incremental_updates,
-            bounded_updates,
-        });
+        let book = self.bookkeeping();
+        self.demote(path, book);
         Ok(())
     }
 
-    fn rehydrate(&mut self, at: &Fragmentation) -> Result<(), ServeError> {
+    fn rehydrate(&mut self, at: &Fragmentation) -> Result<PathBuf, ServeError> {
         let spill = self
             .cold
             .as_ref()
@@ -387,21 +405,52 @@ where
             at.strategy_name(),
         )?;
         let cold = self.cold.take().expect("checked above");
-        let _ = std::fs::remove_file(&cold.spill);
         self.prepared = Some(PreparedQuery {
             session: cold.session,
             program: cold.program,
             query: cold.query,
             fragmentation,
             partials,
-            prepare_metrics: cold.prepare_metrics,
-            last_metrics: cold.last_metrics,
-            updates_applied: cold.updates_applied,
-            incremental_updates: cold.incremental_updates,
-            bounded_updates: cold.bounded_updates,
+            prepare_metrics: cold.book.prepare_metrics,
+            last_metrics: cold.book.last_metrics,
+            updates_applied: cold.book.updates_applied,
+            incremental_updates: cold.book.incremental_updates,
+            bounded_updates: cold.book.bounded_updates,
             poisoned: false,
         });
-        Ok(())
+        Ok(cold.spill)
+    }
+
+    fn demote(&mut self, spill: &Path, book: QueryBookkeeping) {
+        let prepared = self
+            .prepared
+            .take()
+            .expect("demote is only called on resident entries");
+        self.cold = Some(ColdState {
+            session: prepared.session,
+            program: prepared.program,
+            query: prepared.query,
+            spill: spill.to_path_buf(),
+            book,
+        });
+    }
+
+    fn bookkeeping(&self) -> QueryBookkeeping {
+        if let Some(p) = &self.prepared {
+            QueryBookkeeping {
+                prepare_metrics: p.prepare_metrics.clone(),
+                last_metrics: p.last_metrics.clone(),
+                updates_applied: p.updates_applied,
+                incremental_updates: p.incremental_updates,
+                bounded_updates: p.bounded_updates,
+            }
+        } else {
+            self.cold
+                .as_ref()
+                .expect("an entry is always resident or cold")
+                .book
+                .clone()
+        }
     }
 
     fn is_evicted(&self) -> bool {
@@ -543,47 +592,74 @@ impl GrapeServer {
     /// `Fragmentation::apply_delta` call, one rebuilt-fragment set — and
     /// refreshes every resident query from it.  Evicted queries are
     /// deferred (they replay on rehydration); queries poisoned by an
-    /// earlier failed refresh are skipped.  A query whose refresh errors is
-    /// reported in [`ServeReport::refreshed`] and poisoned; the server and
-    /// the other queries keep going.
+    /// earlier failed refresh are skipped.  A query whose monotone/bounded
+    /// refresh errors is reported in [`ServeReport::refreshed`] and
+    /// poisoned; a query whose **full** re-preparation errors stays
+    /// consistent at its pre-delta version, and the server retains this
+    /// step and replays it into the query before its next refresh or
+    /// output.  The server and the other queries keep going either way.
     pub fn apply(&mut self, delta: &GraphDelta) -> Result<ServeReport, ServeError> {
+        let current = self.version();
         let applied = self
             .fragmentation()
             .apply_delta(delta)
             .map_err(|e| ServeError::Delta(e.to_string()))?;
         let rebuilt: Vec<usize> = applied.affected.iter().map(|fd| fd.fragment).collect();
         let reused = applied.fragmentation.num_fragments() - rebuilt.len();
-        let new_version = self.version() + 1;
+        let new_version = current + 1;
 
         let mut refreshed = Vec::new();
+        let mut caught_up = Vec::new();
         let mut deferred = Vec::new();
         let mut poisoned = Vec::new();
-        for (id, slot) in self.slots.iter_mut().enumerate() {
-            if slot.entry.is_evicted() {
+        for id in 0..self.slots.len() {
+            if self.slots[id].entry.is_evicted() {
                 deferred.push(id);
                 continue;
             }
-            if slot.entry.is_poisoned() {
+            if self.slots[id].entry.is_poisoned() {
                 // A poisoned query can never refresh again; advance its
                 // version so it does not pin the timeline history.
-                slot.version = new_version;
+                self.slots[id].version = new_version;
                 poisoned.push(id);
                 continue;
             }
-            let result = slot.entry.refresh(&applied, delta);
-            slot.version = new_version;
+            // A resident query can be *behind* after a failed full
+            // re-preparation (the one refresh error that leaves the handle
+            // consistent at an older version).  `refresh_from` requires the
+            // query's fragmentation to be the one `applied` was derived
+            // from, so replay the retained steps first.
+            if self.slots[id].version < current {
+                match self.replay_resident(id, current) {
+                    Ok(_) => caught_up.push(id),
+                    Err(e) => {
+                        // Still behind (its version tracks the replayed
+                        // prefix) or freshly poisoned — either way this
+                        // delta cannot be applied to it yet.
+                        if self.slots[id].entry.is_poisoned() {
+                            self.slots[id].version = new_version;
+                        }
+                        refreshed.push(QueryRefresh {
+                            query: id,
+                            result: Err(e),
+                        });
+                        continue;
+                    }
+                }
+            }
+            let result = self.slots[id].entry.refresh(&applied, delta);
+            if result.is_ok() || self.slots[id].entry.is_poisoned() {
+                // Success, or quarantined forever: the query never replays
+                // this step.
+                self.slots[id].version = new_version;
+            }
+            // Otherwise the failed full re-preparation left the handle
+            // consistent at `current`; keep its true version so the step
+            // retained below replays into it later.
             refreshed.push(QueryRefresh { query: id, result });
         }
 
-        if self.slots.iter().any(|s| s.entry.is_evicted()) {
-            // Someone may still replay this step: retain it.
-            self.steps.push(ServeStep {
-                delta: delta.clone(),
-                affected: applied.affected,
-            });
-            self.timeline.push(applied.fragmentation);
-            self.prune();
-        } else {
+        if self.slots.iter().all(|s| s.version == new_version) {
             // Hot path — everyone is resident and caught up, so no query
             // can ever need this step for replay: advance the timeline in
             // place without retaining (or cloning) the delta.
@@ -591,15 +667,59 @@ impl GrapeServer {
             self.timeline.clear();
             self.timeline.push(applied.fragmentation);
             self.steps.clear();
+        } else {
+            // Someone — evicted, or resident but behind — may still replay
+            // this step: retain it.
+            self.steps.push(ServeStep {
+                delta: delta.clone(),
+                affected: applied.affected,
+            });
+            self.timeline.push(applied.fragmentation);
+            self.prune();
         }
         Ok(ServeReport {
             version: new_version,
             rebuilt,
             reused,
             refreshed,
+            caught_up,
             deferred,
             poisoned,
         })
+    }
+
+    /// Replays the retained steps from a **resident** query's version up to
+    /// `upto`, advancing its version per successful step.  On an error the
+    /// version keeps tracking the successfully replayed prefix (unless the
+    /// failure poisoned the entry, which the caller handles).
+    fn replay_resident(
+        &mut self,
+        id: usize,
+        upto: usize,
+    ) -> Result<Vec<UpdateReport>, EngineError> {
+        let mut replayed = Vec::new();
+        while self.slots[id].version < upto {
+            if self.slots[id].entry.is_poisoned() {
+                // A poisoned entry can never replay — and since poison
+                // never pins history its version may even have fallen
+                // below `base`, so surface the poison before touching the
+                // step indices.
+                return Err(EngineError::PoisonedHandle);
+            }
+            // The timeline already holds every post-delta fragmentation, so
+            // no step runs apply_delta again.
+            let i = self.slots[id].version - self.base;
+            let applied = DeltaApplication {
+                fragmentation: self.timeline[i + 1].clone(),
+                affected: self.steps[i].affected.clone(),
+            };
+            let report = self.slots[id]
+                .entry
+                .refresh(&applied, &self.steps[i].delta)?;
+            self.slots[id].version += 1;
+            replayed.push(report);
+        }
+        Ok(replayed)
     }
 
     /// Spills a cold query's fragments and partials to a per-fragment
@@ -626,46 +746,74 @@ impl GrapeServer {
     /// Reloads an evicted query from its spill file — zero PEval calls,
     /// no re-partitioning — and replays the deltas applied while it was
     /// cold from the retained timeline (again without any `apply_delta`).
-    /// A no-op returning an empty report when the query is resident.
+    /// The spill file is reclaimed only once the replay fully succeeds; on
+    /// a replay error the entry falls back to the on-disk snapshot — still
+    /// evicted at its spill version, retryable — instead of being left
+    /// resident with half-replayed state.
+    ///
+    /// On a **resident** query this replays any steps the query is still
+    /// behind on (after a failed full re-preparation) and is otherwise a
+    /// no-op returning an empty report.
     pub fn rehydrate<P>(&mut self, handle: &QueryHandle<P>) -> Result<RehydrationReport, ServeError>
     where
         P: IncrementalPie + 'static,
         P::Partial: Serialize + Deserialize,
     {
         self.check_handle::<P>(handle)?;
-        if !self.slots[handle.id].entry.is_evicted() {
+        let id = handle.id;
+        let current = self.version();
+        if !self.slots[id].entry.is_evicted() {
+            // Resident — but possibly behind: catch it up so output()
+            // never serves a stale version.
+            let replayed = match self.replay_resident(id, current) {
+                Ok(replayed) => replayed,
+                Err(e) => {
+                    if self.slots[id].entry.is_poisoned() {
+                        // Freshly poisoned mid-replay: it can never catch
+                        // up, so don't let it pin history (mirrors apply()).
+                        self.slots[id].version = current;
+                    }
+                    return Err(ServeError::Engine(e));
+                }
+            };
+            if !replayed.is_empty() {
+                self.prune();
+            }
             return Ok(RehydrationReport {
-                query: handle.id,
-                replayed: Vec::new(),
+                query: id,
+                replayed,
             });
         }
-        let at = self.slots[handle.id].version;
-        {
+        let at = self.slots[id].version;
+        // Captured while still cold: the counters the snapshot corresponds
+        // to, in case a failed replay has to fall back to it.
+        let book = self.slots[id].entry.bookkeeping();
+        let spill = {
             let frozen = &self.timeline[at - self.base];
-            self.slots[handle.id].entry.rehydrate(frozen)?;
+            self.slots[id].entry.rehydrate(frozen)?
+        };
+        match self.replay_resident(id, current) {
+            Ok(replayed) => {
+                // Only now is the snapshot no longer a needed recovery
+                // point.
+                let _ = std::fs::remove_file(&spill);
+                self.prune();
+                Ok(RehydrationReport {
+                    query: id,
+                    replayed,
+                })
+            }
+            Err(e) => {
+                // The in-memory state is half-replayed or poisoned; the
+                // on-disk snapshot is the valid recovery point, so fall
+                // back to it — counters included, so a retry that replays
+                // the whole pending stream never double-counts the prefix
+                // that succeeded this time.
+                self.slots[id].entry.demote(&spill, book);
+                self.slots[id].version = at;
+                Err(ServeError::Engine(e))
+            }
         }
-        // Replay the pending steps: the timeline already holds every
-        // post-delta fragmentation, so no step runs apply_delta again.
-        let mut replayed = Vec::new();
-        for i in (at - self.base)..self.steps.len() {
-            let step = &self.steps[i];
-            let applied = DeltaApplication {
-                fragmentation: self.timeline[i + 1].clone(),
-                affected: step.affected.clone(),
-            };
-            let report = self.slots[handle.id]
-                .entry
-                .refresh(&applied, &step.delta)
-                .map_err(ServeError::Engine)?;
-            self.slots[handle.id].version = self.base + i + 1;
-            replayed.push(report);
-        }
-        self.slots[handle.id].version = self.version();
-        self.prune();
-        Ok(RehydrationReport {
-            query: handle.id,
-            replayed,
-        })
     }
 
     /// Assembles the query's current answer, lazily rehydrating it first if
@@ -685,17 +833,21 @@ impl GrapeServer {
             .map_err(ServeError::Engine)
     }
 
-    /// Borrow of the resident [`PreparedQuery`] behind a handle — `None`
-    /// while the query is evicted.  Useful for metrics and tests (e.g.
-    /// pinning that all handles share one fragment storage).
-    pub fn prepared<P>(&self, handle: &QueryHandle<P>) -> Option<&PreparedQuery<P>>
+    /// Borrow of the resident [`PreparedQuery`] behind a handle —
+    /// `Ok(None)` while the query is evicted, [`ServeError::UnknownHandle`]
+    /// when the handle was not issued by this server (or its query type
+    /// does not match), so misuse surfaces instead of aliasing the evicted
+    /// case.  Useful for metrics and tests (e.g. pinning that all handles
+    /// share one fragment storage).
+    pub fn prepared<P>(
+        &self,
+        handle: &QueryHandle<P>,
+    ) -> Result<Option<&PreparedQuery<P>>, ServeError>
     where
         P: IncrementalPie + 'static,
         P::Partial: Serialize + Deserialize,
     {
-        self.entry_ref::<P>(handle)
-            .ok()
-            .and_then(|e| e.prepared.as_ref())
+        Ok(self.entry_ref::<P>(handle)?.prepared.as_ref())
     }
 
     /// Whether the query behind `handle` is currently evicted.
@@ -739,13 +891,14 @@ impl GrapeServer {
     }
 
     /// Drops timeline versions no query can need anymore: everything older
-    /// than the oldest evicted query's version (or everything but the
-    /// current version when nothing is evicted).
+    /// than the oldest version still needed for replay — by an evicted
+    /// query, or by a resident one left behind by a failed full
+    /// re-preparation.  Poisoned queries never replay and are ignored.
     fn prune(&mut self) {
         let needed = self
             .slots
             .iter()
-            .filter(|s| s.entry.is_evicted())
+            .filter(|s| !s.entry.is_poisoned())
             .map(|s| s.version)
             .min()
             .unwrap_or_else(|| self.version());
@@ -785,7 +938,9 @@ mod tests {
     use super::*;
     use crate::config::EngineMode;
     use crate::prepared::RefreshKind;
-    use crate::test_support::{path_graph, session, DivergingOnUpdate, MinForward};
+    use crate::test_support::{
+        path_graph, session, DivergingOnUpdate, MinForward, TrippablePrepare,
+    };
     use grape_partition::edge_cut::RangeEdgeCut;
     use grape_partition::strategy::PartitionStrategy;
 
@@ -830,7 +985,7 @@ mod tests {
 
             // Every handle shares the server's (single) fragment storage.
             for h in &handles {
-                let prepared = server.prepared(h).unwrap();
+                let prepared = server.prepared(h).unwrap().unwrap();
                 for i in 0..server.fragmentation().num_fragments() {
                     assert!(
                         server
@@ -861,7 +1016,10 @@ mod tests {
         let spill = server.evict(&cold).unwrap();
         assert!(spill.exists());
         assert!(server.is_evicted(&cold).unwrap());
-        assert!(server.prepared(&cold).is_none(), "partials were released");
+        assert!(
+            server.prepared(&cold).unwrap().is_none(),
+            "partials were released"
+        );
 
         // Rehydration reloads fragments+partials from the snapshot file:
         // no PEval, no re-partitioning, answers identical to the handle
@@ -924,6 +1082,12 @@ mod tests {
             other.output(&h).unwrap_err(),
             ServeError::UnknownHandle(_)
         ));
+        // prepared() surfaces the foreign handle instead of aliasing it to
+        // the evicted case's None.
+        assert!(matches!(
+            other.prepared(&h),
+            Err(ServeError::UnknownHandle(_))
+        ));
         assert!(other.output(&other_handles[0]).is_ok());
     }
 
@@ -951,6 +1115,225 @@ mod tests {
         assert!(matches!(err, ServeError::Snapshot(_)), "{err}");
         // The entry stays evicted (and retryable) rather than half-loaded.
         assert!(server.is_evicted(&h).unwrap());
+    }
+
+    /// Regression for the version-desync on a failed full re-preparation:
+    /// the handle stays consistent at the pre-delta fragmentation, so the
+    /// server must keep it on its old version and replay the retained
+    /// steps later — never hand it a `DeltaApplication` derived from a
+    /// fragmentation it does not hold (silent garbage), and never serve a
+    /// stale answer as if it were current.
+    #[test]
+    fn a_failed_full_repreparation_stays_behind_and_catches_up() {
+        let g = crate::test_support::ring_graph(12);
+        let frag = RangeEdgeCut::new(3).partition(&g).unwrap();
+        let s = GrapeSession::builder()
+            .workers(2)
+            .mode(EngineMode::Sync)
+            .max_supersteps(4)
+            .build()
+            .unwrap();
+        let mut server = GrapeServer::new(s.clone(), frag);
+        let healthy = server.register(MinForward, ()).unwrap();
+        let flaky_prog = TrippablePrepare::new();
+        let flaky = server.register(flaky_prog.clone(), ()).unwrap();
+        let out_v0 = server.output(&flaky).unwrap();
+
+        // Every delta is non-monotone for the flaky program and its damage
+        // covers the whole ring: full re-preparation — which diverges while
+        // the program is tripped, WITHOUT poisoning the handle.
+        flaky_prog.trip();
+        let r1 = server.apply(&GraphDelta::new().add_edge(0, 2)).unwrap();
+        let by_id = |r: &ServeReport, id: usize| {
+            r.refreshed
+                .iter()
+                .find(|q| q.query == id)
+                .unwrap()
+                .result
+                .clone()
+        };
+        assert!(by_id(&r1, healthy.id()).is_ok());
+        assert!(by_id(&r1, flaky.id()).is_err());
+        assert_eq!(server.version(), 1, "the timeline itself advanced");
+        assert!(
+            server.retained_versions() > 1,
+            "history retained for the behind query"
+        );
+
+        // While still tripped, output() replays (and fails loudly) instead
+        // of serving the stale version-0 answer as current.
+        assert!(matches!(
+            server.output(&flaky).unwrap_err(),
+            ServeError::Engine(EngineError::DidNotConverge { .. })
+        ));
+
+        // Once healed, the next apply first replays the missed step, then
+        // refreshes with the new delta — outputs equal a recompute.
+        flaky_prog.heal();
+        let r2 = server.apply(&GraphDelta::new().add_edge(1, 3)).unwrap();
+        assert_eq!(r2.caught_up, vec![flaky.id()]);
+        assert!(by_id(&r2, flaky.id()).is_ok());
+        assert!(r2.poisoned.is_empty(), "a behind query is not poisoned");
+        assert_eq!(server.retained_versions(), 1, "caught up: history pruned");
+
+        let recompute = s
+            .run(server.fragmentation(), &flaky_prog, &())
+            .unwrap()
+            .output;
+        assert_eq!(server.output(&flaky).unwrap(), recompute);
+        assert_ne!(
+            server.output(&flaky).unwrap(),
+            out_v0,
+            "the replayed refreshes really moved the answer"
+        );
+        let recompute = s
+            .run(server.fragmentation(), &MinForward, &())
+            .unwrap()
+            .output;
+        assert_eq!(server.output(&healthy).unwrap(), recompute);
+    }
+
+    /// Regression for the same desync via rehydrate(): a replay failure
+    /// after the spill reload must not leave the entry resident,
+    /// unpoisoned and behind with its spill already deleted — it falls
+    /// back to the on-disk snapshot (still evicted, retryable) and the
+    /// spill file survives until a replay fully succeeds.
+    #[test]
+    fn a_failed_replay_falls_back_to_the_spill_file() {
+        let g = crate::test_support::ring_graph(12);
+        let frag = RangeEdgeCut::new(3).partition(&g).unwrap();
+        let s = GrapeSession::builder()
+            .workers(2)
+            .mode(EngineMode::Sync)
+            .max_supersteps(4)
+            .build()
+            .unwrap();
+        let mut server = GrapeServer::new(s.clone(), frag);
+        let _healthy = server.register(MinForward, ()).unwrap();
+        let flaky_prog = TrippablePrepare::new();
+        let flaky = server.register(flaky_prog.clone(), ()).unwrap();
+
+        let spill = server.evict(&flaky).unwrap();
+        flaky_prog.trip();
+        let r = server.apply(&GraphDelta::new().add_edge(0, 2)).unwrap();
+        assert_eq!(r.deferred, vec![flaky.id()]);
+
+        // The reload succeeds, the replayed full re-preparation diverges:
+        // back to the snapshot, spill intact, history still retained.
+        let err = server.rehydrate(&flaky).unwrap_err();
+        assert!(matches!(
+            err,
+            ServeError::Engine(EngineError::DidNotConverge { .. })
+        ));
+        assert!(server.is_evicted(&flaky).unwrap());
+        assert!(spill.exists(), "spill survives until a replay succeeds");
+        assert!(server.retained_versions() > 1);
+
+        // Retry after healing: replay lands, spill reclaimed, answer equals
+        // a recompute on the current graph.
+        flaky_prog.heal();
+        let report = server.rehydrate(&flaky).unwrap();
+        assert_eq!(report.replayed.len(), 1);
+        assert!(!spill.exists(), "spill reclaimed after a successful replay");
+        assert_eq!(server.retained_versions(), 1);
+        let recompute = s
+            .run(server.fragmentation(), &flaky_prog, &())
+            .unwrap()
+            .output;
+        assert_eq!(server.output(&flaky).unwrap(), recompute);
+    }
+
+    /// A failed replay falls back to the snapshot *counters included*: the
+    /// retry replays the whole pending stream from the snapshot, so the
+    /// prefix that succeeded on the first attempt must not be counted
+    /// twice.
+    #[test]
+    fn a_failed_replay_retry_does_not_double_count_the_replayed_prefix() {
+        let g = crate::test_support::ring_graph(12);
+        let frag = RangeEdgeCut::new(3).partition(&g).unwrap();
+        let s = GrapeSession::builder()
+            .workers(2)
+            .mode(EngineMode::Sync)
+            .max_supersteps(4)
+            .build()
+            .unwrap();
+        let mut server = GrapeServer::new(s.clone(), frag);
+        let flaky_prog = TrippablePrepare::new();
+        let flaky = server.register(flaky_prog.clone(), ()).unwrap();
+
+        // Two deltas arrive while cold: a no-op (always replays fine) and
+        // an insert whose full re-preparation diverges while tripped.
+        server.evict(&flaky).unwrap();
+        server.apply(&GraphDelta::new()).unwrap();
+        server.apply(&GraphDelta::new().add_edge(0, 2)).unwrap();
+
+        // First attempt: step 1 lands, step 2 fails → back to the snapshot.
+        flaky_prog.trip();
+        server.rehydrate(&flaky).unwrap_err();
+        assert!(server.is_evicted(&flaky).unwrap());
+
+        // Retry replays BOTH steps again; the first attempt's successful
+        // prefix was rolled back with the state, so nothing double-counts.
+        flaky_prog.heal();
+        let report = server.rehydrate(&flaky).unwrap();
+        assert_eq!(report.replayed.len(), 2);
+        let p = server.prepared(&flaky).unwrap().unwrap();
+        assert_eq!(p.updates_applied(), 2, "two deltas were ever absorbed");
+        assert_eq!(p.incremental_updates(), 1, "the no-op counted once");
+    }
+
+    /// A query can be poisoned *while behind*: it falls behind on a failed
+    /// full re-preparation, and a later catch-up replay fails on the
+    /// monotone/bounded (partial-consuming) path.  Its version must not be
+    /// allowed to fall below the pruned timeline base — every later access
+    /// must surface `PoisonedHandle`, never a panicking index underflow —
+    /// and the dead query must not pin the retained history.
+    #[test]
+    fn poisoned_mid_replay_surfaces_as_an_error_and_never_pins_history() {
+        let g = crate::test_support::ring_graph(12);
+        let frag = RangeEdgeCut::new(3).partition(&g).unwrap();
+        let s = GrapeSession::builder()
+            .workers(2)
+            .mode(EngineMode::Sync)
+            .max_supersteps(4)
+            .build()
+            .unwrap();
+        let mut server = GrapeServer::new(s.clone(), frag);
+        let healthy = server.register(MinForward, ()).unwrap();
+        let flaky_prog = TrippablePrepare::new();
+        let flaky = server.register(flaky_prog.clone(), ()).unwrap();
+
+        // Fall behind: the insert is non-monotone for the tripped program,
+        // its full re-preparation diverges, the handle stays at version 0.
+        flaky_prog.trip();
+        server.apply(&GraphDelta::new().add_edge(0, 2)).unwrap();
+        assert!(server.retained_versions() > 1);
+
+        // Replaying that insert now takes the (always-diverging) monotone
+        // path: the catch-up inside output() poisons the handle mid-replay.
+        flaky_prog.allow_monotone_inserts();
+        assert!(matches!(
+            server.output(&flaky).unwrap_err(),
+            ServeError::Engine(EngineError::DidNotConverge { .. })
+        ));
+
+        // Another query's round trip prunes the history the dead query no
+        // longer needs...
+        server.evict(&healthy).unwrap();
+        server.rehydrate(&healthy).unwrap();
+        assert_eq!(server.retained_versions(), 1, "poison does not pin");
+
+        // ...and the poisoned query keeps surfacing as an error — not a
+        // version-arithmetic panic — on every later access.
+        assert!(matches!(
+            server.output(&flaky).unwrap_err(),
+            ServeError::Engine(EngineError::PoisonedHandle)
+        ));
+        let recompute = s
+            .run(server.fragmentation(), &MinForward, &())
+            .unwrap()
+            .output;
+        assert_eq!(server.output(&healthy).unwrap(), recompute);
     }
 
     #[test]

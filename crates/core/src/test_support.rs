@@ -239,6 +239,142 @@ impl IncrementalPie for DivergingOnUpdate {
     }
 }
 
+/// A program whose **full re-preparation** can be made to fail on demand.
+/// Healthy, it is a trivial edge-counting program (partial = local edge
+/// count, output = their sum); tripped, its PEval seeds an escalation that
+/// [`PieProgram::inc_eval`] chases past the superstep limit
+/// (`DidNotConverge`).  By default every delta is declared non-monotone and
+/// the default `Component` damage policy swallows a connected quotient
+/// graph whole, so on a ring any update takes the full re-preparation path
+/// — the one refresh error that leaves the handle *unpoisoned* and
+/// consistent at the pre-delta graph.  Used to regression-test that the
+/// serving layer keeps such a query on its true (older) version and
+/// replays it later, instead of silently refreshing it with a mismatched
+/// delta.
+///
+/// [`TrippablePrepare::allow_monotone_inserts`] flips a second switch:
+/// insert-only deltas are then declared monotone, and the monotone refresh
+/// *always* diverges (its rebase seeds the same escalation) — the one
+/// refresh error that **poisons** the handle.  That combination lets a
+/// test drive a query behind first and poison it mid-replay afterwards.
+#[derive(Clone)]
+pub(crate) struct TrippablePrepare {
+    tripped: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    monotone_inserts: std::sync::Arc<std::sync::atomic::AtomicBool>,
+}
+
+impl TrippablePrepare {
+    pub(crate) fn new() -> Self {
+        TrippablePrepare {
+            tripped: std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false)),
+            monotone_inserts: std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false)),
+        }
+    }
+
+    /// Makes every subsequent full (re-)preparation diverge.
+    pub(crate) fn trip(&self) {
+        self.tripped
+            .store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    /// Lets subsequent preparations converge again.
+    pub(crate) fn heal(&self) {
+        self.tripped
+            .store(false, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    /// Declares insert-only deltas monotone from now on — and their rebase
+    /// seeds the diverging escalation, so the monotone refresh errors after
+    /// consuming the partials: the poisoning failure mode.
+    pub(crate) fn allow_monotone_inserts(&self) {
+        self.monotone_inserts
+            .store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+}
+
+impl PieProgram for TrippablePrepare {
+    type Query = ();
+    type Partial = u64;
+    type Key = VertexId;
+    type Value = u64;
+    type Output = u64;
+
+    fn name(&self) -> &str {
+        "trippable-prepare"
+    }
+
+    fn scope(&self) -> BorderScope {
+        BorderScope::Out
+    }
+
+    fn peval(&self, _q: &(), frag: &Fragment, ctx: &mut Messages<VertexId, u64>) -> u64 {
+        let edges = frag
+            .all_locals()
+            .map(|l| frag.out_edges(l).len() as u64)
+            .sum();
+        if self.tripped.load(std::sync::atomic::Ordering::SeqCst) {
+            for &l in frag.out_border_locals() {
+                ctx.send(frag.global_of(l), 1);
+            }
+        }
+        edges
+    }
+
+    fn inc_eval(
+        &self,
+        _q: &(),
+        frag: &Fragment,
+        _partial: &mut u64,
+        messages: &[(VertexId, u64)],
+        ctx: &mut Messages<VertexId, u64>,
+    ) {
+        // Only ever seeded while tripped: chase the escalation forever so
+        // the run hits the superstep limit.
+        if messages.is_empty() {
+            return;
+        }
+        let next = messages.iter().map(|&(_, v)| v).max().unwrap_or(0) + 1;
+        for &l in frag.out_border_locals() {
+            ctx.send(frag.global_of(l), next);
+        }
+    }
+
+    fn assemble(&self, _q: &(), partials: Vec<u64>) -> u64 {
+        partials.into_iter().sum()
+    }
+
+    fn aggregate(&self, _key: &VertexId, a: u64, b: u64) -> u64 {
+        a.max(b)
+    }
+}
+
+impl IncrementalPie for TrippablePrepare {
+    fn delta_is_monotone(&self, delta: &GraphDelta) -> bool {
+        self.monotone_inserts
+            .load(std::sync::atomic::Ordering::SeqCst)
+            && !delta.has_removals()
+    }
+
+    fn rebase(
+        &self,
+        _query: &(),
+        _old_frag: &Fragment,
+        new_frag: &Fragment,
+        partial: u64,
+        _delta: &FragmentDelta,
+    ) -> (u64, Vec<(VertexId, u64)>) {
+        // Only reachable with `allow_monotone_inserts`: seed the escalation
+        // through the rebuilt fragment's border so the refresh diverges and
+        // poisons the handle.
+        let sends = new_frag
+            .out_border_locals()
+            .iter()
+            .map(|&l| (new_frag.global_of(l), partial + 1))
+            .collect();
+        (partial, sends)
+    }
+}
+
 /// `0 → 1 → … → n-1` path graph.
 pub(crate) fn path_graph(n: u64) -> grape_graph::graph::Graph {
     let mut b = GraphBuilder::directed();

@@ -132,7 +132,7 @@ fn k_queries_share_one_delta_application() {
         // Shared storage: every handle's fragmentation is the server's,
         // fragment by fragment (Arc identity, not just equality).
         for h in &handles {
-            let prepared = server.prepared(h).unwrap();
+            let prepared = server.prepared(h).unwrap().unwrap();
             for i in 0..server.fragmentation().num_fragments() {
                 assert!(
                     server

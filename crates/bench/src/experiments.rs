@@ -6,7 +6,8 @@
 use crate::runner::{
     run_cc, run_cf, run_incremental_cc, run_incremental_cf, run_incremental_sim,
     run_incremental_sssp, run_incremental_subiso, run_refresh_comparison_sssp, run_serving,
-    run_sim, run_sim_ni, run_sim_optimized, run_sssp, run_subiso, RunRow, System,
+    run_serving_scaling, run_sim, run_sim_ni, run_sim_optimized, run_sssp, run_subiso, RunRow,
+    ScalingRow, System,
 };
 use crate::workloads::{self, Scale};
 
@@ -233,6 +234,35 @@ pub fn serving(scale: Scale) -> Vec<RunRow> {
         .map(|i| workloads::insertion_delta(&g, batch, 0xE0 + i))
         .collect();
     run_serving(&g, &sources, &deltas, n, "traffic")
+}
+
+/// The serving-**scaling** experiment (ROADMAP: "parallel refresh fan-out +
+/// delta pipelining"): `K` standing SSSP queries on one `GrapeServer`,
+/// swept over refresh fan-out widths {1, 2, 4} and the two arrival
+/// patterns (`stream` = one `apply` per delta, `batch` = pipelined
+/// `apply_batch` chunks).  The engine runs a single worker per refresh so
+/// the fan-out width is the only concurrency knob; each cell reports the
+/// per-delta latency distribution (p50/p99/mean) and sustained deltas/sec.
+/// Answer equality across every cell — and against a from-scratch
+/// recompute — is asserted inside the runner.
+///
+/// The checked-in `BENCH_serving_scaling.json` baseline records the curve
+/// on the CI machine; on a single-CPU host the widths collapse to the same
+/// latency (the fan-out still runs, the hardware just serializes it).
+pub fn serving_scaling(scale: Scale) -> Vec<ScalingRow> {
+    let g = workloads::traffic(scale);
+    let k = match scale {
+        Scale::Small => 8,
+        Scale::Medium => 12,
+        Scale::Large => 24,
+    };
+    let v = g.num_vertices() as u64;
+    let sources: Vec<u64> = (0..k).map(|i| (i as u64 * 23 + 1) % v).collect();
+    let batch = workloads::delta_batch_size(scale).min(32);
+    let deltas: Vec<grape_graph::delta::GraphDelta> = (0..8)
+        .map(|i| workloads::insertion_delta(&g, batch, 0xF0 + i))
+        .collect();
+    run_serving_scaling(&g, &sources, &deltas, &[1, 2, 4], 4, "traffic")
 }
 
 /// Figure 8 is the communication view of the Figure 6 runs; the same rows are

@@ -709,6 +709,226 @@ pub fn run_serving(
     ]
 }
 
+/// One cell of the serving-scaling experiment: `K` standing queries, a
+/// refresh fan-out width, an arrival pattern, and the per-delta latency
+/// distribution it produced.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScalingRow {
+    /// Workload name.
+    pub workload: String,
+    /// Number of standing queries.
+    pub k: usize,
+    /// Refresh fan-out width ([`grape_core::serve::GrapeServer::threads`]).
+    pub threads: usize,
+    /// Arrival pattern: `stream` (one `apply` per delta) or `batch`
+    /// (pipelined `apply_batch` in chunks).
+    pub arrival: String,
+    /// Median per-delta latency in milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile per-delta latency in milliseconds.
+    pub p99_ms: f64,
+    /// Mean per-delta latency in milliseconds.
+    pub mean_ms: f64,
+    /// Sustained throughput over the whole stream.
+    pub deltas_per_sec: f64,
+}
+
+/// The serving-scaling experiment: `K` standing SSSP queries on one
+/// [`grape_core::serve::GrapeServer`], swept over refresh fan-out widths
+/// and two arrival patterns.  The engine runs **one** worker per refresh so
+/// the fan-out is the only parallelism being measured; the per-delta
+/// latency distribution ([`grape_core::metrics::LatencySummary`]) and the
+/// sustained deltas/sec are the tracked artifact.
+///
+/// Answer equality is asserted *inside* the runner: every (threads,
+/// arrival) cell must produce distances identical to the first cell and to
+/// a from-scratch recompute on the final graph — the fan-out and the
+/// pipeline are not allowed to buy latency with wrong answers.
+pub fn run_serving_scaling(
+    graph: &Graph,
+    sources: &[VertexId],
+    deltas: &[grape_graph::delta::GraphDelta],
+    thread_counts: &[usize],
+    fragments: usize,
+    workload: &str,
+) -> Vec<ScalingRow> {
+    use grape_core::metrics::LatencySummary;
+    use grape_core::serve::GrapeServer;
+    use std::time::{Duration, Instant};
+
+    let session = grape_session(1);
+    let k = sources.len();
+    let frag = partition(graph, fragments);
+    const BATCH_CHUNK: usize = 4;
+
+    let mut rows = Vec::new();
+    let mut reference: Option<Vec<grape_algorithms::sssp::SsspResult>> = None;
+    for &threads in thread_counts {
+        for arrival in ["stream", "batch"] {
+            let mut server = GrapeServer::new(session.clone(), frag.clone()).threads(threads);
+            let handles: Vec<_> = sources
+                .iter()
+                .map(|&src| {
+                    server
+                        .register(Sssp, SsspQuery::new(src))
+                        .expect("register scaling query")
+                })
+                .collect();
+
+            let mut samples: Vec<Duration> = Vec::with_capacity(deltas.len());
+            let start = Instant::now();
+            match arrival {
+                "stream" => {
+                    for delta in deltas {
+                        let t = Instant::now();
+                        let report = server.apply(delta).expect("scaling apply");
+                        samples.push(t.elapsed());
+                        for refresh in &report.refreshed {
+                            assert!(refresh.result.is_ok(), "scaling refresh failed");
+                        }
+                    }
+                }
+                _ => {
+                    for chunk in deltas.chunks(BATCH_CHUNK) {
+                        let t = Instant::now();
+                        let batch = server.apply_batch(chunk);
+                        let elapsed = t.elapsed();
+                        assert!(batch.rejected.is_none(), "scaling batch rejected");
+                        // The pipeline amortizes the chunk; attribute the
+                        // mean share to each delta for the distribution.
+                        samples.extend(std::iter::repeat_n(
+                            elapsed / chunk.len() as u32,
+                            chunk.len(),
+                        ));
+                    }
+                }
+            }
+            let total = start.elapsed().as_secs_f64();
+            assert_eq!(server.deltas_applied(), deltas.len());
+
+            // Answer equality across every cell — and vs a recompute.
+            let outputs: Vec<_> = handles
+                .iter()
+                .map(|h| server.output(h).expect("scaling output"))
+                .collect();
+            match &reference {
+                None => {
+                    for (i, (&src, out)) in sources.iter().zip(&outputs).enumerate() {
+                        let recompute = session
+                            .run(server.fragmentation(), &Sssp, &SsspQuery::new(src))
+                            .expect("scaling recompute");
+                        assert_eq!(
+                            out.distances().len(),
+                            recompute.output.distances().len(),
+                            "query {i} diverged from recompute"
+                        );
+                        for (v, d) in out.distances() {
+                            let other = recompute.output.distances()[v];
+                            assert!(
+                                (d - other).abs() < 1e-9,
+                                "query {i}: dist({v}) {d} vs recompute {other}"
+                            );
+                        }
+                    }
+                    reference = Some(outputs);
+                }
+                Some(reference) => {
+                    for (i, (out, base)) in outputs.iter().zip(reference).enumerate() {
+                        assert_eq!(out.distances().len(), base.distances().len());
+                        for (v, d) in out.distances() {
+                            let other = base.distances()[v];
+                            assert!(
+                                (d - other).abs() < 1e-9,
+                                "threads={threads} {arrival} query {i}: \
+                                 dist({v}) {d} vs {other}"
+                            );
+                        }
+                    }
+                }
+            }
+
+            let summary = LatencySummary::from_durations(&samples);
+            rows.push(ScalingRow {
+                workload: workload.to_string(),
+                k,
+                threads,
+                arrival: arrival.to_string(),
+                p50_ms: summary.p50_ms,
+                p99_ms: summary.p99_ms,
+                mean_ms: summary.mean_ms,
+                deltas_per_sec: deltas.len() as f64 / total.max(1e-12),
+            });
+        }
+    }
+    rows
+}
+
+/// A [`ScalingRow`] tagged with its experiment and scale — the record of
+/// the `BENCH_serving_scaling.json` baseline.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScalingExport {
+    /// Experiment id (`serving_scaling`).
+    pub experiment: String,
+    /// Workload scale (`small`, `medium`, `large`).
+    pub scale: String,
+    /// Workload name.
+    pub workload: String,
+    /// Number of standing queries.
+    pub k: usize,
+    /// Refresh fan-out width.
+    pub threads: usize,
+    /// Arrival pattern (`stream` / `batch`).
+    pub arrival: String,
+    /// Median per-delta latency in milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile per-delta latency in milliseconds.
+    pub p99_ms: f64,
+    /// Mean per-delta latency in milliseconds.
+    pub mean_ms: f64,
+    /// Sustained throughput over the whole stream.
+    pub deltas_per_sec: f64,
+}
+
+/// Formats scaling rows as JSON Lines (the `BENCH_serving_scaling.json`
+/// format).
+pub fn format_scaling_json(experiment: &str, scale: &str, rows: &[ScalingRow]) -> String {
+    let mut out = String::new();
+    for row in rows {
+        let export = ScalingExport {
+            experiment: experiment.to_string(),
+            scale: scale.to_string(),
+            workload: row.workload.clone(),
+            k: row.k,
+            threads: row.threads,
+            arrival: row.arrival.clone(),
+            p50_ms: row.p50_ms,
+            p99_ms: row.p99_ms,
+            mean_ms: row.mean_ms,
+            deltas_per_sec: row.deltas_per_sec,
+        };
+        out.push_str(&serde_json::to_string(&export).expect("ScalingExport serializes"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats scaling rows as an aligned text table.
+pub fn format_scaling_table(title: &str, rows: &[ScalingRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("\n== {title} ==\n"));
+    out.push_str(&format!(
+        "{:<16} {:>3} {:>7} {:<8} {:>10} {:>10} {:>10} {:>12}\n",
+        "workload", "K", "threads", "arrival", "p50 (ms)", "p99 (ms)", "mean (ms)", "deltas/sec"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<16} {:>3} {:>7} {:<8} {:>10.3} {:>10.3} {:>10.3} {:>12.2}\n",
+            r.workload, r.k, r.threads, r.arrival, r.p50_ms, r.p99_ms, r.mean_ms, r.deltas_per_sec
+        ));
+    }
+    out
+}
+
 /// A [`RunRow`] tagged with the experiment (table/figure) and scale it came
 /// from — the machine-readable record emitted by `experiments --format
 /// json|csv`, one per (algorithm, system, scale) run, so figures can be

@@ -53,15 +53,18 @@ pub mod prepared;
 pub mod serve;
 pub mod session;
 pub mod simulate;
-#[cfg(test)]
-pub(crate) mod test_support;
+#[doc(hidden)]
+pub mod test_support;
 pub mod transport;
 
 pub use config::{EngineConfig, EngineMode};
 pub use engine::{EngineError, RunResult};
-pub use metrics::EngineMetrics;
+pub use metrics::{EngineMetrics, LatencySummary};
 pub use pie::{IncrementalPie, KeyVertex, Messages, PieProgram};
 pub use prepared::{PreparedQuery, RefreshKind, UpdateReport};
-pub use serve::{GrapeServer, QueryHandle, RehydrationReport, ServeError, ServeReport};
+pub use serve::{
+    BatchRejection, BatchReport, EvictionPolicy, GrapeServer, QueryHandle, RehydrationReport,
+    ServeError, ServeReport,
+};
 pub use session::{GrapeSession, GrapeSessionBuilder};
 pub use transport::{Transport, TransportSpec};

@@ -128,9 +128,71 @@ impl EngineMetrics {
     }
 }
 
+/// Latency statistics over a set of per-operation durations — what the
+/// serving-scaling experiment reports per (K, threads, arrival-pattern)
+/// cell.  Percentiles use the nearest-rank method on the sorted samples,
+/// so `p50`/`p99` are always actual observed values.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Number of samples summarized.
+    pub samples: usize,
+    /// Arithmetic mean, in milliseconds.
+    pub mean_ms: f64,
+    /// Median (50th percentile), in milliseconds.
+    pub p50_ms: f64,
+    /// 99th percentile, in milliseconds.
+    pub p99_ms: f64,
+    /// Worst observed latency, in milliseconds.
+    pub max_ms: f64,
+}
+
+impl LatencySummary {
+    /// Summarizes a set of durations; all-zero for an empty slice.
+    pub fn from_durations(samples: &[Duration]) -> Self {
+        if samples.is_empty() {
+            return LatencySummary::default();
+        }
+        let mut ms: Vec<f64> = samples.iter().map(|d| d.as_secs_f64() * 1e3).collect();
+        ms.sort_by(|a, b| a.partial_cmp(b).expect("durations are never NaN"));
+        let mean = ms.iter().sum::<f64>() / ms.len() as f64;
+        LatencySummary {
+            samples: ms.len(),
+            mean_ms: mean,
+            p50_ms: percentile(&ms, 50.0),
+            p99_ms: percentile(&ms, 99.0),
+            max_ms: *ms.last().expect("non-empty"),
+        }
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn latency_summary_uses_nearest_rank_percentiles() {
+        let samples: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        let s = LatencySummary::from_durations(&samples);
+        assert_eq!(s.samples, 100);
+        assert!((s.p50_ms - 50.0).abs() < 1e-9);
+        assert!((s.p99_ms - 99.0).abs() < 1e-9);
+        assert!((s.max_ms - 100.0).abs() < 1e-9);
+        assert!((s.mean_ms - 50.5).abs() < 1e-9);
+
+        let one = LatencySummary::from_durations(&[Duration::from_millis(7)]);
+        assert!((one.p50_ms - 7.0).abs() < 1e-9);
+        assert!((one.p99_ms - 7.0).abs() < 1e-9);
+
+        let empty = LatencySummary::from_durations(&[]);
+        assert_eq!(empty.samples, 0);
+        assert_eq!(empty.max_ms, 0.0);
+    }
 
     #[test]
     fn push_superstep_accumulates_totals() {

@@ -44,6 +44,24 @@
 //! it — exactly like an evicted query — before its next refresh or
 //! `output()`; it is never handed a [`DeltaApplication`] derived from a
 //! fragmentation it does not hold.
+//!
+//! **Concurrency.**  Within one [`GrapeServer::apply`] the per-query
+//! refreshes fan out over a scoped worker pool ([`GrapeServer::threads`]):
+//! each slot owns its partials, the single [`DeltaApplication`] is shared
+//! read-only, and the per-slot outcomes are merged into one [`ServeReport`]
+//! sorted by handle id — byte-identical regardless of completion order.
+//! Everything that needs the whole server (catch-up replay, timeline
+//! bookkeeping, pruning, eviction) stays serialized around the fan-out.
+//! [`GrapeServer::apply_batch`] additionally pipelines the partition work:
+//! while the queries refresh against `ΔG_n`, a dedicated thread is already
+//! running `Fragmentation::apply_delta` for `ΔG_{n+1}`; with
+//! [`GrapeServer::group_commit`] enabled, small consecutive
+//! edge-insert-only deltas merge into a single `DeltaApplication` (the
+//! merge is restricted to that shape because removals and vertex inserts
+//! validate against the pre-batch graph — see
+//! [`GraphDelta::is_edge_insert_only`]).  The server can also spill cold
+//! queries on its own via an [`EvictionPolicy`] driven by touch recency
+//! and resident partial bytes.
 
 use std::any::Any;
 use std::io::{Read, Write};
@@ -187,12 +205,17 @@ pub struct QueryRefresh {
 pub struct ServeReport {
     /// Timeline version after this delta.
     pub version: usize,
+    /// Raw deltas this commit absorbed — `1` for [`GrapeServer::apply`],
+    /// the group size for a group-committed [`GrapeServer::apply_batch`]
+    /// step.
+    pub deltas: usize,
     /// Fragments the **single** delta application rebuilt — by construction
     /// identical to the `rebuilt` set of every per-query [`UpdateReport`].
     pub rebuilt: Vec<usize>,
     /// Fragments whose `Arc` storage every query keeps sharing verbatim.
     pub reused: usize,
-    /// Per-query refresh outcomes, in registration order.
+    /// Per-query refresh outcomes, sorted by query id (the concurrent
+    /// fan-out completes in arbitrary order; the report never shows it).
     pub refreshed: Vec<QueryRefresh>,
     /// Resident queries that were behind (an earlier full re-preparation
     /// failed) and were caught up by replaying the retained steps before
@@ -204,6 +227,9 @@ pub struct ServeReport {
     pub deferred: Vec<usize>,
     /// Queries skipped because an earlier failed refresh poisoned them.
     pub poisoned: Vec<usize>,
+    /// Queries the server's [`EvictionPolicy`] spilled after this commit
+    /// (empty under [`EvictionPolicy::Manual`]).
+    pub evicted: Vec<usize>,
 }
 
 impl ServeReport {
@@ -215,6 +241,88 @@ impl ServeReport {
             .filter_map(|r| r.result.as_ref().ok())
             .map(|r| r.metrics.peval_calls)
             .sum()
+    }
+}
+
+/// What one [`GrapeServer::apply_batch`] did: one [`ServeReport`] per
+/// committed group, in stream order, plus the rejection (if any) that
+/// stopped the batch.  Commits made before a rejection are durable — the
+/// timeline advanced and every resident query refreshed — which is why a
+/// batch returns a report instead of an all-or-nothing `Result`.
+#[derive(Debug)]
+pub struct BatchReport {
+    /// One report per committed group (a group is one delta unless
+    /// [`GrapeServer::group_commit`] merged consecutive edge-insert-only
+    /// deltas).
+    pub reports: Vec<ServeReport>,
+    /// Present when the partition layer rejected a delta; everything from
+    /// that delta on was not applied.
+    pub rejected: Option<BatchRejection>,
+}
+
+impl BatchReport {
+    /// Raw deltas the batch durably committed (counts every member of a
+    /// merged group).
+    pub fn deltas_committed(&self) -> usize {
+        self.reports.iter().map(|r| r.deltas).sum()
+    }
+}
+
+/// A delta the partition layer rejected mid-batch.
+#[derive(Debug)]
+pub struct BatchRejection {
+    /// Index **into the caller's slice** of the first raw delta of the
+    /// rejected group.
+    pub index: usize,
+    /// The partition layer's reason.
+    pub reason: String,
+}
+
+/// When the server itself spills queries to disk (on top of explicit
+/// [`GrapeServer::evict`] calls, which always work).
+///
+/// Recency is *user interest*: [`GrapeServer::register`],
+/// [`GrapeServer::rehydrate`] and [`GrapeServer::output`] touch a query;
+/// the server's own refreshes do not.  The policy is enforced after
+/// `register` and after every commit — a just-rehydrated query may
+/// transiently exceed the limit until the next delta arrives, so an actively
+/// watched query is never spilled in the middle of its `output()`.
+/// Poisoned queries cannot be spilled (their partials are gone) and are
+/// skipped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvictionPolicy {
+    /// Only explicit [`GrapeServer::evict`] calls spill queries (default).
+    Manual,
+    /// Keep at most `max_resident` queries resident; beyond that the
+    /// least-recently-touched resident query spills.
+    Lru {
+        /// Resident-query cap.
+        max_resident: usize,
+    },
+    /// Keep the serialized size of all resident partials
+    /// ([`GrapeServer::resident_partial_bytes`]) within `bytes`, spilling
+    /// least-recently-touched queries until it fits.
+    MemoryBudget {
+        /// Resident partial-bytes cap.
+        bytes: usize,
+    },
+}
+
+/// An `io::Write` sink that only counts bytes: measures the serialized size
+/// of resident partials for [`EvictionPolicy::MemoryBudget`] without
+/// building the spill image in memory.
+#[derive(Default)]
+struct ByteCounter {
+    bytes: usize,
+}
+
+impl Write for ByteCounter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.bytes += buf.len();
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
     }
 }
 
@@ -268,6 +376,9 @@ trait ServedQuery: Send {
     /// The entry's current counters/metrics — from the live handle when
     /// resident, from the cold state when evicted.
     fn bookkeeping(&self) -> QueryBookkeeping;
+    /// Serialized size of the resident partials (`0` when evicted): the
+    /// unit [`EvictionPolicy::MemoryBudget`] accounts in.
+    fn partial_bytes(&self) -> usize;
     fn is_evicted(&self) -> bool;
     fn is_poisoned(&self) -> bool;
     fn as_any(&self) -> &dyn Any;
@@ -453,6 +564,21 @@ where
         }
     }
 
+    fn partial_bytes(&self) -> usize {
+        match &self.prepared {
+            Some(p) => {
+                let mut counter = ByteCounter::default();
+                for partial in &p.partials {
+                    if write_value_tree(&mut counter, &partial.to_value()).is_err() {
+                        return 0;
+                    }
+                }
+                counter.bytes
+            }
+            None => 0,
+        }
+    }
+
     fn is_evicted(&self) -> bool {
         self.cold.is_some()
     }
@@ -470,6 +596,18 @@ where
 struct Slot {
     entry: Box<dyn ServedQuery>,
     version: usize,
+    /// Logical timestamp of the last *user* touch (register / rehydrate /
+    /// output); drives [`EvictionPolicy`] recency.
+    last_touch: u64,
+}
+
+/// One planned commit of an [`GrapeServer::apply_batch`]: the (possibly
+/// merged) delta, the index of its first raw delta in the caller's slice,
+/// and how many raw deltas it absorbs.
+struct DeltaGroup {
+    start: usize,
+    raw: usize,
+    delta: GraphDelta,
 }
 
 /// A server multiplexing many prepared queries over one evolving graph.
@@ -492,6 +630,21 @@ pub struct GrapeServer {
     /// This server's process-unique token, stamped into every issued
     /// [`QueryHandle`].
     token: usize,
+    /// Refresh fan-out width (≥ 1); seeded from the session's
+    /// `refresh_threads`, overridable with [`GrapeServer::threads`].  Never
+    /// clamped to the machine's parallelism — the caller asked for this
+    /// width.
+    refresh_threads: usize,
+    /// Group-commit cap in delta ops; `0` disables grouping (the default:
+    /// every delta of an `apply_batch` is its own commit).
+    group_limit: usize,
+    /// Server-driven eviction policy.
+    policy: EvictionPolicy,
+    /// Monotone clock behind [`Slot::last_touch`].
+    touch_clock: u64,
+    /// Raw deltas absorbed — counts every member of a group-committed
+    /// batch, so it can exceed the number of timeline commits.
+    deltas_absorbed: usize,
 }
 
 impl GrapeServer {
@@ -516,6 +669,7 @@ impl GrapeServer {
         fragmentation: Fragmentation,
         spill_dir: PathBuf,
     ) -> Self {
+        let refresh_threads = session.config().refresh_threads.max(1);
         GrapeServer {
             session,
             base: 0,
@@ -525,7 +679,48 @@ impl GrapeServer {
             spill_dir,
             owns_spill_dir: false,
             token: SERVER_SEQ.fetch_add(1, Ordering::Relaxed),
+            refresh_threads,
+            group_limit: 0,
+            policy: EvictionPolicy::Manual,
+            touch_clock: 0,
+            deltas_absorbed: 0,
         }
+    }
+
+    /// Sets the refresh fan-out width: up to `n` resident queries refresh
+    /// concurrently per commit (clamped to ≥ 1, and at run time to the
+    /// number of queries actually ready).  Deliberately **not** clamped to
+    /// the machine's parallelism.  Each refresh still runs its own engine
+    /// with the session's `num_workers` threads, so the total thread demand
+    /// is `n × num_workers`.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.refresh_threads = n.max(1);
+        self
+    }
+
+    /// Enables group-commit for [`GrapeServer::apply_batch`]: consecutive
+    /// deltas merge into one commit while the merged batch stays within
+    /// `max_ops` updates **and** every appended delta is edge-insert-only
+    /// ([`GraphDelta::is_edge_insert_only`] explains why other shapes are
+    /// not sequential-equivalent under merging).  Any delta may *start* a
+    /// group.  `0` (the default) disables grouping.
+    pub fn group_commit(mut self, max_ops: usize) -> Self {
+        self.group_limit = max_ops;
+        self
+    }
+
+    /// Sets the server-driven [`EvictionPolicy`] (default
+    /// [`EvictionPolicy::Manual`]).  Enforced after `register` and after
+    /// every commit; spills performed by a commit are listed in
+    /// [`ServeReport::evicted`].
+    pub fn eviction_policy(mut self, policy: EvictionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The configured refresh fan-out width.
+    pub fn refresh_threads(&self) -> usize {
+        self.refresh_threads
     }
 
     /// The current fragmentation (the newest timeline version).
@@ -533,15 +728,24 @@ impl GrapeServer {
         self.timeline.last().expect("timeline is never empty")
     }
 
-    /// The current timeline version — equals the number of deltas applied.
+    /// The current timeline version — the number of commits.  Equals
+    /// [`GrapeServer::deltas_applied`] unless [`GrapeServer::group_commit`]
+    /// merged consecutive deltas into one commit.
     pub fn version(&self) -> usize {
         self.base + self.timeline.len() - 1
     }
 
-    /// How many deltas this server has applied (each exactly once,
-    /// regardless of how many queries are registered).
+    /// How many raw deltas this server has absorbed (each applied to the
+    /// shared fragmentation exactly once — possibly group-committed with
+    /// its neighbors — regardless of how many queries are registered).
     pub fn deltas_applied(&self) -> usize {
-        self.version()
+        self.deltas_absorbed
+    }
+
+    /// Serialized size of every resident query's partials — what
+    /// [`EvictionPolicy::MemoryBudget`] accounts against.
+    pub fn resident_partial_bytes(&self) -> usize {
+        self.slots.iter().map(|s| s.entry.partial_bytes()).sum()
     }
 
     /// How many timeline versions are currently retained — `1` when every
@@ -580,12 +784,21 @@ impl GrapeServer {
                 cold: None,
             }),
             version: self.version(),
+            last_touch: 0,
         });
+        self.touch(id);
+        self.enforce_policy();
         Ok(QueryHandle {
             server: self.token,
             id,
             _marker: PhantomData,
         })
+    }
+
+    /// Records user interest in a slot (LRU recency).
+    fn touch(&mut self, id: usize) {
+        self.touch_clock += 1;
+        self.slots[id].last_touch = self.touch_clock;
     }
 
     /// Applies one `ΔG` to the shared fragmentation — **one**
@@ -599,11 +812,113 @@ impl GrapeServer {
     /// step and replays it into the query before its next refresh or
     /// output.  The server and the other queries keep going either way.
     pub fn apply(&mut self, delta: &GraphDelta) -> Result<ServeReport, ServeError> {
-        let current = self.version();
         let applied = self
             .fragmentation()
             .apply_delta(delta)
             .map_err(|e| ServeError::Delta(e.to_string()))?;
+        Ok(self.commit(applied, delta, 1))
+    }
+
+    /// Applies a whole delta stream, pipelined: a dedicated thread runs
+    /// `Fragmentation::apply_delta` for `ΔG_{n+1}` while the registered
+    /// queries still refresh against `ΔG_n` (the partition work and the
+    /// refresh fan-out overlap; the commits themselves stay in stream
+    /// order).  With [`GrapeServer::group_commit`] enabled, consecutive
+    /// edge-insert-only deltas merge into one commit first.
+    ///
+    /// A rejected delta stops the batch: everything committed before it is
+    /// durable and reported, the rejection carries the caller-slice index
+    /// of the offending delta, and nothing after it is applied — which is
+    /// why this returns a [`BatchReport`] rather than an all-or-nothing
+    /// `Result`.  Per-query refresh *failures* never stop a batch (exactly
+    /// as in [`GrapeServer::apply`], they are recorded in the group's
+    /// [`ServeReport`] and the failed slot keeps its true version).
+    pub fn apply_batch(&mut self, deltas: &[GraphDelta]) -> BatchReport {
+        let groups = self.plan_groups(deltas);
+        let mut reports = Vec::with_capacity(groups.len());
+        let mut rejected = None;
+        let base = self.fragmentation().clone();
+        type Applied = Result<DeltaApplication, (usize, String)>;
+        let (tx, rx) = std::sync::mpsc::sync_channel::<Applied>(1);
+        std::thread::scope(|scope| {
+            let planned = &groups;
+            scope.spawn(move || {
+                // The applier chains apply_delta group by group off the
+                // snapshot it started from; commit() pushes the exact same
+                // fragmentation values onto the timeline, in the same
+                // order, so the main thread never observes a fork.
+                let mut frag = base;
+                for group in planned {
+                    match frag.apply_delta(&group.delta) {
+                        Ok(applied) => {
+                            frag = applied.fragmentation.clone();
+                            if tx.send(Ok(applied)).is_err() {
+                                return;
+                            }
+                        }
+                        Err(e) => {
+                            let _ = tx.send(Err((group.start, e.to_string())));
+                            return;
+                        }
+                    }
+                }
+            });
+            for group in &groups {
+                match rx.recv() {
+                    Ok(Ok(applied)) => {
+                        reports.push(self.commit(applied, &group.delta, group.raw));
+                    }
+                    Ok(Err((index, reason))) => {
+                        rejected = Some(BatchRejection { index, reason });
+                        break;
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        BatchReport { reports, rejected }
+    }
+
+    /// Splits a delta stream into commit groups under the
+    /// [`GrapeServer::group_commit`] rule: any delta starts a group; a
+    /// delta joins the open group only if it is edge-insert-only and the
+    /// merged size stays within the cap.
+    fn plan_groups(&self, deltas: &[GraphDelta]) -> Vec<DeltaGroup> {
+        let mut groups: Vec<DeltaGroup> = Vec::new();
+        for (i, delta) in deltas.iter().enumerate() {
+            if self.group_limit > 0 {
+                if let Some(open) = groups.last_mut() {
+                    if delta.is_edge_insert_only()
+                        && open.delta.len() + delta.len() <= self.group_limit
+                    {
+                        open.delta = std::mem::take(&mut open.delta).merge(delta);
+                        open.raw += 1;
+                        continue;
+                    }
+                }
+            }
+            groups.push(DeltaGroup {
+                start: i,
+                raw: 1,
+                delta: delta.clone(),
+            });
+        }
+        groups
+    }
+
+    /// One commit: fans `applied` out to every ready resident query (on up
+    /// to `refresh_threads` scoped workers), merges the outcomes into an
+    /// id-sorted [`ServeReport`], and advances the timeline.  Everything
+    /// except the refreshes themselves — catch-up replay, version
+    /// bookkeeping, retention/pruning, policy eviction — runs on the
+    /// calling thread.
+    fn commit(
+        &mut self,
+        applied: DeltaApplication,
+        delta: &GraphDelta,
+        raw_deltas: usize,
+    ) -> ServeReport {
+        let current = self.version();
         let rebuilt: Vec<usize> = applied.affected.iter().map(|fd| fd.fragment).collect();
         let reused = applied.fragmentation.num_fragments() - rebuilt.len();
         let new_version = current + 1;
@@ -612,6 +927,11 @@ impl GrapeServer {
         let mut caught_up = Vec::new();
         let mut deferred = Vec::new();
         let mut poisoned = Vec::new();
+        // Sequential pre-pass: classify every slot, catching up the ones
+        // left behind by an earlier failed full re-preparation (replay
+        // needs the whole server — timeline indices and slot versions — so
+        // it cannot ride the fan-out).
+        let mut ready = Vec::new();
         for id in 0..self.slots.len() {
             if self.slots[id].entry.is_evicted() {
                 deferred.push(id);
@@ -647,7 +967,20 @@ impl GrapeServer {
                     }
                 }
             }
-            let result = self.slots[id].entry.refresh(&applied, delta);
+            ready.push(id);
+        }
+
+        // Concurrent fan-out: each ready slot refreshes against the shared
+        // read-only DeltaApplication with exclusive access to its own
+        // partials.
+        let results = Self::refresh_ready(
+            &mut self.slots,
+            &ready,
+            self.refresh_threads,
+            &applied,
+            delta,
+        );
+        for (id, result) in results {
             if result.is_ok() || self.slots[id].entry.is_poisoned() {
                 // Success, or quarantined forever: the query never replays
                 // this step.
@@ -658,6 +991,8 @@ impl GrapeServer {
             // retained below replays into it later.
             refreshed.push(QueryRefresh { query: id, result });
         }
+        // Deterministic report regardless of fan-out completion order.
+        refreshed.sort_by_key(|q| q.query);
 
         if self.slots.iter().all(|s| s.version == new_version) {
             // Hot path — everyone is resident and caught up, so no query
@@ -677,15 +1012,115 @@ impl GrapeServer {
             self.timeline.push(applied.fragmentation);
             self.prune();
         }
-        Ok(ServeReport {
+        self.deltas_absorbed += raw_deltas;
+        let evicted = self.enforce_policy();
+        ServeReport {
             version: new_version,
+            deltas: raw_deltas,
             rebuilt,
             reused,
             refreshed,
             caught_up,
             deferred,
             poisoned,
-        })
+            evicted,
+        }
+    }
+
+    /// Refreshes the ready slots, fanning out over up to `threads` scoped
+    /// workers pulling from one shared queue.  Returns `(id, outcome)`
+    /// pairs sorted by id.  An associated function over the slot slice (not
+    /// `&mut self`) so the commit loop above can keep borrowing the rest of
+    /// the server.
+    fn refresh_ready(
+        slots: &mut [Slot],
+        ready: &[usize],
+        threads: usize,
+        applied: &DeltaApplication,
+        delta: &GraphDelta,
+    ) -> Vec<(usize, Result<UpdateReport, EngineError>)> {
+        let width = threads.max(1).min(ready.len());
+        if width <= 1 {
+            return ready
+                .iter()
+                .map(|&id| (id, slots[id].entry.refresh(applied, delta)))
+                .collect();
+        }
+        // `ready` is ascending by construction, so membership is a binary
+        // search away and the job list keeps slot order (workers may still
+        // finish out of order; the sort below restores it).
+        let jobs: Vec<(usize, &mut Box<dyn ServedQuery>)> = slots
+            .iter_mut()
+            .enumerate()
+            .filter(|(id, _)| ready.binary_search(id).is_ok())
+            .map(|(id, slot)| (id, &mut slot.entry))
+            .collect();
+        let queue = std::sync::Mutex::new(jobs.into_iter());
+        let results = std::sync::Mutex::new(Vec::with_capacity(ready.len()));
+        std::thread::scope(|scope| {
+            for _ in 0..width {
+                scope.spawn(|| loop {
+                    let job = queue.lock().expect("refresh queue lock").next();
+                    let Some((id, entry)) = job else { break };
+                    let result = entry.refresh(applied, delta);
+                    results
+                        .lock()
+                        .expect("refresh results lock")
+                        .push((id, result));
+                });
+            }
+        });
+        let mut out = results.into_inner().expect("refresh results lock");
+        out.sort_by_key(|(id, _)| *id);
+        out
+    }
+
+    /// Spills slot `id` to its spill file (shared by explicit
+    /// [`GrapeServer::evict`] and the [`EvictionPolicy`]).
+    fn spill_slot(&mut self, id: usize) -> Result<PathBuf, ServeError> {
+        std::fs::create_dir_all(&self.spill_dir)?;
+        let path = self.spill_dir.join(format!("query-{id}.spill"));
+        self.slots[id].entry.evict(&path)?;
+        Ok(path)
+    }
+
+    fn over_budget(&self) -> bool {
+        match self.policy {
+            EvictionPolicy::Manual => false,
+            EvictionPolicy::Lru { max_resident } => {
+                self.slots.iter().filter(|s| !s.entry.is_evicted()).count() > max_resident
+            }
+            EvictionPolicy::MemoryBudget { bytes } => self.resident_partial_bytes() > bytes,
+        }
+    }
+
+    /// Spills least-recently-touched resident queries until the policy is
+    /// satisfied (or no spillable candidate remains — poisoned entries
+    /// cannot spill, and a slot whose spill failed is not retried within
+    /// one enforcement pass).  Returns the ids spilled.
+    fn enforce_policy(&mut self) -> Vec<usize> {
+        let mut evicted = Vec::new();
+        if self.policy == EvictionPolicy::Manual {
+            return evicted;
+        }
+        let mut skipped: Vec<usize> = Vec::new();
+        while self.over_budget() {
+            let victim = self
+                .slots
+                .iter()
+                .enumerate()
+                .filter(|(id, s)| {
+                    !s.entry.is_evicted() && !s.entry.is_poisoned() && !skipped.contains(id)
+                })
+                .min_by_key(|(_, s)| s.last_touch)
+                .map(|(id, _)| id);
+            let Some(id) = victim else { break };
+            match self.spill_slot(id) {
+                Ok(_) => evicted.push(id),
+                Err(_) => skipped.push(id),
+            }
+        }
+        evicted
     }
 
     /// Replays the retained steps from a **resident** query's version up to
@@ -733,14 +1168,10 @@ impl GrapeServer {
         P::Partial: Serialize + Deserialize,
     {
         self.check_handle::<P>(handle)?;
-        let slot = &mut self.slots[handle.id];
-        if slot.entry.is_evicted() {
+        if self.slots[handle.id].entry.is_evicted() {
             return Err(ServeError::AlreadyEvicted(handle.id));
         }
-        std::fs::create_dir_all(&self.spill_dir)?;
-        let path = self.spill_dir.join(format!("query-{}.spill", handle.id));
-        slot.entry.evict(&path)?;
-        Ok(path)
+        self.spill_slot(handle.id)
     }
 
     /// Reloads an evicted query from its spill file — zero PEval calls,
@@ -761,6 +1192,7 @@ impl GrapeServer {
     {
         self.check_handle::<P>(handle)?;
         let id = handle.id;
+        self.touch(id);
         let current = self.version();
         if !self.slots[id].entry.is_evicted() {
             // Resident — but possibly behind: catch it up so output()
@@ -1370,5 +1802,313 @@ mod tests {
         let recompute = s.run(server.fragmentation(), &MinForward, &()).unwrap();
         assert_eq!(server.output(&healthy).unwrap(), recompute.output);
         assert_eq!(server.retained_versions(), 1, "poison does not pin history");
+    }
+
+    /// The concurrent fan-out is invisible: reports (ids, order, outcomes)
+    /// and outputs are identical whatever the thread count.
+    #[test]
+    fn fan_out_width_never_changes_reports_or_outputs() {
+        for mode in [EngineMode::Sync, EngineMode::Async] {
+            let deltas = [
+                GraphDelta::new().add_edge(0, 2),
+                GraphDelta::new().remove_edge(5, 6),
+                GraphDelta::new().add_edge(3, 9),
+            ];
+            let mut baseline: Option<Vec<Vec<usize>>> = None;
+            for threads in [1usize, 3] {
+                let g = path_graph(12);
+                let frag = RangeEdgeCut::new(3).partition(&g).unwrap();
+                let mut server = GrapeServer::new(session(mode), frag).threads(threads);
+                assert_eq!(server.refresh_threads(), threads);
+                let handles: Vec<_> = (0..4)
+                    .map(|_| server.register(MinForward, ()).unwrap())
+                    .collect();
+                let mut seen = Vec::new();
+                for delta in &deltas {
+                    let report = server.apply(delta).unwrap();
+                    let ids: Vec<usize> = report.refreshed.iter().map(|q| q.query).collect();
+                    assert_eq!(ids, vec![0, 1, 2, 3], "sorted by id ({mode:?})");
+                    assert!(report.refreshed.iter().all(|q| q.result.is_ok()));
+                    seen.push(report.rebuilt.clone());
+                }
+                let recompute = session(mode)
+                    .run(server.fragmentation(), &MinForward, &())
+                    .unwrap();
+                for h in &handles {
+                    assert_eq!(server.output(h).unwrap(), recompute.output, "{mode:?}");
+                }
+                match &baseline {
+                    None => baseline = Some(seen),
+                    Some(b) => assert_eq!(b, &seen, "rebuilt sets differ ({mode:?})"),
+                }
+            }
+        }
+    }
+
+    /// `apply_batch` without group-commit IS N sequential applies: same
+    /// versions, same per-delta reports, same timeline pruning, same
+    /// outputs.
+    #[test]
+    fn apply_batch_equals_sequential_applies() {
+        let deltas = vec![
+            GraphDelta::new().add_edge(0, 2),
+            GraphDelta::new().remove_edge(5, 6),
+            GraphDelta::new().add_edge(7, 1),
+            GraphDelta::new(),
+        ];
+        let make = || {
+            let g = path_graph(12);
+            let frag = RangeEdgeCut::new(3).partition(&g).unwrap();
+            let mut server = GrapeServer::new(session(EngineMode::Sync), frag);
+            let handles: Vec<_> = (0..3)
+                .map(|_| server.register(MinForward, ()).unwrap())
+                .collect();
+            (server, handles)
+        };
+        let (mut batched, bh) = make();
+        let (mut sequential, sh) = make();
+
+        let batch = batched.apply_batch(&deltas);
+        assert!(batch.rejected.is_none());
+        assert_eq!(batch.reports.len(), deltas.len(), "no grouping by default");
+        assert_eq!(batch.deltas_committed(), deltas.len());
+        let seq_reports: Vec<ServeReport> = deltas
+            .iter()
+            .map(|d| sequential.apply(d).unwrap())
+            .collect();
+        for (b, s) in batch.reports.iter().zip(&seq_reports) {
+            assert_eq!(b.version, s.version);
+            assert_eq!(b.deltas, 1);
+            assert_eq!(b.rebuilt, s.rebuilt);
+            assert_eq!(b.reused, s.reused);
+            let ids = |r: &ServeReport| r.refreshed.iter().map(|q| q.query).collect::<Vec<_>>();
+            assert_eq!(ids(b), ids(s));
+            for (qb, qs) in b.refreshed.iter().zip(&s.refreshed) {
+                assert_eq!(qb.result.is_ok(), qs.result.is_ok());
+                assert_eq!(
+                    qb.result.as_ref().unwrap().kind,
+                    qs.result.as_ref().unwrap().kind
+                );
+            }
+        }
+        assert_eq!(batched.version(), sequential.version());
+        assert_eq!(batched.deltas_applied(), sequential.deltas_applied());
+        assert_eq!(batched.retained_versions(), 1, "pruned exactly like apply");
+        for (hb, hs) in bh.iter().zip(&sh) {
+            assert_eq!(batched.output(hb).unwrap(), sequential.output(hs).unwrap());
+        }
+    }
+
+    /// A rejected delta stops the batch; everything committed before it is
+    /// durable, the index points into the caller's slice, and the server
+    /// keeps serving.
+    #[test]
+    fn a_rejected_delta_stops_the_batch_after_durable_commits() {
+        let (mut server, handles) = server_with(2, EngineMode::Sync);
+        let batch = server.apply_batch(&[
+            GraphDelta::new().add_edge(0, 2),
+            GraphDelta::new().remove_edge(40, 41), // not in the graph
+            GraphDelta::new().add_edge(1, 3),      // never reached
+        ]);
+        assert_eq!(batch.reports.len(), 1, "first delta committed");
+        assert_eq!(batch.deltas_committed(), 1);
+        let rejection = batch.rejected.expect("second delta was rejected");
+        assert_eq!(rejection.index, 1);
+        assert!(rejection.reason.contains("cannot remove edge"));
+        assert_eq!(server.version(), 1);
+        assert_eq!(server.deltas_applied(), 1);
+
+        // The server is still healthy: later deltas and outputs work.
+        server.apply(&GraphDelta::new().add_edge(1, 3)).unwrap();
+        let recompute = session(EngineMode::Sync)
+            .run(server.fragmentation(), &MinForward, &())
+            .unwrap();
+        for h in &handles {
+            assert_eq!(server.output(h).unwrap(), recompute.output);
+        }
+    }
+
+    /// Group-commit merges runs of edge-insert-only deltas into a single
+    /// `DeltaApplication`: one timeline commit, one refresh per query per
+    /// group — pinned via version / updates_applied — while
+    /// `deltas_applied` keeps counting raw deltas.
+    #[test]
+    fn group_commit_runs_one_delta_application_per_group() {
+        let g = path_graph(12);
+        let frag = RangeEdgeCut::new(3).partition(&g).unwrap();
+        let mut server = GrapeServer::new(session(EngineMode::Sync), frag).group_commit(16);
+        let h = server.register(MinForward, ()).unwrap();
+
+        let deltas = vec![
+            GraphDelta::new().add_edge(0, 2),
+            GraphDelta::new().add_edge(0, 3),
+            GraphDelta::new().add_edge(1, 4),
+            GraphDelta::new().add_edge(2, 5),
+            GraphDelta::new().remove_edge(5, 6), // starts group 2
+            GraphDelta::new().add_edge(6, 8),    // merges into group 2
+            GraphDelta::new().add_edge(7, 9),
+        ];
+        let batch = server.apply_batch(&deltas);
+        assert!(batch.rejected.is_none());
+        assert_eq!(batch.reports.len(), 2, "two groups");
+        assert_eq!(batch.reports[0].deltas, 4);
+        assert_eq!(batch.reports[1].deltas, 3);
+        assert_eq!(
+            batch.reports[0].peval_calls(),
+            0,
+            "the merged insert-only group stays monotone"
+        );
+        assert_eq!(server.version(), 2, "one timeline commit per group");
+        assert_eq!(server.deltas_applied(), 7, "raw deltas still counted");
+        let p = server.prepared(&h).unwrap().unwrap();
+        assert_eq!(p.updates_applied(), 2, "one refresh per group");
+
+        // The answer still equals a from-scratch recompute AND an ungrouped
+        // sequential server over the same stream.
+        let recompute = session(EngineMode::Sync)
+            .run(server.fragmentation(), &MinForward, &())
+            .unwrap();
+        assert_eq!(server.output(&h).unwrap(), recompute.output);
+        let g = path_graph(12);
+        let frag = RangeEdgeCut::new(3).partition(&g).unwrap();
+        let mut plain = GrapeServer::new(session(EngineMode::Sync), frag);
+        let ph = plain.register(MinForward, ()).unwrap();
+        for d in &deltas {
+            plain.apply(d).unwrap();
+        }
+        assert_eq!(server.output(&h).unwrap(), plain.output(&ph).unwrap());
+    }
+
+    /// A refresh failure inside a batch leaves the earlier commits durable
+    /// and the failed slot on its true version — the batch keeps going and
+    /// the slot catches up after healing, exactly like the single-apply
+    /// path.
+    #[test]
+    fn a_refresh_failure_inside_a_batch_leaves_commits_durable() {
+        let g = crate::test_support::ring_graph(12);
+        let frag = RangeEdgeCut::new(3).partition(&g).unwrap();
+        let s = GrapeSession::builder()
+            .workers(2)
+            .mode(EngineMode::Sync)
+            .max_supersteps(4)
+            .build()
+            .unwrap();
+        let mut server = GrapeServer::new(s.clone(), frag);
+        let healthy = server.register(MinForward, ()).unwrap();
+        let flaky_prog = TrippablePrepare::new();
+        let flaky = server.register(flaky_prog.clone(), ()).unwrap();
+
+        flaky_prog.trip();
+        let batch = server.apply_batch(&[
+            GraphDelta::new().add_edge(0, 2),
+            GraphDelta::new().add_edge(1, 3),
+        ]);
+        assert!(batch.rejected.is_none(), "refresh failures never reject");
+        assert_eq!(batch.reports.len(), 2, "both commits durable");
+        let by_id = |r: &ServeReport, id: usize| {
+            r.refreshed
+                .iter()
+                .find(|q| q.query == id)
+                .unwrap()
+                .result
+                .clone()
+        };
+        for r in &batch.reports {
+            assert!(by_id(r, healthy.id()).is_ok());
+            assert!(by_id(r, flaky.id()).is_err());
+        }
+        assert_eq!(server.version(), 2, "the timeline advanced twice");
+        assert!(
+            server.retained_versions() > 1,
+            "history retained for the behind slot"
+        );
+
+        flaky_prog.heal();
+        let r = server.apply(&GraphDelta::new().add_edge(2, 4)).unwrap();
+        assert_eq!(r.caught_up, vec![flaky.id()], "replayed both missed steps");
+        let recompute = s
+            .run(server.fragmentation(), &flaky_prog, &())
+            .unwrap()
+            .output;
+        assert_eq!(server.output(&flaky).unwrap(), recompute);
+    }
+
+    /// LRU spills the least-recently-*touched* resident query exactly when
+    /// residency exceeds `max_resident` — touches being user interest
+    /// (register / output / rehydrate), not server refreshes.
+    #[test]
+    fn lru_policy_evicts_the_least_recently_touched_at_the_boundary() {
+        let g = path_graph(12);
+        let frag = RangeEdgeCut::new(3).partition(&g).unwrap();
+        let mut server = GrapeServer::new(session(EngineMode::Sync), frag)
+            .eviction_policy(EvictionPolicy::Lru { max_resident: 2 });
+        let q0 = server.register(MinForward, ()).unwrap();
+        let q1 = server.register(MinForward, ()).unwrap();
+        assert_eq!(server.num_evicted(), 0, "at the cap, nothing spills");
+
+        // Touch q0 so q1 becomes the LRU victim.
+        server.output(&q0).unwrap();
+        let q2 = server.register(MinForward, ()).unwrap();
+        assert_eq!(server.num_evicted(), 1, "max_resident+1 spills exactly one");
+        assert!(server.is_evicted(&q1).unwrap(), "least-recently-touched");
+        assert!(!server.is_evicted(&q0).unwrap());
+        assert!(!server.is_evicted(&q2).unwrap());
+
+        // Watching the evicted query rehydrates it (transiently 3 resident);
+        // the next commit re-enforces the cap and reports who it spilled.
+        server.output(&q1).unwrap();
+        assert_eq!(server.num_evicted(), 0, "rehydration may exceed the cap");
+        let r = server.apply(&GraphDelta::new().add_edge(0, 2)).unwrap();
+        assert_eq!(r.evicted, vec![q0.id()], "now q0 is least recent");
+        assert_eq!(server.num_evicted(), 1);
+
+        // Everyone still answers exactly, evicted or not, with the fan-out.
+        let recompute = session(EngineMode::Sync)
+            .run(server.fragmentation(), &MinForward, &())
+            .unwrap();
+        for h in [&q0, &q1, &q2] {
+            assert_eq!(server.output(h).unwrap(), recompute.output);
+        }
+    }
+
+    /// The memory-budget policy accounts real serialized partial sizes and
+    /// spills least-recently-touched queries until the total fits; an
+    /// evicted-then-watched query rehydrates and catches up under a
+    /// concurrent apply.
+    #[test]
+    fn memory_budget_policy_respects_recorded_partial_sizes() {
+        let g = path_graph(12);
+        let frag = RangeEdgeCut::new(3).partition(&g).unwrap();
+        // Measure one query's footprint with a plain server first.
+        let mut probe = GrapeServer::new(session(EngineMode::Sync), frag.clone());
+        probe.register(MinForward, ()).unwrap();
+        let one = probe.resident_partial_bytes();
+        assert!(one > 0, "partials have a measurable size");
+
+        // Budget for one resident query, not two.
+        let budget = one + one / 2;
+        let mut server = GrapeServer::new(session(EngineMode::Sync), frag)
+            .threads(4)
+            .eviction_policy(EvictionPolicy::MemoryBudget { bytes: budget });
+        let q0 = server.register(MinForward, ()).unwrap();
+        assert_eq!(server.num_evicted(), 0, "one query fits");
+        let q1 = server.register(MinForward, ()).unwrap();
+        assert!(
+            server.is_evicted(&q0).unwrap(),
+            "q0 was least recently touched"
+        );
+        assert!(!server.is_evicted(&q1).unwrap());
+        assert!(server.resident_partial_bytes() <= budget);
+
+        // Deltas arrive while q0 is cold; watching it rehydrates, replays,
+        // and matches a recompute — under the concurrent fan-out.
+        let r = server.apply(&GraphDelta::new().add_edge(0, 2)).unwrap();
+        assert_eq!(r.deferred, vec![q0.id()]);
+        server.apply(&GraphDelta::new().add_edge(3, 7)).unwrap();
+        let recompute = session(EngineMode::Sync)
+            .run(server.fragmentation(), &MinForward, &())
+            .unwrap();
+        assert_eq!(server.output(&q0).unwrap(), recompute.output);
+        assert_eq!(server.output(&q1).unwrap(), recompute.output);
     }
 }

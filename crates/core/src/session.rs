@@ -148,6 +148,14 @@ impl GrapeSessionBuilder {
         self
     }
 
+    /// Default refresh fan-out width for [`crate::serve::GrapeServer`]s built
+    /// on this session (clamped to ≥ 1; overridable per server with
+    /// [`crate::serve::GrapeServer::threads`]).
+    pub fn refresh_threads(mut self, threads: usize) -> Self {
+        self.config.refresh_threads = threads.max(1);
+        self
+    }
+
     /// Replaces the whole configuration (useful for replaying a serialized
     /// [`EngineConfig`]); later builder calls still apply on top.
     pub fn config(mut self, config: EngineConfig) -> Self {
@@ -243,6 +251,7 @@ mod tests {
             .workers(8)
             .mode(EngineMode::Async)
             .max_supersteps(50)
+            .refresh_threads(4)
             .transport(TransportSpec::Channel)
             .balancer(LoadBalancer { comm_weight: 2.0 })
             .build()
@@ -250,6 +259,7 @@ mod tests {
         assert_eq!(session.config().num_workers, 8);
         assert_eq!(session.config().mode, EngineMode::Async);
         assert_eq!(session.config().max_supersteps, 50);
+        assert_eq!(session.config().refresh_threads, 4);
         assert_eq!(session.transport(), TransportSpec::Channel);
         assert!((session.balancer().comm_weight - 2.0).abs() < 1e-12);
     }

@@ -1,6 +1,10 @@
 //! Miniature `IncrementalPie` programs shared by the unit tests of
 //! [`crate::prepared`] and [`crate::serve`] — small enough to reason about
 //! by hand, complete enough to exercise every refresh path.
+//!
+//! Compiled into the library (`#[doc(hidden)]`) rather than `#[cfg(test)]`
+//! so the workspace-level concurrency fuzz (`tests/serve_concurrency.rs`)
+//! can drive the same failure-injection programs.  Not a public API.
 
 #![allow(dead_code)]
 
@@ -22,9 +26,9 @@ use crate::session::GrapeSession;
 /// `IncrementalPie` program.  Its partial (`HashMap<u64, u64>`) round-trips
 /// through the serde value encoding, so it is also evictable.
 #[derive(Clone)]
-pub(crate) struct MinForward;
+pub struct MinForward;
 
-pub(crate) type MinPartial = HashMap<VertexId, u64>;
+pub type MinPartial = HashMap<VertexId, u64>;
 
 fn local_fixpoint(frag: &Fragment, values: &mut MinPartial) {
     let mut changed = true;
@@ -169,7 +173,7 @@ impl IncrementalPie for MinForward {
 /// path hits the superstep limit and errors.  Used to regression-test the
 /// poisoned-handle protocol.
 #[derive(Clone)]
-pub(crate) struct DivergingOnUpdate;
+pub struct DivergingOnUpdate;
 
 impl PieProgram for DivergingOnUpdate {
     type Query = ();
@@ -258,13 +262,19 @@ impl IncrementalPie for DivergingOnUpdate {
 /// refresh error that **poisons** the handle.  That combination lets a
 /// test drive a query behind first and poison it mid-replay afterwards.
 #[derive(Clone)]
-pub(crate) struct TrippablePrepare {
+pub struct TrippablePrepare {
     tripped: std::sync::Arc<std::sync::atomic::AtomicBool>,
     monotone_inserts: std::sync::Arc<std::sync::atomic::AtomicBool>,
 }
 
+impl Default for TrippablePrepare {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl TrippablePrepare {
-    pub(crate) fn new() -> Self {
+    pub fn new() -> Self {
         TrippablePrepare {
             tripped: std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false)),
             monotone_inserts: std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false)),
@@ -272,13 +282,13 @@ impl TrippablePrepare {
     }
 
     /// Makes every subsequent full (re-)preparation diverge.
-    pub(crate) fn trip(&self) {
+    pub fn trip(&self) {
         self.tripped
             .store(true, std::sync::atomic::Ordering::SeqCst);
     }
 
     /// Lets subsequent preparations converge again.
-    pub(crate) fn heal(&self) {
+    pub fn heal(&self) {
         self.tripped
             .store(false, std::sync::atomic::Ordering::SeqCst);
     }
@@ -286,7 +296,7 @@ impl TrippablePrepare {
     /// Declares insert-only deltas monotone from now on — and their rebase
     /// seeds the diverging escalation, so the monotone refresh errors after
     /// consuming the partials: the poisoning failure mode.
-    pub(crate) fn allow_monotone_inserts(&self) {
+    pub fn allow_monotone_inserts(&self) {
         self.monotone_inserts
             .store(true, std::sync::atomic::Ordering::SeqCst);
     }
@@ -376,7 +386,7 @@ impl IncrementalPie for TrippablePrepare {
 }
 
 /// `0 → 1 → … → n-1` path graph.
-pub(crate) fn path_graph(n: u64) -> grape_graph::graph::Graph {
+pub fn path_graph(n: u64) -> grape_graph::graph::Graph {
     let mut b = GraphBuilder::directed();
     for v in 0..n - 1 {
         b.push_edge(Edge::unweighted(v, v + 1));
@@ -385,7 +395,7 @@ pub(crate) fn path_graph(n: u64) -> grape_graph::graph::Graph {
 }
 
 /// `0 → 1 → … → n-1 → 0` ring graph (every fragment has a downstream).
-pub(crate) fn ring_graph(n: u64) -> grape_graph::graph::Graph {
+pub fn ring_graph(n: u64) -> grape_graph::graph::Graph {
     let mut b = GraphBuilder::directed();
     for v in 0..n {
         b.push_edge(Edge::unweighted(v, (v + 1) % n));
@@ -394,7 +404,7 @@ pub(crate) fn ring_graph(n: u64) -> grape_graph::graph::Graph {
 }
 
 /// A two-worker session in the given mode.
-pub(crate) fn session(mode: EngineMode) -> GrapeSession {
+pub fn session(mode: EngineMode) -> GrapeSession {
     GrapeSession::builder()
         .workers(2)
         .mode(mode)

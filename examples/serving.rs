@@ -12,7 +12,12 @@
 //! * rarely-asked depots are **evicted**: their fragments and partials
 //!   spill to per-fragment binary snapshots on disk, and the next
 //!   `output()` reloads them — zero PEval calls — and replays whatever
-//!   deltas arrived while they were cold.
+//!   deltas arrived while they were cold,
+//! * per-delta refreshes fan out over a scoped worker pool
+//!   (`threads(n)`) — every depot's refresh is independent once the shared
+//!   `DeltaApplication` exists — and a burst of updates goes through
+//!   `apply_batch`, which pipelines the next delta's partition maintenance
+//!   under the current delta's refreshes.
 //!
 //! ```text
 //! cargo run --release --example serving
@@ -31,7 +36,8 @@ fn main() {
 
     let fragments = MetisLike::new(4).partition(&graph).expect("partition");
     let session = GrapeSession::with_workers(4);
-    let mut server = GrapeServer::new(session, fragments);
+    // Refresh up to 4 depots concurrently once each ΔG is applied.
+    let mut server = GrapeServer::new(session, fragments).threads(4);
 
     // Three depots, three standing SSSP queries over ONE fragmentation.
     let depots: Vec<VertexId> = vec![0, 1770, 3599];
@@ -96,6 +102,29 @@ fn main() {
         depots[2],
         rehydration.replayed.len(),
         rehydration.peval_calls()
+    );
+
+    // Morning rush: a burst of updates arrives at once.  `apply_batch`
+    // pipelines the stream — while version n's refreshes run on the fan-out
+    // pool, version n+1's `apply_delta` is already computing on a dedicated
+    // thread — and commits in arrival order.
+    let burst: Vec<GraphDelta> = (0..4)
+        .map(|i| {
+            GraphDelta::new()
+                .add_weighted_edge(100 + i, 2000 + i, 1.0)
+                .add_weighted_edge(2000 + i, 100 + i, 1.0)
+        })
+        .collect();
+    let batch = server.apply_batch(&burst);
+    println!(
+        "ΔG burst: {} deltas committed in {} report(s), rejected: {}",
+        batch.deltas_committed(),
+        batch.reports.len(),
+        if batch.rejected.is_none() {
+            "none"
+        } else {
+            "yes"
+        },
     );
 
     for (depot, handle) in depots.iter().zip(&handles) {

@@ -28,6 +28,7 @@ use grape_graph::types::VertexId;
 use grape_partition::delta::FragmentDelta;
 use grape_partition::fragment::Fragment;
 use grape_partition::fragmentation_graph::BorderScope;
+use serde::{Deserialize, Serialize};
 
 use crate::cc::sequential::UnionFind;
 
@@ -70,8 +71,10 @@ impl CcResult {
     }
 }
 
-/// Per-fragment partial result: the local component structure.
-#[derive(Debug, Clone)]
+/// Per-fragment partial result: the local component structure.  It
+/// round-trips through the serde value encoding so a served CC query can be
+/// evicted to a spill file and rehydrated (see `grape_core::serve`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CcPartial {
     /// Local component index of each local vertex ("link to the root").
     component_of: Vec<usize>,

@@ -752,9 +752,8 @@ pub fn run_serving_scaling(
     fragments: usize,
     workload: &str,
 ) -> Vec<ScalingRow> {
-    use grape_core::metrics::LatencySummary;
     use grape_core::serve::GrapeServer;
-    use std::time::{Duration, Instant};
+    use std::time::Instant;
 
     let session = grape_session(1);
     let k = sources.len();
@@ -775,14 +774,14 @@ pub fn run_serving_scaling(
                 })
                 .collect();
 
-            let mut samples: Vec<Duration> = Vec::with_capacity(deltas.len());
+            // The server records one latency sample per commit itself (the
+            // same histogram `graped` exports over the wire), so the bench
+            // no longer stopwatches each apply caller-side.
             let start = Instant::now();
             match arrival {
                 "stream" => {
                     for delta in deltas {
-                        let t = Instant::now();
                         let report = server.apply(delta).expect("scaling apply");
-                        samples.push(t.elapsed());
                         for refresh in &report.refreshed {
                             assert!(refresh.result.is_ok(), "scaling refresh failed");
                         }
@@ -790,21 +789,18 @@ pub fn run_serving_scaling(
                 }
                 _ => {
                     for chunk in deltas.chunks(BATCH_CHUNK) {
-                        let t = Instant::now();
                         let batch = server.apply_batch(chunk);
-                        let elapsed = t.elapsed();
                         assert!(batch.rejected.is_none(), "scaling batch rejected");
-                        // The pipeline amortizes the chunk; attribute the
-                        // mean share to each delta for the distribution.
-                        samples.extend(std::iter::repeat_n(
-                            elapsed / chunk.len() as u32,
-                            chunk.len(),
-                        ));
                     }
                 }
             }
             let total = start.elapsed().as_secs_f64();
             assert_eq!(server.deltas_applied(), deltas.len());
+            assert_eq!(
+                server.latency_samples(),
+                deltas.len(),
+                "one latency sample per commit"
+            );
 
             // Answer equality across every cell — and vs a recompute.
             let outputs: Vec<_> = handles
@@ -847,7 +843,7 @@ pub fn run_serving_scaling(
                 }
             }
 
-            let summary = LatencySummary::from_durations(&samples);
+            let summary = server.latency_summary();
             rows.push(ScalingRow {
                 workload: workload.to_string(),
                 k,

@@ -33,6 +33,8 @@
 //!   over **one** delta stream (one `apply_delta` per `ΔG`, shared
 //!   `Arc<Fragment>` storage), with eviction/rehydration through the
 //!   per-fragment binary snapshots,
+//! * [`spec`] — [`spec::QuerySpec`]: serializable, wire-nameable query
+//!   specifications for serving processes (`graped`),
 //! * [`engine`] — the two runtimes (BSP superstep loop and the barrier-free
 //!   streaming loop) behind a session,
 //! * [`transport`] — the pluggable message substrate ([`transport::Transport`],
@@ -53,6 +55,7 @@ pub mod prepared;
 pub mod serve;
 pub mod session;
 pub mod simulate;
+pub mod spec;
 #[doc(hidden)]
 pub mod test_support;
 pub mod transport;
@@ -63,8 +66,9 @@ pub use metrics::{EngineMetrics, LatencySummary};
 pub use pie::{IncrementalPie, KeyVertex, Messages, PieProgram};
 pub use prepared::{PreparedQuery, RefreshKind, UpdateReport};
 pub use serve::{
-    BatchRejection, BatchReport, EvictionPolicy, GrapeServer, QueryHandle, RehydrationReport,
-    ServeError, ServeReport,
+    BatchRejection, BatchReport, EvictionPolicy, GrapeServer, QueryHandle, QueryStatus,
+    RehydrationReport, ServeError, ServeReport,
 };
 pub use session::{GrapeSession, GrapeSessionBuilder};
+pub use spec::QuerySpec;
 pub use transport::{Transport, TransportSpec};

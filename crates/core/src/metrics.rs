@@ -132,7 +132,7 @@ impl EngineMetrics {
 /// serving-scaling experiment reports per (K, threads, arrival-pattern)
 /// cell.  Percentiles use the nearest-rank method on the sorted samples,
 /// so `p50`/`p99` are always actual observed values.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct LatencySummary {
     /// Number of samples summarized.
     pub samples: usize,

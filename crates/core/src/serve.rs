@@ -68,11 +68,13 @@ use std::io::{Read, Write};
 use std::marker::PhantomData;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use grape_graph::delta::GraphDelta;
 use grape_graph::io::{ensure_fully_consumed, read_value_tree, write_value_tree, IoError};
 use grape_graph::types::VertexId;
-use grape_partition::delta::{DeltaApplication, FragmentDelta};
+use grape_partition::delta::DeltaApplication;
 use grape_partition::fragment::{Fragment, Fragmentation};
 use grape_partition::snapshot::{
     read_fragments, rehydrate_fragmentation, write_fragments, SnapshotError,
@@ -80,7 +82,7 @@ use grape_partition::snapshot::{
 use serde::{Deserialize, Serialize, Value};
 
 use crate::engine::EngineError;
-use crate::metrics::EngineMetrics;
+use crate::metrics::{EngineMetrics, LatencySummary};
 use crate::pie::IncrementalPie;
 use crate::prepared::{PreparedQuery, UpdateReport};
 use crate::session::GrapeSession;
@@ -346,12 +348,37 @@ impl RehydrationReport {
     }
 }
 
-/// One step of the timeline: the delta and its per-fragment restrictions,
-/// retained so evicted queries can replay the refresh without a second
-/// `apply_delta`.
+/// A serializable snapshot of one registered query's serving state — one
+/// row of [`GrapeServer::query_statuses`], ready for a wire-level `status`
+/// or `metrics` endpoint.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueryStatus {
+    /// The query id ([`QueryHandle::id`]).
+    pub query: usize,
+    /// The timeline version this query's state corresponds to — equals the
+    /// server's version unless the query is evicted or behind.
+    pub version: usize,
+    /// Whether the query currently lives in its spill file.
+    pub evicted: bool,
+    /// Whether an earlier failed refresh quarantined the query.
+    pub poisoned: bool,
+    /// Deltas ever absorbed by this query (replays included, exactly once).
+    pub updates_applied: usize,
+    /// How many of those took the monotone (IncEval-only) path.
+    pub incremental_updates: usize,
+    /// How many took the bounded path.
+    pub bounded_updates: usize,
+    /// Serialized size of the resident partials (`0` while evicted).
+    pub partial_bytes: usize,
+}
+
+/// One step of the timeline: the delta and the `Arc`-shared
+/// [`DeltaApplication`] it produced, retained so evicted (or behind)
+/// queries can replay the refresh without a second `apply_delta` — and
+/// without re-cloning the per-fragment restrictions per replaying query.
 struct ServeStep {
     delta: GraphDelta,
-    affected: Vec<FragmentDelta>,
+    applied: Arc<DeltaApplication>,
 }
 
 /// Object-safe view of one registered query, erasing the program type.
@@ -645,7 +672,16 @@ pub struct GrapeServer {
     /// Raw deltas absorbed — counts every member of a group-committed
     /// batch, so it can exceed the number of timeline commits.
     deltas_absorbed: usize,
+    /// Per-commit latency samples (see [`GrapeServer::latency_summary`]),
+    /// windowed so a long-running server does not grow without bound.
+    latencies: Vec<Duration>,
 }
+
+/// Keep at most this many latency samples resident: when the buffer
+/// reaches `2 × LATENCY_WINDOW` the older half is dropped, so summaries
+/// always cover the most recent `LATENCY_WINDOW..2×LATENCY_WINDOW`
+/// commits with amortized O(1) bookkeeping per commit.
+const LATENCY_WINDOW: usize = 4096;
 
 impl GrapeServer {
     /// A server over `fragmentation`, spilling evicted queries under a
@@ -684,6 +720,7 @@ impl GrapeServer {
             policy: EvictionPolicy::Manual,
             touch_clock: 0,
             deltas_absorbed: 0,
+            latencies: Vec::new(),
         }
     }
 
@@ -765,6 +802,59 @@ impl GrapeServer {
         self.slots.iter().filter(|s| s.entry.is_evicted()).count()
     }
 
+    /// Records one per-commit latency sample, windowed: when the buffer
+    /// reaches `2 × LATENCY_WINDOW` the older half is dropped (amortized
+    /// O(1) per commit), so [`GrapeServer::latency_summary`] always covers
+    /// the most recent commits.
+    fn record_latency(&mut self, elapsed: Duration) {
+        if self.latencies.len() >= 2 * LATENCY_WINDOW {
+            self.latencies.drain(..LATENCY_WINDOW);
+        }
+        self.latencies.push(elapsed);
+    }
+
+    /// A [`LatencySummary`] (mean / p50 / p99 / max) over the per-commit
+    /// latencies this server recorded itself — one sample per commit, from
+    /// delta arrival to the end of the refresh fan-out (for the pipelined
+    /// [`GrapeServer::apply_batch`] the sample starts at commit pickup, so
+    /// the overlapped partition work is not double-billed).  Only the most
+    /// recent window of commits is retained (see
+    /// [`GrapeServer::latency_samples`] for the live sample count), so a
+    /// long-running server reports recent behaviour, not its lifetime
+    /// average.  The summary is `Serialize`, ready for a metrics endpoint.
+    pub fn latency_summary(&self) -> LatencySummary {
+        LatencySummary::from_durations(&self.latencies)
+    }
+
+    /// Number of latency samples currently retained (≤ 2 × 4096).
+    pub fn latency_samples(&self) -> usize {
+        self.latencies.len()
+    }
+
+    /// A serializable snapshot of every registered query's serving state,
+    /// sorted by query id — the per-query rows behind a `status` /
+    /// `metrics` endpoint.  Works off the type-erased slots, so it needs no
+    /// handles and covers evicted and poisoned queries too.
+    pub fn query_statuses(&self) -> Vec<QueryStatus> {
+        self.slots
+            .iter()
+            .enumerate()
+            .map(|(id, slot)| {
+                let book = slot.entry.bookkeeping();
+                QueryStatus {
+                    query: id,
+                    version: slot.version,
+                    evicted: slot.entry.is_evicted(),
+                    poisoned: slot.entry.is_poisoned(),
+                    updates_applied: book.updates_applied,
+                    incremental_updates: book.incremental_updates,
+                    bounded_updates: book.bounded_updates,
+                    partial_bytes: slot.entry.partial_bytes(),
+                }
+            })
+            .collect()
+    }
+
     /// Registers a standing query: prepares it (PEval + IncEval to the
     /// fixpoint) against the **current** timeline version and retains the
     /// handle.  The partial-result type must round-trip through the serde
@@ -812,11 +902,12 @@ impl GrapeServer {
     /// step and replays it into the query before its next refresh or
     /// output.  The server and the other queries keep going either way.
     pub fn apply(&mut self, delta: &GraphDelta) -> Result<ServeReport, ServeError> {
+        let started = Instant::now();
         let applied = self
             .fragmentation()
             .apply_delta(delta)
             .map_err(|e| ServeError::Delta(e.to_string()))?;
-        Ok(self.commit(applied, delta, 1))
+        Ok(self.commit(Arc::new(applied), delta, 1, started))
     }
 
     /// Applies a whole delta stream, pipelined: a dedicated thread runs
@@ -838,7 +929,7 @@ impl GrapeServer {
         let mut reports = Vec::with_capacity(groups.len());
         let mut rejected = None;
         let base = self.fragmentation().clone();
-        type Applied = Result<DeltaApplication, (usize, String)>;
+        type Applied = Result<Arc<DeltaApplication>, (usize, String)>;
         let (tx, rx) = std::sync::mpsc::sync_channel::<Applied>(1);
         std::thread::scope(|scope| {
             let planned = &groups;
@@ -846,13 +937,16 @@ impl GrapeServer {
                 // The applier chains apply_delta group by group off the
                 // snapshot it started from; commit() pushes the exact same
                 // fragmentation values onto the timeline, in the same
-                // order, so the main thread never observes a fork.
+                // order, so the main thread never observes a fork.  The
+                // application crosses the channel behind an `Arc`: the
+                // refresh fan-out, the retained step and any later replay
+                // all share one copy.
                 let mut frag = base;
                 for group in planned {
                     match frag.apply_delta(&group.delta) {
                         Ok(applied) => {
                             frag = applied.fragmentation.clone();
-                            if tx.send(Ok(applied)).is_err() {
+                            if tx.send(Ok(Arc::new(applied))).is_err() {
                                 return;
                             }
                         }
@@ -864,9 +958,10 @@ impl GrapeServer {
                 }
             });
             for group in &groups {
+                let started = Instant::now();
                 match rx.recv() {
                     Ok(Ok(applied)) => {
-                        reports.push(self.commit(applied, &group.delta, group.raw));
+                        reports.push(self.commit(applied, &group.delta, group.raw, started));
                     }
                     Ok(Err((index, reason))) => {
                         rejected = Some(BatchRejection { index, reason });
@@ -911,12 +1006,16 @@ impl GrapeServer {
     /// id-sorted [`ServeReport`], and advances the timeline.  Everything
     /// except the refreshes themselves — catch-up replay, version
     /// bookkeeping, retention/pruning, policy eviction — runs on the
-    /// calling thread.
+    /// calling thread.  `started` marks when the server began working on
+    /// this delta (before `apply_delta` for [`GrapeServer::apply`], at
+    /// commit pickup for the pipelined [`GrapeServer::apply_batch`]); the
+    /// elapsed time is recorded as one latency sample.
     fn commit(
         &mut self,
-        applied: DeltaApplication,
+        applied: Arc<DeltaApplication>,
         delta: &GraphDelta,
         raw_deltas: usize,
+        started: Instant,
     ) -> ServeReport {
         let current = self.version();
         let rebuilt: Vec<usize> = applied.affected.iter().map(|fd| fd.fragment).collect();
@@ -1000,19 +1099,21 @@ impl GrapeServer {
             // place without retaining (or cloning) the delta.
             self.base = new_version;
             self.timeline.clear();
-            self.timeline.push(applied.fragmentation);
+            self.timeline.push(applied.fragmentation.clone());
             self.steps.clear();
         } else {
             // Someone — evicted, or resident but behind — may still replay
-            // this step: retain it.
+            // this step: retain the shared application itself (an `Arc`
+            // bump, not a copy of the per-fragment restrictions).
+            self.timeline.push(applied.fragmentation.clone());
             self.steps.push(ServeStep {
                 delta: delta.clone(),
-                affected: applied.affected,
+                applied,
             });
-            self.timeline.push(applied.fragmentation);
             self.prune();
         }
         self.deltas_absorbed += raw_deltas;
+        self.record_latency(started.elapsed());
         let evicted = self.enforce_policy();
         ServeReport {
             version: new_version,
@@ -1141,13 +1242,12 @@ impl GrapeServer {
                 // step indices.
                 return Err(EngineError::PoisonedHandle);
             }
-            // The timeline already holds every post-delta fragmentation, so
-            // no step runs apply_delta again.
+            // The timeline already holds every post-delta application, so
+            // no step runs apply_delta again — and the retained `Arc`
+            // means replaying costs a refcount bump, not a copy of the
+            // per-fragment restrictions.
             let i = self.slots[id].version - self.base;
-            let applied = DeltaApplication {
-                fragmentation: self.timeline[i + 1].clone(),
-                affected: self.steps[i].affected.clone(),
-            };
+            let applied = self.steps[i].applied.clone();
             let report = self.slots[id]
                 .entry
                 .refresh(&applied, &self.steps[i].delta)?;

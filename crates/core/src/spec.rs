@@ -1,0 +1,124 @@
+//! Wire-nameable query specifications.
+//!
+//! A [`crate::serve::GrapeServer`] registers queries through the generic
+//! [`crate::pie::IncrementalPie`] machinery — perfect in-process, but a
+//! network front door needs queries that can be *named* in a frame: a
+//! client says "SSSP from source 3", not "here is a monomorphized program
+//! type".  [`QuerySpec`] is that name: a small, serializable, data-only
+//! enum of the query families a daemon can serve.  The daemon maps a spec
+//! onto the concrete PIE program (which lives in `grape-algorithms`; this
+//! crate deliberately only knows the *shape* of the request, keeping the
+//! core → algorithms dependency direction intact).
+//!
+//! The serde impls are written by hand because the derive shim only
+//! handles named-field structs and fieldless enums: a spec serializes as a
+//! tagged map — `{"query":"sssp","source":3}`, `{"query":"cc"}` — which is
+//! also exactly what the daemon's JSON protocol puts on the wire.
+
+use grape_graph::types::VertexId;
+use serde::{Deserialize, Error, Serialize, Value};
+
+/// A query family a serving process can register by name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuerySpec {
+    /// Single-source shortest path from `source`.
+    Sssp {
+        /// The source vertex.
+        source: VertexId,
+    },
+    /// Connected components (one label per vertex).
+    Cc,
+}
+
+impl QuerySpec {
+    /// The spec's wire tag (`"sssp"`, `"cc"`): stable, lower-case, what a
+    /// CLI accepts as the query-kind argument.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            QuerySpec::Sssp { .. } => "sssp",
+            QuerySpec::Cc => "cc",
+        }
+    }
+}
+
+impl std::fmt::Display for QuerySpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QuerySpec::Sssp { source } => write!(f, "sssp(source={source})"),
+            QuerySpec::Cc => write!(f, "cc"),
+        }
+    }
+}
+
+impl Serialize for QuerySpec {
+    fn to_value(&self) -> Value {
+        match self {
+            QuerySpec::Sssp { source } => Value::Map(vec![
+                ("query".to_string(), Value::Str("sssp".to_string())),
+                ("source".to_string(), source.to_value()),
+            ]),
+            QuerySpec::Cc => Value::Map(vec![("query".to_string(), Value::Str("cc".to_string()))]),
+        }
+    }
+}
+
+impl Deserialize for QuerySpec {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let tag = value
+            .get_field("query")
+            .ok_or_else(|| Error::missing_field("query"))?
+            .as_str()
+            .ok_or_else(|| Error::custom("`query` must be a string"))?;
+        match tag {
+            "sssp" => {
+                let source = value
+                    .get_field("source")
+                    .ok_or_else(|| Error::missing_field("source"))?;
+                Ok(QuerySpec::Sssp {
+                    source: VertexId::from_value(source)?,
+                })
+            }
+            "cc" => Ok(QuerySpec::Cc),
+            other => Err(Error::custom(format!("unknown query spec `{other}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_round_trip_through_the_value_encoding() {
+        for spec in [QuerySpec::Sssp { source: 42 }, QuerySpec::Cc] {
+            let back = QuerySpec::from_value(&spec.to_value()).unwrap();
+            assert_eq!(back, spec);
+        }
+    }
+
+    #[test]
+    fn specs_round_trip_through_json() {
+        let json = serde_json::to_string(&QuerySpec::Sssp { source: 3 }).unwrap();
+        assert_eq!(json, r#"{"query":"sssp","source":3}"#);
+        let back: QuerySpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, QuerySpec::Sssp { source: 3 });
+    }
+
+    #[test]
+    fn unknown_or_malformed_specs_are_rejected() {
+        let bad: Result<QuerySpec, _> = serde_json::from_str(r#"{"query":"bfs"}"#);
+        assert!(bad.unwrap_err().to_string().contains("unknown query spec"));
+        let missing: Result<QuerySpec, _> = serde_json::from_str(r#"{"query":"sssp"}"#);
+        assert!(missing.unwrap_err().to_string().contains("source"));
+        let untagged: Result<QuerySpec, _> = serde_json::from_str(r#"{"source":3}"#);
+        assert!(untagged.unwrap_err().to_string().contains("query"));
+    }
+
+    #[test]
+    fn kind_and_display_are_stable() {
+        assert_eq!(QuerySpec::Sssp { source: 7 }.kind(), "sssp");
+        assert_eq!(QuerySpec::Cc.kind(), "cc");
+        assert_eq!(QuerySpec::Sssp { source: 7 }.to_string(), "sssp(source=7)");
+        assert_eq!(QuerySpec::Cc.to_string(), "cc");
+    }
+}

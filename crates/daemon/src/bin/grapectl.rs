@@ -1,0 +1,22 @@
+//! `grapectl` — the CLI for a running `graped`.
+//!
+//! All the logic lives in `grape_daemon::cli` (parsing) and
+//! `grape_daemon::client` (the typed wire client); this binary only maps
+//! `Ok`/`Err` onto stdout/stderr and the exit code.
+
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match grape_daemon::cli::run(&args) {
+        // `writeln!` instead of `println!`: a downstream `head` closing the
+        // pipe early must not turn a successful command into a panic.
+        Ok(output) => {
+            let _ = writeln!(std::io::stdout(), "{output}");
+        }
+        Err(message) => {
+            let _ = writeln!(std::io::stderr(), "{message}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! The typed client `grapectl` (and the e2e tests) drive the daemon with.
+//!
+//! One blocking TCP connection, one request in flight at a time: `call`
+//! stamps a fresh id, writes the frame, reads frames until the echoed id
+//! matches (ignoring nothing — the daemon replies in order per
+//! connection, so a mismatched id is a protocol violation, not something
+//! to skip past).  In-protocol failures ([`ResponseBody::Error`]) surface
+//! as [`ClientError::Remote`] so callers can match on the taxonomy.
+
+use std::io::{BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use grape_core::spec::QuerySpec;
+use grape_graph::delta::GraphDelta;
+
+use crate::protocol::{
+    self, ErrorKind, MetricsInfo, QueryAnswer, RejectedDelta, Request, RequestBody, Response,
+    ResponseBody, StatusInfo, WireError,
+};
+
+/// A failure on the client side of the wire.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Connecting, framing or (de)serialization failed.
+    Wire(WireError),
+    /// The daemon replied with an in-protocol error.
+    Remote {
+        /// The error taxonomy entry.
+        kind: ErrorKind,
+        /// The daemon's message.
+        message: String,
+    },
+    /// The daemon replied with something other than the expected variant
+    /// (or closed the connection mid-call).
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Wire(e) => write!(f, "{e}"),
+            ClientError::Remote { kind, message } => {
+                write!(f, "daemon error ({kind:?}): {message}")
+            }
+            ClientError::Protocol(m) => write!(f, "protocol violation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Wire(WireError::Io(e))
+    }
+}
+
+/// The result of an `apply` / `apply_batch` call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppliedBatch {
+    /// One summary per commit, in stream order.
+    pub reports: Vec<protocol::ApplySummary>,
+    /// The rejection that stopped a batch, if any.
+    pub rejected: Option<RejectedDelta>,
+}
+
+/// A blocking client over one TCP connection to a `graped`.
+pub struct GrapeClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    next_id: u64,
+}
+
+impl GrapeClient {
+    /// Connects to a daemon.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let read_half = stream.try_clone()?;
+        Ok(GrapeClient {
+            reader: BufReader::new(read_half),
+            writer: BufWriter::new(stream),
+            next_id: 1,
+        })
+    }
+
+    /// Sends one request and reads its reply (matching ids).  Error
+    /// replies pass through as `Ok(ResponseBody::Error { .. })`; the typed
+    /// methods turn them into [`ClientError::Remote`].
+    pub fn call(&mut self, body: RequestBody) -> Result<ResponseBody, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        protocol::send(&mut self.writer, &Request { id, body })?;
+        let response: Response = protocol::recv(&mut self.reader)?
+            .ok_or_else(|| ClientError::Protocol("connection closed mid-call".to_string()))?;
+        if response.id != id && response.id != 0 {
+            return Err(ClientError::Protocol(format!(
+                "reply id {} does not match request id {id}",
+                response.id
+            )));
+        }
+        Ok(response.body)
+    }
+
+    fn call_ok(&mut self, body: RequestBody) -> Result<ResponseBody, ClientError> {
+        match self.call(body)? {
+            ResponseBody::Error { kind, message } => Err(ClientError::Remote { kind, message }),
+            other => Ok(other),
+        }
+    }
+
+    /// `status`.
+    pub fn status(&mut self) -> Result<StatusInfo, ClientError> {
+        match self.call_ok(RequestBody::Status)? {
+            ResponseBody::Status(info) => Ok(info),
+            other => Err(unexpected("status", &other)),
+        }
+    }
+
+    /// `metrics`.
+    pub fn metrics(&mut self) -> Result<MetricsInfo, ClientError> {
+        match self.call_ok(RequestBody::Metrics)? {
+            ResponseBody::Metrics(info) => Ok(info),
+            other => Err(unexpected("metrics", &other)),
+        }
+    }
+
+    /// Registers a standing query; returns its handle id.
+    pub fn register(&mut self, spec: QuerySpec) -> Result<usize, ClientError> {
+        match self.call_ok(RequestBody::Register { spec })? {
+            ResponseBody::Registered { query, .. } => Ok(query),
+            other => Err(unexpected("registered", &other)),
+        }
+    }
+
+    /// Applies one delta.
+    pub fn apply(&mut self, delta: GraphDelta) -> Result<AppliedBatch, ClientError> {
+        match self.call_ok(RequestBody::Apply { delta })? {
+            ResponseBody::Applied { reports, rejected } => Ok(AppliedBatch { reports, rejected }),
+            other => Err(unexpected("applied", &other)),
+        }
+    }
+
+    /// Applies a delta stream through the pipelined batch path.
+    pub fn apply_batch(&mut self, deltas: Vec<GraphDelta>) -> Result<AppliedBatch, ClientError> {
+        match self.call_ok(RequestBody::ApplyBatch { deltas })? {
+            ResponseBody::Applied { reports, rejected } => Ok(AppliedBatch { reports, rejected }),
+            other => Err(unexpected("applied", &other)),
+        }
+    }
+
+    /// Assembles a query's answer (lazily rehydrating server-side).
+    pub fn output(&mut self, query: usize) -> Result<QueryAnswer, ClientError> {
+        match self.call_ok(RequestBody::Output { query })? {
+            ResponseBody::Answer { answer, .. } => Ok(answer),
+            other => Err(unexpected("answer", &other)),
+        }
+    }
+
+    /// Assembles a query's answer only if no rehydration/replay is needed.
+    pub fn try_output(&mut self, query: usize) -> Result<QueryAnswer, ClientError> {
+        match self.call_ok(RequestBody::TryOutput { query })? {
+            ResponseBody::Answer { answer, .. } => Ok(answer),
+            other => Err(unexpected("answer", &other)),
+        }
+    }
+
+    /// Spills a query; returns the daemon-side spill path.
+    pub fn evict(&mut self, query: usize) -> Result<String, ClientError> {
+        match self.call_ok(RequestBody::Evict { query })? {
+            ResponseBody::Evicted { spill, .. } => Ok(spill),
+            other => Err(unexpected("evicted", &other)),
+        }
+    }
+
+    /// Rehydrates a query; returns `(deltas replayed, PEval calls)`.
+    pub fn rehydrate(&mut self, query: usize) -> Result<(usize, usize), ClientError> {
+        match self.call_ok(RequestBody::Rehydrate { query })? {
+            ResponseBody::Rehydrated {
+                replayed,
+                peval_calls,
+                ..
+            } => Ok((replayed, peval_calls)),
+            other => Err(unexpected("rehydrated", &other)),
+        }
+    }
+
+    /// Asks the daemon to stop.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.call_ok(RequestBody::Shutdown)? {
+            ResponseBody::ShuttingDown => Ok(()),
+            other => Err(unexpected("shutting_down", &other)),
+        }
+    }
+}
+
+fn unexpected(wanted: &str, got: &ResponseBody) -> ClientError {
+    ClientError::Protocol(format!("expected a `{wanted}` reply, got {got:?}"))
+}

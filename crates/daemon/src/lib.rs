@@ -1,0 +1,40 @@
+//! # grape-daemon
+//!
+//! The network front door for [`grape_core::serve::GrapeServer`]: a
+//! long-running process (`graped`) that clients connect to over TCP, and
+//! the matching CLI (`grapectl`).
+//!
+//! The engine multiplexes K prepared queries over one delta stream — but
+//! only in-process.  This crate turns that library into a service:
+//!
+//! * [`protocol`] — length-delimited JSON frames with request ids; every
+//!   request/response is a tagged map (see the module docs for the exact
+//!   framing rules and error taxonomy),
+//! * [`server`] — the daemon: a `std::net::TcpListener` accept loop,
+//!   thread-per-connection readers, and **one engine thread** owning the
+//!   `GrapeServer`.  Socket threads funnel every request through a command
+//!   channel into that thread, so the one-`apply_delta`-per-`ΔG` invariant
+//!   survives any number of concurrent clients by construction,
+//! * [`client`] — the typed client (`GrapeClient`) `grapectl` and the e2e
+//!   tests are built on,
+//! * [`mock`] — `graped --mock`: a synthetic grid workload with standing
+//!   SSSP/CC queries and a generated insert-only delta stream, for demos
+//!   and e2e tests,
+//! * [`cli`] / [`mod@format`] — `grapectl` argument parsing and `text`/`json`
+//!   rendering.
+//!
+//! No async runtime: the shim world is offline, so the daemon is plain
+//! threads + blocking sockets, which is also exactly the concurrency story
+//! the serving layer wants (all applies serialize anyway).
+
+pub mod cli;
+pub mod client;
+pub mod format;
+pub mod mock;
+pub mod protocol;
+pub mod server;
+
+pub use client::{ClientError, GrapeClient};
+pub use mock::MockConfig;
+pub use protocol::{Request, RequestBody, Response, ResponseBody};
+pub use server::{DaemonConfig, DaemonError, GrapedHandle, GraphSource};

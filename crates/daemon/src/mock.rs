@@ -1,0 +1,175 @@
+//! `graped --mock`: a synthetic workload for demos and e2e tests.
+//!
+//! Registers a handful of standing queries (SSSP from sources spread over
+//! the start graph, plus one CC) and feeds a generated **insert-only**
+//! delta stream: every delta attaches one brand-new vertex to two random
+//! existing vertices (both directions, seeded weights).  Insert-only keeps
+//! every refresh on the monotone IncEval path — the steady state the
+//! serving layer is optimized for — and attaching a *new* vertex can never
+//! collide with an existing edge, so the stream is valid against any
+//! evolving graph without tracking its edge set.
+//!
+//! The feeder is just another client of the engine's command channel: its
+//! applies serialize with whatever real clients are doing, so a mock
+//! daemon exercises exactly the concurrency story of a production one.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::Arc;
+use std::time::Duration;
+
+use grape_core::spec::QuerySpec;
+use grape_graph::delta::GraphDelta;
+use grape_graph::types::NO_LABEL;
+
+use crate::protocol::RequestBody;
+use crate::server::Command;
+
+/// Shape of the synthetic workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MockConfig {
+    /// Standing SSSP queries to register (sources spread over the start
+    /// graph); one CC query is always added on top.
+    pub queries: usize,
+    /// Deltas to feed before the stream ends; `0` feeds forever.
+    pub deltas: usize,
+    /// Pause between deltas.
+    pub interval_ms: u64,
+    /// Seed of the delta generator.
+    pub seed: u64,
+}
+
+impl Default for MockConfig {
+    fn default() -> Self {
+        MockConfig {
+            queries: 3,
+            deltas: 0,
+            interval_ms: 200,
+            seed: 7,
+        }
+    }
+}
+
+/// The specs the mock daemon registers: `queries` SSSP sources spread
+/// evenly over the start graph's vertices, plus one CC.
+pub fn workload(cfg: &MockConfig, num_vertices: usize) -> Vec<QuerySpec> {
+    let n = num_vertices.max(1) as u64;
+    let k = cfg.queries.max(1) as u64;
+    let mut specs: Vec<QuerySpec> = (0..k)
+        .map(|i| QuerySpec::Sssp { source: i * n / k })
+        .collect();
+    specs.push(QuerySpec::Cc);
+    specs
+}
+
+/// A tiny deterministic generator (LCG), so mock streams are reproducible
+/// without pulling a rand dependency into the daemon.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 16
+    }
+}
+
+/// The `i`-th mock delta over a graph that started with `base_vertices`
+/// vertices: attach new vertex `base_vertices + i` to two seeded-random
+/// older vertices, both directions, with weights in `[0.5, 2.0)`.
+pub fn mock_delta(seed: u64, base_vertices: u64, i: u64) -> GraphDelta {
+    let mut rng = Lcg(seed ^ (i.wrapping_mul(0x9e3779b97f4a7c15)));
+    let v = base_vertices + i;
+    let a = rng.next() % v;
+    let b = rng.next() % v;
+    let wa = 0.5 + (rng.next() % 1500) as f64 / 1000.0;
+    let wb = 0.5 + (rng.next() % 1500) as f64 / 1000.0;
+    GraphDelta::new()
+        .add_vertex(v, NO_LABEL)
+        .add_weighted_edge(a, v, wa)
+        .add_weighted_edge(v, a, wa)
+        .add_weighted_edge(b, v, wb)
+        .add_weighted_edge(v, b, wb)
+}
+
+/// The feeder loop: applies [`mock_delta`]s through the engine's command
+/// channel until the configured count is reached, the stop flag rises, or
+/// the engine goes away.  Waiting for each reply is deliberate — it is the
+/// backpressure that keeps an unbounded stream from flooding the channel.
+pub(crate) fn feed(
+    cfg: MockConfig,
+    base_vertices: u64,
+    tx: Sender<Command>,
+    stop: Arc<AtomicBool>,
+) {
+    let mut fed: u64 = 0;
+    while !stop.load(Ordering::SeqCst) {
+        if cfg.deltas > 0 && fed >= cfg.deltas as u64 {
+            break;
+        }
+        let delta = mock_delta(cfg.seed, base_vertices, fed);
+        let (reply, ack) = std::sync::mpsc::channel();
+        if tx
+            .send(Command {
+                body: RequestBody::Apply { delta },
+                reply,
+            })
+            .is_err()
+        {
+            break;
+        }
+        if ack.recv().is_err() {
+            break;
+        }
+        fed += 1;
+        if cfg.interval_ms > 0 {
+            std::thread::sleep(Duration::from_millis(cfg.interval_ms));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_spreads_sources_and_appends_cc() {
+        let specs = workload(
+            &MockConfig {
+                queries: 3,
+                ..MockConfig::default()
+            },
+            30,
+        );
+        assert_eq!(
+            specs,
+            vec![
+                QuerySpec::Sssp { source: 0 },
+                QuerySpec::Sssp { source: 10 },
+                QuerySpec::Sssp { source: 20 },
+                QuerySpec::Cc,
+            ]
+        );
+    }
+
+    #[test]
+    fn mock_deltas_are_deterministic_and_insert_only() {
+        let a = mock_delta(7, 100, 3);
+        let b = mock_delta(7, 100, 3);
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap(),
+            "same seed, same delta"
+        );
+        assert!(!a.has_removals());
+        assert_eq!(a.added_vertices().len(), 1);
+        assert_eq!(a.added_vertices()[0].0, 103);
+        assert_eq!(a.added_edges().len(), 4);
+        for e in a.added_edges() {
+            assert!(e.src == 103 || e.dst == 103);
+            assert!(e.src < 104 && e.dst < 104);
+        }
+    }
+}

@@ -1,0 +1,720 @@
+//! The wire protocol `graped` speaks and `grapectl` consumes.
+//!
+//! # Framing
+//!
+//! Length-delimited JSON lines: every frame is
+//!
+//! ```text
+//! <decimal payload length in bytes> '\n' <payload (one JSON value)> '\n'
+//! ```
+//!
+//! The explicit length makes the reader robust against payloads that could
+//! themselves contain newlines, and the trailing `'\n'` is *verified*: a
+//! payload that overruns or underruns its declared length is a protocol
+//! error, mirroring the `ensure_fully_consumed` discipline of the binary
+//! snapshot readers.  The JSON parser additionally rejects trailing
+//! characters after the value, so garbage cannot hide inside a
+//! correctly-framed payload either.  Frames above [`MAX_FRAME_BYTES`] are
+//! rejected before any allocation.
+//!
+//! # Requests and responses
+//!
+//! Every [`Request`] carries a client-chosen `id`; the matching
+//! [`Response`] echoes it, so a client can pipeline requests over one
+//! connection.  Bodies are tagged maps — `{"id":1,"op":"status"}` in,
+//! `{"id":1,"reply":"status",...}` out.  The tagged enums are serialized
+//! by hand (the derive shim only handles fieldless enums); the flat
+//! payload structs derive.
+
+use std::io::{BufRead, Write};
+
+use grape_algorithms::cc::CcResult;
+use grape_algorithms::sssp::SsspResult;
+use grape_core::metrics::LatencySummary;
+use grape_core::serve::{QueryStatus, ServeError, ServeReport};
+use grape_core::spec::QuerySpec;
+use grape_core::EngineError;
+use grape_graph::delta::GraphDelta;
+use grape_graph::types::VertexId;
+use serde::{Deserialize, Error, Serialize, Value};
+
+/// Hard cap on a single frame's payload (64 MiB): a malicious or corrupt
+/// length line cannot make the reader allocate unboundedly.
+pub const MAX_FRAME_BYTES: usize = 64 << 20;
+
+/// The default `graped` port.
+pub const DEFAULT_PORT: u16 = 4817;
+
+/// A framing- or transport-level failure (distinct from an in-protocol
+/// [`ResponseBody::Error`], which is a well-formed reply).
+#[derive(Debug)]
+pub enum WireError {
+    /// The underlying socket failed.
+    Io(std::io::Error),
+    /// The frame itself was malformed: bad length line, oversized,
+    /// truncated, payload overrunning its declared length, or non-UTF-8.
+    Frame(String),
+    /// The payload was not the expected JSON value.
+    Json(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "socket error: {e}"),
+            WireError::Frame(m) => write!(f, "malformed frame: {m}"),
+            WireError::Json(m) => write!(f, "malformed payload: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+/// Writes one frame: length line, payload, terminating newline, flush.
+pub fn write_frame<W: Write>(w: &mut W, payload: &str) -> std::io::Result<()> {
+    writeln!(w, "{}", payload.len())?;
+    w.write_all(payload.as_bytes())?;
+    w.write_all(b"\n")?;
+    w.flush()
+}
+
+/// Reads one frame's payload.  `Ok(None)` on a clean EOF *before* the
+/// length line — EOF anywhere else is a truncated frame.
+pub fn read_frame<R: BufRead>(r: &mut R) -> Result<Option<String>, WireError> {
+    let mut line = String::new();
+    if r.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    let trimmed = line.trim_end_matches(['\r', '\n']);
+    let len: usize = trimmed
+        .parse()
+        .map_err(|_| WireError::Frame(format!("bad frame length line {trimmed:?}")))?;
+    if len > MAX_FRAME_BYTES {
+        return Err(WireError::Frame(format!(
+            "frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
+        )));
+    }
+    let mut buf = vec![0u8; len + 1];
+    r.read_exact(&mut buf).map_err(|e| match e.kind() {
+        std::io::ErrorKind::UnexpectedEof => {
+            WireError::Frame(format!("truncated frame (declared {len} bytes)"))
+        }
+        _ => WireError::Io(e),
+    })?;
+    if buf[len] != b'\n' {
+        return Err(WireError::Frame(format!(
+            "payload overruns its declared length of {len} bytes"
+        )));
+    }
+    buf.pop();
+    String::from_utf8(buf)
+        .map(Some)
+        .map_err(|_| WireError::Frame("payload is not valid UTF-8".to_string()))
+}
+
+/// Serializes `value` and writes it as one frame.
+pub fn send<W: Write, T: Serialize>(w: &mut W, value: &T) -> Result<(), WireError> {
+    let json = serde_json::to_string(value).map_err(|e| WireError::Json(e.to_string()))?;
+    write_frame(w, &json).map_err(WireError::Io)
+}
+
+/// Reads one frame and deserializes it.  `Ok(None)` on clean EOF.
+pub fn recv<R: BufRead, T: Deserialize>(r: &mut R) -> Result<Option<T>, WireError> {
+    let Some(payload) = read_frame(r)? else {
+        return Ok(None);
+    };
+    serde_json::from_str(&payload)
+        .map(Some)
+        .map_err(|e| WireError::Json(e.to_string()))
+}
+
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+/// What a client can ask the daemon to do.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestBody {
+    /// Server + per-query state.
+    Status,
+    /// Uptime, per-delta latency histogram, per-query counters.
+    Metrics,
+    /// Register a standing query by spec; replies with its handle id.
+    Register {
+        /// The query to prepare.
+        spec: QuerySpec,
+    },
+    /// Apply one `ΔG` (exactly one `Fragmentation::apply_delta`).
+    Apply {
+        /// The delta.
+        delta: GraphDelta,
+    },
+    /// Apply a stream of deltas through the pipelined batch path.
+    ApplyBatch {
+        /// The deltas, in stream order.
+        deltas: Vec<GraphDelta>,
+    },
+    /// Assemble a query's answer, lazily rehydrating if evicted.
+    Output {
+        /// The handle id from `Register`.
+        query: usize,
+    },
+    /// Assemble a query's answer only if it is resident, caught up and
+    /// healthy — never triggers rehydration or replay.
+    TryOutput {
+        /// The handle id.
+        query: usize,
+    },
+    /// Spill a query to its per-fragment snapshot file.
+    Evict {
+        /// The handle id.
+        query: usize,
+    },
+    /// Reload an evicted query and replay the deltas it missed.
+    Rehydrate {
+        /// The handle id.
+        query: usize,
+    },
+    /// Stop the daemon (replies before the listener goes down).
+    Shutdown,
+}
+
+/// One framed request: a client-chosen id plus the operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Echoed verbatim in the response.
+    pub id: u64,
+    /// The operation.
+    pub body: RequestBody,
+}
+
+fn tagged(entries: Vec<(String, Value)>, key: &str, tag: &str) -> Value {
+    let mut map = vec![(key.to_string(), Value::Str(tag.to_string()))];
+    map.extend(entries);
+    Value::Map(map)
+}
+
+impl Serialize for RequestBody {
+    fn to_value(&self) -> Value {
+        let op = |tag: &str, extra: Vec<(String, Value)>| tagged(extra, "op", tag);
+        match self {
+            RequestBody::Status => op("status", vec![]),
+            RequestBody::Metrics => op("metrics", vec![]),
+            RequestBody::Register { spec } => {
+                op("register", vec![("spec".to_string(), spec.to_value())])
+            }
+            RequestBody::Apply { delta } => {
+                op("apply", vec![("delta".to_string(), delta.to_value())])
+            }
+            RequestBody::ApplyBatch { deltas } => op(
+                "apply_batch",
+                vec![("deltas".to_string(), deltas.to_value())],
+            ),
+            RequestBody::Output { query } => {
+                op("output", vec![("query".to_string(), query.to_value())])
+            }
+            RequestBody::TryOutput { query } => {
+                op("try_output", vec![("query".to_string(), query.to_value())])
+            }
+            RequestBody::Evict { query } => {
+                op("evict", vec![("query".to_string(), query.to_value())])
+            }
+            RequestBody::Rehydrate { query } => {
+                op("rehydrate", vec![("query".to_string(), query.to_value())])
+            }
+            RequestBody::Shutdown => op("shutdown", vec![]),
+        }
+    }
+}
+
+impl Serialize for Request {
+    fn to_value(&self) -> Value {
+        let mut entries = vec![("id".to_string(), self.id.to_value())];
+        if let Value::Map(body) = self.body.to_value() {
+            entries.extend(body);
+        }
+        Value::Map(entries)
+    }
+}
+
+fn field<T: Deserialize>(value: &Value, name: &str) -> Result<T, Error> {
+    T::from_value(
+        value
+            .get_field(name)
+            .ok_or_else(|| Error::missing_field(name))?,
+    )
+}
+
+fn tag<'v>(value: &'v Value, key: &str) -> Result<&'v str, Error> {
+    value
+        .get_field(key)
+        .ok_or_else(|| Error::missing_field(key))?
+        .as_str()
+        .ok_or_else(|| Error::custom(format!("`{key}` must be a string")))
+}
+
+impl Deserialize for RequestBody {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let body = match tag(value, "op")? {
+            "status" => RequestBody::Status,
+            "metrics" => RequestBody::Metrics,
+            "register" => RequestBody::Register {
+                spec: field(value, "spec")?,
+            },
+            "apply" => RequestBody::Apply {
+                delta: field(value, "delta")?,
+            },
+            "apply_batch" => RequestBody::ApplyBatch {
+                deltas: field(value, "deltas")?,
+            },
+            "output" => RequestBody::Output {
+                query: field(value, "query")?,
+            },
+            "try_output" => RequestBody::TryOutput {
+                query: field(value, "query")?,
+            },
+            "evict" => RequestBody::Evict {
+                query: field(value, "query")?,
+            },
+            "rehydrate" => RequestBody::Rehydrate {
+                query: field(value, "query")?,
+            },
+            "shutdown" => RequestBody::Shutdown,
+            other => return Err(Error::custom(format!("unknown op `{other}`"))),
+        };
+        Ok(body)
+    }
+}
+
+impl Deserialize for Request {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(Request {
+            id: field(value, "id")?,
+            body: RequestBody::from_value(value)?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------------
+
+/// Why a request failed — the in-protocol error taxonomy.  The daemon maps
+/// [`ServeError`] onto these; transport-level failures never reach this
+/// type (they surface as [`WireError`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ErrorKind {
+    /// The request was well-framed but not a valid operation.
+    BadRequest,
+    /// The query id was never issued by this daemon.
+    UnknownHandle,
+    /// The query was quarantined by an earlier failed refresh.
+    Poisoned,
+    /// The partition layer rejected the delta; the timeline did not
+    /// advance for it.
+    RejectedDelta,
+    /// The query is already evicted (for `evict`), or evicted/behind (for
+    /// `try_output`, which never does work to fix that).
+    NotResident,
+    /// A spill file could not be written, read back, or decoded.
+    Snapshot,
+    /// The engine failed (refresh divergence, superstep limit, ...).
+    Engine,
+    /// The daemon is shutting down and no longer serves requests.
+    ShuttingDown,
+}
+
+/// An apply/batch outcome flattened for the wire: the scalar facts of a
+/// [`ServeReport`] plus the ids whose refresh failed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ApplySummary {
+    /// Timeline version after this commit.
+    pub version: usize,
+    /// Raw deltas the commit absorbed (> 1 under group-commit).
+    pub deltas: usize,
+    /// Fragments the single delta application rebuilt.
+    pub rebuilt: Vec<usize>,
+    /// Fragments every query kept sharing verbatim.
+    pub reused: usize,
+    /// Queries whose refresh succeeded.
+    pub refreshed: Vec<usize>,
+    /// Queries whose refresh failed (poisoned or left behind; see
+    /// `status`).
+    pub failed: Vec<usize>,
+    /// Total PEval invocations across the successful refreshes.
+    pub peval_calls: usize,
+    /// Queries that were behind and caught up before this commit.
+    pub caught_up: Vec<usize>,
+    /// Evicted queries whose refresh is deferred until rehydration.
+    pub deferred: Vec<usize>,
+    /// Queries skipped because they are poisoned.
+    pub poisoned: Vec<usize>,
+    /// Queries the eviction policy spilled after this commit.
+    pub evicted: Vec<usize>,
+}
+
+impl From<&ServeReport> for ApplySummary {
+    fn from(r: &ServeReport) -> Self {
+        ApplySummary {
+            version: r.version,
+            deltas: r.deltas,
+            rebuilt: r.rebuilt.clone(),
+            reused: r.reused,
+            refreshed: r
+                .refreshed
+                .iter()
+                .filter(|q| q.result.is_ok())
+                .map(|q| q.query)
+                .collect(),
+            failed: r
+                .refreshed
+                .iter()
+                .filter(|q| q.result.is_err())
+                .map(|q| q.query)
+                .collect(),
+            peval_calls: r.peval_calls(),
+            caught_up: r.caught_up.clone(),
+            deferred: r.deferred.clone(),
+            poisoned: r.poisoned.clone(),
+            evicted: r.evicted.clone(),
+        }
+    }
+}
+
+/// A delta the partition layer rejected mid-batch (wire mirror of
+/// `BatchRejection`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RejectedDelta {
+    /// Index into the submitted delta slice.
+    pub index: usize,
+    /// The partition layer's reason.
+    pub reason: String,
+}
+
+/// One registered query's row in `status` / `metrics`: what it is (the
+/// spec) plus where it stands (the engine-side [`QueryStatus`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueryRow {
+    /// The spec it was registered with.
+    pub spec: QuerySpec,
+    /// Engine-side serving state.
+    pub status: QueryStatus,
+}
+
+/// The `status` reply.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StatusInfo {
+    /// Current timeline version.
+    pub version: usize,
+    /// Raw deltas absorbed since start.
+    pub deltas_applied: usize,
+    /// Timeline versions retained for replay.
+    pub retained_versions: usize,
+    /// Registered queries.
+    pub num_queries: usize,
+    /// Currently evicted queries.
+    pub num_evicted: usize,
+    /// Serialized size of all resident partials.
+    pub resident_partial_bytes: usize,
+    /// Per-query rows, sorted by id.
+    pub queries: Vec<QueryRow>,
+}
+
+/// The `metrics` reply.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsInfo {
+    /// Milliseconds since the daemon started.
+    pub uptime_ms: u64,
+    /// Current timeline version.
+    pub version: usize,
+    /// Raw deltas absorbed since start.
+    pub deltas_applied: usize,
+    /// Per-commit latency histogram recorded by the server itself.
+    pub latency: LatencySummary,
+    /// Live samples behind `latency` (windowed; see
+    /// `GrapeServer::latency_summary`).
+    pub latency_samples: usize,
+    /// Serialized size of all resident partials.
+    pub resident_partial_bytes: usize,
+    /// Per-query rows, sorted by id.
+    pub queries: Vec<QueryRow>,
+}
+
+/// A query's assembled answer in canonical wire form: rows sorted by
+/// vertex id, so equal answers are byte-equal frames.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryAnswer {
+    /// Shortest distances (vertex, distance), sorted by vertex;
+    /// unreachable vertices are absent.
+    Sssp {
+        /// The (vertex, distance) rows.
+        distances: Vec<(VertexId, f64)>,
+    },
+    /// Component labels (vertex, component id), sorted by vertex.
+    Cc {
+        /// The (vertex, component) rows.
+        components: Vec<(VertexId, VertexId)>,
+    },
+}
+
+impl QueryAnswer {
+    /// Canonicalizes an [`SsspResult`] (sorted by vertex id).
+    pub fn from_sssp(result: &SsspResult) -> Self {
+        let mut distances: Vec<(VertexId, f64)> =
+            result.distances().iter().map(|(&v, &d)| (v, d)).collect();
+        distances.sort_by_key(|&(v, _)| v);
+        QueryAnswer::Sssp { distances }
+    }
+
+    /// Canonicalizes a [`CcResult`] (sorted by vertex id).
+    pub fn from_cc(result: &CcResult) -> Self {
+        let mut components: Vec<(VertexId, VertexId)> =
+            result.labels().iter().map(|(&v, &c)| (v, c)).collect();
+        components.sort_by_key(|&(v, _)| v);
+        QueryAnswer::Cc { components }
+    }
+
+    /// The answer's query kind tag (`"sssp"`, `"cc"`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            QueryAnswer::Sssp { .. } => "sssp",
+            QueryAnswer::Cc { .. } => "cc",
+        }
+    }
+}
+
+impl Serialize for QueryAnswer {
+    fn to_value(&self) -> Value {
+        match self {
+            QueryAnswer::Sssp { distances } => tagged(
+                vec![("distances".to_string(), distances.to_value())],
+                "kind",
+                "sssp",
+            ),
+            QueryAnswer::Cc { components } => tagged(
+                vec![("components".to_string(), components.to_value())],
+                "kind",
+                "cc",
+            ),
+        }
+    }
+}
+
+impl Deserialize for QueryAnswer {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match tag(value, "kind")? {
+            "sssp" => Ok(QueryAnswer::Sssp {
+                distances: field(value, "distances")?,
+            }),
+            "cc" => Ok(QueryAnswer::Cc {
+                components: field(value, "components")?,
+            }),
+            other => Err(Error::custom(format!("unknown answer kind `{other}`"))),
+        }
+    }
+}
+
+/// What the daemon replies with.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResponseBody {
+    /// A query was registered under `query`.
+    Registered {
+        /// The handle id to use in later requests.
+        query: usize,
+        /// The spec, echoed back.
+        spec: QuerySpec,
+    },
+    /// An apply / apply_batch outcome: one summary per commit, plus the
+    /// rejection that stopped a batch (commits before it are durable).
+    Applied {
+        /// Per-commit summaries, in stream order.
+        reports: Vec<ApplySummary>,
+        /// The rejection that stopped a batch, if any.
+        rejected: Option<RejectedDelta>,
+    },
+    /// A query's assembled answer.
+    Answer {
+        /// The handle id.
+        query: usize,
+        /// The canonical answer.
+        answer: QueryAnswer,
+    },
+    /// A query was spilled to `spill`.
+    Evicted {
+        /// The handle id.
+        query: usize,
+        /// The spill file path on the daemon's filesystem.
+        spill: String,
+    },
+    /// A query was reloaded and caught up.
+    Rehydrated {
+        /// The handle id.
+        query: usize,
+        /// Deltas replayed to catch up.
+        replayed: usize,
+        /// PEval invocations of the replay (0 on the monotone path).
+        peval_calls: usize,
+    },
+    /// The `status` reply.
+    Status(StatusInfo),
+    /// The `metrics` reply.
+    Metrics(MetricsInfo),
+    /// The daemon acknowledged `shutdown` and is going down.
+    ShuttingDown,
+    /// The request failed (the daemon keeps serving).
+    Error {
+        /// The error taxonomy entry.
+        kind: ErrorKind,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// One framed response: the echoed request id plus the body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// The id of the request this answers.
+    pub id: u64,
+    /// The reply.
+    pub body: ResponseBody,
+}
+
+impl Serialize for ResponseBody {
+    fn to_value(&self) -> Value {
+        let reply = |tag: &str, extra: Vec<(String, Value)>| tagged(extra, "reply", tag);
+        match self {
+            ResponseBody::Registered { query, spec } => reply(
+                "registered",
+                vec![
+                    ("query".to_string(), query.to_value()),
+                    ("spec".to_string(), spec.to_value()),
+                ],
+            ),
+            ResponseBody::Applied { reports, rejected } => reply(
+                "applied",
+                vec![
+                    ("reports".to_string(), reports.to_value()),
+                    ("rejected".to_string(), rejected.to_value()),
+                ],
+            ),
+            ResponseBody::Answer { query, answer } => reply(
+                "answer",
+                vec![
+                    ("query".to_string(), query.to_value()),
+                    ("answer".to_string(), answer.to_value()),
+                ],
+            ),
+            ResponseBody::Evicted { query, spill } => reply(
+                "evicted",
+                vec![
+                    ("query".to_string(), query.to_value()),
+                    ("spill".to_string(), spill.to_value()),
+                ],
+            ),
+            ResponseBody::Rehydrated {
+                query,
+                replayed,
+                peval_calls,
+            } => reply(
+                "rehydrated",
+                vec![
+                    ("query".to_string(), query.to_value()),
+                    ("replayed".to_string(), replayed.to_value()),
+                    ("peval_calls".to_string(), peval_calls.to_value()),
+                ],
+            ),
+            ResponseBody::Status(info) => {
+                reply("status", vec![("status".to_string(), info.to_value())])
+            }
+            ResponseBody::Metrics(info) => {
+                reply("metrics", vec![("metrics".to_string(), info.to_value())])
+            }
+            ResponseBody::ShuttingDown => reply("shutting_down", vec![]),
+            ResponseBody::Error { kind, message } => reply(
+                "error",
+                vec![
+                    ("kind".to_string(), kind.to_value()),
+                    ("message".to_string(), message.to_value()),
+                ],
+            ),
+        }
+    }
+}
+
+impl Serialize for Response {
+    fn to_value(&self) -> Value {
+        let mut entries = vec![("id".to_string(), self.id.to_value())];
+        if let Value::Map(body) = self.body.to_value() {
+            entries.extend(body);
+        }
+        Value::Map(entries)
+    }
+}
+
+impl Deserialize for ResponseBody {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let body = match tag(value, "reply")? {
+            "registered" => ResponseBody::Registered {
+                query: field(value, "query")?,
+                spec: field(value, "spec")?,
+            },
+            "applied" => ResponseBody::Applied {
+                reports: field(value, "reports")?,
+                rejected: field(value, "rejected")?,
+            },
+            "answer" => ResponseBody::Answer {
+                query: field(value, "query")?,
+                answer: field(value, "answer")?,
+            },
+            "evicted" => ResponseBody::Evicted {
+                query: field(value, "query")?,
+                spill: field(value, "spill")?,
+            },
+            "rehydrated" => ResponseBody::Rehydrated {
+                query: field(value, "query")?,
+                replayed: field(value, "replayed")?,
+                peval_calls: field(value, "peval_calls")?,
+            },
+            "status" => ResponseBody::Status(field(value, "status")?),
+            "metrics" => ResponseBody::Metrics(field(value, "metrics")?),
+            "shutting_down" => ResponseBody::ShuttingDown,
+            "error" => ResponseBody::Error {
+                kind: field(value, "kind")?,
+                message: field(value, "message")?,
+            },
+            other => return Err(Error::custom(format!("unknown reply `{other}`"))),
+        };
+        Ok(body)
+    }
+}
+
+impl Deserialize for Response {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(Response {
+            id: field(value, "id")?,
+            body: ResponseBody::from_value(value)?,
+        })
+    }
+}
+
+/// Maps a [`ServeError`] onto the wire taxonomy.
+pub fn serve_error_body(e: &ServeError) -> ResponseBody {
+    let kind = match e {
+        ServeError::Engine(EngineError::PoisonedHandle) => ErrorKind::Poisoned,
+        ServeError::Engine(_) => ErrorKind::Engine,
+        ServeError::Delta(_) => ErrorKind::RejectedDelta,
+        ServeError::UnknownHandle(_) => ErrorKind::UnknownHandle,
+        ServeError::AlreadyEvicted(_) => ErrorKind::NotResident,
+        ServeError::Snapshot(_) => ErrorKind::Snapshot,
+    };
+    ResponseBody::Error {
+        kind,
+        message: e.to_string(),
+    }
+}

@@ -1,0 +1,680 @@
+//! The `graped` daemon: TCP front, single-threaded engine back.
+//!
+//! Layout:
+//!
+//! ```text
+//! client ──TCP──▶ connection thread ──┐
+//! client ──TCP──▶ connection thread ──┼──mpsc──▶ engine thread (owns GrapeServer)
+//! mock feeder ────────────────────────┘
+//! ```
+//!
+//! Each accepted socket gets its own blocking reader thread; every parsed
+//! request crosses the command channel with a private reply channel and is
+//! executed **on the engine thread**, which is the only code that ever
+//! touches the [`GrapeServer`].  Concurrent clients can interleave
+//! requests however they like — applies still happen one at a time, in
+//! channel arrival order, so each `ΔG` runs exactly one
+//! `Fragmentation::apply_delta` (the invariant the serving layer is built
+//! around, now enforced end-to-end by construction rather than by
+//! caller discipline).
+//!
+//! Shutdown: a `shutdown` request (or [`GrapedHandle::shutdown`]) breaks
+//! the engine loop, raises the stop flag and self-connects once to wake
+//! the blocking `accept`.  In-flight requests on other connections get a
+//! [`ErrorKind::ShuttingDown`] reply.
+
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use grape_algorithms::cc::{Cc, CcQuery};
+use grape_algorithms::sssp::{Sssp, SsspQuery};
+use grape_core::config::EngineMode;
+use grape_core::serve::{GrapeServer, QueryHandle, ServeError};
+use grape_core::session::GrapeSession;
+use grape_core::spec::QuerySpec;
+use grape_graph::generators;
+use grape_graph::graph::Graph;
+use grape_partition::metis_like::MetisLike;
+use grape_partition::strategy::PartitionStrategy;
+
+use crate::mock::{self, MockConfig};
+use crate::protocol::{
+    self, ApplySummary, ErrorKind, MetricsInfo, QueryAnswer, QueryRow, RejectedDelta, Request,
+    RequestBody, Response, ResponseBody, StatusInfo,
+};
+
+/// The graph a daemon starts from (deltas evolve it afterwards).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphSource {
+    /// A `width × height` road grid with seeded random weights
+    /// ([`generators::road_grid`]).
+    Grid {
+        /// Grid width.
+        width: usize,
+        /// Grid height.
+        height: usize,
+        /// Weight seed.
+        seed: u64,
+    },
+    /// A path graph `0 → 1 → … → n-1` (tiny; for tests and smoke runs).
+    Path {
+        /// Number of vertices.
+        n: usize,
+    },
+}
+
+impl GraphSource {
+    /// Builds the start graph.
+    pub fn build(&self) -> Graph {
+        match *self {
+            GraphSource::Grid {
+                width,
+                height,
+                seed,
+            } => generators::road_grid(width, height, seed),
+            GraphSource::Path { n } => {
+                let mut b = grape_graph::builder::GraphBuilder::directed().ensure_vertices(n);
+                for v in 1..n as u64 {
+                    b = b.add_edge(v - 1, v);
+                }
+                b.build()
+            }
+        }
+    }
+
+    /// Parses `grid:<W>x<H>[@seed]` or `path:<N>`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        if let Some(rest) = s.strip_prefix("grid:") {
+            let (dims, seed) = match rest.split_once('@') {
+                Some((d, seed)) => (
+                    d,
+                    seed.parse::<u64>()
+                        .map_err(|_| format!("bad grid seed in {s:?}"))?,
+                ),
+                None => (rest, 7),
+            };
+            let (w, h) = dims
+                .split_once('x')
+                .ok_or_else(|| format!("expected grid:<W>x<H> in {s:?}"))?;
+            let width = w.parse().map_err(|_| format!("bad grid width in {s:?}"))?;
+            let height = h.parse().map_err(|_| format!("bad grid height in {s:?}"))?;
+            Ok(GraphSource::Grid {
+                width,
+                height,
+                seed,
+            })
+        } else if let Some(n) = s.strip_prefix("path:") {
+            Ok(GraphSource::Path {
+                n: n.parse().map_err(|_| format!("bad path length in {s:?}"))?,
+            })
+        } else {
+            Err(format!(
+                "unknown graph source {s:?} (expected grid:<W>x<H>[@seed] or path:<N>)"
+            ))
+        }
+    }
+}
+
+/// Everything needed to spawn a daemon.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Bind address; port `0` picks an ephemeral port (see
+    /// [`GrapedHandle::addr`]).
+    pub addr: String,
+    /// Engine workers per query refresh.
+    pub workers: usize,
+    /// Refresh fan-out width of the `GrapeServer`.
+    pub refresh_threads: usize,
+    /// Fragments to partition the start graph into.
+    pub fragments: usize,
+    /// Engine mode (defaults to `GRAPE_ENGINE_MODE`).
+    pub mode: EngineMode,
+    /// The start graph.
+    pub graph: GraphSource,
+    /// Explicit spill directory for evicted queries (temp dir otherwise).
+    pub spill_dir: Option<PathBuf>,
+    /// When set, registers the synthetic workload and feeds generated
+    /// deltas (the `--mock` mode).
+    pub mock: Option<MockConfig>,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            addr: format!("127.0.0.1:{}", protocol::DEFAULT_PORT),
+            workers: 2,
+            refresh_threads: 2,
+            fragments: 4,
+            mode: EngineMode::default_from_env(),
+            graph: GraphSource::Grid {
+                width: 24,
+                height: 24,
+                seed: 7,
+            },
+            spill_dir: None,
+            mock: None,
+        }
+    }
+}
+
+/// A failure to *start* the daemon (once running, failures are per-request
+/// protocol errors).
+#[derive(Debug)]
+pub enum DaemonError {
+    /// Binding or socket setup failed.
+    Io(std::io::Error),
+    /// Partitioning the start graph failed.
+    Partition(String),
+    /// Preparing the mock workload failed.
+    Register(String),
+}
+
+impl std::fmt::Display for DaemonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DaemonError::Io(e) => write!(f, "cannot start daemon: {e}"),
+            DaemonError::Partition(m) => write!(f, "cannot partition start graph: {m}"),
+            DaemonError::Register(m) => write!(f, "cannot register mock workload: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DaemonError {}
+
+impl From<std::io::Error> for DaemonError {
+    fn from(e: std::io::Error) -> Self {
+        DaemonError::Io(e)
+    }
+}
+
+/// A registered query's typed handle, erased into the one enum the engine
+/// thread dispatches on (specs arrive as data, not as types).
+enum AnyHandle {
+    Sssp(QueryHandle<Sssp>),
+    Cc(QueryHandle<Cc>),
+}
+
+/// The engine thread's state: the `GrapeServer` plus the spec/handle table
+/// mapping wire-level query ids onto typed handles.
+struct Engine {
+    server: GrapeServer,
+    entries: Vec<(QuerySpec, AnyHandle)>,
+    started: Instant,
+}
+
+impl Engine {
+    fn err(kind: ErrorKind, message: impl Into<String>) -> ResponseBody {
+        ResponseBody::Error {
+            kind,
+            message: message.into(),
+        }
+    }
+
+    fn register(&mut self, spec: QuerySpec) -> Result<usize, ServeError> {
+        let id = match spec {
+            QuerySpec::Sssp { source } => {
+                let h = self.server.register(Sssp, SsspQuery::new(source))?;
+                self.entries.push((spec, AnyHandle::Sssp(h)));
+                h.id()
+            }
+            QuerySpec::Cc => {
+                let h = self.server.register(Cc, CcQuery)?;
+                self.entries.push((spec, AnyHandle::Cc(h)));
+                h.id()
+            }
+        };
+        debug_assert_eq!(id + 1, self.entries.len(), "slot ids are dense");
+        Ok(id)
+    }
+
+    fn rows(&self) -> Vec<QueryRow> {
+        self.server
+            .query_statuses()
+            .into_iter()
+            .map(|status| QueryRow {
+                spec: self.entries[status.query].0,
+                status,
+            })
+            .collect()
+    }
+
+    fn output(&mut self, query: usize) -> Result<QueryAnswer, ServeError> {
+        match &self.entries[query].1 {
+            AnyHandle::Sssp(h) => {
+                let h = *h;
+                self.server.output(&h).map(|r| QueryAnswer::from_sssp(&r))
+            }
+            AnyHandle::Cc(h) => {
+                let h = *h;
+                self.server.output(&h).map(|r| QueryAnswer::from_cc(&r))
+            }
+        }
+    }
+
+    fn try_output(&self, query: usize) -> ResponseBody {
+        let status = &self.server.query_statuses()[query];
+        if status.evicted {
+            return Self::err(
+                ErrorKind::NotResident,
+                format!("query {query} is evicted; use output or rehydrate"),
+            );
+        }
+        if status.poisoned {
+            return Self::err(
+                ErrorKind::Poisoned,
+                format!("query {query} was poisoned by an earlier failed refresh"),
+            );
+        }
+        if status.version < self.server.version() {
+            return Self::err(
+                ErrorKind::NotResident,
+                format!(
+                    "query {query} is behind (version {} of {}); use output or rehydrate",
+                    status.version,
+                    self.server.version()
+                ),
+            );
+        }
+        let result = match &self.entries[query].1 {
+            AnyHandle::Sssp(h) => self
+                .server
+                .prepared(h)
+                .map(|p| p.expect("resident").try_output())
+                .and_then(|r| r.map_err(ServeError::Engine))
+                .map(|r| QueryAnswer::from_sssp(&r)),
+            AnyHandle::Cc(h) => self
+                .server
+                .prepared(h)
+                .map(|p| p.expect("resident").try_output())
+                .and_then(|r| r.map_err(ServeError::Engine))
+                .map(|r| QueryAnswer::from_cc(&r)),
+        };
+        match result {
+            Ok(answer) => ResponseBody::Answer { query, answer },
+            Err(e) => protocol::serve_error_body(&e),
+        }
+    }
+
+    /// Executes one request body.  Runs on the engine thread only.
+    fn handle(&mut self, body: RequestBody) -> ResponseBody {
+        match body {
+            RequestBody::Status => ResponseBody::Status(StatusInfo {
+                version: self.server.version(),
+                deltas_applied: self.server.deltas_applied(),
+                retained_versions: self.server.retained_versions(),
+                num_queries: self.server.num_queries(),
+                num_evicted: self.server.num_evicted(),
+                resident_partial_bytes: self.server.resident_partial_bytes(),
+                queries: self.rows(),
+            }),
+            RequestBody::Metrics => ResponseBody::Metrics(MetricsInfo {
+                uptime_ms: self.started.elapsed().as_millis() as u64,
+                version: self.server.version(),
+                deltas_applied: self.server.deltas_applied(),
+                latency: self.server.latency_summary(),
+                latency_samples: self.server.latency_samples(),
+                resident_partial_bytes: self.server.resident_partial_bytes(),
+                queries: self.rows(),
+            }),
+            RequestBody::Register { spec } => match self.register(spec) {
+                Ok(query) => ResponseBody::Registered { query, spec },
+                Err(e) => protocol::serve_error_body(&e),
+            },
+            RequestBody::Apply { delta } => match self.server.apply(&delta) {
+                Ok(report) => ResponseBody::Applied {
+                    reports: vec![ApplySummary::from(&report)],
+                    rejected: None,
+                },
+                Err(e) => protocol::serve_error_body(&e),
+            },
+            RequestBody::ApplyBatch { deltas } => {
+                let batch = self.server.apply_batch(&deltas);
+                ResponseBody::Applied {
+                    reports: batch.reports.iter().map(ApplySummary::from).collect(),
+                    rejected: batch.rejected.map(|r| RejectedDelta {
+                        index: r.index,
+                        reason: r.reason,
+                    }),
+                }
+            }
+            RequestBody::Output { query } => {
+                if query >= self.entries.len() {
+                    return Self::err(
+                        ErrorKind::UnknownHandle,
+                        format!("query handle {query} was never registered"),
+                    );
+                }
+                match self.output(query) {
+                    Ok(answer) => ResponseBody::Answer { query, answer },
+                    Err(e) => protocol::serve_error_body(&e),
+                }
+            }
+            RequestBody::TryOutput { query } => {
+                if query >= self.entries.len() {
+                    return Self::err(
+                        ErrorKind::UnknownHandle,
+                        format!("query handle {query} was never registered"),
+                    );
+                }
+                self.try_output(query)
+            }
+            RequestBody::Evict { query } => {
+                if query >= self.entries.len() {
+                    return Self::err(
+                        ErrorKind::UnknownHandle,
+                        format!("query handle {query} was never registered"),
+                    );
+                }
+                let result = match &self.entries[query].1 {
+                    AnyHandle::Sssp(h) => self.server.evict(h),
+                    AnyHandle::Cc(h) => self.server.evict(h),
+                };
+                match result {
+                    Ok(spill) => ResponseBody::Evicted {
+                        query,
+                        spill: spill.display().to_string(),
+                    },
+                    Err(e) => protocol::serve_error_body(&e),
+                }
+            }
+            RequestBody::Rehydrate { query } => {
+                if query >= self.entries.len() {
+                    return Self::err(
+                        ErrorKind::UnknownHandle,
+                        format!("query handle {query} was never registered"),
+                    );
+                }
+                let result = match &self.entries[query].1 {
+                    AnyHandle::Sssp(h) => {
+                        let h = *h;
+                        self.server.rehydrate(&h)
+                    }
+                    AnyHandle::Cc(h) => {
+                        let h = *h;
+                        self.server.rehydrate(&h)
+                    }
+                };
+                match result {
+                    Ok(report) => ResponseBody::Rehydrated {
+                        query,
+                        replayed: report.replayed.len(),
+                        peval_calls: report.peval_calls(),
+                    },
+                    Err(e) => protocol::serve_error_body(&e),
+                }
+            }
+            RequestBody::Shutdown => ResponseBody::ShuttingDown,
+        }
+    }
+}
+
+/// One request crossing from a socket (or the mock feeder) to the engine
+/// thread, with a private reply channel.
+pub(crate) struct Command {
+    pub(crate) body: RequestBody,
+    pub(crate) reply: Sender<ResponseBody>,
+}
+
+/// A running daemon.  Dropping the handle does **not** stop the daemon;
+/// call [`GrapedHandle::shutdown`] (or send a `shutdown` request) first,
+/// or [`GrapedHandle::wait`] to serve until one arrives.
+pub struct GrapedHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    tx: Sender<Command>,
+    accept: Option<JoinHandle<()>>,
+    engine: Option<JoinHandle<()>>,
+    feeder: Option<JoinHandle<()>>,
+}
+
+impl GrapedHandle {
+    /// Builds the graph, prepares the (possibly mock) workload, binds the
+    /// listener and starts the accept + engine threads.  Returns once the
+    /// daemon accepts connections.
+    pub fn spawn(config: DaemonConfig) -> Result<GrapedHandle, DaemonError> {
+        let graph = config.graph.build();
+        let fragmentation = MetisLike::new(config.fragments)
+            .partition(&graph)
+            .map_err(|e| DaemonError::Partition(e.to_string()))?;
+        let session = GrapeSession::builder()
+            .workers(config.workers)
+            .mode(config.mode)
+            .refresh_threads(config.refresh_threads)
+            .build()
+            .map_err(|e| DaemonError::Partition(e.to_string()))?;
+        let server = match &config.spill_dir {
+            Some(dir) => GrapeServer::with_spill_dir(session, fragmentation, dir.clone()),
+            None => GrapeServer::new(session, fragmentation),
+        };
+        let mut engine = Engine {
+            server,
+            entries: Vec::new(),
+            started: Instant::now(),
+        };
+        if let Some(mock_cfg) = &config.mock {
+            for spec in mock::workload(mock_cfg, graph.num_vertices()) {
+                engine
+                    .register(spec)
+                    .map_err(|e| DaemonError::Register(e.to_string()))?;
+            }
+        }
+
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = std::sync::mpsc::channel::<Command>();
+
+        let engine_thread = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || run_engine(engine, rx, stop, addr))
+        };
+        let feeder = config.mock.as_ref().map(|mock_cfg| {
+            let tx = tx.clone();
+            let stop = Arc::clone(&stop);
+            let cfg = mock_cfg.clone();
+            let base_vertices = graph.num_vertices() as u64;
+            std::thread::spawn(move || mock::feed(cfg, base_vertices, tx, stop))
+        });
+        let accept_thread = {
+            let tx = tx.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || run_accept(listener, tx, stop))
+        };
+        Ok(GrapedHandle {
+            addr,
+            stop,
+            tx,
+            accept: Some(accept_thread),
+            engine: Some(engine_thread),
+            feeder,
+        })
+    }
+
+    /// The bound address (resolves port `0` to the real ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until the daemon stops (a `shutdown` request arrived).
+    pub fn wait(mut self) {
+        self.join();
+    }
+
+    /// Stops the daemon: engine loop breaks, listener wakes, threads join.
+    pub fn shutdown(mut self) {
+        let (reply, ack) = std::sync::mpsc::channel();
+        if self
+            .tx
+            .send(Command {
+                body: RequestBody::Shutdown,
+                reply,
+            })
+            .is_ok()
+        {
+            let _ = ack.recv();
+        } else {
+            // The engine is already down (a client's shutdown won); just
+            // make sure the accept loop wakes too.
+            self.stop.store(true, Ordering::SeqCst);
+            let _ = TcpStream::connect(self.addr);
+        }
+        self.join();
+    }
+
+    fn join(&mut self) {
+        if let Some(t) = self.engine.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.feeder.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// The engine loop: the only code that touches the `GrapeServer`.  Breaks
+/// on `shutdown` (after acking), then raises the stop flag and wakes the
+/// accept loop.
+fn run_engine(mut engine: Engine, rx: Receiver<Command>, stop: Arc<AtomicBool>, addr: SocketAddr) {
+    while let Ok(cmd) = rx.recv() {
+        let shutting_down = matches!(cmd.body, RequestBody::Shutdown);
+        let response = engine.handle(cmd.body);
+        let _ = cmd.reply.send(response);
+        if shutting_down {
+            break;
+        }
+    }
+    stop.store(true, Ordering::SeqCst);
+    // Wake the blocking accept() so the listener thread can observe the
+    // flag and exit.
+    let _ = TcpStream::connect(addr);
+}
+
+/// The accept loop: one blocking reader thread per connection.
+fn run_accept(listener: TcpListener, tx: Sender<Command>, stop: Arc<AtomicBool>) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let tx = tx.clone();
+        std::thread::spawn(move || serve_connection(stream, tx));
+    }
+}
+
+/// Reads frames off one socket, funnels each request through the command
+/// channel, writes the reply.  A framing error ends the connection (the
+/// byte stream can no longer be trusted); a *payload* error (well-framed
+/// but not a valid request) gets an error reply and the connection
+/// continues.
+fn serve_connection(stream: TcpStream, tx: Sender<Command>) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        let request: Request = match protocol::recv(&mut reader) {
+            Ok(Some(request)) => request,
+            Ok(None) => break,
+            Err(protocol::WireError::Json(m)) => {
+                let reply = Response {
+                    id: 0,
+                    body: ResponseBody::Error {
+                        kind: ErrorKind::BadRequest,
+                        message: m,
+                    },
+                };
+                if protocol::send(&mut writer, &reply).is_err() {
+                    break;
+                }
+                continue;
+            }
+            Err(e) => {
+                let reply = Response {
+                    id: 0,
+                    body: ResponseBody::Error {
+                        kind: ErrorKind::BadRequest,
+                        message: e.to_string(),
+                    },
+                };
+                let _ = protocol::send(&mut writer, &reply);
+                break;
+            }
+        };
+        let (reply_tx, reply_rx) = std::sync::mpsc::channel();
+        let body = if tx
+            .send(Command {
+                body: request.body,
+                reply: reply_tx,
+            })
+            .is_ok()
+        {
+            reply_rx.recv().unwrap_or(ResponseBody::Error {
+                kind: ErrorKind::ShuttingDown,
+                message: "daemon is shutting down".to_string(),
+            })
+        } else {
+            ResponseBody::Error {
+                kind: ErrorKind::ShuttingDown,
+                message: "daemon is shutting down".to_string(),
+            }
+        };
+        let response = Response {
+            id: request.id,
+            body,
+        };
+        if protocol::send(&mut writer, &response).is_err() {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graph_sources_parse_and_build() {
+        assert_eq!(
+            GraphSource::parse("grid:4x3").unwrap(),
+            GraphSource::Grid {
+                width: 4,
+                height: 3,
+                seed: 7
+            }
+        );
+        assert_eq!(
+            GraphSource::parse("grid:4x3@42").unwrap(),
+            GraphSource::Grid {
+                width: 4,
+                height: 3,
+                seed: 42
+            }
+        );
+        assert_eq!(
+            GraphSource::parse("path:9").unwrap(),
+            GraphSource::Path { n: 9 }
+        );
+        assert!(GraphSource::parse("ring:5").is_err());
+        assert!(GraphSource::parse("grid:4").is_err());
+
+        let g = GraphSource::Path { n: 5 }.build();
+        assert_eq!(g.num_vertices(), 5);
+        let g = GraphSource::Grid {
+            width: 4,
+            height: 3,
+            seed: 7,
+        }
+        .build();
+        assert_eq!(g.num_vertices(), 12);
+    }
+}

@@ -1,0 +1,295 @@
+//! Satellite: wire-protocol round-trips.
+//!
+//! Every request and response variant must survive serialize → frame →
+//! read → deserialize unchanged (including error frames), and the frame
+//! reader must reject malformed input the same way the binary snapshot
+//! readers' `ensure_fully_consumed` discipline does: nothing before, after,
+//! or inside a frame may be silently ignored.
+
+use std::io::Cursor;
+
+use grape_core::metrics::LatencySummary;
+use grape_core::serve::QueryStatus;
+use grape_core::spec::QuerySpec;
+use grape_daemon::protocol::{
+    self, ApplySummary, ErrorKind, MetricsInfo, QueryAnswer, QueryRow, RejectedDelta, Request,
+    RequestBody, Response, ResponseBody, StatusInfo, WireError, MAX_FRAME_BYTES,
+};
+use grape_graph::delta::GraphDelta;
+
+fn roundtrip_request(body: RequestBody) {
+    let request = Request { id: 42, body };
+    let json = serde_json::to_string(&request).expect("serialize");
+    let back: Request = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back, request, "request did not round-trip: {json}");
+}
+
+fn roundtrip_response(body: ResponseBody) {
+    let response = Response { id: 7, body };
+    let json = serde_json::to_string(&response).expect("serialize");
+    let back: Response = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back, response, "response did not round-trip: {json}");
+}
+
+fn sample_delta() -> GraphDelta {
+    GraphDelta::new()
+        .add_vertex(9, 3)
+        .add_weighted_edge(0, 9, 2.5)
+        .remove_edge(1, 2)
+        .remove_vertex(4)
+}
+
+fn sample_status() -> QueryStatus {
+    QueryStatus {
+        query: 1,
+        version: 5,
+        evicted: true,
+        poisoned: false,
+        updates_applied: 5,
+        incremental_updates: 4,
+        bounded_updates: 1,
+        partial_bytes: 0,
+    }
+}
+
+fn sample_summary() -> ApplySummary {
+    ApplySummary {
+        version: 3,
+        deltas: 2,
+        rebuilt: vec![0, 2],
+        reused: 6,
+        refreshed: vec![0, 1],
+        failed: vec![2],
+        peval_calls: 1,
+        caught_up: vec![1],
+        deferred: vec![3],
+        poisoned: vec![4],
+        evicted: vec![5],
+    }
+}
+
+#[test]
+fn every_request_variant_round_trips() {
+    roundtrip_request(RequestBody::Status);
+    roundtrip_request(RequestBody::Metrics);
+    roundtrip_request(RequestBody::Register {
+        spec: QuerySpec::Sssp { source: 3 },
+    });
+    roundtrip_request(RequestBody::Register {
+        spec: QuerySpec::Cc,
+    });
+    roundtrip_request(RequestBody::Apply {
+        delta: sample_delta(),
+    });
+    roundtrip_request(RequestBody::ApplyBatch {
+        deltas: vec![sample_delta(), GraphDelta::new()],
+    });
+    roundtrip_request(RequestBody::Output { query: 0 });
+    roundtrip_request(RequestBody::TryOutput { query: 1 });
+    roundtrip_request(RequestBody::Evict { query: 2 });
+    roundtrip_request(RequestBody::Rehydrate { query: 3 });
+    roundtrip_request(RequestBody::Shutdown);
+}
+
+#[test]
+fn every_response_variant_round_trips() {
+    roundtrip_response(ResponseBody::Registered {
+        query: 2,
+        spec: QuerySpec::Sssp { source: 3 },
+    });
+    roundtrip_response(ResponseBody::Applied {
+        reports: vec![sample_summary()],
+        rejected: None,
+    });
+    roundtrip_response(ResponseBody::Applied {
+        reports: vec![],
+        rejected: Some(RejectedDelta {
+            index: 1,
+            reason: "cannot add vertex 9: id already exists".to_string(),
+        }),
+    });
+    roundtrip_response(ResponseBody::Answer {
+        query: 0,
+        answer: QueryAnswer::Sssp {
+            distances: vec![(0, 0.0), (1, 1.5), (7, 42.25)],
+        },
+    });
+    roundtrip_response(ResponseBody::Answer {
+        query: 1,
+        answer: QueryAnswer::Cc {
+            components: vec![(0, 0), (1, 0), (2, 2)],
+        },
+    });
+    roundtrip_response(ResponseBody::Evicted {
+        query: 3,
+        spill: "/tmp/spill/q3".to_string(),
+    });
+    roundtrip_response(ResponseBody::Rehydrated {
+        query: 3,
+        replayed: 4,
+        peval_calls: 0,
+    });
+    roundtrip_response(ResponseBody::Status(StatusInfo {
+        version: 5,
+        deltas_applied: 9,
+        retained_versions: 6,
+        num_queries: 2,
+        num_evicted: 1,
+        resident_partial_bytes: 1024,
+        queries: vec![
+            QueryRow {
+                spec: QuerySpec::Cc,
+                status: sample_status(),
+            },
+            QueryRow {
+                spec: QuerySpec::Sssp { source: 0 },
+                status: QueryStatus {
+                    evicted: false,
+                    partial_bytes: 1024,
+                    ..sample_status()
+                },
+            },
+        ],
+    }));
+    roundtrip_response(ResponseBody::Metrics(MetricsInfo {
+        uptime_ms: 12345,
+        version: 5,
+        deltas_applied: 9,
+        latency: LatencySummary {
+            samples: 9,
+            mean_ms: 1.25,
+            p50_ms: 1.0,
+            p99_ms: 3.5,
+            max_ms: 3.5,
+        },
+        latency_samples: 9,
+        resident_partial_bytes: 1024,
+        queries: vec![],
+    }));
+    roundtrip_response(ResponseBody::ShuttingDown);
+}
+
+#[test]
+fn every_error_kind_round_trips_as_an_error_frame() {
+    for kind in [
+        ErrorKind::BadRequest,
+        ErrorKind::UnknownHandle,
+        ErrorKind::Poisoned,
+        ErrorKind::RejectedDelta,
+        ErrorKind::NotResident,
+        ErrorKind::Snapshot,
+        ErrorKind::Engine,
+        ErrorKind::ShuttingDown,
+    ] {
+        roundtrip_response(ResponseBody::Error {
+            kind,
+            message: format!("synthetic {kind:?}"),
+        });
+    }
+}
+
+#[test]
+fn framed_send_recv_round_trips_over_a_byte_stream() {
+    let mut wire = Vec::new();
+    let ping = Request {
+        id: 1,
+        body: RequestBody::Status,
+    };
+    let apply = Request {
+        id: 2,
+        body: RequestBody::Apply {
+            delta: sample_delta(),
+        },
+    };
+    protocol::send(&mut wire, &ping).unwrap();
+    protocol::send(&mut wire, &apply).unwrap();
+
+    let mut reader = Cursor::new(wire);
+    let first: Request = protocol::recv(&mut reader).unwrap().expect("first frame");
+    let second: Request = protocol::recv(&mut reader).unwrap().expect("second frame");
+    assert_eq!(first, ping);
+    assert_eq!(second, apply);
+    // Clean EOF after the last complete frame is not an error.
+    assert!(protocol::recv::<_, Request>(&mut reader).unwrap().is_none());
+}
+
+fn expect_frame_error(bytes: &[u8], needle: &str) {
+    let mut reader = Cursor::new(bytes.to_vec());
+    match protocol::read_frame(&mut reader) {
+        Err(WireError::Frame(m)) => {
+            assert!(
+                m.contains(needle),
+                "error {m:?} does not mention {needle:?}"
+            )
+        }
+        other => panic!("expected a Frame error mentioning {needle:?}, got {other:?}"),
+    }
+}
+
+#[test]
+fn malformed_frames_are_rejected() {
+    // A length line that is not a number.
+    expect_frame_error(b"abc\n{}\n", "bad frame length line");
+    // A declared length above the allocation cap.
+    expect_frame_error(format!("{}\n", MAX_FRAME_BYTES + 1).as_bytes(), "cap");
+    // EOF in the middle of a declared payload.
+    expect_frame_error(b"100\n{\"id\":1}", "truncated");
+    // A payload longer than its declared length: the byte where the
+    // terminating newline must sit is still payload.
+    expect_frame_error(b"3\n{\"id\":1,\"op\":\"status\"}\n", "overruns");
+    // A payload that is not UTF-8.
+    expect_frame_error(b"2\n\xff\xfe\n", "UTF-8");
+}
+
+#[test]
+fn trailing_garbage_inside_a_well_framed_payload_is_rejected() {
+    // The frame is valid; the JSON value ends early.  The parser must not
+    // silently ignore the garbage after it (ensure_fully_consumed on the
+    // wire).
+    let payload = "{\"id\":1,\"op\":\"status\"} trailing";
+    let mut wire = Vec::new();
+    protocol::write_frame(&mut wire, payload).unwrap();
+    let mut reader = Cursor::new(wire);
+    match protocol::recv::<_, Request>(&mut reader) {
+        Err(WireError::Json(_)) => {}
+        other => panic!("expected a Json error for trailing garbage, got {other:?}"),
+    }
+}
+
+#[test]
+fn unknown_tags_and_missing_fields_are_json_errors() {
+    for payload in [
+        "{\"id\":1,\"op\":\"frobnicate\"}", // unknown op
+        "{\"id\":1}",                       // missing op
+        "{\"op\":\"status\"}",              // missing id
+        "{\"id\":1,\"op\":\"output\"}",     // missing query field
+        "{\"id\":1,\"op\":\"register\",\"spec\":{\"query\":\"pagerank\"}}", // unknown spec
+    ] {
+        let mut wire = Vec::new();
+        protocol::write_frame(&mut wire, payload).unwrap();
+        let mut reader = Cursor::new(wire);
+        match protocol::recv::<_, Request>(&mut reader) {
+            Err(WireError::Json(_)) => {}
+            other => panic!("payload {payload:?}: expected Json error, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn answers_serialize_in_canonical_sorted_order() {
+    // from_sssp / from_cc sort by vertex id, so two servers producing the
+    // same answer produce byte-identical frames — the property the e2e
+    // equality test leans on.
+    let a = QueryAnswer::Sssp {
+        distances: vec![(0, 0.0), (1, 2.0)],
+    };
+    let json = serde_json::to_string(&ResponseBody::Answer {
+        query: 0,
+        answer: a,
+    })
+    .unwrap();
+    assert_eq!(
+        json,
+        "{\"reply\":\"answer\",\"query\":0,\"answer\":{\"kind\":\"sssp\",\"distances\":[[0,0.0],[1,2.0]]}}"
+    );
+}

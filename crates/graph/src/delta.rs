@@ -76,7 +76,7 @@ impl std::error::Error for DeltaError {}
 ///     .remove_edge(1, 2);
 /// assert!(delta.has_insertions() && delta.has_removals());
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct GraphDelta {
     added_vertices: Vec<(VertexId, Label)>,
     added_edges: Vec<Edge>,

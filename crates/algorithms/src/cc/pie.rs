@@ -22,6 +22,7 @@
 
 use std::collections::HashMap;
 
+use grape_core::output_delta::{diff_sorted, DeltaOutput, OutputDelta};
 use grape_core::pie::{DamagePolicy, IncrementalPie, Messages, PieProgram};
 use grape_graph::delta::GraphDelta;
 use grape_graph::types::VertexId;
@@ -304,6 +305,43 @@ impl IncrementalPie for Cc {
                 )
             })
             .collect()
+    }
+}
+
+impl DeltaOutput for Cc {
+    type OutKey = VertexId;
+    type OutVal = VertexId;
+
+    /// One row per vertex: `(v, cid)`, sorted by id.
+    fn canonical(&self, _query: &CcQuery, output: &CcResult) -> Vec<(VertexId, VertexId)> {
+        let mut rows: Vec<(VertexId, VertexId)> =
+            output.labels.iter().map(|(&v, &cid)| (v, cid)).collect();
+        rows.sort_unstable();
+        rows
+    }
+
+    /// Min-merges the per-fragment cids straight off the partials — the same
+    /// rows `canonical(assemble(...))` yields, minus the intermediate
+    /// [`CcResult`].
+    fn diff_output(
+        &self,
+        _query: &CcQuery,
+        previous: &[(VertexId, VertexId)],
+        partials: &[CcPartial],
+    ) -> Option<OutputDelta<VertexId, VertexId>> {
+        let mut labels: HashMap<VertexId, VertexId> = HashMap::new();
+        for partial in partials {
+            for (l, &v) in partial.globals.iter().enumerate() {
+                let cid = partial.component_cid[partial.component_of[l]];
+                labels
+                    .entry(v)
+                    .and_modify(|existing| *existing = (*existing).min(cid))
+                    .or_insert(cid);
+            }
+        }
+        let mut next: Vec<(VertexId, VertexId)> = labels.into_iter().collect();
+        next.sort_unstable();
+        Some(diff_sorted(previous, &next))
     }
 }
 

@@ -31,12 +31,14 @@
 
 use std::collections::HashMap;
 
+use grape_core::output_delta::DeltaOutput;
 use grape_core::pie::{DamagePolicy, IncrementalPie, Messages, PieProgram};
 use grape_graph::delta::GraphDelta;
 use grape_graph::types::VertexId;
 use grape_partition::delta::FragmentDelta;
 use grape_partition::fragment::Fragment;
 use grape_partition::fragmentation_graph::BorderScope;
+use serde::{Deserialize, Serialize};
 
 use crate::cf::sequential::{initial_factors, sgd_step, CfModel};
 
@@ -79,7 +81,8 @@ pub struct FactorUpdate {
 }
 
 /// Per-fragment partial result: the local factor vectors and the epoch count.
-#[derive(Debug, Clone)]
+/// Serializable so a served CF query can spill to disk and rehydrate.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CfPartial {
     factors: Vec<Vec<f64>>,
     timestamps: Vec<u64>,
@@ -268,6 +271,24 @@ impl IncrementalPie for Cf {
     /// trained factors.
     fn damage_policy(&self, _query: &CfQuery) -> DamagePolicy {
         DamagePolicy::Component
+    }
+}
+
+impl DeltaOutput for Cf {
+    type OutKey = VertexId;
+    type OutVal = Vec<f64>;
+
+    /// One row per vertex: `(v, factor vector)`, sorted by id — a retrained
+    /// component surfaces as the changed rows of exactly its members (the
+    /// "re-ranked items").
+    fn canonical(&self, _query: &CfQuery, output: &CfResult) -> Vec<(VertexId, Vec<f64>)> {
+        let mut rows: Vec<(VertexId, Vec<f64>)> = output
+            .factors()
+            .iter()
+            .map(|(&v, f)| (v, f.clone()))
+            .collect();
+        rows.sort_unstable_by_key(|&(v, _)| v);
+        rows
     }
 }
 

@@ -86,6 +86,11 @@ impl CfModel {
     pub fn into_factors(self) -> HashMap<VertexId, Vec<f64>> {
         self.factors
     }
+
+    /// The raw factors, borrowed.
+    pub fn factors(&self) -> &HashMap<VertexId, Vec<f64>> {
+        &self.factors
+    }
 }
 
 /// Deterministic initial factor vector of a vertex: a small pseudo-random but

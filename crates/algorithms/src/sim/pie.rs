@@ -29,6 +29,7 @@
 
 use std::collections::{HashMap, HashSet};
 
+use grape_core::output_delta::DeltaOutput;
 use grape_core::pie::{DamagePolicy, IncrementalPie, Messages, PieProgram};
 use grape_graph::delta::GraphDelta;
 use grape_graph::pattern::Pattern;
@@ -36,6 +37,7 @@ use grape_graph::types::VertexId;
 use grape_partition::delta::FragmentDelta;
 use grape_partition::fragment::Fragment;
 use grape_partition::fragmentation_graph::BorderScope;
+use serde::{Deserialize, Serialize};
 
 /// A graph-simulation query: the pattern to match.
 #[derive(Debug, Clone)]
@@ -79,8 +81,9 @@ impl SimResult {
     }
 }
 
-/// Per-fragment partial result: the local simulation state.
-#[derive(Debug, Clone)]
+/// Per-fragment partial result: the local simulation state.  Serializable so
+/// a served Sim query can spill to disk and rehydrate.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SimPartial {
     /// `sim[u][l]`: does local vertex `l` currently simulate query node `u`?
     pub(crate) sim: Vec<Vec<bool>>,
@@ -447,6 +450,27 @@ impl IncrementalPie for Sim {
             }
         }
         sends
+    }
+}
+
+impl DeltaOutput for Sim {
+    type OutKey = (u32, VertexId);
+    type OutVal = bool;
+
+    /// One row per `(query node, matched vertex)` pair in the relation —
+    /// rows exist only while the pair matches, so an invalidated match shows
+    /// up as a `removed` key.
+    fn canonical(&self, _query: &SimQuery, output: &SimResult) -> Vec<((u32, VertexId), bool)> {
+        let mut rows: Vec<((u32, VertexId), bool)> = Vec::with_capacity(output.total_pairs());
+        for (u, matches) in output.relation().iter().enumerate() {
+            for &v in matches {
+                rows.push(((u as u32, v), true));
+            }
+        }
+        // Already sorted (node index ascending, matches sorted per node) —
+        // kept explicit so the canonical contract never silently breaks.
+        rows.sort_unstable_by_key(|r| r.0);
+        rows
     }
 }
 

@@ -22,6 +22,7 @@
 use std::collections::BinaryHeap;
 use std::collections::HashMap;
 
+use grape_core::output_delta::{diff_sorted, DeltaOutput, OutputDelta};
 use grape_core::pie::{DamagePolicy, IncrementalPie, Messages, PieProgram};
 use grape_graph::delta::GraphDelta;
 use grape_graph::types::VertexId;
@@ -326,6 +327,50 @@ impl IncrementalPie for Sssp {
         let mut msgs = Messages::new();
         Self::send_border(frag, &partial.dist, None, &mut msgs);
         msgs.take()
+    }
+}
+
+impl DeltaOutput for Sssp {
+    type OutKey = VertexId;
+    type OutVal = f64;
+
+    /// One row per reachable vertex: `(v, dist(s, v))`, sorted by id.
+    fn canonical(&self, _query: &SsspQuery, output: &SsspResult) -> Vec<(VertexId, f64)> {
+        let mut rows: Vec<(VertexId, f64)> = output
+            .distances
+            .iter()
+            .filter(|(_, d)| d.is_finite())
+            .map(|(&v, &d)| (v, d))
+            .collect();
+        rows.sort_unstable_by_key(|&(v, _)| v);
+        rows
+    }
+
+    /// Min-merges the retained distances straight off the partials — the
+    /// same rows `canonical(assemble(...))` yields, minus the intermediate
+    /// [`SsspResult`].
+    fn diff_output(
+        &self,
+        _query: &SsspQuery,
+        previous: &[(VertexId, f64)],
+        partials: &[SsspPartial],
+    ) -> Option<OutputDelta<VertexId, f64>> {
+        let mut merged: HashMap<VertexId, f64> = HashMap::new();
+        for partial in partials {
+            for (idx, &v) in partial.globals.iter().enumerate() {
+                let d = partial.dist[idx];
+                if !d.is_finite() {
+                    continue;
+                }
+                merged
+                    .entry(v)
+                    .and_modify(|existing| *existing = existing.min(d))
+                    .or_insert(d);
+            }
+        }
+        let mut next: Vec<(VertexId, f64)> = merged.into_iter().collect();
+        next.sort_unstable_by_key(|&(v, _)| v);
+        Some(diff_sorted(previous, &next))
     }
 }
 

@@ -25,6 +25,7 @@
 //! everyone else keeps its retained matches verbatim.  No messages flow, so
 //! no reseeding is needed.
 
+use grape_core::output_delta::DeltaOutput;
 use grape_core::pie::{DamagePolicy, IncrementalPie, Messages, PieProgram};
 use grape_graph::delta::GraphDelta;
 use grape_graph::pattern::Pattern;
@@ -32,6 +33,7 @@ use grape_graph::types::VertexId;
 use grape_partition::delta::FragmentDelta;
 use grape_partition::fragment::Fragment;
 use grape_partition::fragmentation_graph::BorderScope;
+use serde::{Deserialize, Serialize};
 
 use crate::subiso::vf2::{subgraph_isomorphism_filtered, Match};
 
@@ -81,8 +83,9 @@ impl SubIsoResult {
 }
 
 /// Per-fragment partial result: the locally found matches (already in global
-/// vertex ids).
-#[derive(Debug, Clone, Default)]
+/// vertex ids).  Serializable so a served SubIso query can spill to disk and
+/// rehydrate.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct SubIsoPartial {
     matches: Vec<Match>,
 }
@@ -184,6 +187,19 @@ impl IncrementalPie for SubIso {
     /// `d_Q + 1` quotient hops of the structurally changed fragments.
     fn damage_policy(&self, query: &SubIsoQuery) -> DamagePolicy {
         DamagePolicy::Halo(query.pattern.diameter() + 1)
+    }
+}
+
+impl DeltaOutput for SubIso {
+    type OutKey = Match;
+    type OutVal = bool;
+
+    /// One row per match — the match itself is the key (the value carries no
+    /// information), so added and retracted matches surface as `changed` and
+    /// `removed` rows respectively.
+    fn canonical(&self, _query: &SubIsoQuery, output: &SubIsoResult) -> Vec<(Match, bool)> {
+        // `assemble` already sorts and dedups the concatenated match lists.
+        output.matches().iter().map(|m| (m.clone(), true)).collect()
     }
 }
 

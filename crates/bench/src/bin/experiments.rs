@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! experiments [--scale small|medium|large] [--format text|json|csv]
-//!             [table1|fig6|fig7|fig8|fig9|incremental|serving|serving_scaling|loc|all]
+//!             [table1|fig6|fig7|fig8|fig9|incremental|serving|serving_scaling|
+//!              serving_watchers|loc|all]
 //! ```
 //!
 //! `incremental` is the prepared-query update experiment: update latency and
@@ -30,7 +31,7 @@
 use grape_bench::experiments;
 use grape_bench::runner::{
     format_rows_csv, format_rows_json, format_scaling_json, format_scaling_table, format_table,
-    RunRow, CSV_HEADER,
+    format_watchers_json, format_watchers_table, RunRow, CSV_HEADER,
 };
 use grape_bench::workloads::Scale;
 
@@ -230,10 +231,15 @@ fn main() {
             print_serving_scaling(scale, format, scale_name);
             continue;
         }
+        if target == "serving_watchers" {
+            print_serving_watchers(scale, format, scale_name);
+            continue;
+        }
         let Some(sections) = sections_for(target, scale) else {
             eprintln!(
                 "unknown experiment {target:?} \
-                 (use table1|fig6|fig7|fig8|fig9|incremental|serving|serving_scaling|loc|all)"
+                 (use table1|fig6|fig7|fig8|fig9|incremental|serving|serving_scaling|\
+                 serving_watchers|loc|all)"
             );
             continue;
         };
@@ -252,6 +258,7 @@ fn main() {
         }
         if target == "all" {
             print_serving_scaling(scale, format, scale_name);
+            print_serving_watchers(scale, format, scale_name);
             if format == Format::Text {
                 print_loc();
             } else {
@@ -286,6 +293,37 @@ fn print_serving_scaling(scale: Scale, format: Format, scale_name: &str) {
             print!(
                 "{}",
                 format_scaling_json("serving_scaling", scale_name, &rows)
+            );
+        }
+    }
+}
+
+/// Prints the serving-watchers section in its own row shape (push-vs-poll
+/// byte totals per watcher count); CSV has no column set for it, so it is
+/// skipped there with a note on stderr.
+fn print_serving_watchers(scale: Scale, format: Format, scale_name: &str) {
+    match format {
+        Format::Csv => {
+            eprintln!(
+                "serving_watchers has its own row shape (pushed/polled bytes); \
+                 use --format text|json"
+            );
+        }
+        Format::Text => {
+            let rows = experiments::serving_watchers(scale);
+            print!(
+                "{}",
+                format_watchers_table(
+                    "GrapeServer watchers: K queries x W subscribers, pushed vs polled bytes",
+                    &rows
+                )
+            );
+        }
+        Format::Json => {
+            let rows = experiments::serving_watchers(scale);
+            print!(
+                "{}",
+                format_watchers_json("serving_watchers", scale_name, &rows)
             );
         }
     }

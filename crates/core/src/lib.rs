@@ -33,6 +33,10 @@
 //!   over **one** delta stream (one `apply_delta` per `ΔG`, shared
 //!   `Arc<Fragment>` storage), with eviction/rehydration through the
 //!   per-fragment binary snapshots,
+//! * [`output_delta`] — answer deltas: the [`output_delta::DeltaOutput`]
+//!   contract programs implement so subscriptions
+//!   ([`serve::GrapeServer::subscribe`]) can push *which rows changed*
+//!   instead of making watchers re-poll whole answers,
 //! * [`spec`] — [`spec::QuerySpec`]: serializable, wire-nameable query
 //!   specifications for serving processes (`graped`),
 //! * [`engine`] — the two runtimes (BSP superstep loop and the barrier-free
@@ -50,6 +54,7 @@ pub mod config;
 pub mod engine;
 pub mod load_balance;
 pub mod metrics;
+pub mod output_delta;
 pub mod pie;
 pub mod prepared;
 pub mod serve;
@@ -63,11 +68,12 @@ pub mod transport;
 pub use config::{EngineConfig, EngineMode};
 pub use engine::{EngineError, RunResult};
 pub use metrics::{EngineMetrics, LatencySummary};
+pub use output_delta::{DeltaOutput, OutputDelta, OutputEvent, QueryDelta, WireOutputDelta};
 pub use pie::{IncrementalPie, KeyVertex, Messages, PieProgram};
 pub use prepared::{PreparedQuery, RefreshKind, UpdateReport};
 pub use serve::{
     BatchRejection, BatchReport, EvictionPolicy, GrapeServer, QueryHandle, QueryStatus,
-    RehydrationReport, ServeError, ServeReport,
+    RehydrationReport, ServeError, ServeReport, SubscriptionId,
 };
 pub use session::{GrapeSession, GrapeSessionBuilder};
 pub use spec::QuerySpec;

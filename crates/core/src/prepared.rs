@@ -35,6 +35,7 @@ use grape_partition::fragment::Fragmentation;
 
 use crate::engine::{prepare_parts, refresh_parts, EngineError, RefreshState};
 use crate::metrics::EngineMetrics;
+use crate::output_delta::{diff_sorted, DeltaOutput, OutputDelta};
 use crate::pie::{IncrementalPie, PieProgram};
 use crate::session::GrapeSession;
 
@@ -459,6 +460,67 @@ impl<P: IncrementalPie> PreparedQuery<P> {
             reused,
             metrics,
         })
+    }
+}
+
+/// The canonical, key-sorted row form of a [`DeltaOutput`] program's answer.
+pub type CanonicalRows<P> = Vec<(<P as DeltaOutput>::OutKey, <P as DeltaOutput>::OutVal)>;
+
+/// What [`PreparedQuery::update_with_delta`] returns: the refresh report
+/// plus the typed answer delta the refresh induced.
+pub type UpdateWithDelta<P> = (
+    UpdateReport,
+    OutputDelta<<P as DeltaOutput>::OutKey, <P as DeltaOutput>::OutVal>,
+);
+
+impl<P: DeltaOutput> PreparedQuery<P> {
+    /// The canonical, key-sorted row form of the current answer
+    /// ([`DeltaOutput::canonical`] over a fresh assemble).
+    ///
+    /// Returns [`EngineError::PoisonedHandle`] on a poisoned handle — a
+    /// poisoned handle's partials correspond to no graph version, so they
+    /// must never become a diff baseline.
+    pub fn canonical_rows(&self) -> Result<CanonicalRows<P>, EngineError> {
+        let output = self.try_output()?;
+        Ok(self.program.canonical(&self.query, &output))
+    }
+
+    /// The [`OutputDelta`] of the current answer relative to `previous`
+    /// canonical rows: the program's [`DeltaOutput::diff_output`] fast
+    /// path straight from the retained partials when it accepts, the
+    /// assemble-and-[`diff_sorted`] fallback otherwise.
+    ///
+    /// Combined with [`PreparedQuery::update`] this is the push contract:
+    /// snapshot `canonical_rows`, apply any number of deltas, and
+    /// `output_delta_since` reports exactly which rows changed — folding
+    /// several updates into one key-wise-compacted delta for free.
+    pub fn output_delta_since(
+        &self,
+        previous: &[(P::OutKey, P::OutVal)],
+    ) -> Result<OutputDelta<P::OutKey, P::OutVal>, EngineError> {
+        if self.poisoned {
+            return Err(EngineError::PoisonedHandle);
+        }
+        if let Some(delta) = self
+            .program
+            .diff_output(&self.query, previous, &self.partials)
+        {
+            return Ok(delta);
+        }
+        Ok(diff_sorted(previous, &self.canonical_rows()?))
+    }
+
+    /// [`PreparedQuery::update`] that additionally produces the typed
+    /// [`OutputDelta`] the update caused, relative to the pre-update
+    /// answer.
+    pub fn update_with_delta(
+        &mut self,
+        delta: &GraphDelta,
+    ) -> Result<UpdateWithDelta<P>, EngineError> {
+        let previous = self.canonical_rows()?;
+        let report = self.update(delta)?;
+        let output_delta = self.output_delta_since(&previous)?;
+        Ok((report, output_delta))
     }
 }
 

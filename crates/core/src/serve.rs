@@ -83,6 +83,7 @@ use serde::{Deserialize, Serialize, Value};
 
 use crate::engine::EngineError;
 use crate::metrics::{EngineMetrics, LatencySummary};
+use crate::output_delta::{apply_sorted, DeltaOutput, OutputEvent, QueryDelta, WireOutputDelta};
 use crate::pie::IncrementalPie;
 use crate::prepared::{PreparedQuery, UpdateReport};
 use crate::session::GrapeSession;
@@ -113,6 +114,9 @@ pub enum ServeError {
     AlreadyEvicted(usize),
     /// A spill file could not be written, read back, or decoded.
     Snapshot(SnapshotError),
+    /// The subscription does not belong to this server, or was already
+    /// cancelled.
+    UnknownSubscription(usize),
 }
 
 impl std::fmt::Display for ServeError {
@@ -125,6 +129,9 @@ impl std::fmt::Display for ServeError {
             }
             ServeError::AlreadyEvicted(id) => write!(f, "query {id} is already evicted"),
             ServeError::Snapshot(e) => write!(f, "{e}"),
+            ServeError::UnknownSubscription(id) => {
+                write!(f, "subscription {id} is not active on this server")
+            }
         }
     }
 }
@@ -232,6 +239,13 @@ pub struct ServeReport {
     /// Queries the server's [`EvictionPolicy`] spilled after this commit
     /// (empty under [`EvictionPolicy::Manual`]).
     pub evicted: Vec<usize>,
+    /// Answer deltas for subscribed queries, sorted by query id: one
+    /// [`OutputEvent::Delta`] per watched resident healthy query per commit
+    /// (a catch-up replay folds into the same event), plus one terminal
+    /// [`OutputEvent::Poisoned`] the first commit after a watched query is
+    /// quarantined.  Also buffered on the server for
+    /// [`GrapeServer::drain_events`].
+    pub events: Vec<QueryDelta>,
 }
 
 impl ServeReport {
@@ -337,6 +351,11 @@ pub struct RehydrationReport {
     pub query: usize,
     /// One report per delta that arrived while the query was cold.
     pub replayed: Vec<UpdateReport>,
+    /// When the query is watched and the replay was non-empty: the **one**
+    /// compacted answer delta covering every delta missed while cold (the
+    /// key-wise fold of the per-commit stream a resident watcher would have
+    /// seen).  Also buffered for [`GrapeServer::drain_events`].
+    pub events: Vec<QueryDelta>,
 }
 
 impl RehydrationReport {
@@ -370,6 +389,8 @@ pub struct QueryStatus {
     pub bounded_updates: usize,
     /// Serialized size of the resident partials (`0` while evicted).
     pub partial_bytes: usize,
+    /// Active subscriptions on this query ([`GrapeServer::subscribe`]).
+    pub watchers: usize,
 }
 
 /// One step of the timeline: the delta and the `Arc`-shared
@@ -408,6 +429,22 @@ trait ServedQuery: Send {
     fn partial_bytes(&self) -> usize;
     fn is_evicted(&self) -> bool;
     fn is_poisoned(&self) -> bool;
+    /// Installs the watch baseline: the canonical rows of the current
+    /// answer, against which every later [`ServedQuery::watch_emit`] diffs.
+    /// No-op when a watch is already active.  Must be called on a resident,
+    /// healthy entry.
+    fn watch_begin(&mut self) -> Result<(), EngineError>;
+    /// Drops the watch baseline (when the last subscriber leaves).
+    fn watch_end(&mut self);
+    fn watch_active(&self) -> bool;
+    /// Diffs the current answer against the last-emitted rows, advances
+    /// them, and returns the wire delta.  Because the rows only move here,
+    /// calling this **once** after a multi-step replay yields the key-wise
+    /// fold (the compacted delta) of the stream a per-commit watcher would
+    /// have seen.  `None` when no watch is active, the entry is not
+    /// resident, or it is poisoned — the rows then stay at the last emitted
+    /// state, so a watcher never sees a partial delta.
+    fn watch_emit(&mut self) -> Option<WireOutputDelta>;
     fn as_any(&self) -> &dyn Any;
 }
 
@@ -438,10 +475,15 @@ struct ColdState<P: IncrementalPie> {
 
 /// A registered query: resident (a live [`PreparedQuery`]) or evicted (a
 /// [`ColdState`] pointing at its spill file).  Exactly one of the two is
-/// `Some`.
-struct ServedEntry<P: IncrementalPie> {
+/// `Some`.  `watch` is orthogonal to residency: the last canonical rows
+/// emitted to subscribers survive evict → rehydrate round trips (that is
+/// what makes the post-rehydration emission the *compacted* delta of
+/// everything missed while cold), and a failed replay leaves them at the
+/// pre-evict baseline, so the retry re-diffs from the same point.
+struct ServedEntry<P: DeltaOutput> {
     prepared: Option<PreparedQuery<P>>,
     cold: Option<ColdState<P>>,
+    watch: Option<Vec<(P::OutKey, P::OutVal)>>,
 }
 
 /// Reads a spill file back: the fragment set and the raw partial value
@@ -470,7 +512,7 @@ fn read_spill(path: &Path) -> Result<(Vec<Fragment>, Vec<Value>), ServeError> {
 
 impl<P> ServedQuery for ServedEntry<P>
 where
-    P: IncrementalPie + 'static,
+    P: DeltaOutput + 'static,
     P::Partial: Serialize + Deserialize,
 {
     fn refresh(
@@ -614,6 +656,34 @@ where
         self.prepared.as_ref().is_some_and(|p| p.is_poisoned())
     }
 
+    fn watch_begin(&mut self) -> Result<(), EngineError> {
+        if self.watch.is_some() {
+            return Ok(());
+        }
+        let p = self
+            .prepared
+            .as_ref()
+            .expect("watch_begin is only called on resident entries");
+        self.watch = Some(p.canonical_rows()?);
+        Ok(())
+    }
+
+    fn watch_end(&mut self) {
+        self.watch = None;
+    }
+
+    fn watch_active(&self) -> bool {
+        self.watch.is_some()
+    }
+
+    fn watch_emit(&mut self) -> Option<WireOutputDelta> {
+        let rows = self.watch.as_mut()?;
+        let delta = self.prepared.as_ref()?.output_delta_since(rows).ok()?;
+        let wire = delta.to_wire();
+        apply_sorted(rows, &delta);
+        Some(wire)
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }
@@ -626,6 +696,27 @@ struct Slot {
     /// Logical timestamp of the last *user* touch (register / rehydrate /
     /// output); drives [`EvictionPolicy`] recency.
     last_touch: u64,
+    /// Whether a watched query's terminal [`OutputEvent::Poisoned`] has
+    /// already been pushed — the event is emitted exactly once.
+    poison_notified: bool,
+}
+
+/// An active answer-delta subscription on a [`GrapeServer`] query (see
+/// [`GrapeServer::subscribe`]).  Cheap to copy; stamped with the server
+/// token like a [`QueryHandle`], so a foreign id is rejected instead of
+/// silently cancelling someone else's subscription.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubscriptionId {
+    server: usize,
+    id: usize,
+}
+
+impl SubscriptionId {
+    /// The server-scoped subscription id (stable for the server's
+    /// lifetime).
+    pub fn id(&self) -> usize {
+        self.id
+    }
 }
 
 /// One planned commit of an [`GrapeServer::apply_batch`]: the (possibly
@@ -675,6 +766,13 @@ pub struct GrapeServer {
     /// Per-commit latency samples (see [`GrapeServer::latency_summary`]),
     /// windowed so a long-running server does not grow without bound.
     latencies: Vec<Duration>,
+    /// `subs[i]` is the query id subscription `i` watches, `None` once
+    /// cancelled.  Ids are never reused, so a stale [`SubscriptionId`]
+    /// errors instead of aliasing a newer subscriber.
+    subs: Vec<Option<usize>>,
+    /// Answer deltas not yet collected by [`GrapeServer::drain_events`] —
+    /// the push stream a serving front end forwards to its watchers.
+    pending_events: Vec<QueryDelta>,
 }
 
 /// Keep at most this many latency samples resident: when the buffer
@@ -721,6 +819,8 @@ impl GrapeServer {
             touch_clock: 0,
             deltas_absorbed: 0,
             latencies: Vec::new(),
+            subs: Vec::new(),
+            pending_events: Vec::new(),
         }
     }
 
@@ -831,6 +931,16 @@ impl GrapeServer {
         self.latencies.len()
     }
 
+    /// The retained raw per-commit latency samples, in milliseconds —
+    /// the full vector behind [`GrapeServer::latency_summary`], for
+    /// endpoints that only ship it on explicit request.
+    pub fn latency_samples_ms(&self) -> Vec<f64> {
+        self.latencies
+            .iter()
+            .map(|d| d.as_secs_f64() * 1e3)
+            .collect()
+    }
+
     /// A serializable snapshot of every registered query's serving state,
     /// sorted by query id — the per-query rows behind a `status` /
     /// `metrics` endpoint.  Works off the type-erased slots, so it needs no
@@ -850,6 +960,7 @@ impl GrapeServer {
                     incremental_updates: book.incremental_updates,
                     bounded_updates: book.bounded_updates,
                     partial_bytes: slot.entry.partial_bytes(),
+                    watchers: self.watcher_count(id),
                 }
             })
             .collect()
@@ -861,7 +972,7 @@ impl GrapeServer {
     /// value encoding so the query can be evicted.
     pub fn register<P>(&mut self, program: P, query: P::Query) -> Result<QueryHandle<P>, ServeError>
     where
-        P: IncrementalPie + 'static,
+        P: DeltaOutput + 'static,
         P::Partial: Serialize + Deserialize,
     {
         let prepared = self
@@ -872,9 +983,11 @@ impl GrapeServer {
             entry: Box::new(ServedEntry {
                 prepared: Some(prepared),
                 cold: None,
+                watch: None,
             }),
             version: self.version(),
             last_touch: 0,
+            poison_notified: false,
         });
         self.touch(id);
         self.enforce_policy();
@@ -889,6 +1002,66 @@ impl GrapeServer {
     fn touch(&mut self, id: usize) {
         self.touch_clock += 1;
         self.slots[id].last_touch = self.touch_clock;
+    }
+
+    /// Subscribes to the query's answer deltas: every later commit (and
+    /// every post-eviction rehydration) pushes one [`QueryDelta`] for it
+    /// into [`ServeReport::events`] / [`GrapeServer::drain_events`].  The
+    /// baseline is the query's **current** answer — the query is brought
+    /// resident and caught up first, so replaying the event stream over the
+    /// answer observed at subscribe time always reproduces `output()`.
+    /// Subscribing to a poisoned query errors (its stream would only ever
+    /// hold the terminal event).
+    pub fn subscribe<P>(&mut self, handle: &QueryHandle<P>) -> Result<SubscriptionId, ServeError>
+    where
+        P: DeltaOutput + 'static,
+        P::Partial: Serialize + Deserialize,
+    {
+        self.check_handle::<P>(handle)?;
+        self.rehydrate(handle)?;
+        let slot = &mut self.slots[handle.id];
+        if slot.entry.is_poisoned() {
+            return Err(ServeError::Engine(EngineError::PoisonedHandle));
+        }
+        slot.entry.watch_begin().map_err(ServeError::Engine)?;
+        let id = self.subs.len();
+        self.subs.push(Some(handle.id));
+        Ok(SubscriptionId {
+            server: self.token,
+            id,
+        })
+    }
+
+    /// Cancels a subscription.  When the last subscriber of a query leaves,
+    /// its watch state is dropped and the server stops computing answer
+    /// deltas for it.
+    pub fn unsubscribe(&mut self, sub: SubscriptionId) -> Result<(), ServeError> {
+        if sub.server != self.token {
+            return Err(ServeError::UnknownSubscription(sub.id));
+        }
+        let query = self
+            .subs
+            .get_mut(sub.id)
+            .and_then(Option::take)
+            .ok_or(ServeError::UnknownSubscription(sub.id))?;
+        if self.watcher_count(query) == 0 {
+            self.slots[query].entry.watch_end();
+            self.slots[query].poison_notified = false;
+        }
+        Ok(())
+    }
+
+    /// Active subscriptions on query `id`.
+    pub fn watcher_count(&self, id: usize) -> usize {
+        self.subs.iter().flatten().filter(|&&q| q == id).count()
+    }
+
+    /// Takes every answer delta produced since the last drain (by commits,
+    /// rehydrations and lazy `output()` rehydrations), in production order —
+    /// within one commit sorted by query id.  This is the stream a serving
+    /// front end fans out to its watchers.
+    pub fn drain_events(&mut self) -> Vec<QueryDelta> {
+        std::mem::take(&mut self.pending_events)
     }
 
     /// Applies one `ΔG` to the shared fragmentation — **one**
@@ -1079,6 +1252,7 @@ impl GrapeServer {
             &applied,
             delta,
         );
+        let mut events: Vec<QueryDelta> = Vec::new();
         for (id, result) in results {
             if result.is_ok() || self.slots[id].entry.is_poisoned() {
                 // Success, or quarantined forever: the query never replays
@@ -1088,10 +1262,37 @@ impl GrapeServer {
             // Otherwise the failed full re-preparation left the handle
             // consistent at `current`; keep its true version so the step
             // retained below replays into it later.
+            if result.is_ok() {
+                // One answer delta per watched query per commit; a
+                // catch-up replay performed in the pre-pass folds into the
+                // same emission, so watchers see one merged delta.
+                if let Some(wire) = self.slots[id].entry.watch_emit() {
+                    events.push(QueryDelta {
+                        query: id,
+                        version: new_version,
+                        event: OutputEvent::Delta(wire),
+                    });
+                }
+            }
             refreshed.push(QueryRefresh { query: id, result });
         }
         // Deterministic report regardless of fan-out completion order.
         refreshed.sort_by_key(|q| q.query);
+        // Terminal events for watched queries quarantined by now —
+        // whether they were poisoned this commit or found poisoned in the
+        // pre-pass — exactly once each.
+        for (id, slot) in self.slots.iter_mut().enumerate() {
+            if slot.entry.watch_active() && slot.entry.is_poisoned() && !slot.poison_notified {
+                slot.poison_notified = true;
+                events.push(QueryDelta {
+                    query: id,
+                    version: new_version,
+                    event: OutputEvent::Poisoned,
+                });
+            }
+        }
+        events.sort_by_key(|e| e.query);
+        self.pending_events.extend(events.iter().cloned());
 
         if self.slots.iter().all(|s| s.version == new_version) {
             // Hot path — everyone is resident and caught up, so no query
@@ -1125,6 +1326,7 @@ impl GrapeServer {
             deferred,
             poisoned,
             evicted,
+            events,
         }
     }
 
@@ -1264,7 +1466,7 @@ impl GrapeServer {
     /// Returns the spill path.
     pub fn evict<P>(&mut self, handle: &QueryHandle<P>) -> Result<PathBuf, ServeError>
     where
-        P: IncrementalPie + 'static,
+        P: DeltaOutput + 'static,
         P::Partial: Serialize + Deserialize,
     {
         self.check_handle::<P>(handle)?;
@@ -1287,7 +1489,7 @@ impl GrapeServer {
     /// no-op returning an empty report.
     pub fn rehydrate<P>(&mut self, handle: &QueryHandle<P>) -> Result<RehydrationReport, ServeError>
     where
-        P: IncrementalPie + 'static,
+        P: DeltaOutput + 'static,
         P::Partial: Serialize + Deserialize,
     {
         self.check_handle::<P>(handle)?;
@@ -1304,16 +1506,21 @@ impl GrapeServer {
                         // Freshly poisoned mid-replay: it can never catch
                         // up, so don't let it pin history (mirrors apply()).
                         self.slots[id].version = current;
+                        self.emit_poisoned(id);
                     }
                     return Err(ServeError::Engine(e));
                 }
             };
-            if !replayed.is_empty() {
+            let events = if replayed.is_empty() {
+                Vec::new()
+            } else {
                 self.prune();
-            }
+                self.emit_compacted(id)
+            };
             return Ok(RehydrationReport {
                 query: id,
                 replayed,
+                events,
             });
         }
         let at = self.slots[id].version;
@@ -1330,9 +1537,15 @@ impl GrapeServer {
                 // point.
                 let _ = std::fs::remove_file(&spill);
                 self.prune();
+                let events = if replayed.is_empty() {
+                    Vec::new()
+                } else {
+                    self.emit_compacted(id)
+                };
                 Ok(RehydrationReport {
                     query: id,
                     replayed,
+                    events,
                 })
             }
             Err(e) => {
@@ -1340,7 +1553,9 @@ impl GrapeServer {
                 // on-disk snapshot is the valid recovery point, so fall
                 // back to it — counters included, so a retry that replays
                 // the whole pending stream never double-counts the prefix
-                // that succeeded this time.
+                // that succeeded this time.  The watch rows were never
+                // advanced, so subscribers saw no partial delta and the
+                // retry re-diffs from the pre-evict baseline.
                 self.slots[id].entry.demote(&spill, book);
                 self.slots[id].version = at;
                 Err(ServeError::Engine(e))
@@ -1348,11 +1563,46 @@ impl GrapeServer {
         }
     }
 
+    /// The single compacted answer delta after a successful multi-step
+    /// replay: the watch rows last advanced at the previous emission, so
+    /// one [`ServedQuery::watch_emit`] covers the whole replayed stream,
+    /// key-wise folded.  Buffered for [`GrapeServer::drain_events`] and
+    /// returned for the caller's report.
+    fn emit_compacted(&mut self, id: usize) -> Vec<QueryDelta> {
+        let version = self.version();
+        let mut events = Vec::new();
+        if let Some(wire) = self.slots[id].entry.watch_emit() {
+            events.push(QueryDelta {
+                query: id,
+                version,
+                event: OutputEvent::Delta(wire),
+            });
+        }
+        self.pending_events.extend(events.iter().cloned());
+        events
+    }
+
+    /// The terminal [`OutputEvent::Poisoned`] for a watched query — pushed
+    /// exactly once, and never accompanied by a partial delta (the watch
+    /// rows only move on success).
+    fn emit_poisoned(&mut self, id: usize) {
+        let version = self.version();
+        let slot = &mut self.slots[id];
+        if slot.entry.watch_active() && slot.entry.is_poisoned() && !slot.poison_notified {
+            slot.poison_notified = true;
+            self.pending_events.push(QueryDelta {
+                query: id,
+                version,
+                event: OutputEvent::Poisoned,
+            });
+        }
+    }
+
     /// Assembles the query's current answer, lazily rehydrating it first if
     /// it was evicted.
     pub fn output<P>(&mut self, handle: &QueryHandle<P>) -> Result<P::Output, ServeError>
     where
-        P: IncrementalPie + 'static,
+        P: DeltaOutput + 'static,
         P::Partial: Serialize + Deserialize,
     {
         self.rehydrate(handle)?;
@@ -1376,7 +1626,7 @@ impl GrapeServer {
         handle: &QueryHandle<P>,
     ) -> Result<Option<&PreparedQuery<P>>, ServeError>
     where
-        P: IncrementalPie + 'static,
+        P: DeltaOutput + 'static,
         P::Partial: Serialize + Deserialize,
     {
         Ok(self.entry_ref::<P>(handle)?.prepared.as_ref())
@@ -1385,7 +1635,7 @@ impl GrapeServer {
     /// Whether the query behind `handle` is currently evicted.
     pub fn is_evicted<P>(&self, handle: &QueryHandle<P>) -> Result<bool, ServeError>
     where
-        P: IncrementalPie + 'static,
+        P: DeltaOutput + 'static,
         P::Partial: Serialize + Deserialize,
     {
         self.check_handle::<P>(handle)?;
@@ -1394,7 +1644,7 @@ impl GrapeServer {
 
     fn check_handle<P>(&self, handle: &QueryHandle<P>) -> Result<(), ServeError>
     where
-        P: IncrementalPie + 'static,
+        P: DeltaOutput + 'static,
         P::Partial: Serialize + Deserialize,
     {
         if handle.server != self.token {
@@ -1412,7 +1662,7 @@ impl GrapeServer {
 
     fn entry_ref<P>(&self, handle: &QueryHandle<P>) -> Result<&ServedEntry<P>, ServeError>
     where
-        P: IncrementalPie + 'static,
+        P: DeltaOutput + 'static,
         P::Partial: Serialize + Deserialize,
     {
         self.check_handle::<P>(handle)?;
@@ -2210,5 +2460,221 @@ mod tests {
             .unwrap();
         assert_eq!(server.output(&q0).unwrap(), recompute.output);
         assert_eq!(server.output(&q1).unwrap(), recompute.output);
+    }
+
+    /// The current answer as canonical wire rows — what a subscriber that
+    /// replays the delta stream must end up holding.
+    fn wire_answer(server: &mut GrapeServer, h: &QueryHandle<MinForward>) -> Vec<(Value, Value)> {
+        let out = server.output(h).unwrap();
+        crate::output_delta::wire_rows(&MinForward.canonical(&(), &out))
+    }
+
+    /// The subscription contract: one answer delta per watched query per
+    /// commit (empty commits included, so the stream stays aligned), and
+    /// replaying the stream over the answer observed at subscribe time
+    /// reproduces `output()` exactly.
+    #[test]
+    fn subscriptions_stream_one_delta_per_commit_and_replay_reproduces_output() {
+        for mode in [EngineMode::Sync, EngineMode::Async] {
+            let (mut server, handles) = server_with(2, mode);
+            let watched = handles[0];
+            let sub = server.subscribe(&watched).unwrap();
+            let mut rows = wire_answer(&mut server, &watched);
+            assert!(server.drain_events().is_empty(), "no commits yet");
+
+            let deltas = [
+                GraphDelta::new().add_edge(0, 2),
+                GraphDelta::new().remove_edge(5, 6),
+                GraphDelta::new(),
+            ];
+            for delta in &deltas {
+                let report = server.apply(delta).unwrap();
+                assert_eq!(report.events.len(), 1, "one event per commit ({mode:?})");
+                let ev = &report.events[0];
+                assert_eq!(ev.query, watched.id());
+                assert_eq!(ev.version, report.version);
+                let OutputEvent::Delta(wire) = &ev.event else {
+                    panic!("a healthy stream has no terminal event");
+                };
+                wire.apply_to(&mut rows);
+            }
+            assert_eq!(rows, wire_answer(&mut server, &watched), "{mode:?}");
+
+            // The push buffer carries the same stream for a serving front
+            // end, and statuses count the watcher.
+            assert_eq!(server.drain_events().len(), deltas.len());
+            assert_eq!(server.query_statuses()[watched.id()].watchers, 1);
+            assert_eq!(server.query_statuses()[handles[1].id()].watchers, 0);
+            server.unsubscribe(sub).unwrap();
+        }
+    }
+
+    /// Subscribe → evict → apply-while-cold → rehydrate yields exactly one
+    /// delta: the key-wise fold of the per-commit stream a resident watcher
+    /// of the same query saw — and replaying it still lands on `output()`.
+    #[test]
+    fn a_cold_watchers_missed_stream_compacts_into_one_rehydration_delta() {
+        let (mut server, handles) = server_with(2, EngineMode::Sync);
+        let (resident, cold) = (handles[0], handles[1]);
+        let _sub_r = server.subscribe(&resident).unwrap();
+        let _sub_c = server.subscribe(&cold).unwrap();
+        let mut cold_rows = wire_answer(&mut server, &cold);
+        server.drain_events();
+
+        server.evict(&cold).unwrap();
+        // Successive removals only: every touched key moves further from
+        // its baseline value and never reverts, so fold-of-stream and
+        // diff-against-baseline must coincide *exactly* (with a revert the
+        // diff would rightly omit the key while the fold keeps it).
+        let deltas = [
+            GraphDelta::new().remove_edge(0, 1),
+            GraphDelta::new().remove_edge(5, 6),
+            GraphDelta::new().remove_edge(8, 9),
+        ];
+        let mut resident_stream: Vec<WireOutputDelta> = Vec::new();
+        for delta in &deltas {
+            let report = server.apply(delta).unwrap();
+            assert_eq!(report.events.len(), 1, "the cold watcher emits nothing");
+            assert_eq!(report.events[0].query, resident.id());
+            let OutputEvent::Delta(wire) = &report.events[0].event else {
+                panic!("healthy stream");
+            };
+            resident_stream.push(wire.clone());
+        }
+
+        let report = server.rehydrate(&cold).unwrap();
+        assert_eq!(report.replayed.len(), deltas.len());
+        assert_eq!(report.events.len(), 1, "one compacted delta for the gap");
+        let OutputEvent::Delta(compacted) = &report.events[0].event else {
+            panic!("a successful replay is never terminal");
+        };
+
+        // Identical queries ⇒ the compacted delta IS the fold of the
+        // stream the resident watcher received commit by commit.
+        let mut folded = WireOutputDelta::default();
+        for wire in &resident_stream {
+            folded.fold(wire);
+        }
+        assert_eq!(compacted, &folded);
+        assert!(
+            !compacted.is_empty(),
+            "the removals really moved the answer"
+        );
+        let mut via_fold = cold_rows.clone();
+        folded.apply_to(&mut via_fold);
+        compacted.apply_to(&mut cold_rows);
+        assert_eq!(cold_rows, wire_answer(&mut server, &cold));
+        assert_eq!(via_fold, cold_rows, "fold and compaction replay alike");
+    }
+
+    /// A watched query that gets poisoned emits the terminal event exactly
+    /// once and never a partial delta — not from the failed commit, not
+    /// from the poisoning replay, not from later commits.
+    #[test]
+    fn a_watched_query_poisoned_mid_replay_emits_one_terminal_event_only() {
+        let g = crate::test_support::ring_graph(12);
+        let frag = RangeEdgeCut::new(3).partition(&g).unwrap();
+        let s = GrapeSession::builder()
+            .workers(2)
+            .mode(EngineMode::Sync)
+            .max_supersteps(4)
+            .build()
+            .unwrap();
+        let mut server = GrapeServer::new(s, frag);
+        let flaky_prog = TrippablePrepare::new();
+        let flaky = server.register(flaky_prog.clone(), ()).unwrap();
+        server.subscribe(&flaky).unwrap();
+        server.drain_events();
+
+        // Fall behind on a failed full re-preparation: no event at all —
+        // in particular no delta derived from half-refreshed state.
+        flaky_prog.trip();
+        let r = server.apply(&GraphDelta::new().add_edge(0, 2)).unwrap();
+        assert!(r.events.is_empty(), "a behind query emits nothing");
+
+        // The catch-up replay inside output() poisons the handle: exactly
+        // one terminal event, no partial delta.
+        flaky_prog.allow_monotone_inserts();
+        assert!(server.output(&flaky).is_err());
+        let events = server.drain_events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].query, flaky.id());
+        assert_eq!(events[0].event, OutputEvent::Poisoned);
+
+        // Later commits skip the quarantined query without repeating it.
+        let r = server.apply(&GraphDelta::new().add_edge(1, 3)).unwrap();
+        assert!(r.events.is_empty());
+        assert!(server.drain_events().is_empty());
+
+        // And a new subscription on the corpse is refused.
+        assert!(matches!(
+            server.subscribe(&flaky).unwrap_err(),
+            ServeError::Engine(EngineError::PoisonedHandle)
+        ));
+    }
+
+    #[test]
+    fn unsubscribe_stops_the_stream_and_rejects_foreign_or_stale_ids() {
+        let (mut server, handles) = server_with(1, EngineMode::Sync);
+        let h = handles[0];
+        let sub = server.subscribe(&h).unwrap();
+        let r = server.apply(&GraphDelta::new().add_edge(0, 2)).unwrap();
+        assert_eq!(r.events.len(), 1);
+        server.unsubscribe(sub).unwrap();
+        let r = server.apply(&GraphDelta::new().add_edge(1, 3)).unwrap();
+        assert!(r.events.is_empty(), "no watchers, no delta computation");
+        assert!(
+            matches!(
+                server.unsubscribe(sub).unwrap_err(),
+                ServeError::UnknownSubscription(_)
+            ),
+            "a subscription cancels once"
+        );
+
+        // Two subscribers share one watch; it ends with the second.
+        let s1 = server.subscribe(&h).unwrap();
+        let s2 = server.subscribe(&h).unwrap();
+        assert_eq!(server.query_statuses()[h.id()].watchers, 2);
+        server.unsubscribe(s1).unwrap();
+        let r = server.apply(&GraphDelta::new().add_edge(2, 5)).unwrap();
+        assert_eq!(r.events.len(), 1, "still watched");
+        server.unsubscribe(s2).unwrap();
+        assert_eq!(server.query_statuses()[h.id()].watchers, 0);
+
+        // A foreign server's subscription id is rejected, not aliased.
+        let (mut other, other_handles) = server_with(1, EngineMode::Sync);
+        let foreign = other.subscribe(&other_handles[0]).unwrap();
+        assert!(matches!(
+            server.unsubscribe(foreign).unwrap_err(),
+            ServeError::UnknownSubscription(_)
+        ));
+    }
+
+    /// Under group-commit a merged group is one commit — and therefore one
+    /// answer delta, which still replays to the exact answer.
+    #[test]
+    fn group_commit_emits_one_merged_delta_per_commit() {
+        let g = path_graph(12);
+        let frag = RangeEdgeCut::new(3).partition(&g).unwrap();
+        let mut server = GrapeServer::new(session(EngineMode::Sync), frag).group_commit(16);
+        let h = server.register(MinForward, ()).unwrap();
+        server.subscribe(&h).unwrap();
+        let mut rows = wire_answer(&mut server, &h);
+        server.drain_events();
+
+        let deltas = vec![
+            GraphDelta::new().add_edge(0, 2),
+            GraphDelta::new().add_edge(0, 3),
+            GraphDelta::new().add_edge(1, 4),
+        ];
+        let batch = server.apply_batch(&deltas);
+        assert!(batch.rejected.is_none());
+        assert_eq!(batch.reports.len(), 1, "one merged commit");
+        assert_eq!(batch.reports[0].events.len(), 1, "one merged answer delta");
+        let OutputEvent::Delta(wire) = &batch.reports[0].events[0].event else {
+            panic!("healthy stream");
+        };
+        wire.apply_to(&mut rows);
+        assert_eq!(rows, wire_answer(&mut server, &h));
     }
 }

@@ -18,6 +18,7 @@ use grape_partition::fragment::Fragment;
 use grape_partition::fragmentation_graph::BorderScope;
 
 use crate::config::EngineMode;
+use crate::output_delta::DeltaOutput;
 use crate::pie::{IncrementalPie, Messages, PieProgram};
 use crate::session::GrapeSession;
 
@@ -168,6 +169,17 @@ impl IncrementalPie for MinForward {
     }
 }
 
+impl DeltaOutput for MinForward {
+    type OutKey = VertexId;
+    type OutVal = u64;
+
+    fn canonical(&self, _q: &(), output: &HashMap<VertexId, u64>) -> Vec<(VertexId, u64)> {
+        let mut rows: Vec<(VertexId, u64)> = output.iter().map(|(&v, &m)| (v, m)).collect();
+        rows.sort_unstable();
+        rows
+    }
+}
+
 /// A deliberately broken program: its PEval fixpoint is trivial (no
 /// messages), but any seeded refresh escalates values forever — the update
 /// path hits the superstep limit and errors.  Used to regression-test the
@@ -240,6 +252,15 @@ impl IncrementalPie for DivergingOnUpdate {
             .map(|&l| (new_frag.global_of(l), partial + 1))
             .collect();
         (partial, sends)
+    }
+}
+
+impl DeltaOutput for DivergingOnUpdate {
+    type OutKey = u64;
+    type OutVal = u64;
+
+    fn canonical(&self, _q: &(), output: &u64) -> Vec<(u64, u64)> {
+        vec![(0, *output)]
     }
 }
 
@@ -382,6 +403,15 @@ impl IncrementalPie for TrippablePrepare {
             .map(|&l| (new_frag.global_of(l), partial + 1))
             .collect();
         (partial, sends)
+    }
+}
+
+impl DeltaOutput for TrippablePrepare {
+    type OutKey = u64;
+    type OutVal = u64;
+
+    fn canonical(&self, _q: &(), output: &u64) -> Vec<(u64, u64)> {
+        vec![(0, *output)]
     }
 }
 

@@ -4,11 +4,12 @@
 //! `--addr` and `--format`, then one subcommand.  [`parse`] is pure so the
 //! tests can pin the grammar; [`run`] connects and executes.
 
+use grape_core::output_delta::OutputEvent;
 use grape_core::spec::QuerySpec;
 use grape_graph::delta::GraphDelta;
 
 use crate::client::{ClientError, GrapeClient};
-use crate::format::{render, Format};
+use crate::format::{render, render_event, Format};
 use crate::protocol::{RequestBody, ResponseBody, DEFAULT_PORT};
 
 /// What `grapectl` was asked to do.
@@ -16,8 +17,20 @@ use crate::protocol::{RequestBody, ResponseBody, DEFAULT_PORT};
 pub enum Action {
     /// `status` — server + per-query state.
     Status,
-    /// `metrics` — uptime, latency histogram, per-query counters.
-    Metrics,
+    /// `metrics [--samples]` — uptime, latency histogram, per-query
+    /// counters; `--samples` adds the raw per-commit latency vector.
+    Metrics {
+        /// Request the raw sample vector too.
+        samples: bool,
+    },
+    /// `watch <id> [--count N]` — subscribe to a query's answer deltas
+    /// and stream them as they are pushed.
+    Watch {
+        /// The query handle to watch.
+        query: usize,
+        /// Stop after this many events (stream forever when `None`).
+        count: Option<usize>,
+    },
     /// `query <kind> [--source N]` — register a query AND print its
     /// current answer (the one-shot workflow).
     Query(QuerySpec),
@@ -68,7 +81,8 @@ USAGE: grapectl [--addr HOST:PORT] [--format text|json] <command>
 
 COMMANDS:
   status                       server + per-query state
-  metrics                      uptime, per-delta latency, per-query counters
+  metrics [--samples]          uptime, per-delta latency, per-query counters
+  watch <id> [--count N]       stream a query's answer deltas as pushed
   query sssp --source N        register an SSSP query and print its answer
   query cc                     register a CC query and print its answer
   register sssp --source N     register only; prints the handle id
@@ -158,7 +172,25 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
     i += 1;
     let action = match command.as_str() {
         "status" => Action::Status,
-        "metrics" => Action::Metrics,
+        "metrics" => {
+            let mut samples = false;
+            if args.get(i).map(String::as_str) == Some("--samples") {
+                samples = true;
+                i += 1;
+            }
+            Action::Metrics { samples }
+        }
+        "watch" => {
+            let query = parse_handle(args, i, "watch")?;
+            i += 1;
+            let mut count = None;
+            if args.get(i).map(String::as_str) == Some("--count") {
+                let (n, next) = parse_number(args, i, "--count")?;
+                count = Some(n);
+                i = next;
+            }
+            Action::Watch { query, count }
+        }
         "query" => {
             let (spec, next) = parse_spec(args, i)?;
             i = next;
@@ -255,7 +287,43 @@ pub fn execute(options: &CliOptions) -> Result<String, String> {
     let format = options.format;
     match &options.action {
         Action::Status => call_rendered(&mut client, RequestBody::Status, format),
-        Action::Metrics => call_rendered(&mut client, RequestBody::Metrics, format),
+        Action::Metrics { samples } => call_rendered(
+            &mut client,
+            RequestBody::Metrics { samples: *samples },
+            format,
+        ),
+        Action::Watch { query, count } => {
+            let subscription = client.subscribe(*query).map_err(|e| e.to_string())?;
+            let mut seen = 0usize;
+            let mut lines = Vec::new();
+            loop {
+                let event = client.next_event().map_err(|e| e.to_string())?;
+                if event.subscription != subscription {
+                    continue;
+                }
+                let terminal = matches!(event.event, OutputEvent::Poisoned);
+                let line = render_event(&event, format);
+                match count {
+                    // Bounded watch: collect and return (testable output).
+                    Some(_) => lines.push(line),
+                    // Unbounded watch: stream line-by-line until the
+                    // subscription turns terminal or stdout goes away.
+                    None => {
+                        use std::io::Write;
+                        let mut out = std::io::stdout().lock();
+                        if writeln!(out, "{line}").and_then(|()| out.flush()).is_err() {
+                            break;
+                        }
+                    }
+                }
+                seen += 1;
+                if terminal || count.is_some_and(|n| seen >= n) {
+                    break;
+                }
+            }
+            let _ = client.unsubscribe(subscription);
+            Ok(lines.join("\n"))
+        }
         Action::Register(spec) => {
             call_rendered(&mut client, RequestBody::Register { spec: *spec }, format)
         }
@@ -348,6 +416,32 @@ mod tests {
     }
 
     #[test]
+    fn parses_metrics_and_watch_grammar() {
+        assert_eq!(
+            parse(&argv("metrics")).unwrap().action,
+            Action::Metrics { samples: false }
+        );
+        assert_eq!(
+            parse(&argv("metrics --samples")).unwrap().action,
+            Action::Metrics { samples: true }
+        );
+        assert_eq!(
+            parse(&argv("watch 2")).unwrap().action,
+            Action::Watch {
+                query: 2,
+                count: None
+            }
+        );
+        assert_eq!(
+            parse(&argv("watch 0 --count 5")).unwrap().action,
+            Action::Watch {
+                query: 0,
+                count: Some(5)
+            }
+        );
+    }
+
+    #[test]
     fn rejects_bad_invocations() {
         assert!(parse(&argv("sssp")).is_err(), "unknown command");
         assert!(parse(&argv("query sssp")).is_err(), "missing --source");
@@ -355,6 +449,10 @@ mod tests {
         assert!(parse(&argv("status extra")).is_err(), "trailing garbage");
         assert!(parse(&argv("--format yaml status")).is_err(), "bad format");
         assert!(parse(&[]).is_err(), "no command");
+        assert!(parse(&argv("watch")).is_err(), "missing query id");
+        assert!(parse(&argv("watch one")).is_err(), "non-numeric id");
+        assert!(parse(&argv("watch 0 --count")).is_err(), "missing count");
+        assert!(parse(&argv("metrics --sample")).is_err(), "unknown flag");
     }
 
     #[test]

@@ -2,11 +2,14 @@
 //!
 //! One blocking TCP connection, one request in flight at a time: `call`
 //! stamps a fresh id, writes the frame, reads frames until the echoed id
-//! matches (ignoring nothing — the daemon replies in order per
-//! connection, so a mismatched id is a protocol violation, not something
-//! to skip past).  In-protocol failures ([`ResponseBody::Error`]) surface
-//! as [`ClientError::Remote`] so callers can match on the taxonomy.
+//! matches.  Server-pushed [`EventFrame`]s may interleave with replies on
+//! a subscribed connection; `call` buffers them for [`GrapeClient::
+//! next_event`] instead of treating them as protocol violations.  A
+//! mismatched reply id *is* a protocol violation, not something to skip
+//! past.  In-protocol failures ([`ResponseBody::Error`]) surface as
+//! [`ClientError::Remote`] so callers can match on the taxonomy.
 
+use std::collections::VecDeque;
 use std::io::{BufReader, BufWriter};
 use std::net::{TcpStream, ToSocketAddrs};
 
@@ -14,15 +17,24 @@ use grape_core::spec::QuerySpec;
 use grape_graph::delta::GraphDelta;
 
 use crate::protocol::{
-    self, ErrorKind, MetricsInfo, QueryAnswer, RejectedDelta, Request, RequestBody, Response,
-    ResponseBody, StatusInfo, WireError,
+    self, ErrorKind, EventFrame, MetricsInfo, QueryAnswer, RejectedDelta, Request, RequestBody,
+    ResponseBody, ServerFrame, StatusInfo, WireError,
 };
 
 /// A failure on the client side of the wire.
 #[derive(Debug)]
 pub enum ClientError {
-    /// Connecting, framing or (de)serialization failed.
+    /// Connecting, framing or (de)serialization failed outside a call.
     Wire(WireError),
+    /// The connection failed while a specific operation was in flight —
+    /// names the op so `grapectl` can say *what* it was doing when the
+    /// daemon went away instead of exiting nonzero-but-quiet.
+    MidCall {
+        /// The wire op that was in flight.
+        op: &'static str,
+        /// What actually went wrong (framing error, EOF, ...).
+        detail: String,
+    },
     /// The daemon replied with an in-protocol error.
     Remote {
         /// The error taxonomy entry.
@@ -30,15 +42,26 @@ pub enum ClientError {
         /// The daemon's message.
         message: String,
     },
-    /// The daemon replied with something other than the expected variant
-    /// (or closed the connection mid-call).
+    /// The daemon replied with something other than the expected variant.
     Protocol(String),
+}
+
+impl ClientError {
+    fn mid_call(op: &'static str, detail: impl Into<String>) -> ClientError {
+        ClientError::MidCall {
+            op,
+            detail: detail.into(),
+        }
+    }
 }
 
 impl std::fmt::Display for ClientError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ClientError::Wire(e) => write!(f, "{e}"),
+            ClientError::MidCall { op, detail } => {
+                write!(f, "connection failed mid-call during `{op}`: {detail}")
+            }
             ClientError::Remote { kind, message } => {
                 write!(f, "daemon error ({kind:?}): {message}")
             }
@@ -75,6 +98,27 @@ pub struct GrapeClient {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
     next_id: u64,
+    /// Events pushed by the daemon that arrived while a reply was being
+    /// awaited; drained by [`GrapeClient::next_event`] in arrival order.
+    events: VecDeque<EventFrame>,
+}
+
+/// The wire name of a request's op — what `MidCall` reports.
+fn op_name(body: &RequestBody) -> &'static str {
+    match body {
+        RequestBody::Status => "status",
+        RequestBody::Metrics { .. } => "metrics",
+        RequestBody::Register { .. } => "register",
+        RequestBody::Apply { .. } => "apply",
+        RequestBody::ApplyBatch { .. } => "apply_batch",
+        RequestBody::Output { .. } => "output",
+        RequestBody::TryOutput { .. } => "try_output",
+        RequestBody::Evict { .. } => "evict",
+        RequestBody::Rehydrate { .. } => "rehydrate",
+        RequestBody::Subscribe { .. } => "subscribe",
+        RequestBody::Unsubscribe { .. } => "unsubscribe",
+        RequestBody::Shutdown => "shutdown",
+    }
 }
 
 impl GrapeClient {
@@ -87,25 +131,46 @@ impl GrapeClient {
             reader: BufReader::new(read_half),
             writer: BufWriter::new(stream),
             next_id: 1,
+            events: VecDeque::new(),
         })
     }
 
-    /// Sends one request and reads its reply (matching ids).  Error
-    /// replies pass through as `Ok(ResponseBody::Error { .. })`; the typed
-    /// methods turn them into [`ClientError::Remote`].
+    /// Reads the next server frame, naming `op` if the connection fails.
+    fn recv_frame(&mut self, op: &'static str) -> Result<ServerFrame, ClientError> {
+        match protocol::recv(&mut self.reader) {
+            Ok(Some(frame)) => Ok(frame),
+            Ok(None) => Err(ClientError::mid_call(
+                op,
+                "connection closed before the reply",
+            )),
+            Err(e) => Err(ClientError::mid_call(op, e.to_string())),
+        }
+    }
+
+    /// Sends one request and reads its reply (matching ids), buffering any
+    /// pushed events that arrive in between.  Error replies pass through
+    /// as `Ok(ResponseBody::Error { .. })`; the typed methods turn them
+    /// into [`ClientError::Remote`].
     pub fn call(&mut self, body: RequestBody) -> Result<ResponseBody, ClientError> {
+        let op = op_name(&body);
         let id = self.next_id;
         self.next_id += 1;
-        protocol::send(&mut self.writer, &Request { id, body })?;
-        let response: Response = protocol::recv(&mut self.reader)?
-            .ok_or_else(|| ClientError::Protocol("connection closed mid-call".to_string()))?;
-        if response.id != id && response.id != 0 {
-            return Err(ClientError::Protocol(format!(
-                "reply id {} does not match request id {id}",
-                response.id
-            )));
+        protocol::send(&mut self.writer, &Request { id, body })
+            .map_err(|e| ClientError::mid_call(op, e.to_string()))?;
+        loop {
+            match self.recv_frame(op)? {
+                ServerFrame::Event(event) => self.events.push_back(event),
+                ServerFrame::Reply(response) => {
+                    if response.id != id && response.id != 0 {
+                        return Err(ClientError::Protocol(format!(
+                            "reply id {} does not match request id {id}",
+                            response.id
+                        )));
+                    }
+                    return Ok(response.body);
+                }
+            }
         }
-        Ok(response.body)
     }
 
     fn call_ok(&mut self, body: RequestBody) -> Result<ResponseBody, ClientError> {
@@ -123,9 +188,19 @@ impl GrapeClient {
         }
     }
 
-    /// `metrics`.
+    /// `metrics` — the cheap reply: summary only, no raw sample vector.
     pub fn metrics(&mut self) -> Result<MetricsInfo, ClientError> {
-        match self.call_ok(RequestBody::Metrics)? {
+        self.metrics_opt(false)
+    }
+
+    /// `metrics` with the raw per-commit latency samples included
+    /// (`grapectl metrics --samples`).
+    pub fn metrics_with_samples(&mut self) -> Result<MetricsInfo, ClientError> {
+        self.metrics_opt(true)
+    }
+
+    fn metrics_opt(&mut self, samples: bool) -> Result<MetricsInfo, ClientError> {
+        match self.call_ok(RequestBody::Metrics { samples })? {
             ResponseBody::Metrics(info) => Ok(info),
             other => Err(unexpected("metrics", &other)),
         }
@@ -188,6 +263,39 @@ impl GrapeClient {
                 ..
             } => Ok((replayed, peval_calls)),
             other => Err(unexpected("rehydrated", &other)),
+        }
+    }
+
+    /// Subscribes to a query's answer-delta stream; returns the wire
+    /// subscription id echoed in every pushed event.
+    pub fn subscribe(&mut self, query: usize) -> Result<usize, ClientError> {
+        match self.call_ok(RequestBody::Subscribe { query })? {
+            ResponseBody::Subscribed { subscription, .. } => Ok(subscription),
+            other => Err(unexpected("subscribed", &other)),
+        }
+    }
+
+    /// Closes a subscription opened on this connection.
+    pub fn unsubscribe(&mut self, subscription: usize) -> Result<(), ClientError> {
+        match self.call_ok(RequestBody::Unsubscribe { subscription })? {
+            ResponseBody::Unsubscribed { .. } => Ok(()),
+            other => Err(unexpected("unsubscribed", &other)),
+        }
+    }
+
+    /// The next pushed subscription event: pops the buffer if `call`
+    /// already read one, otherwise blocks on the socket.  A reply frame
+    /// arriving here is a protocol violation (no request is in flight).
+    pub fn next_event(&mut self) -> Result<EventFrame, ClientError> {
+        if let Some(event) = self.events.pop_front() {
+            return Ok(event);
+        }
+        match self.recv_frame("watch")? {
+            ServerFrame::Event(event) => Ok(event),
+            ServerFrame::Reply(response) => Err(ClientError::Protocol(format!(
+                "unsolicited reply with id {} while waiting for events",
+                response.id
+            ))),
         }
     }
 

@@ -4,7 +4,9 @@
 //! pipelines can consume `grapectl` output exactly as they would consume
 //! the socket); `--format text` prints a compact human view.
 
-use crate::protocol::{MetricsInfo, QueryAnswer, QueryRow, ResponseBody, StatusInfo};
+use grape_core::output_delta::OutputEvent;
+
+use crate::protocol::{EventFrame, MetricsInfo, QueryAnswer, QueryRow, ResponseBody, StatusInfo};
 
 /// Output format selected by `--format`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -86,6 +88,13 @@ fn render_text(body: &ResponseBody) -> String {
         } => format!(
             "rehydrated query {query}: replayed {replayed} delta(s), {peval_calls} PEval call(s)"
         ),
+        ResponseBody::Subscribed {
+            query,
+            subscription,
+        } => format!("subscribed {subscription} to query {query}"),
+        ResponseBody::Unsubscribed { subscription } => {
+            format!("unsubscribed {subscription}")
+        }
         ResponseBody::Status(info) => render_status(info),
         ResponseBody::Metrics(info) => render_metrics(info),
         ResponseBody::ShuttingDown => "daemon shutting down".to_string(),
@@ -180,9 +189,42 @@ fn render_metrics(info: &MetricsInfo) -> String {
         "per-delta latency over last {} commit(s): mean {:.3}ms  p50 {:.3}ms  p99 {:.3}ms  max {:.3}ms\n",
         info.latency_samples, l.mean_ms, l.p50_ms, l.p99_ms, l.max_ms
     ));
+    if let Some(samples) = &info.samples {
+        out.push_str(&format!(
+            "samples (ms): {}\n",
+            samples
+                .iter()
+                .map(|s| format!("{s:.3}"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        ));
+    }
     render_rows(&mut out, &info.queries);
     out.pop();
     out
+}
+
+/// Renders one pushed subscription event as a single line (the unit
+/// `grapectl watch` streams).
+pub fn render_event(event: &EventFrame, format: Format) -> String {
+    match format {
+        Format::Json => serde_json::to_string(event)
+            .unwrap_or_else(|e| format!("{{\"event\":\"error\",\"message\":\"{e}\"}}")),
+        Format::Text => match &event.event {
+            OutputEvent::Delta(delta) => format!(
+                "v{} query {} sub {}: {} changed, {} removed",
+                event.version,
+                event.query,
+                event.subscription,
+                delta.changed.len(),
+                delta.removed.len()
+            ),
+            OutputEvent::Poisoned => format!(
+                "v{} query {} sub {}: POISONED (terminal)",
+                event.version, event.query, event.subscription
+            ),
+        },
+    }
 }
 
 #[cfg(test)]

@@ -23,7 +23,7 @@ use grape_graph::delta::GraphDelta;
 use grape_graph::types::NO_LABEL;
 
 use crate::protocol::RequestBody;
-use crate::server::Command;
+use crate::server::{Command, Replier};
 
 /// Shape of the synthetic workload.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -114,7 +114,7 @@ pub(crate) fn feed(
         if tx
             .send(Command {
                 body: RequestBody::Apply { delta },
-                reply,
+                replier: Replier::Channel(reply),
             })
             .is_err()
         {

@@ -31,6 +31,7 @@ use std::io::{BufRead, Write};
 use grape_algorithms::cc::CcResult;
 use grape_algorithms::sssp::SsspResult;
 use grape_core::metrics::LatencySummary;
+use grape_core::output_delta::{OutputEvent, WireOutputDelta};
 use grape_core::serve::{QueryStatus, ServeError, ServeReport};
 use grape_core::spec::QuerySpec;
 use grape_core::EngineError;
@@ -144,7 +145,13 @@ pub enum RequestBody {
     /// Server + per-query state.
     Status,
     /// Uptime, per-delta latency histogram, per-query counters.
-    Metrics,
+    Metrics {
+        /// Include the raw per-commit latency samples.  Off by default:
+        /// the summary is a few scalars, the sample vector grows with the
+        /// commit window and was serialized on every poll before this
+        /// flag existed.
+        samples: bool,
+    },
     /// Register a standing query by spec; replies with its handle id.
     Register {
         /// The query to prepare.
@@ -181,6 +188,17 @@ pub enum RequestBody {
         /// The handle id.
         query: usize,
     },
+    /// Watch a query: the daemon pushes an [`EventFrame`] over **this**
+    /// connection for every answer delta the query produces.
+    Subscribe {
+        /// The handle id.
+        query: usize,
+    },
+    /// Stop a subscription previously opened on this daemon.
+    Unsubscribe {
+        /// The subscription id from the `subscribed` reply.
+        subscription: usize,
+    },
     /// Stop the daemon (replies before the listener goes down).
     Shutdown,
 }
@@ -205,7 +223,9 @@ impl Serialize for RequestBody {
         let op = |tag: &str, extra: Vec<(String, Value)>| tagged(extra, "op", tag);
         match self {
             RequestBody::Status => op("status", vec![]),
-            RequestBody::Metrics => op("metrics", vec![]),
+            RequestBody::Metrics { samples } => {
+                op("metrics", vec![("samples".to_string(), samples.to_value())])
+            }
             RequestBody::Register { spec } => {
                 op("register", vec![("spec".to_string(), spec.to_value())])
             }
@@ -228,6 +248,13 @@ impl Serialize for RequestBody {
             RequestBody::Rehydrate { query } => {
                 op("rehydrate", vec![("query".to_string(), query.to_value())])
             }
+            RequestBody::Subscribe { query } => {
+                op("subscribe", vec![("query".to_string(), query.to_value())])
+            }
+            RequestBody::Unsubscribe { subscription } => op(
+                "unsubscribe",
+                vec![("subscription".to_string(), subscription.to_value())],
+            ),
             RequestBody::Shutdown => op("shutdown", vec![]),
         }
     }
@@ -263,7 +290,14 @@ impl Deserialize for RequestBody {
     fn from_value(value: &Value) -> Result<Self, Error> {
         let body = match tag(value, "op")? {
             "status" => RequestBody::Status,
-            "metrics" => RequestBody::Metrics,
+            // `samples` is optional on the wire so pre-flag clients keep
+            // working (absent == the cheap summary-only reply).
+            "metrics" => RequestBody::Metrics {
+                samples: match value.get_field("samples") {
+                    Some(v) => bool::from_value(v)?,
+                    None => false,
+                },
+            },
             "register" => RequestBody::Register {
                 spec: field(value, "spec")?,
             },
@@ -284,6 +318,12 @@ impl Deserialize for RequestBody {
             },
             "rehydrate" => RequestBody::Rehydrate {
                 query: field(value, "query")?,
+            },
+            "subscribe" => RequestBody::Subscribe {
+                query: field(value, "query")?,
+            },
+            "unsubscribe" => RequestBody::Unsubscribe {
+                subscription: field(value, "subscription")?,
             },
             "shutdown" => RequestBody::Shutdown,
             other => return Err(Error::custom(format!("unknown op `{other}`"))),
@@ -314,6 +354,9 @@ pub enum ErrorKind {
     BadRequest,
     /// The query id was never issued by this daemon.
     UnknownHandle,
+    /// The subscription id is not active on this daemon (never issued, or
+    /// already unsubscribed).
+    UnknownSubscription,
     /// The query was quarantined by an earlier failed refresh.
     Poisoned,
     /// The partition layer rejected the delta; the timeline did not
@@ -440,6 +483,9 @@ pub struct MetricsInfo {
     /// Live samples behind `latency` (windowed; see
     /// `GrapeServer::latency_summary`).
     pub latency_samples: usize,
+    /// The raw per-commit latency samples in milliseconds — only when the
+    /// request set `samples: true` (`grapectl metrics --samples`).
+    pub samples: Option<Vec<f64>>,
     /// Serialized size of all resident partials.
     pub resident_partial_bytes: usize,
     /// Per-query rows, sorted by id.
@@ -561,6 +607,19 @@ pub enum ResponseBody {
         /// PEval invocations of the replay (0 on the monotone path).
         peval_calls: usize,
     },
+    /// A subscription was opened; [`EventFrame`]s with this id follow on
+    /// the same connection.
+    Subscribed {
+        /// The handle id.
+        query: usize,
+        /// The subscription id (echoed in every pushed event).
+        subscription: usize,
+    },
+    /// A subscription was closed; no further events carry its id.
+    Unsubscribed {
+        /// The subscription id.
+        subscription: usize,
+    },
     /// The `status` reply.
     Status(StatusInfo),
     /// The `metrics` reply.
@@ -629,6 +688,20 @@ impl Serialize for ResponseBody {
                     ("peval_calls".to_string(), peval_calls.to_value()),
                 ],
             ),
+            ResponseBody::Subscribed {
+                query,
+                subscription,
+            } => reply(
+                "subscribed",
+                vec![
+                    ("query".to_string(), query.to_value()),
+                    ("subscription".to_string(), subscription.to_value()),
+                ],
+            ),
+            ResponseBody::Unsubscribed { subscription } => reply(
+                "unsubscribed",
+                vec![("subscription".to_string(), subscription.to_value())],
+            ),
             ResponseBody::Status(info) => {
                 reply("status", vec![("status".to_string(), info.to_value())])
             }
@@ -681,6 +754,13 @@ impl Deserialize for ResponseBody {
                 replayed: field(value, "replayed")?,
                 peval_calls: field(value, "peval_calls")?,
             },
+            "subscribed" => ResponseBody::Subscribed {
+                query: field(value, "query")?,
+                subscription: field(value, "subscription")?,
+            },
+            "unsubscribed" => ResponseBody::Unsubscribed {
+                subscription: field(value, "subscription")?,
+            },
             "status" => ResponseBody::Status(field(value, "status")?),
             "metrics" => ResponseBody::Metrics(field(value, "metrics")?),
             "shutting_down" => ResponseBody::ShuttingDown,
@@ -711,10 +791,97 @@ pub fn serve_error_body(e: &ServeError) -> ResponseBody {
         ServeError::Delta(_) => ErrorKind::RejectedDelta,
         ServeError::UnknownHandle(_) => ErrorKind::UnknownHandle,
         ServeError::AlreadyEvicted(_) => ErrorKind::NotResident,
+        ServeError::UnknownSubscription(_) => ErrorKind::UnknownSubscription,
         ServeError::Snapshot(_) => ErrorKind::Snapshot,
     };
     ResponseBody::Error {
         kind,
         message: e.to_string(),
+    }
+}
+
+/// A server-initiated push: one [`OutputEvent`] for one subscription.
+///
+/// Event frames share the connection with replies; clients tell them apart
+/// because an event frame carries an `event` tag and never an `id`/`reply`
+/// pair. Within one subscription, frames arrive in `version` order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventFrame {
+    /// The subscription this event belongs to (wire id from `subscribed`).
+    pub subscription: usize,
+    /// The handle id of the watched query.
+    pub query: usize,
+    /// The server-side version the event advances the answer to.
+    pub version: usize,
+    /// The payload: an answer delta, or the terminal poison notice.
+    pub event: OutputEvent,
+}
+
+impl Serialize for EventFrame {
+    fn to_value(&self) -> Value {
+        let mut entries = vec![
+            ("subscription".to_string(), self.subscription.to_value()),
+            ("query".to_string(), self.query.to_value()),
+            ("version".to_string(), self.version.to_value()),
+        ];
+        match &self.event {
+            OutputEvent::Delta(delta) => {
+                entries.push(("event".to_string(), Value::Str("delta".to_string())));
+                entries.push(("changed".to_string(), delta.changed.to_value()));
+                entries.push(("removed".to_string(), delta.removed.to_value()));
+            }
+            OutputEvent::Poisoned => {
+                entries.push(("event".to_string(), Value::Str("poisoned".to_string())));
+            }
+        }
+        Value::Map(entries)
+    }
+}
+
+impl Deserialize for EventFrame {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let event = match tag(value, "event")? {
+            "delta" => OutputEvent::Delta(WireOutputDelta {
+                changed: field(value, "changed")?,
+                removed: field(value, "removed")?,
+            }),
+            "poisoned" => OutputEvent::Poisoned,
+            other => return Err(Error::custom(format!("unknown event `{other}`"))),
+        };
+        Ok(EventFrame {
+            subscription: field(value, "subscription")?,
+            query: field(value, "query")?,
+            version: field(value, "version")?,
+            event,
+        })
+    }
+}
+
+/// Anything the daemon writes on a connection: a reply or a pushed event.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(clippy::large_enum_variant)]
+pub enum ServerFrame {
+    /// A reply correlated to a request by id.
+    Reply(Response),
+    /// A server-initiated subscription event.
+    Event(EventFrame),
+}
+
+impl Serialize for ServerFrame {
+    fn to_value(&self) -> Value {
+        match self {
+            ServerFrame::Reply(response) => response.to_value(),
+            ServerFrame::Event(frame) => frame.to_value(),
+        }
+    }
+}
+
+impl Deserialize for ServerFrame {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        if value.get_field("event").is_some() {
+            Ok(ServerFrame::Event(EventFrame::from_value(value)?))
+        } else {
+            Ok(ServerFrame::Reply(Response::from_value(value)?))
+        }
     }
 }

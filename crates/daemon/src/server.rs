@@ -35,7 +35,7 @@ use std::time::Instant;
 use grape_algorithms::cc::{Cc, CcQuery};
 use grape_algorithms::sssp::{Sssp, SsspQuery};
 use grape_core::config::EngineMode;
-use grape_core::serve::{GrapeServer, QueryHandle, ServeError};
+use grape_core::serve::{GrapeServer, QueryHandle, ServeError, SubscriptionId};
 use grape_core::session::GrapeSession;
 use grape_core::spec::QuerySpec;
 use grape_graph::generators;
@@ -45,8 +45,8 @@ use grape_partition::strategy::PartitionStrategy;
 
 use crate::mock::{self, MockConfig};
 use crate::protocol::{
-    self, ApplySummary, ErrorKind, MetricsInfo, QueryAnswer, QueryRow, RejectedDelta, Request,
-    RequestBody, Response, ResponseBody, StatusInfo,
+    self, ApplySummary, ErrorKind, EventFrame, MetricsInfo, QueryAnswer, QueryRow, RejectedDelta,
+    Request, RequestBody, Response, ResponseBody, ServerFrame, StatusInfo,
 };
 
 /// The graph a daemon starts from (deltas evolve it afterwards).
@@ -200,11 +200,21 @@ enum AnyHandle {
     Cc(QueryHandle<Cc>),
 }
 
+/// One live wire subscription: the serve-layer id, the watched query, and
+/// the connection writer that receives its pushed [`EventFrame`]s.
+struct Subscriber {
+    sub: SubscriptionId,
+    query: usize,
+    tx: Sender<ServerFrame>,
+}
+
 /// The engine thread's state: the `GrapeServer` plus the spec/handle table
-/// mapping wire-level query ids onto typed handles.
+/// mapping wire-level query ids onto typed handles, plus the live wire
+/// subscriptions fanning answer deltas back out to connections.
 struct Engine {
     server: GrapeServer,
     entries: Vec<(QuerySpec, AnyHandle)>,
+    subscribers: Vec<Subscriber>,
     started: Instant,
 }
 
@@ -301,8 +311,43 @@ impl Engine {
         }
     }
 
+    /// Fans every answer delta buffered by the `GrapeServer` out to the
+    /// matching wire subscriptions.  A failed send means the connection's
+    /// writer is gone: the subscriber is dropped and the serve-layer
+    /// subscription closed (so the cold-watch buffer stops growing).
+    fn pump_events(&mut self) {
+        let deltas = self.server.drain_events();
+        if deltas.is_empty() {
+            return;
+        }
+        let mut dead: Vec<usize> = Vec::new();
+        for delta in deltas {
+            for (idx, sub) in self.subscribers.iter().enumerate() {
+                if sub.query != delta.query || dead.contains(&idx) {
+                    continue;
+                }
+                let frame = ServerFrame::Event(EventFrame {
+                    subscription: sub.sub.id(),
+                    query: delta.query,
+                    version: delta.version,
+                    event: delta.event.clone(),
+                });
+                if sub.tx.send(frame).is_err() {
+                    dead.push(idx);
+                }
+            }
+        }
+        dead.sort_unstable();
+        for idx in dead.into_iter().rev() {
+            let gone = self.subscribers.remove(idx);
+            let _ = self.server.unsubscribe(gone.sub);
+        }
+    }
+
     /// Executes one request body.  Runs on the engine thread only.
-    fn handle(&mut self, body: RequestBody) -> ResponseBody {
+    /// `events` is the caller's event channel when the request arrived
+    /// over a connection that can receive pushed frames.
+    fn handle(&mut self, body: RequestBody, events: Option<&Sender<ServerFrame>>) -> ResponseBody {
         match body {
             RequestBody::Status => ResponseBody::Status(StatusInfo {
                 version: self.server.version(),
@@ -313,12 +358,19 @@ impl Engine {
                 resident_partial_bytes: self.server.resident_partial_bytes(),
                 queries: self.rows(),
             }),
-            RequestBody::Metrics => ResponseBody::Metrics(MetricsInfo {
+            RequestBody::Metrics { samples } => ResponseBody::Metrics(MetricsInfo {
                 uptime_ms: self.started.elapsed().as_millis() as u64,
                 version: self.server.version(),
                 deltas_applied: self.server.deltas_applied(),
                 latency: self.server.latency_summary(),
                 latency_samples: self.server.latency_samples(),
+                // The raw vector is opt-in: the summary above is O(1) on
+                // the wire, the samples are O(window).
+                samples: if samples {
+                    Some(self.server.latency_samples_ms())
+                } else {
+                    None
+                },
                 resident_partial_bytes: self.server.resident_partial_bytes(),
                 queries: self.rows(),
             }),
@@ -409,16 +461,104 @@ impl Engine {
                     Err(e) => protocol::serve_error_body(&e),
                 }
             }
+            RequestBody::Subscribe { query } => {
+                let Some(events) = events else {
+                    return Self::err(
+                        ErrorKind::BadRequest,
+                        "subscribe needs a connection that can receive pushed events",
+                    );
+                };
+                if query >= self.entries.len() {
+                    return Self::err(
+                        ErrorKind::UnknownHandle,
+                        format!("query handle {query} was never registered"),
+                    );
+                }
+                let result = match &self.entries[query].1 {
+                    AnyHandle::Sssp(h) => self.server.subscribe(h),
+                    AnyHandle::Cc(h) => self.server.subscribe(h),
+                };
+                match result {
+                    Ok(sub) => {
+                        let subscription = sub.id();
+                        self.subscribers.push(Subscriber {
+                            sub,
+                            query,
+                            tx: events.clone(),
+                        });
+                        ResponseBody::Subscribed {
+                            query,
+                            subscription,
+                        }
+                    }
+                    Err(e) => protocol::serve_error_body(&e),
+                }
+            }
+            RequestBody::Unsubscribe { subscription } => {
+                match self
+                    .subscribers
+                    .iter()
+                    .position(|s| s.sub.id() == subscription)
+                {
+                    Some(idx) => {
+                        let gone = self.subscribers.remove(idx);
+                        match self.server.unsubscribe(gone.sub) {
+                            Ok(()) => ResponseBody::Unsubscribed { subscription },
+                            Err(e) => protocol::serve_error_body(&e),
+                        }
+                    }
+                    None => Self::err(
+                        ErrorKind::UnknownSubscription,
+                        format!("subscription {subscription} is not active"),
+                    ),
+                }
+            }
             RequestBody::Shutdown => ResponseBody::ShuttingDown,
         }
     }
 }
 
+/// Where a command's reply goes: a private in-process channel (mock
+/// feeder, [`GrapedHandle::shutdown`]) or a connection's writer thread,
+/// where the reply is correlated to its request by id and interleaves
+/// with pushed [`EventFrame`]s.
+pub(crate) enum Replier {
+    /// In-process caller; gets the bare body.
+    Channel(Sender<ResponseBody>),
+    /// A connection's writer; gets a framed [`Response`].
+    Connection {
+        /// The connection's outbound frame channel.
+        tx: Sender<ServerFrame>,
+        /// The request id to echo.
+        id: u64,
+    },
+}
+
+impl Replier {
+    /// Delivers the reply; `false` when the receiving side is gone.
+    fn send(&self, body: ResponseBody) -> bool {
+        match self {
+            Replier::Channel(tx) => tx.send(body).is_ok(),
+            Replier::Connection { tx, id } => tx
+                .send(ServerFrame::Reply(Response { id: *id, body }))
+                .is_ok(),
+        }
+    }
+
+    /// The caller's event channel, when it can receive pushed frames.
+    fn events(&self) -> Option<&Sender<ServerFrame>> {
+        match self {
+            Replier::Channel(_) => None,
+            Replier::Connection { tx, .. } => Some(tx),
+        }
+    }
+}
+
 /// One request crossing from a socket (or the mock feeder) to the engine
-/// thread, with a private reply channel.
+/// thread, with its reply route.
 pub(crate) struct Command {
     pub(crate) body: RequestBody,
-    pub(crate) reply: Sender<ResponseBody>,
+    pub(crate) replier: Replier,
 }
 
 /// A running daemon.  Dropping the handle does **not** stop the daemon;
@@ -455,6 +595,7 @@ impl GrapedHandle {
         let mut engine = Engine {
             server,
             entries: Vec::new(),
+            subscribers: Vec::new(),
             started: Instant::now(),
         };
         if let Some(mock_cfg) = &config.mock {
@@ -513,7 +654,7 @@ impl GrapedHandle {
             .tx
             .send(Command {
                 body: RequestBody::Shutdown,
-                reply,
+                replier: Replier::Channel(reply),
             })
             .is_ok()
         {
@@ -546,8 +687,12 @@ impl GrapedHandle {
 fn run_engine(mut engine: Engine, rx: Receiver<Command>, stop: Arc<AtomicBool>, addr: SocketAddr) {
     while let Ok(cmd) = rx.recv() {
         let shutting_down = matches!(cmd.body, RequestBody::Shutdown);
-        let response = engine.handle(cmd.body);
-        let _ = cmd.reply.send(response);
+        let response = engine.handle(cmd.body, cmd.replier.events());
+        let _ = cmd.replier.send(response);
+        // Push whatever the command produced (applies emit one delta per
+        // watched query, rehydrations one compacted delta) before the
+        // next command — and, on shutdown, before the writers go down.
+        engine.pump_events();
         if shutting_down {
             break;
         }
@@ -571,71 +716,85 @@ fn run_accept(listener: TcpListener, tx: Sender<Command>, stop: Arc<AtomicBool>)
 }
 
 /// Reads frames off one socket, funnels each request through the command
-/// channel, writes the reply.  A framing error ends the connection (the
-/// byte stream can no longer be trusted); a *payload* error (well-framed
-/// but not a valid request) gets an error reply and the connection
-/// continues.
+/// channel.  A framing error ends the connection (the byte stream can no
+/// longer be trusted); a *payload* error (well-framed but not a valid
+/// request) gets an error reply and the connection continues.
+///
+/// All outbound traffic — replies *and* pushed subscription events — goes
+/// through one writer thread per connection, so an event can never tear a
+/// reply frame mid-write.  The reader does not wait for a reply before
+/// parsing the next request (requests pipeline); ordering is preserved
+/// because the engine thread executes commands and emits both replies and
+/// events into the same channel in arrival order.
 fn serve_connection(stream: TcpStream, tx: Sender<Command>) {
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
     let mut reader = BufReader::new(read_half);
-    let mut writer = BufWriter::new(stream);
+    let (frame_tx, frame_rx) = std::sync::mpsc::channel::<ServerFrame>();
+    let writer = std::thread::spawn(move || {
+        let mut writer = BufWriter::new(stream);
+        while let Ok(frame) = frame_rx.recv() {
+            if protocol::send(&mut writer, &frame).is_err() {
+                break;
+            }
+        }
+    });
     loop {
         let request: Request = match protocol::recv(&mut reader) {
             Ok(Some(request)) => request,
             Ok(None) => break,
             Err(protocol::WireError::Json(m)) => {
-                let reply = Response {
+                let reply = ServerFrame::Reply(Response {
                     id: 0,
                     body: ResponseBody::Error {
                         kind: ErrorKind::BadRequest,
                         message: m,
                     },
-                };
-                if protocol::send(&mut writer, &reply).is_err() {
+                });
+                if frame_tx.send(reply).is_err() {
                     break;
                 }
                 continue;
             }
             Err(e) => {
-                let reply = Response {
+                let reply = ServerFrame::Reply(Response {
                     id: 0,
                     body: ResponseBody::Error {
                         kind: ErrorKind::BadRequest,
                         message: e.to_string(),
                     },
-                };
-                let _ = protocol::send(&mut writer, &reply);
+                });
+                let _ = frame_tx.send(reply);
                 break;
             }
         };
-        let (reply_tx, reply_rx) = std::sync::mpsc::channel();
-        let body = if tx
+        let id = request.id;
+        if tx
             .send(Command {
                 body: request.body,
-                reply: reply_tx,
+                replier: Replier::Connection {
+                    tx: frame_tx.clone(),
+                    id,
+                },
             })
-            .is_ok()
+            .is_err()
         {
-            reply_rx.recv().unwrap_or(ResponseBody::Error {
-                kind: ErrorKind::ShuttingDown,
-                message: "daemon is shutting down".to_string(),
-            })
-        } else {
-            ResponseBody::Error {
-                kind: ErrorKind::ShuttingDown,
-                message: "daemon is shutting down".to_string(),
-            }
-        };
-        let response = Response {
-            id: request.id,
-            body,
-        };
-        if protocol::send(&mut writer, &response).is_err() {
+            let _ = frame_tx.send(ServerFrame::Reply(Response {
+                id,
+                body: ResponseBody::Error {
+                    kind: ErrorKind::ShuttingDown,
+                    message: "daemon is shutting down".to_string(),
+                },
+            }));
             break;
         }
     }
+    // The writer drains until every sender is gone: ours (now), the
+    // engine's per-reply cloned repliers, and any live subscribers (which
+    // the engine drops when a send fails or the engine itself goes down).
+    drop(frame_tx);
+    let _ = writer.join();
 }
 
 #[cfg(test)]

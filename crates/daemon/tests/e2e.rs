@@ -18,6 +18,7 @@ use std::time::{Duration, Instant};
 use grape_algorithms::cc::{Cc, CcQuery};
 use grape_algorithms::sssp::{Sssp, SsspQuery};
 use grape_core::config::EngineMode;
+use grape_core::output_delta::{wire_rows, OutputEvent};
 use grape_core::serve::GrapeServer;
 use grape_core::session::GrapeSession;
 use grape_core::spec::QuerySpec;
@@ -31,6 +32,7 @@ use grape_graph::delta::GraphDelta;
 use grape_graph::generators;
 use grape_partition::metis_like::MetisLike;
 use grape_partition::strategy::PartitionStrategy;
+use serde::Value;
 
 const GRID: (usize, usize, u64) = (6, 6, 7);
 const BASE_VERTICES: u64 = 36;
@@ -63,6 +65,15 @@ fn library_server(mode: EngineMode) -> GrapeServer {
 
 fn json(answer: &QueryAnswer) -> String {
     serde_json::to_string(answer).expect("serialize answer")
+}
+
+/// An answer's canonical wire rows — the base an `OutputDelta` stream
+/// replays over.
+fn answer_rows(answer: &QueryAnswer) -> Vec<(Value, Value)> {
+    match answer {
+        QueryAnswer::Sssp { distances } => wire_rows(distances),
+        QueryAnswer::Cc { components } => wire_rows(components),
+    }
 }
 
 #[test]
@@ -260,6 +271,148 @@ fn mock_daemon_serves_generated_workload_and_stops() {
 
     client.shutdown().expect("shutdown");
     handle.wait();
+}
+
+#[test]
+fn concurrent_watchers_get_identical_streams_that_replay_to_the_answer() {
+    const WATCHERS: usize = 3;
+    for mode in [EngineMode::Sync, EngineMode::Async] {
+        let handle = GrapedHandle::spawn(daemon_config(mode)).expect("spawn daemon");
+        let addr = handle.addr();
+        let mut driver = GrapeClient::connect(addr).expect("connect driver");
+        let q_sssp = driver
+            .register(QuerySpec::Sssp { source: 0 })
+            .expect("register sssp");
+        let q_cc = driver.register(QuerySpec::Cc).expect("register cc");
+        let base_sssp = driver.output(q_sssp).expect("baseline sssp");
+        let base_cc = driver.output(q_cc).expect("baseline cc");
+
+        // All watchers subscribe to both queries before any delta flows,
+        // so every stream starts from the same baseline.
+        let mut watchers: Vec<(GrapeClient, usize, usize)> = (0..WATCHERS)
+            .map(|_| {
+                let mut c = GrapeClient::connect(addr).expect("connect watcher");
+                let s_sssp = c.subscribe(q_sssp).expect("subscribe sssp");
+                let s_cc = c.subscribe(q_cc).expect("subscribe cc");
+                (c, s_sssp, s_cc)
+            })
+            .collect();
+
+        // Drive: two commits with everything resident, evict the SSSP
+        // query, two commits while it is cold, rehydrate (its watchers
+        // get one compacted delta covering both cold commits).
+        for i in 0..2 {
+            driver
+                .apply(mock_delta(23, BASE_VERTICES, i))
+                .expect("apply");
+        }
+        driver.evict(q_sssp).expect("evict");
+        for i in 2..4 {
+            driver
+                .apply(mock_delta(23, BASE_VERTICES, i))
+                .expect("apply");
+        }
+        driver.rehydrate(q_sssp).expect("rehydrate");
+        let final_version = driver.status().expect("status").version;
+        let fin_sssp = driver.output(q_sssp).expect("final sssp");
+        let fin_cc = driver.output(q_cc).expect("final cc");
+
+        // Each watcher drains its stream until both subscriptions have
+        // caught up to the final version.
+        let mut streams: Vec<Vec<(usize, usize, OutputEvent)>> = Vec::new();
+        for (c, s_sssp, s_cc) in &mut watchers {
+            let mut events = Vec::new();
+            let (mut done_sssp, mut done_cc) = (false, false);
+            while !(done_sssp && done_cc) {
+                let e = c.next_event().expect("event");
+                if e.version == final_version {
+                    done_sssp |= e.subscription == *s_sssp;
+                    done_cc |= e.subscription == *s_cc;
+                }
+                events.push((e.query, e.version, e.event));
+            }
+            streams.push(events);
+        }
+
+        // Identical streams for every watcher (subscription ids differ,
+        // the (query, version, event) sequence must not).
+        for (w, stream) in streams.iter().enumerate().skip(1) {
+            assert_eq!(
+                stream, &streams[0],
+                "watcher {w} saw a different stream in {mode:?}"
+            );
+        }
+
+        // Replaying the deltas over the baseline reproduces the final
+        // answers byte-for-byte — the equivalence pin, over real TCP.
+        let mut replay_sssp = answer_rows(&base_sssp);
+        let mut replay_cc = answer_rows(&base_cc);
+        for (query, _, event) in &streams[0] {
+            let OutputEvent::Delta(delta) = event else {
+                panic!("healthy queries must never push a poison event");
+            };
+            if *query == q_sssp {
+                delta.apply_to(&mut replay_sssp);
+            } else {
+                delta.apply_to(&mut replay_cc);
+            }
+        }
+        let bytes = |rows: &Vec<(Value, Value)>| serde_json::to_string(rows).expect("rows");
+        assert_eq!(
+            bytes(&replay_sssp),
+            bytes(&answer_rows(&fin_sssp)),
+            "sssp replay diverges in {mode:?}"
+        );
+        assert_eq!(
+            bytes(&replay_cc),
+            bytes(&answer_rows(&fin_cc)),
+            "cc replay diverges in {mode:?}"
+        );
+
+        // Unsubscribe works over the wire; a second unsubscribe of the
+        // same id is the typed UnknownSubscription error.
+        let (c, s_sssp, s_cc) = &mut watchers[0];
+        c.unsubscribe(*s_sssp).expect("unsubscribe");
+        c.unsubscribe(*s_cc).expect("unsubscribe");
+        match c.unsubscribe(*s_sssp) {
+            Err(ClientError::Remote { kind, .. }) => {
+                assert_eq!(kind, ErrorKind::UnknownSubscription)
+            }
+            other => panic!("expected UnknownSubscription, got {other:?}"),
+        }
+
+        driver.shutdown().expect("shutdown");
+        handle.wait();
+    }
+}
+
+#[test]
+fn dropped_connection_mid_call_names_the_op() {
+    // A fake daemon that accepts, reads the request, then hangs up
+    // without replying — the failure `grapectl` used to report as a bare
+    // nonzero exit.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let fake = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().expect("accept");
+        let mut reader = std::io::BufReader::new(stream);
+        let _ = protocol::read_frame(&mut reader);
+        // Dropping the stream here closes the connection mid-call.
+    });
+
+    let mut client = GrapeClient::connect(addr).expect("connect");
+    let err = client.status().expect_err("the daemon hung up");
+    assert!(
+        matches!(err, ClientError::MidCall { op: "status", .. }),
+        "expected MidCall naming the op, got {err:?}"
+    );
+    let msg = err.to_string();
+    assert!(msg.contains("`status`"), "must name the op: {msg}");
+    assert!(
+        msg.contains("mid-call"),
+        "must say the connection died mid-call: {msg}"
+    );
+    fake.join().expect("fake daemon");
 }
 
 #[test]

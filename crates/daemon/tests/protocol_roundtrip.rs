@@ -9,13 +9,16 @@
 use std::io::Cursor;
 
 use grape_core::metrics::LatencySummary;
+use grape_core::output_delta::{OutputEvent, WireOutputDelta};
 use grape_core::serve::QueryStatus;
 use grape_core::spec::QuerySpec;
 use grape_daemon::protocol::{
-    self, ApplySummary, ErrorKind, MetricsInfo, QueryAnswer, QueryRow, RejectedDelta, Request,
-    RequestBody, Response, ResponseBody, StatusInfo, WireError, MAX_FRAME_BYTES,
+    self, ApplySummary, ErrorKind, EventFrame, MetricsInfo, QueryAnswer, QueryRow, RejectedDelta,
+    Request, RequestBody, Response, ResponseBody, ServerFrame, StatusInfo, WireError,
+    MAX_FRAME_BYTES,
 };
 use grape_graph::delta::GraphDelta;
+use serde::{Serialize, Value};
 
 fn roundtrip_request(body: RequestBody) {
     let request = Request { id: 42, body };
@@ -49,6 +52,7 @@ fn sample_status() -> QueryStatus {
         incremental_updates: 4,
         bounded_updates: 1,
         partial_bytes: 0,
+        watchers: 0,
     }
 }
 
@@ -71,7 +75,8 @@ fn sample_summary() -> ApplySummary {
 #[test]
 fn every_request_variant_round_trips() {
     roundtrip_request(RequestBody::Status);
-    roundtrip_request(RequestBody::Metrics);
+    roundtrip_request(RequestBody::Metrics { samples: false });
+    roundtrip_request(RequestBody::Metrics { samples: true });
     roundtrip_request(RequestBody::Register {
         spec: QuerySpec::Sssp { source: 3 },
     });
@@ -88,7 +93,20 @@ fn every_request_variant_round_trips() {
     roundtrip_request(RequestBody::TryOutput { query: 1 });
     roundtrip_request(RequestBody::Evict { query: 2 });
     roundtrip_request(RequestBody::Rehydrate { query: 3 });
+    roundtrip_request(RequestBody::Subscribe { query: 4 });
+    roundtrip_request(RequestBody::Unsubscribe { subscription: 2 });
     roundtrip_request(RequestBody::Shutdown);
+}
+
+#[test]
+fn metrics_without_the_flag_still_parses_as_a_request() {
+    // Pre-flag clients send `{"id":N,"op":"metrics"}`; absent means the
+    // cheap summary-only reply.
+    let mut wire = Vec::new();
+    protocol::write_frame(&mut wire, "{\"id\":1,\"op\":\"metrics\"}").unwrap();
+    let mut reader = Cursor::new(wire);
+    let request: Request = protocol::recv(&mut reader).unwrap().expect("frame");
+    assert_eq!(request.body, RequestBody::Metrics { samples: false });
 }
 
 #[test]
@@ -163,9 +181,31 @@ fn every_response_variant_round_trips() {
             max_ms: 3.5,
         },
         latency_samples: 9,
+        samples: None,
         resident_partial_bytes: 1024,
         queries: vec![],
     }));
+    roundtrip_response(ResponseBody::Metrics(MetricsInfo {
+        uptime_ms: 12345,
+        version: 5,
+        deltas_applied: 9,
+        latency: LatencySummary {
+            samples: 3,
+            mean_ms: 1.25,
+            p50_ms: 1.0,
+            p99_ms: 3.5,
+            max_ms: 3.5,
+        },
+        latency_samples: 3,
+        samples: Some(vec![0.5, 1.0, 3.5]),
+        resident_partial_bytes: 1024,
+        queries: vec![],
+    }));
+    roundtrip_response(ResponseBody::Subscribed {
+        query: 1,
+        subscription: 3,
+    });
+    roundtrip_response(ResponseBody::Unsubscribed { subscription: 3 });
     roundtrip_response(ResponseBody::ShuttingDown);
 }
 
@@ -174,6 +214,7 @@ fn every_error_kind_round_trips_as_an_error_frame() {
     for kind in [
         ErrorKind::BadRequest,
         ErrorKind::UnknownHandle,
+        ErrorKind::UnknownSubscription,
         ErrorKind::Poisoned,
         ErrorKind::RejectedDelta,
         ErrorKind::NotResident,
@@ -186,6 +227,50 @@ fn every_error_kind_round_trips_as_an_error_frame() {
             message: format!("synthetic {kind:?}"),
         });
     }
+}
+
+fn sample_event_delta() -> EventFrame {
+    EventFrame {
+        subscription: 2,
+        query: 1,
+        version: 6,
+        event: OutputEvent::Delta(WireOutputDelta {
+            changed: vec![(3u64.to_value(), 1.5f64.to_value())],
+            removed: vec![9u64.to_value()],
+        }),
+    }
+}
+
+#[test]
+fn server_frames_round_trip_and_discriminate() {
+    // A pushed delta event survives the wire.
+    let event = ServerFrame::Event(sample_event_delta());
+    let json = serde_json::to_string(&event).expect("serialize");
+    let back: ServerFrame = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back, event, "{json}");
+    // The event tag is what clients discriminate on.
+    let value: Value = serde_json::from_str(&json).expect("value");
+    assert!(value.get_field("event").is_some(), "{json}");
+
+    // The terminal poison notice.
+    let poisoned = ServerFrame::Event(EventFrame {
+        subscription: 0,
+        query: 0,
+        version: 9,
+        event: OutputEvent::Poisoned,
+    });
+    let json = serde_json::to_string(&poisoned).expect("serialize");
+    let back: ServerFrame = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back, poisoned, "{json}");
+
+    // A reply read through the ServerFrame lens stays a reply.
+    let reply = ServerFrame::Reply(Response {
+        id: 5,
+        body: ResponseBody::ShuttingDown,
+    });
+    let json = serde_json::to_string(&reply).expect("serialize");
+    let back: ServerFrame = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back, reply, "{json}");
 }
 
 #[test]

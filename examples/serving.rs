@@ -23,6 +23,7 @@
 //! cargo run --release --example serving
 //! ```
 
+use grape::core::output_delta::OutputEvent;
 use grape::core::serve::GrapeServer;
 use grape::prelude::*;
 
@@ -51,6 +52,12 @@ fn main() {
         server.version()
     );
 
+    // A dashboard watches depot 0: subscribe once, and from then on every
+    // commit pushes the rows that *changed* — O(|change|) bytes — instead
+    // of the dashboard re-polling the whole answer (`grapectl watch` is
+    // this same stream over TCP).
+    let watch = server.subscribe(&handles[0]).expect("subscribe");
+
     // Live updates: new road segments open.  One apply_delta; every
     // query's refresh reports the SAME rebuilt-fragment set.
     let new_roads = GraphDelta::new()
@@ -67,6 +74,18 @@ fn main() {
         report.refreshed.len(),
         report.peval_calls()
     );
+    for event in server.drain_events() {
+        if let OutputEvent::Delta(delta) = event.event {
+            println!(
+                "  pushed to depot-0 watchers: v{} — {} changed row(s), {} removal(s) \
+                 (not the {}-row answer)",
+                event.version,
+                delta.changed.len(),
+                delta.removed.len(),
+                server.output(&handles[0]).expect("output").num_reached()
+            );
+        }
+    }
 
     // The overnight-only depot goes cold: spill it to disk.
     let cold = handles[2];
@@ -126,6 +145,15 @@ fn main() {
             "yes"
         },
     );
+
+    // The closure commit and the burst each pushed one more delta to the
+    // subscription (group commits would fold theirs into one per group).
+    let pending = server.drain_events();
+    println!(
+        "subscription caught {} more pushed delta(s) from the closure + burst",
+        pending.len()
+    );
+    server.unsubscribe(watch).expect("unsubscribe");
 
     for (depot, handle) in depots.iter().zip(&handles) {
         let answer = server.output(handle).expect("output");

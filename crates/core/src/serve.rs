@@ -22,13 +22,23 @@
 //!   path of [`crate::prepared`] with the partition work factored out);
 //!   the rebuilt fragment set is shared by all of them via the existing
 //!   `Arc<Fragment>` refcounting;
-//! * [`GrapeServer::evict`] spills a cold query's fragments and partials to
-//!   a per-fragment binary snapshot file
-//!   ([`grape_partition::snapshot`]) and frees its in-memory state; the
-//!   next [`GrapeServer::output`] (or an explicit
-//!   [`GrapeServer::rehydrate`]) reloads it — **without re-partitioning
-//!   and without a single PEval call** — and replays the deltas that
-//!   arrived while it was cold from the server's retained timeline.
+//! * [`GrapeServer::evict`] spills a cold query into its tiered
+//!   [`QuerySpillStore`] ([`grape_partition::snapshot`]) and frees its
+//!   in-memory state: the first eviction writes a **base snapshot** (all
+//!   fragments, all partials, plus the persisted `G_P` and quotient
+//!   routing tables); later evictions append **increments** holding only
+//!   what changed since the previous spill, so repeated evict cycles cost
+//!   `O(|ΔG|)` on disk, not `O(|G|)`.  The next [`GrapeServer::output`]
+//!   (or an explicit [`GrapeServer::rehydrate`]) folds base ⊕ increments
+//!   back — **without re-partitioning, without a single PEval call, and
+//!   without re-deriving `G_P` or the quotient tables** — and replays the
+//!   deltas that arrived while it was cold from the server's retained
+//!   timeline.  When an increment chain outgrows
+//!   [`GrapeServer::compaction_threshold`] (or on an explicit
+//!   [`GrapeServer::compact`]), the chain is folded into a fresh base
+//!   atomically, bounding rehydration latency.  Every store write stages
+//!   through a temp file, fsync and rename, so a crash mid-spill leaves
+//!   the previous on-disk state fully readable.
 //!
 //! The timeline keeps one fragmentation per version only while an evicted
 //! query — or a resident one left *behind* by a failed refresh — still
@@ -64,7 +74,7 @@
 //! and resident partial bytes.
 
 use std::any::Any;
-use std::io::{Read, Write};
+use std::io::Write;
 use std::marker::PhantomData;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -72,12 +82,13 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use grape_graph::delta::GraphDelta;
-use grape_graph::io::{ensure_fully_consumed, read_value_tree, write_value_tree, IoError};
+use grape_graph::io::{write_value_tree, IoError};
 use grape_graph::types::VertexId;
 use grape_partition::delta::DeltaApplication;
-use grape_partition::fragment::{Fragment, Fragmentation};
+use grape_partition::fragment::Fragmentation;
 use grape_partition::snapshot::{
-    read_fragments, rehydrate_fragmentation, write_fragments, SnapshotError,
+    rehydrate_fragmentation, rehydrate_fragmentation_persisted, QuerySpillStore, SnapshotError,
+    SpillStoreStats,
 };
 use serde::{Deserialize, Serialize, Value};
 
@@ -88,8 +99,9 @@ use crate::pie::IncrementalPie;
 use crate::prepared::{PreparedQuery, UpdateReport};
 use crate::session::GrapeSession;
 
-/// Magic header of a query spill file: "GRQS" + format version 1.
-const SPILL_MAGIC: &[u8; 5] = b"GRQS\x01";
+/// Compaction threshold default: fold the increment chain into a fresh
+/// base once more than this many increments are stacked on it.
+const DEFAULT_COMPACTION_THRESHOLD: usize = 4;
 
 /// Process-unique server tokens: stamped into every [`QueryHandle`] so a
 /// handle cannot silently operate on a *different* server that happens to
@@ -239,6 +251,9 @@ pub struct ServeReport {
     /// Queries the server's [`EvictionPolicy`] spilled after this commit
     /// (empty under [`EvictionPolicy::Manual`]).
     pub evicted: Vec<usize>,
+    /// Queries whose policy-driven spill pushed their increment chain past
+    /// [`GrapeServer::compaction_threshold`], folding it into a fresh base.
+    pub compacted: Vec<usize>,
     /// Answer deltas for subscribed queries, sorted by query id: one
     /// [`OutputEvent::Delta`] per watched resident healthy query per commit
     /// (a catch-up replay folds into the same event), plus one terminal
@@ -391,6 +406,17 @@ pub struct QueryStatus {
     pub partial_bytes: usize,
     /// Active subscriptions on this query ([`GrapeServer::subscribe`]).
     pub watchers: usize,
+    /// Increments currently chained on the query's spill base (`0` when the
+    /// query has never spilled, or right after a compaction).
+    #[serde(default)]
+    pub spill_chain: usize,
+    /// Total on-disk footprint of the query's spill store (base +
+    /// increments), in bytes.
+    #[serde(default)]
+    pub spill_bytes: u64,
+    /// Completed compactions of the query's spill store.
+    #[serde(default)]
+    pub compactions: u64,
 }
 
 /// One step of the timeline: the delta and the `Arc`-shared
@@ -409,18 +435,20 @@ trait ServedQuery: Send {
         applied: &DeltaApplication,
         delta: &GraphDelta,
     ) -> Result<UpdateReport, EngineError>;
-    fn evict(&mut self, path: &Path) -> Result<(), ServeError>;
-    /// Reloads the entry from its spill file.  Returns the spill path; the
-    /// file is **not** deleted here — the server reclaims it only after the
-    /// post-reload replay fully succeeds, so the on-disk snapshot stays a
-    /// valid recovery point until then.
-    fn rehydrate(&mut self, at: &Fragmentation) -> Result<PathBuf, ServeError>;
+    /// Spills the entry into its tiered store (base on the first call,
+    /// delta-encoded increments afterwards) and demotes it to cold.
+    /// Returns the path of the file the store wrote.
+    fn evict(&mut self, store: &mut QuerySpillStore) -> Result<PathBuf, ServeError>;
+    /// Reloads the entry from its spill store (base ⊕ increments).  The
+    /// store is **not** cleared afterwards — it stays the entry's on-disk
+    /// recovery point, and the next evict appends to it.
+    fn rehydrate(&mut self, at: &Fragmentation, store: &QuerySpillStore) -> Result<(), ServeError>;
     /// Drops the resident in-memory state (possibly poisoned or
-    /// half-replayed) and points the entry back at `spill` — the inverse of
-    /// a reload whose replay failed.  The snapshot on disk becomes the
-    /// entry's state again (with `book` as its counters), so the entry is
-    /// evicted and retryable.
-    fn demote(&mut self, spill: &Path, book: QueryBookkeeping);
+    /// half-replayed) and points the entry back at its spill store — the
+    /// inverse of a reload whose replay failed.  The folded on-disk state
+    /// becomes the entry's state again (with `book` as its counters), so
+    /// the entry is evicted and retryable.
+    fn demote(&mut self, book: QueryBookkeeping);
     /// The entry's current counters/metrics — from the live handle when
     /// resident, from the cold state when evicted.
     fn bookkeeping(&self) -> QueryBookkeeping;
@@ -464,12 +492,11 @@ struct QueryBookkeeping {
 
 /// The program, query and bookkeeping of an evicted entry — everything that
 /// stays in memory while the heavy state (fragments + partials) lives in
-/// the spill file.
+/// the slot's [`QuerySpillStore`].
 struct ColdState<P: IncrementalPie> {
     session: GrapeSession,
     program: P,
     query: P::Query,
-    spill: PathBuf,
     book: QueryBookkeeping,
 }
 
@@ -484,30 +511,6 @@ struct ServedEntry<P: DeltaOutput> {
     prepared: Option<PreparedQuery<P>>,
     cold: Option<ColdState<P>>,
     watch: Option<Vec<(P::OutKey, P::OutVal)>>,
-}
-
-/// Reads a spill file back: the fragment set and the raw partial value
-/// trees.  Trailing bytes after the declared records are rejected — the
-/// concatenated per-fragment records must line up with the counts exactly.
-fn read_spill(path: &Path) -> Result<(Vec<Fragment>, Vec<Value>), ServeError> {
-    let mut r = std::io::BufReader::new(std::fs::File::open(path)?);
-    let mut magic = [0u8; 5];
-    r.read_exact(&mut magic)?;
-    if &magic != SPILL_MAGIC {
-        return Err(ServeError::Snapshot(SnapshotError::Malformed(
-            "bad magic header (not a grape query spill file)".to_string(),
-        )));
-    }
-    let fragments = read_fragments(&mut r)?;
-    let mut count = [0u8; 8];
-    r.read_exact(&mut count)?;
-    let k = u64::from_le_bytes(count) as usize;
-    let mut values = Vec::with_capacity(k.min(1 << 16));
-    for _ in 0..k {
-        values.push(read_value_tree(&mut r)?);
-    }
-    ensure_fully_consumed(&mut r)?;
-    Ok((fragments, values))
 }
 
 impl<P> ServedQuery for ServedEntry<P>
@@ -526,10 +529,10 @@ where
             .refresh_from(applied, delta)
     }
 
-    fn evict(&mut self, path: &Path) -> Result<(), ServeError> {
+    fn evict(&mut self, store: &mut QuerySpillStore) -> Result<PathBuf, ServeError> {
         // Write the spill while the entry is still intact, so a failed
         // write leaves the query resident and consistent.
-        {
+        let path = {
             let p = self
                 .prepared
                 .as_ref()
@@ -537,53 +540,66 @@ where
             if p.is_poisoned() {
                 return Err(ServeError::Engine(EngineError::PoisonedHandle));
             }
-            let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
-            w.write_all(SPILL_MAGIC)?;
-            write_fragments(p.fragmentation.fragments(), &mut w)?;
-            w.write_all(&(p.partials.len() as u64).to_le_bytes())?;
-            for partial in &p.partials {
-                write_value_tree(&mut w, &partial.to_value())?;
-            }
-            w.flush()?;
-        }
+            let partials: Vec<Value> = p.partials.iter().map(Serialize::to_value).collect();
+            store.spill(&p.fragmentation, &partials)?
+        };
         let book = self.bookkeeping();
-        self.demote(path, book);
-        Ok(())
+        self.demote(book);
+        Ok(path)
     }
 
-    fn rehydrate(&mut self, at: &Fragmentation) -> Result<PathBuf, ServeError> {
-        let spill = self
-            .cold
-            .as_ref()
-            .expect("rehydrate is only called on evicted entries")
-            .spill
-            .clone();
-        let (fragments, values) = read_spill(&spill)?;
-        if fragments.len() != at.num_fragments() || values.len() != fragments.len() {
+    fn rehydrate(&mut self, at: &Fragmentation, store: &QuerySpillStore) -> Result<(), ServeError> {
+        assert!(
+            self.cold.is_some(),
+            "rehydrate is only called on evicted entries"
+        );
+        let loaded = store.load()?;
+        if loaded.fragments.len() != at.num_fragments()
+            || loaded.partials.len() != loaded.fragments.len()
+        {
             return Err(ServeError::Snapshot(SnapshotError::Malformed(format!(
                 "spill holds {} fragments / {} partials for a {}-fragment timeline",
-                fragments.len(),
-                values.len(),
+                loaded.fragments.len(),
+                loaded.partials.len(),
                 at.num_fragments()
             ))));
         }
-        let partials: Vec<P::Partial> = values
+        let partials: Vec<P::Partial> = loaded
+            .partials
             .iter()
             .map(P::Partial::from_value)
             .collect::<Result<_, _>>()
             .map_err(|e| ServeError::Snapshot(SnapshotError::Malformed(e.to_string())))?;
-        // No re-partitioning: the vertex assignment is read off the
-        // retained timeline's G_P, the fragments come from disk, and G_P is
-        // re-derived from their border sets.
-        let assignment: Vec<u32> = (0..at.gp().num_vertices() as VertexId)
-            .map(|v| at.gp().owner(v) as u32)
-            .collect();
-        let fragmentation = rehydrate_fragmentation(
-            fragments,
-            assignment,
-            at.source().clone(),
-            at.strategy_name(),
-        )?;
+        let fragmentation = match loaded.gp {
+            Some(gp) => {
+                // Tiered store: G_P and the quotient routing tables come
+                // straight off disk — nothing is re-derived.
+                let fragmentation = rehydrate_fragmentation_persisted(
+                    loaded.fragments,
+                    gp,
+                    at.source().clone(),
+                    at.strategy_name(),
+                )?;
+                if let Some(tables) = loaded.quotient {
+                    fragmentation.install_quotient_tables(tables);
+                }
+                fragmentation
+            }
+            None => {
+                // Legacy wholesale spill: the vertex assignment is read off
+                // the retained timeline's G_P and the index is re-derived
+                // from the fragments' border sets.
+                let assignment: Vec<u32> = (0..at.gp().num_vertices() as VertexId)
+                    .map(|v| at.gp().owner(v) as u32)
+                    .collect();
+                rehydrate_fragmentation(
+                    loaded.fragments,
+                    assignment,
+                    at.source().clone(),
+                    at.strategy_name(),
+                )?
+            }
+        };
         let cold = self.cold.take().expect("checked above");
         self.prepared = Some(PreparedQuery {
             session: cold.session,
@@ -598,10 +614,10 @@ where
             bounded_updates: cold.book.bounded_updates,
             poisoned: false,
         });
-        Ok(cold.spill)
+        Ok(())
     }
 
-    fn demote(&mut self, spill: &Path, book: QueryBookkeeping) {
+    fn demote(&mut self, book: QueryBookkeeping) {
         let prepared = self
             .prepared
             .take()
@@ -610,7 +626,6 @@ where
             session: prepared.session,
             program: prepared.program,
             query: prepared.query,
-            spill: spill.to_path_buf(),
             book,
         });
     }
@@ -693,6 +708,10 @@ where
 struct Slot {
     entry: Box<dyn ServedQuery>,
     version: usize,
+    /// The query's tiered on-disk spill store — created on the first
+    /// eviction and kept for the slot's lifetime (it outlives rehydration
+    /// as the recovery point the next evict appends to).
+    store: Option<QuerySpillStore>,
     /// Logical timestamp of the last *user* touch (register / rehydrate /
     /// output); drives [`EvictionPolicy`] recency.
     last_touch: u64,
@@ -758,6 +777,12 @@ pub struct GrapeServer {
     group_limit: usize,
     /// Server-driven eviction policy.
     policy: EvictionPolicy,
+    /// Fold a query's increment chain into a fresh base once it exceeds
+    /// this many increments (`0` = fold after every increment, i.e.
+    /// wholesale-equivalent spills).
+    compaction_threshold: usize,
+    /// Completed spill-store compactions across all queries.
+    compactions: u64,
     /// Monotone clock behind [`Slot::last_touch`].
     touch_clock: u64,
     /// Raw deltas absorbed — counts every member of a group-committed
@@ -816,6 +841,8 @@ impl GrapeServer {
             refresh_threads,
             group_limit: 0,
             policy: EvictionPolicy::Manual,
+            compaction_threshold: DEFAULT_COMPACTION_THRESHOLD,
+            compactions: 0,
             touch_clock: 0,
             deltas_absorbed: 0,
             latencies: Vec::new(),
@@ -855,9 +882,30 @@ impl GrapeServer {
         self
     }
 
+    /// Sets the spill-store compaction threshold: after an eviction leaves
+    /// more than `n` increments chained on a query's base snapshot, the
+    /// chain is folded into a fresh base.  `0` folds after every increment
+    /// (each evict leaves a single wholesale base on disk — the tiering
+    /// off-switch); the default is 4.
+    pub fn compaction_threshold(mut self, n: usize) -> Self {
+        self.compaction_threshold = n;
+        self
+    }
+
     /// The configured refresh fan-out width.
     pub fn refresh_threads(&self) -> usize {
         self.refresh_threads
+    }
+
+    /// The directory evicted queries spill into.
+    pub fn spill_dir(&self) -> &Path {
+        &self.spill_dir
+    }
+
+    /// Completed spill-store compactions across all queries — threshold
+    /// folds at evict time plus explicit [`GrapeServer::compact`] calls.
+    pub fn compactions(&self) -> u64 {
+        self.compactions
     }
 
     /// The current fragmentation (the newest timeline version).
@@ -951,6 +999,11 @@ impl GrapeServer {
             .enumerate()
             .map(|(id, slot)| {
                 let book = slot.entry.bookkeeping();
+                let spill: SpillStoreStats = slot
+                    .store
+                    .as_ref()
+                    .map(QuerySpillStore::stats)
+                    .unwrap_or_default();
                 QueryStatus {
                     query: id,
                     version: slot.version,
@@ -961,6 +1014,9 @@ impl GrapeServer {
                     bounded_updates: book.bounded_updates,
                     partial_bytes: slot.entry.partial_bytes(),
                     watchers: self.watcher_count(id),
+                    spill_chain: spill.chain_len,
+                    spill_bytes: spill.base_bytes + spill.increment_bytes,
+                    compactions: spill.compactions,
                 }
             })
             .collect()
@@ -986,6 +1042,7 @@ impl GrapeServer {
                 watch: None,
             }),
             version: self.version(),
+            store: None,
             last_touch: 0,
             poison_notified: false,
         });
@@ -1315,7 +1372,7 @@ impl GrapeServer {
         }
         self.deltas_absorbed += raw_deltas;
         self.record_latency(started.elapsed());
-        let evicted = self.enforce_policy();
+        let (evicted, compacted) = self.enforce_policy();
         ServeReport {
             version: new_version,
             deltas: raw_deltas,
@@ -1326,6 +1383,7 @@ impl GrapeServer {
             deferred,
             poisoned,
             evicted,
+            compacted,
             events,
         }
     }
@@ -1378,13 +1436,40 @@ impl GrapeServer {
         out
     }
 
-    /// Spills slot `id` to its spill file (shared by explicit
-    /// [`GrapeServer::evict`] and the [`EvictionPolicy`]).
-    fn spill_slot(&mut self, id: usize) -> Result<PathBuf, ServeError> {
-        std::fs::create_dir_all(&self.spill_dir)?;
-        let path = self.spill_dir.join(format!("query-{id}.spill"));
-        self.slots[id].entry.evict(&path)?;
-        Ok(path)
+    /// Spills slot `id` into its tiered store (shared by explicit
+    /// [`GrapeServer::evict`] and the [`EvictionPolicy`]), folding the
+    /// increment chain when it exceeds the compaction threshold.  Returns
+    /// the path written and whether a compaction ran.
+    fn spill_slot(&mut self, id: usize) -> Result<(PathBuf, bool), ServeError> {
+        if self.slots[id].store.is_none() {
+            self.slots[id].store = Some(QuerySpillStore::create(&self.spill_dir, id)?);
+        }
+        let mut store = self.slots[id].store.take().expect("created above");
+        let result = self.slots[id].entry.evict(&mut store).and_then(|path| {
+            if store.chain_len() > self.compaction_threshold && store.compact()? {
+                Ok((store.active_base_path(), true))
+            } else {
+                Ok((path, false))
+            }
+        });
+        self.slots[id].store = Some(store);
+        let (path, compacted) = result?;
+        if compacted {
+            self.compactions += 1;
+        }
+        Ok((path, compacted))
+    }
+
+    /// Folds slot `id`'s increment chain into a fresh base, if it has one.
+    fn compact_slot(&mut self, id: usize) -> Result<bool, ServeError> {
+        let Some(store) = self.slots[id].store.as_mut() else {
+            return Ok(false);
+        };
+        let folded = store.compact()?;
+        if folded {
+            self.compactions += 1;
+        }
+        Ok(folded)
     }
 
     fn over_budget(&self) -> bool {
@@ -1400,11 +1485,13 @@ impl GrapeServer {
     /// Spills least-recently-touched resident queries until the policy is
     /// satisfied (or no spillable candidate remains — poisoned entries
     /// cannot spill, and a slot whose spill failed is not retried within
-    /// one enforcement pass).  Returns the ids spilled.
-    fn enforce_policy(&mut self) -> Vec<usize> {
+    /// one enforcement pass).  Returns the ids spilled and the subset whose
+    /// spill triggered a chain compaction.
+    fn enforce_policy(&mut self) -> (Vec<usize>, Vec<usize>) {
         let mut evicted = Vec::new();
+        let mut compacted = Vec::new();
         if self.policy == EvictionPolicy::Manual {
-            return evicted;
+            return (evicted, compacted);
         }
         let mut skipped: Vec<usize> = Vec::new();
         while self.over_budget() {
@@ -1419,11 +1506,16 @@ impl GrapeServer {
                 .map(|(id, _)| id);
             let Some(id) = victim else { break };
             match self.spill_slot(id) {
-                Ok(_) => evicted.push(id),
+                Ok((_, folded)) => {
+                    evicted.push(id);
+                    if folded {
+                        compacted.push(id);
+                    }
+                }
                 Err(_) => skipped.push(id),
             }
         }
-        evicted
+        (evicted, compacted)
     }
 
     /// Replays the retained steps from a **resident** query's version up to
@@ -1459,11 +1551,13 @@ impl GrapeServer {
         Ok(replayed)
     }
 
-    /// Spills a cold query's fragments and partials to a per-fragment
-    /// binary snapshot file and frees its in-memory state.  The server
-    /// retains the timeline version the query was last refreshed at, so a
-    /// later rehydration replays only the deltas that arrived in between.
-    /// Returns the spill path.
+    /// Spills a cold query into its tiered store and frees its in-memory
+    /// state: a full base snapshot on the first eviction, a delta-encoded
+    /// increment (changed fragments + changed partials only) afterwards.
+    /// The server retains the timeline version the query was last refreshed
+    /// at, so a later rehydration replays only the deltas that arrived in
+    /// between.  Returns the path of the file written (the fresh base when
+    /// this eviction triggered a compaction).
     pub fn evict<P>(&mut self, handle: &QueryHandle<P>) -> Result<PathBuf, ServeError>
     where
         P: DeltaOutput + 'static,
@@ -1473,7 +1567,20 @@ impl GrapeServer {
         if self.slots[handle.id].entry.is_evicted() {
             return Err(ServeError::AlreadyEvicted(handle.id));
         }
-        self.spill_slot(handle.id)
+        self.spill_slot(handle.id).map(|(path, _)| path)
+    }
+
+    /// Folds the query's spill-store increment chain into a fresh base
+    /// snapshot, atomically.  Works whether the query is resident or
+    /// evicted (the store outlives rehydration); returns `false` when the
+    /// query has never spilled or its chain is already empty.
+    pub fn compact<P>(&mut self, handle: &QueryHandle<P>) -> Result<bool, ServeError>
+    where
+        P: DeltaOutput + 'static,
+        P::Partial: Serialize + Deserialize,
+    {
+        self.check_handle::<P>(handle)?;
+        self.compact_slot(handle.id)
     }
 
     /// Reloads an evicted query from its spill file — zero PEval calls,
@@ -1527,15 +1634,21 @@ impl GrapeServer {
         // Captured while still cold: the counters the snapshot corresponds
         // to, in case a failed replay has to fall back to it.
         let book = self.slots[id].entry.bookkeeping();
-        let spill = {
+        let store = self.slots[id]
+            .store
+            .take()
+            .expect("evicted entries always have a spill store");
+        let reloaded = {
             let frozen = &self.timeline[at - self.base];
-            self.slots[id].entry.rehydrate(frozen)?
+            self.slots[id].entry.rehydrate(frozen, &store)
         };
+        self.slots[id].store = Some(store);
+        reloaded?;
         match self.replay_resident(id, current) {
             Ok(replayed) => {
-                // Only now is the snapshot no longer a needed recovery
-                // point.
-                let _ = std::fs::remove_file(&spill);
+                // The spill store stays on disk as the query's recovery
+                // point; the next eviction appends an increment to it
+                // instead of rewriting the world.
                 self.prune();
                 let events = if replayed.is_empty() {
                     Vec::new()
@@ -1550,13 +1663,13 @@ impl GrapeServer {
             }
             Err(e) => {
                 // The in-memory state is half-replayed or poisoned; the
-                // on-disk snapshot is the valid recovery point, so fall
-                // back to it — counters included, so a retry that replays
-                // the whole pending stream never double-counts the prefix
-                // that succeeded this time.  The watch rows were never
-                // advanced, so subscribers saw no partial delta and the
-                // retry re-diffs from the pre-evict baseline.
-                self.slots[id].entry.demote(&spill, book);
+                // on-disk store is the valid recovery point, so fall back
+                // to it — counters included, so a retry that replays the
+                // whole pending stream never double-counts the prefix that
+                // succeeded this time.  The watch rows were never advanced,
+                // so subscribers saw no partial delta and the retry
+                // re-diffs from the pre-evict baseline.
+                self.slots[id].entry.demote(book);
                 self.slots[id].version = at;
                 Err(ServeError::Engine(e))
             }
@@ -1803,13 +1916,95 @@ mod tests {
             "partials were released"
         );
 
-        // Rehydration reloads fragments+partials from the snapshot file:
-        // no PEval, no re-partitioning, answers identical to the handle
-        // that never left memory.
+        // Rehydration folds the spill store back: no PEval, no
+        // re-partitioning, answers identical to the handle that never left
+        // memory.
         let report = server.rehydrate(&cold).unwrap();
         assert_eq!(report.replayed.len(), 0);
         assert_eq!(report.peval_calls(), 0);
-        assert!(!spill.exists(), "spill is reclaimed after rehydration");
+        assert!(
+            spill.exists(),
+            "the store persists as the recovery point the next evict appends to"
+        );
+        assert_eq!(server.output(&cold).unwrap(), server.output(&kept).unwrap());
+
+        // The second eviction appends a delta-encoded increment instead of
+        // rewriting the base snapshot.
+        server.apply(&GraphDelta::new().add_edge(0, 3)).unwrap();
+        let second = server.evict(&cold).unwrap();
+        assert!(
+            second.to_string_lossy().ends_with(".inc-0"),
+            "expected an increment, wrote {second:?}"
+        );
+        let status = &server.query_statuses()[cold.id()];
+        assert_eq!(status.spill_chain, 1);
+        assert!(status.spill_bytes > 0);
+        let base_len = std::fs::metadata(&spill).unwrap().len();
+        let inc_len = std::fs::metadata(&second).unwrap().len();
+        assert!(
+            inc_len < base_len,
+            "increment ({inc_len} bytes) should undercut the base ({base_len} bytes)"
+        );
+        server.rehydrate(&cold).unwrap();
+        assert_eq!(server.output(&cold).unwrap(), server.output(&kept).unwrap());
+    }
+
+    #[test]
+    fn rehydration_installs_the_persisted_gp_and_quotient_tables() {
+        for mode in [EngineMode::Sync, EngineMode::Async] {
+            let (mut server, handles) = server_with(1, mode);
+            let h = handles[0];
+            server.apply(&GraphDelta::new().add_edge(0, 5)).unwrap();
+            server.evict(&h).unwrap();
+            server.rehydrate(&h).unwrap();
+
+            let frag = server.prepared(&h).unwrap().unwrap().fragmentation();
+            assert!(
+                frag.quotient_tables_cached(),
+                "quotient tables come off disk, not a re-derivation ({mode:?})"
+            );
+            // Pinned equal to what a fresh derivation over the live
+            // timeline would produce.
+            assert_eq!(frag.gp(), server.fragmentation().gp(), "{mode:?}");
+            assert_eq!(
+                *frag.quotient_tables(),
+                grape_partition::delta::QuotientTables::derive(server.fragmentation()),
+                "{mode:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn compaction_bounds_the_chain_and_explicit_compact_folds_it() {
+        let g = path_graph(12);
+        let frag = RangeEdgeCut::new(3).partition(&g).unwrap();
+        let mut server = GrapeServer::new(session(EngineMode::Sync), frag).compaction_threshold(1);
+        let kept = server.register(MinForward, ()).unwrap();
+        let cold = server.register(MinForward, ()).unwrap();
+
+        for round in 0..4u64 {
+            server.evict(&cold).unwrap();
+            server
+                .apply(&GraphDelta::new().add_edge(12 + round, round))
+                .unwrap();
+            server.rehydrate(&cold).unwrap();
+            assert!(
+                server.query_statuses()[cold.id()].spill_chain <= 2,
+                "the threshold keeps the chain bounded"
+            );
+        }
+        assert!(server.compactions() >= 1, "threshold folds happened");
+        assert_eq!(server.output(&cold).unwrap(), server.output(&kept).unwrap());
+
+        // An explicit compact folds whatever chain remains and is
+        // idempotent once the chain is empty.
+        server.evict(&cold).unwrap();
+        server.rehydrate(&cold).unwrap();
+        if server.query_statuses()[cold.id()].spill_chain > 0 {
+            assert!(server.compact(&cold).unwrap());
+        }
+        assert_eq!(server.query_statuses()[cold.id()].spill_chain, 0);
+        assert!(!server.compact(&cold).unwrap());
         assert_eq!(server.output(&cold).unwrap(), server.output(&kept).unwrap());
     }
 
@@ -2011,12 +2206,15 @@ mod tests {
         assert!(spill.exists(), "spill survives until a replay succeeds");
         assert!(server.retained_versions() > 1);
 
-        // Retry after healing: replay lands, spill reclaimed, answer equals
-        // a recompute on the current graph.
+        // Retry after healing: replay lands, the store stays on disk as the
+        // recovery point, answer equals a recompute on the current graph.
         flaky_prog.heal();
         let report = server.rehydrate(&flaky).unwrap();
         assert_eq!(report.replayed.len(), 1);
-        assert!(!spill.exists(), "spill reclaimed after a successful replay");
+        assert!(
+            spill.exists(),
+            "the spill store outlives a successful replay"
+        );
         assert_eq!(server.retained_versions(), 1);
         let recompute = s
             .run(server.fragmentation(), &flaky_prog, &())

@@ -115,6 +115,7 @@ fn op_name(body: &RequestBody) -> &'static str {
         RequestBody::TryOutput { .. } => "try_output",
         RequestBody::Evict { .. } => "evict",
         RequestBody::Rehydrate { .. } => "rehydrate",
+        RequestBody::Compact { .. } => "compact",
         RequestBody::Subscribe { .. } => "subscribe",
         RequestBody::Unsubscribe { .. } => "unsubscribe",
         RequestBody::Shutdown => "shutdown",
@@ -263,6 +264,15 @@ impl GrapeClient {
                 ..
             } => Ok((replayed, peval_calls)),
             other => Err(unexpected("rehydrated", &other)),
+        }
+    }
+
+    /// Folds a query's spill chain into a fresh base; returns whether
+    /// anything was actually folded.
+    pub fn compact(&mut self, query: usize) -> Result<bool, ClientError> {
+        match self.call_ok(RequestBody::Compact { query })? {
+            ResponseBody::Compacted { folded, .. } => Ok(folded),
+            other => Err(unexpected("compacted", &other)),
         }
     }
 

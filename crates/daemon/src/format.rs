@@ -88,6 +88,13 @@ fn render_text(body: &ResponseBody) -> String {
         } => format!(
             "rehydrated query {query}: replayed {replayed} delta(s), {peval_calls} PEval call(s)"
         ),
+        ResponseBody::Compacted { query, folded } => {
+            if *folded {
+                format!("compacted query {query}: spill chain folded into a fresh base")
+            } else {
+                format!("compacted query {query}: nothing to fold (no increments)")
+            }
+        }
         ResponseBody::Subscribed {
             query,
             subscription,
@@ -136,7 +143,7 @@ fn render_answer(query: usize, answer: &QueryAnswer) -> String {
 }
 
 fn render_rows(out: &mut String, queries: &[QueryRow]) {
-    out.push_str("  id  spec              version  state     updates  inc/bnd  bytes\n");
+    out.push_str("  id  spec              version  state     updates  inc/bnd  bytes     spill\n");
     for (id, row) in queries.iter().enumerate() {
         let s = &row.status;
         let state = if s.poisoned {
@@ -146,8 +153,18 @@ fn render_rows(out: &mut String, queries: &[QueryRow]) {
         } else {
             "resident"
         };
+        let spill = if s.spill_bytes == 0 {
+            "-".to_string()
+        } else {
+            // base + chain_len increments on disk, their total size, and
+            // how many times the chain was folded.
+            format!(
+                "base+{} {}B fold:{}",
+                s.spill_chain, s.spill_bytes, s.compactions
+            )
+        };
         out.push_str(&format!(
-            "  {:<3} {:<17} {:<8} {:<9} {:<8} {:>3}/{:<4} {}\n",
+            "  {:<3} {:<17} {:<8} {:<9} {:<8} {:>3}/{:<4} {:<9} {}\n",
             id,
             row.spec.to_string(),
             s.version,
@@ -155,7 +172,8 @@ fn render_rows(out: &mut String, queries: &[QueryRow]) {
             s.updates_applied,
             s.incremental_updates,
             s.bounded_updates,
-            s.partial_bytes
+            s.partial_bytes,
+            spill
         ));
     }
 }
@@ -171,6 +189,15 @@ fn render_status(info: &StatusInfo) -> String {
         info.num_evicted,
         info.resident_partial_bytes
     );
+    out.push_str(&format!(
+        "spill dir {} | {} compaction(s)\n",
+        if info.spill_dir.is_empty() {
+            "(unknown)"
+        } else {
+            info.spill_dir.as_str()
+        },
+        info.compactions
+    ));
     render_rows(&mut out, &info.queries);
     out.pop();
     out
@@ -179,11 +206,12 @@ fn render_status(info: &StatusInfo) -> String {
 fn render_metrics(info: &MetricsInfo) -> String {
     let l = &info.latency;
     let mut out = format!(
-        "uptime {:.1}s | version {} | {} delta(s) applied | {} resident partial byte(s)\n",
+        "uptime {:.1}s | version {} | {} delta(s) applied | {} resident partial byte(s) | {} compaction(s)\n",
         info.uptime_ms as f64 / 1e3,
         info.version,
         info.deltas_applied,
-        info.resident_partial_bytes
+        info.resident_partial_bytes,
+        info.compactions
     );
     out.push_str(&format!(
         "per-delta latency over last {} commit(s): mean {:.3}ms  p50 {:.3}ms  p99 {:.3}ms  max {:.3}ms\n",

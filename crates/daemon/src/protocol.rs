@@ -178,13 +178,20 @@ pub enum RequestBody {
         /// The handle id.
         query: usize,
     },
-    /// Spill a query to its per-fragment snapshot file.
+    /// Spill a query into its tiered on-disk store (a base snapshot on the
+    /// first eviction, a delta-encoded increment afterwards).
     Evict {
         /// The handle id.
         query: usize,
     },
     /// Reload an evicted query and replay the deltas it missed.
     Rehydrate {
+        /// The handle id.
+        query: usize,
+    },
+    /// Fold a query's spill-store increment chain into a fresh base
+    /// snapshot.
+    Compact {
         /// The handle id.
         query: usize,
     },
@@ -247,6 +254,9 @@ impl Serialize for RequestBody {
             }
             RequestBody::Rehydrate { query } => {
                 op("rehydrate", vec![("query".to_string(), query.to_value())])
+            }
+            RequestBody::Compact { query } => {
+                op("compact", vec![("query".to_string(), query.to_value())])
             }
             RequestBody::Subscribe { query } => {
                 op("subscribe", vec![("query".to_string(), query.to_value())])
@@ -317,6 +327,9 @@ impl Deserialize for RequestBody {
                 query: field(value, "query")?,
             },
             "rehydrate" => RequestBody::Rehydrate {
+                query: field(value, "query")?,
+            },
+            "compact" => RequestBody::Compact {
                 query: field(value, "query")?,
             },
             "subscribe" => RequestBody::Subscribe {
@@ -400,6 +413,10 @@ pub struct ApplySummary {
     pub poisoned: Vec<usize>,
     /// Queries the eviction policy spilled after this commit.
     pub evicted: Vec<usize>,
+    /// Queries whose spill chains were folded into a fresh base after this
+    /// commit (absent on the wire from older daemons).
+    #[serde(default)]
+    pub compacted: Vec<usize>,
 }
 
 impl From<&ServeReport> for ApplySummary {
@@ -426,6 +443,7 @@ impl From<&ServeReport> for ApplySummary {
             deferred: r.deferred.clone(),
             poisoned: r.poisoned.clone(),
             evicted: r.evicted.clone(),
+            compacted: r.compacted.clone(),
         }
     }
 }
@@ -465,6 +483,14 @@ pub struct StatusInfo {
     pub num_evicted: usize,
     /// Serialized size of all resident partials.
     pub resident_partial_bytes: usize,
+    /// Where spill stores live on the daemon's filesystem (absent on the
+    /// wire from older daemons).
+    #[serde(default)]
+    pub spill_dir: String,
+    /// Spill-chain compactions performed since start (absent on the wire
+    /// from older daemons).
+    #[serde(default)]
+    pub compactions: u64,
     /// Per-query rows, sorted by id.
     pub queries: Vec<QueryRow>,
 }
@@ -488,6 +514,10 @@ pub struct MetricsInfo {
     pub samples: Option<Vec<f64>>,
     /// Serialized size of all resident partials.
     pub resident_partial_bytes: usize,
+    /// Spill-chain compactions performed since start (absent on the wire
+    /// from older daemons).
+    #[serde(default)]
+    pub compactions: u64,
     /// Per-query rows, sorted by id.
     pub queries: Vec<QueryRow>,
 }
@@ -607,6 +637,14 @@ pub enum ResponseBody {
         /// PEval invocations of the replay (0 on the monotone path).
         peval_calls: usize,
     },
+    /// A query's spill chain was compacted (or was already a lone base).
+    Compacted {
+        /// The handle id.
+        query: usize,
+        /// Whether a chain was actually folded (`false` when there were no
+        /// increments to fold).
+        folded: bool,
+    },
     /// A subscription was opened; [`EventFrame`]s with this id follow on
     /// the same connection.
     Subscribed {
@@ -688,6 +726,13 @@ impl Serialize for ResponseBody {
                     ("peval_calls".to_string(), peval_calls.to_value()),
                 ],
             ),
+            ResponseBody::Compacted { query, folded } => reply(
+                "compacted",
+                vec![
+                    ("query".to_string(), query.to_value()),
+                    ("folded".to_string(), folded.to_value()),
+                ],
+            ),
             ResponseBody::Subscribed {
                 query,
                 subscription,
@@ -753,6 +798,10 @@ impl Deserialize for ResponseBody {
                 query: field(value, "query")?,
                 replayed: field(value, "replayed")?,
                 peval_calls: field(value, "peval_calls")?,
+            },
+            "compacted" => ResponseBody::Compacted {
+                query: field(value, "query")?,
+                folded: field(value, "folded")?,
             },
             "subscribed" => ResponseBody::Subscribed {
                 query: field(value, "query")?,

@@ -356,6 +356,8 @@ impl Engine {
                 num_queries: self.server.num_queries(),
                 num_evicted: self.server.num_evicted(),
                 resident_partial_bytes: self.server.resident_partial_bytes(),
+                spill_dir: self.server.spill_dir().display().to_string(),
+                compactions: self.server.compactions(),
                 queries: self.rows(),
             }),
             RequestBody::Metrics { samples } => ResponseBody::Metrics(MetricsInfo {
@@ -372,6 +374,7 @@ impl Engine {
                     None
                 },
                 resident_partial_bytes: self.server.resident_partial_bytes(),
+                compactions: self.server.compactions(),
                 queries: self.rows(),
             }),
             RequestBody::Register { spec } => match self.register(spec) {
@@ -458,6 +461,28 @@ impl Engine {
                         replayed: report.replayed.len(),
                         peval_calls: report.peval_calls(),
                     },
+                    Err(e) => protocol::serve_error_body(&e),
+                }
+            }
+            RequestBody::Compact { query } => {
+                if query >= self.entries.len() {
+                    return Self::err(
+                        ErrorKind::UnknownHandle,
+                        format!("query handle {query} was never registered"),
+                    );
+                }
+                let result = match &self.entries[query].1 {
+                    AnyHandle::Sssp(h) => {
+                        let h = *h;
+                        self.server.compact(&h)
+                    }
+                    AnyHandle::Cc(h) => {
+                        let h = *h;
+                        self.server.compact(&h)
+                    }
+                };
+                match result {
+                    Ok(folded) => ResponseBody::Compacted { query, folded },
                     Err(e) => protocol::serve_error_body(&e),
                 }
             }

@@ -137,7 +137,34 @@ fn wire_answers_are_byte_equal_to_library_answers_in_both_modes() {
             "try_output diverges in {mode:?}"
         );
 
+        // Second eviction appends an increment to the persisted store;
+        // compacting over the wire folds it into a fresh base, and the
+        // answer survives unchanged.
+        client.evict(q_sssp).expect("second evict");
+        assert!(
+            client.compact(q_sssp).expect("compact"),
+            "an increment chain was there to fold in {mode:?}"
+        );
+        assert!(
+            !client.compact(q_sssp).expect("compact again"),
+            "a lone base has nothing to fold"
+        );
+        assert_eq!(
+            json(&client.output(q_sssp).expect("wire sssp after compact")),
+            lib_sssp2,
+            "compacted answer diverges in {mode:?}"
+        );
+
         let status = client.status().expect("status");
+        assert!(
+            !status.spill_dir.is_empty(),
+            "status names the spill directory"
+        );
+        assert!(status.compactions >= 1, "the explicit compaction counted");
+        assert!(
+            status.queries[0].status.spill_bytes > 0,
+            "the sssp query's persisted store is visible in status"
+        );
         assert_eq!(status.version, 5);
         assert_eq!(status.deltas_applied, 5);
         assert_eq!(status.num_queries, 2);

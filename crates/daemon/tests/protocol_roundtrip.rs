@@ -53,6 +53,9 @@ fn sample_status() -> QueryStatus {
         bounded_updates: 1,
         partial_bytes: 0,
         watchers: 0,
+        spill_chain: 2,
+        spill_bytes: 4096,
+        compactions: 1,
     }
 }
 
@@ -69,6 +72,7 @@ fn sample_summary() -> ApplySummary {
         deferred: vec![3],
         poisoned: vec![4],
         evicted: vec![5],
+        compacted: vec![5],
     }
 }
 
@@ -93,6 +97,7 @@ fn every_request_variant_round_trips() {
     roundtrip_request(RequestBody::TryOutput { query: 1 });
     roundtrip_request(RequestBody::Evict { query: 2 });
     roundtrip_request(RequestBody::Rehydrate { query: 3 });
+    roundtrip_request(RequestBody::Compact { query: 3 });
     roundtrip_request(RequestBody::Subscribe { query: 4 });
     roundtrip_request(RequestBody::Unsubscribe { subscription: 2 });
     roundtrip_request(RequestBody::Shutdown);
@@ -107,6 +112,29 @@ fn metrics_without_the_flag_still_parses_as_a_request() {
     let mut reader = Cursor::new(wire);
     let request: Request = protocol::recv(&mut reader).unwrap().expect("frame");
     assert_eq!(request.body, RequestBody::Metrics { samples: false });
+}
+
+#[test]
+fn pre_tiering_status_frames_still_parse() {
+    // A status reply from a daemon built before the tiered spill store
+    // carries neither the spill fields on the query rows nor the
+    // spill_dir/compactions on the summary line; they all default.
+    let json = "{\"id\":7,\"reply\":\"status\",\"status\":{\
+        \"version\":1,\"deltas_applied\":1,\"retained_versions\":1,\
+        \"num_queries\":1,\"num_evicted\":0,\"resident_partial_bytes\":10,\
+        \"queries\":[{\"spec\":{\"query\":\"cc\"},\"status\":{\
+            \"query\":0,\"version\":1,\"evicted\":false,\"poisoned\":false,\
+            \"updates_applied\":1,\"incremental_updates\":1,\
+            \"bounded_updates\":0,\"partial_bytes\":10,\"watchers\":0}}]}}";
+    let back: Response = serde_json::from_str(json).expect("deserialize");
+    let ResponseBody::Status(info) = back.body else {
+        panic!("expected a status reply");
+    };
+    assert_eq!(info.spill_dir, "");
+    assert_eq!(info.compactions, 0);
+    assert_eq!(info.queries[0].status.spill_chain, 0);
+    assert_eq!(info.queries[0].status.spill_bytes, 0);
+    assert_eq!(info.queries[0].status.compactions, 0);
 }
 
 #[test]
@@ -147,6 +175,14 @@ fn every_response_variant_round_trips() {
         replayed: 4,
         peval_calls: 0,
     });
+    roundtrip_response(ResponseBody::Compacted {
+        query: 3,
+        folded: true,
+    });
+    roundtrip_response(ResponseBody::Compacted {
+        query: 0,
+        folded: false,
+    });
     roundtrip_response(ResponseBody::Status(StatusInfo {
         version: 5,
         deltas_applied: 9,
@@ -154,6 +190,8 @@ fn every_response_variant_round_trips() {
         num_queries: 2,
         num_evicted: 1,
         resident_partial_bytes: 1024,
+        spill_dir: "/tmp/grape-spill".to_string(),
+        compactions: 2,
         queries: vec![
             QueryRow {
                 spec: QuerySpec::Cc,
@@ -183,6 +221,7 @@ fn every_response_variant_round_trips() {
         latency_samples: 9,
         samples: None,
         resident_partial_bytes: 1024,
+        compactions: 0,
         queries: vec![],
     }));
     roundtrip_response(ResponseBody::Metrics(MetricsInfo {
@@ -199,6 +238,7 @@ fn every_response_variant_round_trips() {
         latency_samples: 3,
         samples: Some(vec![0.5, 1.0, 3.5]),
         resident_partial_bytes: 1024,
+        compactions: 7,
         queries: vec![],
     }));
     roundtrip_response(ResponseBody::Subscribed {

@@ -29,6 +29,7 @@ use std::sync::Arc;
 
 use grape_graph::delta::{DeltaError as GraphDeltaError, GraphDelta};
 use grape_graph::types::{Edge, VertexId};
+use serde::Value;
 
 use crate::fragment::{assemble_edge_cut, build_edge_cut_fragment, Fragment, Fragmentation};
 use crate::fragmentation_graph::BorderScope;
@@ -287,41 +288,164 @@ pub enum DamagePolicy {
     Halo(usize),
 }
 
+/// The derived routing tables of the fragment quotient graph: the
+/// message-flow successor sets for every [`BorderScope`] plus the undirected
+/// structural adjacency.  They are a pure function of `G_P`, O(m²) small,
+/// and consulted on every damage-frontier computation — so a
+/// [`Fragmentation`] derives them **once** and caches the result (shared
+/// across clones of the same version), and the spill store persists them so
+/// rehydration installs the tables instead of re-deriving anything.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QuotientTables {
+    /// Successor sets under [`BorderScope::Out`].
+    pub successors_out: Vec<BTreeSet<usize>>,
+    /// Successor sets under [`BorderScope::In`].
+    pub successors_in: Vec<BTreeSet<usize>>,
+    /// Successor sets under [`BorderScope::Both`].
+    pub successors_both: Vec<BTreeSet<usize>>,
+    /// Undirected structural adjacency: fragments sharing a border vertex.
+    pub adjacency: Vec<BTreeSet<usize>>,
+}
+
+impl QuotientTables {
+    /// Derives all four tables from a fragmentation's `G_P` (one pass over
+    /// the border vertices per table).
+    pub fn derive(frag: &Fragmentation) -> QuotientTables {
+        let gp = frag.gp();
+        let m = frag.num_fragments();
+        let mut tables = QuotientTables {
+            successors_out: vec![BTreeSet::new(); m],
+            successors_in: vec![BTreeSet::new(); m],
+            successors_both: vec![BTreeSet::new(); m],
+            adjacency: vec![BTreeSet::new(); m],
+        };
+        for v in gp.border_vertices() {
+            let holders: Vec<usize> = holders_of(frag, v).collect();
+            for &i in &holders {
+                for dest in gp.route(v, i, BorderScope::Out) {
+                    tables.successors_out[i].insert(dest);
+                }
+                for dest in gp.route(v, i, BorderScope::In) {
+                    tables.successors_in[i].insert(dest);
+                }
+                for dest in gp.route(v, i, BorderScope::Both) {
+                    tables.successors_both[i].insert(dest);
+                }
+                for &j in &holders {
+                    if i != j {
+                        tables.adjacency[i].insert(j);
+                    }
+                }
+            }
+        }
+        tables
+    }
+
+    /// The successor table of one scope.
+    pub fn successors(&self, scope: BorderScope) -> &[BTreeSet<usize>] {
+        match scope {
+            BorderScope::Out => &self.successors_out,
+            BorderScope::In => &self.successors_in,
+            BorderScope::Both => &self.successors_both,
+        }
+    }
+
+    /// Encodes the tables as a value tree (each table a sequence of
+    /// ascending-fragment-id sequences) for the spill store.
+    pub fn to_value(&self) -> Value {
+        let table = |t: &[BTreeSet<usize>]| {
+            Value::Seq(
+                t.iter()
+                    .map(|s| Value::Seq(s.iter().map(|&f| Value::UInt(f as u64)).collect()))
+                    .collect(),
+            )
+        };
+        Value::Map(vec![
+            ("out".to_string(), table(&self.successors_out)),
+            ("in".to_string(), table(&self.successors_in)),
+            ("both".to_string(), table(&self.successors_both)),
+            ("adj".to_string(), table(&self.adjacency)),
+        ])
+    }
+
+    /// Decodes the tables back; `num_fragments` bounds every entry (a
+    /// persisted fragment id outside the fragmentation is corruption).
+    pub fn from_value(v: &Value, num_fragments: usize) -> Result<QuotientTables, String> {
+        let table = |name: &str| -> Result<Vec<BTreeSet<usize>>, String> {
+            let field = v
+                .get_field(name)
+                .ok_or_else(|| format!("missing quotient table `{name}`"))?;
+            let Value::Seq(rows) = field else {
+                return Err(format!("quotient table `{name}` is not a sequence"));
+            };
+            if rows.len() != num_fragments {
+                return Err(format!(
+                    "quotient table `{name}` covers {} fragments, expected {num_fragments}",
+                    rows.len()
+                ));
+            }
+            rows.iter()
+                .map(|row| {
+                    let Value::Seq(ids) = row else {
+                        return Err(format!("quotient table `{name}` row is not a sequence"));
+                    };
+                    ids.iter()
+                        .map(|id| match id {
+                            Value::UInt(f) if (*f as usize) < num_fragments => Ok(*f as usize),
+                            _ => Err(format!("quotient table `{name}` id out of range")),
+                        })
+                        .collect()
+                })
+                .collect()
+        };
+        Ok(QuotientTables {
+            successors_out: table("out")?,
+            successors_in: table("in")?,
+            successors_both: table("both")?,
+            adjacency: table("adj")?,
+        })
+    }
+}
+
 impl Fragmentation {
+    /// The cached quotient tables of this fragmentation version, deriving
+    /// them on first use.  Clones of one version share the cache; delta
+    /// application produces a fresh (empty) cell for the new version.
+    pub fn quotient_tables(&self) -> Arc<QuotientTables> {
+        self.quotient_cell()
+            .get_or_init(|| Arc::new(QuotientTables::derive(self)))
+            .clone()
+    }
+
+    /// Installs externally persisted quotient tables (the spill store's
+    /// rehydration path) without deriving anything.  Returns `false` if the
+    /// cache was already populated — the installed value is then the cached
+    /// one and `tables` is dropped.
+    pub fn install_quotient_tables(&self, tables: Arc<QuotientTables>) -> bool {
+        self.quotient_cell().set(tables).is_ok()
+    }
+
+    /// Whether the quotient tables are already materialised (used to pin
+    /// that rehydration installed them instead of re-deriving).
+    pub fn quotient_tables_cached(&self) -> bool {
+        self.quotient_cell().get().is_some()
+    }
+
     /// The message-flow successor sets of the fragment quotient graph: for
     /// every fragment `i`, the fragments an update parameter produced by `i`
     /// can reach under `scope` (derived from `G_P` exactly like the engine's
     /// routing, so the frontier never under-approximates real traffic).
+    /// Served from the per-version cache.
     pub fn quotient_successors(&self, scope: BorderScope) -> Vec<BTreeSet<usize>> {
-        let gp = self.gp();
-        let mut succ: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); self.num_fragments()];
-        for v in gp.border_vertices() {
-            for i in holders_of(self, v) {
-                for dest in gp.route(v, i, scope) {
-                    succ[i].insert(dest);
-                }
-            }
-        }
-        succ
+        self.quotient_tables().successors(scope).to_vec()
     }
 
     /// Undirected structural adjacency of the fragment quotient graph:
     /// fragments are adjacent iff they hold a copy of a common border
     /// vertex (i.e. a cross edge connects them, in either direction).
+    /// Served from the per-version cache.
     pub fn quotient_adjacency(&self) -> Vec<BTreeSet<usize>> {
-        let gp = self.gp();
-        let mut adj: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); self.num_fragments()];
-        for v in gp.border_vertices() {
-            let holders: Vec<usize> = holders_of(self, v).collect();
-            for &a in &holders {
-                for &b in &holders {
-                    if a != b {
-                        adj[a].insert(b);
-                    }
-                }
-            }
-        }
-        adj
+        self.quotient_tables().adjacency.clone()
     }
 }
 
@@ -699,6 +823,42 @@ mod tests {
         // Structural adjacency is the symmetric closure.
         let adj = frag.quotient_adjacency();
         assert_eq!(adj[1].iter().copied().collect::<Vec<_>>(), vec![0, 2]);
+    }
+
+    #[test]
+    fn quotient_tables_cache_is_shared_and_value_round_trips() {
+        let (_, frag) = three_chain();
+        let t1 = frag.quotient_tables();
+        let t2 = frag.clone().quotient_tables();
+        assert!(Arc::ptr_eq(&t1, &t2), "clones share one derivation");
+        assert_eq!(
+            t1.successors(BorderScope::Out),
+            frag.quotient_successors(BorderScope::Out)
+        );
+
+        let v = t1.to_value();
+        let back = QuotientTables::from_value(&v, frag.num_fragments()).unwrap();
+        assert_eq!(back, *t1);
+        assert!(
+            QuotientTables::from_value(&v, 2).is_err(),
+            "fragment-count mismatch is corruption"
+        );
+    }
+
+    #[test]
+    fn installed_quotient_tables_are_served_without_derivation() {
+        let (_, frag) = three_chain();
+        let derived = QuotientTables::derive(&frag);
+        let applied = frag.apply_delta(&GraphDelta::new()).unwrap();
+        assert!(
+            !applied.fragmentation.quotient_tables_cached(),
+            "a new version starts with an empty cell"
+        );
+        assert!(applied
+            .fragmentation
+            .install_quotient_tables(Arc::new(derived.clone())));
+        assert!(applied.fragmentation.quotient_tables_cached());
+        assert_eq!(*applied.fragmentation.quotient_tables(), derived);
     }
 
     #[test]

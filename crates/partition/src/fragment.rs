@@ -8,12 +8,13 @@
 //! need `d`-hop neighborhood expansion (SubIso, Section 5.1) can be served.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use grape_graph::csr::Neighbor;
 use grape_graph::graph::{Directedness, Graph};
 use grape_graph::types::{Edge, Label, VertexId};
 
+use crate::delta::QuotientTables;
 use crate::fragmentation_graph::FragmentationGraph;
 
 /// Local (fragment-internal) vertex index.
@@ -207,6 +208,11 @@ pub struct Fragmentation {
     gp: FragmentationGraph,
     source: Arc<Graph>,
     strategy_name: String,
+    /// Lazily derived quotient routing tables (see
+    /// [`crate::delta::QuotientTables`]): one derivation per fragmentation
+    /// *version*, shared across clones — cloning keeps the `Arc` so every
+    /// prepared-query handle over this version reads the same cell.
+    quotient: Arc<OnceLock<Arc<QuotientTables>>>,
 }
 
 impl Fragmentation {
@@ -244,6 +250,12 @@ impl Fragmentation {
     /// Name of the strategy that produced this fragmentation.
     pub fn strategy_name(&self) -> &str {
         &self.strategy_name
+    }
+
+    /// The quotient-table cache cell of this version (see
+    /// [`Fragmentation::quotient_tables`] in `crate::delta`).
+    pub(crate) fn quotient_cell(&self) -> &OnceLock<Arc<QuotientTables>> {
+        &self.quotient
     }
 
     /// Total number of border vertices `|F.O| = |F.I|`-ish (distinct).
@@ -427,6 +439,28 @@ pub(crate) fn assemble_edge_cut(
         gp,
         source,
         strategy_name,
+        quotient: Arc::new(OnceLock::new()),
+    }
+}
+
+/// Assembles a [`Fragmentation`] around an already-materialised `G_P` — the
+/// spill store's rehydration path, where `G_P` was *persisted* alongside the
+/// fragments and must not be re-derived from the border sets.  The caller
+/// guarantees that `gp` is the fragmentation graph of exactly these
+/// fragments over `source` (the store validates counts and the tests pin
+/// full equality against a fresh derivation).
+pub(crate) fn from_persisted_parts(
+    fragments: Vec<Arc<Fragment>>,
+    gp: FragmentationGraph,
+    source: Arc<Graph>,
+    strategy_name: String,
+) -> Fragmentation {
+    Fragmentation {
+        fragments,
+        gp,
+        source,
+        strategy_name,
+        quotient: Arc::new(OnceLock::new()),
     }
 }
 
@@ -596,6 +630,7 @@ pub fn build_vertex_cut(
         gp,
         source: Arc::clone(graph),
         strategy_name: strategy_name.to_string(),
+        quotient: Arc::new(OnceLock::new()),
     }
 }
 

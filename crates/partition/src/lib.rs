@@ -41,5 +41,5 @@ pub mod vertex_cut;
 pub use delta::{DeltaApplication, FragmentDelta};
 pub use fragment::{Fragment, Fragmentation};
 pub use fragmentation_graph::{BorderScope, FragmentationGraph};
-pub use snapshot::SnapshotError;
+pub use snapshot::{LoadedSpill, QuerySpillStore, SnapshotError, SpillStoreStats};
 pub use strategy::{PartitionError, PartitionStrategy};

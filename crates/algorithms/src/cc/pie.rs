@@ -23,19 +23,35 @@
 use std::collections::HashMap;
 
 use grape_core::output_delta::{diff_sorted, DeltaOutput, OutputDelta};
-use grape_core::pie::{DamagePolicy, IncrementalPie, Messages, PieProgram};
+use grape_core::pie::{
+    DamagePolicy, IncrementalPie, Messages, PieProgram, ProcessCodec, SerdeProcessCodec,
+};
 use grape_graph::delta::GraphDelta;
 use grape_graph::types::VertexId;
 use grape_partition::delta::FragmentDelta;
 use grape_partition::fragment::Fragment;
 use grape_partition::fragmentation_graph::BorderScope;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
 use crate::cc::sequential::UnionFind;
 
 /// CC takes no parameters; the query type exists for API uniformity.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CcQuery;
+
+// Hand-written (the derive shim does not cover unit structs): a CC query
+// carries no data, so it crosses worker pipes as an empty map.
+impl Serialize for CcQuery {
+    fn to_value(&self) -> Value {
+        Value::Map(Vec::new())
+    }
+}
+
+impl Deserialize for CcQuery {
+    fn from_value(_v: &Value) -> Result<Self, serde::Error> {
+        Ok(CcQuery)
+    }
+}
 
 /// The assembled CC answer: a component id (the smallest vertex id of the
 /// component) for every vertex.
@@ -154,6 +170,10 @@ impl PieProgram for Cc {
 
     fn name(&self) -> &str {
         "cc"
+    }
+
+    fn process_codec(&self) -> Option<&dyn ProcessCodec<Self>> {
+        Some(&SerdeProcessCodec)
     }
 
     fn scope(&self) -> BorderScope {

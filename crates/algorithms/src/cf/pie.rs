@@ -32,7 +32,9 @@
 use std::collections::HashMap;
 
 use grape_core::output_delta::DeltaOutput;
-use grape_core::pie::{DamagePolicy, IncrementalPie, Messages, PieProgram};
+use grape_core::pie::{
+    DamagePolicy, IncrementalPie, Messages, PieProgram, ProcessCodec, SerdeProcessCodec,
+};
 use grape_graph::delta::GraphDelta;
 use grape_graph::types::VertexId;
 use grape_partition::delta::FragmentDelta;
@@ -43,7 +45,7 @@ use serde::{Deserialize, Serialize};
 use crate::cf::sequential::{initial_factors, sgd_step, CfModel};
 
 /// A collaborative-filtering query: the training hyper-parameters.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CfQuery {
     /// Latent factor dimensionality.
     pub num_factors: usize,
@@ -72,7 +74,7 @@ impl Default for CfQuery {
 pub type CfResult = CfModel;
 
 /// The value of the `v.x = (v.f, t)` status variable.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FactorUpdate {
     /// The factor vector `v.f`.
     pub factors: Vec<f64>,
@@ -150,6 +152,10 @@ impl PieProgram for Cf {
 
     fn name(&self) -> &str {
         "cf"
+    }
+
+    fn process_codec(&self) -> Option<&dyn ProcessCodec<Self>> {
+        Some(&SerdeProcessCodec)
     }
 
     fn scope(&self) -> BorderScope {

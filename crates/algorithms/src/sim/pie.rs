@@ -30,7 +30,9 @@
 use std::collections::{HashMap, HashSet};
 
 use grape_core::output_delta::DeltaOutput;
-use grape_core::pie::{DamagePolicy, IncrementalPie, Messages, PieProgram};
+use grape_core::pie::{
+    DamagePolicy, IncrementalPie, Messages, PieProgram, ProcessCodec, SerdeProcessCodec,
+};
 use grape_graph::delta::GraphDelta;
 use grape_graph::pattern::Pattern;
 use grape_graph::types::VertexId;
@@ -40,7 +42,7 @@ use grape_partition::fragmentation_graph::BorderScope;
 use serde::{Deserialize, Serialize};
 
 /// A graph-simulation query: the pattern to match.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SimQuery {
     /// The pattern `Q = (V_Q, E_Q, L_Q)`.
     pub pattern: Pattern,
@@ -253,6 +255,10 @@ impl PieProgram for Sim {
         } else {
             "sim"
         }
+    }
+
+    fn process_codec(&self) -> Option<&dyn ProcessCodec<Self>> {
+        Some(&SerdeProcessCodec)
     }
 
     fn scope(&self) -> BorderScope {

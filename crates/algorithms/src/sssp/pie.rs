@@ -23,7 +23,9 @@ use std::collections::BinaryHeap;
 use std::collections::HashMap;
 
 use grape_core::output_delta::{diff_sorted, DeltaOutput, OutputDelta};
-use grape_core::pie::{DamagePolicy, IncrementalPie, Messages, PieProgram};
+use grape_core::pie::{
+    DamagePolicy, IncrementalPie, Messages, PieProgram, ProcessCodec, SerdeProcessCodec,
+};
 use grape_graph::delta::GraphDelta;
 use grape_graph::types::VertexId;
 use grape_partition::delta::FragmentDelta;
@@ -34,7 +36,7 @@ use serde::{Deserialize, Serialize};
 use crate::util::{MinDist, INF};
 
 /// An SSSP query: the source vertex `s`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SsspQuery {
     /// Source vertex (global id).
     pub source: VertexId,
@@ -154,6 +156,10 @@ impl PieProgram for Sssp {
 
     fn name(&self) -> &str {
         "sssp"
+    }
+
+    fn process_codec(&self) -> Option<&dyn ProcessCodec<Self>> {
+        Some(&SerdeProcessCodec)
     }
 
     fn scope(&self) -> BorderScope {

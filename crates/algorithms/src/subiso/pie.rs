@@ -26,7 +26,9 @@
 //! no reseeding is needed.
 
 use grape_core::output_delta::DeltaOutput;
-use grape_core::pie::{DamagePolicy, IncrementalPie, Messages, PieProgram};
+use grape_core::pie::{
+    DamagePolicy, IncrementalPie, Messages, PieProgram, ProcessCodec, SerdeProcessCodec,
+};
 use grape_graph::delta::GraphDelta;
 use grape_graph::pattern::Pattern;
 use grape_graph::types::VertexId;
@@ -38,7 +40,7 @@ use serde::{Deserialize, Serialize};
 use crate::subiso::vf2::{subgraph_isomorphism_filtered, Match};
 
 /// A subgraph-isomorphism query.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SubIsoQuery {
     /// The pattern to match.
     pub pattern: Pattern,
@@ -103,6 +105,10 @@ impl PieProgram for SubIso {
 
     fn name(&self) -> &str {
         "subiso"
+    }
+
+    fn process_codec(&self) -> Option<&dyn ProcessCodec<Self>> {
+        Some(&SerdeProcessCodec)
     }
 
     fn scope(&self) -> BorderScope {

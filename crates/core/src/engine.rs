@@ -55,11 +55,13 @@ use grape_partition::fragment::{Fragment, Fragmentation};
 use grape_partition::fragmentation_graph::{BorderScope, FragmentationGraph};
 
 use crate::config::{EngineConfig, EngineMode};
+use crate::host::{InProcessHost, ProcessHost, WorkerHost};
 use crate::load_balance::LoadBalancer;
 use crate::metrics::{EngineMetrics, SuperstepMetrics};
-use crate::pie::{KeyVertex, Messages, PieProgram};
+use crate::pie::{KeyVertex, PieProgram};
 use crate::transport::{
-    BarrierTransport, ChannelTransport, MessageOps, Transport, TransportSnapshot, TransportSpec,
+    BarrierTransport, ChannelTransport, MessageOps, ProcessTransport, Transport, TransportSnapshot,
+    TransportSpec,
 };
 
 /// Errors produced by an engine run.
@@ -84,6 +86,10 @@ pub enum EngineError {
     /// errored, so its state no longer corresponds to any graph version.
     /// Re-`prepare` (or re-register with the server) before trusting it.
     PoisonedHandle,
+    /// A worker subprocess failed mid-run (died, closed its pipe, or
+    /// answered with a protocol error).  The run is aborted — no partial
+    /// answer is served — and the host reaps every remaining subprocess.
+    Worker(String),
 }
 
 impl std::fmt::Display for EngineError {
@@ -102,6 +108,9 @@ impl std::fmt::Display for EngineError {
                 "prepared query handle is poisoned by an earlier failed \
                  update; re-prepare before reading its output"
             ),
+            EngineError::Worker(reason) => {
+                write!(f, "worker subprocess failed: {reason}")
+            }
         }
     }
 }
@@ -118,15 +127,16 @@ pub struct RunResult<O> {
 }
 
 /// Borrowed per-run state shared by both runtimes.
-struct RunCtx<'r, P: PieProgram> {
+///
+/// Deliberately free of fragments, query and program: those live behind the
+/// [`WorkerHost`] so the runtimes stay location-transparent — the same loop
+/// drives in-process and subprocess workers.
+struct RunCtx<'r> {
     config: &'r EngineConfig,
-    fragments: &'r [Arc<Fragment>],
+    num_fragments: usize,
     assignment: &'r [Vec<usize>],
     gp: &'r FragmentationGraph,
     scope: BorderScope,
-    program: &'r P,
-    query: &'r P::Query,
-    ops: MessageOps<'r, P::Key, P::Value>,
     /// Which fragments run PEval in the rooting step: all of them for a
     /// full run, the *damage frontier* for a bounded refresh, none for a
     /// monotone IncEval-only refresh.
@@ -203,10 +213,10 @@ pub(crate) fn validate_policies(
     spec: TransportSpec,
 ) -> Result<(), EngineError> {
     if config.mode == EngineMode::Async {
-        if spec == TransportSpec::Barrier {
+        if !spec.streaming_capable() {
             return Err(EngineError::InvalidConfig(
                 "EngineMode::Async needs a streaming transport; \
-                 use TransportSpec::Channel"
+                 use TransportSpec::Channel or TransportSpec::Process"
                     .to_string(),
             ));
         }
@@ -219,13 +229,15 @@ pub(crate) fn validate_policies(
         }
     }
     // Checkpoints need a snapshot-capable transport; a streaming transport
-    // would silently degrade recovery to restart-from-scratch.
-    if config.checkpoint_every.is_some() && spec == TransportSpec::Channel {
-        return Err(EngineError::InvalidConfig(
-            "checkpointing needs a snapshot-capable transport; \
-             use TransportSpec::Barrier"
-                .to_string(),
-        ));
+    // would silently degrade recovery to restart-from-scratch.  Each spec
+    // declares its own capability — no `if spec ==` chain to grow.
+    if config.checkpoint_every.is_some() && !spec.supports_checkpoints() {
+        return Err(EngineError::InvalidConfig(format!(
+            "checkpointing needs a snapshot-capable transport and \
+             TransportSpec::{} cannot snapshot; use TransportSpec::Barrier \
+             or TransportSpec::Process",
+            spec.name()
+        )));
     }
     Ok(())
 }
@@ -307,31 +319,58 @@ pub(crate) fn prepare_parts<P: PieProgram>(
     let peval = vec![true; m];
     let ctx = RunCtx {
         config,
-        fragments: &fragments,
+        num_fragments: m,
         assignment: &assignment,
         gp: fragmentation.gp(),
         scope: program.scope(),
-        program,
-        query,
-        ops,
         peval: &peval,
     };
 
-    let empty: Vec<Mutex<Option<P::Partial>>> = (0..m).map(|_| Mutex::new(None)).collect();
+    let empty: Vec<Option<P::Partial>> = (0..m).map(|_| None).collect();
     let partials = match (config.mode, spec) {
         (EngineMode::Sync, TransportSpec::Barrier) => {
-            superstep_loop(&ctx, &BarrierTransport::new(m, ops), &mut metrics, empty)?
+            let host = InProcessHost::new(program, query, &fragments, &aggregate, empty);
+            superstep_loop(&ctx, &host, &BarrierTransport::new(m, ops), &mut metrics)?;
+            host.into_partials()?
         }
         (EngineMode::Sync, TransportSpec::Channel) => {
-            superstep_loop(&ctx, &ChannelTransport::new(m, ops), &mut metrics, empty)?
+            let host = InProcessHost::new(program, query, &fragments, &aggregate, empty);
+            superstep_loop(&ctx, &host, &ChannelTransport::new(m, ops), &mut metrics)?;
+            host.into_partials()?
         }
-        (EngineMode::Async, _) => streaming_loop(
-            &ctx,
-            &ChannelTransport::new(m, ops),
-            &mut metrics,
-            empty,
-            Phase::Full,
-        )?,
+        (EngineMode::Async, TransportSpec::Barrier) => {
+            unreachable!("validate_policies rejects Async over a barrier transport")
+        }
+        (EngineMode::Async, TransportSpec::Channel) => {
+            let host = InProcessHost::new(program, query, &fragments, &aggregate, empty);
+            streaming_loop(
+                &ctx,
+                &host,
+                &ChannelTransport::new(m, ops),
+                &mut metrics,
+                Phase::Full,
+            )?;
+            host.into_partials()?
+        }
+        (mode, TransportSpec::Process { workers }) => {
+            let host = ProcessHost::spawn(program, query, &fragments, None, workers)?;
+            let pipe = host.pipe_counter();
+            let run = match mode {
+                EngineMode::Sync => {
+                    superstep_loop(&ctx, &host, &ProcessTransport::new(m, ops), &mut metrics)
+                }
+                EngineMode::Async => streaming_loop(
+                    &ctx,
+                    &host,
+                    &ProcessTransport::streaming(m, ops),
+                    &mut metrics,
+                    Phase::Full,
+                ),
+            };
+            let partials = run.and_then(|()| host.into_partials());
+            metrics.pipe_bytes = pipe.load(Ordering::Relaxed);
+            partials?
+        }
     };
     metrics.total_time = total_start.elapsed();
     Ok((partials, metrics))
@@ -461,18 +500,12 @@ pub(crate) fn refresh_parts<P: PieProgram>(
     };
     let ctx = RunCtx {
         config,
-        fragments: &fragments,
+        num_fragments: m,
         assignment: &assignment,
         gp: fragmentation.gp(),
         scope: program.scope(),
-        program,
-        query,
-        ops,
         peval: &peval,
     };
-
-    let retained: Vec<Mutex<Option<P::Partial>>> =
-        partials.into_iter().map(|p| Mutex::new(Some(p))).collect();
 
     // Seeds are routed at logical step 0 and published before the loop
     // starts, so the first IncEval round sees them like any other mail; the
@@ -506,6 +539,8 @@ pub(crate) fn refresh_parts<P: PieProgram>(
 
     let partials = match (config.mode, spec) {
         (EngineMode::Sync, TransportSpec::Barrier) => {
+            let retained = partials.into_iter().map(Some).collect();
+            let host = InProcessHost::new(program, query, &fragments, &aggregate, retained);
             let transport = BarrierTransport::new(m, ops);
             seed(
                 &transport,
@@ -515,9 +550,12 @@ pub(crate) fn refresh_parts<P: PieProgram>(
                 restrict_to,
                 &mut metrics,
             );
-            superstep_loop(&ctx, &transport, &mut metrics, retained)?
+            superstep_loop(&ctx, &host, &transport, &mut metrics)?;
+            host.into_partials()?
         }
         (EngineMode::Sync, TransportSpec::Channel) => {
+            let retained = partials.into_iter().map(Some).collect();
+            let host = InProcessHost::new(program, query, &fragments, &aggregate, retained);
             let transport = ChannelTransport::new(m, ops);
             seed(
                 &transport,
@@ -527,9 +565,15 @@ pub(crate) fn refresh_parts<P: PieProgram>(
                 restrict_to,
                 &mut metrics,
             );
-            superstep_loop(&ctx, &transport, &mut metrics, retained)?
+            superstep_loop(&ctx, &host, &transport, &mut metrics)?;
+            host.into_partials()?
         }
-        (EngineMode::Async, _) => {
+        (EngineMode::Async, TransportSpec::Barrier) => {
+            unreachable!("validate_policies rejects Async over a barrier transport")
+        }
+        (EngineMode::Async, TransportSpec::Channel) => {
+            let retained = partials.into_iter().map(Some).collect();
+            let host = InProcessHost::new(program, query, &fragments, &aggregate, retained);
             let transport = ChannelTransport::new(m, ops);
             seed(
                 &transport,
@@ -539,7 +583,41 @@ pub(crate) fn refresh_parts<P: PieProgram>(
                 restrict_to,
                 &mut metrics,
             );
-            streaming_loop(&ctx, &transport, &mut metrics, retained, Phase::Incremental)?
+            streaming_loop(&ctx, &host, &transport, &mut metrics, Phase::Incremental)?;
+            host.into_partials()?
+        }
+        (mode, TransportSpec::Process { workers }) => {
+            let host = ProcessHost::spawn(program, query, &fragments, Some(&partials), workers)?;
+            let pipe = host.pipe_counter();
+            let run = match mode {
+                EngineMode::Sync => {
+                    let transport = ProcessTransport::new(m, ops);
+                    seed(
+                        &transport,
+                        ctx.gp,
+                        ctx.scope,
+                        seeds,
+                        restrict_to,
+                        &mut metrics,
+                    );
+                    superstep_loop(&ctx, &host, &transport, &mut metrics)
+                }
+                EngineMode::Async => {
+                    let transport = ProcessTransport::streaming(m, ops);
+                    seed(
+                        &transport,
+                        ctx.gp,
+                        ctx.scope,
+                        seeds,
+                        restrict_to,
+                        &mut metrics,
+                    );
+                    streaming_loop(&ctx, &host, &transport, &mut metrics, Phase::Incremental)
+                }
+            };
+            let collected = run.and_then(|()| host.into_partials());
+            metrics.pipe_bytes = pipe.load(Ordering::Relaxed);
+            collected?
         }
     };
     metrics.total_time = total_start.elapsed();
@@ -550,18 +628,18 @@ pub(crate) fn refresh_parts<P: PieProgram>(
 /// transport publishes messages.  Supports checkpointing and the arbitrator
 /// recovery protocol of Section 6.
 ///
-/// `partials` arrives empty (`None` everywhere) for a full run and
-/// pre-populated for an incremental refresh; `ctx.peval` selects the
-/// fragments PEval roots in superstep 0 (their slots are overwritten before
-/// anything reads them).  The loop returns the partials at the fixpoint so
-/// callers can assemble or retain them.
-fn superstep_loop<P: PieProgram, T: Transport<P::Key, P::Value>>(
-    ctx: &RunCtx<'_, P>,
+/// The host arrives with empty partials for a full run and pre-populated
+/// ones for an incremental refresh; `ctx.peval` selects the fragments PEval
+/// roots in superstep 0 (their slots are overwritten before anything reads
+/// them).  At the fixpoint the caller collects the partials with
+/// [`WorkerHost::into_partials`].
+fn superstep_loop<P: PieProgram, H: WorkerHost<P>, T: Transport<P::Key, P::Value>>(
+    ctx: &RunCtx<'_>,
+    host: &H,
     transport: &T,
     metrics: &mut EngineMetrics,
-    partials: Vec<Mutex<Option<P::Partial>>>,
-) -> Result<Vec<P::Partial>, EngineError> {
-    let m = ctx.fragments.len();
+) -> Result<(), EngineError> {
+    let m = ctx.num_fragments;
     let peval_count = AtomicUsize::new(0);
     let inceval_count = AtomicUsize::new(0);
     // Checkpoint = (next superstep, partials, mailboxes + delivered caches).
@@ -594,17 +672,13 @@ fn superstep_loop<P: PieProgram, T: Transport<P::Key, P::Value>>(
             match &checkpoint {
                 Some((step, saved_partials, saved_transport)) => {
                     superstep = *step;
-                    for (i, p) in saved_partials.iter().enumerate() {
-                        *partials[i].lock() = p.clone();
-                    }
+                    host.restore_partials(saved_partials)?;
                     transport.restore(saved_transport);
                 }
                 None => {
                     // No checkpoint yet: restart the whole computation.
                     superstep = 0;
-                    for p in &partials {
-                        *p.lock() = None;
-                    }
+                    host.clear_partials()?;
                     transport.reset();
                 }
             }
@@ -626,49 +700,62 @@ fn superstep_loop<P: PieProgram, T: Transport<P::Key, P::Value>>(
         }
 
         // Local evaluation (PEval in the rooting step, IncEval otherwise),
-        // spread over the physical workers.
+        // spread over the physical workers.  A host failure (e.g. a dead
+        // worker subprocess) aborts the whole superstep: every thread bails
+        // at its next fragment, the first error wins, and the run returns
+        // it instead of flushing — no partial answer is ever served.
         let stats_before = transport.stats();
         let active_ref = &active;
-        let partials_ref = &partials;
         let peval_count_ref = &peval_count;
         let inceval_count_ref = &inceval_count;
+        let abort = AtomicBool::new(false);
+        let abort_ref = &abort;
+        let first_error: Mutex<Option<EngineError>> = Mutex::new(None);
+        let first_error_ref = &first_error;
         std::thread::scope(|s| {
             for worker_fragments in ctx.assignment {
                 let worker_fragments = worker_fragments.clone();
                 s.spawn(move || {
                     for fi in worker_fragments {
+                        if abort_ref.load(Ordering::Relaxed) {
+                            return;
+                        }
                         if !active_ref[fi] {
                             continue;
                         }
-                        let mut msgs = Messages::with_aggregator(ctx.ops.aggregate);
-                        if rooting && ctx.peval[fi] {
-                            let partial =
-                                ctx.program.peval(ctx.query, &ctx.fragments[fi], &mut msgs);
-                            *partials_ref[fi].lock() = Some(partial);
-                            peval_count_ref.fetch_add(1, Ordering::Relaxed);
+                        let evaluated = if rooting && ctx.peval[fi] {
+                            host.peval(fi).inspect(|_| {
+                                peval_count_ref.fetch_add(1, Ordering::Relaxed);
+                            })
                         } else {
                             let drained = transport.drain(fi);
                             if drained.updates.is_empty() {
                                 continue;
                             }
-                            let mut guard = partials_ref[fi].lock();
-                            let partial = guard
-                                .as_mut()
-                                .expect("IncEval before PEval: missing partial result");
-                            ctx.program.inc_eval(
-                                ctx.query,
-                                &ctx.fragments[fi],
-                                partial,
-                                &drained.updates,
-                                &mut msgs,
-                            );
-                            inceval_count_ref.fetch_add(1, Ordering::Relaxed);
+                            host.inc_eval(fi, &drained.updates).inspect(|_| {
+                                inceval_count_ref.fetch_add(1, Ordering::Relaxed);
+                            })
+                        };
+                        match evaluated {
+                            Ok(updates) => {
+                                route_and_send(transport, ctx.gp, ctx.scope, fi, superstep, updates)
+                            }
+                            Err(e) => {
+                                let mut slot = first_error_ref.lock();
+                                if slot.is_none() {
+                                    *slot = Some(e);
+                                }
+                                abort_ref.store(true, Ordering::Relaxed);
+                                return;
+                            }
                         }
-                        route_and_send(transport, ctx.gp, ctx.scope, fi, superstep, msgs.take());
                     }
                 });
             }
         });
+        if let Some(e) = first_error.into_inner() {
+            return Err(e);
+        }
 
         // Barrier: the transport publishes this superstep's messages.
         transport.flush();
@@ -686,11 +773,7 @@ fn superstep_loop<P: PieProgram, T: Transport<P::Key, P::Value>>(
         if let Some(every) = ctx.config.checkpoint_every {
             if (superstep + 1).is_multiple_of(every) {
                 if let Some(snap) = transport.snapshot() {
-                    checkpoint = Some((
-                        superstep + 1,
-                        partials.iter().map(|p| p.lock().clone()).collect(),
-                        snap,
-                    ));
+                    checkpoint = Some((superstep + 1, host.checkpoint_partials()?, snap));
                     metrics.checkpoints += 1;
                 }
             }
@@ -704,11 +787,7 @@ fn superstep_loop<P: PieProgram, T: Transport<P::Key, P::Value>>(
 
     metrics.peval_calls += peval_count.into_inner();
     metrics.inceval_calls += inceval_count.into_inner();
-    let collected: Vec<P::Partial> = partials
-        .into_iter()
-        .map(|p| p.into_inner().expect("every fragment has a partial result"))
-        .collect();
-    Ok(collected)
+    Ok(())
 }
 
 /// One evaluation in the streaming runtime, for the per-superstep metric
@@ -730,13 +809,13 @@ struct EvalRecord {
 /// whole computation is quiescent — no superstep barrier, no coordinator
 /// round-trips.  Messages produced by any fragment are visible to their
 /// destinations immediately.
-fn streaming_loop<P: PieProgram, T: Transport<P::Key, P::Value>>(
-    ctx: &RunCtx<'_, P>,
+fn streaming_loop<P: PieProgram, H: WorkerHost<P>, T: Transport<P::Key, P::Value>>(
+    ctx: &RunCtx<'_>,
+    host: &H,
     transport: &T,
     metrics: &mut EngineMetrics,
-    partials: Vec<Mutex<Option<P::Partial>>>,
     phase: Phase,
-) -> Result<Vec<P::Partial>, EngineError> {
+) -> Result<(), EngineError> {
     let peval_count = AtomicUsize::new(0);
     let inceval_count = AtomicUsize::new(0);
     // Quiescence: the run is over when every PEval finished, no mailbox has
@@ -756,10 +835,17 @@ fn streaming_loop<P: PieProgram, T: Transport<P::Key, P::Value>>(
     let busy = AtomicUsize::new(0);
     let activity = AtomicUsize::new(0);
     let diverged = AtomicBool::new(false);
+    // Host failures (a dead worker subprocess) abort the run: the failing
+    // thread records the first error and raises `abort`, which every
+    // worker's drain loop checks — so nobody spins on quiescence counters
+    // that a dead peer can no longer move.
+    let abort = AtomicBool::new(false);
+    let first_error: Mutex<Option<EngineError>> = Mutex::new(None);
     let records: Mutex<Vec<EvalRecord>> = Mutex::new(Vec::new());
 
     {
-        let partials_ref = &partials;
+        let abort_ref = &abort;
+        let first_error_ref = &first_error;
         let unstarted_ref = &unstarted;
         let busy_ref = &busy;
         let activity_ref = &activity;
@@ -798,11 +884,24 @@ fn streaming_loop<P: PieProgram, T: Transport<P::Key, P::Value>>(
                         if !ctx.peval[fi] {
                             continue;
                         }
+                        if abort_ref.load(Ordering::SeqCst) {
+                            records_ref.lock().extend(local);
+                            return;
+                        }
                         let t0 = Instant::now();
-                        let mut msgs = Messages::with_aggregator(ctx.ops.aggregate);
-                        let partial = ctx.program.peval(ctx.query, &ctx.fragments[fi], &mut msgs);
-                        *partials_ref[fi].lock() = Some(partial);
-                        route_and_send(transport, ctx.gp, ctx.scope, fi, 0, msgs.take());
+                        let updates = match host.peval(fi) {
+                            Ok(updates) => updates,
+                            Err(e) => {
+                                let mut slot = first_error_ref.lock();
+                                if slot.is_none() {
+                                    *slot = Some(e);
+                                }
+                                abort_ref.store(true, Ordering::SeqCst);
+                                records_ref.lock().extend(local);
+                                return;
+                            }
+                        };
+                        route_and_send(transport, ctx.gp, ctx.scope, fi, 0, updates);
                         unstarted_ref.fetch_sub(1, Ordering::SeqCst);
                         peval_count_ref.fetch_add(1, Ordering::Relaxed);
                         evals.insert(fi, 0);
@@ -817,7 +916,7 @@ fn streaming_loop<P: PieProgram, T: Transport<P::Key, P::Value>>(
                     // Drain to quiescence.
                     let mut idle_rounds = 0u32;
                     loop {
-                        if diverged_ref.load(Ordering::SeqCst) {
+                        if diverged_ref.load(Ordering::SeqCst) || abort_ref.load(Ordering::SeqCst) {
                             break;
                         }
                         let mut progressed = false;
@@ -868,21 +967,20 @@ fn streaming_loop<P: PieProgram, T: Transport<P::Key, P::Value>>(
                             }
                             evals.insert(fi, own);
                             let t0 = Instant::now();
-                            let mut msgs = Messages::with_aggregator(ctx.ops.aggregate);
-                            {
-                                let mut guard = partials_ref[fi].lock();
-                                let partial = guard
-                                    .as_mut()
-                                    .expect("this worker ran PEval for its own fragments first");
-                                ctx.program.inc_eval(
-                                    ctx.query,
-                                    &ctx.fragments[fi],
-                                    partial,
-                                    &drained.updates,
-                                    &mut msgs,
-                                );
-                            }
-                            route_and_send(transport, ctx.gp, ctx.scope, fi, step, msgs.take());
+                            let updates = match host.inc_eval(fi, &drained.updates) {
+                                Ok(updates) => updates,
+                                Err(e) => {
+                                    let mut slot = first_error_ref.lock();
+                                    if slot.is_none() {
+                                        *slot = Some(e);
+                                    }
+                                    abort_ref.store(true, Ordering::SeqCst);
+                                    activity_ref.fetch_add(1, Ordering::SeqCst);
+                                    busy_ref.fetch_sub(1, Ordering::SeqCst);
+                                    break;
+                                }
+                            };
+                            route_and_send(transport, ctx.gp, ctx.scope, fi, step, updates);
                             activity_ref.fetch_add(1, Ordering::SeqCst);
                             busy_ref.fetch_sub(1, Ordering::SeqCst);
                             inceval_count_ref.fetch_add(1, Ordering::Relaxed);
@@ -925,6 +1023,9 @@ fn streaming_loop<P: PieProgram, T: Transport<P::Key, P::Value>>(
         });
     }
 
+    if let Some(e) = first_error.into_inner() {
+        return Err(e);
+    }
     if diverged.load(Ordering::SeqCst) {
         return Err(EngineError::DidNotConverge {
             max_supersteps: ctx.config.max_supersteps,
@@ -943,11 +1044,7 @@ fn streaming_loop<P: PieProgram, T: Transport<P::Key, P::Value>>(
         // Incremental refresh with nothing to do: zero supersteps.
         metrics.peval_calls += peval_count.into_inner();
         metrics.inceval_calls += inceval_count.into_inner();
-        let collected: Vec<P::Partial> = partials
-            .into_iter()
-            .map(|p| p.into_inner().expect("every fragment has a partial result"))
-            .collect();
-        return Ok(collected);
+        return Ok(());
     }
     let depth = records.iter().map(|r| r.step).max().unwrap_or(0);
     let mut steps: Vec<SuperstepMetrics> = (0..=depth)
@@ -978,17 +1075,13 @@ fn streaming_loop<P: PieProgram, T: Transport<P::Key, P::Value>>(
     }
     metrics.peval_calls += peval_count.into_inner();
     metrics.inceval_calls += inceval_count.into_inner();
-
-    let collected: Vec<P::Partial> = partials
-        .into_iter()
-        .map(|p| p.into_inner().expect("every fragment has a partial result"))
-        .collect();
-    Ok(collected)
+    Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pie::Messages;
     use crate::session::GrapeSession;
     use grape_graph::builder::GraphBuilder;
     use grape_graph::types::VertexId;
@@ -1228,6 +1321,31 @@ mod tests {
         let result = session.run(&frag, &MinPropagation, &()).unwrap();
         assert_eq!(result.metrics.recovered_failures, 1);
         assert!(result.output.values().all(|&v| v == 0));
+    }
+
+    /// A program without a process codec cannot cross worker pipes: the
+    /// engine rejects `TransportSpec::Process` with a clear configuration
+    /// error instead of spawning subprocesses it could not talk to.
+    #[test]
+    fn process_transport_requires_a_codec() {
+        let g = ring_graph(8);
+        let frag = RangeEdgeCut::new(2).partition(&g).unwrap();
+        for mode in [EngineMode::Sync, EngineMode::Async] {
+            let err = GrapeSession::builder()
+                .workers(2)
+                .mode(mode)
+                .transport(TransportSpec::Process { workers: 2 })
+                .build()
+                .unwrap()
+                .run(&frag, &MinPropagation, &())
+                .unwrap_err();
+            match err {
+                EngineError::InvalidConfig(msg) => {
+                    assert!(msg.contains("process codec"), "{msg}")
+                }
+                other => panic!("unexpected error: {other}"),
+            }
+        }
     }
 
     #[test]

@@ -52,6 +52,7 @@
 
 pub mod config;
 pub mod engine;
+mod host;
 pub mod load_balance;
 pub mod metrics;
 pub mod output_delta;
@@ -64,12 +65,13 @@ pub mod spec;
 #[doc(hidden)]
 pub mod test_support;
 pub mod transport;
+pub mod worker_proto;
 
 pub use config::{EngineConfig, EngineMode};
 pub use engine::{EngineError, RunResult};
 pub use metrics::{EngineMetrics, LatencySummary};
 pub use output_delta::{DeltaOutput, OutputDelta, OutputEvent, QueryDelta, WireOutputDelta};
-pub use pie::{IncrementalPie, KeyVertex, Messages, PieProgram};
+pub use pie::{IncrementalPie, KeyVertex, Messages, PieProgram, ProcessCodec, SerdeProcessCodec};
 pub use prepared::{PreparedQuery, RefreshKind, UpdateReport};
 pub use serve::{
     BatchRejection, BatchReport, EvictionPolicy, GrapeServer, QueryHandle, QueryStatus,

@@ -73,6 +73,12 @@ pub struct EngineMetrics {
     /// PEval-everywhere computation.
     #[serde(default)]
     pub incremental: bool,
+    /// Bytes that crossed worker-subprocess pipes (requests + replies,
+    /// JSON frames included): fragments and partials shipped at the
+    /// handshake, per-evaluation message traffic, and collected partials.
+    /// Always **0** for in-process transports.
+    #[serde(default)]
+    pub pipe_bytes: usize,
     /// Time spent in PEval/IncEval across all supersteps.  Under the
     /// synchronous runtime this is wall-clock per superstep; under the
     /// barrier-free runtime it is the *sum* of per-evaluation durations,

@@ -20,6 +20,7 @@ use grape_graph::types::VertexId;
 use grape_partition::delta::FragmentDelta;
 use grape_partition::fragment::Fragment;
 use grape_partition::fragmentation_graph::BorderScope;
+use serde::{Deserialize, Error as SerdeError, Serialize, Value};
 
 pub use grape_partition::delta::DamagePolicy;
 
@@ -229,6 +230,89 @@ pub trait PieProgram: Send + Sync {
     /// Approximate wire size of a value, used for communication accounting.
     fn value_size(&self, _value: &Self::Value) -> usize {
         std::mem::size_of::<Self::Value>()
+    }
+
+    /// The wire codec used when this program runs under
+    /// [`crate::transport::TransportSpec::Process`]: queries, partials and
+    /// update parameters must cross the worker pipes as value trees.
+    ///
+    /// The default `None` means the program cannot execute multi-process —
+    /// the engine rejects the combination with a clear
+    /// [`crate::engine::EngineError::InvalidConfig`].  Programs whose
+    /// associated types are all serde-capable return
+    /// `Some(&SerdeProcessCodec)`.
+    fn process_codec(&self) -> Option<&dyn ProcessCodec<Self>>
+    where
+        Self: Sized,
+    {
+        None
+    }
+}
+
+/// Encodes/decodes one PIE program's associated types for the worker-pipe
+/// protocol of [`crate::transport::TransportSpec::Process`].
+///
+/// Both ends use the same codec: the parent (`ProcessHost`) encodes the
+/// query/partials/messages it ships and decodes what comes back; the
+/// `grape-worker` child does the mirror image.  Implementations must be
+/// deterministic and lossless — the equivalence contract (answers byte-equal
+/// across transports) rides on every value surviving the round trip exactly.
+pub trait ProcessCodec<P: PieProgram>: Sync {
+    /// Encodes a query for the worker handshake.
+    fn encode_query(&self, query: &P::Query) -> Value;
+    /// Decodes a handshake query (worker side).
+    fn decode_query(&self, v: &Value) -> Result<P::Query, SerdeError>;
+    /// Encodes one partial result.
+    fn encode_partial(&self, partial: &P::Partial) -> Value;
+    /// Decodes one partial result.
+    fn decode_partial(&self, v: &Value) -> Result<P::Partial, SerdeError>;
+    /// Encodes one update-parameter message `(key, value)`.
+    fn encode_message(&self, key: &P::Key, value: &P::Value) -> Value;
+    /// Decodes one update-parameter message.
+    fn decode_message(&self, v: &Value) -> Result<(P::Key, P::Value), SerdeError>;
+}
+
+/// The [`ProcessCodec`] for programs whose query, partial, key and value
+/// types all implement the serde traits: plain value-tree round trips.
+/// Messages ship as two-element sequences `[key, value]`.
+pub struct SerdeProcessCodec;
+
+impl<P> ProcessCodec<P> for SerdeProcessCodec
+where
+    P: PieProgram,
+    P::Query: Serialize + Deserialize,
+    P::Partial: Serialize + Deserialize,
+    P::Key: Serialize + Deserialize,
+    P::Value: Serialize + Deserialize,
+{
+    fn encode_query(&self, query: &P::Query) -> Value {
+        query.to_value()
+    }
+
+    fn decode_query(&self, v: &Value) -> Result<P::Query, SerdeError> {
+        P::Query::from_value(v)
+    }
+
+    fn encode_partial(&self, partial: &P::Partial) -> Value {
+        partial.to_value()
+    }
+
+    fn decode_partial(&self, v: &Value) -> Result<P::Partial, SerdeError> {
+        P::Partial::from_value(v)
+    }
+
+    fn encode_message(&self, key: &P::Key, value: &P::Value) -> Value {
+        Value::Seq(vec![key.to_value(), value.to_value()])
+    }
+
+    fn decode_message(&self, v: &Value) -> Result<(P::Key, P::Value), SerdeError> {
+        match v {
+            Value::Seq(items) if items.len() == 2 => Ok((
+                P::Key::from_value(&items[0])?,
+                P::Value::from_value(&items[1])?,
+            )),
+            _ => Err(SerdeError::custom("expected a [key, value] message pair")),
+        }
     }
 }
 

@@ -34,7 +34,7 @@ use std::hash::Hash;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 use parking_lot::Mutex;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Error, Serialize, Value};
 
 /// The message-preamble hooks a transport borrows from a PIE program for the
 /// duration of one run: `aggregateMsg` plus the wire-size estimators.
@@ -67,14 +67,29 @@ impl<K, V> std::fmt::Debug for MessageOps<'_, K, V> {
 /// one superstep late (the streaming transport charges at drain, not at
 /// the barrier — run totals are unaffected), and checkpointing is
 /// unavailable (no snapshot support, rejected at session build).
-/// Later PRs add process- and node-level variants here.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// `Process` shards the fragments across `workers` OS subprocesses
+/// (`grape-worker`): PEval/IncEval execute inside the process that owns
+/// each fragment, and only seed/border messages plus the assembled
+/// partials cross the stdin/stdout pipes.  Message routing stays in the
+/// parent — under `Sync` the [`ProcessTransport`] publishes at the
+/// superstep barrier (and therefore checkpoints), under `Async` it
+/// streams.  The serde impls are written by hand because the derive shim
+/// only handles fieldless enums.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TransportSpec {
     /// Per-sender staging published at the superstep barrier
     /// ([`BarrierTransport`]).
     Barrier,
     /// Streaming mailboxes with no barrier ([`ChannelTransport`]).
     Channel,
+    /// Fragments sharded across `workers` OS subprocesses; parent-side
+    /// mailboxes ([`ProcessTransport`]), evaluation over pipes.
+    Process {
+        /// Number of `grape-worker` subprocesses (clamped to
+        /// `1..=num_fragments` at run time).
+        workers: usize,
+    },
 }
 
 impl TransportSpec {
@@ -83,6 +98,7 @@ impl TransportSpec {
         match self {
             TransportSpec::Barrier => "barrier",
             TransportSpec::Channel => "channel",
+            TransportSpec::Process { .. } => "process",
         }
     }
 
@@ -91,6 +107,66 @@ impl TransportSpec {
         match mode {
             crate::config::EngineMode::Sync => TransportSpec::Barrier,
             crate::config::EngineMode::Async => TransportSpec::Channel,
+        }
+    }
+
+    /// Whether this substrate can serve the barrier-free
+    /// [`crate::config::EngineMode::Async`] runtime (sends visible without
+    /// a flush).  `Process` qualifies: its parent-side mailboxes stream
+    /// under `Async`.
+    pub fn streaming_capable(&self) -> bool {
+        !matches!(self, TransportSpec::Barrier)
+    }
+
+    /// Whether a transport built from this spec can snapshot its mailboxes
+    /// for superstep-aligned checkpoints.  This is the capability the
+    /// session/engine validation queries instead of growing a
+    /// `if spec == …` chain per variant: each spec (including future TCP
+    /// node transports) declares its own answer.  `Process` checkpoints:
+    /// its parent-side mailboxes snapshot like `Barrier`'s, and the worker
+    /// subprocesses surrender their partials over the pipe.
+    pub fn supports_checkpoints(&self) -> bool {
+        match self {
+            TransportSpec::Barrier => true,
+            TransportSpec::Channel => false,
+            TransportSpec::Process { .. } => true,
+        }
+    }
+}
+
+impl Serialize for TransportSpec {
+    fn to_value(&self) -> Value {
+        match self {
+            TransportSpec::Barrier => Value::Str("Barrier".to_string()),
+            TransportSpec::Channel => Value::Str("Channel".to_string()),
+            TransportSpec::Process { workers } => Value::Map(vec![(
+                "Process".to_string(),
+                Value::Map(vec![("workers".to_string(), workers.to_value())]),
+            )]),
+        }
+    }
+}
+
+impl Deserialize for TransportSpec {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => match s.as_str() {
+                "Barrier" => Ok(TransportSpec::Barrier),
+                "Channel" => Ok(TransportSpec::Channel),
+                other => Err(Error::custom(format!("unknown transport spec `{other}`"))),
+            },
+            Value::Map(_) => {
+                let body = v
+                    .get_field("Process")
+                    .ok_or_else(|| Error::custom("expected a `Process` transport spec map"))?;
+                let workers = body
+                    .get_field("workers")
+                    .ok_or_else(|| Error::missing_field("workers"))?;
+                Ok(TransportSpec::Process {
+                    workers: usize::from_value(workers)?,
+                })
+            }
+            _ => Err(Error::custom("expected transport spec string or map")),
         }
     }
 }
@@ -187,6 +263,11 @@ pub trait Transport<K, V>: Send + Sync {
     /// [`Transport::reset`] — re-shipped messages after a failure recovery
     /// are real communication).
     fn stats(&self) -> TransportStats;
+
+    /// Whether [`Transport::snapshot`] returns `Some` — the capability the
+    /// checkpointing machinery queries.  Must agree with `snapshot()`
+    /// (checked by the conformance suite).
+    fn supports_checkpoints(&self) -> bool;
 
     /// Captures mailbox state for checkpointing, or `None` when the
     /// transport cannot checkpoint (streaming transports).
@@ -360,6 +441,10 @@ where
             messages: self.messages.load(Ordering::SeqCst),
             bytes: self.bytes.load(Ordering::SeqCst),
         }
+    }
+
+    fn supports_checkpoints(&self) -> bool {
+        true
     }
 
     fn snapshot(&self) -> Option<TransportSnapshot<K, V>> {
@@ -538,6 +623,10 @@ where
         }
     }
 
+    fn supports_checkpoints(&self) -> bool {
+        false
+    }
+
     fn snapshot(&self) -> Option<TransportSnapshot<K, V>> {
         None // streaming mailboxes are not checkpointable
     }
@@ -553,6 +642,121 @@ where
             m.delivered.clear();
         }
         self.nonempty.store(0, Ordering::SeqCst);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ProcessTransport
+// ---------------------------------------------------------------------------
+
+/// The message substrate of [`TransportSpec::Process`]: parent-side
+/// mailboxes fronting subprocess workers.
+///
+/// Fragment *evaluation* moves into `grape-worker` subprocesses (that is
+/// the `crate::host::WorkerHost` boundary, not the transport's), but
+/// message *routing* stays in the parent: the engine routes every emitted
+/// update through `G_P` and this transport queues it for the owning
+/// fragment exactly as in-process runs do.  The transport therefore wraps
+/// the in-process substrate matching the engine mode — [`BarrierTransport`]
+/// under [`crate::config::EngineMode::Sync`] (so superstep-aligned
+/// checkpoints keep working: parent mailboxes snapshot here, worker
+/// partials are collected over the pipe), [`ChannelTransport`] under
+/// [`crate::config::EngineMode::Async`] — and is constructible without any
+/// subprocess, which is how the conformance suite drives it through every
+/// contract case.
+pub struct ProcessTransport<'p, K, V> {
+    inner: ProcessInner<'p, K, V>,
+}
+
+enum ProcessInner<'p, K, V> {
+    Barrier(BarrierTransport<'p, K, V>),
+    Channel(ChannelTransport<'p, K, V>),
+}
+
+impl<'p, K, V> ProcessTransport<'p, K, V> {
+    /// A barrier-semantics (BSP) process transport over `num_fragments`
+    /// mailboxes — the [`crate::config::EngineMode::Sync`] substrate.
+    pub fn new(num_fragments: usize, ops: MessageOps<'p, K, V>) -> Self {
+        ProcessTransport {
+            inner: ProcessInner::Barrier(BarrierTransport::new(num_fragments, ops)),
+        }
+    }
+
+    /// A streaming process transport — the
+    /// [`crate::config::EngineMode::Async`] substrate.
+    pub fn streaming(num_fragments: usize, ops: MessageOps<'p, K, V>) -> Self {
+        ProcessTransport {
+            inner: ProcessInner::Channel(ChannelTransport::new(num_fragments, ops)),
+        }
+    }
+
+    fn as_dyn(&self) -> &dyn Transport<K, V>
+    where
+        K: Clone + Eq + Hash + Send,
+        V: Clone + PartialEq + Send,
+    {
+        match &self.inner {
+            ProcessInner::Barrier(t) => t,
+            ProcessInner::Channel(t) => t,
+        }
+    }
+}
+
+impl<K, V> Transport<K, V> for ProcessTransport<'_, K, V>
+where
+    K: Clone + Eq + Hash + Send,
+    V: Clone + PartialEq + Send,
+{
+    fn name(&self) -> &'static str {
+        "process"
+    }
+
+    fn is_streaming(&self) -> bool {
+        self.as_dyn().is_streaming()
+    }
+
+    fn send_batch(&self, from: usize, dest: usize, step: usize, updates: Vec<(K, V)>) {
+        self.as_dyn().send_batch(from, dest, step, updates);
+    }
+
+    fn flush(&self) -> TransportStats {
+        self.as_dyn().flush()
+    }
+
+    fn drain(&self, fragment: usize) -> Drained<K, V> {
+        self.as_dyn().drain(fragment)
+    }
+
+    fn has_pending(&self, fragment: usize) -> bool {
+        self.as_dyn().has_pending(fragment)
+    }
+
+    fn pending_mailboxes(&self) -> usize {
+        self.as_dyn().pending_mailboxes()
+    }
+
+    fn seal(&self) {
+        self.as_dyn().seal();
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.as_dyn().stats()
+    }
+
+    fn supports_checkpoints(&self) -> bool {
+        self.as_dyn().supports_checkpoints()
+    }
+
+    fn snapshot(&self) -> Option<TransportSnapshot<K, V>> {
+        self.as_dyn().snapshot()
+    }
+
+    fn restore(&self, snapshot: &TransportSnapshot<K, V>) {
+        self.as_dyn().restore(snapshot);
+    }
+
+    fn reset(&self) {
+        self.as_dyn().reset();
     }
 }
 
@@ -582,6 +786,14 @@ mod tests {
     /// full send → flush → drain cycle, where both must agree.
     fn conformance<T: Transport<u64, u64>>(t: &T) {
         let name = t.name();
+
+        // (0) The checkpoint capability must agree with what snapshot()
+        // actually returns — the validation layer trusts the former.
+        assert_eq!(
+            t.supports_checkpoints(),
+            t.snapshot().is_some(),
+            "{name}: supports_checkpoints() must agree with snapshot()"
+        );
 
         // (1) Delivery: one update from fragment 0 to fragment 1.
         t.send_batch(0, 1, 0, vec![(5, 40)]);
@@ -711,6 +923,57 @@ mod tests {
     fn channel_transport_conforms() {
         let ops = MIN_OPS;
         conformance(&ChannelTransport::new(3, ops));
+    }
+
+    /// `ProcessTransport` (both incarnations) passes every contract case
+    /// the in-process transports do: empty flush (case 8), seal after
+    /// drain (cases 9–10), dedup, aggregation, accounting.
+    #[test]
+    fn process_transport_conforms() {
+        let ops = MIN_OPS;
+        conformance(&ProcessTransport::new(3, ops));
+        conformance(&ProcessTransport::streaming(3, ops));
+    }
+
+    /// The sync-mode process transport holds sends until the barrier and
+    /// checkpoints; the async-mode one streams and does not.
+    #[test]
+    fn process_transport_follows_its_mode() {
+        let ops = MIN_OPS;
+        let sync = ProcessTransport::new(2, ops);
+        sync.send_batch(0, 1, 0, vec![(1, 1)]);
+        assert!(!sync.has_pending(1), "sync process publishes at flush only");
+        assert!(!sync.is_streaming());
+        assert!(sync.supports_checkpoints());
+        sync.flush();
+        assert!(sync.has_pending(1));
+
+        let streaming = ProcessTransport::streaming(2, ops);
+        streaming.send_batch(0, 1, 0, vec![(1, 1)]);
+        assert!(streaming.has_pending(1), "streaming delivers immediately");
+        assert!(streaming.is_streaming());
+        assert!(!streaming.supports_checkpoints());
+        assert!(streaming.snapshot().is_none());
+    }
+
+    /// A mid-superstep snapshot/restore through the process transport:
+    /// staged-but-unflushed sends are discarded on restore, exactly like
+    /// the barrier transport it wraps.
+    #[test]
+    fn process_snapshot_mid_superstep_discards_staged_sends() {
+        let ops = MIN_OPS;
+        let t = ProcessTransport::new(2, ops);
+        t.send_batch(0, 1, 0, vec![(3, 30)]);
+        t.flush();
+        t.send_batch(0, 1, 1, vec![(4, 40)]); // staged, not flushed
+        let snap = t.snapshot().expect("sync process transports checkpoint");
+        t.flush();
+        let mut d = t.drain(1).updates;
+        d.sort_unstable();
+        assert_eq!(d, vec![(3, 30), (4, 40)]);
+        t.restore(&snap);
+        assert_eq!(t.drain(1).updates, vec![(3, 30)]);
+        assert_eq!(t.flush(), TransportStats::default(), "staging was cleared");
     }
 
     #[test]
@@ -845,5 +1108,32 @@ mod tests {
         );
         assert_eq!(TransportSpec::Barrier.name(), "barrier");
         assert_eq!(TransportSpec::Channel.name(), "channel");
+        assert_eq!(TransportSpec::Process { workers: 2 }.name(), "process");
+    }
+
+    /// Each spec declares its own checkpoint capability — the engine
+    /// validation queries this instead of matching on variants.
+    #[test]
+    fn spec_checkpoint_capability() {
+        assert!(TransportSpec::Barrier.supports_checkpoints());
+        assert!(!TransportSpec::Channel.supports_checkpoints());
+        assert!(TransportSpec::Process { workers: 2 }.supports_checkpoints());
+        assert!(!TransportSpec::Barrier.streaming_capable());
+        assert!(TransportSpec::Channel.streaming_capable());
+        assert!(TransportSpec::Process { workers: 2 }.streaming_capable());
+    }
+
+    #[test]
+    fn spec_serde_round_trips() {
+        for spec in [
+            TransportSpec::Barrier,
+            TransportSpec::Channel,
+            TransportSpec::Process { workers: 3 },
+        ] {
+            let back = TransportSpec::from_value(&spec.to_value()).unwrap();
+            assert_eq!(back, spec);
+        }
+        assert!(TransportSpec::from_value(&Value::Str("Tcp".to_string())).is_err());
+        assert!(TransportSpec::from_value(&Value::UInt(3)).is_err());
     }
 }

@@ -1,0 +1,405 @@
+//! The worker-pipe protocol of [`crate::transport::TransportSpec::Process`].
+//!
+//! Under the process transport, fragments are sharded across OS worker
+//! subprocesses (`grape-worker`, shipped by the daemon crate): PEval and
+//! IncEval run inside the process that *owns* each fragment, and only the
+//! handshake (query + fragments + retained partials), per-evaluation
+//! update-parameter messages and the collected partials cross the pipe.
+//! Message routing through `G_P`, seed injection, superstep scheduling and
+//! checkpoint bookkeeping all stay in the parent — the worker is a pure
+//! evaluation server.
+//!
+//! ## Framing
+//!
+//! Frames use the same length-delimited JSON layout as the daemon's TCP
+//! protocol — a decimal byte length, `\n`, the JSON payload, `\n` — over
+//! the child's stdin/stdout.  Every request is answered by exactly one
+//! reply; replies carry `{"ok": true, ...}` on success and
+//! `{"ok": false, "error": "…"}` on failure.
+//!
+//! ## Requests
+//!
+//! | op             | request fields                    | reply fields      |
+//! |----------------|-----------------------------------|-------------------|
+//! | `init`         | `program`, `query`, `fragments`, optional `partials` | — |
+//! | `peval`        | `fragment`                        | `messages`        |
+//! | `inceval`      | `fragment`, `updates`             | `messages`        |
+//! | `get_partials` | —                                 | `partials`        |
+//! | `set_partials` | `partials`                        | —                 |
+//! | `clear`        | —                                 | —                 |
+//! | `exit`         | —                                 | —                 |
+//!
+//! `fragments` is a sequence of `{"id": <global fragment id>, "frag": …}`
+//! records (the spill-snapshot fragment codec); `partials` entries are
+//! `{"id": …, "partial": …}` with `null` for a slot that has not been
+//! evaluated yet; `messages`/`updates` entries are whatever the program's
+//! [`crate::pie::ProcessCodec`] produces (two-element `[key, value]`
+//! sequences for [`crate::pie::SerdeProcessCodec`]).
+
+use std::collections::HashMap;
+use std::io::{BufRead, Write};
+use std::path::PathBuf;
+
+use grape_partition::fragment::Fragment;
+use grape_partition::snapshot::{fragment_from_value, fragment_to_value};
+use serde::{Deserialize, Serialize, Value};
+
+use crate::pie::{Messages, PieProgram};
+
+/// Upper bound on one frame, mirroring the daemon's TCP framing cap.
+pub const MAX_FRAME_BYTES: usize = 64 << 20;
+
+/// Writes one length-delimited frame.
+pub fn write_frame<W: Write + ?Sized>(w: &mut W, payload: &str) -> std::io::Result<()> {
+    w.write_all(payload.len().to_string().as_bytes())?;
+    w.write_all(b"\n")?;
+    w.write_all(payload.as_bytes())?;
+    w.write_all(b"\n")?;
+    w.flush()
+}
+
+/// Reads one length-delimited frame.  `Ok(None)` is a clean end of stream
+/// (the peer closed the pipe before a length line).
+pub fn read_frame<R: BufRead + ?Sized>(r: &mut R) -> Result<Option<String>, String> {
+    let mut len_line = String::new();
+    let n = r
+        .read_line(&mut len_line)
+        .map_err(|e| format!("pipe read failed: {e}"))?;
+    if n == 0 {
+        return Ok(None);
+    }
+    let len: usize = len_line
+        .trim()
+        .parse()
+        .map_err(|_| format!("malformed frame length {:?}", len_line.trim()))?;
+    if len > MAX_FRAME_BYTES {
+        return Err(format!(
+            "frame of {len} bytes exceeds cap {MAX_FRAME_BYTES}"
+        ));
+    }
+    let mut payload = vec![0u8; len + 1]; // payload + trailing newline
+    r.read_exact(&mut payload)
+        .map_err(|e| format!("truncated frame: {e}"))?;
+    if payload.pop() != Some(b'\n') {
+        return Err("frame missing trailing newline".to_string());
+    }
+    String::from_utf8(payload)
+        .map_err(|_| "frame payload is not UTF-8".to_string())
+        .map(Some)
+}
+
+/// Serializes a value tree and ships it as one frame.
+pub fn write_value_frame<W: Write + ?Sized>(w: &mut W, v: &Value) -> Result<usize, String> {
+    let payload = serde_json::to_string(v).map_err(|e| format!("frame encode failed: {e}"))?;
+    write_frame(w, &payload).map_err(|e| format!("pipe write failed: {e}"))?;
+    Ok(payload.len())
+}
+
+/// Name of the environment variable that pins the worker binary path
+/// (otherwise discovered next to the current executable).
+pub const WORKER_BIN_ENV: &str = "GRAPE_WORKER_BIN";
+
+/// Fault-injection hook for the kill-mid-superstep tests: when set to `n`,
+/// a worker exits hard (no reply, no cleanup) after serving `n` evaluation
+/// requests.
+pub const WORKER_CRASH_ENV: &str = "GRAPE_WORKER_CRASH_AFTER";
+
+/// Locates the `grape-worker` binary: the [`WORKER_BIN_ENV`] override
+/// first, then siblings of the current executable (covering both
+/// `target/<profile>/` for binaries and `target/<profile>/deps/` for test
+/// executables).  `None` when no candidate exists — the caller decides
+/// whether that is an error (engine) or a reason to skip (tests on a cold
+/// build tree that never compiled the daemon crate).
+pub fn locate_worker_binary() -> Option<PathBuf> {
+    if let Ok(p) = std::env::var(WORKER_BIN_ENV) {
+        if !p.is_empty() {
+            let p = PathBuf::from(p);
+            return p.is_file().then_some(p);
+        }
+    }
+    let name = format!("grape-worker{}", std::env::consts::EXE_SUFFIX);
+    let exe = std::env::current_exe().ok()?;
+    let mut dir = exe.parent();
+    while let Some(d) = dir {
+        let candidate = d.join(&name);
+        if candidate.is_file() {
+            return Some(candidate);
+        }
+        if d.file_name().is_some_and(|n| n == "target") {
+            break;
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+fn get<'v>(v: &'v Value, name: &str) -> Result<&'v Value, String> {
+    v.get_field(name)
+        .ok_or_else(|| format!("request is missing field `{name}`"))
+}
+
+fn reply_ok(fields: Vec<(String, Value)>) -> Value {
+    let mut map = vec![("ok".to_string(), Value::Bool(true))];
+    map.extend(fields);
+    Value::Map(map)
+}
+
+fn reply_err(msg: &str) -> Value {
+    Value::Map(vec![
+        ("ok".to_string(), Value::Bool(false)),
+        ("error".to_string(), Value::Str(msg.to_string())),
+    ])
+}
+
+/// The worker side of the pipe protocol: serves one program's evaluation
+/// requests until `exit` or end of stream.  `init` is the already-read
+/// handshake frame (the caller peeks at its `program` field to pick `P`).
+///
+/// Request-level failures (unknown fragment, codec mismatch, IncEval before
+/// PEval) are answered with `{"ok": false}` and the loop keeps serving —
+/// the parent turns them into [`crate::engine::EngineError::Worker`] and
+/// tears the child down.  Only transport-level failures (broken pipe,
+/// malformed frame) abort the loop.
+pub fn serve_program<P: PieProgram>(
+    program: &P,
+    init: &Value,
+    input: &mut dyn BufRead,
+    output: &mut dyn Write,
+) -> Result<(), String> {
+    let codec = program
+        .process_codec()
+        .ok_or_else(|| format!("program `{}` has no process codec", program.name()))?;
+
+    // Handshake: query, owned fragments, optional retained partials.
+    let query = codec
+        .decode_query(get(init, "query")?)
+        .map_err(|e| format!("handshake query: {e}"))?;
+    let mut order: Vec<usize> = Vec::new();
+    let mut fragments: HashMap<usize, Fragment> = HashMap::new();
+    let mut partials: HashMap<usize, Option<P::Partial>> = HashMap::new();
+    match get(init, "fragments")? {
+        Value::Seq(entries) => {
+            for entry in entries {
+                let id = usize::from_value(get(entry, "id")?)
+                    .map_err(|e| format!("fragment id: {e}"))?;
+                let frag = fragment_from_value(get(entry, "frag")?)
+                    .map_err(|e| format!("fragment {id}: {e}"))?;
+                order.push(id);
+                fragments.insert(id, frag);
+                partials.insert(id, None);
+            }
+        }
+        _ => return Err("handshake `fragments` is not a sequence".to_string()),
+    }
+    if let Some(Value::Seq(entries)) = init.get_field("partials") {
+        for entry in entries {
+            let id =
+                usize::from_value(get(entry, "id")?).map_err(|e| format!("partial id: {e}"))?;
+            if !fragments.contains_key(&id) {
+                return Err(format!("handshake partial for unowned fragment {id}"));
+            }
+            let p = codec
+                .decode_partial(get(entry, "partial")?)
+                .map_err(|e| format!("partial {id}: {e}"))?;
+            partials.insert(id, Some(p));
+        }
+    }
+    write_value_frame(output, &reply_ok(Vec::new()))?;
+
+    let crash_after: Option<usize> = std::env::var(WORKER_CRASH_ENV)
+        .ok()
+        .and_then(|v| v.parse().ok());
+    let mut evals_served = 0usize;
+    let aggregate = |k: &P::Key, a: P::Value, b: P::Value| program.aggregate(k, a, b);
+
+    loop {
+        let Some(payload) = read_frame(input)? else {
+            return Ok(()); // parent closed the pipe: orderly shutdown
+        };
+        let request: Value =
+            serde_json::from_str(&payload).map_err(|e| format!("malformed request: {e}"))?;
+        let op = request
+            .get_field("op")
+            .and_then(Value::as_str)
+            .unwrap_or("")
+            .to_string();
+
+        let reply = match op.as_str() {
+            "peval" | "inceval" => {
+                if let Some(n) = crash_after {
+                    if evals_served >= n {
+                        std::process::exit(3); // fault injection: die mid-superstep
+                    }
+                }
+                evals_served += 1;
+                (|| -> Result<Value, String> {
+                    let fi =
+                        usize::from_value(get(&request, "fragment")?).map_err(|e| e.to_string())?;
+                    let frag = fragments
+                        .get(&fi)
+                        .ok_or_else(|| format!("fragment {fi} is not owned by this worker"))?;
+                    let mut msgs = Messages::with_aggregator(&aggregate);
+                    if op == "peval" {
+                        let partial = program.peval(&query, frag, &mut msgs);
+                        partials.insert(fi, Some(partial));
+                    } else {
+                        let mut updates = Vec::new();
+                        match get(&request, "updates")? {
+                            Value::Seq(entries) => {
+                                for entry in entries {
+                                    updates.push(
+                                        codec.decode_message(entry).map_err(|e| e.to_string())?,
+                                    );
+                                }
+                            }
+                            _ => return Err("`updates` is not a sequence".to_string()),
+                        }
+                        let partial =
+                            partials
+                                .get_mut(&fi)
+                                .and_then(Option::as_mut)
+                                .ok_or_else(|| {
+                                    format!("IncEval before PEval: fragment {fi} has no partial")
+                                })?;
+                        program.inc_eval(&query, frag, partial, &updates, &mut msgs);
+                    }
+                    let encoded: Vec<Value> = msgs
+                        .take()
+                        .iter()
+                        .map(|(k, v)| codec.encode_message(k, v))
+                        .collect();
+                    Ok(reply_ok(vec![(
+                        "messages".to_string(),
+                        Value::Seq(encoded),
+                    )]))
+                })()
+                .unwrap_or_else(|e| reply_err(&e))
+            }
+            "get_partials" => {
+                let encoded: Vec<Value> = order
+                    .iter()
+                    .map(|&id| {
+                        let p = match &partials[&id] {
+                            Some(p) => codec.encode_partial(p),
+                            None => Value::Null,
+                        };
+                        Value::Map(vec![
+                            ("id".to_string(), id.to_value()),
+                            ("partial".to_string(), p),
+                        ])
+                    })
+                    .collect();
+                reply_ok(vec![("partials".to_string(), Value::Seq(encoded))])
+            }
+            "set_partials" => (|| -> Result<Value, String> {
+                match get(&request, "partials")? {
+                    Value::Seq(entries) => {
+                        for entry in entries {
+                            let id =
+                                usize::from_value(get(entry, "id")?).map_err(|e| e.to_string())?;
+                            if !fragments.contains_key(&id) {
+                                return Err(format!("fragment {id} is not owned by this worker"));
+                            }
+                            let slot = match get(entry, "partial")? {
+                                Value::Null => None,
+                                v => Some(codec.decode_partial(v).map_err(|e| e.to_string())?),
+                            };
+                            partials.insert(id, slot);
+                        }
+                        Ok(reply_ok(Vec::new()))
+                    }
+                    _ => Err("`partials` is not a sequence".to_string()),
+                }
+            })()
+            .unwrap_or_else(|e| reply_err(&e)),
+            "clear" => {
+                for slot in partials.values_mut() {
+                    *slot = None;
+                }
+                reply_ok(Vec::new())
+            }
+            "exit" => {
+                write_value_frame(output, &reply_ok(Vec::new()))?;
+                return Ok(());
+            }
+            other => reply_err(&format!("unknown op `{other}`")),
+        };
+        write_value_frame(output, &reply)?;
+    }
+}
+
+/// Parent-side helper: the handshake frame [`serve_program`] expects.
+/// `fragments` pairs each shipped fragment with its **global** id;
+/// `partials` (when present) pairs retained partials with their ids.
+pub fn init_frame(
+    program: &str,
+    query: Value,
+    fragments: &[(usize, &Fragment)],
+    partials: Vec<(usize, Value)>,
+) -> Value {
+    let frags: Vec<Value> = fragments
+        .iter()
+        .map(|(id, frag)| {
+            Value::Map(vec![
+                ("id".to_string(), id.to_value()),
+                ("frag".to_string(), fragment_to_value(frag)),
+            ])
+        })
+        .collect();
+    let mut map = vec![
+        ("op".to_string(), Value::Str("init".to_string())),
+        ("program".to_string(), Value::Str(program.to_string())),
+        ("query".to_string(), query),
+        ("fragments".to_string(), Value::Seq(frags)),
+    ];
+    if !partials.is_empty() {
+        let entries: Vec<Value> = partials
+            .into_iter()
+            .map(|(id, p)| {
+                Value::Map(vec![
+                    ("id".to_string(), id.to_value()),
+                    ("partial".to_string(), p),
+                ])
+            })
+            .collect();
+        map.push(("partials".to_string(), Value::Seq(entries)));
+    }
+    Value::Map(map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf: Vec<u8> = Vec::new();
+        write_frame(&mut buf, "hello").unwrap();
+        write_frame(&mut buf, "").unwrap();
+        let mut r = std::io::BufReader::new(&buf[..]);
+        assert_eq!(read_frame(&mut r).unwrap(), Some("hello".to_string()));
+        assert_eq!(read_frame(&mut r).unwrap(), Some(String::new()));
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_and_malformed_frames_are_rejected() {
+        let mut r = std::io::BufReader::new(&b"999999999999\npayload\n"[..]);
+        assert!(read_frame(&mut r).unwrap_err().contains("exceeds cap"));
+        let mut r = std::io::BufReader::new(&b"not-a-length\n"[..]);
+        assert!(read_frame(&mut r)
+            .unwrap_err()
+            .contains("malformed frame length"));
+        let mut r = std::io::BufReader::new(&b"10\nshort\n"[..]);
+        assert!(read_frame(&mut r).unwrap_err().contains("truncated"));
+    }
+
+    #[test]
+    fn init_frame_carries_partials_only_when_present() {
+        let v = init_frame("sssp", Value::Null, &[], Vec::new());
+        assert!(v.get_field("partials").is_none());
+        assert_eq!(v.get_field("program").and_then(Value::as_str), Some("sssp"));
+        let v = init_frame("sssp", Value::Null, &[], vec![(0, Value::UInt(7))]);
+        assert!(v.get_field("partials").is_some());
+    }
+}

@@ -1,0 +1,22 @@
+//! `grape-worker` — one shard of a `TransportSpec::Process` engine run.
+//!
+//! Spawned by the engine (never by hand): the parent pipes an init frame
+//! with the program name, the query and this worker's fragments over
+//! stdin, then drives PEval/IncEval rounds over the same pipe.  Exits 0 on
+//! orderly shutdown (pipe closed or `exit` op), 1 on protocol errors —
+//! the parent surfaces either as an `EngineError::Worker` if the run was
+//! still in flight.
+
+use std::io::{BufReader, BufWriter, Write};
+
+fn main() {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut input = BufReader::new(stdin.lock());
+    let mut output = BufWriter::new(stdout.lock());
+    if let Err(e) = grape_daemon::worker::run(&mut input, &mut output) {
+        eprintln!("grape-worker: {e}");
+        std::process::exit(1);
+    }
+    let _ = output.flush();
+}

@@ -8,7 +8,7 @@
 
 use std::path::PathBuf;
 
-use grape_core::EngineMode;
+use grape_core::{EngineMode, TransportSpec};
 use grape_daemon::server::{DaemonConfig, GrapedHandle, GraphSource};
 use grape_daemon::MockConfig;
 
@@ -22,6 +22,9 @@ OPTIONS:
   --refresh-threads N     concurrent query refreshes per delta (default 2)
   --fragments N           partition fragment count (default 4)
   --mode sync|async       engine mode (default: GRAPE_ENGINE_MODE or sync)
+  --transport NAME        barrier | channel | process (default: the mode's
+                          in-process substrate; process shards fragments
+                          across --workers grape-worker subprocesses)
   --graph SPEC            start graph: grid:WxH[@seed] | path:N (default grid:24x24@7)
   --spill-dir PATH        directory for eviction spill files (default: temp dir)
   --mock                  register a synthetic workload + feed generated deltas
@@ -34,6 +37,7 @@ fn parse_args(args: &[String]) -> Result<DaemonConfig, String> {
     let mut config = DaemonConfig::default();
     let mut mock = MockConfig::default();
     let mut want_mock = false;
+    let mut transport: Option<String> = None;
     let mut i = 0;
     let value = |args: &[String], i: usize, flag: &str| -> Result<String, String> {
         args.get(i + 1)
@@ -71,6 +75,10 @@ fn parse_args(args: &[String]) -> Result<DaemonConfig, String> {
                 };
                 i += 2;
             }
+            "--transport" => {
+                transport = Some(value(args, i, "--transport")?);
+                i += 2;
+            }
             "--graph" => {
                 config.graph = GraphSource::parse(&value(args, i, "--graph")?)?;
                 i += 2;
@@ -105,6 +113,21 @@ fn parse_args(args: &[String]) -> Result<DaemonConfig, String> {
     if want_mock {
         config.mock = Some(mock);
     }
+    // Resolved after the loop so `--transport process` sizes its worker
+    // pool from the final --workers value regardless of flag order.
+    config.transport = match transport.as_deref() {
+        None => None,
+        Some("barrier") => Some(TransportSpec::Barrier),
+        Some("channel") => Some(TransportSpec::Channel),
+        Some("process") => Some(TransportSpec::Process {
+            workers: config.workers,
+        }),
+        Some(other) => {
+            return Err(format!(
+                "unknown transport {other:?} (expected barrier|channel|process)"
+            ))
+        }
+    };
     Ok(config)
 }
 
@@ -131,4 +154,32 @@ fn main() {
         if mock { " (mock workload running)" } else { "" }
     );
     handle.wait();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<DaemonConfig, String> {
+        parse_args(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn transport_flag_resolves_against_the_final_worker_count() {
+        let config = parse(&[]).unwrap();
+        assert_eq!(config.transport, None, "default: the mode's own substrate");
+        let config = parse(&["--transport", "barrier"]).unwrap();
+        assert_eq!(config.transport, Some(TransportSpec::Barrier));
+        let config = parse(&["--transport", "channel"]).unwrap();
+        assert_eq!(config.transport, Some(TransportSpec::Channel));
+        // Flag order must not matter: the process pool is sized from the
+        // final --workers value even when --transport comes first.
+        let config = parse(&["--transport", "process", "--workers", "3"]).unwrap();
+        assert_eq!(
+            config.transport,
+            Some(TransportSpec::Process { workers: 3 })
+        );
+        let err = parse(&["--transport", "carrier-pigeon"]).unwrap_err();
+        assert!(err.contains("unknown transport"), "got: {err}");
+    }
 }

@@ -20,6 +20,9 @@
 //! * [`mock`] — `graped --mock`: a synthetic grid workload with standing
 //!   SSSP/CC queries and a generated insert-only delta stream, for demos
 //!   and e2e tests,
+//! * [`worker`] — the `grape-worker` subprocess body: the program registry
+//!   behind `TransportSpec::Process` (the engine ships fragments to these
+//!   workers over stdin/stdout pipes),
 //! * [`cli`] / [`mod@format`] — `grapectl` argument parsing and `text`/`json`
 //!   rendering.
 //!
@@ -33,6 +36,7 @@ pub mod format;
 pub mod mock;
 pub mod protocol;
 pub mod server;
+pub mod worker;
 
 pub use client::{ClientError, GrapeClient};
 pub use mock::MockConfig;

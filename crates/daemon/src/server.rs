@@ -38,6 +38,7 @@ use grape_core::config::EngineMode;
 use grape_core::serve::{GrapeServer, QueryHandle, ServeError, SubscriptionId};
 use grape_core::session::GrapeSession;
 use grape_core::spec::QuerySpec;
+use grape_core::transport::TransportSpec;
 use grape_graph::generators;
 use grape_graph::graph::Graph;
 use grape_partition::metis_like::MetisLike;
@@ -135,6 +136,10 @@ pub struct DaemonConfig {
     pub fragments: usize,
     /// Engine mode (defaults to `GRAPE_ENGINE_MODE`).
     pub mode: EngineMode,
+    /// Message transport; `None` picks the mode's natural in-process
+    /// substrate.  `TransportSpec::Process` shards the fragments across
+    /// `grape-worker` subprocesses.
+    pub transport: Option<TransportSpec>,
     /// The start graph.
     pub graph: GraphSource,
     /// Explicit spill directory for evicted queries (temp dir otherwise).
@@ -152,6 +157,7 @@ impl Default for DaemonConfig {
             refresh_threads: 2,
             fragments: 4,
             mode: EngineMode::default_from_env(),
+            transport: None,
             graph: GraphSource::Grid {
                 width: 24,
                 height: 24,
@@ -607,10 +613,14 @@ impl GrapedHandle {
         let fragmentation = MetisLike::new(config.fragments)
             .partition(&graph)
             .map_err(|e| DaemonError::Partition(e.to_string()))?;
-        let session = GrapeSession::builder()
+        let mut builder = GrapeSession::builder()
             .workers(config.workers)
             .mode(config.mode)
-            .refresh_threads(config.refresh_threads)
+            .refresh_threads(config.refresh_threads);
+        if let Some(transport) = config.transport {
+            builder = builder.transport(transport);
+        }
+        let session = builder
             .build()
             .map_err(|e| DaemonError::Partition(e.to_string()))?;
         let server = match &config.spill_dir {

@@ -1,0 +1,90 @@
+//! The `grape-worker` subprocess body: the program registry behind the
+//! [`grape_core::transport::TransportSpec::Process`] transport.
+//!
+//! The engine side ([`grape_core::worker_proto`]) is program-generic — it
+//! ships the program's *name* in the init frame and leaves instantiation to
+//! the worker binary.  This module owns that dispatch: it maps the wire
+//! name to a concrete PIE program from `grape-algorithms` and hands the
+//! pipe to [`grape_core::worker_proto::serve_program`], which runs
+//! PEval/IncEval against the fragments this worker owns until the parent
+//! closes the pipe.
+
+use std::io::{BufRead, Write};
+
+use grape_algorithms::{Cc, Cf, Sim, Sssp, SubIso};
+use grape_core::worker_proto::{read_frame, serve_program};
+use serde::Value;
+
+/// Wire names this worker can serve, in registry order.
+pub const KNOWN_PROGRAMS: &[&str] = &["sssp", "cc", "sim", "sim-optimized", "subiso", "cf"];
+
+/// Reads the init handshake from `input`, instantiates the named program
+/// and serves evaluation requests until end of stream.
+///
+/// Errors are transport-level (malformed handshake, unknown program,
+/// broken pipe); the caller should print them to stderr and exit non-zero
+/// so the parent engine sees the dead pipe and fails the run.
+pub fn run(input: &mut dyn BufRead, output: &mut dyn Write) -> Result<(), String> {
+    let Some(payload) = read_frame(input)? else {
+        return Ok(()); // parent died before the handshake: nothing to do
+    };
+    let init: Value =
+        serde_json::from_str(&payload).map_err(|e| format!("malformed init frame: {e}"))?;
+    let name = init
+        .get_field("program")
+        .and_then(Value::as_str)
+        .ok_or_else(|| "init frame is missing field `program`".to_string())?;
+    match name {
+        "sssp" => serve_program(&Sssp, &init, input, output),
+        "cc" => serve_program(&Cc, &init, input, output),
+        "sim" => serve_program(&Sim::new(), &init, input, output),
+        "sim-optimized" => serve_program(&Sim::with_index(), &init, input, output),
+        "subiso" => serve_program(&SubIso, &init, input, output),
+        "cf" => serve_program(&Cf, &init, input, output),
+        other => Err(format!(
+            "unknown program {other:?} (this worker serves: {})",
+            KNOWN_PROGRAMS.join(", ")
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::io::BufReader;
+
+    use grape_core::worker_proto::write_value_frame;
+
+    use super::*;
+
+    fn run_over(frames: &[Value]) -> Result<Vec<u8>, String> {
+        let mut wire = Vec::new();
+        for frame in frames {
+            write_value_frame(&mut wire, frame).unwrap();
+        }
+        let mut input = BufReader::new(&wire[..]);
+        let mut output = Vec::new();
+        run(&mut input, &mut output).map(|()| output)
+    }
+
+    #[test]
+    fn empty_stream_is_an_orderly_shutdown() {
+        assert!(run_over(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn unknown_program_is_rejected() {
+        let init = Value::Map(vec![(
+            "program".to_string(),
+            Value::Str("pagerank".to_string()),
+        )]);
+        let err = run_over(&[init]).unwrap_err();
+        assert!(err.contains("unknown program"), "{err}");
+        assert!(err.contains("sssp"), "{err}");
+    }
+
+    #[test]
+    fn missing_program_field_is_rejected() {
+        let err = run_over(&[Value::Map(Vec::new())]).unwrap_err();
+        assert!(err.contains("missing field `program`"), "{err}");
+    }
+}

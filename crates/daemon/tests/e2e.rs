@@ -505,3 +505,83 @@ fn protocol_errors_are_replies_not_disconnects() {
     client.shutdown().expect("shutdown");
     handle.wait();
 }
+
+/// Live `grape-worker` children of this process, via /proc (Linux CI;
+/// elsewhere the scan degrades to "none found").
+fn worker_children() -> Vec<u32> {
+    let me = std::process::id();
+    let mut found = Vec::new();
+    let Ok(entries) = std::fs::read_dir("/proc") else {
+        return found;
+    };
+    for e in entries.flatten() {
+        let name = e.file_name();
+        let Some(pid) = name.to_str().and_then(|s| s.parse::<u32>().ok()) else {
+            continue;
+        };
+        let Ok(stat) = std::fs::read_to_string(format!("/proc/{pid}/stat")) else {
+            continue;
+        };
+        let (Some(open), Some(close)) = (stat.find('('), stat.rfind(')')) else {
+            continue;
+        };
+        let comm = &stat[open + 1..close];
+        let ppid: u32 = stat[close + 1..]
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        if comm == "grape-worker" && ppid == me {
+            found.push(pid);
+        }
+    }
+    found
+}
+
+/// The serving stack on subprocess shards (`graped --transport process`):
+/// wire answers match a default-transport daemon byte-for-byte through a
+/// register → apply → output lifecycle, and shutting the daemon down
+/// leaves no orphaned `grape-worker` processes behind.
+#[test]
+fn process_transport_daemon_serves_and_reaps_its_workers() {
+    if grape_core::worker_proto::locate_worker_binary().is_none() {
+        eprintln!(
+            "skipping process-transport daemon e2e: grape-worker binary not \
+             built (run `cargo build -p grape-daemon --bins` first)"
+        );
+        return;
+    }
+    let mode = EngineMode::default_from_env();
+    let deltas: Vec<GraphDelta> = (0..3).map(|i| mock_delta(11, BASE_VERTICES, i)).collect();
+
+    let run = |transport: Option<grape_core::TransportSpec>| -> (String, String) {
+        let mut config = daemon_config(mode);
+        config.transport = transport;
+        let handle = GrapedHandle::spawn(config).expect("spawn daemon");
+        let mut client = GrapeClient::connect(handle.addr()).expect("connect");
+        let q_sssp = client
+            .register(QuerySpec::Sssp { source: 0 })
+            .expect("register sssp");
+        let q_cc = client.register(QuerySpec::Cc).expect("register cc");
+        for delta in &deltas {
+            client.apply(delta.clone()).expect("apply");
+        }
+        let sssp = json(&client.output(q_sssp).expect("sssp answer"));
+        let cc = json(&client.output(q_cc).expect("cc answer"));
+        client.shutdown().expect("shutdown");
+        handle.wait();
+        (sssp, cc)
+    };
+
+    let baseline = run(None);
+    let sharded = run(Some(grape_core::TransportSpec::Process { workers: 2 }));
+    assert_eq!(
+        sharded, baseline,
+        "({mode:?}) subprocess-sharded daemon answers diverge from in-process"
+    );
+    assert_eq!(
+        worker_children(),
+        Vec::<u32>::new(),
+        "({mode:?}) daemon shutdown left orphaned grape-worker processes"
+    );
+}

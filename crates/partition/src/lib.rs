@@ -33,6 +33,7 @@ pub mod fragmentation_graph;
 pub mod grid;
 pub mod metis_like;
 pub mod quality;
+pub mod shard;
 pub mod snapshot;
 pub mod strategy;
 pub mod streaming;

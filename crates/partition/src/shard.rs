@@ -1,0 +1,111 @@
+//! Fragment → worker shard assignment for multi-process execution.
+//!
+//! When the engine runs under `TransportSpec::Process { workers }` each OS
+//! worker subprocess *owns* a subset of the fragments: PEval/IncEval run in
+//! the owning process and only messages cross the pipe.  The assignment is
+//! a pure function of `(num_fragments, workers)` so that the parent and any
+//! external observer (bench harness, tests) agree on ownership without a
+//! handshake.
+//!
+//! Fragments are dealt round-robin (`fragment % workers`), which keeps
+//! shard sizes within one of each other for any `m`, and keeps a fragment's
+//! owner stable when `m` grows (appended fragments never reshuffle existing
+//! ones — relevant once deltas can add fragments).
+
+use crate::delta::{DeltaApplication, FragmentDelta};
+
+/// The worker index that owns `fragment` when `workers` subprocesses are
+/// running.  `workers` must be non-zero.
+pub fn owner(fragment: usize, workers: usize) -> usize {
+    assert!(workers > 0, "shard owner with zero workers");
+    fragment % workers
+}
+
+/// Round-robin shard assignment: element `w` lists the fragments owned by
+/// worker `w`, in increasing order.  Every fragment in `0..num_fragments`
+/// appears exactly once across the shards; empty shards are possible only
+/// when `workers > num_fragments`.
+pub fn shard_assignment(num_fragments: usize, workers: usize) -> Vec<Vec<usize>> {
+    assert!(workers > 0, "shard assignment with zero workers");
+    let mut shards = vec![Vec::new(); workers];
+    for fragment in 0..num_fragments {
+        shards[owner(fragment, workers)].push(fragment);
+    }
+    shards
+}
+
+impl DeltaApplication {
+    /// The per-fragment delta restrictions that belong to one worker's
+    /// shard.  This is what crosses the pipe on an incremental refresh:
+    /// each subprocess receives only its own fragments' restrictions, never
+    /// the whole graph or another shard's updates.
+    pub fn restricted_to(&self, shard: &[usize]) -> Vec<&FragmentDelta> {
+        self.affected
+            .iter()
+            .filter(|fd| shard.contains(&fd.fragment))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grape_graph::delta::GraphDelta;
+    use grape_graph::{Directedness, GraphBuilder};
+
+    use crate::edge_cut::HashEdgeCut;
+    use crate::strategy::PartitionStrategy;
+
+    #[test]
+    fn assignment_partitions_fragments_exactly() {
+        for m in 0..10 {
+            for w in 1..6 {
+                let shards = shard_assignment(m, w);
+                assert_eq!(shards.len(), w);
+                let mut seen: Vec<usize> = shards.iter().flatten().copied().collect();
+                seen.sort_unstable();
+                assert_eq!(seen, (0..m).collect::<Vec<_>>(), "m={m} w={w}");
+                for (wi, shard) in shards.iter().enumerate() {
+                    for &f in shard {
+                        assert_eq!(owner(f, w), wi);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shard_sizes_are_balanced() {
+        let shards = shard_assignment(10, 4);
+        let sizes: Vec<usize> = shards.iter().map(Vec::len).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn restricted_to_splits_affected_by_shard() {
+        // A path graph partitioned into 3 fragments; add edges touching
+        // several fragments and check the restrictions split exactly.
+        let mut b = GraphBuilder::new(Directedness::Directed);
+        for v in 0..11u64 {
+            b = b.add_weighted_edge(v, v + 1, 1.0);
+        }
+        let g = b.build();
+        let frags = HashEdgeCut::new(3).partition(&g).expect("partition");
+        let delta = GraphDelta::new()
+            .add_weighted_edge(0, 5, 1.0)
+            .add_weighted_edge(3, 9, 1.0)
+            .add_weighted_edge(7, 2, 1.0);
+        let applied = frags.apply_delta(&delta).expect("apply");
+
+        let shards = shard_assignment(frags.num_fragments(), 2);
+        let total: usize = shards.iter().map(|s| applied.restricted_to(s).len()).sum();
+        assert_eq!(total, applied.affected.len(), "restrictions partition");
+        for (wi, shard) in shards.iter().enumerate() {
+            for fd in applied.restricted_to(shard) {
+                assert_eq!(owner(fd.fragment, 2), wi);
+                assert!(shard.contains(&fd.fragment));
+            }
+        }
+    }
+}

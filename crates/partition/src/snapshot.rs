@@ -90,7 +90,10 @@ impl From<std::io::Error> for SnapshotError {
 }
 
 /// Converts a fragment into its persistable value tree.
-fn fragment_to_value(frag: &Fragment) -> Value {
+///
+/// Public so that transports can ship fragments to worker subprocesses
+/// using the same codec that spill snapshots use.
+pub fn fragment_to_value(frag: &Fragment) -> Value {
     let globals: Vec<VertexId> = frag.all_locals().map(|l| frag.global_of(l)).collect();
     Value::Map(vec![
         ("id".to_string(), (frag.id() as u64).to_value()),
@@ -114,7 +117,7 @@ fn field<'v>(v: &'v Value, name: &str) -> Result<&'v Value, SnapshotError> {
 }
 
 /// Rebuilds a fragment from its value tree, validating the invariants.
-fn fragment_from_value(v: &Value) -> Result<Fragment, SnapshotError> {
+pub fn fragment_from_value(v: &Value) -> Result<Fragment, SnapshotError> {
     let shape = |e: serde::Error| SnapshotError::Malformed(e.to_string());
     let id = u64::from_value(field(v, "id")?).map_err(shape)? as usize;
     let num_inner = u64::from_value(field(v, "num_inner")?).map_err(shape)? as usize;

@@ -158,7 +158,23 @@ macro_rules! float_impls {
     ($($t:ty),*) => {$(
         impl Serialize for $t {
             fn to_value(&self) -> Value {
-                Value::Float(*self as f64)
+                let f = *self as f64;
+                if f.is_finite() {
+                    Value::Float(f)
+                } else {
+                    // JSON has no non-finite numbers (the writer degrades
+                    // `Float(inf)` to `null`), but fixpoint state crosses
+                    // worker pipes as JSON and SSSP-style programs carry
+                    // `f64::INFINITY` in their partials — spell the three
+                    // non-finite values as strings so they round-trip.
+                    Value::Str(if f.is_nan() {
+                        "nan".to_string()
+                    } else if f > 0.0 {
+                        "inf".to_string()
+                    } else {
+                        "-inf".to_string()
+                    })
+                }
             }
         }
         impl Deserialize for $t {
@@ -167,6 +183,12 @@ macro_rules! float_impls {
                     Value::Float(f) => Ok(*f as $t),
                     Value::UInt(n) => Ok(*n as $t),
                     Value::Int(n) => Ok(*n as $t),
+                    Value::Str(s) => match s.as_str() {
+                        "nan" => Ok(<$t>::NAN),
+                        "inf" => Ok(<$t>::INFINITY),
+                        "-inf" => Ok(<$t>::NEG_INFINITY),
+                        _ => Err(Error::custom(concat!("expected number for ", stringify!($t)))),
+                    },
                     _ => Err(Error::custom(concat!("expected number for ", stringify!($t)))),
                 }
             }

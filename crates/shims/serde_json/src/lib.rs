@@ -278,12 +278,25 @@ impl<'a> Parser<'a> {
                     }
                     self.pos += 1;
                 }
+                Some(b) if b < 0x80 => {
+                    // ASCII fast path — without it every character would pay
+                    // a UTF-8 validation of the rest of the input, which is
+                    // quadratic on the megabyte frames the worker pipes ship.
+                    out.push(b as char);
+                    self.pos += 1;
+                }
                 Some(_) => {
-                    // Multi-byte UTF-8 is copied through char-wise.
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest)
-                        .map_err(|_| Error::custom("invalid UTF-8 in string"))?;
-                    let c = s.chars().next().expect("non-empty by peek");
+                    // Multi-byte UTF-8: validate just this scalar (≤ 4 bytes).
+                    let end = (self.pos + 4).min(self.bytes.len());
+                    let rest = &self.bytes[self.pos..end];
+                    let valid = match std::str::from_utf8(rest) {
+                        Ok(s) => s,
+                        Err(e) if e.valid_up_to() > 0 => {
+                            std::str::from_utf8(&rest[..e.valid_up_to()]).expect("validated prefix")
+                        }
+                        Err(_) => return Err(Error::custom("invalid UTF-8 in string")),
+                    };
+                    let c = valid.chars().next().expect("non-empty by valid_up_to");
                     out.push(c);
                     self.pos += c.len_utf8();
                 }

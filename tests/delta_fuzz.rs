@@ -30,6 +30,8 @@ use grape::algorithms::subiso::{SubIso, SubIsoQuery};
 use grape::core::config::EngineMode;
 use grape::core::prepared::RefreshKind;
 use grape::core::session::GrapeSession;
+use grape::core::transport::TransportSpec;
+use grape::core::worker_proto::locate_worker_binary;
 use grape::graph::builder::GraphBuilder;
 use grape::graph::delta::GraphDelta;
 use grape::graph::graph::{Directedness, Graph};
@@ -64,11 +66,21 @@ const NIGHTLY: Profile = Profile {
 };
 
 fn session(workers: usize, mode: EngineMode) -> GrapeSession {
-    GrapeSession::builder()
-        .workers(workers)
-        .mode(mode)
-        .build()
-        .unwrap()
+    session_over(workers, mode, None)
+}
+
+/// Same, with an explicit transport (`None` keeps the mode's default
+/// in-process substrate) — the axis the Process-transport fuzz rides.
+fn session_over(
+    workers: usize,
+    mode: EngineMode,
+    transport: Option<TransportSpec>,
+) -> GrapeSession {
+    let mut b = GrapeSession::builder().workers(workers).mode(mode);
+    if let Some(spec) = transport {
+        b = b.transport(spec);
+    }
+    b.build().unwrap()
 }
 
 /// A random directed weighted labeled graph (same generator family as
@@ -159,7 +171,12 @@ fn check_report(report: &grape::core::prepared::UpdateReport, m: usize, tag: &st
     }
 }
 
-fn fuzz_sssp(profile: &Profile, mode: EngineMode, seed_base: u64) {
+fn fuzz_sssp(
+    profile: &Profile,
+    mode: EngineMode,
+    transport: Option<TransportSpec>,
+    seed_base: u64,
+) {
     for case in 0..profile.cases {
         let mut rng = StdRng::seed_from_u64(seed_base + case);
         let graph = arb_graph(&mut rng, profile.max_n, profile.max_m, 0);
@@ -168,7 +185,7 @@ fn fuzz_sssp(profile: &Profile, mode: EngineMode, seed_base: u64) {
         let source = rng.gen_range(0u64..graph.num_vertices() as u64);
 
         let frag = HashEdgeCut::new(fragments).partition(&graph).unwrap();
-        let s = session(workers, mode);
+        let s = session_over(workers, mode, transport);
         let mut prepared = s.prepare(frag, Sssp, SsspQuery::new(source)).unwrap();
 
         for round in 0..profile.rounds {
@@ -197,7 +214,7 @@ fn fuzz_sssp(profile: &Profile, mode: EngineMode, seed_base: u64) {
     }
 }
 
-fn fuzz_cc(profile: &Profile, mode: EngineMode, seed_base: u64) {
+fn fuzz_cc(profile: &Profile, mode: EngineMode, transport: Option<TransportSpec>, seed_base: u64) {
     for case in 0..profile.cases {
         let mut rng = StdRng::seed_from_u64(seed_base + case);
         let graph = arb_graph(&mut rng, profile.max_n, profile.max_m, 0).to_undirected();
@@ -205,7 +222,7 @@ fn fuzz_cc(profile: &Profile, mode: EngineMode, seed_base: u64) {
         let workers = rng.gen_range(1usize..4);
 
         let frag = HashEdgeCut::new(fragments).partition(&graph).unwrap();
-        let s = session(workers, mode);
+        let s = session_over(workers, mode, transport);
         let mut prepared = s.prepare(frag, Cc, CcQuery).unwrap();
 
         for round in 0..profile.rounds {
@@ -229,7 +246,7 @@ fn fuzz_cc(profile: &Profile, mode: EngineMode, seed_base: u64) {
     }
 }
 
-fn fuzz_sim(profile: &Profile, mode: EngineMode, seed_base: u64) {
+fn fuzz_sim(profile: &Profile, mode: EngineMode, transport: Option<TransportSpec>, seed_base: u64) {
     for case in 0..profile.cases {
         let mut rng = StdRng::seed_from_u64(seed_base + case);
         let graph = arb_graph(&mut rng, profile.max_n, profile.max_m, 4);
@@ -238,7 +255,7 @@ fn fuzz_sim(profile: &Profile, mode: EngineMode, seed_base: u64) {
         let pattern = Pattern::random(3, 4, &[1, 2, 3, 4], rng.gen_range(0u64..500));
 
         let frag = HashEdgeCut::new(fragments).partition(&graph).unwrap();
-        let s = session(workers, mode);
+        let s = session_over(workers, mode, transport);
         let query = SimQuery::new(pattern.clone());
         let mut prepared = s.prepare(frag, Sim::new(), query.clone()).unwrap();
 
@@ -262,7 +279,12 @@ fn fuzz_sim(profile: &Profile, mode: EngineMode, seed_base: u64) {
     }
 }
 
-fn fuzz_subiso(profile: &Profile, mode: EngineMode, seed_base: u64) {
+fn fuzz_subiso(
+    profile: &Profile,
+    mode: EngineMode,
+    transport: Option<TransportSpec>,
+    seed_base: u64,
+) {
     // SubIso is NP-hard: keep the graphs a notch smaller than the profile.
     let max_n = profile.max_n.min(80);
     let max_m = profile.max_m.min(260);
@@ -274,7 +296,7 @@ fn fuzz_subiso(profile: &Profile, mode: EngineMode, seed_base: u64) {
         let pattern = Pattern::random(2, 2, &[1, 2, 3], rng.gen_range(0u64..500));
 
         let frag = HashEdgeCut::new(fragments).partition(&graph).unwrap();
-        let s = session(workers, mode);
+        let s = session_over(workers, mode, transport);
         let query = SubIsoQuery::new(pattern.clone());
         let mut prepared = s.prepare(frag, SubIso, query.clone()).unwrap();
 
@@ -319,7 +341,7 @@ fn arb_rating_blocks(rng: &mut StdRng, blocks: usize) -> (Graph, Vec<(u64, u64)>
     (b.build(), ranges)
 }
 
-fn fuzz_cf(profile: &Profile, mode: EngineMode, seed_base: u64) {
+fn fuzz_cf(profile: &Profile, mode: EngineMode, transport: Option<TransportSpec>, seed_base: u64) {
     // CF's SGD is trajectory-dependent: the engine is deterministic under
     // Sync for any worker count, and under Async only for a single worker
     // (one drain order); the fuzz compares exact factor maps, so it pins
@@ -333,7 +355,7 @@ fn fuzz_cf(profile: &Profile, mode: EngineMode, seed_base: u64) {
         let (graph, ranges) = arb_rating_blocks(&mut rng, 3);
         let fragments = rng.gen_range(3usize..6);
         let frag = RangeEdgeCut::new(fragments).partition(&graph).unwrap();
-        let s = session(workers, mode);
+        let s = session_over(workers, mode, transport);
         let query = CfQuery {
             epochs: 3,
             num_factors: 4,
@@ -376,35 +398,35 @@ fn fuzz_cf(profile: &Profile, mode: EngineMode, seed_base: u64) {
 #[test]
 fn sssp_mixed_delta_fuzz_matches_recompute_in_both_modes() {
     for mode in MODES {
-        fuzz_sssp(&TIER1, mode, 0xF0_0100);
+        fuzz_sssp(&TIER1, mode, None, 0xF0_0100);
     }
 }
 
 #[test]
 fn cc_mixed_delta_fuzz_matches_recompute_in_both_modes() {
     for mode in MODES {
-        fuzz_cc(&TIER1, mode, 0xF0_0200);
+        fuzz_cc(&TIER1, mode, None, 0xF0_0200);
     }
 }
 
 #[test]
 fn sim_mixed_delta_fuzz_matches_recompute_in_both_modes() {
     for mode in MODES {
-        fuzz_sim(&TIER1, mode, 0xF0_0300);
+        fuzz_sim(&TIER1, mode, None, 0xF0_0300);
     }
 }
 
 #[test]
 fn subiso_mixed_delta_fuzz_matches_recompute_in_both_modes() {
     for mode in MODES {
-        fuzz_subiso(&TIER1, mode, 0xF0_0400);
+        fuzz_subiso(&TIER1, mode, None, 0xF0_0400);
     }
 }
 
 #[test]
 fn cf_rating_delta_fuzz_matches_recompute_in_both_modes() {
     for mode in MODES {
-        fuzz_cf(&TIER1, mode, 0xF0_0500);
+        fuzz_cf(&TIER1, mode, None, 0xF0_0500);
     }
 }
 
@@ -508,6 +530,65 @@ fn localized_nonmonotone_damage_keeps_peval_below_fragment_count() {
 }
 
 // ---------------------------------------------------------------------------
+// Process-transport axis: the same harness with fragments sharded across
+// grape-worker subprocesses.  Every prepare *and* every refresh spawns a
+// worker pool, so the tier-1 profile is deliberately small; the full
+// five-family sweep is `#[ignore]`-gated into the nightly budget.
+// ---------------------------------------------------------------------------
+
+/// Reduced-seed profile for the subprocess axis (spawn cost per update).
+const PROCESS_TIER1: Profile = Profile {
+    cases: 2,
+    rounds: 2,
+    max_n: 30,
+    max_m: 100,
+};
+
+const PROCESS_SPEC: Option<TransportSpec> = Some(TransportSpec::Process { workers: 2 });
+
+/// `true` when the grape-worker binary is discoverable; a workspace
+/// `cargo test` always builds it, but a bare `cargo test --test delta_fuzz`
+/// on a cold tree may not — skip loudly rather than fail.
+fn process_axis_available() -> bool {
+    if locate_worker_binary().is_some() {
+        true
+    } else {
+        eprintln!(
+            "skipping Process-transport fuzz: grape-worker binary not built \
+             (run `cargo build -p grape-daemon --bins` first)"
+        );
+        false
+    }
+}
+
+#[test]
+fn process_transport_delta_fuzz_matches_recompute_in_both_modes() {
+    if !process_axis_available() {
+        return;
+    }
+    for mode in MODES {
+        fuzz_sssp(&PROCESS_TIER1, mode, PROCESS_SPEC, 0xF2_0100);
+        fuzz_cc(&PROCESS_TIER1, mode, PROCESS_SPEC, 0xF2_0200);
+        fuzz_sim(&PROCESS_TIER1, mode, PROCESS_SPEC, 0xF2_0300);
+    }
+}
+
+#[test]
+#[ignore = "nightly long-fuzz profile"]
+fn long_fuzz_process_transport_all_families() {
+    if !process_axis_available() {
+        return;
+    }
+    for mode in MODES {
+        fuzz_sssp(&TIER1, mode, PROCESS_SPEC, 0xF2_1100);
+        fuzz_cc(&TIER1, mode, PROCESS_SPEC, 0xF2_1200);
+        fuzz_sim(&TIER1, mode, PROCESS_SPEC, 0xF2_1300);
+        fuzz_subiso(&TIER1, mode, PROCESS_SPEC, 0xF2_1400);
+        fuzz_cf(&TIER1, mode, PROCESS_SPEC, 0xF2_1500);
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Nightly long-fuzz profile (more seeds, larger graphs) — `#[ignore]`-gated,
 // run by the scheduled CI job: `cargo test --release --test delta_fuzz --
 // --ignored`.
@@ -517,7 +598,7 @@ fn localized_nonmonotone_damage_keeps_peval_below_fragment_count() {
 #[ignore = "nightly long-fuzz profile"]
 fn long_fuzz_sssp() {
     for mode in MODES {
-        fuzz_sssp(&NIGHTLY, mode, 0xF1_0100);
+        fuzz_sssp(&NIGHTLY, mode, None, 0xF1_0100);
     }
 }
 
@@ -525,7 +606,7 @@ fn long_fuzz_sssp() {
 #[ignore = "nightly long-fuzz profile"]
 fn long_fuzz_cc() {
     for mode in MODES {
-        fuzz_cc(&NIGHTLY, mode, 0xF1_0200);
+        fuzz_cc(&NIGHTLY, mode, None, 0xF1_0200);
     }
 }
 
@@ -533,7 +614,7 @@ fn long_fuzz_cc() {
 #[ignore = "nightly long-fuzz profile"]
 fn long_fuzz_sim() {
     for mode in MODES {
-        fuzz_sim(&NIGHTLY, mode, 0xF1_0300);
+        fuzz_sim(&NIGHTLY, mode, None, 0xF1_0300);
     }
 }
 
@@ -541,7 +622,7 @@ fn long_fuzz_sim() {
 #[ignore = "nightly long-fuzz profile"]
 fn long_fuzz_subiso() {
     for mode in MODES {
-        fuzz_subiso(&NIGHTLY, mode, 0xF1_0400);
+        fuzz_subiso(&NIGHTLY, mode, None, 0xF1_0400);
     }
 }
 
@@ -549,6 +630,6 @@ fn long_fuzz_subiso() {
 #[ignore = "nightly long-fuzz profile"]
 fn long_fuzz_cf() {
     for mode in MODES {
-        fuzz_cf(&NIGHTLY, mode, 0xF1_0500);
+        fuzz_cf(&NIGHTLY, mode, None, 0xF1_0500);
     }
 }

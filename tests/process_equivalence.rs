@@ -1,0 +1,357 @@
+//! Location transparency of the Process transport: the answer to a query
+//! must be **byte-identical** whether fragments are evaluated in-process
+//! (`TransportSpec::Barrier` / `TransportSpec::Channel`) or sharded across
+//! `grape-worker` subprocesses (`TransportSpec::Process`), in both engine
+//! modes — for all five PIE families and including the prepare → update
+//! incremental path.
+//!
+//! Byte equality goes through [`DeltaOutput::canonical`] (the key-sorted
+//! bijective row form every family implements) serialized with the same
+//! JSON codec the pipes use, so a float that survives the wire differently
+//! would be caught here.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use grape::algorithms::cc::{Cc, CcQuery};
+use grape::algorithms::cf::{Cf, CfQuery};
+use grape::algorithms::sim::{Sim, SimQuery};
+use grape::algorithms::sssp::{Sssp, SsspQuery};
+use grape::algorithms::subiso::{SubIso, SubIsoQuery};
+use grape::core::config::EngineMode;
+use grape::core::output_delta::DeltaOutput;
+use grape::core::session::GrapeSession;
+use grape::core::transport::TransportSpec;
+use grape::core::worker_proto::locate_worker_binary;
+use grape::graph::builder::GraphBuilder;
+use grape::graph::delta::GraphDelta;
+use grape::graph::graph::{Directedness, Graph};
+use grape::graph::pattern::Pattern;
+use grape::graph::types::Edge;
+use grape::partition::edge_cut::HashEdgeCut;
+use grape::partition::strategy::PartitionStrategy;
+
+/// Every transport legal under `mode` (Async rejects the barrier).
+fn specs(mode: EngineMode) -> Vec<TransportSpec> {
+    match mode {
+        EngineMode::Sync => vec![
+            TransportSpec::Barrier,
+            TransportSpec::Channel,
+            TransportSpec::Process { workers: 2 },
+        ],
+        EngineMode::Async => vec![
+            TransportSpec::Channel,
+            TransportSpec::Process { workers: 2 },
+        ],
+    }
+}
+
+fn session(workers: usize, mode: EngineMode, spec: TransportSpec) -> GrapeSession {
+    GrapeSession::builder()
+        .workers(workers)
+        .mode(mode)
+        .transport(spec)
+        .build()
+        .unwrap()
+}
+
+/// Skip loudly when the worker binary is missing (a workspace `cargo test`
+/// always builds it; a bare `cargo test --test process_equivalence` on a
+/// cold tree may not).
+fn worker_available() -> bool {
+    if locate_worker_binary().is_some() {
+        true
+    } else {
+        eprintln!(
+            "skipping Process-transport equivalence: grape-worker binary not \
+             built (run `cargo build -p grape-daemon --bins` first)"
+        );
+        false
+    }
+}
+
+/// The canonical byte form of an assembled answer.
+fn canon<P: DeltaOutput>(program: &P, query: &P::Query, output: &P::Output) -> String {
+    serde_json::to_string(&program.canonical(query, output)).unwrap()
+}
+
+/// Runs `query` under every transport legal in `mode` and asserts the
+/// canonical answers are byte-equal.
+fn assert_batch_equivalent<P, F>(
+    make: F,
+    query: &P::Query,
+    graph: &Graph,
+    fragments: usize,
+    mode: EngineMode,
+    tag: &str,
+) where
+    P: DeltaOutput,
+    F: Fn() -> P,
+{
+    let mut baseline: Option<(String, String)> = None;
+    for spec in specs(mode) {
+        let frag = HashEdgeCut::new(fragments).partition(graph).unwrap();
+        let program = make();
+        let run = session(2, mode, spec).run(&frag, &program, query).unwrap();
+        let bytes = canon(&program, query, &run.output);
+        match &baseline {
+            None => baseline = Some((spec.name().to_string(), bytes)),
+            Some((base_name, base_bytes)) => assert_eq!(
+                &bytes,
+                base_bytes,
+                "{tag} ({mode:?}): transport {} diverges from {base_name}",
+                spec.name()
+            ),
+        }
+    }
+}
+
+/// Same deterministic graph family as the other equivalence suites.
+fn arb_graph(rng: &mut StdRng, max_n: u64, max_m: usize, labels: u32) -> Graph {
+    let n = rng.gen_range(6..max_n);
+    let m = rng.gen_range(4..max_m);
+    let mut b = GraphBuilder::new(Directedness::Directed).ensure_vertices(n as usize);
+    for _ in 0..m {
+        let s = rng.gen_range(0..n);
+        let d = rng.gen_range(0..n);
+        if s != d {
+            let w = rng.gen_range(1u32..10u32);
+            b.push_edge(Edge::weighted(s, d, w as f64));
+        }
+    }
+    if labels > 0 {
+        for v in 0..n {
+            b.push_vertex_label(v, (v as u32 % labels) + 1);
+        }
+    }
+    b.build()
+}
+
+const MODES: [EngineMode; 2] = [EngineMode::Sync, EngineMode::Async];
+const CASES: u64 = 3;
+
+#[test]
+fn sssp_answers_are_byte_equal_across_transports() {
+    if !worker_available() {
+        return;
+    }
+    for mode in MODES {
+        for case in 0..CASES {
+            let mut rng = StdRng::seed_from_u64(0x9C_0100 + case);
+            let graph = arb_graph(&mut rng, 50, 180, 0);
+            let source = rng.gen_range(0u64..graph.num_vertices() as u64);
+            let query = SsspQuery::new(source);
+            assert_batch_equivalent(
+                || Sssp,
+                &query,
+                &graph,
+                4,
+                mode,
+                &format!("sssp case {case}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn cc_answers_are_byte_equal_across_transports() {
+    if !worker_available() {
+        return;
+    }
+    for mode in MODES {
+        for case in 0..CASES {
+            let mut rng = StdRng::seed_from_u64(0x9C_0200 + case);
+            let graph = arb_graph(&mut rng, 50, 160, 0).to_undirected();
+            assert_batch_equivalent(|| Cc, &CcQuery, &graph, 4, mode, &format!("cc case {case}"));
+        }
+    }
+}
+
+#[test]
+fn sim_answers_are_byte_equal_across_transports() {
+    if !worker_available() {
+        return;
+    }
+    for mode in MODES {
+        for case in 0..CASES {
+            let mut rng = StdRng::seed_from_u64(0x9C_0300 + case);
+            let graph = arb_graph(&mut rng, 50, 160, 4);
+            let pattern = Pattern::random(3, 4, &[1, 2, 3, 4], rng.gen_range(0u64..500));
+            let query = SimQuery::new(pattern);
+            // Both the naive and the index-optimized variants cross the pipe.
+            assert_batch_equivalent(
+                Sim::new,
+                &query,
+                &graph,
+                3,
+                mode,
+                &format!("sim case {case}"),
+            );
+            assert_batch_equivalent(
+                Sim::with_index,
+                &query,
+                &graph,
+                3,
+                mode,
+                &format!("sim-optimized case {case}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn subiso_answers_are_byte_equal_across_transports() {
+    if !worker_available() {
+        return;
+    }
+    for mode in MODES {
+        for case in 0..CASES {
+            let mut rng = StdRng::seed_from_u64(0x9C_0400 + case);
+            let graph = arb_graph(&mut rng, 40, 120, 3);
+            let pattern = Pattern::random(2, 2, &[1, 2, 3], rng.gen_range(0u64..500));
+            let query = SubIsoQuery::new(pattern);
+            assert_batch_equivalent(
+                || SubIso,
+                &query,
+                &graph,
+                3,
+                mode,
+                &format!("subiso case {case}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn cf_answers_are_byte_equal_across_transports() {
+    if !worker_available() {
+        return;
+    }
+    // CF's SGD trajectory is deterministic under Sync for any worker count
+    // and under Async only for a single engine worker (one drain order) —
+    // the same pinning the delta fuzz uses.  Unlike the fixpoint families,
+    // the trajectory is *not* transport-invariant: barrier and channel
+    // bucket border messages into supersteps differently, which reorders
+    // the SGD updates.  The location-transparency contract is therefore
+    // pinned against the substrate the Process transport actually wraps:
+    // barrier under Sync, channel under Async.
+    let mut rng = StdRng::seed_from_u64(0x9C_0500);
+    let mut b = GraphBuilder::directed();
+    for _ in 0..40 {
+        let u = rng.gen_range(0u64..8);
+        let i = 8 + rng.gen_range(0u64..6);
+        b.push_edge(Edge::weighted(u, i, 1.0 + rng.gen_range(0u32..5) as f64));
+    }
+    let graph = b.build();
+    let query = CfQuery {
+        epochs: 3,
+        num_factors: 4,
+        ..Default::default()
+    };
+    for mode in MODES {
+        let (workers, in_process) = match mode {
+            EngineMode::Sync => (2, TransportSpec::Barrier),
+            EngineMode::Async => (1, TransportSpec::Channel),
+        };
+        let mut baseline: Option<(String, String)> = None;
+        for spec in [in_process, TransportSpec::Process { workers }] {
+            let frag = HashEdgeCut::new(3).partition(&graph).unwrap();
+            let run = session(workers, mode, spec)
+                .run(&frag, &Cf, &query)
+                .unwrap();
+            let bytes = canon(&Cf, &query, &run.output);
+            match &baseline {
+                None => baseline = Some((spec.name().to_string(), bytes)),
+                Some((base_name, base_bytes)) => assert_eq!(
+                    &bytes,
+                    base_bytes,
+                    "cf ({mode:?}): transport {} diverges from {base_name}",
+                    spec.name()
+                ),
+            }
+        }
+    }
+}
+
+/// The prepare → update path: retained partials ship to the workers at the
+/// refresh handshake, seed messages cross the pipe, and the refreshed
+/// answer must still be byte-equal to the in-process transports.
+#[test]
+fn incremental_refresh_is_byte_equal_across_transports() {
+    if !worker_available() {
+        return;
+    }
+    for mode in MODES {
+        for case in 0..CASES {
+            let mut rng = StdRng::seed_from_u64(0x9C_0600 + case);
+            let graph = arb_graph(&mut rng, 40, 140, 0);
+            let source = rng.gen_range(0u64..graph.num_vertices() as u64);
+            // The same delta sequence replayed against every transport.
+            let mut deltas: Vec<GraphDelta> = Vec::new();
+            let mut grown = graph.clone();
+            for _ in 0..3 {
+                let n = grown.num_vertices() as u64;
+                let mut delta = GraphDelta::new();
+                for _ in 0..5 {
+                    let s = rng.gen_range(0..n);
+                    let d = rng.gen_range(0..n + 2);
+                    if s != d {
+                        delta = delta.add_weighted_edge(s, d, rng.gen_range(1u32..10) as f64);
+                    }
+                }
+                grown = grown.apply_delta(&delta).unwrap();
+                deltas.push(delta);
+            }
+
+            let query = SsspQuery::new(source);
+            let mut baseline: Option<(String, Vec<String>)> = None;
+            for spec in specs(mode) {
+                let frag = HashEdgeCut::new(4).partition(&graph).unwrap();
+                let s = session(2, mode, spec);
+                let mut prepared = s.prepare(frag, Sssp, query).unwrap();
+                let mut states = vec![canon(&Sssp, &query, &prepared.output())];
+                for delta in &deltas {
+                    prepared.update(delta).unwrap();
+                    states.push(canon(&Sssp, &query, &prepared.output()));
+                }
+                match &baseline {
+                    None => baseline = Some((spec.name().to_string(), states)),
+                    Some((base_name, base_states)) => assert_eq!(
+                        &states,
+                        base_states,
+                        "sssp refresh case {case} ({mode:?}): transport {} \
+                         diverges from {base_name}",
+                        spec.name()
+                    ),
+                }
+            }
+        }
+    }
+}
+
+/// Subprocess runs report the pipe traffic they caused; in-process runs
+/// report none.
+#[test]
+fn pipe_bytes_are_accounted_only_for_the_process_transport() {
+    if !worker_available() {
+        return;
+    }
+    let mut rng = StdRng::seed_from_u64(0x9C_0700);
+    let graph = arb_graph(&mut rng, 40, 120, 0);
+    let frag = HashEdgeCut::new(4).partition(&graph).unwrap();
+    let query = SsspQuery::new(0);
+
+    let in_process = session(2, EngineMode::Sync, TransportSpec::Barrier)
+        .run(&frag, &Sssp, &query)
+        .unwrap();
+    assert_eq!(in_process.metrics.pipe_bytes, 0);
+
+    let subprocess = session(2, EngineMode::Sync, TransportSpec::Process { workers: 2 })
+        .run(&frag, &Sssp, &query)
+        .unwrap();
+    assert!(
+        subprocess.metrics.pipe_bytes > 0,
+        "a Process run must account its pipe traffic"
+    );
+    assert_eq!(subprocess.metrics.transport, "process");
+}

@@ -1,0 +1,201 @@
+//! Fault behavior of the Process transport: a worker subprocess dying
+//! mid-superstep must surface as a clean [`EngineError::Worker`] — no hang,
+//! no partial answer — and the engine must never leave orphaned
+//! `grape-worker` processes behind, whether the run succeeded or crashed.
+//!
+//! The kill is injected with the `GRAPE_WORKER_CRASH_AFTER` hook: the
+//! worker serves that many PEval/IncEval requests and then exits hard
+//! (`process::exit(3)`) *before* replying, so the parent sees a dead pipe
+//! in the middle of a superstep.  The hook is an environment variable and
+//! environment is process-global, so every test here serializes on one
+//! mutex.
+
+use std::sync::mpsc;
+use std::sync::Mutex;
+use std::thread;
+use std::time::Duration;
+
+use grape::algorithms::sssp::{Sssp, SsspQuery};
+use grape::core::config::EngineMode;
+use grape::core::engine::EngineError;
+use grape::core::session::GrapeSession;
+use grape::core::transport::TransportSpec;
+use grape::core::worker_proto::{locate_worker_binary, WORKER_CRASH_ENV};
+use grape::graph::delta::GraphDelta;
+use grape::graph::generators;
+use grape::graph::graph::Graph;
+use grape::partition::edge_cut::HashEdgeCut;
+use grape::partition::strategy::PartitionStrategy;
+use grape::partition::Fragmentation;
+
+/// Serializes the tests in this binary (they mutate process environment).
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+/// How long a crashed run may take before we call it a hang.  Generous —
+/// the point is that the engine returns at all, not that it is fast.
+const CRASH_TIMEOUT: Duration = Duration::from_secs(60);
+
+fn worker_available() -> bool {
+    if locate_worker_binary().is_some() {
+        true
+    } else {
+        eprintln!(
+            "skipping Process-transport fault tests: grape-worker binary not \
+             built (run `cargo build -p grape-daemon --bins` first)"
+        );
+        false
+    }
+}
+
+fn test_graph() -> Graph {
+    generators::road_grid(12, 12, 7)
+}
+
+fn partition(graph: &Graph) -> Fragmentation {
+    HashEdgeCut::new(4).partition(graph).unwrap()
+}
+
+fn session(mode: EngineMode) -> GrapeSession {
+    GrapeSession::builder()
+        .workers(2)
+        .mode(mode)
+        .transport(TransportSpec::Process { workers: 2 })
+        .build()
+        .unwrap()
+}
+
+/// Live `grape-worker` children of this test process, via /proc (the CI
+/// container is Linux; elsewhere the scan degrades to "none found").
+fn worker_children() -> Vec<u32> {
+    let me = std::process::id();
+    let mut found = Vec::new();
+    let Ok(entries) = std::fs::read_dir("/proc") else {
+        return found;
+    };
+    for e in entries.flatten() {
+        let name = e.file_name();
+        let Some(pid) = name.to_str().and_then(|s| s.parse::<u32>().ok()) else {
+            continue;
+        };
+        let Ok(stat) = std::fs::read_to_string(format!("/proc/{pid}/stat")) else {
+            continue;
+        };
+        // Format: pid (comm) state ppid …  — comm may contain spaces, so
+        // split around the parentheses.
+        let (Some(open), Some(close)) = (stat.find('('), stat.rfind(')')) else {
+            continue;
+        };
+        let comm = &stat[open + 1..close];
+        let ppid: u32 = stat[close + 1..]
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        if comm == "grape-worker" && ppid == me {
+            found.push(pid);
+        }
+    }
+    found
+}
+
+/// Runs `f` on a scratch thread and panics if it neither returns nor
+/// errors within the timeout — the "no hang" half of the contract.
+fn within_timeout<T: Send + 'static>(f: impl FnOnce() -> T + Send + 'static, tag: &str) -> T {
+    let (tx, rx) = mpsc::channel();
+    thread::spawn(move || {
+        let _ = tx.send(f());
+    });
+    rx.recv_timeout(CRASH_TIMEOUT)
+        .unwrap_or_else(|_| panic!("{tag}: engine did not return within {CRASH_TIMEOUT:?}"))
+}
+
+#[test]
+fn killed_worker_mid_superstep_is_a_clean_engine_error() {
+    if !worker_available() {
+        return;
+    }
+    let _guard = ENV_LOCK.lock().unwrap();
+    for mode in [EngineMode::Sync, EngineMode::Async] {
+        // Two evaluations succeed, the third kills the worker — mid-run for
+        // a 4-fragment graph, so some fragments have answered and some
+        // never will.
+        std::env::set_var(WORKER_CRASH_ENV, "2");
+        let result = within_timeout(
+            move || {
+                let graph = test_graph();
+                let frag = partition(&graph);
+                session(mode).run(&frag, &Sssp, &SsspQuery::new(0))
+            },
+            &format!("crashed run ({mode:?})"),
+        );
+        std::env::remove_var(WORKER_CRASH_ENV);
+        match result {
+            Err(EngineError::Worker(reason)) => {
+                assert!(!reason.is_empty(), "({mode:?}) empty failure reason")
+            }
+            Err(other) => panic!("({mode:?}) expected EngineError::Worker, got {other:?}"),
+            Ok(run) => panic!(
+                "({mode:?}) a run missing a worker must not produce an answer \
+                 (got {} supersteps)",
+                run.metrics.supersteps
+            ),
+        }
+        assert_eq!(
+            worker_children(),
+            Vec::<u32>::new(),
+            "({mode:?}) crashed run left orphaned grape-worker processes"
+        );
+    }
+}
+
+#[test]
+fn killed_worker_during_refresh_is_a_clean_engine_error() {
+    if !worker_available() {
+        return;
+    }
+    let _guard = ENV_LOCK.lock().unwrap();
+    let graph = test_graph();
+    let s = session(EngineMode::Sync);
+    let mut prepared = s
+        .prepare(partition(&graph), Sssp, SsspQuery::new(0))
+        .unwrap();
+    let delta = GraphDelta::new().add_weighted_edge(0, 143, 1.0);
+
+    std::env::set_var(WORKER_CRASH_ENV, "1");
+    let result = within_timeout(
+        move || {
+            let report = prepared.update(&delta);
+            report.map(|r| r.metrics.supersteps)
+        },
+        "crashed refresh",
+    );
+    std::env::remove_var(WORKER_CRASH_ENV);
+    match result {
+        Err(EngineError::Worker(_)) => {}
+        other => panic!("expected EngineError::Worker from a crashed refresh, got {other:?}"),
+    }
+    assert_eq!(
+        worker_children(),
+        Vec::<u32>::new(),
+        "crashed refresh left orphaned grape-worker processes"
+    );
+}
+
+#[test]
+fn successful_runs_reap_every_worker_subprocess() {
+    if !worker_available() {
+        return;
+    }
+    let _guard = ENV_LOCK.lock().unwrap();
+    let graph = test_graph();
+    for mode in [EngineMode::Sync, EngineMode::Async] {
+        let frag = partition(&graph);
+        let run = session(mode).run(&frag, &Sssp, &SsspQuery::new(0)).unwrap();
+        assert!(run.output.num_reached() > 1, "({mode:?})");
+        assert_eq!(
+            worker_children(),
+            Vec::<u32>::new(),
+            "({mode:?}) successful run left orphaned grape-worker processes"
+        );
+    }
+}
